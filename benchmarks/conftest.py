@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure from the paper:
+it computes the experiment, prints the same rows/series the paper
+reports (bypassing pytest capture so the output lands in the terminal
+and in ``benchmarks/results/``), asserts the *shape* of the result, and
+times the computational kernel via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report block to the real stdout and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        block = f"\n{'=' * 72}\n{text}\n{'=' * 72}\n"
+        sys.__stdout__.write(block)
+        sys.__stdout__.flush()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,95 @@
+"""The throughput/fairness trade-off ACORN explicitly makes (§4).
+
+"Our objective is to maximize the total network throughput ... we
+tradeoff some level of fairness", in line with PF-scheduler practice in
+cellular systems. This bench quantifies the trade on Topology 2:
+per-client throughput totals, Jain's index, and the PF utility for
+ACORN, the "[17]" baseline, and an everyone-on-20-MHz configuration.
+"""
+
+import pytest
+
+from repro import Acorn
+from repro.analysis.fairness import throughput_fairness_report
+from repro.analysis.tables import render_table
+from repro.baselines import KauffmannController, assign_orthogonal
+from repro.net import ThroughputModel, build_interference_graph
+from repro.sim.scenario import topology2
+
+
+def run_all():
+    results = {}
+
+    acorn_scenario = topology2()
+    acorn = Acorn(acorn_scenario.network, acorn_scenario.plan, seed=7)
+    acorn_result = acorn.configure(acorn_scenario.client_order)
+    results["ACORN"] = acorn_result.report
+
+    baseline_scenario = topology2()
+    baseline = KauffmannController(
+        baseline_scenario.network, baseline_scenario.plan
+    )
+    results["[17] greedy 40MHz"] = baseline.configure(
+        baseline_scenario.client_order
+    ).report
+
+    fixed_scenario = topology2()
+    model = ThroughputModel()
+    fixed = Acorn(fixed_scenario.network, fixed_scenario.plan, model, seed=7)
+    fixed.assign_initial_channels()
+    fixed.admit_clients(fixed_scenario.client_order)
+    assign_orthogonal(fixed_scenario.network, fixed_scenario.plan, 20)
+    results["all 20 MHz"] = model.evaluate(
+        fixed_scenario.network, build_interference_graph(fixed_scenario.network)
+    )
+    return results
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        label: throughput_fairness_report(report.per_client_mbps.values())
+        for label, report in run_all().items()
+    }
+
+
+def test_fairness_tradeoff(benchmark, reports, emit):
+    rows = [
+        [
+            label,
+            report["total"],
+            report["jain"],
+            report["pf_utility"],
+            report["min"],
+            report["max"],
+        ]
+        for label, report in reports.items()
+    ]
+    table = render_table(
+        [
+            "scheme",
+            "total (Mbps)",
+            "Jain index",
+            "PF utility",
+            "worst client",
+            "best client",
+        ],
+        rows,
+        float_format=".2f",
+        title=(
+            "Throughput vs fairness on Topology 2 (the paper's §4 trade)"
+        ),
+    )
+    emit("fairness_tradeoff", table)
+
+    # ACORN maximises the total — its declared objective.
+    assert reports["ACORN"]["total"] == max(r["total"] for r in reports.values())
+    # The greedy 40 MHz baseline starves poor cells outright: its worst
+    # client does (much) worse than ACORN's.
+    assert reports["[17] greedy 40MHz"]["min"] < reports["ACORN"]["min"] + 1e-9
+    # The conservative all-20 MHz network is the most equal but pays
+    # for it in total throughput.
+    assert reports["all 20 MHz"]["jain"] >= reports["ACORN"]["jain"] - 0.05
+    assert reports["all 20 MHz"]["total"] < reports["ACORN"]["total"]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -1,0 +1,119 @@
+"""Fig 4: uncoded PER for QPSK vs SNR (a) and vs transmit power (b).
+
+Same experiment as Fig 3 at the packet level: PER is width-independent
+at equal SNR but, at equal transmit power, "the PER with CB is much
+higher as compared to that without the feature".
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.phy.modulation import QPSK
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from repro.phy.per import per_from_ber
+from repro.phy.ber import uncoded_ber
+from repro.warp.bermac import BerMacHarness
+
+SNR_POINTS_DB = [3.0, 5.0, 7.0, 9.0]
+# At this loss the Tx sweep walks the uncoded PER waterfall: the 20 MHz
+# PER drops first while the bonded channel (3 dB behind) still loses
+# almost everything.
+TX_POINTS_DBM = [3.0, 5.0, 7.0, 9.0, 11.0, 13.0]
+PATH_LOSS_DB = 93.0
+N_PACKETS = 50
+PACKET_BYTES = 300
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    h20 = BerMacHarness(OFDM_20MHZ, QPSK)
+    h40 = BerMacHarness(OFDM_40MHZ, QPSK)
+    vs_snr = {
+        "20": h20.sweep_subcarrier_snr(
+            SNR_POINTS_DB, n_packets=N_PACKETS, packet_bytes=PACKET_BYTES, rng=21
+        ),
+        "40": h40.sweep_subcarrier_snr(
+            SNR_POINTS_DB, n_packets=N_PACKETS, packet_bytes=PACKET_BYTES, rng=22
+        ),
+    }
+    vs_tx = {
+        "20": [
+            h20.measure_at_tx_power(
+                tx, PATH_LOSS_DB, n_packets=N_PACKETS, packet_bytes=PACKET_BYTES, rng=23
+            )
+            for tx in TX_POINTS_DBM
+        ],
+        "40": [
+            h40.measure_at_tx_power(
+                tx, PATH_LOSS_DB, n_packets=N_PACKETS, packet_bytes=PACKET_BYTES, rng=24
+            )
+            for tx in TX_POINTS_DBM
+        ],
+    }
+    return vs_snr, vs_tx
+
+
+def test_fig4a_per_vs_snr(benchmark, sweeps, emit):
+    vs_snr, _ = sweeps
+    theory = [
+        float(per_from_ber(uncoded_ber(QPSK, snr), PACKET_BYTES))
+        for snr in SNR_POINTS_DB
+    ]
+    rows = [
+        [snr, m20.per, m40.per, th]
+        for snr, m20, m40, th in zip(
+            SNR_POINTS_DB, vs_snr["20"], vs_snr["40"], theory
+        )
+    ]
+    table = render_table(
+        ["SNR (dB)", "PER 20MHz", "PER 40MHz", "Eq.6 theory"],
+        rows,
+        float_format=".3f",
+        title=(
+            "Fig 4a — uncoded QPSK PER vs per-subcarrier SNR\n"
+            "Paper: width-independent at equal SNR"
+        ),
+    )
+    emit("fig04a_per_vs_snr", table)
+    for m20, m40 in zip(vs_snr["20"], vs_snr["40"]):
+        assert m20.per == pytest.approx(m40.per, abs=0.15)
+    benchmark(
+        lambda: [
+            per_from_ber(uncoded_ber(QPSK, snr), PACKET_BYTES)
+            for snr in SNR_POINTS_DB
+        ]
+    )
+
+
+def test_fig4b_per_vs_tx(benchmark, sweeps, emit):
+    _, vs_tx = sweeps
+    rows = [
+        [tx, m20.per, m40.per]
+        for tx, m20, m40 in zip(TX_POINTS_DBM, vs_tx["20"], vs_tx["40"])
+    ]
+    table = render_table(
+        ["Tx (dBm)", "PER 20MHz", "PER 40MHz"],
+        rows,
+        float_format=".3f",
+        title=(
+            "Fig 4b — uncoded QPSK PER vs transmit power (fixed link)\n"
+            "Paper: PER with CB much higher at the same Tx"
+        ),
+    )
+    emit("fig04b_per_vs_tx", table)
+    # Wherever the 20 MHz PER has started dropping, CB must be worse.
+    informative = [
+        (m20, m40)
+        for m20, m40 in zip(vs_tx["20"], vs_tx["40"])
+        if 0.0 < m20.per < 1.0 or 0.0 < m40.per < 1.0
+    ]
+    assert informative
+    assert all(m40.per >= m20.per for m20, m40 in informative)
+    harness = BerMacHarness(OFDM_40MHZ, QPSK)
+    benchmark.pedantic(
+        lambda: harness.measure_at_tx_power(
+            10.0, PATH_LOSS_DB, n_packets=5, packet_bytes=PACKET_BYTES, rng=9
+        ),
+        rounds=3,
+        iterations=1,
+    )

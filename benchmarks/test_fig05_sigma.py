@@ -1,0 +1,92 @@
+"""Fig 5: σ-values for four links across Tx power, modulations, code rates.
+
+σ = (1 − PER20)/(1 − PER40) at equal transmit power. The paper's
+finding: for each link there is a transmit-power window where σ ≥ 2
+(channel bonding loses throughput, inequality 3); below it both widths
+fail (σ ≈ 1), above it both succeed (σ ≈ 1). Robust links (their
+link B) never enter the window at usable powers.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.link.budget import LinkBudget
+from repro.link.estimator import LinkQualityEstimator
+from repro.link.quality import sigma, sigma_cap
+from repro.phy.modulation import QAM16, QAM64, QPSK
+from repro.phy.ofdm import OFDM_20MHZ
+
+# Four representative links. Losses are chosen so the 0-22 dBm Tx sweep
+# drags each link's SNR across (or past) the sigma >= 2 windows:
+# B is robust (above every window even at 0 dBm, like the paper's
+# link B), C traverses all four windows, D the lower-order ones, and A
+# sits in between.
+LINK_LOSSES_DB = {"A": 92.0, "B": 68.0, "C": 88.0, "D": 94.0}
+MODCODS = [
+    ("QPSK 3/4", QPSK, 3 / 4),
+    ("16QAM 3/4", QAM16, 3 / 4),
+    ("64QAM 3/4", QAM64, 3 / 4),
+    ("64QAM 5/6", QAM64, 5 / 6),
+]
+TX_SWEEP_DBM = [float(t) for t in range(0, 24, 2)]
+
+
+def sigma_profile(loss_db: float, modulation, code_rate):
+    """σ(Tx) for one link and modulation-coding pair."""
+    estimator = LinkQualityEstimator()
+    profile = []
+    for tx in TX_SWEEP_DBM:
+        budget = LinkBudget(tx_power_dbm=tx, path_loss_db=loss_db)
+        est20, est40 = estimator.estimate_both_widths(
+            budget.snr20_db, modulation, code_rate
+        )
+        profile.append(sigma(est20.per, est40.per))
+    return profile
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {
+        (label, link): sigma_profile(loss, modulation, rate)
+        for label, modulation, rate in MODCODS
+        for link, loss in LINK_LOSSES_DB.items()
+    }
+
+
+def test_fig5_sigma_windows(benchmark, profiles, emit):
+    rows = []
+    for (label, link), profile in sorted(profiles.items()):
+        peak = max(profile)
+        rows.append(
+            [
+                label,
+                link,
+                sigma_cap(min(profile)),
+                sigma_cap(peak) if peak != float("inf") else 10.0,
+                any(v >= 2.0 for v in profile),
+            ]
+        )
+    table = render_table(
+        ["modcod", "link", "min sigma", "max sigma (cap 10)", "window?"],
+        rows,
+        title=(
+            "Fig 5 — sigma across Tx in [0, 22] dBm for 4 links\n"
+            "Paper: CB hurts (sigma >= 2) only inside a low-power window"
+        ),
+    )
+    emit("fig05_sigma", table)
+
+    # Link C's sweep traverses a sigma >= 2 window for every modcod.
+    for label, _, _ in MODCODS:
+        assert any(v >= 2.0 for v in profiles[(label, "C")])
+    # Link D reaches the lower-order windows within its power range.
+    for label in ("QPSK 3/4", "16QAM 3/4"):
+        assert any(v >= 2.0 for v in profiles[(label, "D")])
+    # The robust link (B) never enters a window: CB is always fine there.
+    for label, _, _ in MODCODS:
+        assert all(v < 2.0 for v in profiles[(label, "B")])
+    # sigma returns to ~1 at the top of the power range once both
+    # widths deliver (the right-hand side of every Fig 5 panel).
+    assert profiles[("QPSK 3/4", "A")][-1] == pytest.approx(1.0, abs=0.05)
+
+    benchmark(sigma_profile, LINK_LOSSES_DB["A"], QPSK, 3 / 4)

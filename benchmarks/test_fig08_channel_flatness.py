@@ -1,0 +1,92 @@
+"""Fig 8: link quality is flat across same-width channels.
+
+The paper measures back-to-back PER on every channel at MCS 15 and finds
+negligible variation — because the 2x3 MIMO PHY averages out the
+per-frequency fades that plague single-antenna systems. This underpins
+ACORN's assumption that a link measured on one channel predicts every
+other channel of the same width.
+
+We reproduce the mechanism: per channel, draw an independent Rician
+multipath snapshot per antenna pair (6 paths for a 2x3 system), combine
+them (MRC), and compute the MCS 15 PER from the resulting effective SNR.
+The same experiment with a single antenna shows the variation MIMO
+removes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.link.budget import LinkBudget
+from repro.mcs.tables import mcs_by_index
+from repro.phy.ber import coded_ber
+from repro.phy.channelmodel import rician_subcarrier_gains
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from repro.phy.per import per_from_ber
+
+N_CHANNELS = 12
+SNR20_DB = 24.0
+MCS = mcs_by_index(15)
+
+
+def per_on_channel(channel_index: int, params, n_antenna_paths: int) -> float:
+    """PER of an MCS 15 link on one channel's multipath snapshot."""
+    gains = rician_subcarrier_gains(
+        n_antenna_paths, k_factor_db=6.0, rng=1000 + channel_index
+    )
+    effective_gain = float(np.mean(np.abs(gains) ** 2))
+    budget = LinkBudget.from_snr20(SNR20_DB)
+    snr = budget.subcarrier_snr_db(params) + 10.0 * np.log10(effective_gain)
+    # MCS 15 = two 64QAM 5/6 streams; per-stream SNR loses the split.
+    ber = coded_ber(MCS.modulation, MCS.code_rate, snr - 3.0)
+    return float(per_from_ber(ber))
+
+
+def channel_sweep(params, n_antenna_paths: int):
+    return [
+        per_on_channel(index, params, n_antenna_paths)
+        for index in range(N_CHANNELS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        ("20", "mimo"): channel_sweep(OFDM_20MHZ, 6),
+        ("40", "mimo"): channel_sweep(OFDM_40MHZ, 6),
+        ("20", "siso"): channel_sweep(OFDM_20MHZ, 1),
+    }
+
+
+def test_fig8_flat_across_channels(benchmark, sweeps, emit):
+    rows = [
+        [
+            index + 1,
+            sweeps[("20", "mimo")][index],
+            sweeps[("40", "mimo")][index],
+            sweeps[("20", "siso")][index],
+        ]
+        for index in range(N_CHANNELS)
+    ]
+    table = render_table(
+        ["channel", "PER 20MHz (2x3)", "PER 40MHz (2x3)", "PER 20MHz (1x1)"],
+        rows,
+        float_format=".3f",
+        title=(
+            "Fig 8 — MCS 15 PER across same-width channels\n"
+            "Paper: negligible variation thanks to MIMO averaging"
+        ),
+    )
+    emit("fig08_channel_flatness", table)
+
+    # MIMO sweeps are flat: tiny spread across channels.
+    for key in (("20", "mimo"), ("40", "mimo")):
+        values = np.array(sweeps[key])
+        assert values.max() - values.min() < 0.15
+    # The single-antenna comparison varies far more — the effect the
+    # studies cited by the paper reported on SISO hardware.
+    siso = np.array(sweeps[("20", "siso")])
+    mimo = np.array(sweeps[("20", "mimo")])
+    assert siso.std() > 3 * max(mimo.std(), 1e-6)
+
+    benchmark(channel_sweep, OFDM_20MHZ, 6)

@@ -1,0 +1,89 @@
+"""Fig 14: how close to optimal is ACORN's allocation in practice?
+
+Nine sets of three mutually contending APs (Δ = 2). For each, the
+isolation bound Y* = Σ max(T20_isol, T40_isol) is computed, then the
+allocator runs with 2, 4 and 6 orthogonal channels. The paper's
+findings: with 2 channels T ≈ Y*/3 (no worse than the 1/(Δ+1) bound),
+with 6 channels T = Y* (full isolation), and with 4 channels ACORN
+sometimes already reaches the optimum by giving a 20 MHz-preferring AP
+a narrow channel.
+"""
+
+import pytest
+
+from repro import Acorn
+from repro.analysis.tables import render_table
+from repro.baselines import isolation_upper_bound_mbps
+from repro.core import allocate_channels
+from repro.graph.coloring import worst_case_ratio
+from repro.net import ThroughputModel
+from repro.sim.scenario import ap_triple
+
+N_TRIPLES = 9
+CHANNEL_COUNTS = (2, 4, 6)
+
+
+def run_triple(seed: int):
+    scenario = ap_triple(seed)
+    model = ThroughputModel()
+    acorn = Acorn(scenario.network, scenario.plan, model, seed=seed)
+    acorn.assign_initial_channels()
+    acorn.admit_clients(scenario.client_order)
+    graph = acorn.graph
+    y_star = isolation_upper_bound_mbps(
+        scenario.network, scenario.plan, model, scenario.network.associations
+    )
+    values = {}
+    for n_channels in CHANNEL_COUNTS:
+        plan = scenario.plan.subset(n_channels)
+        result = allocate_channels(
+            scenario.network, graph, plan, model, rng=seed
+        )
+        values[n_channels] = result.aggregate_mbps
+    return y_star, values, worst_case_ratio(graph)
+
+
+@pytest.fixture(scope="module")
+def triples():
+    return {seed: run_triple(seed) for seed in range(N_TRIPLES)}
+
+
+def test_fig14_approximation_ratio(benchmark, triples, emit):
+    rows = []
+    for seed, (y_star, values, bound) in sorted(triples.items()):
+        rows.append(
+            [
+                seed,
+                y_star,
+                values[2],
+                values[4],
+                values[6],
+                values[6] / y_star if y_star else 0.0,
+            ]
+        )
+    table = render_table(
+        ["set", "Y*", "T (2 ch)", "T (4 ch)", "T (6 ch)", "T6/Y*"],
+        rows,
+        float_format=".1f",
+        title=(
+            "Fig 14 — ACORN allocation vs the isolation bound Y*\n"
+            "Paper: 2 ch stays above Y*/3 (=Y* x 1/(delta+1)); 6 ch reaches Y*"
+        ),
+    )
+    emit("fig14_approximation", table)
+
+    reached_optimum_with_4 = 0
+    for seed, (y_star, values, bound) in triples.items():
+        # Never below the worst-case bound (delta = 2 -> Y*/3).
+        assert values[2] >= bound * y_star - 1e-6
+        # Monotone in the channel budget.
+        assert values[2] <= values[4] + 1e-9 <= values[6] + 2e-9
+        # Six channels isolate all three APs: T = Y*.
+        assert values[6] == pytest.approx(y_star, rel=0.02)
+        if values[4] >= 0.98 * values[6]:
+            reached_optimum_with_4 += 1
+    # "We observe some cases where ACORN performs very close to the
+    # optimal even with only 4 channels" — at least one of nine sets.
+    assert reached_optimum_with_4 >= 1
+
+    benchmark.pedantic(lambda: run_triple(0), rounds=2, iterations=1)

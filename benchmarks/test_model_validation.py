@@ -1,0 +1,113 @@
+"""Cross-validation benches: the analytic models vs their ground truth.
+
+Two consistency results that everything else stands on:
+
+1. The analytic MAC model (X = M/ATD + performance anomaly) against the
+   packet-level DCF simulation.
+2. The analytic coded-BER estimator (union bound) against the real
+   K=7 Viterbi codec running over the OFDM chain.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.mac.airtime import cell_throughput_mbps, client_delay_s
+from repro.mac.dcf import DEFAULT_TIMINGS
+from repro.mac.packetsim import SimulatedLink, simulate_cell
+from repro.phy.ber import coded_ber
+from repro.phy.modulation import QPSK
+from repro.phy.ofdm import OFDM_20MHZ
+from repro.phy.per import per_from_ber
+from repro.warp.codedmac import CodedBerHarness
+
+PACKET_BITS = 8 * 1500
+
+
+def mac_validation_rows():
+    """Analytic vs simulated cell throughput across client mixes."""
+    cases = {
+        "2 fast": [(130.0, 0.0), (130.0, 0.0)],
+        "fast + slow": [(130.0, 0.0), (6.5, 0.0)],
+        "fast + lossy": [(130.0, 0.0), (65.0, 0.4)],
+        "3-way mix": [(130.0, 0.0), (26.0, 0.1), (6.5, 0.2)],
+    }
+    rows = []
+    for label, mix in cases.items():
+        analytic = cell_throughput_mbps(
+            [client_delay_s(rate, per) for rate, per in mix]
+        )
+        links = [
+            SimulatedLink(
+                client_id=f"u{i}",
+                airtime_s=DEFAULT_TIMINGS.packet_airtime_s(PACKET_BITS, rate),
+                per=per,
+            )
+            for i, (rate, per) in enumerate(mix)
+        ]
+        simulated = simulate_cell(
+            links, duration_s=60.0, retry_limit=100, rng=1
+        ).cell_throughput_mbps
+        rows.append([label, analytic, simulated, simulated / analytic])
+    return rows
+
+
+def test_mac_model_vs_packet_simulation(benchmark, emit):
+    rows = mac_validation_rows()
+    table = render_table(
+        ["client mix", "analytic (Mbps)", "simulated (Mbps)", "ratio"],
+        rows,
+        float_format=".2f",
+        title=(
+            "Validation — X = M/ATD + anomaly vs packet-level DCF simulation"
+        ),
+    )
+    emit("validation_mac", table)
+    for _, analytic, simulated, ratio in rows:
+        assert ratio == pytest.approx(1.0, abs=0.05)
+    benchmark.pedantic(mac_validation_rows, rounds=1, iterations=1)
+
+
+def coded_validation_rows():
+    """Union-bound PER estimate vs the real codec over the OFDM chain."""
+    rows = []
+    packet_bytes = 150
+    for snr_db in (4.0, 5.0, 6.0, 8.0):
+        estimated_ber = coded_ber(QPSK, 1 / 2, snr_db)
+        estimated_per = float(per_from_ber(estimated_ber, packet_bytes))
+        harness = CodedBerHarness(OFDM_20MHZ, QPSK, code_rate=1 / 2)
+        measured = harness.measure_at_subcarrier_snr(
+            snr_db, n_packets=12, packet_bytes=packet_bytes, rng=int(snr_db)
+        )
+        rows.append([snr_db, estimated_per, measured.per])
+    return rows
+
+
+def test_coded_estimator_vs_viterbi(benchmark, emit):
+    rows = coded_validation_rows()
+    table = render_table(
+        ["SNR (dB)", "union-bound PER", "measured PER (Viterbi)"],
+        rows,
+        float_format=".3f",
+        title=(
+            "Validation — ACORN's coded-PER estimator vs the real "
+            "K=7 Viterbi decoder end to end"
+        ),
+    )
+    emit("validation_coded", table)
+    for snr_db, estimated, measured in rows:
+        # The union bound upper-bounds the decoder (a small Monte-Carlo
+        # allowance on top).
+        assert measured <= estimated + 0.15
+    # Both collapse to ~0 above the waterfall.
+    assert rows[-1][1] < 0.05 and rows[-1][2] <= 0.05
+    # Both are ~1 below it.
+    assert rows[0][1] > 0.9
+
+    harness = CodedBerHarness(OFDM_20MHZ, QPSK, code_rate=1 / 2)
+    benchmark.pedantic(
+        lambda: harness.measure_at_subcarrier_snr(
+            6.0, n_packets=2, packet_bytes=100, rng=0
+        ),
+        rounds=2,
+        iterations=1,
+    )

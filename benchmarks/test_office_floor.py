@@ -1,0 +1,96 @@
+"""Realistic enterprise floor: ACORN vs [17] behind drywall.
+
+The paper's Fig 10/11 topologies are SNR-specified; this bench runs the
+same comparison on a geometric office floor (multi-wall propagation,
+corridor APs, one client per room) where the poor/good client mix
+*emerges* from the building rather than being scripted — the deployment
+a WLAN controller actually meets.
+"""
+
+import pytest
+
+from repro import Acorn
+from repro.analysis.fairness import throughput_fairness_report
+from repro.analysis.tables import render_table
+from repro.baselines import KauffmannController
+from repro.sim.buildings import FloorPlan, office_floor
+
+# 8x3 rooms behind 10 dB walls with two corridor APs: enough attenuation
+# that far rooms sit in the CB-hurts regime, so the width decision
+# matters. (A floor where every room stays above ~15 dB makes greedy
+# all-40 MHz simply correct — see EXPERIMENTS.md for that negative case
+# and the sequential-association caveat it revealed.)
+FLOOR = dict(
+    rooms_x=8,
+    rooms_y=3,
+    clients_per_room=1,
+    n_aps=2,
+    seed=4,
+    plan=FloorPlan(wall_loss_db=10.0),
+)
+
+
+def run_both():
+    acorn_scenario = office_floor(**FLOOR)
+    acorn = Acorn(acorn_scenario.network, acorn_scenario.plan, seed=7)
+    acorn_result = acorn.configure(acorn_scenario.client_order)
+    baseline_scenario = office_floor(**FLOOR)
+    baseline = KauffmannController(
+        baseline_scenario.network, baseline_scenario.plan
+    )
+    baseline_result = baseline.configure(baseline_scenario.client_order)
+    return acorn_result, baseline_result
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_both()
+
+
+def test_office_floor(benchmark, results, emit):
+    acorn_result, baseline_result = results
+    rows = []
+    for ap_id in sorted(acorn_result.report.per_ap_mbps):
+        acorn_clients = sum(
+            1 for ap in acorn_result.report.associations.values() if ap == ap_id
+        )
+        rows.append(
+            [
+                ap_id,
+                str(acorn_result.report.assignment[ap_id]),
+                acorn_clients,
+                acorn_result.report.per_ap_mbps[ap_id],
+                baseline_result.report.per_ap_mbps[ap_id],
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL",
+            "",
+            len(acorn_result.report.associations),
+            acorn_result.total_mbps,
+            baseline_result.total_mbps,
+        ]
+    )
+    table = render_table(
+        ["AP", "ACORN channel", "clients", "ACORN (Mbps)", "[17] (Mbps)"],
+        rows,
+        float_format=".1f",
+        title=(
+            "Office floor (8x3 rooms, 10 dB walls, 2 corridor APs): "
+            "ACORN vs greedy 40 MHz"
+        ),
+    )
+    emit("office_floor", table)
+
+    # ACORN wins on the emergent topology too.
+    assert acorn_result.total_mbps >= baseline_result.total_mbps
+    # Everyone in radio range is served.
+    assert len(acorn_result.report.associations) >= 20
+    # And nobody is starved outright under ACORN.
+    acorn_fairness = throughput_fairness_report(
+        acorn_result.report.per_client_mbps.values()
+    )
+    assert acorn_fairness["min"] > 0
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)

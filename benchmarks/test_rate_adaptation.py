@@ -1,0 +1,96 @@
+"""Validation of the auto-rate substitution (DESIGN.md §2).
+
+The paper's cards run a proprietary Ralink auto-rate; our network model
+substitutes a goodput-optimal oracle. This bench drives a *learning*
+controller (Minstrel-style sampling, the open-source standard) against
+the same channels and shows it converges to within a few percent of the
+oracle — so conclusions drawn with the oracle transfer to realistic
+closed-loop rate control.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.link.minstrel import MinstrelController
+from repro.mcs.selection import optimal_mcs
+from repro.phy.ber import coded_ber
+from repro.phy.mimo import MimoMode, effective_snr_db
+from repro.phy.ofdm import OFDM_20MHZ
+from repro.phy.per import per_from_ber
+
+SNR_POINTS_DB = [2.0, 6.0, 12.0, 18.0, 24.0, 30.0, 36.0]
+TRAIN_PACKETS = 3000
+
+
+def success_probability_factory(snr_db: float):
+    def success_probability(entry) -> float:
+        mode = MimoMode.STBC if entry.n_streams == 1 else MimoMode.SDM
+        stream_snr = effective_snr_db(snr_db, mode)
+        ber = coded_ber(entry.modulation, entry.code_rate, stream_snr)
+        return 1.0 - float(per_from_ber(ber))
+
+    return success_probability
+
+
+def run_point(snr_db: float):
+    oracle = optimal_mcs(snr_db, OFDM_20MHZ)
+    controller = MinstrelController(OFDM_20MHZ)
+    channel = success_probability_factory(snr_db)
+    best = controller.train(channel, n_packets=TRAIN_PACKETS, rng=int(snr_db))
+    learned_goodput = best.rate_mbps(OFDM_20MHZ) * channel(best)
+    return oracle, best, learned_goodput
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {snr: run_point(snr) for snr in SNR_POINTS_DB}
+
+
+def test_minstrel_tracks_oracle(benchmark, sweep, emit):
+    rows = []
+    for snr, (oracle, best, learned_goodput) in sorted(sweep.items()):
+        efficiency = (
+            learned_goodput / oracle.goodput_mbps
+            if oracle.goodput_mbps > 0
+            else 1.0
+        )
+        rows.append(
+            [
+                snr,
+                oracle.mcs.label,
+                oracle.goodput_mbps,
+                best.label,
+                learned_goodput,
+                efficiency,
+            ]
+        )
+    table = render_table(
+        [
+            "SNR (dB)",
+            "oracle MCS",
+            "oracle goodput",
+            "Minstrel MCS",
+            "Minstrel goodput",
+            "efficiency",
+        ],
+        rows,
+        float_format=".2f",
+        title=(
+            "Auto-rate substitution check: sampling rate control vs the "
+            "goodput oracle (HT20)"
+        ),
+    )
+    emit("rate_adaptation", table)
+
+    for snr, (oracle, _, learned_goodput) in sweep.items():
+        if oracle.goodput_mbps > 1.0:
+            assert learned_goodput >= 0.8 * oracle.goodput_mbps
+    # Averaged over the sweep, the learner is within 10 % of the oracle.
+    efficiencies = [
+        learned / oracle.goodput_mbps
+        for oracle, _, learned in sweep.values()
+        if oracle.goodput_mbps > 1.0
+    ]
+    assert sum(efficiencies) / len(efficiencies) > 0.9
+
+    benchmark.pedantic(lambda: run_point(18.0), rounds=2, iterations=1)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Dense deployment: allocate scarce spectrum among contending cells.
+
+The Fig 11 situation: three APs that all hear each other, but only four
+20 MHz channels. At most one AP can bond and stay orthogonal, so the
+allocator must decide *who deserves the wide channel*. ACORN gives it
+to the cell whose clients can actually exploit it, and the example also
+prints the whole manual width-combination table so you can see why.
+
+Run:  python examples/dense_deployment.py
+"""
+
+from repro import Acorn, Channel
+from repro.analysis.tables import render_table
+from repro.net import ThroughputModel, build_interference_graph
+from repro.sim import dense_triangle
+
+
+def manual_width_table(network, graph, model):
+    """Evaluate every sensible manual width combination (Fig 11 rows)."""
+    combos = {
+        "40,40,40 (aggressive)": {
+            "AP1": Channel(36, 40),
+            "AP2": Channel(44, 48),
+            "AP3": Channel(36, 40),
+        },
+        "40,20,20": {
+            "AP1": Channel(36, 40),
+            "AP2": Channel(44),
+            "AP3": Channel(48),
+        },
+        "20,40,20": {
+            "AP1": Channel(36),
+            "AP2": Channel(44, 48),
+            "AP3": Channel(40),
+        },
+        "20,20,40": {
+            "AP1": Channel(36),
+            "AP2": Channel(40),
+            "AP3": Channel(44, 48),
+        },
+    }
+    return {
+        label: model.aggregate_mbps(network, graph, assignment=assignment)
+        for label, assignment in combos.items()
+    }
+
+
+def main() -> None:
+    scenario = dense_triangle()
+    model = ThroughputModel()
+    acorn = Acorn(scenario.network, scenario.plan, model, seed=7)
+    result = acorn.configure(scenario.client_order)
+
+    combo_values = manual_width_table(
+        scenario.network, acorn.graph, model
+    )
+    rows = [[label, value] for label, value in combo_values.items()]
+    rows.append(["ACORN (automatic)", result.total_mbps])
+    print(
+        render_table(
+            ["width combination (AP1, AP2, AP3)", "total (Mbps)"],
+            rows,
+            float_format=".1f",
+            title=(
+                "3 contending APs, four 20 MHz channels — who gets to bond?"
+            ),
+        )
+    )
+    print()
+    print("ACORN's allocation:")
+    for ap_id, channel in sorted(result.report.assignment.items()):
+        clients = [
+            c for c, ap in result.report.associations.items() if ap == ap_id
+        ]
+        print(f"  {ap_id}: {channel}  serving {', '.join(clients)}")
+    print()
+    aggressive = combo_values["40,40,40 (aggressive)"]
+    print(
+        f"ACORN reaches {result.total_mbps:.1f} Mbps — "
+        f"{result.total_mbps / aggressive:.1f}x the aggressive all-40 "
+        "configuration, by bonding only the AP whose client can use it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Operations view: a working day of ACORN-managed WLAN.
+
+Runs the full operational loop an enterprise controller would:
+
+1. build and configure the WLAN,
+2. persist the configuration to JSON (auditable, diffable),
+3. simulate four hours of client churn (CRAWDAD-calibrated session
+   lengths, Poisson arrivals) under three re-allocation policies,
+4. report the throughput/stability trade-off behind T = 30 min.
+
+Run:  python examples/longrun_operations.py
+"""
+
+import json
+import tempfile
+
+from repro.analysis.tables import render_table
+from repro.net import ChannelPlan, Network, dump_network, load_network
+from repro.sim.longrun import ChurnConfig, run_long_run
+
+
+def build_wlan() -> Network:
+    """A four-AP office floor with a chain of interference edges."""
+    network = Network()
+    for index in range(4):
+        network.add_ap(f"AP{index + 1}")
+    network.set_explicit_conflicts(
+        [("AP1", "AP2"), ("AP2", "AP3"), ("AP3", "AP4")]
+    )
+    return network
+
+
+def main() -> None:
+    plan = ChannelPlan().subset(6)
+
+    # --- persistence round trip ----------------------------------------
+    network = build_wlan()
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as handle:
+        path = handle.name
+    dump_network(network, path)
+    network = load_network(path)
+    with open(path, encoding="utf-8") as handle:
+        n_keys = len(json.load(handle))
+    print(f"configuration persisted to JSON ({n_keys} top-level keys) and reloaded")
+    print()
+
+    # --- periodicity sweep ----------------------------------------------
+    rows = []
+    for period_min in (5, 30, 120):
+        config = ChurnConfig(
+            duration_s=4 * 3600.0, period_s=period_min * 60.0, seed=3
+        )
+        result = run_long_run(build_wlan(), plan, config)
+        rows.append(
+            [
+                period_min,
+                result.mean_throughput_mbps,
+                result.n_reallocations,
+                result.downtime_s,
+                result.n_arrivals,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "re-allocation period (min)",
+                "mean throughput (Mbps)",
+                "re-allocations",
+                "downtime (s)",
+                "client arrivals",
+            ],
+            rows,
+            float_format=".1f",
+            title="Four hours of churned operation, three control policies",
+        )
+    )
+    print()
+    print(
+        "Re-allocating every 5 minutes burns throughput on channel-switch "
+        "downtime; every 2 hours leaves stale width decisions as the "
+        "client mix drifts. The paper's 30-minute period — the median "
+        "association duration — balances the two."
+    )
+
+
+if __name__ == "__main__":
+    main()

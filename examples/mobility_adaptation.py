@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Mobility: opportunistic 20/40 MHz switching as a client walks.
+
+The Fig 13 experiment: one AP with two static, good clients and a
+laptop walking away (then toward). Because the AP owns both halves of
+its bonded allocation, it can drop to the primary 20 MHz channel at any
+time without changing the interference projected on neighbours — ACORN
+uses that freedom whenever the estimator says the wide channel hurts.
+
+Run:  python examples/mobility_adaptation.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim.mobility import run_mobility_experiment
+
+
+def show_trace(direction: str, reference: str) -> None:
+    trace = run_mobility_experiment(direction, duration_s=50.0)
+    rows = []
+    for index in range(0, len(trace.times_s), 5):
+        rows.append(
+            [
+                trace.times_s[index],
+                trace.mobile_snr20_db[index],
+                f"{trace.acorn_width_mhz[index]} MHz",
+                trace.acorn_mbps[index],
+                trace.fixed_mbps[index],
+            ]
+        )
+    print(
+        render_table(
+            ["t (s)", "mobile SNR (dB)", "ACORN width", "ACORN (Mbps)", f"fixed {reference} (Mbps)"],
+            rows,
+            float_format=".1f",
+            title=f"Walking {direction} from the AP — ACORN vs fixed {reference}",
+        )
+    )
+    switch = trace.switch_time_s
+    if switch is None:
+        print("  ACORN never needed to switch widths.")
+    else:
+        print(
+            f"  ACORN switched width at t = {switch:.0f} s and averaged "
+            f"{trace.post_switch_gain():.1f}x the fixed configuration "
+            "afterwards."
+        )
+    print()
+
+
+def main() -> None:
+    show_trace("away", "40 MHz")
+    show_trace("toward", "20 MHz")
+    print(
+        "Walking away, the bonded channel strands the mobile client "
+        "(3 dB less SNR per subcarrier) and the 802.11 performance "
+        "anomaly drags the whole cell down — ACORN falls back to "
+        "20 MHz. Walking toward the AP, ACORN re-enables bonding as "
+        "soon as the link supports it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Beyond the paper: ACORN on the partially-overlapped 2.4 GHz band.
+
+The paper evaluates on the 5 GHz band, where channels are orthogonal
+and a conflict is binary. Its reference [7] (Mishra et al.) shows the
+2.4 GHz band's partially overlapped channels are a resource, not a
+hazard — neighbours cost airtime *in proportion to spectral overlap*.
+This example runs Algorithm 2 with the weighted contention model on a
+2.4 GHz plan and shows it spreading APs across partially overlapped
+channels (the 1/4/8/11-style packing) instead of collapsing onto the
+three orthogonal ones.
+
+Run:  python examples/partial_overlap_24ghz.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import allocate_channels
+from repro.net import (
+    Channel,
+    ChannelPlan,
+    Network,
+    ThroughputModel,
+    WeightedThroughputModel,
+    build_interference_graph,
+    spectral_overlap_fraction,
+)
+
+
+def build_network(n_aps: int = 4) -> Network:
+    """Four mutually audible APs, one good client each."""
+    network = Network()
+    conflicts = []
+    for index in range(n_aps):
+        ap_id = f"AP{index + 1}"
+        network.add_ap(ap_id)
+        client_id = f"u{index + 1}"
+        network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, 25.0)
+        network.associate(client_id, ap_id)
+        for other in range(index):
+            conflicts.append((f"AP{other + 1}", ap_id))
+    network.set_explicit_conflicts(conflicts)
+    return network
+
+
+def main() -> None:
+    # The 2.4 GHz band: 11 channels, 5 MHz apart, no bonding (2.4 GHz
+    # bonding was rare and is omitted here).
+    plan = ChannelPlan(list(range(1, 12)), bonded_pairs=[])
+
+    # Ground truth on 2.4 GHz is the weighted model (partial overlap is
+    # physically real there); the binary model acts as the *decision*
+    # maker that cannot see it.
+    truth = WeightedThroughputModel()
+    results = {}
+    for label, decision_model in (
+        ("binary conflicts (paper's model)", ThroughputModel()),
+        ("weighted partial overlap ([7])", None),  # decide with the truth
+    ):
+        network = build_network()
+        graph = build_interference_graph(network)
+        allocation = allocate_channels(
+            network, graph, plan, truth, rng=1, decision_model=decision_model
+        )
+        results[label] = (allocation, network)
+
+    rows = []
+    for label, (allocation, network) in results.items():
+        channels = [
+            allocation.assignment[ap_id].primary for ap_id in network.ap_ids
+        ]
+        rows.append(
+            [label, " ".join(str(c) for c in channels), allocation.aggregate_mbps]
+        )
+    print(
+        render_table(
+            ["allocator's contention model", "channels (AP1..AP4)", "true total (Mbps)"],
+            rows,
+            float_format=".1f",
+            title=(
+                "Four contending APs on eleven 2.4 GHz channels\n"
+                "(both allocations scored under the weighted ground truth)"
+            ),
+        )
+    )
+
+    _, (allocation, network) = list(results.items())[1]
+    print()
+    print("Pairwise spectral overlap under the weighted allocation:")
+    ap_ids = network.ap_ids
+    for i, ap_a in enumerate(ap_ids):
+        for ap_b in ap_ids[i + 1 :]:
+            fraction = spectral_overlap_fraction(
+                allocation.assignment[ap_a], allocation.assignment[ap_b]
+            )
+            print(
+                f"  {ap_a} ch{allocation.assignment[ap_a].primary} / "
+                f"{ap_b} ch{allocation.assignment[ap_b].primary}: "
+                f"{fraction:.0%}"
+            )
+    print()
+    print(
+        "The binary model sees only 3 orthogonal channels (1/6/11) for 4 "
+        "APs, so someone must fully share; the weighted model spreads the "
+        "four APs with small partial overlaps instead — reference [7]'s "
+        "point, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

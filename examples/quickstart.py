@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: auto-configure a small 802.11n WLAN with ACORN.
+
+Builds a two-cell network by link quality, runs the full ACORN pass
+(Algorithm 1 association + Algorithm 2 CB-aware allocation) and compares
+the result against the greedy single-width baseline the paper calls
+"[17]".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Acorn, ChannelPlan, Network
+from repro.analysis.tables import render_table
+from repro.baselines import KauffmannController
+
+
+def build_network() -> Network:
+    """Two APs: one cell of poor clients, one cell of good clients."""
+    network = Network()
+    network.add_ap("AP-lab")
+    network.add_ap("AP-lounge")
+    # Link qualities are 20 MHz per-subcarrier SNRs in dB. Anything
+    # under ~4 dB is a "poor" link that channel bonding would strand.
+    links = {
+        ("AP-lab", "sensor-1"): 1.0,
+        ("AP-lab", "sensor-2"): 2.0,
+        ("AP-lounge", "laptop-1"): 25.0,
+        ("AP-lounge", "laptop-2"): 27.0,
+    }
+    for (ap_id, client_id), snr_db in links.items():
+        if client_id not in network.client_ids:
+            network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, snr_db)
+    # The cells are far apart: no interference edges.
+    network.set_explicit_conflicts([])
+    return network
+
+
+def main() -> None:
+    plan = ChannelPlan()  # the twelve 5 GHz channels + six bonded pairs
+    order = ["sensor-1", "laptop-1", "sensor-2", "laptop-2"]
+
+    acorn = Acorn(build_network(), plan, seed=7)
+    acorn_result = acorn.configure(order)
+
+    baseline = KauffmannController(build_network(), plan)
+    baseline_result = baseline.configure(order)
+
+    rows = []
+    for ap_id in sorted(acorn_result.report.per_ap_mbps):
+        rows.append(
+            [
+                ap_id,
+                str(acorn_result.report.assignment[ap_id]),
+                acorn_result.report.per_ap_mbps[ap_id],
+                baseline_result.report.per_ap_mbps[ap_id],
+            ]
+        )
+    rows.append(
+        ["TOTAL", "", acorn_result.total_mbps, baseline_result.total_mbps]
+    )
+    print(
+        render_table(
+            ["AP", "ACORN channel", "ACORN (Mbps)", "greedy 40 MHz (Mbps)"],
+            rows,
+            float_format=".1f",
+            title="ACORN vs greedy single-width configuration",
+        )
+    )
+    print()
+    print(
+        "ACORN kept the poor cell on a 20 MHz channel — bonding would "
+        "have lowered its per-subcarrier SNR by ~3 dB and stranded the "
+        "sensors (the greedy column)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The per-channel scanning extension: accuracy vs convergence time.
+
+Section 4.2 sketches a variant of ACORN where "each AP scans (one at a
+time) all the available channels and gets more accurate information
+regarding the link quality to its clients ... however, this would add
+more complexity and increase the convergence time". This example makes
+both sides of that trade-off concrete:
+
+* On MIMO hardware (per-channel variation ~0, the Fig 8 finding) the
+  scan buys nothing — the width-calibrated single measurement already
+  predicts every channel.
+* On frequency-selective (SISO-like) links, scan-informed allocation
+  finds better channels, at a scan-time cost that grows linearly with
+  the channel count.
+
+Run:  python examples/scanning_tradeoff.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import ChannelScanner, ScanningThroughputModel, allocate_channels
+from repro.net import ChannelPlan, Network, ThroughputModel, build_interference_graph
+
+
+def build_network() -> Network:
+    network = Network()
+    network.add_ap("AP1")
+    network.add_ap("AP2")
+    for client_id, ap_id, snr in (
+        ("u1", "AP1", 12.0),
+        ("u2", "AP1", 15.0),
+        ("u3", "AP2", 18.0),
+        ("u4", "AP2", 22.0),
+    ):
+        network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, snr)
+        network.associate(client_id, ap_id)
+    network.set_explicit_conflicts([("AP1", "AP2")])
+    return network
+
+
+def run_case(variation_db: float) -> dict:
+    """Allocate with and without scan information; truth = scanned."""
+    network = build_network()
+    graph = build_interference_graph(network)
+    plan = ChannelPlan().subset(6)
+    scanner = ChannelScanner(variation_sigma_db=variation_db, seed=3)
+    truth = ScanningThroughputModel(scanner=scanner)
+
+    informed = allocate_channels(network, graph, plan, truth, rng=0)
+    blind = allocate_channels(
+        network, graph, plan, truth, rng=0, decision_model=ThroughputModel()
+    )
+    # Account the scan airtime each AP would burn.
+    scanner.scan_time_s = 0.0
+    for ap_id in network.ap_ids:
+        scanner.scan(network, ap_id, plan)
+    return {
+        "variation": variation_db,
+        "informed": informed.aggregate_mbps,
+        "blind": blind.aggregate_mbps,
+        "scan_time": scanner.scan_time_s,
+    }
+
+
+def main() -> None:
+    rows = []
+    for variation_db in (0.0, 3.0, 6.0):
+        case = run_case(variation_db)
+        rows.append(
+            [
+                case["variation"],
+                case["blind"],
+                case["informed"],
+                case["informed"] - case["blind"],
+                case["scan_time"],
+            ]
+        )
+    print(
+        render_table(
+            [
+                "per-channel sigma (dB)",
+                "width-only (Mbps)",
+                "scan-informed (Mbps)",
+                "gain (Mbps)",
+                "scan cost (s)",
+            ],
+            rows,
+            float_format=".1f",
+            title="Scanning extension: allocation quality vs convergence cost",
+        )
+    )
+    print()
+    print(
+        "With MIMO-flat channels (sigma = 0, the paper's Fig 8 regime) "
+        "scanning buys nothing and only costs airtime — which is why "
+        "base ACORN skips it. Frequency-selective links change the math."
+    )
+
+
+if __name__ == "__main__":
+    main()

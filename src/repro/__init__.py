@@ -1,0 +1,72 @@
+"""Reproduction of "Auto-configuration of 802.11n WLANs" (ACORN, CoNEXT 2010).
+
+The package layers bottom-up:
+
+* :mod:`repro.phy` — OFDM numerologies, modulation, coding, noise, BER/PER
+* :mod:`repro.warp` — the sample-level OFDM testbed chain (Section 3.1)
+* :mod:`repro.mcs` — 802.11n MCS tables and goodput-optimal selection
+* :mod:`repro.link` — link budgets, ACORN's quality estimator, σ, rate control
+* :mod:`repro.mac` — DCF airtime, the performance anomaly, X = M/ATD
+* :mod:`repro.net` — channels-as-colours, topology, interference graph, Y(F)
+* :mod:`repro.core` — ACORN: Algorithms 1 and 2 plus the controller
+* :mod:`repro.baselines` — "[17]", RSSI, fixed widths, random, brute force
+* :mod:`repro.sim` — paper scenarios, traffic models, mobility
+* :mod:`repro.traces` — synthetic association-duration workload (Fig 9)
+* :mod:`repro.analysis` — ECDF, R², report tables
+
+Quickstart::
+
+    from repro import Acorn, ChannelPlan
+    from repro.sim import topology1
+
+    scenario = topology1()
+    acorn = Acorn(scenario.network, scenario.plan)
+    result = acorn.configure(scenario.client_order)
+    print(result.report.per_ap_mbps, result.total_mbps)
+"""
+
+from .config import (
+    ACORN_EPSILON,
+    ACORN_PERIOD_SECONDS,
+    MAX_TX_POWER_DBM,
+    PathLossModel,
+    SimulationConfig,
+)
+from .core import Acorn, AcornResult, allocate_channels, choose_ap
+from .link import LinkBudget, LinkQualityEstimator, RateController
+from .net import (
+    AccessPoint,
+    Channel,
+    ChannelPlan,
+    Client,
+    Network,
+    NetworkReport,
+    ThroughputModel,
+    build_interference_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACORN_EPSILON",
+    "ACORN_PERIOD_SECONDS",
+    "MAX_TX_POWER_DBM",
+    "PathLossModel",
+    "SimulationConfig",
+    "Acorn",
+    "AcornResult",
+    "allocate_channels",
+    "choose_ap",
+    "LinkBudget",
+    "LinkQualityEstimator",
+    "RateController",
+    "AccessPoint",
+    "Channel",
+    "ChannelPlan",
+    "Client",
+    "Network",
+    "NetworkReport",
+    "ThroughputModel",
+    "build_interference_graph",
+    "__version__",
+]

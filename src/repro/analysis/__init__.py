@@ -1,0 +1,21 @@
+"""Analysis helpers: ECDF, R², ASCII tables for bench reports."""
+
+from .stats import coefficient_of_determination, ecdf
+from .tables import render_table
+from .fairness import (
+    jain_index,
+    proportional_fair_utility,
+    throughput_fairness_report,
+)
+from .plots import ascii_line_chart, sparkline
+
+__all__ = [
+    "ecdf",
+    "coefficient_of_determination",
+    "render_table",
+    "jain_index",
+    "proportional_fair_utility",
+    "throughput_fairness_report",
+    "sparkline",
+    "ascii_line_chart",
+]

@@ -1,0 +1,71 @@
+"""Fairness metrics for the throughput/fairness trade-off analysis.
+
+Section 4 of the paper is explicit about its objective: "we tradeoff
+some level of fairness for significant gains in the total network-wide
+throughput", in line with proportional-fair cellular schedulers. These
+metrics make that trade-off measurable: Jain's fairness index (from the
+same Jain reference the paper cites for R²) and the proportional-fair
+utility Σ log(x_i).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["jain_index", "proportional_fair_utility", "throughput_fairness_report"]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1].
+
+    1.0 means perfectly equal allocations; 1/n means one user gets
+    everything.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("fairness of an empty allocation is undefined")
+    if np.any(array < 0):
+        raise ConfigurationError("allocations must be non-negative")
+    total_squared = float(np.sum(array) ** 2)
+    sum_of_squares = float(array.size * np.sum(array**2))
+    if sum_of_squares == 0.0:
+        # All-zero allocation: degenerate but "equal".
+        return 1.0
+    return total_squared / sum_of_squares
+
+
+def proportional_fair_utility(
+    values: Iterable[float], floor: float = 1e-3
+) -> float:
+    """Σ log(x_i), the proportional-fair objective.
+
+    Zero allocations are floored at ``floor`` so a starved client shows
+    up as a large negative utility instead of −∞.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("utility of an empty allocation is undefined")
+    if np.any(array < 0):
+        raise ConfigurationError("allocations must be non-negative")
+    if floor <= 0:
+        raise ConfigurationError(f"floor must be positive, got {floor}")
+    return float(np.sum(np.log(np.maximum(array, floor))))
+
+
+def throughput_fairness_report(values: Iterable[float]) -> "dict[str, float]":
+    """Total, Jain index, PF utility, min and max of an allocation."""
+    array: List[float] = [float(v) for v in values]
+    if not array:
+        raise ConfigurationError("empty allocation")
+    return {
+        "total": math.fsum(array),
+        "jain": jain_index(array),
+        "pf_utility": proportional_fair_utility(array),
+        "min": min(array),
+        "max": max(array),
+    }

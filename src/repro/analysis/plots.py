@@ -1,0 +1,89 @@
+"""Terminal plotting: ASCII line charts and sparklines for reports.
+
+The benchmark harness and CLI print tables; time series (the mobility
+traces, long-run throughput) read better as pictures. These renderers
+produce plain-text charts that survive log files and CI output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["sparkline", "ascii_line_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a series."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ConfigurationError("cannot sparkline an empty series")
+    low = min(data)
+    high = max(data)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(data)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        _SPARK_LEVELS[int(round((value - low) * scale))] for value in data
+    )
+
+
+def ascii_line_chart(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+    marker: str = "*",
+) -> str:
+    """Render (x, y) as an ASCII scatter/line chart.
+
+    Values are binned onto a ``width`` x ``height`` grid; the y axis is
+    annotated with min/max, the x axis with its range.
+    """
+    xs = [float(v) for v in x]
+    ys = [float(v) for v in y]
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"x has {len(xs)} points but y has {len(ys)}"
+        )
+    if not xs:
+        raise ConfigurationError("cannot chart an empty series")
+    if width < 10 or height < 3:
+        raise ConfigurationError("chart must be at least 10x3")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for x_value, y_value in zip(xs, ys):
+        column = int((x_value - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y_value - y_low) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    label_width = max(len(f"{y_high:.1f}"), len(f"{y_low:.1f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.1f}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:.1f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis_label = f"{x_low:.0f}".ljust(width - len(f"{x_high:.0f}")) + f"{x_high:.0f}"
+    lines.append(f"{' ' * label_width}  {x_axis_label}")
+    if y_label:
+        lines.append(f"{' ' * label_width}  [{y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables and
+figures report; this keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".2f",
+    title: str = "",
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    ``rows`` may contain strings, ints, floats (formatted with
+    ``float_format``) and booleans.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    formatted: List[List[str]] = [
+        [_format_cell(value, float_format) for value in row] for row in rows
+    ]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted))
+        if formatted
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(str(h).ljust(width) for h, width in zip(headers, widths))
+    )
+    lines.append(separator)
+    for row in formatted:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Comparison schemes: the paper's "[17]" baseline, RSSI association,
+fixed widths, random manual configurations, and brute-force optimal."""
+
+from .kauffmann import KauffmannController, kauffmann_allocate, kauffmann_choose_ap
+from .rssi import rssi_choose_ap
+from .fixed_width import assign_orthogonal
+from .random_config import RandomConfiguration, RandomConfigurator
+from .optimal import brute_force_allocation, isolation_upper_bound_mbps
+
+__all__ = [
+    "KauffmannController",
+    "kauffmann_allocate",
+    "kauffmann_choose_ap",
+    "rssi_choose_ap",
+    "assign_orthogonal",
+    "RandomConfiguration",
+    "RandomConfigurator",
+    "brute_force_allocation",
+    "isolation_upper_bound_mbps",
+]

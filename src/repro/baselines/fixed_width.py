@@ -1,0 +1,41 @@
+"""Fixed-width baselines: everyone on 20 MHz, or everyone on 40 MHz.
+
+Legacy configuration systems employ "bands of a single width"; these
+helpers produce orthogonal-as-possible single-width plans for comparison
+and for the mobility experiment's fixed-width references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ChannelError
+from ..net.channels import Channel, ChannelPlan
+from ..net.topology import Network
+
+__all__ = ["assign_orthogonal"]
+
+
+def assign_orthogonal(
+    network: Network, plan: ChannelPlan, width_mhz: int
+) -> Dict[str, Channel]:
+    """Round-robin single-width assignment over the plan's channels.
+
+    With enough channels every AP is orthogonal; otherwise channels are
+    reused cyclically (the dense-deployment regime of Fig 11).
+    """
+    if width_mhz == 20:
+        palette = plan.channels_20()
+    elif width_mhz == 40:
+        palette = plan.channels_40()
+    else:
+        raise ChannelError(f"width must be 20 or 40 MHz, got {width_mhz}")
+    if not palette:
+        raise ChannelError(f"the plan offers no {width_mhz} MHz channels")
+    assignment = {
+        ap_id: palette[index % len(palette)]
+        for index, ap_id in enumerate(network.ap_ids)
+    }
+    for ap_id, channel in assignment.items():
+        network.set_channel(ap_id, channel)
+    return assignment

@@ -1,0 +1,81 @@
+"""Exact references: brute-force optimal allocation and the Y* bound.
+
+The channel allocation problem is NP-complete (Section 4.2), but for the
+small instances used in Fig 14 (three APs) exhaustive search over the
+colour palette is feasible and gives the true optimum. The looser
+isolation bound Y* = Σ_i max(X_i^isol-20, X_i^isol-40) is the paper's
+reference line.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import AllocationError
+from ..net.channels import Channel, ChannelPlan
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+
+__all__ = ["brute_force_allocation", "isolation_upper_bound_mbps"]
+
+# Refuse exhaustive searches beyond this many assignments.
+_MAX_SEARCH_SIZE = 500_000
+
+
+def brute_force_allocation(
+    network: Network,
+    graph: nx.Graph,
+    plan: ChannelPlan,
+    model: ThroughputModel,
+    associations: Optional[Mapping[str, str]] = None,
+) -> Tuple[Dict[str, Channel], float]:
+    """The throughput-optimal assignment by exhaustive search.
+
+    Returns ``(assignment, aggregate_mbps)``. Raises for instances whose
+    search space exceeds a safety bound — the point of ACORN's greedy
+    algorithm is precisely that this search does not scale.
+    """
+    ap_ids = network.ap_ids
+    palette = plan.all_channels()
+    if not ap_ids:
+        raise AllocationError("no APs to allocate")
+    search_size = len(palette) ** len(ap_ids)
+    if search_size > _MAX_SEARCH_SIZE:
+        raise AllocationError(
+            f"search space {search_size} exceeds {_MAX_SEARCH_SIZE}; "
+            "use the greedy allocator for instances this large"
+        )
+    best_assignment: Optional[Dict[str, Channel]] = None
+    best_value = float("-inf")
+    for combination in product(palette, repeat=len(ap_ids)):
+        assignment = dict(zip(ap_ids, combination))
+        value = model.aggregate_mbps(
+            network, graph, assignment=assignment, associations=associations
+        )
+        if value > best_value:
+            best_value = value
+            best_assignment = assignment
+    assert best_assignment is not None
+    return best_assignment, best_value
+
+
+def isolation_upper_bound_mbps(
+    network: Network,
+    plan: ChannelPlan,
+    model: ThroughputModel,
+    associations: Optional[Mapping[str, str]] = None,
+) -> float:
+    """Y*: every AP alone on its best width — Eq. 5's loose upper bound.
+
+    "Note that Y* computed as above is a loose upper bound, since
+    complete isolation of the APs is not always possible" with few
+    channels.
+    """
+    palette = plan.all_channels()
+    return sum(
+        model.best_isolated_throughput_mbps(network, ap_id, palette, associations)
+        for ap_id in network.ap_ids
+    )

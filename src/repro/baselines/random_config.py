@@ -1,0 +1,105 @@
+"""Random manual configurations (the Table 3 comparison set).
+
+The paper configures "APs with random channels (both 20 and 40 MHz) and
+let[s] each client associate with one of the APs in range with equal
+probability", repeats 50 times, and compares ACORN against the 10 best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..config import make_rng
+from ..errors import ConfigurationError
+from ..net.channels import Channel, ChannelPlan
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+
+__all__ = ["RandomConfiguration", "RandomConfigurator"]
+
+
+@dataclass(frozen=True)
+class RandomConfiguration:
+    """One random channel/association draw with its evaluated throughput."""
+
+    assignment: Dict[str, Channel]
+    associations: Dict[str, str]
+    total_mbps: float
+
+
+class RandomConfigurator:
+    """Draws and evaluates random manual configurations."""
+
+    def __init__(
+        self,
+        network: Network,
+        graph: nx.Graph,
+        plan: ChannelPlan,
+        model: Optional[ThroughputModel] = None,
+        min_snr20_db: "float | None" = None,
+    ) -> None:
+        self.network = network
+        self.graph = graph
+        self.plan = plan
+        self.model = model if model is not None else ThroughputModel()
+        if min_snr20_db is None:
+            from ..link.adaptation import serviceability_floor_db
+
+            min_snr20_db = serviceability_floor_db(self.model.packet_bytes)
+        self.min_snr20_db = min_snr20_db
+
+    def draw(self, rng: "np.random.Generator | int | None" = None) -> RandomConfiguration:
+        """One random configuration: uniform channels, uniform association."""
+        rng = make_rng(rng)
+        palette = self.plan.all_channels()
+        assignment = {
+            ap_id: palette[int(rng.integers(0, len(palette)))]
+            for ap_id in self.network.ap_ids
+        }
+        associations: Dict[str, str] = {}
+        for client_id in self.network.client_ids:
+            candidates = self.network.candidate_aps(client_id, self.min_snr20_db)
+            if not candidates:
+                continue
+            associations[client_id] = candidates[
+                int(rng.integers(0, len(candidates)))
+            ]
+        total = self.model.aggregate_mbps(
+            self.network,
+            self.graph,
+            assignment=assignment,
+            associations=associations,
+        )
+        return RandomConfiguration(
+            assignment=assignment, associations=associations, total_mbps=total
+        )
+
+    def sample(
+        self,
+        n_configurations: int = 50,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> List[RandomConfiguration]:
+        """Draw many configurations (Table 3 uses 50)."""
+        if n_configurations <= 0:
+            raise ConfigurationError(
+                f"need a positive sample size, got {n_configurations}"
+            )
+        rng = make_rng(rng)
+        return [self.draw(rng) for _ in range(n_configurations)]
+
+    def best(
+        self,
+        n_configurations: int = 50,
+        keep: int = 10,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> List[RandomConfiguration]:
+        """The ``keep`` best of ``n_configurations`` draws, descending."""
+        if keep <= 0:
+            raise ConfigurationError(f"keep must be positive, got {keep}")
+        configurations = self.sample(n_configurations, rng)
+        configurations.sort(key=lambda c: c.total_mbps, reverse=True)
+        return configurations[:keep]

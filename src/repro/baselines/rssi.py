@@ -1,0 +1,41 @@
+"""RSSI-based association: the simplest legacy baseline.
+
+"Affiliation decisions that are based on the received signal strength
+(RSS) of the beacons do not require each user to associate with the APs
+in range first" — but ignore load entirely and can pile users onto a few
+overloaded APs (Section 4.1's critique, after [29]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import AssociationError
+from ..net.topology import Network
+
+__all__ = ["rssi_choose_ap"]
+
+
+def rssi_choose_ap(
+    network: Network,
+    client_id: str,
+    candidates: Optional[Sequence[str]] = None,
+    min_snr20_db: float = -5.0,
+) -> Tuple[str, Dict[str, float]]:
+    """Associate with the strongest-signal AP.
+
+    SNR orders identically to RSS here (same noise floor at every
+    client), so the 20 MHz link SNR serves as the beacon RSS.
+    """
+    if candidates is None:
+        candidates = network.candidate_aps(client_id, min_snr20_db)
+    else:
+        candidates = tuple(candidates)
+    if not candidates:
+        raise AssociationError(f"client {client_id!r} has no candidate APs")
+    strengths = {
+        ap_id: network.link_budget(ap_id, client_id).snr20_db
+        for ap_id in candidates
+    }
+    best = max(candidates, key=lambda ap_id: (strengths[ap_id],))
+    return best, strengths

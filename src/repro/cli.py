@@ -1,0 +1,295 @@
+"""Command-line interface for the ACORN reproduction.
+
+Usage (via ``python -m repro``):
+
+* ``scenario topology1|topology2|dense|random`` — configure a scenario
+  with ACORN and the "[17]" baseline, print per-AP throughputs.
+* ``mobility --direction away|toward`` — the Fig 13 mobility trace.
+* ``transitions`` — the Table 1 σ = 2 transition SNRs.
+* ``trace`` — the Fig 9 association-duration statistics and the
+  derived allocation periodicity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACORN (CoNEXT 2010) reproduction experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="configure a WLAN scenario with ACORN vs [17]"
+    )
+    scenario.add_argument(
+        "name",
+        choices=("topology1", "topology2", "dense", "random", "office"),
+        help="which deployment to configure",
+    )
+    scenario.add_argument("--seed", type=int, default=7, help="ACORN RNG seed")
+    scenario.add_argument(
+        "--traffic",
+        choices=("udp", "tcp"),
+        default="udp",
+        help="traffic model used for throughput accounting",
+    )
+    scenario.add_argument(
+        "--refine",
+        action="store_true",
+        help="run the association-refinement extension after configuring",
+    )
+
+    mobility = subparsers.add_parser(
+        "mobility", help="run the Fig 13 pedestrian-mobility trace"
+    )
+    mobility.add_argument(
+        "--direction", choices=("away", "toward"), default="away"
+    )
+    mobility.add_argument("--duration", type=float, default=50.0)
+
+    subparsers.add_parser(
+        "transitions", help="print the Table 1 sigma=2 transition SNRs"
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="association-duration statistics (Fig 9)"
+    )
+    trace.add_argument("--sessions", type=int, default=20_000)
+    trace.add_argument("--seed", type=int, default=2010)
+
+    longrun = subparsers.add_parser(
+        "longrun", help="churned long-run operation at a given period"
+    )
+    longrun.add_argument("--hours", type=float, default=4.0)
+    longrun.add_argument(
+        "--period-min", type=float, default=30.0, dest="period_min"
+    )
+    longrun.add_argument("--seed", type=int, default=3)
+    return parser
+
+
+def _build_scenario(name: str):
+    from .sim.buildings import office_floor
+    from .sim.scenario import dense_triangle, random_enterprise, topology1, topology2
+
+    builders = {
+        "topology1": topology1,
+        "topology2": topology2,
+        "dense": dense_triangle,
+        "random": lambda: random_enterprise(n_aps=5, n_clients=12, seed=11),
+        "office": lambda: office_floor(
+            rooms_x=8, rooms_y=3, clients_per_room=1, n_aps=2, seed=4
+        ),
+    }
+    return builders[name]
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    from . import Acorn
+    from .baselines import KauffmannController
+    from .net import ThroughputModel
+    from .sim.traffic import TcpTraffic
+
+    builder = _build_scenario(args.name)
+
+    def make_model():
+        if args.traffic == "tcp":
+            return ThroughputModel(traffic=TcpTraffic())
+        return ThroughputModel()
+
+    acorn_scenario = builder()
+    acorn = Acorn(
+        acorn_scenario.network, acorn_scenario.plan, make_model(), seed=args.seed
+    )
+    acorn_result = acorn.configure(
+        acorn_scenario.client_order, refine=getattr(args, "refine", False)
+    )
+
+    baseline_scenario = builder()
+    baseline = KauffmannController(
+        baseline_scenario.network, baseline_scenario.plan, make_model()
+    )
+    baseline_result = baseline.configure(baseline_scenario.client_order)
+
+    rows = []
+    for ap_id in sorted(acorn_result.report.per_ap_mbps):
+        rows.append(
+            [
+                ap_id,
+                str(acorn_result.report.assignment[ap_id]),
+                acorn_result.report.per_ap_mbps[ap_id],
+                baseline_result.report.per_ap_mbps[ap_id],
+            ]
+        )
+    rows.append(
+        ["TOTAL", "", acorn_result.total_mbps, baseline_result.total_mbps]
+    )
+    print(
+        render_table(
+            ["AP", "ACORN channel", "ACORN (Mbps)", "[17] (Mbps)"],
+            rows,
+            float_format=".1f",
+            title=f"{args.name} ({args.traffic.upper()} traffic, seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _run_mobility(args: argparse.Namespace) -> int:
+    from .sim.mobility import run_mobility_experiment
+
+    trace = run_mobility_experiment(args.direction, duration_s=args.duration)
+    reference = "40 MHz" if args.direction == "away" else "20 MHz"
+    rows = [
+        [
+            trace.times_s[index],
+            trace.mobile_snr20_db[index],
+            trace.acorn_width_mhz[index],
+            trace.acorn_mbps[index],
+            trace.fixed_mbps[index],
+        ]
+        for index in range(0, len(trace.times_s), max(1, len(trace.times_s) // 12))
+    ]
+    print(
+        render_table(
+            ["t (s)", "SNR (dB)", "width", "ACORN (Mbps)", f"fixed {reference}"],
+            rows,
+            float_format=".1f",
+            title=f"Mobility ({args.direction}), ACORN vs fixed {reference}",
+        )
+    )
+    if trace.switch_time_s is not None:
+        print(
+            f"switch at t = {trace.switch_time_s:.0f} s; post-switch gain "
+            f"{trace.post_switch_gain():.1f}x"
+        )
+    else:
+        print("no width switch occurred")
+    from .analysis.plots import ascii_line_chart
+
+    print()
+    print(
+        ascii_line_chart(
+            trace.times_s,
+            trace.acorn_mbps,
+            title="ACORN cell throughput over the walk",
+            y_label="Mbps",
+        )
+    )
+    return 0
+
+
+def _run_transitions(args: argparse.Namespace) -> int:
+    from .link.quality import transition_snr_db
+    from .phy.modulation import QAM16, QAM64, QPSK
+
+    rows = []
+    for label, modulation, rate in (
+        ("QPSK 3/4", QPSK, 3 / 4),
+        ("16QAM 3/4", QAM16, 3 / 4),
+        ("64QAM 3/4", QAM64, 3 / 4),
+        ("64QAM 5/6", QAM64, 5 / 6),
+    ):
+        rows.append([label, transition_snr_db(modulation, rate)])
+    print(
+        render_table(
+            ["modcod", "sigma=2 boundary (dB)"],
+            rows,
+            float_format=".1f",
+            title="Table 1 — width-transition SNRs (CB hurts below the boundary)",
+        )
+    )
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .traces.associations import (
+        recommended_period_s,
+        summarize_durations,
+        synthesize_association_durations,
+    )
+
+    durations = synthesize_association_durations(args.sessions, rng=args.seed)
+    summary = summarize_durations(durations)
+    print(
+        render_table(
+            ["statistic", "value"],
+            [
+                ["sessions", summary.n_sessions],
+                ["median (min)", summary.median_s / 60.0],
+                ["90th percentile (min)", summary.p90_s / 60.0],
+                ["mean (min)", summary.mean_s / 60.0],
+                ["recommended T (min)", recommended_period_s(durations) / 60.0],
+            ],
+            float_format=".1f",
+            title="Association durations (synthetic CRAWDAD, Fig 9)",
+        )
+    )
+    return 0
+
+
+def _run_longrun(args: argparse.Namespace) -> int:
+    from .net import ChannelPlan, Network
+    from .sim.longrun import ChurnConfig, run_long_run
+
+    network = Network()
+    for index in range(4):
+        network.add_ap(f"AP{index + 1}")
+    network.set_explicit_conflicts(
+        [("AP1", "AP2"), ("AP2", "AP3"), ("AP3", "AP4")]
+    )
+    config = ChurnConfig(
+        duration_s=args.hours * 3600.0,
+        period_s=args.period_min * 60.0,
+        seed=args.seed,
+    )
+    result = run_long_run(network, ChannelPlan().subset(6), config)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["duration (h)", args.hours],
+                ["re-allocation period (min)", args.period_min],
+                ["mean throughput (Mbps)", result.mean_throughput_mbps],
+                ["peak throughput (Mbps)", result.peak_throughput_mbps],
+                ["client arrivals", result.n_arrivals],
+                ["client departures", result.n_departures],
+                ["re-allocations", result.n_reallocations],
+                ["switch downtime (s)", result.downtime_s],
+            ],
+            float_format=".1f",
+            title="Long-run churned operation",
+        )
+    )
+    return 0
+
+
+_HANDLERS = {
+    "scenario": _run_scenario,
+    "mobility": _run_mobility,
+    "transitions": _run_transitions,
+    "trace": _run_trace,
+    "longrun": _run_longrun,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Global constants and configuration objects for the ACORN reproduction.
+
+The numbers here are either taken directly from the paper / the 802.11n
+standard (subcarrier counts, noise-floor formula inputs, the epsilon
+stopping threshold) or are conventional radio-engineering defaults (noise
+figure, path-loss exponent) used by the simulated testbed substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "THERMAL_NOISE_DBM_PER_HZ",
+    "DEFAULT_NOISE_FIGURE_DB",
+    "CB_SUBCARRIER_PENALTY_DB",
+    "MAX_TX_POWER_DBM",
+    "DEFAULT_PACKET_SIZE_BYTES",
+    "ACORN_EPSILON",
+    "ACORN_PERIOD_SECONDS",
+    "PathLossModel",
+    "SimulationConfig",
+    "make_rng",
+]
+
+# Johnson-Nyquist thermal noise density at ~290 K (dBm per Hz of bandwidth).
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+# Receiver noise figure added on top of the thermal floor. Commodity
+# 802.11n cards are typically 5-7 dB; the exact value shifts every SNR by a
+# constant and does not change any comparison in the paper.
+DEFAULT_NOISE_FIGURE_DB = 6.0
+
+# The headline PHY effect (Section 3.1): with channel bonding the same total
+# transmit power is spread across 108 instead of 52 data subcarriers, a
+# ~3 dB (52 %) reduction in per-subcarrier energy, and the total noise floor
+# rises 3 dB with the doubled bandwidth. Net effect on per-subcarrier SNR:
+CB_SUBCARRIER_PENALTY_DB = 3.0
+
+# 802.11n mandates the same maximum transmit power for 20 and 40 MHz.
+MAX_TX_POWER_DBM = 23.0
+
+# Packet size used throughout the paper's experiments (Sec 3.1: 1500-byte
+# packets) and in the Eq. 6 PER computation.
+DEFAULT_PACKET_SIZE_BYTES = 1500
+
+# Algorithm 2 stopping threshold: stop when the aggregate throughput grows
+# by 5 % or less between iterations (Section 4.2, "ε = 1.05").
+ACORN_EPSILON = 1.05
+
+# Channel-allocation periodicity chosen from the CRAWDAD association-trace
+# analysis (Fig 9: median association ≈ 31 min) — run every 30 minutes.
+ACORN_PERIOD_SECONDS = 30 * 60
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with optional log-normal shadowing.
+
+    ``PL(d) = pl0_db + 10 * exponent * log10(d / d0) + X_sigma``
+
+    Parameters
+    ----------
+    pl0_db:
+        Path loss at the reference distance, in dB. The default (46.7 dB)
+        is free-space loss at 1 m for 5.2 GHz.
+    exponent:
+        Path-loss exponent. 3.0 is typical for indoor enterprise
+        deployments with walls (the paper's testbed spans indoor and
+        outdoor links).
+    reference_m:
+        Reference distance d0, in metres.
+    shadowing_sigma_db:
+        Standard deviation of log-normal shadowing, in dB. Zero disables
+        shadowing (deterministic loss).
+    """
+
+    pl0_db: float = 46.7
+    exponent: float = 3.0
+    reference_m: float = 1.0
+    shadowing_sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigurationError(
+                f"path-loss exponent must be positive, got {self.exponent}"
+            )
+        if self.reference_m <= 0:
+            raise ConfigurationError(
+                f"reference distance must be positive, got {self.reference_m}"
+            )
+        if self.shadowing_sigma_db < 0:
+            raise ConfigurationError(
+                "shadowing sigma must be non-negative, got "
+                f"{self.shadowing_sigma_db}"
+            )
+
+    def loss_db(self, distance_m: float, rng: "np.random.Generator | None" = None) -> float:
+        """Path loss in dB at ``distance_m`` metres.
+
+        Distances below the reference distance are clamped to it (the
+        log-distance model is not meaningful in the near field).
+        """
+        if distance_m < 0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance_m}")
+        d = max(distance_m, self.reference_m)
+        loss = self.pl0_db + 10.0 * self.exponent * np.log10(d / self.reference_m)
+        if self.shadowing_sigma_db > 0 and rng is not None:
+            loss += rng.normal(0.0, self.shadowing_sigma_db)
+        return float(loss)
+
+
+@dataclass
+class SimulationConfig:
+    """Bundle of knobs shared by the testbed-substrate simulations."""
+
+    seed: int = 2010
+    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB
+    max_tx_power_dbm: float = MAX_TX_POWER_DBM
+    packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    path_loss: PathLossModel = field(default_factory=PathLossModel)
+
+    def __post_init__(self) -> None:
+        if self.packet_size_bytes <= 0:
+            raise ConfigurationError(
+                f"packet size must be positive, got {self.packet_size_bytes}"
+            )
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator seeded from this configuration."""
+        return make_rng(self.seed)
+
+
+def make_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Normalise ``seed`` into a numpy ``Generator``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

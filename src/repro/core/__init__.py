@@ -1,0 +1,40 @@
+"""ACORN: the paper's primary contribution.
+
+Joint user association (Algorithm 1) and CB-aware channel allocation
+(Algorithm 2), orchestrated by the :class:`~repro.core.controller.Acorn`
+controller with the paper's ε = 1.05 stopping rule and 30-minute
+periodicity.
+"""
+
+from .beacon import Beacon, gather_beacon
+from .association import (
+    association_utility,
+    choose_ap,
+    throughput_with_mbps,
+    throughput_without_mbps,
+)
+from .allocation import AllocationResult, allocate_channels, random_assignment
+from .controller import Acorn, AcornResult
+from .iapp import ApAnnouncement, IappRegistry
+from .refinement import RefinementResult, refine_associations
+from .scanner import ChannelScanner, ScanningThroughputModel
+
+__all__ = [
+    "Beacon",
+    "gather_beacon",
+    "association_utility",
+    "choose_ap",
+    "throughput_with_mbps",
+    "throughput_without_mbps",
+    "AllocationResult",
+    "allocate_channels",
+    "random_assignment",
+    "Acorn",
+    "AcornResult",
+    "ApAnnouncement",
+    "IappRegistry",
+    "ChannelScanner",
+    "ScanningThroughputModel",
+    "RefinementResult",
+    "refine_associations",
+]

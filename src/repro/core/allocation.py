@@ -1,0 +1,234 @@
+"""Algorithm 2: ACORN's channel bonding selection.
+
+Iterative max-rank greedy over the colour palette: starting from a
+random assignment, every AP that has not yet switched this round
+estimates the aggregate throughput it could reach on each colour (other
+APs held fixed); the AP offering the largest improvement ("rank") wins
+the switch. Rounds repeat until no AP improves, or the aggregate grows
+by less than the ε = 1.05 factor between rounds. The paper proves the
+worst-case approximation ratio is O(1/(Δ+1)) — and Fig 14 (reproduced in
+``benchmarks/test_fig14_approximation.py``) shows practice is far
+better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..config import ACORN_EPSILON, make_rng
+from ..errors import AllocationError
+from ..net.channels import Channel, ChannelPlan
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+
+__all__ = [
+    "SwitchEvent",
+    "AllocationResult",
+    "random_assignment",
+    "greedy_allocate",
+    "allocate_channels",
+]
+
+EvaluateFn = Callable[[Mapping[str, Channel]], float]
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """One channel switch performed by the allocator."""
+
+    ap_id: str
+    channel: Channel
+    aggregate_mbps: float
+    round_index: int
+
+
+@dataclass
+class AllocationResult:
+    """Final assignment plus the optimisation trace."""
+
+    assignment: Dict[str, Channel]
+    aggregate_mbps: float
+    rounds: int
+    evaluations: int
+    history: List[SwitchEvent] = field(default_factory=list)
+
+    def channel_of(self, ap_id: str) -> Channel:
+        """The colour assigned to an AP."""
+        try:
+            return self.assignment[ap_id]
+        except KeyError:
+            raise AllocationError(f"AP {ap_id!r} not in the assignment") from None
+
+
+def random_assignment(
+    ap_ids: Sequence[str],
+    plan: ChannelPlan,
+    rng: "np.random.Generator | int | None" = None,
+) -> Dict[str, Channel]:
+    """The paper's initialisation: each AP draws a random 20/40 colour."""
+    rng = make_rng(rng)
+    palette = plan.all_channels()
+    if not palette:
+        raise AllocationError("the channel plan is empty")
+    return {
+        ap_id: palette[int(rng.integers(0, len(palette)))]
+        for ap_id in ap_ids
+    }
+
+
+def greedy_allocate(
+    ap_ids: Sequence[str],
+    palette: Sequence[Channel],
+    evaluate: EvaluateFn,
+    initial: Mapping[str, Channel],
+    epsilon: float = ACORN_EPSILON,
+    max_rounds: int = 20,
+) -> AllocationResult:
+    """The core of Algorithm 2, decoupled from the network model.
+
+    ``evaluate`` maps a complete assignment to the aggregate throughput
+    estimate; decoupling it lets callers substitute a *distorted*
+    estimator (e.g. the no-SNR-calibration ablation) while measuring the
+    truth separately.
+    """
+    if epsilon < 1.0:
+        raise AllocationError(f"epsilon is a growth factor >= 1, got {epsilon}")
+    if not ap_ids:
+        raise AllocationError("no APs to allocate")
+    missing = [ap for ap in ap_ids if ap not in initial]
+    if missing:
+        raise AllocationError(f"initial assignment misses APs {missing}")
+    assignment: Dict[str, Channel] = {ap: initial[ap] for ap in ap_ids}
+    aggregate = evaluate(assignment)
+    evaluations = 1
+    history: List[SwitchEvent] = []
+    rounds = 0
+    for round_index in range(max_rounds):
+        rounds = round_index + 1
+        round_start = aggregate
+        remaining = list(ap_ids)
+        improved_this_round = False
+        while remaining:
+            best: Optional[Tuple[float, str, Channel, float]] = None
+            for ap_id in remaining:
+                for channel in palette:
+                    if channel == assignment[ap_id]:
+                        candidate_aggregate = aggregate
+                    else:
+                        trial = dict(assignment)
+                        trial[ap_id] = channel
+                        candidate_aggregate = evaluate(trial)
+                        evaluations += 1
+                    rank = candidate_aggregate - aggregate
+                    if best is None or rank > best[0] + 1e-12:
+                        best = (rank, ap_id, channel, candidate_aggregate)
+            assert best is not None
+            rank, winner, channel, new_aggregate = best
+            if rank <= 1e-9:
+                # No remaining AP can improve the aggregate: the round ends.
+                break
+            assignment[winner] = channel
+            aggregate = new_aggregate
+            remaining.remove(winner)
+            improved_this_round = True
+            history.append(
+                SwitchEvent(
+                    ap_id=winner,
+                    channel=channel,
+                    aggregate_mbps=aggregate,
+                    round_index=round_index,
+                )
+            )
+        if not improved_this_round:
+            break
+        if round_start > 0 and aggregate < epsilon * round_start:
+            # Less than (epsilon - 1) relative growth this round: stop.
+            break
+    return AllocationResult(
+        assignment=assignment,
+        aggregate_mbps=aggregate,
+        rounds=rounds,
+        evaluations=evaluations,
+        history=history,
+    )
+
+
+def allocate_channels(
+    network: Network,
+    graph: nx.Graph,
+    plan: ChannelPlan,
+    model: ThroughputModel,
+    associations: Optional[Mapping[str, str]] = None,
+    initial: Optional[Mapping[str, Channel]] = None,
+    epsilon: float = ACORN_EPSILON,
+    max_rounds: int = 20,
+    rng: "np.random.Generator | int | None" = None,
+    decision_model: Optional[ThroughputModel] = None,
+    restarts: int = 1,
+) -> AllocationResult:
+    """Run Algorithm 2 against a network.
+
+    Parameters
+    ----------
+    associations:
+        Client→AP mapping to optimise for; defaults to the network's
+        current associations.
+    initial:
+        Starting assignment; defaults to the paper's random draw.
+    decision_model:
+        Throughput model used for the *decisions* (ACORN's estimator);
+        defaults to ``model``. The returned ``aggregate_mbps`` is always
+        re-measured with ``model`` — so an ablated estimator can be
+        scored against ground truth.
+    restarts:
+        Multi-start extension: run the greedy from this many independent
+        random initial assignments (plus ``initial`` if given) and keep
+        the best outcome. 1 reproduces the paper's single run; the
+        gradient-descent analogy in §4.2 ("can be trapped in a local
+        extremum") is exactly what extra starts hedge against.
+    """
+    if restarts < 1:
+        raise AllocationError(f"restarts must be >= 1, got {restarts}")
+    ap_ids = network.ap_ids
+    generator = make_rng(rng)
+    deciding = decision_model if decision_model is not None else model
+
+    def evaluate(assignment: Mapping[str, Channel]) -> float:
+        return deciding.aggregate_mbps(
+            network, graph, assignment=dict(assignment), associations=associations
+        )
+
+    starts: List[Mapping[str, Channel]] = []
+    if initial is not None:
+        starts.append(initial)
+    while len(starts) < restarts:
+        starts.append(random_assignment(ap_ids, plan, generator))
+
+    best: Optional[AllocationResult] = None
+    total_evaluations = 0
+    for start in starts:
+        result = greedy_allocate(
+            ap_ids,
+            plan.all_channels(),
+            evaluate,
+            start,
+            epsilon=epsilon,
+            max_rounds=max_rounds,
+        )
+        total_evaluations += result.evaluations
+        if best is None or result.aggregate_mbps > best.aggregate_mbps:
+            best = result
+    assert best is not None
+    best.evaluations = total_evaluations
+    if deciding is not model:
+        best.aggregate_mbps = model.aggregate_mbps(
+            network,
+            graph,
+            assignment=best.assignment,
+            associations=associations,
+        )
+    return best

@@ -1,0 +1,122 @@
+"""Algorithm 1: ACORN user association.
+
+A newly arriving client u evaluates, for every AP i in its serving set
+A_u, the utility (Eq. 4)
+
+``U(u, i) = K_i * X^i_w,u + Σ_{j ∈ A_u, j≠i} (K_j − 1) * X^j_wo,u``
+
+— the total throughput of the chosen cell plus the total throughput the
+*other* cells retain without u — and associates with the argmax. This is
+deliberately non-selfish: a poor client ends up grouped with
+similar-quality clients, where it minimises the network-wide damage from
+the 802.11 performance anomaly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import AssociationError
+from ..net.channels import Channel
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+from .beacon import Beacon, gather_beacon
+
+__all__ = [
+    "throughput_with_mbps",
+    "throughput_without_mbps",
+    "association_utility",
+    "choose_ap",
+]
+
+
+def _packet_mbits(model: ThroughputModel) -> float:
+    return 8 * model.packet_bytes / 1e6
+
+
+def throughput_with_mbps(beacon: Beacon, model: ThroughputModel) -> float:
+    """X^i_w,u = M_i / ATD_i — per-client throughput with u on board."""
+    if not math.isfinite(beacon.atd_s) or beacon.atd_s <= 0:
+        return 0.0
+    return beacon.m_share / beacon.atd_s * _packet_mbits(model)
+
+
+def throughput_without_mbps(beacon: Beacon, model: ThroughputModel) -> float:
+    """X^i_wo,u = M_i / (ATD_i − d^i_u) — per-client throughput without u.
+
+    Undefined (returned as 0) when u would be the only client, matching
+    the (K_j − 1) = 0 weight it receives in Eq. 4.
+    """
+    remaining = beacon.atd_s - beacon.prospective_delay_s
+    if not math.isfinite(remaining) or remaining <= 0:
+        return 0.0
+    return beacon.m_share / remaining * _packet_mbits(model)
+
+
+def association_utility(
+    candidate_ap: str,
+    beacons: Mapping[str, Beacon],
+    model: ThroughputModel,
+) -> float:
+    """Eq. 4 for one candidate AP, in Mbps.
+
+    ``beacons`` holds one beacon per AP in the client's serving set A_u.
+    """
+    if candidate_ap not in beacons:
+        raise AssociationError(
+            f"no beacon for candidate AP {candidate_ap!r}"
+        )
+    own = beacons[candidate_ap]
+    utility = own.n_clients * throughput_with_mbps(own, model)
+    for ap_id, beacon in beacons.items():
+        if ap_id == candidate_ap:
+            continue
+        others = beacon.n_clients - 1
+        if others <= 0:
+            continue
+        utility += others * throughput_without_mbps(beacon, model)
+    return utility
+
+
+def choose_ap(
+    network: Network,
+    graph: nx.Graph,
+    model: ThroughputModel,
+    client_id: str,
+    candidates: Optional[Sequence[str]] = None,
+    assignment: Optional[Mapping[str, Channel]] = None,
+    min_snr20_db: "float | None" = None,
+) -> Tuple[str, Dict[str, float]]:
+    """Run Algorithm 1 for one client.
+
+    Returns the chosen AP and the per-candidate utilities (useful for
+    reports). Raises :class:`AssociationError` when the client hears no
+    AP at a workable SNR.
+    """
+    if min_snr20_db is None:
+        from ..link.adaptation import serviceability_floor_db
+
+        min_snr20_db = serviceability_floor_db(model.packet_bytes)
+    if candidates is None:
+        candidates = network.candidate_aps(client_id, min_snr20_db)
+    else:
+        candidates = tuple(candidates)
+    if not candidates:
+        raise AssociationError(
+            f"client {client_id!r} has no candidate APs"
+        )
+    beacons = {
+        ap_id: gather_beacon(network, graph, model, ap_id, client_id, assignment)
+        for ap_id in candidates
+    }
+    utilities = {
+        ap_id: association_utility(ap_id, beacons, model)
+        for ap_id in candidates
+    }
+    # Deterministic argmax: highest utility, ties broken by AP id order
+    # within the candidate tuple.
+    best_ap = max(candidates, key=lambda ap_id: (utilities[ap_id],))
+    return best_ap, utilities

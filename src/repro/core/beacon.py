@@ -1,0 +1,94 @@
+"""The modified beacon carrying ACORN's association metrics.
+
+Section 4.1: the AP broadcasts, in its beacon, the number of associated
+clients K_i (counting the prospective client u), the per-client
+transmission delays d_cl, the aggregate transmission delay ATD_i, and its
+channel access share M_i. From these the client derives the per-client
+throughput with and without itself associated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import networkx as nx
+
+from ..errors import AssociationError
+from ..mac.airtime import medium_share
+from ..net.channels import Channel
+from ..net.interference import contenders
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+
+__all__ = ["Beacon", "gather_beacon"]
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """The association-relevant contents of one AP's beacon, as seen by u.
+
+    Attributes
+    ----------
+    ap_id:
+        The transmitting AP.
+    n_clients:
+        K_i — the AP's client count *including* the prospective client.
+    client_delays_s:
+        d_cl per currently associated client.
+    prospective_delay_s:
+        d_u — the prospective client's own delay at this AP (measured
+        by briefly associating, per the paper's methodology).
+    atd_s:
+        ATD_i — aggregate transmission delay including d_u.
+    m_share:
+        M_i — the AP's channel access share, 1/(|con_i| + 1).
+    """
+
+    ap_id: str
+    n_clients: int
+    client_delays_s: Mapping[str, float]
+    prospective_delay_s: float
+    atd_s: float
+    m_share: float
+
+
+def gather_beacon(
+    network: Network,
+    graph: nx.Graph,
+    model: ThroughputModel,
+    ap_id: str,
+    client_id: str,
+    assignment: Optional[Mapping[str, Channel]] = None,
+) -> Beacon:
+    """Compute the beacon AP ``ap_id`` would expose to client ``client_id``.
+
+    The prospective client is counted into K_i and ATD_i exactly as the
+    paper specifies (K_j "was defined as the number of clients associated
+    with AP j, including client u").
+    """
+    merged: Dict[str, Channel] = dict(network.channel_assignment)
+    if assignment:
+        merged.update(assignment)
+    channel = merged.get(ap_id)
+    if channel is None:
+        raise AssociationError(
+            f"AP {ap_id!r} has no channel assigned; allocate before associating"
+        )
+    existing = [
+        client for client in network.clients_of(ap_id) if client != client_id
+    ]
+    delays = {
+        client: model.client_delay(network, ap_id, client, channel)
+        for client in existing
+    }
+    prospective = model.client_delay(network, ap_id, client_id, channel)
+    m_share = medium_share(len(contenders(graph, ap_id, merged)))
+    return Beacon(
+        ap_id=ap_id,
+        n_clients=len(existing) + 1,
+        client_delays_s=delays,
+        prospective_delay_s=prospective,
+        atd_s=sum(delays.values()) + prospective,
+        m_share=m_share,
+    )

@@ -1,0 +1,265 @@
+"""The ACORN controller: joint association + allocation orchestration.
+
+Ties Algorithms 1 and 2 together the way the paper's Click-based
+implementation does: APs start on random channels, arriving clients run
+the Eq. 4 association, and the channel allocator runs (with periodicity
+T = 30 min chosen from the CRAWDAD association-duration analysis). The
+controller also implements the *opportunistic width* mode used in the
+mobility experiment: an AP holding a bonded allocation may fall back to
+its primary 20 MHz channel whenever its current clients are better
+served narrow — without changing the interference it projects on
+neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..config import ACORN_EPSILON, ACORN_PERIOD_SECONDS, make_rng
+from ..errors import AssociationError
+from ..net.channels import Channel, ChannelPlan
+from ..net.interference import build_interference_graph
+from ..net.throughput import NetworkReport, ThroughputModel
+from ..net.topology import Network
+from .allocation import AllocationResult, allocate_channels, random_assignment
+from .association import choose_ap
+
+__all__ = ["Acorn", "AcornResult"]
+
+
+@dataclass
+class AcornResult:
+    """Outcome of one full ACORN configuration pass."""
+
+    report: NetworkReport
+    allocation: AllocationResult
+    association_order: List[str] = field(default_factory=list)
+
+    @property
+    def total_mbps(self) -> float:
+        """Aggregate network throughput of the final configuration."""
+        return self.report.total_mbps
+
+
+class Acorn:
+    """Auto-configuration controller for one enterprise WLAN.
+
+    Parameters
+    ----------
+    network:
+        The WLAN to configure (mutated in place).
+    plan:
+        Available channels.
+    model:
+        Throughput model (ground truth *and* estimator, as in the paper).
+    epsilon:
+        Algorithm 2 stopping factor.
+    period_s:
+        Re-allocation periodicity (informational; driven externally by
+        the mobility/long-run simulations).
+    seed:
+        Seed for the random initial channel draw.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        plan: ChannelPlan,
+        model: Optional[ThroughputModel] = None,
+        epsilon: float = ACORN_EPSILON,
+        period_s: float = ACORN_PERIOD_SECONDS,
+        seed: "int | np.random.Generator | None" = 2010,
+        min_snr20_db: "float | None" = None,
+    ) -> None:
+        self.network = network
+        self.plan = plan
+        self.model = model if model is not None else ThroughputModel()
+        self.epsilon = epsilon
+        self.period_s = period_s
+        if min_snr20_db is None:
+            # Admission floor: below this even MCS 0 cannot deliver
+            # and an associated client would zero out its cell.
+            from ..link.adaptation import serviceability_floor_db
+
+            min_snr20_db = serviceability_floor_db(self.model.packet_bytes)
+        self.min_snr20_db = min_snr20_db
+        self._rng = make_rng(seed)
+        self._graph: Optional[nx.Graph] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The current interference graph (rebuilt on demand)."""
+        if self._graph is None:
+            self._graph = build_interference_graph(self.network)
+        return self._graph
+
+    def invalidate_graph(self) -> None:
+        """Force an interference-graph rebuild (topology/assoc changed)."""
+        self._graph = None
+
+    # ------------------------------------------------------------------
+    def assign_initial_channels(
+        self, initial: Optional[Mapping[str, Channel]] = None
+    ) -> Dict[str, Channel]:
+        """Give every AP a starting colour (random unless provided)."""
+        if initial is None:
+            initial = random_assignment(self.network.ap_ids, self.plan, self._rng)
+        for ap_id, channel in initial.items():
+            self.network.set_channel(ap_id, channel)
+        return dict(initial)
+
+    def admit_client(self, client_id: str) -> str:
+        """Algorithm 1 for one arriving client; associates and returns the AP."""
+        ap_id, _ = choose_ap(
+            self.network,
+            self.graph,
+            self.model,
+            client_id,
+            min_snr20_db=self.min_snr20_db,
+        )
+        self.network.associate(client_id, ap_id)
+        self.invalidate_graph()
+        return ap_id
+
+    def admit_clients(self, order: Optional[Sequence[str]] = None) -> List[str]:
+        """Admit clients one by one (the paper activates them randomly).
+
+        Returns the arrival order used. Clients with no candidate AP are
+        skipped (they stay unassociated), mirroring a client that hears
+        no beacon.
+        """
+        if order is None:
+            order = list(self.network.client_ids)
+            self._rng.shuffle(order)
+        admitted = []
+        for client_id in order:
+            try:
+                self.admit_client(client_id)
+            except AssociationError:
+                continue
+            admitted.append(client_id)
+        return list(order)
+
+    def allocate(
+        self, initial: Optional[Mapping[str, Channel]] = None
+    ) -> AllocationResult:
+        """Algorithm 2 over the current associations; applies the result."""
+        result = allocate_channels(
+            self.network,
+            self.graph,
+            self.plan,
+            self.model,
+            initial=initial if initial is not None else self.network.channel_assignment,
+            epsilon=self.epsilon,
+            rng=self._rng,
+        )
+        for ap_id, channel in result.assignment.items():
+            self.network.set_channel(ap_id, channel)
+        return result
+
+    def configure(
+        self,
+        client_order: Optional[Sequence[str]] = None,
+        joint_rounds: int = 2,
+        initial: Optional[Mapping[str, Channel]] = None,
+        refine: bool = False,
+    ) -> AcornResult:
+        """One full auto-configuration pass.
+
+        1. Random initial channels.
+        2. Clients arrive one by one and associate (Algorithm 1).
+        3. Channel allocation (Algorithm 2).
+        4. Because association and allocation are coupled under CB,
+           steps 2-3 repeat up to ``joint_rounds`` times or until the
+           associations stabilise — this is the periodic re-run the
+           paper schedules every T = 30 min, compressed in time.
+
+        ``refine=True`` adds the post-pass association local search
+        (:func:`repro.core.refinement.refine_associations`) followed by
+        one more allocation — an extension beyond the paper that
+        escapes the sequential-greedy basins documented in
+        EXPERIMENTS.md. The default keeps the paper-faithful pipeline.
+        """
+        self.assign_initial_channels(initial)
+        order = self.admit_clients(client_order)
+        allocation = self.allocate()
+        for _ in range(max(0, joint_rounds - 1)):
+            previous = dict(self.network.associations)
+            self.network.associations.clear()
+            self.invalidate_graph()
+            self.admit_clients(order)
+            allocation = self.allocate()
+            if self.network.associations == previous:
+                break
+        if refine:
+            from .refinement import refine_associations
+
+            refinement = refine_associations(
+                self.network,
+                self.graph,
+                self.model,
+                min_snr20_db=self.min_snr20_db,
+            )
+            if refinement.n_moves:
+                self.invalidate_graph()
+                allocation = self.allocate()
+        report = self.model.evaluate(self.network, self.graph)
+        return AcornResult(
+            report=report,
+            allocation=allocation,
+            association_order=list(order),
+        )
+
+    # ------------------------------------------------------------------
+    def opportunistic_width(
+        self,
+        ap_id: str,
+        current: Optional[Channel] = None,
+        hysteresis: float = 0.0,
+    ) -> Channel:
+        """The mobility-mode width decision for one AP.
+
+        If the AP holds a bonded colour, compare its isolated cell
+        throughput using the full 40 MHz against the primary 20 MHz
+        alone and return the better channel. Neighbours are unaffected:
+        both options occupy (a subset of) the same allocated spectrum.
+
+        Parameters
+        ----------
+        current:
+            The width currently in use (must be the allocation or its
+            primary). With ``hysteresis > 0``, switching away from it
+            requires the alternative to win by that relative margin —
+            suppressing width flapping when the link quality hovers at
+            the crossover.
+        """
+        if hysteresis < 0:
+            raise AssociationError(
+                f"hysteresis must be non-negative, got {hysteresis}"
+            )
+        assigned = self.network.channel_assignment.get(ap_id)
+        if assigned is None:
+            raise AssociationError(f"AP {ap_id!r} has no channel to adapt")
+        if not assigned.is_bonded:
+            return assigned
+        narrow_channel = assigned.primary_only()
+        if current is not None and current not in (assigned, narrow_channel):
+            raise AssociationError(
+                f"current channel {current} is not part of AP {ap_id!r}'s "
+                f"allocation {assigned}"
+            )
+        wide = self.model.isolated_ap_throughput_mbps(self.network, ap_id, assigned)
+        narrow = self.model.isolated_ap_throughput_mbps(
+            self.network, ap_id, narrow_channel
+        )
+        if current is not None and hysteresis > 0:
+            staying_wide = current == assigned
+            if staying_wide:
+                return narrow_channel if narrow > wide * (1 + hysteresis) else assigned
+            return assigned if wide > narrow * (1 + hysteresis) else narrow_channel
+        return assigned if wide >= narrow else narrow_channel

@@ -1,0 +1,124 @@
+"""IAPP-style inter-AP coordination (IEEE 802.11F).
+
+Section 4.2: to estimate throughput on a candidate channel an AP must
+know "the number of APs already residing on this new channel", which
+"is possible either with help from an administrative authority or the
+Inter Access Point Protocol (IAPP)". This module provides that
+substrate: a registry APs announce their state to and query neighbour
+occupancy from, with a message log so coordination overhead can be
+inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import AllocationError, TopologyError
+from ..net.channels import Channel
+
+__all__ = ["ApAnnouncement", "IappRegistry"]
+
+
+@dataclass(frozen=True)
+class ApAnnouncement:
+    """One AP's advertised state."""
+
+    ap_id: str
+    channel: Channel
+    client_ids: Tuple[str, ...]
+    sequence: int
+
+
+@dataclass
+class IappRegistry:
+    """The coordination bus: announcements in, occupancy queries out."""
+
+    _state: Dict[str, ApAnnouncement] = field(default_factory=dict)
+    _log: List[ApAnnouncement] = field(default_factory=list)
+    _sequence: int = 0
+
+    # ------------------------------------------------------------------
+    # Announcements
+    # ------------------------------------------------------------------
+    def announce(
+        self,
+        ap_id: str,
+        channel: Channel,
+        client_ids: "Tuple[str, ...] | List[str]" = (),
+    ) -> ApAnnouncement:
+        """Publish (or refresh) an AP's channel and client set."""
+        if not isinstance(channel, Channel):
+            raise TopologyError(f"expected a Channel, got {channel!r}")
+        self._sequence += 1
+        announcement = ApAnnouncement(
+            ap_id=ap_id,
+            channel=channel,
+            client_ids=tuple(client_ids),
+            sequence=self._sequence,
+        )
+        self._state[ap_id] = announcement
+        self._log.append(announcement)
+        return announcement
+
+    def withdraw(self, ap_id: str) -> None:
+        """Remove an AP (power-down); unknown APs raise."""
+        if ap_id not in self._state:
+            raise AllocationError(f"AP {ap_id!r} never announced")
+        del self._state[ap_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def known_aps(self) -> Tuple[str, ...]:
+        """APs with a live announcement."""
+        return tuple(self._state)
+
+    def announcement(self, ap_id: str) -> ApAnnouncement:
+        """The latest announcement of one AP."""
+        try:
+            return self._state[ap_id]
+        except KeyError:
+            raise AllocationError(f"AP {ap_id!r} never announced") from None
+
+    def occupants_of(
+        self, channel: Channel, exclude: Optional[str] = None
+    ) -> Set[str]:
+        """APs whose advertised channel conflicts with ``channel``.
+
+        This is exactly the occupancy count Algorithm 2's estimator
+        needs when probing a candidate colour.
+        """
+        if not isinstance(channel, Channel):
+            raise TopologyError(f"expected a Channel, got {channel!r}")
+        return {
+            ap_id
+            for ap_id, announcement in self._state.items()
+            if ap_id != exclude and channel.conflicts_with(announcement.channel)
+        }
+
+    def co_channel_count(self, ap_id: str, channel: Channel) -> int:
+        """|con| for AP ``ap_id`` if it moved to ``channel``."""
+        return len(self.occupants_of(channel, exclude=ap_id))
+
+    def channel_map(self) -> Dict[str, Channel]:
+        """A snapshot of every AP's advertised channel."""
+        return {
+            ap_id: announcement.channel
+            for ap_id, announcement in self._state.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def message_count(self) -> int:
+        """Total announcements ever published (coordination overhead)."""
+        return len(self._log)
+
+    def history(self, ap_id: Optional[str] = None) -> List[ApAnnouncement]:
+        """The announcement log, optionally filtered to one AP."""
+        if ap_id is None:
+            return list(self._log)
+        return [a for a in self._log if a.ap_id == ap_id]

@@ -1,0 +1,120 @@
+"""Association refinement: local search over client moves.
+
+The paper's Algorithm 1 admits clients one at a time and never revisits
+a decision; EXPERIMENTS.md documents a topology class (clients poor to
+one AP but good to another) where that sequential greedy lands in a bad
+basin. The paper leaves this to "future investigations"; this module
+supplies the natural fix: after configuration, hill-climb on single
+client re-associations, accepting any move that raises the aggregate
+throughput, optionally re-running Algorithm 2 when associations
+changed. The result can only improve on the Eq. 4 outcome (moves are
+accepted only on strict improvement) and converges because the
+aggregate is bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import AssociationError
+from ..net.channels import Channel
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+
+__all__ = ["RefinementResult", "refine_associations"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of one refinement pass."""
+
+    associations: Dict[str, str]
+    aggregate_mbps: float
+    moves: List[Tuple[str, str, str]] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def n_moves(self) -> int:
+        """Accepted re-associations."""
+        return len(self.moves)
+
+
+def refine_associations(
+    network: Network,
+    graph: nx.Graph,
+    model: ThroughputModel,
+    min_snr20_db: Optional[float] = None,
+    max_rounds: int = 10,
+    improvement_epsilon: float = 1e-6,
+    apply: bool = True,
+) -> RefinementResult:
+    """Hill-climb on single-client moves until no move improves Y.
+
+    Each round scans every associated client against every alternative
+    candidate AP (the same serving set Algorithm 1 used) and performs
+    the best strictly improving move. Rounds repeat until a full scan
+    finds nothing, or ``max_rounds`` is hit.
+
+    Parameters
+    ----------
+    min_snr20_db:
+        Candidate-AP floor; defaults to the serviceability floor.
+    apply:
+        Write the refined associations back into ``network`` (default);
+        pass ``False`` for a what-if evaluation.
+    """
+    if max_rounds < 1:
+        raise AssociationError(f"max_rounds must be >= 1, got {max_rounds}")
+    if min_snr20_db is None:
+        from ..link.adaptation import serviceability_floor_db
+
+        min_snr20_db = serviceability_floor_db(model.packet_bytes)
+
+    associations: Dict[str, str] = dict(network.associations)
+    assignment: Dict[str, Channel] = dict(network.channel_assignment)
+    aggregate = model.aggregate_mbps(
+        network, graph, assignment=assignment, associations=associations
+    )
+    result = RefinementResult(
+        associations=associations, aggregate_mbps=aggregate, evaluations=1
+    )
+
+    for _ in range(max_rounds):
+        best_move: Optional[Tuple[float, str, str, str]] = None
+        for client_id, current_ap in list(associations.items()):
+            candidates = network.candidate_aps(client_id, min_snr20_db)
+            for target_ap in candidates:
+                if target_ap == current_ap:
+                    continue
+                if target_ap not in assignment:
+                    continue  # unconfigured AP cannot serve traffic
+                trial = dict(associations)
+                trial[client_id] = target_ap
+                value = model.aggregate_mbps(
+                    network, graph, assignment=assignment, associations=trial
+                )
+                result.evaluations += 1
+                gain = value - aggregate
+                if gain > improvement_epsilon and (
+                    best_move is None or gain > best_move[0]
+                ):
+                    best_move = (gain, client_id, current_ap, target_ap)
+        if best_move is None:
+            break
+        _, client_id, from_ap, to_ap = best_move
+        associations[client_id] = to_ap
+        aggregate += best_move[0]
+        result.moves.append((client_id, from_ap, to_ap))
+    # Re-measure exactly (gains were accumulated incrementally).
+    result.aggregate_mbps = model.aggregate_mbps(
+        network, graph, assignment=assignment, associations=associations
+    )
+    result.evaluations += 1
+    result.associations = associations
+    if apply:
+        for client_id, ap_id in associations.items():
+            network.associate(client_id, ap_id)
+    return result

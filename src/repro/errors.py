@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ACORN reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ChannelError",
+    "TopologyError",
+    "AssociationError",
+    "AllocationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulation or algorithm configuration was supplied."""
+
+
+class ChannelError(ReproError):
+    """An invalid channel, bonded pair, or channel-plan operation."""
+
+
+class TopologyError(ReproError):
+    """An inconsistent network topology (unknown AP/client, bad geometry)."""
+
+
+class AssociationError(ReproError):
+    """A user-association operation could not be completed."""
+
+
+class AllocationError(ReproError):
+    """A channel-allocation operation could not be completed."""

@@ -1,0 +1,17 @@
+"""Graph-colouring theory behind the allocation problem."""
+
+from .coloring import (
+    conflict_edges,
+    exact_chromatic_number,
+    has_k_coloring,
+    is_conflict_free,
+    worst_case_ratio,
+)
+
+__all__ = [
+    "is_conflict_free",
+    "conflict_edges",
+    "worst_case_ratio",
+    "has_k_coloring",
+    "exact_chromatic_number",
+]

@@ -1,0 +1,95 @@
+"""Colouring utilities for the NP-completeness and approximation analysis.
+
+Section 4.2 shows the allocation problem is NP-complete by reduction
+from decision graph colouring: an assignment reaches the isolation bound
+Y* exactly when the interference graph admits a conflict-free colouring
+with the available palette. These helpers check conflict-freeness,
+compute the worst-case 1/(Δ+1) factor, and solve small colouring
+instances exactly (for tests and the Fig 14 references).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Mapping, Tuple
+
+import networkx as nx
+
+from ..errors import AllocationError
+from ..net.channels import Channel
+
+__all__ = [
+    "is_conflict_free",
+    "conflict_edges",
+    "worst_case_ratio",
+    "has_k_coloring",
+    "exact_chromatic_number",
+]
+
+# Exhaustive colouring is exponential; refuse beyond this many nodes.
+_MAX_EXACT_NODES = 12
+
+
+def conflict_edges(
+    graph: nx.Graph, assignment: Mapping[str, Channel]
+) -> List[Tuple[str, str]]:
+    """Interference-graph edges whose endpoints hold conflicting colours."""
+    missing = [node for node in graph.nodes if node not in assignment]
+    if missing:
+        raise AllocationError(f"assignment misses APs {missing}")
+    conflicts = []
+    for a, b in graph.edges:
+        if assignment[a].conflicts_with(assignment[b]):
+            conflicts.append((a, b))
+    return conflicts
+
+
+def is_conflict_free(
+    graph: nx.Graph, assignment: Mapping[str, Channel]
+) -> bool:
+    """True when no interfering APs share spectrum — the Y*-achieving case."""
+    return not conflict_edges(graph, assignment)
+
+
+def worst_case_ratio(graph: nx.Graph) -> float:
+    """The paper's worst-case approximation factor 1/(Δ+1).
+
+    The worst local optimum of Algorithm 2 has every AP on literally the
+    same colour, each receiving a 1/(deg+1) share; the aggregate is then
+    at least Y*/(Δ+1).
+    """
+    if graph.number_of_nodes() == 0:
+        raise AllocationError("empty interference graph")
+    delta = max(degree for _, degree in graph.degree())
+    return 1.0 / (delta + 1.0)
+
+
+def has_k_coloring(graph: nx.Graph, k: int) -> bool:
+    """Exhaustively decide classic k-colourability (small graphs only)."""
+    if k < 0:
+        raise AllocationError(f"k must be non-negative, got {k}")
+    nodes = list(graph.nodes)
+    if not nodes:
+        return True
+    if k == 0:
+        return False
+    if len(nodes) > _MAX_EXACT_NODES:
+        raise AllocationError(
+            f"{len(nodes)} nodes exceeds the exact-colouring limit "
+            f"{_MAX_EXACT_NODES}"
+        )
+    for colouring in product(range(k), repeat=len(nodes)):
+        colour = dict(zip(nodes, colouring))
+        if all(colour[a] != colour[b] for a, b in graph.edges):
+            return True
+    return False
+
+
+def exact_chromatic_number(graph: nx.Graph) -> int:
+    """χ(G) by exhaustive search (small graphs only)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    for k in range(1, graph.number_of_nodes() + 1):
+        if has_k_coloring(graph, k):
+            return k
+    raise AllocationError("unreachable: every graph is n-colourable")

@@ -1,0 +1,20 @@
+"""Link-level models: budgets, the ACORN quality estimator, σ, rate control."""
+
+from .budget import LinkBudget
+from .estimator import LinkQualityEstimator, WidthEstimate
+from .quality import sigma, sigma_from_snr, transition_snr_db, cb_is_beneficial
+from .adaptation import RateController
+from .minstrel import MinstrelController, RateStats
+
+__all__ = [
+    "LinkBudget",
+    "LinkQualityEstimator",
+    "WidthEstimate",
+    "sigma",
+    "sigma_from_snr",
+    "transition_snr_db",
+    "cb_is_beneficial",
+    "RateController",
+    "MinstrelController",
+    "RateStats",
+]

@@ -1,0 +1,112 @@
+"""Link budget: transmit power and path loss to per-subcarrier SNR.
+
+A :class:`LinkBudget` captures everything static about an AP↔client
+radio path. The width-dependent per-subcarrier SNR (with its ~3 dB
+bonding penalty) falls out of :func:`repro.phy.noise.snr_per_subcarrier_db`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import (
+    DEFAULT_NOISE_FIGURE_DB,
+    MAX_TX_POWER_DBM,
+    PathLossModel,
+)
+from ..errors import ConfigurationError
+from ..phy.noise import snr_per_subcarrier_db
+from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ, OfdmParams
+
+__all__ = ["LinkBudget"]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static radio budget of one link.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power (the 802.11n maximum is the same for both widths).
+    path_loss_db:
+        Total propagation loss including antennas.
+    noise_figure_db:
+        Receiver noise figure.
+    """
+
+    tx_power_dbm: float = MAX_TX_POWER_DBM
+    path_loss_db: float = 95.0
+    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB
+
+    def __post_init__(self) -> None:
+        if self.path_loss_db < 0:
+            raise ConfigurationError(
+                f"path loss must be non-negative, got {self.path_loss_db}"
+            )
+
+    @classmethod
+    def from_distance(
+        cls,
+        distance_m: float,
+        model: "PathLossModel | None" = None,
+        tx_power_dbm: float = MAX_TX_POWER_DBM,
+        noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB,
+        rng: "np.random.Generator | None" = None,
+    ) -> "LinkBudget":
+        """Budget from geometry via a log-distance path-loss model."""
+        model = model if model is not None else PathLossModel()
+        return cls(
+            tx_power_dbm=tx_power_dbm,
+            path_loss_db=model.loss_db(distance_m, rng=rng),
+            noise_figure_db=noise_figure_db,
+        )
+
+    @classmethod
+    def from_snr20(
+        cls,
+        snr20_db: float,
+        tx_power_dbm: float = MAX_TX_POWER_DBM,
+        noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB,
+    ) -> "LinkBudget":
+        """Budget that yields a given per-subcarrier SNR on a 20 MHz channel.
+
+        Handy for building the paper's scenario topologies directly in
+        SNR terms ("a poor client at −2 dB") without inventing geometry.
+        """
+        # Solve for path loss: snr = tx - PL - 10log10(n_used) - N_subcarrier.
+        reference = snr_per_subcarrier_db(
+            tx_power_dbm, 0.0, OFDM_20MHZ, noise_figure_db
+        )
+        return cls(
+            tx_power_dbm=tx_power_dbm,
+            path_loss_db=reference - snr20_db,
+            noise_figure_db=noise_figure_db,
+        )
+
+    # ------------------------------------------------------------------
+    def subcarrier_snr_db(self, params: OfdmParams) -> float:
+        """Per-subcarrier Es/N0 when operating on numerology ``params``."""
+        return snr_per_subcarrier_db(
+            self.tx_power_dbm, self.path_loss_db, params, self.noise_figure_db
+        )
+
+    @property
+    def snr20_db(self) -> float:
+        """Per-subcarrier SNR on a 20 MHz channel (the canonical quality)."""
+        return self.subcarrier_snr_db(OFDM_20MHZ)
+
+    @property
+    def snr40_db(self) -> float:
+        """Per-subcarrier SNR with channel bonding (~3 dB below 20 MHz)."""
+        return self.subcarrier_snr_db(OFDM_40MHZ)
+
+    def with_tx_power(self, tx_power_dbm: float) -> "LinkBudget":
+        """A copy at a different transmit power (for power sweeps)."""
+        return LinkBudget(
+            tx_power_dbm=tx_power_dbm,
+            path_loss_db=self.path_loss_db,
+            noise_figure_db=self.noise_figure_db,
+        )

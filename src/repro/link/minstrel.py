@@ -1,0 +1,143 @@
+"""Closed-loop rate adaptation: a Minstrel-style sampling controller.
+
+The oracle controller (:mod:`repro.link.adaptation`) knows the SNR and
+picks the goodput-optimal MCS analytically — the clean stand-in for the
+vendor algorithm. Real cards cannot see the SNR-to-PER map; they learn
+it from packet outcomes. This module implements the Minstrel idea that
+most open-source drivers use: keep an EWMA success probability per
+rate, spend a small fraction of packets probing other rates, and send
+the rest at the current best expected-throughput rate.
+
+Tests drive it against the statistical truth of the analytical model
+and check it converges to (near) the oracle's choice — closing the loop
+between the two rate-control layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES, make_rng
+from ..errors import ConfigurationError
+from ..mcs.tables import MCS_TABLE, McsEntry
+from ..phy.mimo import MimoMode
+from ..phy.ofdm import OfdmParams
+
+__all__ = ["RateStats", "MinstrelController"]
+
+
+@dataclass
+class RateStats:
+    """EWMA outcome statistics for one candidate rate."""
+
+    attempts: int = 0
+    successes: int = 0
+    ewma_success: float = 1.0  # optimistic start, as Minstrel does
+
+    def record(self, ok: bool, weight: float) -> None:
+        """Fold one packet outcome into the EWMA."""
+        self.attempts += 1
+        if ok:
+            self.successes += 1
+        sample = 1.0 if ok else 0.0
+        self.ewma_success = (1.0 - weight) * self.ewma_success + weight * sample
+
+
+@dataclass
+class MinstrelController:
+    """Sampling rate control over the 802.11n MCS table.
+
+    Parameters
+    ----------
+    params:
+        Channel numerology (sets the nominal rates).
+    probe_fraction:
+        Share of transmissions spent probing non-best rates (~10 % in
+        the real Minstrel).
+    ewma_weight:
+        Weight of each new observation in the success EWMA.
+    modes:
+        MIMO modes whose MCS rows are candidates.
+    """
+
+    params: OfdmParams
+    probe_fraction: float = 0.1
+    ewma_weight: float = 0.15
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    modes: "tuple[MimoMode, ...]" = (MimoMode.STBC, MimoMode.SDM)
+    stats: Dict[int, RateStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probe_fraction < 1.0:
+            raise ConfigurationError(
+                f"probe fraction must be in [0, 1), got {self.probe_fraction}"
+            )
+        if not 0.0 < self.ewma_weight <= 1.0:
+            raise ConfigurationError(
+                f"ewma weight must be in (0, 1], got {self.ewma_weight}"
+            )
+        if not self.modes:
+            raise ConfigurationError("at least one MIMO mode is required")
+        stream_counts = {mode.n_streams for mode in self.modes}
+        self._candidates: List[McsEntry] = [
+            entry
+            for entry in MCS_TABLE.values()
+            if entry.n_streams in stream_counts
+        ]
+        for entry in self._candidates:
+            self.stats.setdefault(entry.index, RateStats())
+
+    # ------------------------------------------------------------------
+    def expected_throughput_mbps(self, entry: McsEntry) -> float:
+        """EWMA-estimated goodput of one rate."""
+        stats = self.stats[entry.index]
+        return entry.rate_mbps(self.params) * stats.ewma_success
+
+    @property
+    def best_entry(self) -> McsEntry:
+        """The current max-expected-throughput rate."""
+        return max(
+            self._candidates,
+            key=lambda entry: (self.expected_throughput_mbps(entry), -entry.index),
+        )
+
+    def choose(self, rng: "np.random.Generator | int | None" = None) -> McsEntry:
+        """Pick the rate for the next packet (probe or exploit)."""
+        rng = make_rng(rng)
+        if float(rng.random()) < self.probe_fraction:
+            index = int(rng.integers(0, len(self._candidates)))
+            return self._candidates[index]
+        return self.best_entry
+
+    def record(self, entry: McsEntry, ok: bool) -> None:
+        """Feed one packet outcome back."""
+        if entry.index not in self.stats:
+            raise ConfigurationError(
+                f"MCS {entry.index} is not a candidate of this controller"
+            )
+        self.stats[entry.index].record(ok, self.ewma_weight)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        success_probability,
+        n_packets: int = 2000,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> McsEntry:
+        """Drive the controller against a channel for ``n_packets``.
+
+        ``success_probability(entry) -> float`` is the channel's true
+        per-rate delivery probability (e.g. derived from the analytical
+        PER model). Returns the post-training best rate.
+        """
+        if n_packets <= 0:
+            raise ConfigurationError(f"n_packets must be positive, got {n_packets}")
+        rng = make_rng(rng)
+        for _ in range(n_packets):
+            entry = self.choose(rng)
+            ok = float(rng.random()) < success_probability(entry)
+            self.record(entry, ok)
+        return self.best_entry

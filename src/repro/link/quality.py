@@ -1,0 +1,119 @@
+"""The σ metric (Eq. 3) and the width-transition analysis behind Table 1.
+
+``σ = (1 - PER20) / (1 - PER40)`` compares packet delivery probability
+without and with channel bonding at the *same transmit power*. Since the
+40 MHz nominal rate is roughly double (R40/R20 = 108/52 ≈ 2.08), bonding
+yields a net throughput *loss* whenever σ exceeds that rate ratio — the
+paper's inequality 3, with the threshold rounded to 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES
+from ..errors import ConfigurationError
+from ..phy.modulation import Modulation
+from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from .estimator import LinkQualityEstimator
+
+__all__ = [
+    "RATE_RATIO_40_TO_20",
+    "sigma",
+    "sigma_from_snr",
+    "cb_is_beneficial",
+    "transition_snr_db",
+    "sigma_cap",
+]
+
+# Nominal rate ratio between widths for the same modulation-and-coding:
+# 108 vs 52 data subcarriers.
+RATE_RATIO_40_TO_20 = OFDM_40MHZ.n_data / OFDM_20MHZ.n_data
+
+# Visualisation cap used by the paper's Fig 5 ("when σ > 10, we cap it").
+SIGMA_CAP = 10.0
+
+
+def sigma(per20: float, per40: float) -> float:
+    """σ from measured PERs (Eq. 3).
+
+    Returns ``inf`` when the 40 MHz link delivers nothing while the
+    20 MHz link still does.
+    """
+    for name, value in (("per20", per20), ("per40", per40)):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    delivered20 = 1.0 - per20
+    delivered40 = 1.0 - per40
+    if delivered40 == 0.0:
+        return float("inf") if delivered20 > 0 else 1.0
+    return delivered20 / delivered40
+
+
+def sigma_cap(value: float, cap: float = SIGMA_CAP) -> float:
+    """Cap σ for plotting, as done in Fig 5."""
+    return min(value, cap)
+
+
+def sigma_from_snr(
+    snr20_db: float,
+    modulation: Modulation,
+    code_rate: float,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    estimator: Optional[LinkQualityEstimator] = None,
+) -> float:
+    """σ predicted by the estimator pipeline at a given 20 MHz SNR."""
+    estimator = estimator or LinkQualityEstimator(packet_bytes=packet_bytes)
+    est20, est40 = estimator.estimate_both_widths(snr20_db, modulation, code_rate)
+    return sigma(est20.per, est40.per)
+
+
+def cb_is_beneficial(
+    snr20_db: float,
+    modulation: Modulation,
+    code_rate: float,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    estimator: Optional[LinkQualityEstimator] = None,
+) -> bool:
+    """True when bonding raises this link's goodput (inequality 3).
+
+    Bonding wins iff ``σ < R40/R20``.
+    """
+    value = sigma_from_snr(
+        snr20_db, modulation, code_rate, packet_bytes, estimator
+    )
+    return value < RATE_RATIO_40_TO_20
+
+
+def transition_snr_db(
+    modulation: Modulation,
+    code_rate: float,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    snr_range_db: Tuple[float, float] = (-10.0, 40.0),
+    resolution_db: float = 0.1,
+    estimator: Optional[LinkQualityEstimator] = None,
+) -> Optional[float]:
+    """Highest SNR at which σ still reaches 2 — the Table 1 boundary γ.
+
+    Scans downward from high SNR; returns the first (largest) SNR where
+    σ ≥ 2, i.e. the boundary between the "CB helps" and "CB hurts"
+    regimes for this modulation-and-coding. ``None`` if σ never
+    reaches 2 in the scanned range.
+    """
+    if resolution_db <= 0:
+        raise ConfigurationError(
+            f"resolution must be positive, got {resolution_db}"
+        )
+    low, high = snr_range_db
+    if low >= high:
+        raise ConfigurationError(f"invalid SNR range {snr_range_db}")
+    estimator = estimator or LinkQualityEstimator(packet_bytes=packet_bytes)
+    for snr in np.arange(high, low - resolution_db / 2, -resolution_db):
+        value = sigma_from_snr(
+            float(snr), modulation, code_rate, packet_bytes, estimator
+        )
+        if value >= 2.0:
+            return float(snr)
+    return None

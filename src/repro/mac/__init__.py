@@ -1,0 +1,35 @@
+"""MAC substrate: DCF timing, airtime accounting, the performance anomaly."""
+
+from .dcf import MacTimings, DEFAULT_TIMINGS
+from .airtime import (
+    client_delay_s,
+    aggregate_transmission_delay_s,
+    medium_share,
+    per_client_throughput_mbps,
+    cell_throughput_mbps,
+)
+from .anomaly import anomaly_cell_throughput_mbps, fair_share_throughput_mbps
+from .aggregation import AmpduModel
+from .packetsim import (
+    CellSimResult,
+    SimulatedLink,
+    simulate_cell,
+    simulate_contending_aps,
+)
+
+__all__ = [
+    "MacTimings",
+    "DEFAULT_TIMINGS",
+    "client_delay_s",
+    "aggregate_transmission_delay_s",
+    "medium_share",
+    "per_client_throughput_mbps",
+    "cell_throughput_mbps",
+    "anomaly_cell_throughput_mbps",
+    "fair_share_throughput_mbps",
+    "AmpduModel",
+    "SimulatedLink",
+    "CellSimResult",
+    "simulate_cell",
+    "simulate_contending_aps",
+]

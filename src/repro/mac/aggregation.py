@@ -1,0 +1,134 @@
+"""A-MPDU frame aggregation — the post-paper 802.11n MAC feature.
+
+The paper's 2010 testbed tops out near 70 Mbps although HT40 MCS 15 is
+nominally 270 Mbps: per-packet DCF overhead dominates. Mature 802.11n
+deployments amortise that overhead by aggregating many MPDUs under one
+PHY preamble with a single block ACK. This module models A-MPDU airtime
+so the reproduction can ask the forward-looking question: *does ACORN's
+width logic still matter when aggregation removes most of the overhead?*
+(It does — the 3 dB SNR penalty of bonding is a PHY fact that
+aggregation cannot touch; see ``benchmarks/test_aggregation.py``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES
+from ..errors import ConfigurationError
+from .dcf import DEFAULT_TIMINGS, MacTimings
+
+__all__ = ["AmpduModel"]
+
+# 802.11n caps an A-MPDU at 64 MPDUs (block-ACK window) and 65535 bytes.
+MAX_AGGREGATION = 64
+MAX_AMPDU_BYTES = 65_535
+
+# Per-MPDU delimiter + padding overhead inside an A-MPDU.
+_DELIMITER_BYTES = 4
+
+
+@dataclass(frozen=True)
+class AmpduModel:
+    """Airtime accounting for aggregated transmissions.
+
+    Parameters
+    ----------
+    timings:
+        Base DCF timing (contention, preamble, SIFS). The block ACK
+        replaces the per-packet ACK.
+    max_aggregation:
+        Upper bound on MPDUs per A-MPDU (the 802.11n block-ACK window
+        allows 64; drivers often use less).
+    block_ack_s:
+        Airtime of the compressed block ACK response.
+    """
+
+    timings: MacTimings = DEFAULT_TIMINGS
+    max_aggregation: int = MAX_AGGREGATION
+    block_ack_s: float = 68e-6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_aggregation <= MAX_AGGREGATION:
+            raise ConfigurationError(
+                f"aggregation must be in [1, {MAX_AGGREGATION}], "
+                f"got {self.max_aggregation}"
+            )
+        if self.block_ack_s < 0:
+            raise ConfigurationError("block_ack_s must be non-negative")
+
+    # ------------------------------------------------------------------
+    def mpdus_per_ampdu(self, packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES) -> int:
+        """How many packets fit in one A-MPDU."""
+        if packet_bytes <= 0:
+            raise ConfigurationError(
+                f"packet size must be positive, got {packet_bytes}"
+            )
+        by_size = MAX_AMPDU_BYTES // (packet_bytes + _DELIMITER_BYTES)
+        return max(1, min(self.max_aggregation, by_size))
+
+    def ampdu_airtime_s(
+        self, phy_rate_mbps: float, packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    ) -> float:
+        """Channel time of one full A-MPDU exchange."""
+        if phy_rate_mbps <= 0:
+            raise ConfigurationError(
+                f"phy rate must be positive, got {phy_rate_mbps}"
+            )
+        n_mpdus = self.mpdus_per_ampdu(packet_bytes)
+        payload_bits = 8 * n_mpdus * (packet_bytes + _DELIMITER_BYTES)
+        fixed = (
+            self.timings.difs_s
+            + self.timings.mean_backoff_s
+            + self.timings.phy_preamble_s
+            + self.timings.sifs_s
+            + self.block_ack_s
+        )
+        return fixed + payload_bits / (phy_rate_mbps * 1e6)
+
+    def packet_airtime_s(
+        self, phy_rate_mbps: float, packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    ) -> float:
+        """Amortised per-packet airtime under full aggregation."""
+        n_mpdus = self.mpdus_per_ampdu(packet_bytes)
+        return self.ampdu_airtime_s(phy_rate_mbps, packet_bytes) / n_mpdus
+
+    def mac_efficiency(
+        self, phy_rate_mbps: float, packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    ) -> float:
+        """Goodput fraction of the PHY rate under aggregation.
+
+        Selective block-ACK retransmission means only lost MPDUs repeat,
+        so (unlike per-packet DCF) PER scales goodput linearly; that
+        factor is applied by the caller.
+        """
+        per_packet = self.packet_airtime_s(phy_rate_mbps, packet_bytes)
+        return (8 * packet_bytes / (phy_rate_mbps * 1e6)) / per_packet
+
+    def client_delay_s(
+        self,
+        phy_rate_mbps: float,
+        per: float,
+        packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    ) -> float:
+        """Expected per-delivered-packet airtime with block-ACK retries.
+
+        Only failed MPDUs are retransmitted (selective repeat), so the
+        expected attempts per packet stay 1/(1-per) but without
+        re-paying the fixed overhead per retry — aggregation's second
+        benefit on lossy links.
+        """
+        if not 0.0 <= per <= 1.0:
+            raise ConfigurationError(f"per must be in [0, 1], got {per}")
+        if per >= 1.0:
+            return float("inf")
+        n_mpdus = self.mpdus_per_ampdu(packet_bytes)
+        fixed_share = (
+            self.ampdu_airtime_s(phy_rate_mbps, packet_bytes)
+            - 8
+            * n_mpdus
+            * (packet_bytes + _DELIMITER_BYTES)
+            / (phy_rate_mbps * 1e6)
+        ) / n_mpdus
+        payload_s = 8 * (packet_bytes + _DELIMITER_BYTES) / (phy_rate_mbps * 1e6)
+        return fixed_share + payload_s / (1.0 - per)

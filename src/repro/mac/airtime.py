@@ -1,0 +1,110 @@
+"""Airtime accounting in the paper's own terms: d_cl, ATD, M, X = M/ATD.
+
+Section 4.1 / 5.1: each AP tracks the transmission delay per client
+``d_cl`` (expected channel time to deliver one packet, retries included),
+its aggregate transmission delay ``ATD = Σ d_cl``, and its channel access
+share ``M = 1/(|con| + 1)`` where ``con`` is the set of co-channel
+contending APs. Per-client throughput under saturated downlink traffic
+is then ``X = M / ATD`` packets per second per client.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES
+from ..errors import ConfigurationError
+from .dcf import DEFAULT_TIMINGS, MacTimings
+
+__all__ = [
+    "client_delay_s",
+    "aggregate_transmission_delay_s",
+    "medium_share",
+    "per_client_throughput_mbps",
+    "cell_throughput_mbps",
+]
+
+
+def client_delay_s(
+    phy_rate_mbps: float,
+    per: float,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    timings: MacTimings = DEFAULT_TIMINGS,
+) -> float:
+    """Expected airtime to deliver one packet to a client (d_cl).
+
+    One attempt costs ``packet_airtime``; with packet error probability
+    ``per`` and persistent retransmission, the expected number of
+    attempts is ``1/(1-per)``. A PER of 1 yields ``inf`` — the client
+    cannot be served at all (the paper's "poor clients are hardly able
+    to communicate" case).
+    """
+    if not 0.0 <= per <= 1.0:
+        raise ConfigurationError(f"per must be in [0, 1], got {per}")
+    airtime = timings.packet_airtime_s(8 * packet_bytes, phy_rate_mbps)
+    if per >= 1.0:
+        return float("inf")
+    return airtime / (1.0 - per)
+
+
+def aggregate_transmission_delay_s(delays_s: Iterable[float]) -> float:
+    """ATD: sum of the per-client delays of an AP."""
+    total = 0.0
+    count = 0
+    for delay in delays_s:
+        if delay < 0:
+            raise ConfigurationError(f"delays must be non-negative, got {delay}")
+        total += delay
+        count += 1
+    if count == 0:
+        raise ConfigurationError("ATD of an AP with no clients is undefined")
+    return total
+
+
+def medium_share(n_contenders: int) -> float:
+    """M = 1/(|con| + 1): long-term channel access share of an AP.
+
+    ``n_contenders`` is the number of *other* APs contending on
+    conflicting channels (Section 5.1's estimation, exact when all
+    contenders are in range of each other under saturation).
+    """
+    if n_contenders < 0:
+        raise ConfigurationError(
+            f"contender count must be non-negative, got {n_contenders}"
+        )
+    return 1.0 / (n_contenders + 1.0)
+
+
+def per_client_throughput_mbps(
+    m_share: float,
+    atd_s: float,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+) -> float:
+    """X = M/ATD in delivered megabits per second per client."""
+    if not 0.0 < m_share <= 1.0:
+        raise ConfigurationError(f"medium share must be in (0, 1], got {m_share}")
+    if atd_s <= 0:
+        raise ConfigurationError(f"ATD must be positive, got {atd_s}")
+    packets_per_second = m_share / atd_s
+    return packets_per_second * 8 * packet_bytes / 1e6
+
+
+def cell_throughput_mbps(
+    delays_s: Sequence[float],
+    m_share: float = 1.0,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+) -> float:
+    """Aggregate downlink throughput of one AP cell.
+
+    With DCF's per-packet fairness every client receives packets at the
+    same rate M/ATD, so the cell total is ``K * M/ATD`` packets/s. A
+    single unreachable client (infinite delay) drags the whole cell to
+    zero — the 802.11 performance anomaly in its starkest form.
+    """
+    if len(delays_s) == 0:
+        return 0.0
+    atd = aggregate_transmission_delay_s(delays_s)
+    if atd == float("inf"):
+        return 0.0
+    per_client = per_client_throughput_mbps(m_share, atd, packet_bytes)
+    return len(delays_s) * per_client

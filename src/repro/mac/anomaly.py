@@ -1,0 +1,73 @@
+"""The 802.11 performance anomaly (Heusse et al., INFOCOM 2003).
+
+DCF gives every station equal long-term *transmission opportunities*, not
+equal airtime. A slow client's packets occupy the channel longer, so the
+cell degenerates toward the slowest client's rate. This module provides
+the closed-form cell throughput under the anomaly and the counterfactual
+"fair share" for comparison; the effect is why ACORN groups
+similar-quality clients per cell before enabling channel bonding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES
+from ..errors import ConfigurationError
+from .airtime import cell_throughput_mbps, client_delay_s
+from .dcf import DEFAULT_TIMINGS, MacTimings
+
+__all__ = ["anomaly_cell_throughput_mbps", "fair_share_throughput_mbps"]
+
+
+def anomaly_cell_throughput_mbps(
+    client_rates_mbps: Sequence[float],
+    client_pers: "Sequence[float] | None" = None,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    timings: MacTimings = DEFAULT_TIMINGS,
+    m_share: float = 1.0,
+) -> float:
+    """Cell throughput when clients share per-packet (anomaly) fairness.
+
+    ``client_rates_mbps`` are per-client PHY rates; optional
+    ``client_pers`` add loss-driven retransmissions. Equivalent to
+    ``K * M / ATD`` with ATD built from the per-client delays.
+    """
+    if client_pers is None:
+        client_pers = [0.0] * len(client_rates_mbps)
+    if len(client_pers) != len(client_rates_mbps):
+        raise ConfigurationError(
+            f"{len(client_rates_mbps)} rates but {len(client_pers)} PERs"
+        )
+    delays = [
+        client_delay_s(rate, per, packet_bytes, timings)
+        for rate, per in zip(client_rates_mbps, client_pers)
+    ]
+    return cell_throughput_mbps(delays, m_share=m_share, packet_bytes=packet_bytes)
+
+
+def fair_share_throughput_mbps(
+    client_rates_mbps: Sequence[float],
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    timings: MacTimings = DEFAULT_TIMINGS,
+    m_share: float = 1.0,
+) -> float:
+    """Counterfactual cell throughput under equal-*airtime* sharing.
+
+    With airtime fairness each client gets 1/K of the channel time and
+    delivers at its own MAC-efficiency rate; a slow client then only
+    hurts itself. The gap to the anomaly value quantifies the damage a
+    poor client inflicts on a bonded cell.
+    """
+    k = len(client_rates_mbps)
+    if k == 0:
+        return 0.0
+    if not 0.0 < m_share <= 1.0:
+        raise ConfigurationError(f"medium share must be in (0, 1], got {m_share}")
+    total = 0.0
+    packet_bits = 8 * packet_bytes
+    for rate in client_rates_mbps:
+        airtime = timings.packet_airtime_s(packet_bits, rate)
+        mac_rate_mbps = packet_bits / airtime / 1e6
+        total += mac_rate_mbps / k
+    return total * m_share

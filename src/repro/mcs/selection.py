@@ -1,0 +1,118 @@
+"""Optimal MCS/mode selection — the stand-in for the Ralink auto-rate.
+
+The paper's cards run a proprietary algorithm that "not only adjusts the
+rates in response to packet successes/failures but also picks the best
+mode of operation (SDM or STBC) based on the channel quality", and Fig 6b
+finds the *optimal* MCS by exhaustive search. We implement that search
+directly: for a link SNR, evaluate every MCS in both MIMO modes and keep
+the one maximising expected goodput ``(1 - PER) * R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES
+from ..errors import ConfigurationError
+from ..phy.ber import coded_ber
+from ..phy.mimo import MimoMode, effective_snr_db
+from ..phy.ofdm import OfdmParams
+from ..phy.per import per_from_ber
+from .tables import MCS_TABLE, McsEntry
+
+__all__ = ["RateDecision", "optimal_mcs", "optimal_mcs_fixed_mode"]
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """Outcome of rate selection for one link on one channel width."""
+
+    mcs: McsEntry
+    mode: MimoMode
+    nominal_rate_mbps: float
+    per: float
+    goodput_mbps: float
+
+    @property
+    def per_stream_index(self) -> int:
+        """Single-stream ladder position (0-7), the Fig 6b y/x axis."""
+        return self.mcs.per_stream_index
+
+
+def _candidates_for_mode(mode: MimoMode) -> Iterable[McsEntry]:
+    """MCS entries applicable to a MIMO mode.
+
+    STBC carries a single stream (MCS 0-7); SDM carries two (MCS 8-15).
+    """
+    for entry in MCS_TABLE.values():
+        if entry.n_streams == mode.n_streams:
+            yield entry
+
+
+def _evaluate(
+    entry: McsEntry,
+    mode: MimoMode,
+    link_snr_db: float,
+    params: OfdmParams,
+    packet_bytes: int,
+    short_gi: bool,
+) -> RateDecision:
+    stream_snr = effective_snr_db(link_snr_db, mode)
+    ber = coded_ber(entry.modulation, entry.code_rate, stream_snr)
+    per = per_from_ber(ber, packet_bytes)
+    rate = entry.rate_mbps(params, short_gi=short_gi)
+    return RateDecision(
+        mcs=entry,
+        mode=mode,
+        nominal_rate_mbps=rate,
+        per=float(per),
+        goodput_mbps=float(rate * (1.0 - per)),
+    )
+
+
+def optimal_mcs(
+    link_snr_db: float,
+    params: OfdmParams,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    short_gi: bool = False,
+    modes: Optional[Iterable[MimoMode]] = None,
+) -> RateDecision:
+    """Exhaustive goodput-optimal MCS and MIMO mode for a link.
+
+    ``link_snr_db`` is the per-subcarrier SNR the link would see on
+    numerology ``params`` (so callers apply the 3 dB bonding calibration
+    *before* calling; :mod:`repro.link.estimator` does this).
+    """
+    if packet_bytes <= 0:
+        raise ConfigurationError(f"packet size must be positive, got {packet_bytes}")
+    modes = tuple(modes) if modes is not None else (MimoMode.STBC, MimoMode.SDM)
+    if not modes:
+        raise ConfigurationError("at least one MIMO mode is required")
+    best: Optional[RateDecision] = None
+    for mode in modes:
+        for entry in _candidates_for_mode(mode):
+            decision = _evaluate(
+                entry, mode, link_snr_db, params, packet_bytes, short_gi
+            )
+            if best is None or decision.goodput_mbps > best.goodput_mbps:
+                best = decision
+    assert best is not None  # modes is non-empty and each has 8 entries
+    return best
+
+
+def optimal_mcs_fixed_mode(
+    link_snr_db: float,
+    params: OfdmParams,
+    mode: MimoMode,
+    packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    short_gi: bool = False,
+) -> RateDecision:
+    """Goodput-optimal MCS when the MIMO mode is imposed."""
+    return optimal_mcs(
+        link_snr_db,
+        params,
+        packet_bytes=packet_bytes,
+        short_gi=short_gi,
+        modes=(mode,),
+    )

@@ -1,0 +1,115 @@
+"""The 802.11n MCS table (indices 0-15, one and two spatial streams).
+
+Rates are not hard-coded: they are derived from the OFDM numerology via
+:func:`repro.phy.ofdm.nominal_data_rate_mbps`, which reproduces the
+standard's values exactly (e.g. MCS 7 = 65 Mbps HT20 / 135 Mbps HT40
+long GI; MCS 15 = 130 / 270 Mbps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..phy.modulation import BPSK, QAM16, QAM64, QPSK, Modulation
+from ..phy.ofdm import OfdmParams, nominal_data_rate_mbps
+
+__all__ = ["McsEntry", "MCS_TABLE", "mcs_by_index", "modcod_label"]
+
+# (modulation, code rate) ladder for MCS 0..7; MCS 8..15 repeat it with
+# two spatial streams.
+_SINGLE_STREAM_LADDER: Tuple[Tuple[Modulation, float], ...] = (
+    (BPSK, 1 / 2),
+    (QPSK, 1 / 2),
+    (QPSK, 3 / 4),
+    (QAM16, 1 / 2),
+    (QAM16, 3 / 4),
+    (QAM64, 2 / 3),
+    (QAM64, 3 / 4),
+    (QAM64, 5 / 6),
+)
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the 802.11n MCS table."""
+
+    index: int
+    modulation: Modulation
+    code_rate: float
+    n_streams: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"MCS index must be >= 0, got {self.index}")
+        if self.n_streams not in (1, 2):
+            raise ConfigurationError(
+                f"this reproduction models 1 or 2 streams, got {self.n_streams}"
+            )
+
+    @property
+    def per_stream_index(self) -> int:
+        """Index within the single-stream ladder (0-7), as plotted in Fig 6b."""
+        return self.index % len(_SINGLE_STREAM_LADDER)
+
+    def rate_mbps(self, params: OfdmParams, short_gi: bool = False) -> float:
+        """Nominal PHY rate for this MCS on numerology ``params``."""
+        return nominal_data_rate_mbps(
+            params,
+            self.modulation.bits_per_symbol,
+            self.code_rate,
+            n_streams=self.n_streams,
+            short_gi=short_gi,
+        )
+
+    @property
+    def label(self) -> str:
+        """Human-readable mod/code label, e.g. ``"64QAM 3/4 x2"``."""
+        suffix = f" x{self.n_streams}" if self.n_streams > 1 else ""
+        return f"{modcod_label(self.modulation, self.code_rate)}{suffix}"
+
+
+def modcod_label(modulation: Modulation, code_rate: float) -> str:
+    """Canonical label for a modulation-and-code-rate pair."""
+    from fractions import Fraction
+
+    fraction = Fraction(code_rate).limit_denominator(12)
+    return f"{modulation.name} {fraction.numerator}/{fraction.denominator}"
+
+
+def _build_table() -> Dict[int, McsEntry]:
+    table: Dict[int, McsEntry] = {}
+    for streams in (1, 2):
+        for position, (modulation, rate) in enumerate(_SINGLE_STREAM_LADDER):
+            index = (streams - 1) * len(_SINGLE_STREAM_LADDER) + position
+            table[index] = McsEntry(
+                index=index,
+                modulation=modulation,
+                code_rate=rate,
+                n_streams=streams,
+            )
+    return table
+
+
+MCS_TABLE: Dict[int, McsEntry] = _build_table()
+
+
+def mcs_by_index(index: int) -> McsEntry:
+    """Look up an MCS entry (0-15)."""
+    try:
+        return MCS_TABLE[index]
+    except KeyError:
+        raise ConfigurationError(
+            f"MCS index {index} out of range 0..{max(MCS_TABLE)}"
+        ) from None
+
+
+def single_stream_entries() -> List[McsEntry]:
+    """MCS 0-7 in index order."""
+    return [MCS_TABLE[i] for i in range(8)]
+
+
+def dual_stream_entries() -> List[McsEntry]:
+    """MCS 8-15 in index order."""
+    return [MCS_TABLE[i] for i in range(8, 16)]

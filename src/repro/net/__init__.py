@@ -1,0 +1,45 @@
+"""Network substrate: channels/colours, topology, interference, throughput."""
+
+from .channels import Channel, ChannelPlan, FIVE_GHZ_20MHZ_CHANNELS
+from .topology import AccessPoint, Client, Network
+from .interference import (
+    build_interference_graph,
+    contenders,
+    max_degree,
+)
+from .throughput import NetworkReport, ThroughputModel, WeightedThroughputModel
+from .uplink import UplinkThroughputModel
+from .overlap import (
+    channel_center_mhz,
+    spectral_overlap_fraction,
+    weighted_contention_share,
+)
+from .serialization import (
+    dump_network,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelPlan",
+    "FIVE_GHZ_20MHZ_CHANNELS",
+    "AccessPoint",
+    "Client",
+    "Network",
+    "build_interference_graph",
+    "contenders",
+    "max_degree",
+    "NetworkReport",
+    "ThroughputModel",
+    "WeightedThroughputModel",
+    "UplinkThroughputModel",
+    "channel_center_mhz",
+    "spectral_overlap_fraction",
+    "weighted_contention_share",
+    "network_to_dict",
+    "network_from_dict",
+    "dump_network",
+    "load_network",
+]

@@ -1,0 +1,197 @@
+"""Channels as colours: 20 MHz basics and 40 MHz composites.
+
+Section 4.2 casts channel allocation as graph colouring where a bonded
+40 MHz channel is a *composite colour* {c_i, c_j}: the basic colours c_i
+and c_j do not conflict with each other, but each conflicts with the
+composite built from them. A :class:`Channel` is one colour; a
+:class:`ChannelPlan` is the palette available to the allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from ..errors import ChannelError
+from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ, OfdmParams
+
+__all__ = ["Channel", "ChannelPlan", "FIVE_GHZ_20MHZ_CHANNELS"]
+
+# The twelve 20 MHz channels of the 5 GHz band used in the paper's
+# experiments ("we employ all the twelve 20MHz channels available in the
+# 5GHz band").
+FIVE_GHZ_20MHZ_CHANNELS: Tuple[int, ...] = (
+    36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112,
+)
+
+# 802.11n bonds a primary with the adjacent secondary; in the 5 GHz plan
+# the valid pairs are the consecutive (lower, upper) channel couples.
+_DEFAULT_BONDED_PAIRS: Tuple[Tuple[int, int], ...] = (
+    (36, 40), (44, 48), (52, 56), (60, 64), (100, 104), (108, 112),
+)
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One assignable colour: a 20 MHz channel or a bonded 40 MHz pair.
+
+    Attributes
+    ----------
+    primary:
+        The 20 MHz channel number (also the control channel when bonded).
+    secondary:
+        The second 20 MHz constituent for a bonded channel, else ``None``.
+    """
+
+    primary: int
+    secondary: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.secondary is not None and self.secondary == self.primary:
+            raise ChannelError(
+                f"cannot bond channel {self.primary} with itself"
+            )
+
+    @property
+    def is_bonded(self) -> bool:
+        """True for a composite (40 MHz) colour."""
+        return self.secondary is not None
+
+    @property
+    def width_mhz(self) -> int:
+        """Occupied bandwidth: 20 or 40 MHz."""
+        return 40 if self.is_bonded else 20
+
+    @property
+    def params(self) -> OfdmParams:
+        """The OFDM numerology used on this channel."""
+        return OFDM_40MHZ if self.is_bonded else OFDM_20MHZ
+
+    @property
+    def constituents(self) -> FrozenSet[int]:
+        """The 20 MHz channel numbers this colour occupies."""
+        if self.secondary is None:
+            return frozenset((self.primary,))
+        return frozenset((self.primary, self.secondary))
+
+    def conflicts_with(self, other: "Channel") -> bool:
+        """Colour conflict: any shared 20 MHz spectrum.
+
+        Two distinct basic colours never conflict; a composite conflicts
+        with each of its constituents and with any overlapping composite.
+        Every colour conflicts with itself.
+        """
+        if not isinstance(other, Channel):
+            raise ChannelError(f"expected a Channel, got {other!r}")
+        return bool(self.constituents & other.constituents)
+
+    def primary_only(self) -> "Channel":
+        """The 20 MHz fallback inside this colour.
+
+        ACORN's opportunistic mode: an AP holding a 40 MHz allocation may
+        "opt out from using CB and only employ the 20 MHz channel (one of
+        the two assigned)" without changing interference on neighbours.
+        """
+        return Channel(self.primary)
+
+    def __str__(self) -> str:
+        if self.is_bonded:
+            return f"{self.primary}+{self.secondary} (40 MHz)"
+        return f"{self.primary} (20 MHz)"
+
+
+class ChannelPlan:
+    """The palette of colours available to the channel allocator.
+
+    Parameters
+    ----------
+    channel_numbers:
+        The 20 MHz channel numbers available (order defines "adjacency"
+        for default bonding).
+    bonded_pairs:
+        The (lower, upper) couples that may be bonded into 40 MHz
+        channels. Defaults to the standard 5 GHz couples restricted to
+        the available channels; consecutive pairing is used for custom
+        channel lists.
+    """
+
+    def __init__(
+        self,
+        channel_numbers: Sequence[int] = FIVE_GHZ_20MHZ_CHANNELS,
+        bonded_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> None:
+        numbers = tuple(channel_numbers)
+        if not numbers:
+            raise ChannelError("a channel plan needs at least one channel")
+        if len(set(numbers)) != len(numbers):
+            raise ChannelError(f"duplicate channel numbers in {numbers}")
+        self._numbers = numbers
+        if bonded_pairs is None:
+            if set(numbers) <= set(FIVE_GHZ_20MHZ_CHANNELS):
+                bonded_pairs = [
+                    pair
+                    for pair in _DEFAULT_BONDED_PAIRS
+                    if pair[0] in numbers and pair[1] in numbers
+                ]
+            else:
+                # Custom channel list: bond consecutive disjoint couples.
+                bonded_pairs = [
+                    (numbers[i], numbers[i + 1])
+                    for i in range(0, len(numbers) - 1, 2)
+                ]
+        for low, high in bonded_pairs:
+            if low not in numbers or high not in numbers:
+                raise ChannelError(
+                    f"bonded pair ({low}, {high}) uses channels outside the plan"
+                )
+        self._pairs = tuple(tuple(pair) for pair in bonded_pairs)
+
+    # ------------------------------------------------------------------
+    @property
+    def channel_numbers(self) -> Tuple[int, ...]:
+        """The available 20 MHz channel numbers."""
+        return self._numbers
+
+    @property
+    def n_basic(self) -> int:
+        """Number of 20 MHz channels in the plan."""
+        return len(self._numbers)
+
+    def channels_20(self) -> Tuple[Channel, ...]:
+        """All basic (20 MHz) colours."""
+        return tuple(Channel(n) for n in self._numbers)
+
+    def channels_40(self) -> Tuple[Channel, ...]:
+        """All composite (40 MHz) colours."""
+        return tuple(Channel(low, high) for low, high in self._pairs)
+
+    def all_channels(self) -> Tuple[Channel, ...]:
+        """The full palette Ch: basic then composite colours."""
+        return self.channels_20() + self.channels_40()
+
+    def subset(self, n_basic: int) -> "ChannelPlan":
+        """A plan with only the first ``n_basic`` 20 MHz channels.
+
+        Used by the Fig 14 experiments (2, 4 and 6 orthogonal channels
+        made available to three competing APs).
+        """
+        if not 1 <= n_basic <= len(self._numbers):
+            raise ChannelError(
+                f"cannot take {n_basic} of {len(self._numbers)} channels"
+            )
+        numbers = self._numbers[:n_basic]
+        pairs = [
+            pair
+            for pair in self._pairs
+            if pair[0] in numbers and pair[1] in numbers
+        ]
+        return ChannelPlan(numbers, pairs)
+
+    def __len__(self) -> int:
+        return len(self.all_channels())
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelPlan({len(self._numbers)}x20MHz, "
+            f"{len(self._pairs)}x40MHz)"
+        )

@@ -1,0 +1,131 @@
+"""The interference graph (IG) and channel-conditioned contention.
+
+Footnote 5 of the paper: "Two APs interfere with each other either if
+they directly compete for the medium or if either competes with at least
+one of the other AP's clients." The IG is *potential* interference — a
+geometric/topological fact. Whether two APs actually contend also
+depends on the channels assigned: edges only bind APs whose colours
+conflict (:meth:`repro.net.channels.Channel.conflicts_with`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import networkx as nx
+
+from ..errors import AllocationError, TopologyError
+from .channels import Channel
+from .topology import Network
+
+__all__ = [
+    "DEFAULT_CS_THRESHOLD_DBM",
+    "build_interference_graph",
+    "contenders",
+    "max_degree",
+]
+
+# Carrier-sense threshold: a transmitter is "heard" (defers/collides)
+# when its signal arrives above this power. -82 dBm is the 802.11
+# preamble-detection level for 20 MHz.
+DEFAULT_CS_THRESHOLD_DBM = -82.0
+
+
+def _received_power_dbm(network: Network, ap_id: str, position) -> float:
+    ap = network.ap(ap_id)
+    if ap.position is None or position is None:
+        raise TopologyError(
+            f"AP {ap_id!r} or target lacks a position for propagation"
+        )
+    loss = network.config.path_loss.loss_db(
+        network.distance(ap.position, position)
+    )
+    return ap.tx_power_dbm - loss
+
+
+def build_interference_graph(
+    network: Network,
+    cs_threshold_dbm: float = DEFAULT_CS_THRESHOLD_DBM,
+) -> nx.Graph:
+    """The AP-level interference graph G(V, E).
+
+    Explicitly declared conflicts (SNR-specified scenarios) take
+    precedence. Otherwise, an edge (i, j) exists when either AP's signal
+    reaches the other AP — or any of the other AP's *associated clients*
+    — above the carrier-sense threshold (footnote 5).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(network.ap_ids)
+    explicit = network.explicit_conflicts
+    if explicit is not None:
+        for pair in explicit:
+            a, b = tuple(pair)
+            graph.add_edge(a, b)
+        return graph
+
+    ap_ids = network.ap_ids
+    for index, ap_i in enumerate(ap_ids):
+        for ap_j in ap_ids[index + 1 :]:
+            if _aps_interfere(network, ap_i, ap_j, cs_threshold_dbm):
+                graph.add_edge(ap_i, ap_j)
+    return graph
+
+
+def _aps_interfere(
+    network: Network, ap_i: str, ap_j: str, cs_threshold_dbm: float
+) -> bool:
+    """Footnote-5 test, symmetric in (i, j)."""
+    position_i = network.ap(ap_i).position
+    position_j = network.ap(ap_j).position
+    if position_i is None or position_j is None:
+        raise TopologyError(
+            f"APs {ap_i!r}/{ap_j!r} lack positions; call "
+            "Network.set_explicit_conflicts for SNR-specified scenarios"
+        )
+    # Direct AP-to-AP competition.
+    if _received_power_dbm(network, ap_i, position_j) >= cs_threshold_dbm:
+        return True
+    if _received_power_dbm(network, ap_j, position_i) >= cs_threshold_dbm:
+        return True
+    # Competition through either AP's clients.
+    for owner, other in ((ap_i, ap_j), (ap_j, ap_i)):
+        for client_id in network.clients_of(owner):
+            client_position = network.client(client_id).position
+            if client_position is None:
+                continue
+            if (
+                _received_power_dbm(network, other, client_position)
+                >= cs_threshold_dbm
+            ):
+                return True
+    return False
+
+
+def contenders(
+    graph: nx.Graph,
+    ap_id: str,
+    assignment: Dict[str, Channel],
+) -> Set[str]:
+    """con_a: the IG neighbours whose channel conflicts with AP a's.
+
+    APs without an assigned channel are skipped (they are not
+    transmitting yet).
+    """
+    if ap_id not in graph:
+        raise AllocationError(f"AP {ap_id!r} is not in the interference graph")
+    own = assignment.get(ap_id)
+    if own is None:
+        raise AllocationError(f"AP {ap_id!r} has no channel assigned")
+    result: Set[str] = set()
+    for neighbour in graph.neighbors(ap_id):
+        other = assignment.get(neighbour)
+        if other is not None and own.conflicts_with(other):
+            result.add(neighbour)
+    return result
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Δ: the maximum node degree — drives the O(1/(Δ+1)) bound."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for _, degree in graph.degree())

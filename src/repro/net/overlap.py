@@ -1,0 +1,90 @@
+"""Partially overlapped channels — the weighted-conflict extension.
+
+The paper's colour model treats conflicts as binary (share any 20 MHz
+constituent or not), which is exact for the 5 GHz orthogonal plan it
+evaluates on. Its reference [7] (Mishra et al., "Partially overlapped
+channels not considered harmful") shows 2.4 GHz channels overlap
+*partially*; this module computes spectral overlap fractions from
+centre frequencies and widths so the contention model can be extended
+to weighted interference (``M = 1/(1 + Σ w)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..errors import ChannelError
+from .channels import Channel
+
+__all__ = [
+    "channel_center_mhz",
+    "spectral_overlap_fraction",
+    "weighted_contention_share",
+    "TWO_POINT_FOUR_GHZ_CENTERS",
+]
+
+# 2.4 GHz band: channel 1 at 2412 MHz, 5 MHz spacing — the classic
+# partially-overlapping plan.
+TWO_POINT_FOUR_GHZ_CENTERS: Mapping[int, float] = {
+    number: 2412.0 + 5.0 * (number - 1) for number in range(1, 14)
+}
+
+# 5 GHz: channel 36 at 5180 MHz, 5 MHz per channel number.
+_FIVE_GHZ_BASE_MHZ = 5000.0
+
+
+def channel_center_mhz(channel: Channel) -> float:
+    """Centre frequency of a colour.
+
+    5 GHz channel numbers map as 5000 + 5*n; a bonded pair sits halfway
+    between its constituents' centres (the shifted Fc the paper notes
+    under Fig 1).
+    """
+    if not isinstance(channel, Channel):
+        raise ChannelError(f"expected a Channel, got {channel!r}")
+    centers = []
+    for number in sorted(channel.constituents):
+        if number in TWO_POINT_FOUR_GHZ_CENTERS:
+            centers.append(TWO_POINT_FOUR_GHZ_CENTERS[number])
+        else:
+            centers.append(_FIVE_GHZ_BASE_MHZ + 5.0 * number)
+    return sum(centers) / len(centers)
+
+
+def _band_edges(channel: Channel) -> Tuple[float, float]:
+    center = channel_center_mhz(channel)
+    half = channel.width_mhz / 2.0
+    return center - half, center + half
+
+
+def spectral_overlap_fraction(a: Channel, b: Channel) -> float:
+    """Fraction of channel ``a``'s bandwidth that channel ``b`` covers.
+
+    1.0 for co-channel, 0.0 for orthogonal, in between for partial
+    overlap (asymmetric when widths differ: a 40 MHz signal covers all
+    of an inner 20 MHz channel, but that 20 MHz covers only half of
+    the 40 MHz signal).
+    """
+    low_a, high_a = _band_edges(a)
+    low_b, high_b = _band_edges(b)
+    overlap = min(high_a, high_b) - max(low_a, low_b)
+    if overlap <= 0:
+        return 0.0
+    return overlap / (high_a - low_a)
+
+
+def weighted_contention_share(
+    own: Channel, neighbour_channels: "Tuple[Channel, ...] | list"
+) -> float:
+    """M under weighted interference: ``1 / (1 + Σ overlap)``.
+
+    Each neighbour contributes its overlap fraction onto ``own``'s band
+    instead of a binary 0/1 — the [7]-style generalisation. With fully
+    orthogonal or fully co-channel neighbours this reduces exactly to
+    the paper's ``1/(|con| + 1)``.
+    """
+    total = 0.0
+    for other in neighbour_channels:
+        total += spectral_overlap_fraction(own, other)
+    return 1.0 / (1.0 + total)

@@ -1,0 +1,114 @@
+"""JSON (de)serialisation of networks and configurations.
+
+An operations tool needs to persist what it decided: topology, pinned
+link qualities, interference edges, the current channel plan and
+associations. The format is a plain JSON-compatible dict, stable across
+sessions and diffable in version control.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import TopologyError
+from .channels import Channel
+from .topology import Network
+
+__all__ = ["network_to_dict", "network_from_dict", "dump_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def _channel_to_dict(channel: Channel) -> Dict[str, Any]:
+    return {"primary": channel.primary, "secondary": channel.secondary}
+
+
+def _channel_from_dict(data: Dict[str, Any]) -> Channel:
+    return Channel(primary=data["primary"], secondary=data.get("secondary"))
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialise a network to a JSON-compatible dict."""
+    aps = []
+    for ap_id in network.ap_ids:
+        ap = network.ap(ap_id)
+        aps.append(
+            {
+                "id": ap.ap_id,
+                "position": list(ap.position) if ap.position else None,
+                "tx_power_dbm": ap.tx_power_dbm,
+            }
+        )
+    clients = []
+    for client_id in network.client_ids:
+        client = network.client(client_id)
+        clients.append(
+            {
+                "id": client.client_id,
+                "position": list(client.position) if client.position else None,
+            }
+        )
+    links = [
+        {"ap": ap_id, "client": client_id, "snr20_db": snr}
+        for (ap_id, client_id), snr in network._snr_overrides.items()
+    ]
+    conflicts = None
+    if network.explicit_conflicts is not None:
+        conflicts = [sorted(pair) for pair in network.explicit_conflicts]
+        conflicts.sort()
+    return {
+        "version": _FORMAT_VERSION,
+        "aps": aps,
+        "clients": clients,
+        "links": links,
+        "conflicts": conflicts,
+        "associations": dict(network.associations),
+        "channels": {
+            ap_id: _channel_to_dict(channel)
+            for ap_id, channel in network.channel_assignment.items()
+        },
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a network from its serialised form."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported network format version {version!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    network = Network()
+    for ap in data.get("aps", []):
+        position = tuple(ap["position"]) if ap.get("position") else None
+        network.add_ap(
+            ap["id"],
+            position=position,
+            tx_power_dbm=ap.get("tx_power_dbm", 23.0),
+        )
+    for client in data.get("clients", []):
+        position = tuple(client["position"]) if client.get("position") else None
+        network.add_client(client["id"], position=position)
+    for link in data.get("links", []):
+        network.set_link_snr(link["ap"], link["client"], link["snr20_db"])
+    conflicts = data.get("conflicts")
+    if conflicts is not None:
+        network.set_explicit_conflicts([tuple(pair) for pair in conflicts])
+    for client_id, ap_id in data.get("associations", {}).items():
+        network.associate(client_id, ap_id)
+    for ap_id, channel_data in data.get("channels", {}).items():
+        network.set_channel(ap_id, _channel_from_dict(channel_data))
+    return network
+
+
+def dump_network(network: Network, path: str) -> None:
+    """Write a network to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle, indent=2, sort_keys=True)
+
+
+def load_network(path: str) -> Network:
+    """Read a network from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return network_from_dict(json.load(handle))

@@ -1,0 +1,264 @@
+"""Enterprise WLAN topology: APs, clients, and their radio links.
+
+A :class:`Network` can be built two ways, matching how experiments are
+specified in the paper:
+
+* **geometrically** — APs and clients get positions and link SNRs follow
+  from the path-loss model (used for random enterprise deployments and
+  the mobility experiment), or
+* **by link quality** — scenario builders state each AP↔client SNR
+  directly ("AP1 serves two poor clients at 1 dB"), which is how the
+  paper's Fig 10/11 topologies are described.
+
+Both styles can mix; explicit SNR overrides win over geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import MAX_TX_POWER_DBM, SimulationConfig
+from ..errors import AssociationError, TopologyError
+from ..link.budget import LinkBudget
+from .channels import Channel
+
+__all__ = ["AccessPoint", "Client", "Network"]
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One access point."""
+
+    ap_id: str
+    position: Optional[Position] = None
+    tx_power_dbm: float = MAX_TX_POWER_DBM
+
+
+@dataclass(frozen=True)
+class Client:
+    """One (potential) WLAN user."""
+
+    client_id: str
+    position: Optional[Position] = None
+
+
+class Network:
+    """Mutable WLAN state: devices, links, associations, channels."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        self._aps: Dict[str, AccessPoint] = {}
+        self._clients: Dict[str, Client] = {}
+        self._snr_overrides: Dict[Tuple[str, str], float] = {}
+        self.associations: Dict[str, str] = {}
+        self.channel_assignment: Dict[str, Channel] = {}
+        self._explicit_conflicts: Optional[Set[frozenset]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_ap(
+        self,
+        ap_id: str,
+        position: Optional[Position] = None,
+        tx_power_dbm: float = MAX_TX_POWER_DBM,
+    ) -> AccessPoint:
+        """Register an access point."""
+        if ap_id in self._aps:
+            raise TopologyError(f"duplicate AP id {ap_id!r}")
+        ap = AccessPoint(ap_id=ap_id, position=position, tx_power_dbm=tx_power_dbm)
+        self._aps[ap_id] = ap
+        return ap
+
+    def add_client(
+        self, client_id: str, position: Optional[Position] = None
+    ) -> Client:
+        """Register a client."""
+        if client_id in self._clients:
+            raise TopologyError(f"duplicate client id {client_id!r}")
+        if client_id in self._aps:
+            raise TopologyError(f"id {client_id!r} already names an AP")
+        client = Client(client_id=client_id, position=position)
+        self._clients[client_id] = client
+        return client
+
+    def set_link_snr(self, ap_id: str, client_id: str, snr20_db: float) -> None:
+        """Pin the AP↔client link quality (20 MHz per-subcarrier SNR)."""
+        self._require_ap(ap_id)
+        self._require_client(client_id)
+        self._snr_overrides[(ap_id, client_id)] = float(snr20_db)
+
+    def set_explicit_conflicts(
+        self, pairs: "List[Tuple[str, str]] | Tuple[Tuple[str, str], ...]"
+    ) -> None:
+        """Declare the AP interference graph edges directly.
+
+        For SNR-specified scenarios without geometry; replaces the
+        path-loss-derived graph entirely (an empty list means an
+        interference-free deployment).
+        """
+        edges: Set[frozenset] = set()
+        for a, b in pairs:
+            self._require_ap(a)
+            self._require_ap(b)
+            if a == b:
+                raise TopologyError(f"AP {a!r} cannot conflict with itself")
+            edges.add(frozenset((a, b)))
+        self._explicit_conflicts = edges
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ap_ids(self) -> Tuple[str, ...]:
+        """All AP identifiers, in insertion order."""
+        return tuple(self._aps)
+
+    @property
+    def client_ids(self) -> Tuple[str, ...]:
+        """All client identifiers, in insertion order."""
+        return tuple(self._clients)
+
+    @property
+    def explicit_conflicts(self) -> Optional[Set[frozenset]]:
+        """Explicitly declared interference edges, or ``None``."""
+        return self._explicit_conflicts
+
+    def ap(self, ap_id: str) -> AccessPoint:
+        """Look up an AP."""
+        return self._require_ap(ap_id)
+
+    def client(self, client_id: str) -> Client:
+        """Look up a client."""
+        return self._require_client(client_id)
+
+    def _require_ap(self, ap_id: str) -> AccessPoint:
+        try:
+            return self._aps[ap_id]
+        except KeyError:
+            raise TopologyError(f"unknown AP {ap_id!r}") from None
+
+    def _require_client(self, client_id: str) -> Client:
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise TopologyError(f"unknown client {client_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Radio links
+    # ------------------------------------------------------------------
+    @staticmethod
+    def distance(a: Position, b: Position) -> float:
+        """Euclidean distance between two positions."""
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+    def ap_distance_m(self, ap_a: str, ap_b: str) -> float:
+        """Distance between two APs (geometry required)."""
+        pa = self._require_ap(ap_a).position
+        pb = self._require_ap(ap_b).position
+        if pa is None or pb is None:
+            raise TopologyError(
+                f"APs {ap_a!r}/{ap_b!r} lack positions; "
+                "declare conflicts explicitly instead"
+            )
+        return self.distance(pa, pb)
+
+    def has_link(self, ap_id: str, client_id: str) -> bool:
+        """Whether the link quality between an AP and client is defined."""
+        if (ap_id, client_id) in self._snr_overrides:
+            return True
+        ap = self._require_ap(ap_id)
+        client = self._require_client(client_id)
+        return ap.position is not None and client.position is not None
+
+    def link_budget(self, ap_id: str, client_id: str) -> LinkBudget:
+        """Radio budget of one AP↔client link.
+
+        SNR overrides take precedence; otherwise the budget follows from
+        the distance and the configured path-loss model.
+        """
+        override = self._snr_overrides.get((ap_id, client_id))
+        ap = self._require_ap(ap_id)
+        if override is not None:
+            return LinkBudget.from_snr20(
+                override,
+                tx_power_dbm=ap.tx_power_dbm,
+                noise_figure_db=self.config.noise_figure_db,
+            )
+        client = self._require_client(client_id)
+        if ap.position is None or client.position is None:
+            raise TopologyError(
+                f"no SNR override and no geometry for link {ap_id!r}->{client_id!r}"
+            )
+        loss = self.config.path_loss.loss_db(
+            self.distance(ap.position, client.position)
+        )
+        return LinkBudget(
+            tx_power_dbm=ap.tx_power_dbm,
+            path_loss_db=loss,
+            noise_figure_db=self.config.noise_figure_db,
+        )
+
+    def candidate_aps(
+        self, client_id: str, min_snr20_db: float = -5.0
+    ) -> Tuple[str, ...]:
+        """The serving set A_u: APs this client could associate with.
+
+        An AP qualifies if the link is defined and its 20 MHz SNR is at
+        least ``min_snr20_db`` (below that not even MCS 0 decodes).
+        """
+        self._require_client(client_id)
+        candidates = []
+        for ap_id in self._aps:
+            if not self.has_link(ap_id, client_id):
+                continue
+            if self.link_budget(ap_id, client_id).snr20_db >= min_snr20_db:
+                candidates.append(ap_id)
+        return tuple(candidates)
+
+    # ------------------------------------------------------------------
+    # Association and channel state
+    # ------------------------------------------------------------------
+    def associate(self, client_id: str, ap_id: str) -> None:
+        """Associate (or re-associate) a client with an AP."""
+        self._require_client(client_id)
+        self._require_ap(ap_id)
+        if not self.has_link(ap_id, client_id):
+            raise AssociationError(
+                f"client {client_id!r} has no link to AP {ap_id!r}"
+            )
+        self.associations[client_id] = ap_id
+
+    def disassociate(self, client_id: str) -> None:
+        """Remove a client's association (a no-op if unassociated)."""
+        self.associations.pop(client_id, None)
+
+    def clients_of(self, ap_id: str) -> Tuple[str, ...]:
+        """Clients currently associated with an AP."""
+        self._require_ap(ap_id)
+        return tuple(
+            client_id
+            for client_id, ap in self.associations.items()
+            if ap == ap_id
+        )
+
+    def set_channel(self, ap_id: str, channel: Channel) -> None:
+        """Assign a colour (20 or 40 MHz channel) to an AP."""
+        self._require_ap(ap_id)
+        if not isinstance(channel, Channel):
+            raise TopologyError(f"expected a Channel, got {channel!r}")
+        self.channel_assignment[ap_id] = channel
+
+    def snapshot(self) -> "Dict[str, object]":
+        """A plain-dict summary of current state (for reports/tests)."""
+        return {
+            "associations": dict(self.associations),
+            "channels": {
+                ap: str(channel)
+                for ap, channel in self.channel_assignment.items()
+            },
+        }

@@ -1,0 +1,94 @@
+"""Saturated-uplink throughput: per-station contention across cells.
+
+The paper assumes saturated *downlink* traffic (one transmitter — the
+AP — per cell, contending with neighbour APs). Under saturated uplink,
+every client is a transmitter: DCF hands equal transmission
+opportunities to every *station* sharing the spectrum, across cell
+boundaries. The cell's throughput becomes
+
+``X_a = K_a · L / Σ_{v ∈ stations on a's channel} d_v``
+
+— a single global round-robin over all co-channel stations. With no
+co-channel neighbours this collapses to the downlink formula K·L/ATD,
+and the performance anomaly now leaks *between* cells: one slow uplink
+client in a neighbouring cell on the same channel drags everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import networkx as nx
+
+from ..errors import AllocationError
+from ..mac.airtime import client_delay_s
+from .channels import Channel
+from .throughput import ThroughputModel
+from .topology import Network
+
+__all__ = ["UplinkThroughputModel"]
+
+
+@dataclass
+class UplinkThroughputModel(ThroughputModel):
+    """Evaluator for saturated uplink traffic.
+
+    Client link decisions reuse the downlink machinery (the channel is
+    reciprocal at these time scales); what changes is the sharing: the
+    airtime cycle spans every station on a conflicting channel within
+    interference range.
+    """
+
+    def ap_throughput_mbps(
+        self,
+        network: Network,
+        graph: nx.Graph,
+        ap_id: str,
+        assignment: Mapping[str, Channel],
+        associations: Mapping[str, str],
+    ) -> Tuple[float, Dict[str, float]]:
+        """Cell throughput under the global per-station uplink cycle."""
+        channel = assignment.get(ap_id)
+        if channel is None:
+            raise AllocationError(f"AP {ap_id!r} has no channel in the assignment")
+        own_clients = [
+            client for client, ap in associations.items() if ap == ap_id
+        ]
+        if not own_clients:
+            return 0.0, {}
+
+        def cell_delays(cell_ap: str, cell_channel: Channel) -> Dict[str, float]:
+            delays = {}
+            for client_id in (
+                client for client, ap in associations.items() if ap == cell_ap
+            ):
+                decision = self.link_decision(
+                    network, cell_ap, client_id, cell_channel
+                )
+                delays[client_id] = client_delay_s(
+                    decision.nominal_rate_mbps,
+                    decision.per,
+                    self.packet_bytes,
+                    self.timings,
+                )
+            return delays
+
+        own_delays = cell_delays(ap_id, channel)
+        cycle = sum(own_delays.values())
+        # Stations of conflicting neighbour cells join the same cycle.
+        for neighbour in graph.neighbors(ap_id):
+            other = assignment.get(neighbour)
+            if other is None or not channel.conflicts_with(other):
+                continue
+            cycle += sum(cell_delays(neighbour, other).values())
+        if cycle == float("inf") or cycle <= 0:
+            return 0.0, {client: 0.0 for client in own_clients}
+        packet_mbits = 8 * self.packet_bytes / 1e6
+        per_client = {}
+        for client_id in own_clients:
+            factor = self.traffic.goodput_factor(
+                self.link_decision(network, ap_id, client_id, channel).per
+            )
+            per_client[client_id] = packet_mbits / cycle * factor
+        return sum(per_client.values()), per_client

@@ -1,0 +1,60 @@
+"""Physical-layer substrate: OFDM, modulation, coding, noise, BER/PER.
+
+This package implements the signal-level machinery behind Section 3 of the
+paper ("Channel bonding is not panacea"): the 20/40 MHz OFDM parameter
+sets, constellations, the 802.11 convolutional code, the thermal-noise
+floor, and the BER/PER models the ACORN estimator relies on.
+"""
+
+from .ofdm import (
+    OFDM_20MHZ,
+    OFDM_40MHZ,
+    OFDM_LEGACY,
+    OfdmParams,
+    nominal_data_rate_mbps,
+)
+from .modulation import (
+    BPSK,
+    QPSK,
+    QAM16,
+    QAM64,
+    Modulation,
+    modulation_by_name,
+)
+from .coding import CODE_RATES, ConvolutionalCode, code_by_rate
+from .noise import noise_floor_dbm, snr_db, snr_per_subcarrier_db
+from .ber import coded_ber, uncoded_ber
+from .per import effective_throughput_mbps, per_from_ber
+from .psd import per_subcarrier_power_db, welch_psd
+from .convolutional import ConvolutionalCodec
+from .sdm import SdmChannel, sdm_decode, sdm_encode
+
+__all__ = [
+    "OFDM_20MHZ",
+    "OFDM_40MHZ",
+    "OFDM_LEGACY",
+    "OfdmParams",
+    "nominal_data_rate_mbps",
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "Modulation",
+    "modulation_by_name",
+    "CODE_RATES",
+    "ConvolutionalCode",
+    "code_by_rate",
+    "noise_floor_dbm",
+    "snr_db",
+    "snr_per_subcarrier_db",
+    "uncoded_ber",
+    "coded_ber",
+    "per_from_ber",
+    "effective_throughput_mbps",
+    "welch_psd",
+    "per_subcarrier_power_db",
+    "ConvolutionalCodec",
+    "SdmChannel",
+    "sdm_encode",
+    "sdm_decode",
+]

@@ -1,0 +1,48 @@
+"""Uncoded and coded BER as functions of per-subcarrier SNR.
+
+This is the "BER estimation module" of ACORN's link-quality estimator
+(Section 4.2): given a (possibly width-calibrated) SNR, produce the
+theoretical BER from Rappaport's formulas, optionally pushed through the
+802.11 convolutional code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coding import code_by_rate
+from .modulation import Modulation, modulation_by_name
+
+__all__ = ["uncoded_ber", "coded_ber"]
+
+
+def _resolve(modulation: "Modulation | str") -> Modulation:
+    if isinstance(modulation, Modulation):
+        return modulation
+    return modulation_by_name(modulation)
+
+
+def uncoded_ber(
+    modulation: "Modulation | str", snr_db: "float | np.ndarray"
+) -> "float | np.ndarray":
+    """Raw channel BER at per-subcarrier Es/N0 ``snr_db`` (in dB).
+
+    Width-independent by construction — for a fixed *SNR* the channel
+    width does not matter (Fig 3a); bonding hurts because it lowers the
+    SNR at fixed transmit power (Fig 3b).
+    """
+    return _resolve(modulation).ber_db(snr_db)
+
+
+def coded_ber(
+    modulation: "Modulation | str",
+    code_rate: float,
+    snr_db: "float | np.ndarray",
+) -> "float | np.ndarray":
+    """Post-Viterbi BER for a modulation-and-coding pair at ``snr_db``.
+
+    Chains the modulation's AWGN BER into the punctured convolutional
+    code's hard-decision union bound.
+    """
+    raw = uncoded_ber(modulation, snr_db)
+    return code_by_rate(code_rate).coded_ber(raw)

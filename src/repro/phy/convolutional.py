@@ -1,0 +1,248 @@
+"""The 802.11 convolutional codec: K=7 (133, 171) encoder and Viterbi.
+
+:mod:`repro.phy.coding` models coded BER analytically through the union
+bound; this module implements the actual machinery — the constraint-
+length-7 encoder with generators 133/171 (octal), the standard 802.11
+puncturing patterns for rates 2/3, 3/4 and 5/6, and a hard-decision
+Viterbi decoder with erasure-aware depuncturing. The two are validated
+against each other in the test suite, and the coded WARP harness
+(:mod:`repro.warp.codedmac`) runs packets through this codec end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "CONSTRAINT_LENGTH",
+    "GENERATORS_OCTAL",
+    "PUNCTURING_PATTERNS",
+    "ConvolutionalCodec",
+]
+
+CONSTRAINT_LENGTH = 7
+GENERATORS_OCTAL = (0o133, 0o171)
+
+# Standard 802.11 puncturing patterns, one (A, B) keep-flag pair per
+# input bit. A is the g0 output stream, B the g1 stream.
+PUNCTURING_PATTERNS: Dict[float, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {
+    1 / 2: ((1,), (1,)),
+    2 / 3: ((1, 1), (1, 0)),
+    3 / 4: ((1, 1, 0), (1, 0, 1)),
+    5 / 6: ((1, 1, 0, 1, 0), (1, 0, 1, 0, 1)),
+}
+
+_N_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+# Erasure marker inside the depunctured hard-bit stream: contributes no
+# branch metric either way.
+_ERASURE = -1
+
+
+def _output_tables() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-(state, input) next-state and the two generator outputs.
+
+    The state is the previous K-1 input bits, most recent in the MSB
+    (the convention where next_state = (state >> 1) | (bit << 5)).
+    """
+    states = np.arange(_N_STATES)
+    next_state = np.empty((_N_STATES, 2), dtype=np.int64)
+    out_a = np.empty((_N_STATES, 2), dtype=np.uint8)
+    out_b = np.empty((_N_STATES, 2), dtype=np.uint8)
+    for bit in (0, 1):
+        register = (bit << (CONSTRAINT_LENGTH - 1)) | states
+        next_state[:, bit] = register >> 1
+        for table, generator in ((out_a, GENERATORS_OCTAL[0]), (out_b, GENERATORS_OCTAL[1])):
+            taps = register & generator
+            # Parity of the tapped register bits.
+            parity = np.zeros(_N_STATES, dtype=np.uint8)
+            value = taps.copy()
+            while np.any(value):
+                parity ^= (value & 1).astype(np.uint8)
+                value >>= 1
+            table[:, bit] = parity
+    return next_state, out_a, out_b
+
+
+_NEXT_STATE, _OUT_A, _OUT_B = _output_tables()
+
+
+@dataclass(frozen=True)
+class ConvolutionalCodec:
+    """Encoder/decoder pair for one punctured rate.
+
+    Parameters
+    ----------
+    rate:
+        One of 1/2, 2/3, 3/4, 5/6 (the 802.11 rates).
+    """
+
+    rate: float = 1 / 2
+
+    def __post_init__(self) -> None:
+        if self._pattern() is None:
+            raise ConfigurationError(
+                f"unsupported code rate {self.rate}; "
+                f"available: {sorted(PUNCTURING_PATTERNS)}"
+            )
+
+    def _pattern(self):
+        for known, pattern in PUNCTURING_PATTERNS.items():
+            if abs(known - self.rate) < 1e-9:
+                return pattern
+        return None
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode (with K-1 zero-tail termination) and puncture.
+
+        Returns the coded bit stream. The tail drives the encoder back
+        to the all-zero state so the decoder can anchor its traceback.
+        """
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        if bits.size == 0:
+            raise ConfigurationError("cannot encode an empty bit stream")
+        padded = np.concatenate(
+            [bits, np.zeros(CONSTRAINT_LENGTH - 1, dtype=np.uint8)]
+        )
+        stream_a = np.empty(padded.size, dtype=np.uint8)
+        stream_b = np.empty(padded.size, dtype=np.uint8)
+        state = 0
+        for index, bit in enumerate(padded):
+            stream_a[index] = _OUT_A[state, bit]
+            stream_b[index] = _OUT_B[state, bit]
+            state = _NEXT_STATE[state, bit]
+        return self._puncture(stream_a, stream_b)
+
+    def _puncture(self, stream_a: np.ndarray, stream_b: np.ndarray) -> np.ndarray:
+        pattern_a, pattern_b = self._pattern()
+        period = len(pattern_a)
+        keep_a = np.tile(pattern_a, -(-stream_a.size // period))[: stream_a.size]
+        keep_b = np.tile(pattern_b, -(-stream_b.size // period))[: stream_b.size]
+        output = []
+        for index in range(stream_a.size):
+            if keep_a[index]:
+                output.append(stream_a[index])
+            if keep_b[index]:
+                output.append(stream_b[index])
+        return np.asarray(output, dtype=np.uint8)
+
+    def coded_length(self, n_information_bits: int) -> int:
+        """Number of coded bits produced for ``n_information_bits``."""
+        if n_information_bits <= 0:
+            raise ConfigurationError(
+                f"bit count must be positive, got {n_information_bits}"
+            )
+        total = n_information_bits + CONSTRAINT_LENGTH - 1
+        pattern_a, pattern_b = self._pattern()
+        period = len(pattern_a)
+        kept_per_period = sum(pattern_a) + sum(pattern_b)
+        full, remainder = divmod(total, period)
+        kept = full * kept_per_period
+        for index in range(remainder):
+            kept += pattern_a[index] + pattern_b[index]
+        return kept
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _depuncture(
+        self, coded: np.ndarray, n_information_bits: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-insert erasures; returns (stream_a, stream_b) with -1 holes."""
+        total = n_information_bits + CONSTRAINT_LENGTH - 1
+        pattern_a, pattern_b = self._pattern()
+        period = len(pattern_a)
+        stream_a = np.full(total, _ERASURE, dtype=np.int8)
+        stream_b = np.full(total, _ERASURE, dtype=np.int8)
+        cursor = 0
+        for index in range(total):
+            if pattern_a[index % period]:
+                stream_a[index] = coded[cursor]
+                cursor += 1
+            if pattern_b[index % period]:
+                stream_b[index] = coded[cursor]
+                cursor += 1
+        if cursor != coded.size:
+            raise ConfigurationError(
+                f"coded stream has {coded.size} bits, expected {cursor}"
+            )
+        return stream_a, stream_b
+
+    def decode(self, coded: np.ndarray, n_information_bits: int) -> np.ndarray:
+        """Hard-decision Viterbi decode back to the information bits.
+
+        ``coded`` is the (possibly corrupted) punctured stream as 0/1
+        values; erased positions from depuncturing contribute no metric.
+        """
+        coded = np.asarray(coded, dtype=np.int8).ravel()
+        if n_information_bits <= 0:
+            raise ConfigurationError(
+                f"bit count must be positive, got {n_information_bits}"
+            )
+        expected = self.coded_length(n_information_bits)
+        if coded.size != expected:
+            raise ConfigurationError(
+                f"coded stream has {coded.size} bits, expected {expected}"
+            )
+        stream_a, stream_b = self._depuncture(coded, n_information_bits)
+        n_steps = stream_a.size
+
+        infinity = np.int64(1) << 40
+        metrics = np.full(_N_STATES, infinity, dtype=np.int64)
+        metrics[0] = 0  # the encoder starts in the zero state
+        decisions = np.empty((n_steps, _N_STATES), dtype=np.uint8)
+        survivors = np.empty((n_steps, _N_STATES), dtype=np.int64)
+
+        for step in range(n_steps):
+            received_a = stream_a[step]
+            received_b = stream_b[step]
+            # Branch costs per (state, input): Hamming distance against
+            # the received pair, skipping erasures.
+            cost = np.zeros((_N_STATES, 2), dtype=np.int64)
+            if received_a != _ERASURE:
+                cost += _OUT_A != received_a
+            if received_b != _ERASURE:
+                cost += _OUT_B != received_b
+            candidate = metrics[:, None] + cost  # (state, input)
+            new_metrics = np.full(_N_STATES, infinity, dtype=np.int64)
+            decision = np.zeros(_N_STATES, dtype=np.uint8)
+            survivor = np.zeros(_N_STATES, dtype=np.int64)
+            for bit in (0, 1):
+                targets = _NEXT_STATE[:, bit]
+                values = candidate[:, bit]
+                # For each target state keep the cheapest incoming path.
+                order = np.argsort(values, kind="stable")
+                sorted_targets = targets[order]
+                first = np.full(_N_STATES, -1, dtype=np.int64)
+                # First occurrence of each target in cost order is the
+                # cheapest incoming path for this input bit.
+                unique_targets, first_positions = np.unique(
+                    sorted_targets, return_index=True
+                )
+                first[unique_targets] = order[first_positions]
+                valid = first >= 0
+                better = np.where(
+                    valid, values[first] < new_metrics, False
+                )
+                new_metrics = np.where(better, values[first], new_metrics)
+                decision = np.where(better, bit, decision).astype(np.uint8)
+                survivor = np.where(better, first, survivor)
+            metrics = new_metrics
+            decisions[step] = decision
+            survivors[step] = survivor
+
+        # Zero-tail termination: the path ends in state 0.
+        state = 0
+        decoded = np.empty(n_steps, dtype=np.uint8)
+        for step in range(n_steps - 1, -1, -1):
+            decoded[step] = decisions[step, state]
+            state = survivors[step, state]
+        return decoded[:n_information_bits]

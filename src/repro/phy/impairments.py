@@ -1,0 +1,141 @@
+"""RF front-end impairments for the sample-level chain.
+
+The paper notes its theory/measurement fit is imperfect because "the
+noise may not be AWGN in such settings" — real radios add carrier
+frequency offset (CFO), phase noise and IQ imbalance on top of thermal
+noise. These impairments explain two practical facts the chain should
+exhibit: differential (DQPSK) reception tolerates slow phase rotation
+that breaks coherent detection, and pilot-aided scaling absorbs a
+static phase but not a drifting one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import make_rng
+from ..errors import ConfigurationError
+
+__all__ = [
+    "apply_cfo",
+    "apply_phase_noise",
+    "apply_iq_imbalance",
+    "RfImpairments",
+]
+
+
+def apply_cfo(
+    samples: np.ndarray, cfo_hz: float, sample_rate_hz: float
+) -> np.ndarray:
+    """Rotate a baseband signal by a carrier frequency offset.
+
+    A CFO of f Hz multiplies sample n by ``exp(j 2π f n / fs)`` — a
+    phase ramp that de-rotates constellations over time.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(
+            f"sample rate must be positive, got {sample_rate_hz}"
+        )
+    n = np.arange(samples.size)
+    return samples * np.exp(2j * np.pi * cfo_hz * n / sample_rate_hz)
+
+
+def apply_phase_noise(
+    samples: np.ndarray,
+    linewidth_hz: float,
+    sample_rate_hz: float,
+    rng: "np.random.Generator | int | None" = None,
+) -> np.ndarray:
+    """Apply a Wiener phase-noise process of the given 3 dB linewidth.
+
+    The phase performs a random walk with per-sample variance
+    ``2π · linewidth / fs`` — the standard oscillator model.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(
+            f"sample rate must be positive, got {sample_rate_hz}"
+        )
+    if linewidth_hz < 0:
+        raise ConfigurationError(
+            f"linewidth must be non-negative, got {linewidth_hz}"
+        )
+    if linewidth_hz == 0:
+        return samples.copy()
+    rng = make_rng(rng)
+    variance = 2.0 * np.pi * linewidth_hz / sample_rate_hz
+    steps = rng.normal(0.0, np.sqrt(variance), size=samples.size)
+    phase = np.cumsum(steps)
+    return samples * np.exp(1j * phase)
+
+
+def apply_iq_imbalance(
+    samples: np.ndarray,
+    gain_imbalance_db: float = 0.0,
+    phase_imbalance_deg: float = 0.0,
+) -> np.ndarray:
+    """Apply transmitter IQ gain/phase imbalance.
+
+    Standard model: ``y = α·x + β·conj(x)`` with α, β derived from the
+    gain mismatch g and phase mismatch φ. Perfect balance gives α = 1,
+    β = 0.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    g = 10.0 ** (gain_imbalance_db / 20.0)
+    phi = np.deg2rad(phase_imbalance_deg)
+    alpha = (1.0 + g * np.exp(-1j * phi)) / 2.0
+    beta = (1.0 - g * np.exp(1j * phi)) / 2.0
+    return alpha * samples + beta * np.conj(samples)
+
+
+@dataclass(frozen=True)
+class RfImpairments:
+    """A bundle of front-end impairments applied in a realistic order.
+
+    Parameters
+    ----------
+    cfo_hz:
+        Residual carrier frequency offset. 802.11 allows ±20 ppm per
+        side; at 5.2 GHz a few kHz of residual CFO is typical after
+        coarse correction.
+    phase_noise_linewidth_hz:
+        Oscillator linewidth for the Wiener phase-noise model.
+    gain_imbalance_db, phase_imbalance_deg:
+        Transmit IQ imbalance.
+    """
+
+    cfo_hz: float = 0.0
+    phase_noise_linewidth_hz: float = 0.0
+    gain_imbalance_db: float = 0.0
+    phase_imbalance_deg: float = 0.0
+
+    def apply(
+        self,
+        samples: np.ndarray,
+        sample_rate_hz: float,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> np.ndarray:
+        """IQ imbalance (at the transmitter), then CFO, then phase noise."""
+        result = apply_iq_imbalance(
+            samples, self.gain_imbalance_db, self.phase_imbalance_deg
+        )
+        if self.cfo_hz:
+            result = apply_cfo(result, self.cfo_hz, sample_rate_hz)
+        if self.phase_noise_linewidth_hz:
+            result = apply_phase_noise(
+                result, self.phase_noise_linewidth_hz, sample_rate_hz, rng
+            )
+        return result
+
+    @property
+    def is_clean(self) -> bool:
+        """True when every impairment is disabled."""
+        return (
+            self.cfo_hz == 0.0
+            and self.phase_noise_linewidth_hz == 0.0
+            and self.gain_imbalance_db == 0.0
+            and self.phase_imbalance_deg == 0.0
+        )

@@ -1,0 +1,234 @@
+"""Linear modulations used by 802.11n plus the theoretical error rates.
+
+Provides Gray-coded constellations (BPSK, QPSK, 16-QAM, 64-QAM), bit
+mapping/demapping for the sample-level WARP chain, and closed-form AWGN
+symbol/bit error probabilities (Rappaport) used by the paper for the
+Fig 3 "theory" curves and by ACORN's link-quality estimator.
+
+SNR convention: ``snr`` arguments are linear Es/N0 per *subcarrier*
+(i.e. per modulated symbol) unless a ``_db`` suffix says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+from scipy.special import erfc
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Modulation",
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "MODULATIONS",
+    "modulation_by_name",
+    "q_function",
+]
+
+
+def q_function(x: "float | np.ndarray") -> "float | np.ndarray":
+    """Gaussian tail probability Q(x) = P(N(0,1) > x)."""
+    return 0.5 * erfc(np.asarray(x, dtype=float) / math.sqrt(2.0))
+
+
+def _gray_code(n_bits: int) -> np.ndarray:
+    """Gray-code sequence of length 2**n_bits."""
+    n = 1 << n_bits
+    codes = np.arange(n)
+    return codes ^ (codes >> 1)
+
+
+def _pam_levels(n_bits: int) -> np.ndarray:
+    """Gray-mapped PAM amplitude levels for one I or Q axis.
+
+    Returns an array where entry ``b`` is the amplitude transmitted for
+    the Gray-decoded bit pattern ``b``.
+    """
+    m = 1 << n_bits
+    # Natural-order amplitudes -(m-1), ..., -1, 1, ..., (m-1).
+    amplitudes = 2 * np.arange(m) - (m - 1)
+    levels = np.empty(m)
+    gray = _gray_code(n_bits)
+    for position, bits in enumerate(gray):
+        levels[bits] = amplitudes[position]
+    return levels.astype(float)
+
+
+def _square_qam_constellation(bits_per_symbol: int) -> np.ndarray:
+    """Unit-average-energy square QAM constellation, Gray mapped.
+
+    Entry ``i`` is the complex point transmitted for bit pattern ``i``
+    (MSBs on the in-phase axis).
+    """
+    if bits_per_symbol % 2:
+        raise ConfigurationError(
+            f"square QAM needs an even bit count, got {bits_per_symbol}"
+        )
+    half = bits_per_symbol // 2
+    pam = _pam_levels(half)
+    m_axis = 1 << half
+    points = np.empty(1 << bits_per_symbol, dtype=complex)
+    for i_bits in range(m_axis):
+        for q_bits in range(m_axis):
+            index = (i_bits << half) | q_bits
+            points[index] = pam[i_bits] + 1j * pam[q_bits]
+    # Normalise to unit average symbol energy.
+    energy = np.mean(np.abs(points) ** 2)
+    return points / math.sqrt(energy)
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """One linear modulation with its constellation and AWGN error theory.
+
+    Attributes
+    ----------
+    name:
+        Canonical label ("BPSK", "QPSK", "16QAM", "64QAM").
+    bits_per_symbol:
+        log2 of the constellation size.
+    constellation:
+        Unit-average-energy complex points, indexed by bit pattern.
+    """
+
+    name: str
+    bits_per_symbol: int
+    constellation: np.ndarray = field(repr=False, compare=False)
+
+    @property
+    def order(self) -> int:
+        """Constellation size M."""
+        return 1 << self.bits_per_symbol
+
+    # ------------------------------------------------------------------
+    # Bit-level mapping (used by the WARP sample-level chain)
+    # ------------------------------------------------------------------
+    def map_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit array (values 0/1) to complex constellation symbols.
+
+        The bit count must be a multiple of ``bits_per_symbol``.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.bits_per_symbol:
+            raise ConfigurationError(
+                f"{bits.size} bits is not a multiple of {self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        indices = groups @ weights
+        return self.constellation[indices]
+
+    def demap_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demap complex symbols back to a flat bit array."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        # Nearest-neighbour search against the constellation.
+        distances = np.abs(symbols[:, None] - self.constellation[None, :])
+        indices = np.argmin(distances, axis=1)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        bits = (indices[:, None] >> shifts) & 1
+        return bits.astype(np.uint8).ravel()
+
+    # ------------------------------------------------------------------
+    # Theoretical AWGN error rates
+    # ------------------------------------------------------------------
+    def ser(self, snr: "float | np.ndarray") -> "float | np.ndarray":
+        """Symbol error probability at linear Es/N0 ``snr``."""
+        snr = np.maximum(np.asarray(snr, dtype=float), 0.0)
+        m = self.order
+        if m == 2:
+            result = q_function(np.sqrt(2.0 * snr))
+        elif m == 4:
+            p = q_function(np.sqrt(snr))
+            result = 1.0 - (1.0 - p) ** 2
+        else:
+            # Square M-QAM.
+            sqrt_m = math.isqrt(m)
+            p_axis = 2.0 * (1.0 - 1.0 / sqrt_m) * q_function(
+                np.sqrt(3.0 * snr / (m - 1))
+            )
+            result = 1.0 - (1.0 - p_axis) ** 2
+        return result if np.ndim(result) else float(result)
+
+    def ber(self, snr: "float | np.ndarray") -> "float | np.ndarray":
+        """Bit error probability at linear Es/N0 ``snr`` (Gray mapping).
+
+        Uses the standard approximations: exact for BPSK/QPSK, the
+        nearest-neighbour Gray-mapping bound for square QAM.
+        """
+        snr = np.maximum(np.asarray(snr, dtype=float), 0.0)
+        m = self.order
+        k = self.bits_per_symbol
+        if m == 2:
+            result = q_function(np.sqrt(2.0 * snr))
+        elif m == 4:
+            # Per-bit SNR is Es/N0 / 2; Gray QPSK == two independent BPSK.
+            result = q_function(np.sqrt(snr))
+        else:
+            sqrt_m = math.isqrt(m)
+            result = (
+                4.0
+                / k
+                * (1.0 - 1.0 / sqrt_m)
+                * q_function(np.sqrt(3.0 * snr / (m - 1)))
+            )
+        result = np.minimum(result, 0.5)
+        return result if np.ndim(result) else float(result)
+
+    def ber_db(self, snr_db: "float | np.ndarray") -> "float | np.ndarray":
+        """Bit error probability at Es/N0 given in dB."""
+        return self.ber(10.0 ** (np.asarray(snr_db, dtype=float) / 10.0))
+
+
+BPSK = Modulation(
+    name="BPSK",
+    bits_per_symbol=1,
+    constellation=np.array([1.0 + 0.0j, -1.0 + 0.0j]),
+)
+
+QPSK = Modulation(
+    name="QPSK",
+    bits_per_symbol=2,
+    constellation=_square_qam_constellation(2),
+)
+
+QAM16 = Modulation(
+    name="16QAM",
+    bits_per_symbol=4,
+    constellation=_square_qam_constellation(4),
+)
+
+QAM64 = Modulation(
+    name="64QAM",
+    bits_per_symbol=6,
+    constellation=_square_qam_constellation(6),
+)
+
+MODULATIONS: Dict[str, Modulation] = {
+    m.name: m for m in (BPSK, QPSK, QAM16, QAM64)
+}
+
+_ALIASES: Dict[str, str] = {
+    "bpsk": "BPSK",
+    "qpsk": "QPSK",
+    "dqpsk": "QPSK",  # differential QPSK shares the QPSK constellation
+    "16qam": "16QAM",
+    "qam16": "16QAM",
+    "64qam": "64QAM",
+    "qam64": "64QAM",
+}
+
+
+def modulation_by_name(name: str) -> Modulation:
+    """Look up a modulation by a case-insensitive name or alias."""
+    canonical = _ALIASES.get(name.lower())
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown modulation {name!r}; expected one of {sorted(_ALIASES)}"
+        )
+    return MODULATIONS[canonical]

@@ -1,0 +1,178 @@
+"""802.11 OFDM parameter sets for 20 MHz, 40 MHz (bonded) and legacy bands.
+
+Section 3.1 of the paper: legacy 802.11a/g uses 64 subcarriers (48 data),
+802.11n uses 52 data subcarriers in a 20 MHz channel and, with channel
+bonding, 108 data subcarriers over 40 MHz. These counts drive both the
+nominal bit rates and the per-subcarrier energy penalty of bonding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "OfdmParams",
+    "OFDM_LEGACY",
+    "OFDM_20MHZ",
+    "OFDM_40MHZ",
+    "GUARD_INTERVAL_LONG_S",
+    "GUARD_INTERVAL_SHORT_S",
+    "USEFUL_SYMBOL_S",
+    "nominal_data_rate_mbps",
+]
+
+# OFDM symbol timing (802.11n): 3.2 us useful part, 800 ns long GI
+# (4.0 us symbol) or 400 ns short GI (3.6 us symbol).
+USEFUL_SYMBOL_S = 3.2e-6
+GUARD_INTERVAL_LONG_S = 0.8e-6
+GUARD_INTERVAL_SHORT_S = 0.4e-6
+
+
+def _ht20_data_indices() -> Tuple[int, ...]:
+    """Data subcarrier indices for HT20: ±1..±28 minus pilots at ±7, ±21."""
+    pilots = {-21, -7, 7, 21}
+    return tuple(
+        k for k in range(-28, 29) if k != 0 and k not in pilots
+    )
+
+
+def _ht40_data_indices() -> Tuple[int, ...]:
+    """Data subcarrier indices for HT40: ±2..±58 minus pilots at ±11, ±25, ±53."""
+    pilots = {-53, -25, -11, 11, 25, 53}
+    return tuple(
+        k for k in range(-58, 59) if abs(k) >= 2 and k not in pilots
+    )
+
+
+def _legacy_data_indices() -> Tuple[int, ...]:
+    """Data subcarrier indices for legacy 11a/g: ±1..±26 minus pilots."""
+    pilots = {-21, -7, 7, 21}
+    return tuple(
+        k for k in range(-26, 27) if k != 0 and k not in pilots
+    )
+
+
+@dataclass(frozen=True)
+class OfdmParams:
+    """Immutable description of one OFDM numerology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("HT20", "HT40", "legacy").
+    bandwidth_mhz:
+        Occupied channel bandwidth.
+    fft_size:
+        IFFT/FFT length used by the baseband chain (64 for 20 MHz,
+        128 for 40 MHz, exactly as in the paper's WARP implementation).
+    data_subcarriers:
+        Frequency indices (relative to the channel centre) that carry data.
+    pilot_subcarriers:
+        Frequency indices carrying pilot tones.
+    """
+
+    name: str
+    bandwidth_mhz: float
+    fft_size: int
+    data_subcarriers: Tuple[int, ...]
+    pilot_subcarriers: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.fft_size <= 0 or self.fft_size & (self.fft_size - 1):
+            raise ConfigurationError(
+                f"fft_size must be a positive power of two, got {self.fft_size}"
+            )
+        out_of_range = [
+            k
+            for k in (*self.data_subcarriers, *self.pilot_subcarriers)
+            if not -self.fft_size // 2 <= k < self.fft_size // 2
+        ]
+        if out_of_range:
+            raise ConfigurationError(
+                f"subcarrier indices {out_of_range} exceed fft_size {self.fft_size}"
+            )
+        overlap = set(self.data_subcarriers) & set(self.pilot_subcarriers)
+        if overlap:
+            raise ConfigurationError(
+                f"subcarriers {sorted(overlap)} are both data and pilot"
+            )
+
+    @property
+    def n_data(self) -> int:
+        """Number of data subcarriers (52 for HT20, 108 for HT40)."""
+        return len(self.data_subcarriers)
+
+    @property
+    def n_pilots(self) -> int:
+        """Number of pilot subcarriers."""
+        return len(self.pilot_subcarriers)
+
+    @property
+    def n_used(self) -> int:
+        """Total occupied subcarriers (data + pilots)."""
+        return self.n_data + self.n_pilots
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """Subcarrier spacing: 312.5 kHz for all 802.11 OFDM numerologies."""
+        return self.bandwidth_mhz * 1e6 / self.fft_size
+
+    def symbol_duration_s(self, short_gi: bool = False) -> float:
+        """Full OFDM symbol duration including the guard interval."""
+        gi = GUARD_INTERVAL_SHORT_S if short_gi else GUARD_INTERVAL_LONG_S
+        return USEFUL_SYMBOL_S + gi
+
+
+OFDM_LEGACY = OfdmParams(
+    name="legacy",
+    bandwidth_mhz=20.0,
+    fft_size=64,
+    data_subcarriers=_legacy_data_indices(),
+    pilot_subcarriers=(-21, -7, 7, 21),
+)
+
+OFDM_20MHZ = OfdmParams(
+    name="HT20",
+    bandwidth_mhz=20.0,
+    fft_size=64,
+    data_subcarriers=_ht20_data_indices(),
+    pilot_subcarriers=(-21, -7, 7, 21),
+)
+
+OFDM_40MHZ = OfdmParams(
+    name="HT40",
+    bandwidth_mhz=40.0,
+    fft_size=128,
+    data_subcarriers=_ht40_data_indices(),
+    pilot_subcarriers=(-53, -25, -11, 11, 25, 53),
+)
+
+
+def nominal_data_rate_mbps(
+    params: OfdmParams,
+    bits_per_symbol: int,
+    code_rate: float,
+    n_streams: int = 1,
+    short_gi: bool = False,
+) -> float:
+    """Nominal PHY data rate for one modulation-and-coding choice.
+
+    ``rate = n_data * bits * code_rate * streams / symbol_duration``
+
+    Examples (matching the 802.11n standard): HT20, 64-QAM 5/6, one
+    stream, long GI -> 65 Mbps; HT40 -> 135 Mbps; with short GI
+    -> 72.2 / 150 Mbps.
+    """
+    if bits_per_symbol <= 0:
+        raise ConfigurationError(
+            f"bits_per_symbol must be positive, got {bits_per_symbol}"
+        )
+    if not 0 < code_rate <= 1:
+        raise ConfigurationError(f"code_rate must be in (0, 1], got {code_rate}")
+    if n_streams < 1:
+        raise ConfigurationError(f"n_streams must be >= 1, got {n_streams}")
+    bits_per_ofdm_symbol = params.n_data * bits_per_symbol * code_rate * n_streams
+    return bits_per_ofdm_symbol / params.symbol_duration_s(short_gi) / 1e6

@@ -1,0 +1,51 @@
+"""Packet error rate from bit error rate (Eq. 6) and derived throughput.
+
+The paper assumes independent, uniformly distributed bit errors within a
+packet: ``PER = 1 - (1 - BER)^L`` with ``L`` the packet length in bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_PACKET_SIZE_BYTES
+from ..errors import ConfigurationError
+
+__all__ = ["per_from_ber", "ber_from_per", "effective_throughput_mbps"]
+
+
+def per_from_ber(
+    ber: "float | np.ndarray", packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+) -> "float | np.ndarray":
+    """Packet error probability under independent bit errors (Eq. 6)."""
+    if packet_bytes <= 0:
+        raise ConfigurationError(f"packet size must be positive, got {packet_bytes}")
+    ber = np.clip(np.asarray(ber, dtype=float), 0.0, 1.0)
+    bits = 8 * packet_bytes
+    # log1p keeps precision for tiny BERs where (1-ber)**bits underflows
+    # the direct power computation.
+    per = 1.0 - np.exp(bits * np.log1p(-np.minimum(ber, 1.0 - 1e-15)))
+    per = np.clip(per, 0.0, 1.0)
+    return per if np.ndim(per) else float(per)
+
+
+def ber_from_per(
+    per: "float | np.ndarray", packet_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+) -> "float | np.ndarray":
+    """Invert Eq. 6: the uniform BER that would yield ``per``."""
+    if packet_bytes <= 0:
+        raise ConfigurationError(f"packet size must be positive, got {packet_bytes}")
+    per = np.clip(np.asarray(per, dtype=float), 0.0, 1.0 - 1e-15)
+    bits = 8 * packet_bytes
+    ber = 1.0 - np.exp(np.log1p(-per) / bits)
+    return ber if np.ndim(ber) else float(ber)
+
+
+def effective_throughput_mbps(
+    nominal_rate_mbps: "float | np.ndarray", per: "float | np.ndarray"
+) -> "float | np.ndarray":
+    """Goodput model used throughout the paper: ``T = (1 - PER) * R``."""
+    rate = np.asarray(nominal_rate_mbps, dtype=float)
+    per = np.clip(np.asarray(per, dtype=float), 0.0, 1.0)
+    result = rate * (1.0 - per)
+    return result if np.ndim(result) else float(result)

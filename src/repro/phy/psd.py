@@ -1,0 +1,85 @@
+"""Power spectral density estimation for the Fig 1 experiment.
+
+A Welch-periodogram PSD of the generated OFDM waveform shows the ~3 dB
+per-subcarrier energy drop when the same transmit power is spread over a
+40 MHz (108-data-subcarrier) channel instead of a 20 MHz one.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import signal as _signal
+
+from ..errors import ConfigurationError
+
+__all__ = ["welch_psd", "per_subcarrier_power_db", "occupied_band_level_db"]
+
+
+def welch_psd(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    segment_length: int = 256,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Welch PSD estimate of a complex baseband waveform.
+
+    Returns ``(freqs_hz, psd_db)`` with frequencies centred on 0 Hz
+    (two-sided, fftshifted) and the PSD in dB (10*log10 of the density).
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if samples.size < segment_length:
+        raise ConfigurationError(
+            f"need at least {segment_length} samples, got {samples.size}"
+        )
+    freqs, psd = _signal.welch(
+        samples,
+        fs=sample_rate_hz,
+        nperseg=segment_length,
+        return_onesided=False,
+        scaling="density",
+    )
+    order = np.argsort(freqs)
+    psd = np.maximum(psd[order], 1e-30)
+    return freqs[order], 10.0 * np.log10(psd)
+
+
+def per_subcarrier_power_db(
+    frequency_symbols: np.ndarray,
+) -> np.ndarray:
+    """Average power per subcarrier (dB) from frequency-domain symbols.
+
+    ``frequency_symbols`` has shape (n_symbols, n_subcarriers).
+    """
+    symbols = np.asarray(frequency_symbols, dtype=complex)
+    if symbols.ndim != 2 or symbols.size == 0:
+        raise ConfigurationError(
+            f"expected non-empty (n_symbols, n_subcarriers), got {symbols.shape}"
+        )
+    power = np.mean(np.abs(symbols) ** 2, axis=0)
+    return 10.0 * np.log10(np.maximum(power, 1e-30))
+
+
+def occupied_band_level_db(
+    freqs_hz: np.ndarray,
+    psd_db: np.ndarray,
+    band_hz: float,
+    guard_fraction: float = 0.2,
+) -> float:
+    """Median PSD level across the occupied part of a band.
+
+    Averages the central ``1 - guard_fraction`` of ±band/2, skipping the
+    spectral skirts, to give one representative per-subcarrier level —
+    the quantity compared between 20 and 40 MHz in Fig 1.
+    """
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
+    psd_db = np.asarray(psd_db, dtype=float)
+    if freqs_hz.shape != psd_db.shape:
+        raise ConfigurationError("freqs and psd must have matching shapes")
+    if band_hz <= 0:
+        raise ConfigurationError(f"band must be positive, got {band_hz}")
+    half = band_hz / 2.0 * (1.0 - guard_fraction)
+    mask = np.abs(freqs_hz) <= half
+    if not np.any(mask):
+        raise ConfigurationError("no PSD bins fall inside the requested band")
+    return float(np.median(psd_db[mask]))

@@ -1,0 +1,93 @@
+"""2x2 spatial division multiplexing (SDM) with a zero-forcing receiver.
+
+The second 802.11n MIMO mode (Section 2): two independent streams on
+the same time-frequency resource, separated at the receiver by channel
+inversion. Complements :mod:`repro.phy.stbc`; together they ground the
+analysis-level mode model of :mod:`repro.phy.mimo` — SDM doubles the
+rate but a poorly conditioned channel amplifies noise, which is why the
+auto-rate only selects it on strong links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["SdmChannel", "sdm_encode", "sdm_decode"]
+
+
+def sdm_encode(symbols: np.ndarray) -> np.ndarray:
+    """Split a symbol stream into two parallel spatial streams.
+
+    Even-indexed symbols ride antenna 0, odd-indexed antenna 1 — each
+    antenna at half the total power, like the Alamouti encoder.
+    """
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    if symbols.size % 2:
+        raise ConfigurationError(
+            f"SDM carries symbol pairs; got odd count {symbols.size}"
+        )
+    streams = np.vstack([symbols[0::2], symbols[1::2]])
+    return streams / np.sqrt(2.0)
+
+
+@dataclass
+class SdmChannel:
+    """A 2x2 flat MIMO channel ``h[rx, tx]`` for spatial multiplexing."""
+
+    h: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.h = np.asarray(self.h, dtype=complex)
+        if self.h.shape != (2, 2):
+            raise ConfigurationError(f"expected a 2x2 channel, got {self.h.shape}")
+
+    def transmit(self, streams: np.ndarray) -> np.ndarray:
+        """Mix the two transmitted streams through the channel."""
+        streams = np.asarray(streams, dtype=complex)
+        if streams.ndim != 2 or streams.shape[0] != 2:
+            raise ConfigurationError(
+                f"expected streams of shape (2, n), got {streams.shape}"
+            )
+        return self.h @ streams
+
+    @property
+    def condition_number(self) -> float:
+        """cond(H): how much stream separation amplifies noise."""
+        return float(np.linalg.cond(self.h))
+
+    def zero_forcing_matrix(self) -> np.ndarray:
+        """The ZF equaliser H^-1 (raises if H is singular)."""
+        if abs(np.linalg.det(self.h)) < 1e-12:
+            raise ConfigurationError("channel matrix is singular; ZF undefined")
+        return np.linalg.inv(self.h)
+
+    def noise_enhancement_db(self) -> float:
+        """Post-ZF noise amplification of the worse stream, in dB.
+
+        The ZF output noise on stream k scales with the squared norm of
+        row k of H^-1; a well-conditioned channel stays near 0 dB, a
+        near-singular one blows up — the SDM penalty the MCS selector's
+        analysis model charges.
+        """
+        inverse = self.zero_forcing_matrix()
+        row_gains = np.sum(np.abs(inverse) ** 2, axis=1)
+        return float(10.0 * np.log10(np.max(row_gains)))
+
+
+def sdm_decode(received: np.ndarray, channel: SdmChannel) -> np.ndarray:
+    """Zero-forcing separation back to the interleaved symbol stream."""
+    received = np.asarray(received, dtype=complex)
+    if received.ndim != 2 or received.shape[0] != 2:
+        raise ConfigurationError(
+            f"expected received shape (2, n), got {received.shape}"
+        )
+    separated = channel.zero_forcing_matrix() @ received
+    symbols = np.empty(2 * received.shape[1], dtype=complex)
+    symbols[0::2] = separated[0]
+    symbols[1::2] = separated[1]
+    # Undo the transmit power split.
+    return symbols * np.sqrt(2.0)

@@ -1,0 +1,33 @@
+"""Experiment substrate: traffic models, paper scenarios, mobility."""
+
+from .traffic import TcpTraffic, UdpTraffic
+from .scenario import (
+    Scenario,
+    topology1,
+    topology2,
+    dense_triangle,
+    random_enterprise,
+    ap_triple,
+)
+from .mobility import LinearWalk, MobilityTrace, run_mobility_experiment
+from .longrun import ChurnConfig, LongRunResult, run_long_run
+from .buildings import FloorPlan, office_floor
+
+__all__ = [
+    "UdpTraffic",
+    "TcpTraffic",
+    "Scenario",
+    "topology1",
+    "topology2",
+    "dense_triangle",
+    "random_enterprise",
+    "ap_triple",
+    "LinearWalk",
+    "MobilityTrace",
+    "run_mobility_experiment",
+    "ChurnConfig",
+    "LongRunResult",
+    "run_long_run",
+    "FloorPlan",
+    "office_floor",
+]

@@ -1,0 +1,15 @@
+"""Workload traces: synthetic association-duration sessions (Fig 9)."""
+
+from .associations import (
+    AssociationTraceSummary,
+    recommended_period_s,
+    summarize_durations,
+    synthesize_association_durations,
+)
+
+__all__ = [
+    "synthesize_association_durations",
+    "summarize_durations",
+    "AssociationTraceSummary",
+    "recommended_period_s",
+]

@@ -1,0 +1,114 @@
+"""Unit conversions used throughout the ACORN reproduction.
+
+Radio engineering mixes logarithmic (dB, dBm) and linear (mW, W, plain
+ratios) quantities freely; keeping the conversions in one tested module
+avoids the classic factor-of-10 and log-base bugs.
+
+Conventions
+-----------
+* ``dBm`` is absolute power referenced to 1 milliwatt.
+* ``dB`` is a dimensionless power *ratio* on a logarithmic scale.
+* SNR values are power ratios: ``snr_db = 10 * log10(snr_linear)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "add_powers_dbm",
+    "mhz_to_hz",
+    "hz_to_mhz",
+    "mbps_to_bps",
+    "bps_to_mbps",
+]
+
+# Smallest power we will express in dBm; avoids ``log10(0)`` blowing up
+# when a simulated signal is entirely absent.
+_MIN_POWER_MW = 1e-30
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert an absolute power from dBm to milliwatts."""
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert an absolute power from milliwatts to dBm.
+
+    Raises
+    ------
+    ValueError
+        If ``power_mw`` is negative; physical powers cannot be negative.
+    """
+    if power_mw < 0:
+        raise ValueError(f"power must be non-negative, got {power_mw} mW")
+    return 10.0 * math.log10(max(power_mw, _MIN_POWER_MW))
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert an absolute power from dBm to watts."""
+    return dbm_to_mw(power_dbm) / 1e3
+
+
+def watts_to_dbm(power_w: float) -> float:
+    """Convert an absolute power from watts to dBm."""
+    if power_w < 0:
+        raise ValueError(f"power must be non-negative, got {power_w} W")
+    return mw_to_dbm(power_w * 1e3)
+
+
+def db_to_linear(ratio_db: float) -> float:
+    """Convert a power ratio from decibels to a linear ratio."""
+    return 10.0 ** (ratio_db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises
+    ------
+    ValueError
+        If ``ratio`` is negative.
+    """
+    if ratio < 0:
+        raise ValueError(f"ratio must be non-negative, got {ratio}")
+    return 10.0 * math.log10(max(ratio, _MIN_POWER_MW))
+
+
+def add_powers_dbm(*powers_dbm: float) -> float:
+    """Sum absolute powers expressed in dBm (linear-domain addition).
+
+    Useful for accumulating interference from several transmitters:
+    ``add_powers_dbm(-90, -90)`` is ``-87`` (3 dB up), not ``-180``.
+    """
+    if not powers_dbm:
+        raise ValueError("at least one power value is required")
+    total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
+    return mw_to_dbm(total_mw)
+
+
+def mhz_to_hz(freq_mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return freq_mhz * 1e6
+
+
+def hz_to_mhz(freq_hz: float) -> float:
+    """Convert hertz to megahertz."""
+    return freq_hz / 1e6
+
+
+def mbps_to_bps(rate_mbps: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return rate_mbps * 1e6
+
+
+def bps_to_mbps(rate_bps: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return rate_bps / 1e6

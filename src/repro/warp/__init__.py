@@ -1,0 +1,23 @@
+"""WARP/WarpLab testbed substrate: a sample-level OFDM baseband simulator.
+
+The paper's Section 3.1 measurements ran on WARP FPGA boards: a random
+bitstream is DQPSK/QPSK modulated, IFFT'd (64-point for 20 MHz, 128-point
+for 40 MHz), a cyclic prefix is added, a Barker sequence is prepended for
+symbol detection, and frames are sent over the air with 2x2 Alamouti
+STBC. We reproduce that chain in numpy so that the Fig 1-4 experiments
+can run without the hardware.
+"""
+
+from .waveform import OfdmFrame, OfdmTransmitter
+from .receiver import OfdmReceiver, detect_preamble
+from .bermac import BerMacHarness, BerMeasurement, PacketTrialResult
+
+__all__ = [
+    "OfdmFrame",
+    "OfdmTransmitter",
+    "OfdmReceiver",
+    "detect_preamble",
+    "BerMacHarness",
+    "BerMeasurement",
+    "PacketTrialResult",
+]

@@ -1,0 +1,174 @@
+"""OFDM receive chain: preamble detection, CP removal, FFT, demapping.
+
+Mirror image of :mod:`repro.warp.waveform`: "at the receiver, the
+preamble sequence is detected and stripped; the cyclic prefix is removed
+and the remaining samples are fed into a FFT module; after demodulating
+the samples, the receiver obtains the bitstream."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phy.channelmodel import FadingChannel
+from ..phy.modulation import Modulation, QPSK
+from ..phy.ofdm import OfdmParams
+from .waveform import BARKER_13, OfdmFrame, preamble_sequence
+
+__all__ = ["detect_preamble", "OfdmReceiver", "DemodulationResult"]
+
+
+def detect_preamble(samples: np.ndarray, threshold: float = 0.5) -> Optional[int]:
+    """Locate the end of the Barker preamble by cross-correlation.
+
+    Returns the index of the first payload sample, or ``None`` when no
+    correlation peak clears ``threshold`` (normalised to the ideal peak).
+    """
+    samples = np.asarray(samples, dtype=complex)
+    reference = preamble_sequence()
+    if samples.size < reference.size:
+        return None
+    correlation = np.abs(
+        np.correlate(samples, reference, mode="valid")
+    )
+    ideal_peak = float(np.sum(np.abs(reference) ** 2))
+    # Normalise by the local signal energy so the threshold is
+    # amplitude-independent.
+    peak_index = int(np.argmax(correlation))
+    window = samples[peak_index : peak_index + reference.size]
+    local_energy = float(np.sum(np.abs(window) ** 2))
+    if local_energy <= 0:
+        return None
+    normalised = correlation[peak_index] / np.sqrt(ideal_peak * local_energy)
+    if normalised < threshold:
+        return None
+    return peak_index + reference.size
+
+
+@dataclass
+class DemodulationResult:
+    """Outcome of demodulating one frame."""
+
+    bits: np.ndarray
+    symbols: np.ndarray  # (n_symbols, n_data) post-equalisation grid
+    detected: bool
+
+    def bit_errors(self, reference_bits: np.ndarray) -> int:
+        """Count bit errors against the transmitted payload."""
+        reference_bits = np.asarray(reference_bits, dtype=np.uint8)
+        if reference_bits.size != self.bits.size:
+            raise ConfigurationError(
+                f"bit count mismatch: {reference_bits.size} vs {self.bits.size}"
+            )
+        return int(np.count_nonzero(self.bits != reference_bits))
+
+
+@dataclass
+class OfdmReceiver:
+    """Demodulates frames produced by :class:`~repro.warp.waveform.OfdmTransmitter`.
+
+    Parameters
+    ----------
+    params, modulation, differential:
+        Must match the transmitter configuration.
+    fading:
+        Optional known per-data-subcarrier fading realisation to
+        zero-forcing equalise (coherent mode only — differential
+        reception cancels slow fading inherently).
+    """
+
+    params: OfdmParams
+    modulation: Modulation = QPSK
+    differential: bool = False
+    fading: Optional[FadingChannel] = None
+
+    def __post_init__(self) -> None:
+        if self.fading is not None and self.fading.n_subcarriers != self.params.n_data:
+            raise ConfigurationError(
+                f"fading has {self.fading.n_subcarriers} gains but the "
+                f"numerology has {self.params.n_data} data subcarriers"
+            )
+
+    # ------------------------------------------------------------------
+    def _payload_to_grid(
+        self, payload: np.ndarray, n_ofdm_symbols: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Strip CPs, FFT, and split data and pilot subcarriers."""
+        n_fft = self.params.fft_size
+        cp = n_fft // 4
+        symbol_length = n_fft + cp
+        needed = n_ofdm_symbols * symbol_length
+        if payload.size < needed:
+            raise ConfigurationError(
+                f"payload has {payload.size} samples, need {needed}"
+            )
+        blocks = payload[:needed].reshape(n_ofdm_symbols, symbol_length)
+        no_cp = blocks[:, cp:]
+        spectrum = np.fft.fft(no_cp, axis=1)
+        data_indices = np.asarray(self.params.data_subcarriers) % n_fft
+        pilot_indices = np.asarray(self.params.pilot_subcarriers) % n_fft
+        return spectrum[:, data_indices], spectrum[:, pilot_indices]
+
+    def demodulate(
+        self,
+        samples: np.ndarray,
+        n_symbols: int,
+        payload_start: Optional[int] = None,
+    ) -> DemodulationResult:
+        """Recover the payload bits from received frame samples.
+
+        Parameters
+        ----------
+        samples:
+            Received complex baseband (preamble + payload), possibly
+            noisy/faded.
+        n_symbols:
+            Number of *data* OFDM symbols (the DQPSK reference symbol,
+            when differential, is handled internally).
+        payload_start:
+            Known index of the first payload sample. When ``None`` the
+            Barker preamble is detected; detection failure falls back to
+            the nominal preamble length and is flagged via
+            ``DemodulationResult.detected``.
+        """
+        samples = np.asarray(samples, dtype=complex)
+        detected = True
+        if payload_start is None:
+            payload_start = detect_preamble(samples)
+            if payload_start is None:
+                detected = False
+                payload_start = BARKER_13.size * 4
+        payload = samples[payload_start:]
+        n_ofdm_symbols = n_symbols + (1 if self.differential else 0)
+        grid, pilots = self._payload_to_grid(payload, n_ofdm_symbols)
+        if self.differential:
+            # Phase difference between consecutive symbols per subcarrier;
+            # slow per-subcarrier fading (and any amplitude scale) cancels.
+            reference = grid[:-1]
+            safe = np.where(np.abs(reference) < 1e-12, 1e-12, reference)
+            grid = grid[1:] / safe
+        else:
+            # Pilot-aided amplitude/phase reference: the transmitter sends
+            # unit BPSK tones on the pilots, so their complex mean is the
+            # common scale factor (transmit power scaling, flat gain).
+            scale = np.mean(pilots) if pilots.size else 1.0 + 0.0j
+            if abs(scale) < 1e-12:
+                scale = 1.0 + 0.0j
+            grid = grid / scale
+            if self.fading is not None:
+                grid = self.fading.equalize(grid)
+        bits = self.modulation.demap_symbols(grid.ravel())
+        return DemodulationResult(bits=bits, symbols=grid, detected=detected)
+
+    def demodulate_frame(
+        self, frame: OfdmFrame, received: Optional[np.ndarray] = None
+    ) -> DemodulationResult:
+        """Convenience wrapper taking the transmit-side frame metadata."""
+        samples = frame.samples if received is None else received
+        return self.demodulate(
+            samples, frame.n_symbols, payload_start=frame.preamble_length
+        )

@@ -1,0 +1,63 @@
+"""Shared fixtures for the ACORN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import ChannelPlan, Network, ThroughputModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for the test at hand."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def plan() -> ChannelPlan:
+    """The full 5 GHz channel plan."""
+    return ChannelPlan()
+
+
+@pytest.fixture
+def model() -> ThroughputModel:
+    """A default throughput model."""
+    return ThroughputModel()
+
+
+@pytest.fixture
+def two_cell_network() -> Network:
+    """2 APs, 2 poor + 2 good clients, interference free, associated."""
+    network = Network()
+    network.add_ap("ap1")
+    network.add_ap("ap2")
+    links = {
+        ("ap1", "poor1"): 1.0,
+        ("ap1", "poor2"): 2.0,
+        ("ap2", "good1"): 25.0,
+        ("ap2", "good2"): 27.0,
+    }
+    for (ap_id, client_id), snr in links.items():
+        network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, snr)
+        network.associate(client_id, ap_id)
+    network.set_explicit_conflicts([])
+    return network
+
+
+@pytest.fixture
+def triangle_network() -> Network:
+    """3 mutually interfering APs, one client each."""
+    network = Network()
+    for index in range(1, 4):
+        ap_id = f"ap{index}"
+        network.add_ap(ap_id)
+        client_id = f"u{index}"
+        network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, 20.0 + index)
+        network.associate(client_id, ap_id)
+    network.set_explicit_conflicts(
+        [("ap1", "ap2"), ("ap1", "ap3"), ("ap2", "ap3")]
+    )
+    return network

@@ -1,0 +1,93 @@
+"""Tests for ECDF, R², and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import coefficient_of_determination, ecdf
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+
+
+class TestEcdf:
+    def test_sorted_output(self):
+        values, probabilities = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probabilities[-1] == 1.0
+
+    def test_probability_steps(self):
+        _, probabilities = ecdf(np.array([5.0, 6.0, 7.0, 8.0]))
+        assert list(probabilities) == [0.25, 0.5, 0.75, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ecdf(np.array([]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_probabilities_monotone(self, values):
+        _, probabilities = ecdf(np.array(values))
+        assert np.all(np.diff(probabilities) > 0)
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        observed = np.array([1.0, 2.0, 3.0])
+        assert coefficient_of_determination(observed, observed) == 1.0
+
+    def test_mean_prediction_zero(self):
+        observed = np.array([1.0, 2.0, 3.0])
+        predicted = np.full(3, 2.0)
+        assert coefficient_of_determination(observed, predicted) == pytest.approx(0.0)
+
+    def test_bad_fit_negative(self):
+        observed = np.array([1.0, 2.0, 3.0])
+        predicted = np.array([3.0, 1.0, -2.0])
+        assert coefficient_of_determination(observed, predicted) < 0
+
+    def test_constant_observed_degenerate(self):
+        constant = np.array([2.0, 2.0])
+        assert coefficient_of_determination(constant, constant) == 1.0
+        assert coefficient_of_determination(constant, np.array([1.0, 3.0])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_determination(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_determination(np.array([]), np.array([]))
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["beta", 2.25]]
+        )
+        assert "name" in text
+        assert "1.50" in text
+        assert "2.25" in text
+
+    def test_title_included(self):
+        text = render_table(["x"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_float_format_respected(self):
+        text = render_table(["x"], [[3.14159]], float_format=".4f")
+        assert "3.1416" in text
+
+    def test_booleans_rendered(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_empty_rows_fine(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,82 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis.plots import ascii_line_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_monotone_series_non_decreasing_glyphs(self):
+        line = sparkline(range(8))
+        positions = ["▁▂▃▄▅▆▇█".index(ch) for ch in line]
+        assert positions == sorted(positions)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_line_chart(
+            [0, 1, 2, 3], [0.0, 1.0, 4.0, 9.0], title="squares"
+        )
+        assert "squares" in chart
+        assert "*" in chart
+        assert "9.0" in chart  # y max label
+        assert "0.0" in chart  # y min label
+
+    def test_dimensions(self):
+        chart = ascii_line_chart([0, 1], [0, 1], width=20, height=5)
+        data_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(data_lines) == 5
+
+    def test_marker_override(self):
+        chart = ascii_line_chart([0, 1], [0, 1], marker="o")
+        assert "o" in chart and "*" not in chart
+
+    def test_y_label_included(self):
+        chart = ascii_line_chart([0, 1], [0, 1], y_label="Mbps")
+        assert "[Mbps]" in chart
+
+    def test_constant_y_handled(self):
+        chart = ascii_line_chart([0, 1, 2], [3.0, 3.0, 3.0])
+        assert "*" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([], [])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart([0, 1], [0, 1], width=5)
+
+    def test_mobility_trace_renders(self):
+        """Charts the Fig 13 trace without error (integration)."""
+        from repro.sim.mobility import run_mobility_experiment
+
+        trace = run_mobility_experiment("away", duration_s=20.0)
+        chart = ascii_line_chart(
+            trace.times_s,
+            trace.acorn_mbps,
+            title="ACORN cell throughput",
+            y_label="Mbps",
+        )
+        assert "ACORN cell throughput" in chart

@@ -1,0 +1,214 @@
+"""Tests for the comparison schemes."""
+
+import pytest
+
+from repro.baselines.fixed_width import assign_orthogonal
+from repro.baselines.kauffmann import (
+    KauffmannController,
+    kauffmann_allocate,
+    kauffmann_choose_ap,
+)
+from repro.baselines.optimal import (
+    brute_force_allocation,
+    isolation_upper_bound_mbps,
+)
+from repro.baselines.random_config import RandomConfigurator
+from repro.baselines.rssi import rssi_choose_ap
+from repro.core.allocation import allocate_channels
+from repro.errors import AllocationError, AssociationError, ChannelError, ConfigurationError
+from repro.net.channels import Channel, ChannelPlan
+from repro.net.interference import build_interference_graph
+
+
+class TestKauffmann:
+    def test_allocation_uses_only_40mhz(self, triangle_network):
+        graph = build_interference_graph(triangle_network)
+        assignment = kauffmann_allocate(triangle_network, graph, ChannelPlan())
+        assert all(channel.is_bonded for channel in assignment.values())
+
+    def test_allocation_minimises_conflicts_when_possible(
+        self, triangle_network
+    ):
+        graph = build_interference_graph(triangle_network)
+        assignment = kauffmann_allocate(triangle_network, graph, ChannelPlan())
+        # Six bonded channels exist; three mutually interfering APs can
+        # and should all be orthogonal.
+        channels = list(assignment.values())
+        for i, a in enumerate(channels):
+            for b in channels[i + 1 :]:
+                assert not a.conflicts_with(b)
+
+    def test_no_40mhz_plan_rejected(self, triangle_network):
+        graph = build_interference_graph(triangle_network)
+        with pytest.raises(ChannelError):
+            kauffmann_allocate(
+                triangle_network, graph, ChannelPlan().subset(1)
+            )
+
+    def test_selfish_association_picks_best_own_throughput(
+        self, two_cell_network, model
+    ):
+        two_cell_network.set_channel("ap1", Channel(36))
+        two_cell_network.set_channel("ap2", Channel(44, 48))
+        graph = build_interference_graph(two_cell_network)
+        two_cell_network.add_client("stray")
+        two_cell_network.set_link_snr("ap1", "stray", 2.0)
+        two_cell_network.set_link_snr("ap2", "stray", 3.0)
+        chosen, _ = kauffmann_choose_ap(
+            two_cell_network, graph, model, "stray"
+        )
+        assert chosen == "ap2"
+
+    def test_no_candidates_rejected(self, two_cell_network, model):
+        two_cell_network.set_channel("ap1", Channel(36))
+        graph = build_interference_graph(two_cell_network)
+        two_cell_network.add_client("deaf")
+        with pytest.raises(AssociationError):
+            kauffmann_choose_ap(two_cell_network, graph, model, "deaf")
+
+    def test_controller_configures_everything(self, model):
+        from repro.sim.scenario import topology1
+
+        scenario = topology1()
+        controller = KauffmannController(
+            scenario.network, scenario.plan, model
+        )
+        result = controller.configure(scenario.client_order)
+        assert all(
+            channel.is_bonded for channel in result.assignment.values()
+        )
+        assert result.total_mbps >= 0
+
+
+class TestRssi:
+    def test_picks_strongest(self, two_cell_network):
+        two_cell_network.add_client("stray")
+        two_cell_network.set_link_snr("ap1", "stray", 10.0)
+        two_cell_network.set_link_snr("ap2", "stray", 11.0)
+        chosen, strengths = rssi_choose_ap(two_cell_network, "stray")
+        assert chosen == "ap2"
+        assert strengths["ap2"] > strengths["ap1"]
+
+    def test_no_candidates_rejected(self, two_cell_network):
+        two_cell_network.add_client("deaf")
+        with pytest.raises(AssociationError):
+            rssi_choose_ap(two_cell_network, "deaf")
+
+
+class TestFixedWidth:
+    def test_orthogonal_20mhz(self, triangle_network):
+        assignment = assign_orthogonal(triangle_network, ChannelPlan(), 20)
+        channels = list(assignment.values())
+        assert all(not c.is_bonded for c in channels)
+        assert len(set(channels)) == 3
+
+    def test_orthogonal_40mhz(self, triangle_network):
+        assignment = assign_orthogonal(triangle_network, ChannelPlan(), 40)
+        assert all(c.is_bonded for c in assignment.values())
+
+    def test_reuse_when_short_of_channels(self, triangle_network):
+        plan = ChannelPlan().subset(2)  # one bonded pair only
+        assignment = assign_orthogonal(triangle_network, plan, 40)
+        assert len(set(assignment.values())) == 1
+
+    def test_invalid_width_rejected(self, triangle_network):
+        with pytest.raises(ChannelError):
+            assign_orthogonal(triangle_network, ChannelPlan(), 30)
+
+    def test_applies_to_network(self, triangle_network):
+        assign_orthogonal(triangle_network, ChannelPlan(), 20)
+        assert set(triangle_network.channel_assignment) == {
+            "ap1",
+            "ap2",
+            "ap3",
+        }
+
+
+class TestRandomConfigurator:
+    def test_sample_size(self, two_cell_network, model):
+        graph = build_interference_graph(two_cell_network)
+        configurator = RandomConfigurator(
+            two_cell_network, graph, ChannelPlan(), model
+        )
+        configurations = configurator.sample(7, rng=0)
+        assert len(configurations) == 7
+
+    def test_best_sorted_descending(self, two_cell_network, model):
+        graph = build_interference_graph(two_cell_network)
+        configurator = RandomConfigurator(
+            two_cell_network, graph, ChannelPlan(), model
+        )
+        best = configurator.best(20, keep=5, rng=1)
+        totals = [c.total_mbps for c in best]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_draw_deterministic_with_seed(self, two_cell_network, model):
+        graph = build_interference_graph(two_cell_network)
+        configurator = RandomConfigurator(
+            two_cell_network, graph, ChannelPlan(), model
+        )
+        first = configurator.draw(rng=9)
+        second = configurator.draw(rng=9)
+        assert first.assignment == second.assignment
+        assert first.total_mbps == pytest.approx(second.total_mbps)
+
+    def test_invalid_sizes_rejected(self, two_cell_network, model):
+        graph = build_interference_graph(two_cell_network)
+        configurator = RandomConfigurator(
+            two_cell_network, graph, ChannelPlan(), model
+        )
+        with pytest.raises(ConfigurationError):
+            configurator.sample(0)
+        with pytest.raises(ConfigurationError):
+            configurator.best(5, keep=0)
+
+    def test_draw_does_not_mutate_network(self, two_cell_network, model):
+        graph = build_interference_graph(two_cell_network)
+        before = dict(two_cell_network.associations)
+        RandomConfigurator(
+            two_cell_network, graph, ChannelPlan(), model
+        ).draw(rng=3)
+        assert two_cell_network.associations == before
+
+
+class TestOptimal:
+    def test_brute_force_at_least_greedy(self, triangle_network, model):
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(4)
+        greedy = allocate_channels(
+            triangle_network, graph, plan, model, rng=0
+        )
+        _, optimal_value = brute_force_allocation(
+            triangle_network, graph, plan, model
+        )
+        assert optimal_value >= greedy.aggregate_mbps - 1e-9
+
+    def test_search_size_guard(self, model):
+        from repro.net.topology import Network
+
+        network = Network()
+        for index in range(12):
+            network.add_ap(f"ap{index}")
+        network.set_explicit_conflicts([])
+        graph = build_interference_graph(network)
+        with pytest.raises(AllocationError):
+            brute_force_allocation(network, graph, ChannelPlan(), model)
+
+    def test_isolation_bound_dominates_any_assignment(
+        self, triangle_network, model
+    ):
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(6)
+        bound = isolation_upper_bound_mbps(triangle_network, plan, model)
+        _, optimal_value = brute_force_allocation(
+            triangle_network, graph, plan, model
+        )
+        assert bound >= optimal_value - 1e-9
+
+    def test_empty_network_rejected(self, model):
+        from repro.net.topology import Network
+        import networkx as nx
+
+        network = Network()
+        with pytest.raises(AllocationError):
+            brute_force_allocation(network, nx.Graph(), ChannelPlan(), model)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scenario_choices(self):
+        args = build_parser().parse_args(["scenario", "topology1"])
+        assert args.name == "topology1"
+        assert args.traffic == "udp"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "nosuch"])
+
+    def test_mobility_defaults(self):
+        args = build_parser().parse_args(["mobility"])
+        assert args.direction == "away"
+        assert args.duration == 50.0
+
+
+class TestCommands:
+    def test_scenario_topology1(self, capsys):
+        assert main(["scenario", "topology1"]) == 0
+        output = capsys.readouterr().out
+        assert "AP1" in output
+        assert "TOTAL" in output
+        assert "ACORN" in output
+
+    def test_scenario_dense_tcp(self, capsys):
+        assert main(["scenario", "dense", "--traffic", "tcp"]) == 0
+        output = capsys.readouterr().out
+        assert "TCP" in output
+
+    def test_scenario_random(self, capsys):
+        assert main(["scenario", "random", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "TOTAL" in output
+
+    def test_mobility_away(self, capsys):
+        assert main(["mobility", "--direction", "away", "--duration", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "fixed 40 MHz" in output
+
+    def test_mobility_toward(self, capsys):
+        assert main(["mobility", "--direction", "toward", "--duration", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "fixed 20 MHz" in output
+
+    def test_transitions(self, capsys):
+        assert main(["transitions"]) == 0
+        output = capsys.readouterr().out
+        assert "QPSK 3/4" in output
+        assert "64QAM 5/6" in output
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--sessions", "5000", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "median (min)" in output
+        assert "recommended T" in output
+
+    def test_scenario_office(self, capsys):
+        assert main(["scenario", "office"]) == 0
+        output = capsys.readouterr().out
+        assert "TOTAL" in output
+
+    def test_scenario_with_refine(self, capsys):
+        assert main(["scenario", "topology1", "--refine"]) == 0
+        output = capsys.readouterr().out
+        assert "TOTAL" in output
+
+    def test_longrun(self, capsys):
+        assert (
+            main(["longrun", "--hours", "0.5", "--period-min", "10"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "mean throughput" in output
+        assert "re-allocations" in output
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "transitions"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "QPSK" in completed.stdout

@@ -1,0 +1,101 @@
+"""Tests for configuration objects and the path-loss model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import (
+    ACORN_EPSILON,
+    CB_SUBCARRIER_PENALTY_DB,
+    PathLossModel,
+    SimulationConfig,
+    make_rng,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstants:
+    def test_epsilon_is_five_percent(self):
+        assert ACORN_EPSILON == pytest.approx(1.05)
+
+    def test_cb_penalty_is_three_db(self):
+        assert CB_SUBCARRIER_PENALTY_DB == pytest.approx(3.0)
+
+
+class TestPathLossModel:
+    def test_loss_at_reference_distance(self):
+        model = PathLossModel(pl0_db=46.7, exponent=3.0, reference_m=1.0)
+        assert model.loss_db(1.0) == pytest.approx(46.7)
+
+    def test_ten_times_distance_adds_10n_db(self):
+        model = PathLossModel(pl0_db=40.0, exponent=3.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+
+    def test_below_reference_clamps(self):
+        model = PathLossModel()
+        assert model.loss_db(0.01) == model.loss_db(model.reference_m)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel().loss_db(-1.0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(exponent=0.0)
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(reference_m=-1.0)
+
+    def test_negative_shadowing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(shadowing_sigma_db=-3.0)
+
+    def test_shadowing_requires_rng(self):
+        model = PathLossModel(shadowing_sigma_db=8.0)
+        # Without an RNG the loss is deterministic.
+        assert model.loss_db(10.0) == model.loss_db(10.0)
+
+    def test_shadowing_varies_with_rng(self):
+        model = PathLossModel(shadowing_sigma_db=8.0)
+        rng = np.random.default_rng(0)
+        samples = {model.loss_db(10.0, rng=rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_loss_monotone_in_distance(self, d1, d2):
+        model = PathLossModel()
+        if d1 <= d2:
+            assert model.loss_db(d1) <= model.loss_db(d2) + 1e-9
+        else:
+            assert model.loss_db(d1) >= model.loss_db(d2) - 1e-9
+
+
+class TestSimulationConfig:
+    def test_default_construction(self):
+        config = SimulationConfig()
+        assert config.packet_size_bytes == 1500
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(packet_size_bytes=0)
+
+    def test_rng_is_seeded(self):
+        config = SimulationConfig(seed=99)
+        assert config.rng().integers(0, 1000) == config.rng().integers(0, 1000)
+
+
+class TestMakeRng:
+    def test_integer_seed_deterministic(self):
+        assert make_rng(5).integers(0, 100) == make_rng(5).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_none_allowed(self):
+        assert make_rng(None) is not None

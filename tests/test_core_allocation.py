@@ -1,0 +1,165 @@
+"""Tests for Algorithm 2: the greedy CB-aware channel allocator."""
+
+import pytest
+
+from repro.config import ACORN_EPSILON
+from repro.core.allocation import (
+    AllocationResult,
+    allocate_channels,
+    greedy_allocate,
+    random_assignment,
+)
+from repro.errors import AllocationError
+from repro.graph.coloring import is_conflict_free
+from repro.net.channels import Channel, ChannelPlan
+from repro.net.interference import build_interference_graph
+
+
+class TestRandomAssignment:
+    def test_every_ap_assigned(self, plan):
+        assignment = random_assignment(["a", "b", "c"], plan, rng=0)
+        assert set(assignment) == {"a", "b", "c"}
+
+    def test_deterministic_with_seed(self, plan):
+        first = random_assignment(["a", "b"], plan, rng=42)
+        second = random_assignment(["a", "b"], plan, rng=42)
+        assert first == second
+
+    def test_draws_from_palette(self, plan):
+        palette = set(plan.all_channels())
+        assignment = random_assignment([f"ap{i}" for i in range(40)], plan, rng=1)
+        assert set(assignment.values()) <= palette
+
+
+class TestGreedyCore:
+    def evaluate_factory(self):
+        """A toy objective: +10 per AP on a unique channel, +1 otherwise."""
+
+        def evaluate(assignment):
+            channels = list(assignment.values())
+            return sum(
+                10.0 if channels.count(c) == 1 else 1.0 for c in channels
+            )
+
+        return evaluate
+
+    def test_improves_over_initial(self):
+        palette = (Channel(36), Channel(44), Channel(52))
+        initial = {"a": Channel(36), "b": Channel(36), "c": Channel(36)}
+        result = greedy_allocate(
+            ["a", "b", "c"], palette, self.evaluate_factory(), initial
+        )
+        assert result.aggregate_mbps == pytest.approx(30.0)
+        assert len(set(result.assignment.values())) == 3
+
+    def test_history_records_switches(self):
+        palette = (Channel(36), Channel(44))
+        initial = {"a": Channel(36), "b": Channel(36)}
+        result = greedy_allocate(
+            ["a", "b"], palette, self.evaluate_factory(), initial
+        )
+        assert result.history
+        assert all(event.aggregate_mbps > 0 for event in result.history)
+
+    def test_no_improvement_terminates_immediately(self):
+        palette = (Channel(36), Channel(44))
+        initial = {"a": Channel(36), "b": Channel(44)}
+        result = greedy_allocate(
+            ["a", "b"], palette, self.evaluate_factory(), initial
+        )
+        assert result.assignment == initial
+        assert not result.history
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(AllocationError):
+            greedy_allocate(["a"], (Channel(36),), lambda _: 0.0, {"a": Channel(36)}, epsilon=0.9)
+
+    def test_empty_ap_list_rejected(self):
+        with pytest.raises(AllocationError):
+            greedy_allocate([], (Channel(36),), lambda _: 0.0, {})
+
+    def test_incomplete_initial_rejected(self):
+        with pytest.raises(AllocationError):
+            greedy_allocate(
+                ["a", "b"], (Channel(36),), lambda _: 0.0, {"a": Channel(36)}
+            )
+
+    def test_channel_of_lookup(self):
+        result = AllocationResult(
+            assignment={"a": Channel(36)},
+            aggregate_mbps=1.0,
+            rounds=1,
+            evaluations=1,
+        )
+        assert result.channel_of("a") == Channel(36)
+        with pytest.raises(AllocationError):
+            result.channel_of("ghost")
+
+
+class TestAllocateChannels:
+    def test_isolates_when_channels_abound(self, triangle_network, model):
+        """With 6+ channels, three contending APs end up conflict-free."""
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(6)
+        result = allocate_channels(
+            triangle_network, graph, plan, model, rng=0
+        )
+        assert is_conflict_free(graph, result.assignment)
+
+    def test_never_worse_than_initial(self, triangle_network, model):
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(4)
+        initial = {ap: Channel(36) for ap in triangle_network.ap_ids}
+        start = model.aggregate_mbps(
+            triangle_network, graph, assignment=initial
+        )
+        result = allocate_channels(
+            triangle_network, graph, plan, model, initial=initial
+        )
+        assert result.aggregate_mbps >= start - 1e-9
+
+    def test_result_deterministic_given_seed(self, triangle_network, model):
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(4)
+        first = allocate_channels(triangle_network, graph, plan, model, rng=3)
+        second = allocate_channels(triangle_network, graph, plan, model, rng=3)
+        assert first.assignment == second.assignment
+
+    def test_poor_cell_assigned_narrow_channel(self, two_cell_network, model):
+        """The Fig 10 decision: the poor cell must not bond."""
+        for client in ("poor1", "poor2", "good1", "good2"):
+            pass  # associations already set by fixture
+        graph = build_interference_graph(two_cell_network)
+        result = allocate_channels(
+            two_cell_network, graph, ChannelPlan(), model, rng=1
+        )
+        assert not result.assignment["ap1"].is_bonded
+        assert result.assignment["ap2"].is_bonded
+
+    def test_decision_model_ablation_scored_with_truth(
+        self, two_cell_network, model
+    ):
+        """A distorted estimator decides; ground truth scores."""
+        from repro.link.adaptation import RateController
+        from repro.net.throughput import ThroughputModel
+
+        graph = build_interference_graph(two_cell_network)
+        truth_value = allocate_channels(
+            two_cell_network, graph, ChannelPlan(), model, rng=2
+        ).aggregate_mbps
+        distorted = ThroughputModel(controller=RateController(packet_bytes=100))
+        ablated = allocate_channels(
+            two_cell_network,
+            graph,
+            ChannelPlan(),
+            model,
+            rng=2,
+            decision_model=distorted,
+        )
+        # Whatever the distorted model decided, the score is in the
+        # true model's units and cannot beat the true optimiser's pick
+        # by construction of the greedy search space.
+        assert ablated.aggregate_mbps <= truth_value + 1e-6
+
+    def test_epsilon_matches_paper_default(self):
+        assert ACORN_EPSILON == pytest.approx(1.05)

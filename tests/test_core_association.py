@@ -1,0 +1,211 @@
+"""Tests for Algorithm 1: beacons, Eq. 4 utility, and AP choice."""
+
+import math
+
+import pytest
+
+from repro.core.association import (
+    association_utility,
+    choose_ap,
+    throughput_with_mbps,
+    throughput_without_mbps,
+)
+from repro.core.beacon import Beacon, gather_beacon
+from repro.errors import AssociationError
+from repro.net.channels import Channel
+from repro.net.interference import build_interference_graph
+
+
+def prepared(network):
+    """Assign channels so beacons can be computed."""
+    network.set_channel("ap1", Channel(36))
+    network.set_channel("ap2", Channel(44, 48))
+    return build_interference_graph(network)
+
+
+class TestBeacon:
+    def test_counts_prospective_client(self, two_cell_network, model):
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("newbie")
+        two_cell_network.set_link_snr("ap2", "newbie", 24.0)
+        beacon = gather_beacon(
+            two_cell_network, graph, model, "ap2", "newbie"
+        )
+        # ap2 already serves good1/good2; K includes the newcomer.
+        assert beacon.n_clients == 3
+        assert beacon.prospective_delay_s > 0
+        assert beacon.atd_s == pytest.approx(
+            sum(beacon.client_delays_s.values()) + beacon.prospective_delay_s
+        )
+
+    def test_m_share_without_contention(self, two_cell_network, model):
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("newbie")
+        two_cell_network.set_link_snr("ap1", "newbie", 10.0)
+        beacon = gather_beacon(
+            two_cell_network, graph, model, "ap1", "newbie"
+        )
+        assert beacon.m_share == 1.0
+
+    def test_missing_channel_rejected(self, two_cell_network, model):
+        graph = build_interference_graph(two_cell_network)
+        with pytest.raises(AssociationError):
+            gather_beacon(two_cell_network, graph, model, "ap1", "poor1")
+
+    def test_existing_client_not_double_counted(self, two_cell_network, model):
+        graph = prepared(two_cell_network)
+        beacon = gather_beacon(
+            two_cell_network, graph, model, "ap1", "poor1"
+        )
+        # poor1 is already associated; it must appear once (as prospective).
+        assert beacon.n_clients == 2
+        assert "poor1" not in beacon.client_delays_s
+
+
+class TestThroughputFormulas:
+    def make_beacon(self, atd, d_u, m=1.0, k=2):
+        return Beacon(
+            ap_id="ap",
+            n_clients=k,
+            client_delays_s={"other": atd - d_u},
+            prospective_delay_s=d_u,
+            atd_s=atd,
+            m_share=m,
+        )
+
+    def test_x_with_formula(self, model):
+        beacon = self.make_beacon(atd=2e-3, d_u=1e-3)
+        expected = 1.0 / 2e-3 * 12_000 / 1e6
+        assert throughput_with_mbps(beacon, model) == pytest.approx(expected)
+
+    def test_x_without_formula(self, model):
+        beacon = self.make_beacon(atd=2e-3, d_u=0.5e-3)
+        expected = 1.0 / 1.5e-3 * 12_000 / 1e6
+        assert throughput_without_mbps(beacon, model) == pytest.approx(expected)
+
+    def test_infinite_atd_yields_zero(self, model):
+        beacon = self.make_beacon(atd=float("inf"), d_u=float("inf"))
+        assert throughput_with_mbps(beacon, model) == 0.0
+        assert throughput_without_mbps(beacon, model) == 0.0
+
+    def test_sole_client_without_is_zero(self, model):
+        beacon = Beacon(
+            ap_id="ap",
+            n_clients=1,
+            client_delays_s={},
+            prospective_delay_s=1e-3,
+            atd_s=1e-3,
+            m_share=1.0,
+        )
+        assert throughput_without_mbps(beacon, model) == 0.0
+
+
+class TestUtility:
+    def test_missing_candidate_rejected(self, model):
+        with pytest.raises(AssociationError):
+            association_utility("ghost", {}, model)
+
+    def test_empty_neighbour_cells_contribute_nothing(self, model):
+        own = Beacon(
+            ap_id="a",
+            n_clients=1,
+            client_delays_s={},
+            prospective_delay_s=1e-3,
+            atd_s=1e-3,
+            m_share=1.0,
+        )
+        lonely = Beacon(
+            ap_id="b",
+            n_clients=1,
+            client_delays_s={},
+            prospective_delay_s=2e-3,
+            atd_s=2e-3,
+            m_share=1.0,
+        )
+        utility = association_utility("a", {"a": own, "b": lonely}, model)
+        assert utility == pytest.approx(
+            1 * throughput_with_mbps(own, model)
+        )
+
+
+class TestChooseAp:
+    def test_poor_client_groups_with_poor(self, two_cell_network, model):
+        """Eq. 4's purpose: a poor newcomer joins the poor cell rather
+        than dragging the bonded good cell down."""
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("strayer")
+        # The stray hears both cells at poor quality.
+        two_cell_network.set_link_snr("ap1", "strayer", 2.0)
+        two_cell_network.set_link_snr("ap2", "strayer", 3.0)
+        chosen, utilities = choose_ap(
+            two_cell_network, graph, model, "strayer"
+        )
+        assert chosen == "ap1"
+        assert utilities["ap1"] > utilities["ap2"]
+
+    def test_selfish_choice_differs(self, two_cell_network, model):
+        """The same stray, asked selfishly, prefers the stronger AP —
+        this divergence is exactly why Eq. 4 exists."""
+        from repro.baselines.kauffmann import kauffmann_choose_ap
+
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("strayer")
+        two_cell_network.set_link_snr("ap1", "strayer", 2.0)
+        two_cell_network.set_link_snr("ap2", "strayer", 3.0)
+        selfish, _ = kauffmann_choose_ap(
+            two_cell_network, graph, model, "strayer"
+        )
+        acorn, _ = choose_ap(two_cell_network, graph, model, "strayer")
+        assert selfish == "ap2"
+        assert acorn == "ap1"
+
+    def test_choice_maximises_evaluated_network_throughput(
+        self, two_cell_network, model
+    ):
+        """Eq. 4 is a utility proxy for the aggregate objective: the AP
+        it picks must yield at least the network throughput of the
+        alternative when actually evaluated.
+
+        (Notably, a *good* client can end up in the poor cell: its
+        packets ride almost free under per-packet fairness and raise
+        that cell's aggregate — a real property of the X = M/ATD
+        objective.)"""
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("fast")
+        two_cell_network.set_link_snr("ap1", "fast", 26.0)
+        two_cell_network.set_link_snr("ap2", "fast", 26.0)
+        chosen, _ = choose_ap(two_cell_network, graph, model, "fast")
+        totals = {}
+        for ap_id in ("ap1", "ap2"):
+            associations = dict(two_cell_network.associations)
+            associations["fast"] = ap_id
+            totals[ap_id] = model.aggregate_mbps(
+                two_cell_network, graph, associations=associations
+            )
+        assert totals[chosen] == pytest.approx(max(totals.values()))
+
+    def test_no_candidates_rejected(self, two_cell_network, model):
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("deaf")
+        with pytest.raises(AssociationError):
+            choose_ap(two_cell_network, graph, model, "deaf")
+
+    def test_explicit_candidates_respected(self, two_cell_network, model):
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("picky")
+        two_cell_network.set_link_snr("ap1", "picky", 20.0)
+        two_cell_network.set_link_snr("ap2", "picky", 25.0)
+        chosen, utilities = choose_ap(
+            two_cell_network, graph, model, "picky", candidates=["ap1"]
+        )
+        assert chosen == "ap1"
+        assert set(utilities) == {"ap1"}
+
+    def test_deterministic(self, two_cell_network, model):
+        graph = prepared(two_cell_network)
+        two_cell_network.add_client("repeat")
+        two_cell_network.set_link_snr("ap1", "repeat", 15.0)
+        two_cell_network.set_link_snr("ap2", "repeat", 15.0)
+        first, _ = choose_ap(two_cell_network, graph, model, "repeat")
+        second, _ = choose_ap(two_cell_network, graph, model, "repeat")
+        assert first == second

@@ -1,0 +1,109 @@
+"""Tests for the ACORN controller: configure() and opportunistic width."""
+
+import pytest
+
+from repro.core.controller import Acorn
+from repro.errors import AssociationError
+from repro.net.channels import Channel, ChannelPlan
+from repro.net.topology import Network
+
+
+def fresh_two_cell() -> Network:
+    network = Network()
+    network.add_ap("ap1")
+    network.add_ap("ap2")
+    links = {
+        ("ap1", "poor1"): 1.0,
+        ("ap1", "poor2"): 2.0,
+        ("ap2", "good1"): 25.0,
+        ("ap2", "good2"): 27.0,
+    }
+    for (ap_id, client_id), snr in links.items():
+        network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, snr)
+    network.set_explicit_conflicts([])
+    return network
+
+
+class TestConfigure:
+    def test_full_pass_produces_working_network(self, model):
+        network = fresh_two_cell()
+        acorn = Acorn(network, ChannelPlan(), model, seed=1)
+        result = acorn.configure(["poor1", "poor2", "good1", "good2"])
+        assert result.total_mbps > 0
+        assert set(result.report.associations) == {
+            "poor1",
+            "poor2",
+            "good1",
+            "good2",
+        }
+        assert not network.channel_assignment["ap1"].is_bonded
+        assert network.channel_assignment["ap2"].is_bonded
+
+    def test_default_order_is_seeded_shuffle(self, model):
+        network = fresh_two_cell()
+        acorn = Acorn(network, ChannelPlan(), model, seed=5)
+        result = acorn.configure()
+        assert sorted(result.association_order) == sorted(network.client_ids)
+
+    def test_deterministic_given_seed(self, model):
+        results = []
+        for _ in range(2):
+            network = fresh_two_cell()
+            acorn = Acorn(network, ChannelPlan(), model, seed=9)
+            results.append(acorn.configure().total_mbps)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_unreachable_client_skipped(self, model):
+        network = fresh_two_cell()
+        network.add_client("deaf")  # no links at all
+        acorn = Acorn(network, ChannelPlan(), model, seed=2)
+        result = acorn.configure()
+        assert "deaf" not in result.report.associations
+
+    def test_admit_client_requires_channels(self, model):
+        network = fresh_two_cell()
+        acorn = Acorn(network, ChannelPlan(), model)
+        with pytest.raises(AssociationError):
+            acorn.admit_client("poor1")
+
+    def test_graph_cached_and_invalidated(self, model):
+        network = fresh_two_cell()
+        acorn = Acorn(network, ChannelPlan(), model)
+        first = acorn.graph
+        assert acorn.graph is first
+        acorn.invalidate_graph()
+        assert acorn.graph is not first
+
+
+class TestOpportunisticWidth:
+    def prepared(self, model):
+        network = fresh_two_cell()
+        acorn = Acorn(network, ChannelPlan(), model, seed=4)
+        return network, acorn
+
+    def test_bonded_good_cell_keeps_40(self, model):
+        network, acorn = self.prepared(model)
+        network.set_channel("ap2", Channel(44, 48))
+        network.associate("good1", "ap2")
+        network.associate("good2", "ap2")
+        assert acorn.opportunistic_width("ap2").is_bonded
+
+    def test_bonded_poor_cell_falls_back_to_primary(self, model):
+        network, acorn = self.prepared(model)
+        network.set_channel("ap1", Channel(36, 40))
+        network.associate("poor1", "ap1")
+        network.associate("poor2", "ap1")
+        decision = acorn.opportunistic_width("ap1")
+        assert not decision.is_bonded
+        assert decision.primary == 36  # stays inside the allocation
+
+    def test_basic_channel_unchanged(self, model):
+        network, acorn = self.prepared(model)
+        network.set_channel("ap1", Channel(36))
+        assert acorn.opportunistic_width("ap1") == Channel(36)
+
+    def test_unassigned_ap_rejected(self, model):
+        network, acorn = self.prepared(model)
+        with pytest.raises(AssociationError):
+            acorn.opportunistic_width("ap1")

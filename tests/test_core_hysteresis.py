@@ -1,0 +1,98 @@
+"""Tests for width-decision hysteresis (flap suppression)."""
+
+import pytest
+
+from repro.core.controller import Acorn
+from repro.errors import AssociationError
+from repro.net.channels import Channel, ChannelPlan
+from repro.net.topology import Network
+
+
+def single_cell(snr_db: float) -> "tuple[Network, Acorn]":
+    network = Network()
+    network.add_ap("ap")
+    network.add_client("u")
+    network.set_link_snr("ap", "u", snr_db)
+    network.associate("u", "ap")
+    network.set_explicit_conflicts([])
+    network.set_channel("ap", Channel(36, 40))
+    acorn = Acorn(network, ChannelPlan())
+    return network, acorn
+
+
+class TestHysteresis:
+    def test_zero_hysteresis_matches_plain_decision(self):
+        network, acorn = single_cell(25.0)
+        plain = acorn.opportunistic_width("ap")
+        with_current = acorn.opportunistic_width(
+            "ap", current=Channel(36, 40), hysteresis=0.0
+        )
+        assert plain == with_current
+
+    def test_marginal_improvement_does_not_flip(self):
+        """At the crossover (40 MHz barely ahead), a narrow current
+        width sticks under hysteresis."""
+        crossover_snr = self._find_crossover()
+        network, acorn = single_cell(crossover_snr + 0.2)
+        # Without hysteresis the (slightly better) 40 MHz wins...
+        assert acorn.opportunistic_width("ap").is_bonded
+        # ...but a 20 MHz current survives a 30 % switching margin.
+        sticky = acorn.opportunistic_width(
+            "ap", current=Channel(36), hysteresis=0.3
+        )
+        assert not sticky.is_bonded
+
+    def test_clear_improvement_still_flips(self):
+        # At 30 dB the bonded width wins by ~1.24x (MAC overhead caps
+        # the gain); a 15 % margin lets the upgrade through.
+        network, acorn = single_cell(30.0)
+        decided = acorn.opportunistic_width(
+            "ap", current=Channel(36), hysteresis=0.15
+        )
+        assert decided.is_bonded
+
+    def test_collapse_still_flips_to_narrow(self):
+        network, acorn = single_cell(1.0)  # 40 MHz dead
+        decided = acorn.opportunistic_width(
+            "ap", current=Channel(36, 40), hysteresis=0.3
+        )
+        assert not decided.is_bonded
+
+    def test_invalid_current_rejected(self):
+        network, acorn = single_cell(20.0)
+        with pytest.raises(AssociationError):
+            acorn.opportunistic_width("ap", current=Channel(44))
+
+    def test_negative_hysteresis_rejected(self):
+        network, acorn = single_cell(20.0)
+        with pytest.raises(AssociationError):
+            acorn.opportunistic_width("ap", hysteresis=-0.1)
+
+    @staticmethod
+    def _find_crossover() -> float:
+        """Lowest SNR (0.1 dB grid) where the bonded width wins."""
+        network, acorn = single_cell(0.0)
+        for tenth in range(0, 400):
+            snr = tenth / 10.0
+            network.set_link_snr("ap", "u", snr)
+            acorn.model._decision_cache.clear()
+            if acorn.opportunistic_width("ap").is_bonded:
+                return snr
+        raise AssertionError("no crossover found")
+
+
+class TestMobilityWithHysteresis:
+    def test_hysteresis_reduces_switch_count(self):
+        from repro.sim.mobility import run_mobility_experiment
+
+        def switches(trace):
+            widths = trace.acorn_width_mhz
+            return sum(1 for a, b in zip(widths, widths[1:]) if a != b)
+
+        plain = run_mobility_experiment("away", duration_s=50.0)
+        damped = run_mobility_experiment(
+            "away", duration_s=50.0, hysteresis=0.2
+        )
+        assert switches(damped) <= switches(plain)
+        # It must still switch eventually — hysteresis delays, not blocks.
+        assert damped.acorn_width_mhz[-1] == 20

@@ -1,0 +1,134 @@
+"""Tests for the IAPP coordination registry."""
+
+import pytest
+
+from repro.core.iapp import IappRegistry
+from repro.errors import AllocationError, TopologyError
+from repro.net.channels import Channel
+
+
+class TestAnnouncements:
+    def test_announce_and_query(self):
+        registry = IappRegistry()
+        registry.announce("ap1", Channel(36), ["u1", "u2"])
+        announcement = registry.announcement("ap1")
+        assert announcement.channel == Channel(36)
+        assert announcement.client_ids == ("u1", "u2")
+
+    def test_refresh_replaces_state(self):
+        registry = IappRegistry()
+        registry.announce("ap1", Channel(36))
+        registry.announce("ap1", Channel(44, 48))
+        assert registry.announcement("ap1").channel == Channel(44, 48)
+        assert registry.known_aps == ("ap1",)
+
+    def test_sequence_numbers_increase(self):
+        registry = IappRegistry()
+        first = registry.announce("ap1", Channel(36))
+        second = registry.announce("ap2", Channel(40))
+        assert second.sequence > first.sequence
+
+    def test_withdraw(self):
+        registry = IappRegistry()
+        registry.announce("ap1", Channel(36))
+        registry.withdraw("ap1")
+        assert registry.known_aps == ()
+        with pytest.raises(AllocationError):
+            registry.announcement("ap1")
+
+    def test_withdraw_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            IappRegistry().withdraw("ghost")
+
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(TopologyError):
+            IappRegistry().announce("ap1", "36")
+
+
+class TestOccupancyQueries:
+    def make_registry(self) -> IappRegistry:
+        registry = IappRegistry()
+        registry.announce("a", Channel(36))
+        registry.announce("b", Channel(36, 40))
+        registry.announce("c", Channel(44))
+        return registry
+
+    def test_occupants_by_conflict(self):
+        registry = self.make_registry()
+        assert registry.occupants_of(Channel(36)) == {"a", "b"}
+        assert registry.occupants_of(Channel(40)) == {"b"}
+        assert registry.occupants_of(Channel(44, 48)) == {"c"}
+
+    def test_exclude_self(self):
+        registry = self.make_registry()
+        assert registry.occupants_of(Channel(36), exclude="a") == {"b"}
+
+    def test_co_channel_count_for_algorithm2(self):
+        """The quantity the throughput estimator needs: |con| if the AP
+        moved to a candidate colour."""
+        registry = self.make_registry()
+        assert registry.co_channel_count("a", Channel(36)) == 1  # just b
+        assert registry.co_channel_count("a", Channel(48)) == 0
+        assert registry.co_channel_count("c", Channel(36, 40)) == 2
+
+    def test_channel_map_snapshot(self):
+        registry = self.make_registry()
+        snapshot = registry.channel_map()
+        assert snapshot == {
+            "a": Channel(36),
+            "b": Channel(36, 40),
+            "c": Channel(44),
+        }
+
+    def test_invalid_channel_query_rejected(self):
+        with pytest.raises(TopologyError):
+            self.make_registry().occupants_of(42)
+
+
+class TestLog:
+    def test_message_count_tracks_overhead(self):
+        registry = IappRegistry()
+        for _ in range(3):
+            registry.announce("ap1", Channel(36))
+        registry.announce("ap2", Channel(40))
+        assert registry.message_count == 4
+
+    def test_history_filter(self):
+        registry = IappRegistry()
+        registry.announce("ap1", Channel(36))
+        registry.announce("ap2", Channel(40))
+        registry.announce("ap1", Channel(44))
+        assert len(registry.history()) == 3
+        assert len(registry.history("ap1")) == 2
+        assert all(a.ap_id == "ap1" for a in registry.history("ap1"))
+
+
+class TestIntegrationWithNetwork:
+    def test_registry_matches_contenders(self):
+        """The IAPP occupancy view agrees with the interference-graph
+        contention used by the evaluator, for fully mutually audible
+        APs (the regime IAPP coordination covers)."""
+        from repro.net import Network, build_interference_graph
+        from repro.net.interference import contenders
+
+        network = Network()
+        registry = IappRegistry()
+        channels = {
+            "a": Channel(36),
+            "b": Channel(36, 40),
+            "c": Channel(44),
+        }
+        for ap_id, channel in channels.items():
+            network.add_ap(ap_id)
+            network.set_channel(ap_id, channel)
+            registry.announce(ap_id, channel)
+        network.set_explicit_conflicts(
+            [("a", "b"), ("a", "c"), ("b", "c")]
+        )
+        graph = build_interference_graph(network)
+        for ap_id in channels:
+            from_graph = contenders(graph, ap_id, channels)
+            from_registry = registry.occupants_of(
+                channels[ap_id], exclude=ap_id
+            )
+            assert from_graph == from_registry

@@ -1,0 +1,158 @@
+"""Tests for the association-refinement local search."""
+
+import pytest
+
+from repro import Acorn
+from repro.core.refinement import refine_associations
+from repro.errors import AssociationError
+from repro.net import Channel, ChannelPlan, ThroughputModel, build_interference_graph
+from repro.net.topology import Network
+
+
+def basin_network() -> Network:
+    """The pathological shape: clients poor to one AP, good to another.
+
+    A sequential Eq. 4 walk can group them on the wrong side; the
+    refinement must dig them out.
+    """
+    network = Network()
+    network.add_ap("near")
+    network.add_ap("far")
+    for index in range(4):
+        client_id = f"u{index}"
+        network.add_client(client_id)
+        network.set_link_snr("near", client_id, 22.0 + index)
+        network.set_link_snr("far", client_id, 2.0)
+        # Deliberately mis-associate everyone with the far AP.
+        network.associate(client_id, "far")
+    network.set_explicit_conflicts([])
+    network.set_channel("near", Channel(36, 40))
+    network.set_channel("far", Channel(44))
+    return network
+
+
+class TestRefinement:
+    def test_escapes_bad_basin(self, model):
+        network = basin_network()
+        graph = build_interference_graph(network)
+        before = model.aggregate_mbps(network, graph)
+        result = refine_associations(network, graph, model)
+        assert result.aggregate_mbps > before * 2
+        assert result.n_moves > 0
+
+    def test_moves_applied_to_network(self, model):
+        network = basin_network()
+        graph = build_interference_graph(network)
+        refine_associations(network, graph, model)
+        # The strong-to-near clients must have moved off the far AP.
+        assert any(ap == "near" for ap in network.associations.values())
+
+    def test_apply_false_leaves_network_untouched(self, model):
+        network = basin_network()
+        graph = build_interference_graph(network)
+        before = dict(network.associations)
+        result = refine_associations(network, graph, model, apply=False)
+        assert network.associations == before
+        assert result.n_moves > 0
+
+    def test_never_degrades(self, model):
+        """On an already-good configuration, refinement is a no-op or
+        an improvement — never a loss."""
+        network = basin_network()
+        graph = build_interference_graph(network)
+        first = refine_associations(network, graph, model)
+        second = refine_associations(network, graph, model)
+        assert second.aggregate_mbps >= first.aggregate_mbps - 1e-9
+        assert second.n_moves == 0  # converged: nothing left to move
+
+    def test_respects_admission_floor(self, model):
+        """A client whose only alternative is below the serviceability
+        floor stays put."""
+        network = basin_network()
+        network.add_client("edge")
+        network.set_link_snr("far", "edge", 10.0)
+        network.set_link_snr("near", "edge", -4.0)  # below the floor
+        network.associate("edge", "far")
+        graph = build_interference_graph(network)
+        refine_associations(network, graph, model)
+        assert network.associations["edge"] == "far"
+
+    def test_invalid_rounds_rejected(self, model):
+        network = basin_network()
+        graph = build_interference_graph(network)
+        with pytest.raises(AssociationError):
+            refine_associations(network, graph, model, max_rounds=0)
+
+    def test_move_log_consistent(self, model):
+        network = basin_network()
+        graph = build_interference_graph(network)
+        result = refine_associations(network, graph, model)
+        for client_id, from_ap, to_ap in result.moves:
+            assert from_ap != to_ap
+            assert client_id in network.client_ids
+
+
+class TestConfigureWithRefinement:
+    def test_refine_flag_never_hurts(self):
+        """configure(refine=True) matches or beats the plain pipeline
+        on the office-floor basin from EXPERIMENTS.md."""
+        from repro.sim.buildings import FloorPlan, office_floor
+
+        floor = dict(
+            rooms_x=10,
+            rooms_y=3,
+            clients_per_room=1,
+            n_aps=2,
+            seed=4,
+            plan=FloorPlan(wall_loss_db=12.0),
+        )
+        plain_scenario = office_floor(**floor)
+        plain = Acorn(plain_scenario.network, plain_scenario.plan, seed=7)
+        plain_total = plain.configure(plain_scenario.client_order).total_mbps
+
+        refined_scenario = office_floor(**floor)
+        refined = Acorn(refined_scenario.network, refined_scenario.plan, seed=7)
+        refined_total = refined.configure(
+            refined_scenario.client_order, refine=True
+        ).total_mbps
+        assert refined_total > plain_total * 1.3
+
+    def test_refine_beats_baseline_on_basin(self):
+        from repro.baselines import KauffmannController
+        from repro.sim.buildings import FloorPlan, office_floor
+
+        floor = dict(
+            rooms_x=10,
+            rooms_y=3,
+            clients_per_room=1,
+            n_aps=2,
+            seed=4,
+            plan=FloorPlan(wall_loss_db=12.0),
+        )
+        acorn_scenario = office_floor(**floor)
+        acorn = Acorn(acorn_scenario.network, acorn_scenario.plan, seed=7)
+        acorn_total = acorn.configure(
+            acorn_scenario.client_order, refine=True
+        ).total_mbps
+        baseline_scenario = office_floor(**floor)
+        baseline_total = (
+            KauffmannController(baseline_scenario.network, baseline_scenario.plan)
+            .configure(baseline_scenario.client_order)
+            .total_mbps
+        )
+        assert acorn_total > baseline_total
+
+    def test_refine_noop_on_paper_topologies(self):
+        """On Topology 1 the paper pipeline is already optimal; the
+        refinement changes nothing."""
+        from repro.sim.scenario import topology1
+
+        plain_scenario = topology1()
+        plain = Acorn(plain_scenario.network, plain_scenario.plan, seed=7)
+        plain_total = plain.configure(plain_scenario.client_order).total_mbps
+        refined_scenario = topology1()
+        refined = Acorn(refined_scenario.network, refined_scenario.plan, seed=7)
+        refined_total = refined.configure(
+            refined_scenario.client_order, refine=True
+        ).total_mbps
+        assert refined_total == pytest.approx(plain_total, rel=1e-6)

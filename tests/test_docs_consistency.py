@@ -1,0 +1,116 @@
+"""Documentation consistency checks.
+
+Docs rot silently; these tests keep the README, DESIGN.md and the
+docstring discipline honest against the actual tree.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def all_source_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+class TestRepositoryLayout:
+    def test_required_top_level_files(self):
+        for name in (
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "LICENSE",
+            "pyproject.toml",
+        ):
+            assert (REPO / name).exists(), f"missing {name}"
+
+    def test_api_reference_exists(self):
+        assert (REPO / "docs" / "API.md").exists()
+
+    def test_every_benchmark_reproduces_something(self):
+        """Each bench module's docstring names what it regenerates."""
+        for path in sorted((REPO / "benchmarks").glob("test_*.py")):
+            tree = ast.parse(path.read_text())
+            docstring = ast.get_docstring(tree)
+            assert docstring, f"{path.name} lacks a module docstring"
+
+    def test_readme_examples_exist(self):
+        readme = (REPO / "README.md").read_text()
+        for path in sorted((REPO / "examples").glob("*.py")):
+            assert path.name in readme, f"{path.name} not documented in README"
+
+
+class TestDocstringDiscipline:
+    @pytest.mark.parametrize(
+        "path", all_source_files(), ids=lambda p: str(p.relative_to(SRC))
+    )
+    def test_module_docstrings(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+    def test_public_functions_documented(self):
+        undocumented = []
+        for path in all_source_files():
+            tree = ast.parse(path.read_text())
+            for node in tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.name.startswith("_"):
+                        continue
+                    if not ast.get_docstring(node):
+                        undocumented.append(f"{path.name}:{node.name}")
+                elif isinstance(node, ast.ClassDef):
+                    if node.name.startswith("_"):
+                        continue
+                    if not ast.get_docstring(node):
+                        undocumented.append(f"{path.name}:{node.name}")
+                    for member in node.body:
+                        if isinstance(
+                            member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            if member.name.startswith("_"):
+                                continue
+                            if not ast.get_docstring(member):
+                                undocumented.append(
+                                    f"{path.name}:{node.name}.{member.name}"
+                                )
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_design_lists_every_bench(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for path in sorted((REPO / "benchmarks").glob("test_*.py")):
+            assert (
+                path.name in design or path.stem.replace("test_", "") in design
+            ), f"{path.name} not indexed in DESIGN.md"
+
+
+class TestExperimentsDocument:
+    def test_every_figure_and_table_covered(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for marker in (
+            "Fig 1",
+            "Fig 2",
+            "Fig 3",
+            "Fig 4",
+            "Fig 5",
+            "Table 1",
+            "Fig 6a",
+            "Fig 6b",
+            "Fig 8",
+            "Fig 9",
+            "Topology 1",
+            "Topology 2",
+            "Fig 11",
+            "Table 3",
+            "Fig 14",
+            "Fig 12/13",
+        ):
+            assert marker in experiments, f"EXPERIMENTS.md misses {marker}"
+
+    def test_substitutions_documented_in_design(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for substitution in ("WARP", "CRAWDAD", "Ralink", "Click"):
+            assert substitution in design

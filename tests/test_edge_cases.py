@@ -1,0 +1,205 @@
+"""Failure injection and degenerate-topology tests.
+
+Production controllers meet broken deployments: cells full of dead
+links, APs with no clients, plans without bonded channels, single-AP
+networks. None of these may crash or produce nonsense.
+"""
+
+import pytest
+
+from repro import Acorn
+from repro.baselines import KauffmannController, RandomConfigurator
+from repro.core import allocate_channels
+from repro.errors import AssociationError
+from repro.net import (
+    Channel,
+    ChannelPlan,
+    Network,
+    ThroughputModel,
+    build_interference_graph,
+)
+
+
+def network_with(links, conflicts=()):
+    """Build a network from {(ap, client): snr} plus conflict pairs."""
+    network = Network()
+    for (ap_id, client_id), snr in links.items():
+        if ap_id not in network.ap_ids:
+            network.add_ap(ap_id)
+        if client_id is not None and client_id not in network.client_ids:
+            network.add_client(client_id)
+        if client_id is not None:
+            network.set_link_snr(ap_id, client_id, snr)
+    network.set_explicit_conflicts(list(conflicts))
+    return network
+
+
+class TestDeadCells:
+    def test_all_links_dead_network_evaluates_to_zero(self, model):
+        network = network_with(
+            {("ap1", "u1"): -30.0, ("ap1", "u2"): -25.0}
+        )
+        network.associate("u1", "ap1")
+        network.associate("u2", "ap1")
+        graph = build_interference_graph(network)
+        network.set_channel("ap1", Channel(36))
+        report = model.evaluate(network, graph)
+        assert report.total_mbps == 0.0
+
+    def test_allocation_on_dead_network_terminates(self, model):
+        network = network_with({("ap1", "u1"): -30.0})
+        network.associate("u1", "ap1")
+        graph = build_interference_graph(network)
+        result = allocate_channels(
+            network, graph, ChannelPlan(), model, rng=0, max_rounds=3
+        )
+        assert result.aggregate_mbps == 0.0
+
+    def test_acorn_with_unreachable_clients_only(self, model):
+        """Every client below the association floor: nothing associates
+        but configuration completes."""
+        network = network_with({("ap1", "u1"): -30.0, ("ap1", "u2"): -40.0})
+        acorn = Acorn(network, ChannelPlan(), model, seed=1)
+        result = acorn.configure()
+        assert result.report.associations == {}
+        assert result.total_mbps == 0.0
+
+    def test_one_dead_client_in_live_cell(self, model):
+        """A single PER=1 client zeroes its whole cell (the anomaly's
+        limit case), but the other cell is untouched."""
+        network = network_with(
+            {
+                ("ap1", "dead"): -4.5,
+                ("ap1", "alive"): 25.0,
+                ("ap2", "fine"): 25.0,
+            }
+        )
+        for client, ap in (("dead", "ap1"), ("alive", "ap1"), ("fine", "ap2")):
+            network.associate(client, ap)
+        graph = build_interference_graph(network)
+        network.set_channel("ap1", Channel(36, 40))
+        network.set_channel("ap2", Channel(44, 48))
+        report = ThroughputModel().evaluate(network, graph)
+        assert report.per_ap_mbps["ap1"] == 0.0
+        assert report.per_ap_mbps["ap2"] > 0
+
+
+class TestDegenerateShapes:
+    def test_single_ap_single_client(self, model):
+        network = network_with({("ap1", "u1"): 20.0})
+        acorn = Acorn(network, ChannelPlan(), model, seed=1)
+        result = acorn.configure(["u1"])
+        assert result.total_mbps > 0
+        assert result.report.associations == {"u1": "ap1"}
+
+    def test_single_ap_many_clients(self, model):
+        links = {("ap1", f"u{i}"): 20.0 + i for i in range(10)}
+        network = network_with(links)
+        acorn = Acorn(network, ChannelPlan(), model, seed=1)
+        result = acorn.configure()
+        assert len(result.report.associations) == 10
+
+    def test_ap_with_no_clients_contributes_zero(self, model):
+        network = network_with({("ap1", "u1"): 20.0, ("lonely", None): 0.0})
+        acorn = Acorn(network, ChannelPlan(), model, seed=1)
+        result = acorn.configure(["u1"])
+        assert result.report.per_ap_mbps["lonely"] == 0.0
+
+    def test_plan_without_bonded_channels(self, model):
+        """An allocator restricted to 20 MHz colours still configures."""
+        network = network_with(
+            {("ap1", "u1"): 25.0, ("ap2", "u2"): 25.0},
+            conflicts=[("ap1", "ap2")],
+        )
+        plan = ChannelPlan([36, 44], bonded_pairs=[])
+        acorn = Acorn(network, plan, model, seed=1)
+        result = acorn.configure(["u1", "u2"])
+        assert all(
+            not channel.is_bonded
+            for channel in result.report.assignment.values()
+        )
+        assert result.total_mbps > 0
+
+    def test_one_channel_total(self, model):
+        """A single colour forces full sharing; still no crash."""
+        network = network_with(
+            {("ap1", "u1"): 25.0, ("ap2", "u2"): 25.0},
+            conflicts=[("ap1", "ap2")],
+        )
+        plan = ChannelPlan([36], bonded_pairs=[])
+        acorn = Acorn(network, plan, model, seed=1)
+        result = acorn.configure(["u1", "u2"])
+        assert result.total_mbps > 0
+        # Both APs share the single channel at M = 1/2 each.
+        values = list(result.report.per_ap_mbps.values())
+        assert values[0] == pytest.approx(values[1], rel=0.01)
+
+    def test_fully_connected_large_clique(self, model):
+        """8 mutually interfering APs — Δ = 7 — allocate and satisfy
+        the worst-case bound."""
+        links = {(f"ap{i}", f"u{i}"): 22.0 for i in range(8)}
+        conflicts = [
+            (f"ap{i}", f"ap{j}") for i in range(8) for j in range(i + 1, 8)
+        ]
+        network = network_with(links, conflicts)
+        for i in range(8):
+            network.associate(f"u{i}", f"ap{i}")
+        graph = build_interference_graph(network)
+        result = allocate_channels(
+            network, graph, ChannelPlan(), model, rng=0
+        )
+        from repro.baselines import isolation_upper_bound_mbps
+        from repro.graph.coloring import worst_case_ratio
+
+        y_star = isolation_upper_bound_mbps(
+            network, ChannelPlan(), model, network.associations
+        )
+        assert result.aggregate_mbps >= worst_case_ratio(graph) * y_star - 1e-6
+
+
+class TestBaselineRobustness:
+    def test_kauffmann_with_unreachable_client(self, model):
+        network = network_with(
+            {("ap1", "u1"): 20.0, ("ap1", "deaf"): -40.0}
+        )
+        controller = KauffmannController(network, ChannelPlan(), model)
+        result = controller.configure(["u1", "deaf"])
+        assert "deaf" not in result.report.associations
+
+    def test_random_configurator_with_orphan_client(self, model):
+        network = network_with({("ap1", "u1"): 20.0})
+        network.add_client("orphan")  # no links at all
+        graph = build_interference_graph(network)
+        configurator = RandomConfigurator(
+            network, graph, ChannelPlan(), model
+        )
+        configuration = configurator.draw(rng=0)
+        assert "orphan" not in configuration.associations
+
+    def test_admit_client_with_channels_but_no_link(self, model):
+        network = network_with({("ap1", "u1"): 20.0})
+        network.add_client("deaf")
+        acorn = Acorn(network, ChannelPlan(), model, seed=1)
+        acorn.assign_initial_channels()
+        with pytest.raises(AssociationError):
+            acorn.admit_client("deaf")
+
+
+class TestMobilityEdges:
+    def test_zero_length_walk(self):
+        from repro.sim.mobility import run_mobility_experiment
+
+        trace = run_mobility_experiment(
+            "away", duration_s=5.0, near_m=10.0, far_m=10.0
+        )
+        assert len(set(trace.mobile_snr20_db)) == 1
+
+    def test_client_starting_dead_comes_alive(self):
+        """Walking toward the AP from beyond radio range."""
+        from repro.sim.mobility import run_mobility_experiment
+
+        trace = run_mobility_experiment(
+            "toward", duration_s=40.0, near_m=5.0, far_m=120.0
+        )
+        assert trace.acorn_mbps[0] == pytest.approx(0.0, abs=1.0)
+        assert trace.acorn_mbps[-1] > 50.0

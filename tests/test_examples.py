@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExampleInventory:
+    def test_at_least_eight_examples(self):
+        assert len(ALL_EXAMPLES) >= 8
+
+    def test_quickstart_exists(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    # Every example prints at least one report table.
+    assert "---" in output or "|" in output
+
+
+def test_quickstart_tells_the_story():
+    output = run_example("quickstart.py")
+    assert "20 MHz" in output
+    assert "TOTAL" in output

@@ -1,0 +1,122 @@
+"""Tests for the colouring theory module."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import AllocationError
+from repro.graph.coloring import (
+    conflict_edges,
+    exact_chromatic_number,
+    has_k_coloring,
+    is_conflict_free,
+    worst_case_ratio,
+)
+from repro.net.channels import Channel
+
+
+def triangle() -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_edges_from([("a", "b"), ("a", "c"), ("b", "c")])
+    return graph
+
+
+class TestConflictFreeness:
+    def test_orthogonal_assignment_is_free(self):
+        assignment = {"a": Channel(36), "b": Channel(44), "c": Channel(52)}
+        assert is_conflict_free(triangle(), assignment)
+
+    def test_shared_channel_detected(self):
+        assignment = {"a": Channel(36), "b": Channel(36), "c": Channel(44)}
+        edges = conflict_edges(triangle(), assignment)
+        assert edges == [("a", "b")]
+
+    def test_composite_conflict_detected(self):
+        """A bonded channel conflicts with its constituent on a neighbour."""
+        assignment = {
+            "a": Channel(36, 40),
+            "b": Channel(40),
+            "c": Channel(52),
+        }
+        assert not is_conflict_free(triangle(), assignment)
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(AllocationError):
+            is_conflict_free(triangle(), {"a": Channel(36)})
+
+    def test_nonadjacent_sharing_allowed(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        graph.add_node("c")
+        assignment = {"a": Channel(36), "b": Channel(44), "c": Channel(36)}
+        assert is_conflict_free(graph, assignment)
+
+
+class TestWorstCaseRatio:
+    def test_triangle_ratio(self):
+        assert worst_case_ratio(triangle()) == pytest.approx(1 / 3)
+
+    def test_star_ratio(self):
+        graph = nx.star_graph(4)  # centre degree 4
+        assert worst_case_ratio(graph) == pytest.approx(1 / 5)
+
+    def test_edgeless_ratio_is_one(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(["a", "b"])
+        assert worst_case_ratio(graph) == 1.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AllocationError):
+            worst_case_ratio(nx.Graph())
+
+
+class TestKColoring:
+    def test_triangle_needs_three(self):
+        graph = triangle()
+        assert not has_k_coloring(graph, 2)
+        assert has_k_coloring(graph, 3)
+
+    def test_path_is_bipartite(self):
+        graph = nx.path_graph(5)
+        assert has_k_coloring(graph, 2)
+
+    def test_empty_graph_zero_colors(self):
+        assert has_k_coloring(nx.Graph(), 0)
+
+    def test_nonempty_zero_colors(self):
+        graph = nx.Graph()
+        graph.add_node("a")
+        assert not has_k_coloring(graph, 0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(AllocationError):
+            has_k_coloring(triangle(), -1)
+
+    def test_large_graph_guarded(self):
+        with pytest.raises(AllocationError):
+            has_k_coloring(nx.path_graph(20), 2)
+
+    def test_chromatic_numbers(self):
+        assert exact_chromatic_number(triangle()) == 3
+        assert exact_chromatic_number(nx.path_graph(4)) == 2
+        assert exact_chromatic_number(nx.complete_graph(5)) == 5
+        assert exact_chromatic_number(nx.Graph()) == 0
+
+    def test_np_reduction_witness(self):
+        """The paper's reduction: Y reaches Y* iff the graph is
+        k-colourable. With a triangle and 2 orthogonal channels, no
+        conflict-free assignment exists; with 3 it does."""
+        graph = triangle()
+        two_channels = [Channel(36), Channel(44)]
+        from itertools import product
+
+        exists_2 = any(
+            is_conflict_free(graph, dict(zip("abc", combo)))
+            for combo in product(two_channels, repeat=3)
+        )
+        assert exists_2 == has_k_coloring(graph, 2) == False  # noqa: E712
+        three_channels = [Channel(36), Channel(44), Channel(52)]
+        exists_3 = any(
+            is_conflict_free(graph, dict(zip("abc", combo)))
+            for combo in product(three_channels, repeat=3)
+        )
+        assert exists_3 == has_k_coloring(graph, 3) == True  # noqa: E712

@@ -1,0 +1,239 @@
+"""End-to-end integration tests: the paper's headline claims.
+
+Each test configures a full scenario through the public API, with ACORN
+and the baselines side by side, and asserts the *shape* of the paper's
+results: who wins, by roughly what factor, and which structural
+decisions (widths, groupings, isolation) the algorithms make.
+"""
+
+import pytest
+
+from repro import Acorn
+from repro.baselines import (
+    KauffmannController,
+    RandomConfigurator,
+    brute_force_allocation,
+    isolation_upper_bound_mbps,
+)
+from repro.core import allocate_channels
+from repro.graph.coloring import worst_case_ratio
+from repro.net import ThroughputModel, build_interference_graph
+from repro.sim import (
+    TcpTraffic,
+    ap_triple,
+    dense_triangle,
+    random_enterprise,
+    topology1,
+    topology2,
+)
+
+
+def configure_both(builder):
+    """Run ACORN and [17] on identical copies of a scenario."""
+    acorn_scenario = builder()
+    acorn = Acorn(acorn_scenario.network, acorn_scenario.plan, seed=7)
+    acorn_result = acorn.configure(acorn_scenario.client_order)
+    baseline_scenario = builder()
+    baseline = KauffmannController(
+        baseline_scenario.network, baseline_scenario.plan
+    )
+    baseline_result = baseline.configure(baseline_scenario.client_order)
+    return acorn_result, baseline_result
+
+
+class TestTopology1:
+    """Fig 10, Topology 1: the poor cell must not bond."""
+
+    def test_acorn_gives_poor_cell_20mhz(self):
+        scenario = topology1()
+        acorn = Acorn(scenario.network, scenario.plan, seed=7)
+        result = acorn.configure(scenario.client_order)
+        assert not result.report.assignment["AP1"].is_bonded
+        assert result.report.assignment["AP2"].is_bonded
+
+    def test_acorn_beats_baseline_on_poor_cell(self):
+        acorn_result, baseline_result = configure_both(topology1)
+        acorn_ap1 = acorn_result.report.per_ap_mbps["AP1"]
+        baseline_ap1 = baseline_result.report.per_ap_mbps["AP1"]
+        # The paper reports a ~4-5x gain (16.03 vs 3.15 Mbps); with the
+        # simulated links the bonded cell collapses entirely, so we
+        # assert at least a 3x improvement.
+        assert acorn_ap1 >= 3 * max(baseline_ap1, 1e-9) or baseline_ap1 == 0
+        assert acorn_ap1 > 3.0
+
+    def test_good_cell_unaffected(self):
+        acorn_result, baseline_result = configure_both(topology1)
+        assert acorn_result.report.per_ap_mbps["AP2"] == pytest.approx(
+            baseline_result.report.per_ap_mbps["AP2"], rel=0.1
+        )
+
+    def test_total_network_gain(self):
+        acorn_result, baseline_result = configure_both(topology1)
+        assert acorn_result.total_mbps > baseline_result.total_mbps
+
+
+class TestTopology2:
+    """Fig 10, Topology 2: width decisions and quality grouping at scale."""
+
+    def test_acorn_beats_baseline_total(self):
+        acorn_result, baseline_result = configure_both(topology2)
+        assert acorn_result.total_mbps > baseline_result.total_mbps
+
+    def test_poor_cells_get_20mhz(self):
+        scenario = topology2()
+        acorn = Acorn(scenario.network, scenario.plan, seed=7)
+        result = acorn.configure(scenario.client_order)
+        assert not result.report.assignment["AP4"].is_bonded
+        assert not result.report.assignment["AP5"].is_bonded
+
+    def test_poor_cell_gains_large(self):
+        """AP4's cell collapses under greedy bonding (paper: 6x gain)."""
+        acorn_result, baseline_result = configure_both(topology2)
+        acorn_ap4 = acorn_result.report.per_ap_mbps["AP4"]
+        baseline_ap4 = baseline_result.report.per_ap_mbps["AP4"]
+        assert acorn_ap4 > 3 * max(baseline_ap4, 1e-9) or baseline_ap4 == 0
+        assert acorn_ap4 > 3.0
+
+    def test_all_clients_served(self):
+        scenario = topology2()
+        acorn = Acorn(scenario.network, scenario.plan, seed=7)
+        result = acorn.configure(scenario.client_order)
+        assert len(result.report.associations) == len(
+            scenario.network.client_ids
+        )
+
+
+class TestDenseTriangle:
+    """Fig 11: with 4 channels only one AP can bond — the right one."""
+
+    def test_acorn_bonds_only_the_good_cell(self):
+        scenario = dense_triangle()
+        acorn = Acorn(scenario.network, scenario.plan, seed=7)
+        result = acorn.configure(scenario.client_order)
+        assignment = result.report.assignment
+        assert assignment["AP1"].is_bonded
+        assert not assignment["AP2"].is_bonded
+        assert not assignment["AP3"].is_bonded
+
+    def test_acorn_vs_aggressive_cb_about_2x(self):
+        """The paper: ~2x over every-AP-bonds."""
+        acorn_result, baseline_result = configure_both(dense_triangle)
+        assert acorn_result.total_mbps > 1.5 * baseline_result.total_mbps
+
+    def test_acorn_beats_all_single_width_choices(self):
+        """ACORN's mixed-width allocation beats the best X/Y/Z row of
+        Fig 11's table built from manual width combinations."""
+        scenario = dense_triangle()
+        model = ThroughputModel()
+        acorn = Acorn(scenario.network, scenario.plan, model, seed=7)
+        result = acorn.configure(scenario.client_order)
+        graph = acorn.graph
+        network = scenario.network
+        optimal_assignment, optimal_value = brute_force_allocation(
+            network, graph, scenario.plan, model
+        )
+        assert result.total_mbps == pytest.approx(optimal_value, rel=0.05)
+
+
+class TestApproximationRatio:
+    """Fig 14 and the O(1/(Δ+1)) theory."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_beats_worst_case_bound(self, seed):
+        scenario = ap_triple(seed)
+        model = ThroughputModel()
+        acorn = Acorn(scenario.network, scenario.plan, model, seed=seed)
+        acorn.assign_initial_channels()
+        acorn.admit_clients(scenario.client_order)
+        graph = acorn.graph
+        y_star = isolation_upper_bound_mbps(
+            scenario.network, scenario.plan, model,
+            scenario.network.associations,
+        )
+        ratio_bound = worst_case_ratio(graph)
+        for n_channels in (2, 4, 6):
+            plan = scenario.plan.subset(n_channels)
+            result = allocate_channels(
+                scenario.network, graph, plan, model, rng=seed
+            )
+            assert result.aggregate_mbps >= ratio_bound * y_star - 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_six_channels_reach_isolation_bound(self, seed):
+        """With 6 channels the three APs fully isolate: T = Y*."""
+        scenario = ap_triple(seed)
+        model = ThroughputModel()
+        acorn = Acorn(scenario.network, scenario.plan, model, seed=seed)
+        acorn.assign_initial_channels()
+        acorn.admit_clients(scenario.client_order)
+        graph = acorn.graph
+        y_star = isolation_upper_bound_mbps(
+            scenario.network, scenario.plan, model,
+            scenario.network.associations,
+        )
+        result = allocate_channels(
+            scenario.network, graph, scenario.plan.subset(6), model, rng=seed
+        )
+        assert result.aggregate_mbps == pytest.approx(y_star, rel=0.02)
+
+    def test_more_channels_never_hurt(self):
+        scenario = ap_triple(1)
+        model = ThroughputModel()
+        acorn = Acorn(scenario.network, scenario.plan, model, seed=1)
+        acorn.assign_initial_channels()
+        acorn.admit_clients(scenario.client_order)
+        graph = acorn.graph
+        values = [
+            allocate_channels(
+                scenario.network, graph, scenario.plan.subset(n), model, rng=1
+            ).aggregate_mbps
+            for n in (2, 4, 6)
+        ]
+        assert values == sorted(values)
+
+
+class TestRandomConfigurations:
+    """Table 3: ACORN vs the 10 best of 50 random manual configs."""
+
+    @pytest.fixture(scope="class")
+    def configured(self):
+        scenario = random_enterprise(n_aps=5, n_clients=12, seed=11)
+        model = ThroughputModel()
+        acorn = Acorn(scenario.network, scenario.plan, model, seed=3)
+        acorn_result = acorn.configure(scenario.client_order)
+        graph = acorn.graph
+        configurator = RandomConfigurator(
+            scenario.network, graph, scenario.plan, model
+        )
+        best = configurator.best(50, keep=10, rng=5)
+        return acorn_result, best
+
+    def test_acorn_beats_best_random_udp(self, configured):
+        acorn_result, best = configured
+        assert acorn_result.total_mbps > best[0].total_mbps
+
+    def test_ten_best_all_below_acorn(self, configured):
+        acorn_result, best = configured
+        assert all(c.total_mbps < acorn_result.total_mbps for c in best)
+
+    def test_acorn_beats_best_random_tcp(self):
+        """The TCP rows of Table 3 (unsaturated, loss-sensitive)."""
+        scenario = random_enterprise(n_aps=5, n_clients=12, seed=11)
+        model = ThroughputModel(traffic=TcpTraffic())
+        acorn = Acorn(scenario.network, scenario.plan, model, seed=3)
+        acorn_result = acorn.configure(scenario.client_order)
+        configurator = RandomConfigurator(
+            scenario.network, acorn.graph, scenario.plan, model
+        )
+        best = configurator.best(50, keep=10, rng=5)
+        assert acorn_result.total_mbps > best[0].total_mbps
+
+    def test_tcp_totals_below_udp(self):
+        scenario = random_enterprise(n_aps=5, n_clients=12, seed=11)
+        udp_model = ThroughputModel()
+        tcp_model = ThroughputModel(traffic=TcpTraffic())
+        acorn_udp = Acorn(scenario.fresh_network(), scenario.plan, udp_model, seed=3)
+        udp_total = acorn_udp.configure(scenario.client_order).total_mbps
+        acorn_tcp = Acorn(scenario.fresh_network(), scenario.plan, tcp_model, seed=3)
+        tcp_total = acorn_tcp.configure(scenario.client_order).total_mbps
+        assert tcp_total < udp_total

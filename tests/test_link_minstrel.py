@@ -1,0 +1,114 @@
+"""Tests for the Minstrel-style sampling rate controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link.budget import LinkBudget
+from repro.link.minstrel import MinstrelController, RateStats
+from repro.mcs.selection import optimal_mcs
+from repro.mcs.tables import mcs_by_index
+from repro.phy.ber import coded_ber
+from repro.phy.mimo import MimoMode, effective_snr_db
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from repro.phy.per import per_from_ber
+
+
+def channel_oracle(snr_db: float, params, packet_bytes: int = 1500):
+    """True per-rate delivery probability from the analytical model."""
+
+    def success_probability(entry) -> float:
+        mode = MimoMode.STBC if entry.n_streams == 1 else MimoMode.SDM
+        stream_snr = effective_snr_db(snr_db, mode)
+        ber = coded_ber(entry.modulation, entry.code_rate, stream_snr)
+        return 1.0 - float(per_from_ber(ber, packet_bytes))
+
+    return success_probability
+
+
+class TestRateStats:
+    def test_ewma_moves_toward_outcomes(self):
+        stats = RateStats()
+        for _ in range(50):
+            stats.record(False, weight=0.2)
+        assert stats.ewma_success < 0.01
+        assert stats.attempts == 50
+        assert stats.successes == 0
+
+    def test_counts(self):
+        stats = RateStats()
+        stats.record(True, 0.1)
+        stats.record(False, 0.1)
+        assert stats.attempts == 2
+        assert stats.successes == 1
+
+
+class TestControllerBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MinstrelController(OFDM_20MHZ, probe_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            MinstrelController(OFDM_20MHZ, ewma_weight=0.0)
+        with pytest.raises(ConfigurationError):
+            MinstrelController(OFDM_20MHZ, modes=())
+        with pytest.raises(ConfigurationError):
+            MinstrelController(OFDM_20MHZ).train(lambda e: 1.0, n_packets=0)
+
+    def test_optimistic_start_prefers_top_rate(self):
+        controller = MinstrelController(OFDM_20MHZ)
+        assert controller.best_entry.index == 15
+
+    def test_record_unknown_rate_rejected(self):
+        controller = MinstrelController(OFDM_20MHZ, modes=(MimoMode.STBC,))
+        with pytest.raises(ConfigurationError):
+            controller.record(mcs_by_index(15), True)
+
+    def test_probing_samples_other_rates(self):
+        controller = MinstrelController(OFDM_20MHZ, probe_fraction=0.5)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        chosen = {controller.choose(rng).index for _ in range(200)}
+        assert len(chosen) > 3
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("snr_db", [4.0, 12.0, 22.0, 34.0])
+    def test_converges_near_oracle(self, snr_db):
+        """After training on the true channel statistics, Minstrel's
+        best rate achieves >= 80 % of the oracle goodput."""
+        controller = MinstrelController(OFDM_20MHZ)
+        oracle_fn = channel_oracle(snr_db, OFDM_20MHZ)
+        best = controller.train(oracle_fn, n_packets=3000, rng=1)
+        minstrel_goodput = best.rate_mbps(OFDM_20MHZ) * oracle_fn(best)
+        oracle = optimal_mcs(snr_db, OFDM_20MHZ)
+        assert minstrel_goodput >= 0.8 * oracle.goodput_mbps
+
+    def test_dead_rates_learned_dead(self):
+        """At 2 dB the 64-QAM rates deliver nothing; the EWMA finds out."""
+        controller = MinstrelController(OFDM_20MHZ)
+        controller.train(channel_oracle(2.0, OFDM_20MHZ), n_packets=3000, rng=2)
+        top = controller.stats[15]
+        assert top.attempts > 0
+        assert top.ewma_success < 0.05
+
+    def test_width_comparison_through_minstrel(self):
+        """The Fig 6a behaviour, reproduced by a learning controller:
+        on a poor link the trained 20 MHz goodput beats the trained
+        40 MHz goodput."""
+        budget = LinkBudget.from_snr20(1.5)
+        results = {}
+        for params in (OFDM_20MHZ, OFDM_40MHZ):
+            snr = budget.subcarrier_snr_db(params)
+            controller = MinstrelController(params)
+            oracle_fn = channel_oracle(snr, params)
+            best = controller.train(oracle_fn, n_packets=2500, rng=3)
+            results[params.name] = best.rate_mbps(params) * oracle_fn(best)
+        assert results["HT20"] > results["HT40"]
+
+    def test_deterministic_given_seed(self):
+        a = MinstrelController(OFDM_20MHZ)
+        b = MinstrelController(OFDM_20MHZ)
+        oracle_fn = channel_oracle(15.0, OFDM_20MHZ)
+        assert a.train(oracle_fn, 500, rng=7).index == b.train(
+            oracle_fn, 500, rng=7
+        ).index

@@ -1,0 +1,188 @@
+"""Tests for DCF timing, airtime accounting, and the performance anomaly."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mac.airtime import (
+    aggregate_transmission_delay_s,
+    cell_throughput_mbps,
+    client_delay_s,
+    medium_share,
+    per_client_throughput_mbps,
+)
+from repro.mac.anomaly import (
+    anomaly_cell_throughput_mbps,
+    fair_share_throughput_mbps,
+)
+from repro.mac.dcf import DEFAULT_TIMINGS, MacTimings
+
+
+class TestMacTimings:
+    def test_overhead_components_sum(self):
+        timings = MacTimings()
+        expected = (
+            timings.difs_s
+            + timings.cw_min / 2 * timings.slot_s
+            + timings.phy_preamble_s
+            + timings.sifs_s
+            + timings.ack_s
+        )
+        assert timings.per_packet_overhead_s == pytest.approx(expected)
+
+    def test_airtime_includes_payload(self):
+        timings = MacTimings(burst_size=1)
+        airtime = timings.packet_airtime_s(12_000, 65.0)
+        assert airtime == pytest.approx(
+            timings.per_packet_overhead_s + 12_000 / 65e6
+        )
+
+    def test_burst_amortises_overhead(self):
+        single = MacTimings(burst_size=1).packet_airtime_s(12_000, 130.0)
+        double = MacTimings(burst_size=2).packet_airtime_s(12_000, 130.0)
+        assert double < single
+
+    def test_efficiency_below_one(self):
+        assert DEFAULT_TIMINGS.mac_efficiency(12_000, 270.0) < 1.0
+
+    def test_efficiency_higher_at_lower_rates(self):
+        """The fixed overhead taxes fast links proportionally more."""
+        slow = DEFAULT_TIMINGS.mac_efficiency(12_000, 6.5)
+        fast = DEFAULT_TIMINGS.mac_efficiency(12_000, 270.0)
+        assert slow > fast
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_TIMINGS.packet_airtime_s(0, 65.0)
+        with pytest.raises(ConfigurationError):
+            DEFAULT_TIMINGS.packet_airtime_s(12_000, 0.0)
+        with pytest.raises(ConfigurationError):
+            MacTimings(burst_size=0)
+        with pytest.raises(ConfigurationError):
+            MacTimings(sifs_s=-1e-6)
+
+
+class TestClientDelay:
+    def test_loss_free_delay_is_airtime(self):
+        delay = client_delay_s(65.0, 0.0)
+        assert delay == pytest.approx(
+            DEFAULT_TIMINGS.packet_airtime_s(12_000, 65.0)
+        )
+
+    def test_retransmissions_scale_delay(self):
+        base = client_delay_s(65.0, 0.0)
+        lossy = client_delay_s(65.0, 0.5)
+        assert lossy == pytest.approx(2 * base)
+
+    def test_dead_link_infinite_delay(self):
+        assert client_delay_s(65.0, 1.0) == float("inf")
+
+    def test_invalid_per_rejected(self):
+        with pytest.raises(ConfigurationError):
+            client_delay_s(65.0, 1.5)
+
+    @given(
+        st.floats(min_value=1.0, max_value=300.0),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_delay_positive_and_monotone_in_per(self, rate, per):
+        lower = client_delay_s(rate, per)
+        higher = client_delay_s(rate, min(per + 0.005, 0.995))
+        assert 0 < lower <= higher
+
+
+class TestAirtimeAccounting:
+    def test_atd_sums_delays(self):
+        assert aggregate_transmission_delay_s([1e-3, 2e-3]) == pytest.approx(3e-3)
+
+    def test_atd_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_transmission_delay_s([])
+
+    def test_atd_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_transmission_delay_s([1e-3, -1e-3])
+
+    def test_medium_share_values(self):
+        assert medium_share(0) == 1.0
+        assert medium_share(1) == 0.5
+        assert medium_share(2) == pytest.approx(1 / 3)
+
+    def test_medium_share_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            medium_share(-1)
+
+    def test_per_client_throughput_x_equals_m_over_atd(self):
+        # X = M/ATD packets/s, converted to Mbps at 1500-byte packets.
+        value = per_client_throughput_mbps(0.5, 2e-3)
+        assert value == pytest.approx(0.5 / 2e-3 * 12_000 / 1e6)
+
+    def test_per_client_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            per_client_throughput_mbps(0.0, 1e-3)
+        with pytest.raises(ConfigurationError):
+            per_client_throughput_mbps(0.5, 0.0)
+
+    def test_cell_throughput_scales_with_clients(self):
+        one = cell_throughput_mbps([1e-3])
+        two = cell_throughput_mbps([1e-3, 1e-3])
+        assert two == pytest.approx(one)
+
+    def test_unreachable_client_kills_cell(self):
+        assert cell_throughput_mbps([1e-3, float("inf")]) == 0.0
+
+    def test_empty_cell_zero(self):
+        assert cell_throughput_mbps([]) == 0.0
+
+
+class TestPerformanceAnomaly:
+    def test_homogeneous_cell_matches_fair_share(self):
+        rates = [130.0, 130.0, 130.0]
+        anomaly = anomaly_cell_throughput_mbps(rates)
+        fair = fair_share_throughput_mbps(rates)
+        assert anomaly == pytest.approx(fair, rel=1e-9)
+
+    def test_slow_client_drags_cell_below_fair_share(self):
+        """The Heusse et al. effect ACORN is designed around."""
+        rates = [130.0, 130.0, 6.5]
+        anomaly = anomaly_cell_throughput_mbps(rates)
+        fair = fair_share_throughput_mbps(rates)
+        assert anomaly < fair
+
+    def test_cell_tends_to_slowest_rate(self):
+        """With one very slow client, the cell approaches K x slow rate."""
+        slow_mac_rate = 12_000 / DEFAULT_TIMINGS.packet_airtime_s(12_000, 6.5) / 1e6
+        rates = [270.0, 270.0, 6.5]
+        anomaly = anomaly_cell_throughput_mbps(rates)
+        assert anomaly < 3.2 * slow_mac_rate
+
+    def test_per_list_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            anomaly_cell_throughput_mbps([65.0], [0.1, 0.2])
+
+    def test_losses_reduce_cell_throughput(self):
+        clean = anomaly_cell_throughput_mbps([65.0, 65.0])
+        lossy = anomaly_cell_throughput_mbps([65.0, 65.0], [0.3, 0.3])
+        assert lossy < clean
+
+    def test_contention_scales_throughput(self):
+        full = anomaly_cell_throughput_mbps([65.0], m_share=1.0)
+        half = anomaly_cell_throughput_mbps([65.0], m_share=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_empty_cell(self):
+        assert anomaly_cell_throughput_mbps([]) == 0.0
+        assert fair_share_throughput_mbps([]) == 0.0
+
+    def test_fair_share_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            fair_share_throughput_mbps([65.0], m_share=0.0)
+
+    @given(st.lists(st.floats(min_value=6.5, max_value=270.0), min_size=1, max_size=6))
+    def test_anomaly_never_exceeds_fair_share(self, rates):
+        anomaly = anomaly_cell_throughput_mbps(rates)
+        fair = fair_share_throughput_mbps(rates)
+        assert anomaly <= fair * (1 + 1e-9)

@@ -1,0 +1,109 @@
+"""Tests for the A-MPDU aggregation model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.aggregation import MAX_AGGREGATION, AmpduModel
+from repro.mac.dcf import DEFAULT_TIMINGS
+
+
+class TestGeometry:
+    def test_mpdu_count_capped_by_window(self):
+        model = AmpduModel(max_aggregation=16)
+        assert model.mpdus_per_ampdu(500) == 16
+
+    def test_mpdu_count_capped_by_bytes(self):
+        model = AmpduModel()
+        # 65535 / (1504) = 43 full 1500-byte MPDUs fit.
+        assert model.mpdus_per_ampdu(1500) == 43
+
+    def test_at_least_one_mpdu(self):
+        model = AmpduModel()
+        assert model.mpdus_per_ampdu(60_000) == 1
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AmpduModel().mpdus_per_ampdu(0)
+
+    def test_invalid_aggregation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AmpduModel(max_aggregation=0)
+        with pytest.raises(ConfigurationError):
+            AmpduModel(max_aggregation=MAX_AGGREGATION + 1)
+
+
+class TestAirtime:
+    def test_aggregation_beats_per_packet_dcf(self):
+        """The whole point: amortised per-packet airtime shrinks."""
+        model = AmpduModel()
+        for rate in (65.0, 135.0, 270.0):
+            aggregated = model.packet_airtime_s(rate)
+            plain = DEFAULT_TIMINGS.packet_airtime_s(12_000, rate)
+            assert aggregated < plain
+
+    def test_efficiency_approaches_one_at_high_aggregation(self):
+        """43 aggregated MPDUs leave only delimiter + amortised fixed
+        overhead: ~89 % efficiency at MCS 15 vs ~33 % without."""
+        model = AmpduModel()
+        assert model.mac_efficiency(270.0) > 0.85
+        assert DEFAULT_TIMINGS.mac_efficiency(12_000, 270.0) < 0.5
+
+    def test_no_aggregation_similar_to_plain_dcf(self):
+        from repro.mac.dcf import MacTimings
+
+        model = AmpduModel(max_aggregation=1)
+        aggregated = model.packet_airtime_s(65.0)
+        # Compare against unbursted DCF (the model's burst_size=2 would
+        # otherwise amortise overhead the single-MPDU A-MPDU cannot).
+        plain = MacTimings(burst_size=1).packet_airtime_s(12_000, 65.0)
+        # Same structure modulo block-ACK-vs-ACK and delimiter bytes.
+        assert aggregated == pytest.approx(plain, rel=0.1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AmpduModel().ampdu_airtime_s(0.0)
+
+    def test_efficiency_gain_larger_at_high_rates(self):
+        """Fast links are the ones suffocated by fixed overhead, so
+        aggregation helps them disproportionately."""
+        model = AmpduModel()
+        gain_slow = DEFAULT_TIMINGS.mac_efficiency(12_000, 13.0) / 1.0
+        slow_ratio = model.mac_efficiency(13.0) / DEFAULT_TIMINGS.mac_efficiency(
+            12_000, 13.0
+        )
+        fast_ratio = model.mac_efficiency(270.0) / DEFAULT_TIMINGS.mac_efficiency(
+            12_000, 270.0
+        )
+        assert fast_ratio > slow_ratio
+        del gain_slow
+
+
+class TestClientDelay:
+    def test_loss_free_matches_packet_airtime(self):
+        model = AmpduModel()
+        assert model.client_delay_s(130.0, 0.0) == pytest.approx(
+            model.packet_airtime_s(130.0), rel=1e-6
+        )
+
+    def test_dead_link_infinite(self):
+        assert AmpduModel().client_delay_s(130.0, 1.0) == float("inf")
+
+    def test_selective_repeat_cheaper_than_full_retry(self):
+        """Block-ACK retransmission only re-pays the payload, not the
+        contention/preamble overhead."""
+        model = AmpduModel()
+        per = 0.5
+        aggregated = model.client_delay_s(130.0, per)
+        from repro.mac.airtime import client_delay_s
+
+        plain = client_delay_s(130.0, per)
+        assert aggregated < plain / 2
+
+    def test_invalid_per_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AmpduModel().client_delay_s(130.0, 1.5)
+
+    def test_delay_monotone_in_per(self):
+        model = AmpduModel()
+        delays = [model.client_delay_s(65.0, p / 10) for p in range(10)]
+        assert delays == sorted(delays)

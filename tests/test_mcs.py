@@ -1,0 +1,135 @@
+"""Tests for the MCS tables and goodput-optimal selection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcs.selection import optimal_mcs, optimal_mcs_fixed_mode
+from repro.mcs.tables import (
+    MCS_TABLE,
+    dual_stream_entries,
+    mcs_by_index,
+    modcod_label,
+    single_stream_entries,
+)
+from repro.phy.mimo import MimoMode
+from repro.phy.modulation import BPSK, QAM64
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+
+
+class TestTables:
+    def test_sixteen_entries(self):
+        assert len(MCS_TABLE) == 16
+
+    def test_mcs0_is_bpsk_half(self):
+        entry = mcs_by_index(0)
+        assert entry.modulation is BPSK
+        assert entry.code_rate == pytest.approx(0.5)
+        assert entry.n_streams == 1
+
+    def test_mcs15_is_64qam_5_6_dual(self):
+        entry = mcs_by_index(15)
+        assert entry.modulation is QAM64
+        assert entry.code_rate == pytest.approx(5 / 6)
+        assert entry.n_streams == 2
+
+    @pytest.mark.parametrize(
+        "index,params,expected",
+        [
+            (0, OFDM_20MHZ, 6.5),
+            (7, OFDM_20MHZ, 65.0),
+            (7, OFDM_40MHZ, 135.0),
+            (15, OFDM_20MHZ, 130.0),
+            (15, OFDM_40MHZ, 270.0),
+        ],
+    )
+    def test_standard_rates(self, index, params, expected):
+        assert mcs_by_index(index).rate_mbps(params) == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_per_stream_index_wraps(self):
+        assert mcs_by_index(9).per_stream_index == 1
+        assert mcs_by_index(3).per_stream_index == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mcs_by_index(16)
+
+    def test_rates_monotone_within_ladder(self):
+        """MCS 0-7 rates strictly increase (same for 8-15)."""
+        for entries in (single_stream_entries(), dual_stream_entries()):
+            rates = [entry.rate_mbps(OFDM_20MHZ) for entry in entries]
+            assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_modcod_label(self):
+        assert modcod_label(QAM64, 3 / 4) == "64QAM 3/4"
+        assert mcs_by_index(15).label == "64QAM 5/6 x2"
+
+
+class TestSelection:
+    def test_high_snr_picks_top_rate(self):
+        decision = optimal_mcs(40.0, OFDM_20MHZ)
+        assert decision.mcs.index == 15
+        assert decision.mode is MimoMode.SDM
+        assert decision.per < 1e-6
+
+    def test_very_low_snr_picks_robust(self):
+        decision = optimal_mcs(-2.0, OFDM_20MHZ)
+        assert decision.mcs.per_stream_index == 0
+        assert decision.mode is MimoMode.STBC
+
+    def test_goodput_never_negative(self):
+        for snr in (-10.0, 0.0, 10.0, 30.0):
+            assert optimal_mcs(snr, OFDM_40MHZ).goodput_mbps >= 0.0
+
+    def test_goodput_monotone_in_snr(self):
+        snrs = [-5 + i for i in range(40)]
+        goodputs = [optimal_mcs(s, OFDM_20MHZ).goodput_mbps for s in snrs]
+        assert all(b >= a - 1e-9 for a, b in zip(goodputs, goodputs[1:]))
+
+    def test_stbc_to_sdm_crossover(self):
+        """STBC dominates poor links, SDM dominates strong ones."""
+        assert optimal_mcs(2.0, OFDM_20MHZ).mode is MimoMode.STBC
+        assert optimal_mcs(35.0, OFDM_20MHZ).mode is MimoMode.SDM
+
+    @pytest.mark.parametrize("mode", [MimoMode.STBC, MimoMode.SDM])
+    def test_fig6b_optimal_40mhz_mcs_not_more_aggressive(self, mode):
+        """Fig 6b: at equal Tx the 40 MHz optimum uses an MCS no more
+        aggressive than the 20 MHz optimum (exact within a mode)."""
+        for snr20 in range(-2, 36, 2):
+            d20 = optimal_mcs_fixed_mode(float(snr20), OFDM_20MHZ, mode)
+            d40 = optimal_mcs_fixed_mode(float(snr20) - 3.1, OFDM_40MHZ, mode)
+            assert d40.per_stream_index <= d20.per_stream_index
+
+    def test_fig6b_mixed_mode_almost_always(self):
+        """With free mode choice, the per-stream comparison applies when
+        both widths land on the same MIMO mode (Fig 6b plots the two
+        modes with distinct markers); the SDM/STBC crossover rows are
+        the paper's "almost" exceptions."""
+        same_mode_points = 0
+        for snr20 in range(-2, 36):
+            d20 = optimal_mcs(float(snr20), OFDM_20MHZ)
+            d40 = optimal_mcs(float(snr20) - 3.1, OFDM_40MHZ)
+            if d20.mode is d40.mode:
+                same_mode_points += 1
+                assert d40.per_stream_index <= d20.per_stream_index
+        # The same-mode case must dominate the sweep.
+        assert same_mode_points >= 30
+
+    def test_fixed_mode_restricts_candidates(self):
+        decision = optimal_mcs_fixed_mode(35.0, OFDM_20MHZ, MimoMode.STBC)
+        assert decision.mode is MimoMode.STBC
+        assert decision.mcs.n_streams == 1
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_mcs(10.0, OFDM_20MHZ, packet_bytes=0)
+
+    def test_no_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_mcs(10.0, OFDM_20MHZ, modes=())
+
+    def test_short_gi_raises_rate(self):
+        long_gi = optimal_mcs(35.0, OFDM_20MHZ, short_gi=False)
+        short_gi = optimal_mcs(35.0, OFDM_20MHZ, short_gi=True)
+        assert short_gi.nominal_rate_mbps > long_gi.nominal_rate_mbps

@@ -1,0 +1,144 @@
+"""Tests for channels-as-colours and the channel plan."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ChannelError
+from repro.net.channels import (
+    FIVE_GHZ_20MHZ_CHANNELS,
+    Channel,
+    ChannelPlan,
+)
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+
+
+def any_channel():
+    """Hypothesis strategy over the full default palette."""
+    return st.sampled_from(ChannelPlan().all_channels())
+
+
+class TestChannel:
+    def test_basic_width(self):
+        assert Channel(36).width_mhz == 20
+        assert not Channel(36).is_bonded
+
+    def test_bonded_width(self):
+        channel = Channel(36, 40)
+        assert channel.width_mhz == 40
+        assert channel.is_bonded
+
+    def test_params_by_width(self):
+        assert Channel(36).params is OFDM_20MHZ
+        assert Channel(36, 40).params is OFDM_40MHZ
+
+    def test_self_bond_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel(36, 36)
+
+    def test_constituents(self):
+        assert Channel(44).constituents == frozenset({44})
+        assert Channel(44, 48).constituents == frozenset({44, 48})
+
+    def test_basic_basic_no_conflict(self):
+        assert not Channel(36).conflicts_with(Channel(40))
+
+    def test_same_channel_conflicts(self):
+        assert Channel(36).conflicts_with(Channel(36))
+
+    def test_composite_conflicts_with_constituents(self):
+        """The paper's colour rule: {c_i, c_j} conflicts with c_i and c_j."""
+        bonded = Channel(36, 40)
+        assert bonded.conflicts_with(Channel(36))
+        assert bonded.conflicts_with(Channel(40))
+        assert not bonded.conflicts_with(Channel(44))
+
+    def test_overlapping_composites_conflict(self):
+        assert Channel(36, 40).conflicts_with(Channel(36, 40))
+        assert not Channel(36, 40).conflicts_with(Channel(44, 48))
+
+    def test_conflict_with_non_channel_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel(36).conflicts_with("not a channel")
+
+    def test_primary_only_fallback(self):
+        bonded = Channel(52, 56)
+        narrow = bonded.primary_only()
+        assert narrow == Channel(52)
+        assert bonded.conflicts_with(narrow)
+
+    def test_str_representation(self):
+        assert "40 MHz" in str(Channel(36, 40))
+        assert "20 MHz" in str(Channel(36))
+
+    @given(any_channel(), any_channel())
+    def test_conflict_symmetry(self, a, b):
+        assert a.conflicts_with(b) == b.conflicts_with(a)
+
+    @given(any_channel())
+    def test_conflict_reflexive(self, channel):
+        assert channel.conflicts_with(channel)
+
+
+class TestChannelPlan:
+    def test_default_plan_counts(self):
+        plan = ChannelPlan()
+        assert plan.n_basic == 12
+        assert len(plan.channels_40()) == 6
+        assert len(plan.all_channels()) == 18
+
+    def test_palette_order_basic_first(self):
+        palette = ChannelPlan().all_channels()
+        widths = [channel.width_mhz for channel in palette]
+        assert widths == sorted(widths)
+
+    def test_subset_two_channels(self):
+        plan = ChannelPlan().subset(2)
+        assert plan.channel_numbers == (36, 40)
+        assert len(plan.channels_40()) == 1
+
+    def test_subset_odd_count_drops_incomplete_pair(self):
+        plan = ChannelPlan().subset(3)
+        assert plan.channel_numbers == (36, 40, 44)
+        # 44 has no partner 48 in the subset.
+        assert len(plan.channels_40()) == 1
+
+    def test_subset_invalid_rejected(self):
+        with pytest.raises(ChannelError):
+            ChannelPlan().subset(0)
+        with pytest.raises(ChannelError):
+            ChannelPlan().subset(13)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ChannelError):
+            ChannelPlan([])
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ChannelError):
+            ChannelPlan([36, 36])
+
+    def test_custom_channels_pair_consecutively(self):
+        plan = ChannelPlan([1, 2, 3, 4])
+        assert {tuple(sorted(c.constituents)) for c in plan.channels_40()} == {
+            (1, 2),
+            (3, 4),
+        }
+
+    def test_bonded_pair_outside_plan_rejected(self):
+        with pytest.raises(ChannelError):
+            ChannelPlan([36, 40], bonded_pairs=[(44, 48)])
+
+    def test_five_ghz_channel_numbers(self):
+        assert FIVE_GHZ_20MHZ_CHANNELS[0] == 36
+        assert len(FIVE_GHZ_20MHZ_CHANNELS) == 12
+
+    def test_len_and_repr(self):
+        plan = ChannelPlan().subset(4)
+        assert len(plan) == 6  # 4 basic + 2 bonded
+        assert "20MHz" in repr(plan)
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_subset_palette_sizes(self, n):
+        plan = ChannelPlan().subset(n)
+        assert plan.n_basic == n
+        assert len(plan.channels_40()) <= n // 2

@@ -1,0 +1,135 @@
+"""Tests for the interference graph and channel-conditioned contention."""
+
+import pytest
+
+from repro.errors import AllocationError, TopologyError
+from repro.net.channels import Channel
+from repro.net.interference import (
+    build_interference_graph,
+    contenders,
+    max_degree,
+)
+from repro.net.topology import Network
+
+
+def geometric_pair(distance_m: float) -> Network:
+    network = Network()
+    network.add_ap("a", position=(0.0, 0.0))
+    network.add_ap("b", position=(distance_m, 0.0))
+    return network
+
+
+class TestGraphConstruction:
+    def test_explicit_conflicts_take_precedence(self):
+        network = geometric_pair(1.0)  # would interfere geometrically
+        network.set_explicit_conflicts([])
+        graph = build_interference_graph(network)
+        assert graph.number_of_edges() == 0
+
+    def test_close_aps_interfere(self):
+        graph = build_interference_graph(geometric_pair(5.0))
+        assert graph.has_edge("a", "b")
+
+    def test_distant_aps_do_not_interfere(self):
+        graph = build_interference_graph(geometric_pair(5000.0))
+        assert not graph.has_edge("a", "b")
+
+    def test_client_mediated_edge(self):
+        """Footnote 5: APs conflict through each other's clients."""
+        network = Network()
+        # APs are far apart...
+        network.add_ap("a", position=(0.0, 0.0))
+        network.add_ap("b", position=(400.0, 0.0))
+        baseline = build_interference_graph(network)
+        assert not baseline.has_edge("a", "b")
+        # ...but A's client sits right next to B.
+        network.add_client("u", position=(395.0, 0.0))
+        network.set_link_snr("a", "u", 10.0)  # define the link
+        network.associate("u", "a")
+        graph = build_interference_graph(network)
+        assert graph.has_edge("a", "b")
+
+    def test_missing_positions_rejected(self):
+        network = Network()
+        network.add_ap("a", position=(0.0, 0.0))
+        network.add_ap("b")  # no position, no explicit conflicts
+        with pytest.raises(TopologyError):
+            build_interference_graph(network)
+
+    def test_all_aps_are_nodes(self):
+        network = geometric_pair(5000.0)
+        graph = build_interference_graph(network)
+        assert set(graph.nodes) == {"a", "b"}
+
+
+class TestContenders:
+    def make_triangle(self):
+        network = Network()
+        for name in ("a", "b", "c"):
+            network.add_ap(name)
+        network.set_explicit_conflicts([("a", "b"), ("a", "c"), ("b", "c")])
+        return network, build_interference_graph(network)
+
+    def test_same_channel_neighbours_contend(self):
+        network, graph = self.make_triangle()
+        assignment = {name: Channel(36) for name in ("a", "b", "c")}
+        assert contenders(graph, "a", assignment) == {"b", "c"}
+
+    def test_orthogonal_channels_do_not_contend(self):
+        network, graph = self.make_triangle()
+        assignment = {"a": Channel(36), "b": Channel(44), "c": Channel(52)}
+        assert contenders(graph, "a", assignment) == set()
+
+    def test_bonded_conflicts_with_constituent(self):
+        network, graph = self.make_triangle()
+        assignment = {
+            "a": Channel(36, 40),
+            "b": Channel(40),
+            "c": Channel(44),
+        }
+        assert contenders(graph, "a", assignment) == {"b"}
+        assert contenders(graph, "b", assignment) == {"a"}
+
+    def test_unassigned_neighbour_skipped(self):
+        network, graph = self.make_triangle()
+        assignment = {"a": Channel(36), "b": Channel(36)}
+        assert contenders(graph, "a", assignment) == {"b"}
+
+    def test_unassigned_self_rejected(self):
+        network, graph = self.make_triangle()
+        with pytest.raises(AllocationError):
+            contenders(graph, "a", {})
+
+    def test_unknown_ap_rejected(self):
+        network, graph = self.make_triangle()
+        with pytest.raises(AllocationError):
+            contenders(graph, "ghost", {"ghost": Channel(36)})
+
+    def test_non_neighbours_never_contend(self):
+        """Contention requires an interference-graph edge, not just a
+        shared channel."""
+        network = Network()
+        network.add_ap("a")
+        network.add_ap("b")
+        network.set_explicit_conflicts([])
+        graph = build_interference_graph(network)
+        assignment = {"a": Channel(36), "b": Channel(36)}
+        assert contenders(graph, "a", assignment) == set()
+
+
+class TestMaxDegree:
+    def test_triangle_degree_two(self):
+        _, graph = TestContenders().make_triangle()
+        assert max_degree(graph) == 2
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        assert max_degree(nx.Graph()) == 0
+
+    def test_isolated_nodes_degree_zero(self):
+        network = Network()
+        network.add_ap("a")
+        network.add_ap("b")
+        network.set_explicit_conflicts([])
+        assert max_degree(build_interference_graph(network)) == 0

@@ -1,0 +1,103 @@
+"""Tests for partially-overlapped-channel weighting."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.mac.airtime import medium_share
+from repro.net.channels import Channel
+from repro.net.overlap import (
+    TWO_POINT_FOUR_GHZ_CENTERS,
+    channel_center_mhz,
+    spectral_overlap_fraction,
+    weighted_contention_share,
+)
+
+
+class TestCenters:
+    def test_5ghz_channel_36(self):
+        assert channel_center_mhz(Channel(36)) == pytest.approx(5180.0)
+
+    def test_bonded_center_is_midpoint(self):
+        """The shifted Fc the paper notes: a bonded pair's centre sits
+        between its constituents."""
+        assert channel_center_mhz(Channel(36, 40)) == pytest.approx(5190.0)
+
+    def test_2_4ghz_channel_1(self):
+        assert TWO_POINT_FOUR_GHZ_CENTERS[1] == pytest.approx(2412.0)
+        assert TWO_POINT_FOUR_GHZ_CENTERS[6] == pytest.approx(2437.0)
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ChannelError):
+            channel_center_mhz("36")
+
+
+class TestOverlapFraction:
+    def test_co_channel_full_overlap(self):
+        assert spectral_overlap_fraction(Channel(36), Channel(36)) == 1.0
+
+    def test_orthogonal_zero_overlap(self):
+        assert spectral_overlap_fraction(Channel(36), Channel(44)) == 0.0
+
+    def test_bonded_covers_constituent_fully(self):
+        """40 MHz fully covers its inner 20 MHz channel..."""
+        assert spectral_overlap_fraction(
+            Channel(36), Channel(36, 40)
+        ) == pytest.approx(1.0)
+
+    def test_constituent_covers_half_of_bonded(self):
+        """...while the 20 MHz channel covers only half the 40 MHz."""
+        assert spectral_overlap_fraction(
+            Channel(36, 40), Channel(36)
+        ) == pytest.approx(0.5)
+
+    def test_24ghz_adjacent_partial_overlap(self):
+        """Channels 1 and 2 (5 MHz apart, 20 MHz wide): 75 % overlap —
+        the classic partially-overlapped case of [7]."""
+        one = Channel(1)
+        two = Channel(2)
+        assert spectral_overlap_fraction(one, two) == pytest.approx(0.75)
+
+    def test_24ghz_1_and_6_orthogonal(self):
+        """The textbook 1/6/11 orthogonal triple."""
+        assert spectral_overlap_fraction(Channel(1), Channel(6)) == 0.0
+
+    def test_symmetric_for_equal_widths(self):
+        assert spectral_overlap_fraction(
+            Channel(1), Channel(3)
+        ) == spectral_overlap_fraction(Channel(3), Channel(1))
+
+    def test_fraction_bounds(self):
+        for a_num in (1, 3, 6, 11):
+            for b_num in (1, 3, 6, 11):
+                fraction = spectral_overlap_fraction(
+                    Channel(a_num), Channel(b_num)
+                )
+                assert 0.0 <= fraction <= 1.0
+
+
+class TestWeightedContention:
+    def test_reduces_to_binary_for_orthogonal_plan(self):
+        """With fully orthogonal/co-channel neighbours the weighted M
+        equals the paper's 1/(|con|+1)."""
+        own = Channel(36)
+        neighbours = [Channel(36), Channel(44), Channel(36)]
+        weighted = weighted_contention_share(own, neighbours)
+        binary = medium_share(2)  # two co-channel neighbours
+        assert weighted == pytest.approx(binary)
+
+    def test_partial_neighbours_cost_less_than_cochannel(self):
+        own = Channel(3)
+        partial = weighted_contention_share(own, [Channel(5)])
+        cochannel = weighted_contention_share(own, [Channel(3)])
+        assert cochannel < partial < 1.0
+
+    def test_no_neighbours_full_share(self):
+        assert weighted_contention_share(Channel(36), []) == 1.0
+
+    def test_more_overlap_less_share(self):
+        own = Channel(6)
+        shares = [
+            weighted_contention_share(own, [Channel(number)])
+            for number in (11, 9, 8, 7, 6)
+        ]
+        assert shares == sorted(shares, reverse=True)

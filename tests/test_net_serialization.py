@@ -1,0 +1,104 @@
+"""Tests for network JSON serialisation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.channels import Channel
+from repro.net.serialization import (
+    dump_network,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+)
+from repro.net.topology import Network
+
+
+def full_network() -> Network:
+    network = Network()
+    network.add_ap("ap1", position=(0.0, 0.0), tx_power_dbm=20.0)
+    network.add_ap("ap2")
+    network.add_client("u1", position=(5.0, 3.0))
+    network.add_client("u2")
+    network.set_link_snr("ap1", "u1", 18.5)
+    network.set_link_snr("ap2", "u2", 7.0)
+    network.set_explicit_conflicts([("ap1", "ap2")])
+    network.associate("u1", "ap1")
+    network.associate("u2", "ap2")
+    network.set_channel("ap1", Channel(36, 40))
+    network.set_channel("ap2", Channel(44))
+    return network
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        original = full_network()
+        rebuilt = network_from_dict(network_to_dict(original))
+        assert rebuilt.ap_ids == original.ap_ids
+        assert rebuilt.client_ids == original.client_ids
+        assert rebuilt.associations == original.associations
+        assert rebuilt.channel_assignment == original.channel_assignment
+        assert rebuilt.explicit_conflicts == original.explicit_conflicts
+        assert rebuilt.ap("ap1").tx_power_dbm == 20.0
+        assert rebuilt.ap("ap1").position == (0.0, 0.0)
+        assert rebuilt.link_budget("ap1", "u1").snr20_db == pytest.approx(18.5)
+
+    def test_file_roundtrip(self, tmp_path):
+        original = full_network()
+        path = tmp_path / "network.json"
+        dump_network(original, str(path))
+        rebuilt = load_network(str(path))
+        assert rebuilt.associations == original.associations
+        assert rebuilt.channel_assignment == original.channel_assignment
+
+    def test_rebuilt_network_evaluates_identically(self, model):
+        from repro.net import build_interference_graph
+
+        original = full_network()
+        rebuilt = network_from_dict(network_to_dict(original))
+        value_original = model.aggregate_mbps(
+            original, build_interference_graph(original)
+        )
+        value_rebuilt = model.aggregate_mbps(
+            rebuilt, build_interference_graph(rebuilt)
+        )
+        assert value_rebuilt == pytest.approx(value_original)
+
+    def test_empty_network(self):
+        rebuilt = network_from_dict(network_to_dict(Network()))
+        assert rebuilt.ap_ids == ()
+        assert rebuilt.client_ids == ()
+
+    def test_geometry_only_network(self):
+        network = Network()
+        network.add_ap("a", position=(1.0, 2.0))
+        network.add_client("c", position=(3.0, 4.0))
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert rebuilt.client("c").position == (3.0, 4.0)
+        # No explicit conflicts were set; that state survives as None.
+        assert rebuilt.explicit_conflicts is None
+
+
+class TestFormat:
+    def test_version_field_present(self):
+        data = network_to_dict(Network())
+        assert data["version"] == 1
+
+    def test_unknown_version_rejected(self):
+        data = network_to_dict(Network())
+        data["version"] = 99
+        with pytest.raises(TopologyError):
+            network_from_dict(data)
+
+    def test_json_serialisable(self):
+        import json
+
+        text = json.dumps(network_to_dict(full_network()))
+        assert "ap1" in text
+
+    def test_conflicts_sorted_for_stable_diffs(self):
+        network = Network()
+        for name in ("c", "a", "b"):
+            network.add_ap(name)
+        network.set_explicit_conflicts([("c", "a"), ("b", "a")])
+        data = network_to_dict(network)
+        assert data["conflicts"] == [["a", "b"], ["a", "c"]]

@@ -1,0 +1,169 @@
+"""Tests for the network topology container."""
+
+import pytest
+
+from repro.errors import AssociationError, TopologyError
+from repro.net.channels import Channel
+from repro.net.topology import Network
+
+
+class TestConstruction:
+    def test_add_devices(self):
+        network = Network()
+        network.add_ap("ap1", position=(0.0, 0.0))
+        network.add_client("u1", position=(5.0, 0.0))
+        assert network.ap_ids == ("ap1",)
+        assert network.client_ids == ("u1",)
+
+    def test_duplicate_ap_rejected(self):
+        network = Network()
+        network.add_ap("ap1")
+        with pytest.raises(TopologyError):
+            network.add_ap("ap1")
+
+    def test_duplicate_client_rejected(self):
+        network = Network()
+        network.add_client("u1")
+        with pytest.raises(TopologyError):
+            network.add_client("u1")
+
+    def test_client_id_clashing_with_ap_rejected(self):
+        network = Network()
+        network.add_ap("x")
+        with pytest.raises(TopologyError):
+            network.add_client("x")
+
+    def test_unknown_lookup_rejected(self):
+        network = Network()
+        with pytest.raises(TopologyError):
+            network.ap("ghost")
+        with pytest.raises(TopologyError):
+            network.client("ghost")
+
+
+class TestLinks:
+    def test_snr_override_wins_over_geometry(self):
+        network = Network()
+        network.add_ap("ap1", position=(0.0, 0.0))
+        network.add_client("u1", position=(1.0, 0.0))
+        network.set_link_snr("ap1", "u1", 12.5)
+        assert network.link_budget("ap1", "u1").snr20_db == pytest.approx(12.5)
+
+    def test_geometric_budget_decays_with_distance(self):
+        network = Network()
+        network.add_ap("ap1", position=(0.0, 0.0))
+        network.add_client("near", position=(5.0, 0.0))
+        network.add_client("far", position=(50.0, 0.0))
+        near = network.link_budget("ap1", "near").snr20_db
+        far = network.link_budget("ap1", "far").snr20_db
+        assert near > far
+
+    def test_no_link_info_rejected(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_client("u1")
+        assert not network.has_link("ap1", "u1")
+        with pytest.raises(TopologyError):
+            network.link_budget("ap1", "u1")
+
+    def test_candidate_aps_filters_by_snr(self):
+        network = Network()
+        network.add_ap("strong")
+        network.add_ap("weak")
+        network.add_client("u1")
+        network.set_link_snr("strong", "u1", 20.0)
+        network.set_link_snr("weak", "u1", -20.0)
+        assert network.candidate_aps("u1") == ("strong",)
+
+    def test_ap_distance_requires_positions(self):
+        network = Network()
+        network.add_ap("a", position=(0.0, 0.0))
+        network.add_ap("b")
+        with pytest.raises(TopologyError):
+            network.ap_distance_m("a", "b")
+
+    def test_distance_euclidean(self):
+        assert Network.distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+
+class TestAssociationState:
+    def test_associate_and_clients_of(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_client("u1")
+        network.set_link_snr("ap1", "u1", 15.0)
+        network.associate("u1", "ap1")
+        assert network.clients_of("ap1") == ("u1",)
+
+    def test_reassociation_moves_client(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_ap("ap2")
+        network.add_client("u1")
+        network.set_link_snr("ap1", "u1", 15.0)
+        network.set_link_snr("ap2", "u1", 15.0)
+        network.associate("u1", "ap1")
+        network.associate("u1", "ap2")
+        assert network.clients_of("ap1") == ()
+        assert network.clients_of("ap2") == ("u1",)
+
+    def test_associate_without_link_rejected(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_client("u1")
+        with pytest.raises(AssociationError):
+            network.associate("u1", "ap1")
+
+    def test_disassociate_is_idempotent(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_client("u1")
+        network.disassociate("u1")  # no-op, no error
+
+    def test_set_channel_validates(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.set_channel("ap1", Channel(36))
+        assert network.channel_assignment["ap1"] == Channel(36)
+        with pytest.raises(TopologyError):
+            network.set_channel("ap1", "36")
+        with pytest.raises(TopologyError):
+            network.set_channel("ghost", Channel(36))
+
+    def test_snapshot_shape(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_client("u1")
+        network.set_link_snr("ap1", "u1", 15.0)
+        network.associate("u1", "ap1")
+        network.set_channel("ap1", Channel(36, 40))
+        snapshot = network.snapshot()
+        assert snapshot["associations"] == {"u1": "ap1"}
+        assert "40 MHz" in snapshot["channels"]["ap1"]
+
+
+class TestExplicitConflicts:
+    def test_declared_edges_stored(self):
+        network = Network()
+        network.add_ap("a")
+        network.add_ap("b")
+        network.set_explicit_conflicts([("a", "b")])
+        assert network.explicit_conflicts == {frozenset(("a", "b"))}
+
+    def test_self_conflict_rejected(self):
+        network = Network()
+        network.add_ap("a")
+        with pytest.raises(TopologyError):
+            network.set_explicit_conflicts([("a", "a")])
+
+    def test_unknown_ap_rejected(self):
+        network = Network()
+        network.add_ap("a")
+        with pytest.raises(TopologyError):
+            network.set_explicit_conflicts([("a", "ghost")])
+
+    def test_empty_conflicts_mean_isolation(self):
+        network = Network()
+        network.add_ap("a")
+        network.set_explicit_conflicts([])
+        assert network.explicit_conflicts == set()

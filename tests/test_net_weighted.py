@@ -1,0 +1,111 @@
+"""Tests for the weighted (partial-overlap) throughput model."""
+
+import pytest
+
+from repro.net import Channel, ChannelPlan, build_interference_graph
+from repro.net.throughput import ThroughputModel, WeightedThroughputModel
+from repro.net.topology import Network
+
+
+def two_ap_network() -> Network:
+    network = Network()
+    network.add_ap("a")
+    network.add_ap("b")
+    for client_id, ap_id in (("ua", "a"), ("ub", "b")):
+        network.add_client(client_id)
+        network.set_link_snr(ap_id, client_id, 24.0)
+        network.associate(client_id, ap_id)
+    network.set_explicit_conflicts([("a", "b")])
+    return network
+
+
+class TestReduction:
+    @pytest.mark.parametrize(
+        "assignment",
+        [
+            {"a": Channel(36), "b": Channel(36)},       # co-channel
+            {"a": Channel(36), "b": Channel(44)},       # orthogonal
+            {"a": Channel(36, 40), "b": Channel(40)},   # composite/constituent
+        ],
+    )
+    def test_orthogonal_or_cochannel_matches_binary(self, assignment):
+        """On the 5 GHz plan (overlaps all 0, 0.5 or 1) the weighted
+        model matches or refines the binary one predictably."""
+        network = two_ap_network()
+        graph = build_interference_graph(network)
+        binary = ThroughputModel()
+        weighted = WeightedThroughputModel()
+        binary_value = binary.aggregate_mbps(network, graph, assignment=assignment)
+        weighted_value = weighted.aggregate_mbps(
+            network, graph, assignment=assignment
+        )
+        if assignment["a"].conflicts_with(assignment["b"]):
+            # Weighted contention can only be as bad or milder than
+            # binary (partial coverage costs less than full).
+            assert weighted_value >= binary_value - 1e-9
+        else:
+            assert weighted_value == pytest.approx(binary_value)
+
+    def test_fully_cochannel_identical(self):
+        network = two_ap_network()
+        graph = build_interference_graph(network)
+        assignment = {"a": Channel(36), "b": Channel(36)}
+        assert WeightedThroughputModel().aggregate_mbps(
+            network, graph, assignment=assignment
+        ) == pytest.approx(
+            ThroughputModel().aggregate_mbps(network, graph, assignment=assignment)
+        )
+
+
+class TestPartialOverlap:
+    def test_24ghz_partial_neighbours_graded(self):
+        """On 2.4 GHz, moving a neighbour further away in channel
+        number gradually releases airtime — binary conflicts cannot
+        express this."""
+        network = two_ap_network()
+        graph = build_interference_graph(network)
+        weighted = WeightedThroughputModel()
+        values = []
+        for b_channel in (1, 2, 3, 4, 6):
+            assignment = {"a": Channel(1), "b": Channel(b_channel)}
+            values.append(
+                weighted.aggregate_mbps(network, graph, assignment=assignment)
+            )
+        assert values == sorted(values)
+        # Channel 6 is fully orthogonal to 1: no contention left.
+        isolated = weighted.aggregate_mbps(
+            network, graph, assignment={"a": Channel(1), "b": Channel(6)}
+        )
+        assert values[-1] == pytest.approx(isolated)
+
+    def test_constituent_pays_half_against_bonded(self):
+        """A 20 MHz AP under a neighbouring 40 MHz signal: the bonded
+        neighbour covers its whole band (weight 1 for it), while the
+        bonded AP only loses half its band (weight 0.5)."""
+        network = two_ap_network()
+        graph = build_interference_graph(network)
+        weighted = WeightedThroughputModel()
+        assignment = {"a": Channel(36, 40), "b": Channel(36)}
+        report = weighted.evaluate(network, graph, assignment=assignment)
+        share_bonded = weighted.medium_share_of(graph, "a", assignment)
+        share_narrow = weighted.medium_share_of(graph, "b", assignment)
+        assert share_bonded == pytest.approx(1 / 1.5)
+        assert share_narrow == pytest.approx(0.5)
+        assert report.total_mbps > 0
+
+    def test_allocation_works_with_weighted_model(self):
+        """Algorithm 2 runs unchanged on the weighted objective."""
+        from repro.core import allocate_channels
+
+        network = two_ap_network()
+        graph = build_interference_graph(network)
+        plan = ChannelPlan([1, 2, 3, 4, 5, 6], bonded_pairs=[])
+        weighted = WeightedThroughputModel()
+        result = allocate_channels(network, graph, plan, weighted, rng=0)
+        # With six 2.4 GHz channels available it finds an orthogonal
+        # pair (1/6-style separation).
+        from repro.net.overlap import spectral_overlap_fraction
+
+        a_channel = result.assignment["a"]
+        b_channel = result.assignment["b"]
+        assert spectral_overlap_fraction(a_channel, b_channel) == 0.0

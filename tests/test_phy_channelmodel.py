@@ -1,0 +1,93 @@
+"""Tests for AWGN, fading gains, and frequency-domain equalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channelmodel import (
+    FadingChannel,
+    awgn,
+    measure_snr_db,
+    rayleigh_subcarrier_gains,
+    rician_subcarrier_gains,
+)
+
+
+class TestAwgn:
+    def test_realised_snr_matches_target(self):
+        rng = np.random.default_rng(0)
+        clean = np.exp(1j * rng.uniform(0, 2 * np.pi, 50_000))
+        noisy = awgn(clean, 10.0, rng=rng)
+        assert measure_snr_db(clean, noisy) == pytest.approx(10.0, abs=0.2)
+
+    def test_snr_independent_of_signal_scale(self):
+        rng = np.random.default_rng(1)
+        clean = 7.3 * np.exp(1j * rng.uniform(0, 2 * np.pi, 50_000))
+        noisy = awgn(clean, 5.0, rng=2)
+        assert measure_snr_db(clean, noisy) == pytest.approx(5.0, abs=0.2)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            awgn(np.array([]), 10.0)
+
+    def test_deterministic_with_seed(self):
+        clean = np.ones(100, dtype=complex)
+        assert np.array_equal(awgn(clean, 3.0, rng=9), awgn(clean, 3.0, rng=9))
+
+
+class TestMeasureSnr:
+    def test_identical_signals_infinite_snr(self):
+        clean = np.ones(10, dtype=complex)
+        assert measure_snr_db(clean, clean) == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_snr_db(np.ones(3), np.ones(4))
+
+    def test_known_ratio(self):
+        clean = np.ones(4, dtype=complex)
+        noisy = clean + np.full(4, 0.1 + 0j)
+        assert measure_snr_db(clean, noisy) == pytest.approx(20.0, abs=1e-6)
+
+
+class TestFadingGains:
+    def test_rayleigh_unit_mean_power(self):
+        gains = rayleigh_subcarrier_gains(200_000, rng=3)
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_rician_unit_mean_power(self):
+        gains = rician_subcarrier_gains(200_000, k_factor_db=6.0, rng=4)
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_rician_less_variable_than_rayleigh(self):
+        """A strong LOS component concentrates the gain distribution."""
+        rayleigh = np.abs(rayleigh_subcarrier_gains(50_000, rng=5))
+        rician = np.abs(rician_subcarrier_gains(50_000, k_factor_db=10.0, rng=5))
+        assert np.std(rician) < np.std(rayleigh)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rayleigh_subcarrier_gains(0)
+        with pytest.raises(ConfigurationError):
+            rician_subcarrier_gains(-1)
+
+
+class TestFadingChannel:
+    def test_apply_then_equalize_roundtrip(self):
+        gains = rayleigh_subcarrier_gains(52, rng=6)
+        channel = FadingChannel(gains)
+        rng = np.random.default_rng(7)
+        symbols = rng.standard_normal((10, 52)) + 1j * rng.standard_normal((10, 52))
+        recovered = channel.equalize(channel.apply(symbols))
+        assert np.allclose(recovered, symbols, atol=1e-9)
+
+    def test_dimension_checks(self):
+        channel = FadingChannel(np.ones(52, dtype=complex))
+        with pytest.raises(ConfigurationError):
+            channel.apply(np.ones((4, 51), dtype=complex))
+        with pytest.raises(ConfigurationError):
+            channel.equalize(np.ones(51, dtype=complex))
+
+    def test_empty_gains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FadingChannel(np.array([], dtype=complex))

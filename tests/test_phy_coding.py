@@ -1,0 +1,116 @@
+"""Tests for the convolutional-code BER bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.coding import (
+    CODE_RATES,
+    code_by_rate,
+    pairwise_error_probability,
+)
+
+
+class TestPairwiseErrorProbability:
+    def test_zero_channel_ber_gives_zero(self):
+        assert pairwise_error_probability(10, 0.0) == 0.0
+
+    def test_half_channel_ber_gives_half(self):
+        assert pairwise_error_probability(11, 0.5) == pytest.approx(0.5, abs=0.01)
+
+    def test_odd_distance_three(self):
+        # P2(3, p) = 3p^2(1-p) + p^3, exactly.
+        p = 0.1
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert pairwise_error_probability(3, p) == pytest.approx(expected)
+
+    def test_even_distance_includes_half_tie(self):
+        # P2(2, p) = p^2 + 0.5 * 2p(1-p).
+        p = 0.2
+        expected = p**2 + 0.5 * 2 * p * (1 - p)
+        assert pairwise_error_probability(2, p) == pytest.approx(expected)
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_error_probability(0, 0.1)
+
+    @given(
+        st.integers(min_value=1, max_value=14),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_probability_bounds(self, d, p):
+        value = pairwise_error_probability(d, p)
+        assert 0.0 <= value <= 0.5 + 1e-9
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_monotone_in_channel_ber(self, d):
+        ps = np.linspace(0.0, 0.5, 30)
+        values = [pairwise_error_probability(d, p) for p in ps]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_larger_distance_helps(self):
+        """More Hamming distance means a smaller pairwise error."""
+        p = 0.05
+        values = [pairwise_error_probability(d, p) for d in range(2, 12)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestCodes:
+    def test_all_standard_rates_present(self):
+        assert {round(rate, 4) for rate in CODE_RATES} == {
+            round(r, 4) for r in (1 / 2, 2 / 3, 3 / 4, 5 / 6)
+        }
+
+    def test_free_distances_decrease_with_rate(self):
+        rates = sorted(CODE_RATES)
+        dfree = [CODE_RATES[r].free_distance for r in rates]
+        assert dfree == sorted(dfree, reverse=True)
+
+    def test_lookup_by_rate(self):
+        assert code_by_rate(3 / 4).free_distance == 5
+
+    def test_lookup_unknown_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            code_by_rate(7 / 8)
+
+    def test_invalid_rate_construction_rejected(self):
+        from repro.phy.coding import ConvolutionalCode
+
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCode(rate=1.5, free_distance=10, weights=(1.0,))
+
+    def test_coding_gain_positive_for_half_rate(self):
+        assert code_by_rate(1 / 2).coding_gain_db() > 0
+
+
+class TestCodedBer:
+    @pytest.mark.parametrize("rate", sorted(CODE_RATES))
+    def test_coded_ber_bounds(self, rate):
+        code = CODE_RATES[rate]
+        for p in (0.0, 1e-4, 1e-2, 0.1, 0.5):
+            assert 0.0 <= code.coded_ber(p) <= 0.5
+
+    @pytest.mark.parametrize("rate", sorted(CODE_RATES))
+    def test_coded_ber_monotone(self, rate):
+        code = CODE_RATES[rate]
+        ps = np.logspace(-5, np.log10(0.5), 40)
+        values = code.coded_ber(ps)
+        assert np.all(np.diff(values) >= -1e-15)
+
+    def test_coding_helps_in_waterfall(self):
+        """Below the cliff, the coded BER beats the raw channel BER."""
+        code = code_by_rate(1 / 2)
+        for p in (1e-3, 1e-2):
+            assert code.coded_ber(p) < p
+
+    def test_stronger_code_wins(self):
+        """At equal channel BER, lower-rate codes decode better."""
+        p = 0.02
+        bers = [CODE_RATES[r].coded_ber(p) for r in sorted(CODE_RATES)]
+        assert bers == sorted(bers)
+
+    def test_perfect_channel_perfect_decode(self):
+        for code in CODE_RATES.values():
+            assert code.coded_ber(0.0) == 0.0

@@ -1,0 +1,209 @@
+"""Tests for the K=7 convolutional encoder and Viterbi decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.coding import code_by_rate
+from repro.phy.convolutional import (
+    CONSTRAINT_LENGTH,
+    GENERATORS_OCTAL,
+    PUNCTURING_PATTERNS,
+    ConvolutionalCodec,
+)
+
+ALL_RATES = sorted(PUNCTURING_PATTERNS)
+
+
+class TestEncoder:
+    def test_generators_are_the_standard_pair(self):
+        assert GENERATORS_OCTAL == (0o133, 0o171)
+        assert CONSTRAINT_LENGTH == 7
+
+    def test_rate_half_output_length(self):
+        codec = ConvolutionalCodec(1 / 2)
+        coded = codec.encode(np.zeros(100, dtype=np.uint8))
+        # (100 + 6 tail bits) * 2 outputs.
+        assert coded.size == 212
+
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_coded_length_matches_encode(self, rate):
+        codec = ConvolutionalCodec(rate)
+        bits = np.random.default_rng(1).integers(0, 2, 123, dtype=np.uint8)
+        assert codec.encode(bits).size == codec.coded_length(123)
+
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_effective_rate_close_to_nominal(self, rate):
+        codec = ConvolutionalCodec(rate)
+        n = 3000
+        coded = codec.coded_length(n)
+        assert n / coded == pytest.approx(rate, rel=0.02)
+
+    def test_all_zero_input_gives_all_zero_output(self):
+        codec = ConvolutionalCodec(1 / 2)
+        coded = codec.encode(np.zeros(50, dtype=np.uint8))
+        assert not np.any(coded)
+
+    def test_encoder_is_linear(self):
+        """Convolutional codes are linear: enc(a^b) = enc(a)^enc(b)."""
+        codec = ConvolutionalCodec(1 / 2)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, 64, dtype=np.uint8)
+        b = rng.integers(0, 2, 64, dtype=np.uint8)
+        assert np.array_equal(
+            codec.encode(a ^ b), codec.encode(a) ^ codec.encode(b)
+        )
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCodec(1 / 2).encode(np.array([], dtype=np.uint8))
+
+    def test_unsupported_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCodec(7 / 8)
+
+    def test_invalid_length_query_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCodec(1 / 2).coded_length(0)
+
+    def test_minimum_weight_matches_free_distance(self):
+        """The lightest nonzero codeword has weight = d_free (10 for
+        the unpunctured K=7 code). Checked over all short inputs."""
+        codec = ConvolutionalCodec(1 / 2)
+        best = None
+        for value in range(1, 256):
+            bits = np.array(
+                [(value >> i) & 1 for i in range(8)], dtype=np.uint8
+            )
+            weight = int(codec.encode(bits).sum())
+            best = weight if best is None else min(best, weight)
+        assert best == code_by_rate(1 / 2).free_distance
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_clean_roundtrip(self, rate):
+        codec = ConvolutionalCodec(rate)
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 400, dtype=np.uint8)
+        decoded = codec.decode(codec.encode(bits), 400)
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_scattered_errors(self):
+        """Rate 1/2 with d_free = 10 corrects any ~4 scattered flips."""
+        codec = ConvolutionalCodec(1 / 2)
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 300, dtype=np.uint8)
+        coded = codec.encode(bits)
+        corrupted = coded.copy()
+        # Four flips far apart.
+        for position in (10, 150, 350, 550):
+            corrupted[position] ^= 1
+        assert np.array_equal(codec.decode(corrupted, 300), bits)
+
+    def test_two_percent_channel_errors_decoded_cleanly(self):
+        codec = ConvolutionalCodec(1 / 2)
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 500, dtype=np.uint8)
+        coded = codec.encode(bits)
+        noise = (rng.random(coded.size) < 0.02).astype(np.uint8)
+        decoded = codec.decode(coded ^ noise, 500)
+        assert np.mean(decoded != bits) < 0.002
+
+    def test_wrong_length_rejected(self):
+        codec = ConvolutionalCodec(1 / 2)
+        with pytest.raises(ConfigurationError):
+            codec.decode(np.zeros(100, dtype=np.uint8), 80)
+
+    def test_invalid_bit_count_rejected(self):
+        codec = ConvolutionalCodec(1 / 2)
+        with pytest.raises(ConfigurationError):
+            codec.decode(np.zeros(12, dtype=np.uint8), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=120), st.integers(0, 10_000))
+    def test_roundtrip_property(self, n_bits, seed):
+        codec = ConvolutionalCodec(3 / 4)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, n_bits, dtype=np.uint8)
+        assert np.array_equal(codec.decode(codec.encode(bits), n_bits), bits)
+
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_measured_ber_below_union_bound(self, rate):
+        """The union bound of repro.phy.coding upper-bounds the real
+        decoder — the consistency check tying the two models together."""
+        codec = ConvolutionalCodec(rate)
+        rng = np.random.default_rng(6)
+        p = 0.01
+        errors = 0
+        total = 0
+        for _ in range(10):
+            bits = rng.integers(0, 2, 400, dtype=np.uint8)
+            coded = codec.encode(bits)
+            noise = (rng.random(coded.size) < p).astype(np.uint8)
+            decoded = codec.decode(coded ^ noise, 400)
+            errors += int(np.sum(decoded != bits))
+            total += 400
+        bound = code_by_rate(rate).coded_ber(p)
+        assert errors / total <= bound + 0.01
+
+    def test_stronger_code_corrects_more(self):
+        """At equal channel error rate, rate 1/2 out-decodes rate 5/6."""
+        rng = np.random.default_rng(7)
+        p = 0.04
+        results = {}
+        for rate in (1 / 2, 5 / 6):
+            codec = ConvolutionalCodec(rate)
+            errors = 0
+            for trial in range(8):
+                bits = rng.integers(0, 2, 300, dtype=np.uint8)
+                coded = codec.encode(bits)
+                noise = (rng.random(coded.size) < p).astype(np.uint8)
+                decoded = codec.decode(coded ^ noise, 300)
+                errors += int(np.sum(decoded != bits))
+            results[rate] = errors
+        assert results[1 / 2] < results[5 / 6]
+
+
+class TestCodedHarness:
+    def test_high_snr_error_free(self):
+        from repro.phy.ofdm import OFDM_20MHZ
+        from repro.warp.codedmac import CodedBerHarness
+
+        harness = CodedBerHarness(OFDM_20MHZ, code_rate=1 / 2)
+        measurement = harness.measure_at_subcarrier_snr(
+            12.0, n_packets=4, packet_bytes=100, rng=8
+        )
+        assert measurement.ber == 0.0
+        assert measurement.per == 0.0
+
+    def test_coding_rescues_marginal_snr(self):
+        """At an SNR where the uncoded chain loses every packet, the
+        coded chain delivers most of them — the Section 3.2 point about
+        raw BER not mapping directly to commercial PER."""
+        from repro.phy.ofdm import OFDM_20MHZ
+        from repro.warp.bermac import BerMacHarness
+        from repro.warp.codedmac import CodedBerHarness
+
+        uncoded = BerMacHarness(OFDM_20MHZ).measure_at_subcarrier_snr(
+            6.0, n_packets=6, packet_bytes=150, rng=9
+        )
+        coded = CodedBerHarness(
+            OFDM_20MHZ, code_rate=1 / 2
+        ).measure_at_subcarrier_snr(6.0, n_packets=6, packet_bytes=150, rng=9)
+        assert uncoded.per == 1.0
+        assert coded.per <= 0.5
+
+    def test_invalid_inputs_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.phy.ofdm import OFDM_20MHZ
+        from repro.warp.codedmac import CodedBerHarness
+
+        harness = CodedBerHarness(OFDM_20MHZ)
+        with pytest.raises(ConfigurationError):
+            harness.measure_at_subcarrier_snr(5.0, n_packets=0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            harness.run_packet(5.0, 0, rng)

@@ -1,0 +1,159 @@
+"""Tests for constellations, bit mapping, and AWGN error theory."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.modulation import (
+    BPSK,
+    MODULATIONS,
+    QAM16,
+    QAM64,
+    QPSK,
+    modulation_by_name,
+    q_function,
+)
+
+ALL_MODULATIONS = [BPSK, QPSK, QAM16, QAM64]
+
+
+class TestQFunction:
+    def test_q_of_zero_is_half(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_q_is_decreasing(self):
+        xs = np.linspace(-3, 5, 50)
+        values = q_function(xs)
+        assert np.all(np.diff(values) < 0)
+
+    def test_known_value(self):
+        # Q(1.96) ~ 0.025 (the 97.5th percentile of the normal).
+        assert q_function(1.96) == pytest.approx(0.025, abs=1e-3)
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_unit_average_energy(self, modulation):
+        energy = np.mean(np.abs(modulation.constellation) ** 2)
+        assert energy == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_constellation_size(self, modulation):
+        assert modulation.constellation.size == modulation.order
+
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_points_distinct(self, modulation):
+        points = modulation.constellation
+        distances = np.abs(points[:, None] - points[None, :])
+        np.fill_diagonal(distances, 1.0)
+        assert distances.min() > 1e-6
+
+    def test_qam16_gray_neighbours_differ_by_one_bit(self):
+        """Gray mapping: nearest neighbours differ in exactly one bit."""
+        points = QAM16.constellation
+        distances = np.abs(points[:, None] - points[None, :])
+        min_distance = distances[distances > 1e-9].min()
+        for i in range(16):
+            for j in range(16):
+                if i < j and abs(distances[i, j] - min_distance) < 1e-9:
+                    assert bin(i ^ j).count("1") == 1
+
+
+class TestBitMapping:
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_roundtrip_exhaustive_patterns(self, modulation):
+        n = modulation.bits_per_symbol
+        bits = np.array(
+            [(value >> shift) & 1 for value in range(1 << n) for shift in range(n - 1, -1, -1)],
+            dtype=np.uint8,
+        )
+        symbols = modulation.map_bits(bits)
+        recovered = modulation.demap_symbols(symbols)
+        assert np.array_equal(bits, recovered)
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_roundtrip_random_qpsk(self, n_symbols):
+        rng = np.random.default_rng(n_symbols)
+        bits = rng.integers(0, 2, size=2 * n_symbols, dtype=np.uint8)
+        assert np.array_equal(QPSK.demap_symbols(QPSK.map_bits(bits)), bits)
+
+    def test_misaligned_bit_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QAM16.map_bits(np.array([0, 1, 0], dtype=np.uint8))
+
+    def test_demap_tolerates_small_noise(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=600, dtype=np.uint8)
+        symbols = QAM64.map_bits(bits)
+        noisy = symbols + 0.01 * (
+            rng.standard_normal(symbols.shape)
+            + 1j * rng.standard_normal(symbols.shape)
+        )
+        assert np.array_equal(QAM64.demap_symbols(noisy), bits)
+
+
+class TestErrorTheory:
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_ber_decreasing_in_snr(self, modulation):
+        snrs = np.linspace(-5, 30, 40)
+        bers = modulation.ber_db(snrs)
+        assert np.all(np.diff(bers) <= 1e-12)
+
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_ber_bounded(self, modulation):
+        assert 0 <= modulation.ber(0.0) <= 0.5
+        assert modulation.ber(1e6) < 1e-12
+
+    def test_higher_order_needs_more_snr(self):
+        """Denser constellations have higher BER at a fixed SNR.
+
+        Checked at moderate+ SNRs; below ~3 dB the nearest-neighbour
+        QAM approximation is known to lose this ordering slightly.
+        """
+        for snr_db in (5.0, 10.0, 15.0, 20.0):
+            bers = [m.ber_db(snr_db) for m in ALL_MODULATIONS]
+            assert bers == sorted(bers)
+
+    def test_qpsk_equals_bpsk_per_bit(self):
+        """Gray QPSK at Es/N0 = 2x behaves like BPSK at Es/N0 = x."""
+        for snr in (1.0, 3.0, 10.0):
+            assert QPSK.ber(2 * snr) == pytest.approx(BPSK.ber(snr), rel=1e-9)
+
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_ser_at_least_ber(self, modulation):
+        for snr_db in (-2.0, 4.0, 12.0, 20.0):
+            snr = 10 ** (snr_db / 10)
+            assert modulation.ser(snr) >= modulation.ber(snr) - 1e-12
+
+    def test_ber_matches_monte_carlo(self):
+        """Theory vs direct constellation simulation at a moderate SNR."""
+        rng = np.random.default_rng(42)
+        snr_db = 8.0
+        n_bits = 120_000
+        bits = rng.integers(0, 2, size=n_bits, dtype=np.uint8)
+        symbols = QPSK.map_bits(bits)
+        noise_power = 10 ** (-snr_db / 10)
+        noise = np.sqrt(noise_power / 2) * (
+            rng.standard_normal(symbols.shape)
+            + 1j * rng.standard_normal(symbols.shape)
+        )
+        received = QPSK.demap_symbols(symbols + noise)
+        measured = np.mean(received != bits)
+        assert measured == pytest.approx(QPSK.ber_db(snr_db), rel=0.25)
+
+
+class TestLookup:
+    def test_by_name_aliases(self):
+        assert modulation_by_name("qpsk") is QPSK
+        assert modulation_by_name("DQPSK") is QPSK
+        assert modulation_by_name("16qam") is QAM16
+        assert modulation_by_name("QAM64") is QAM64
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            modulation_by_name("256qam")
+
+    def test_registry_complete(self):
+        assert set(MODULATIONS) == {"BPSK", "QPSK", "16QAM", "64QAM"}

@@ -1,0 +1,84 @@
+"""Tests for the noise floor (Eq. 1) and the bonding SNR penalty."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.noise import (
+    cb_snr_penalty_db,
+    noise_floor_dbm,
+    noise_per_subcarrier_dbm,
+    snr_db,
+    snr_per_subcarrier_db,
+    subcarrier_energy_offset_db,
+)
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+
+
+class TestNoiseFloor:
+    def test_eq1_at_20mhz(self):
+        # N = -174 + 10*log10(20e6) = -100.99 dBm (plus noise figure).
+        assert noise_floor_dbm(20e6, noise_figure_db=0.0) == pytest.approx(
+            -100.99, abs=0.01
+        )
+
+    def test_doubling_bandwidth_adds_3db(self):
+        """The paper: 40 MHz noise is ~3 dBm (10log2) above 20 MHz."""
+        delta = noise_floor_dbm(40e6) - noise_floor_dbm(20e6)
+        assert delta == pytest.approx(3.0103, abs=1e-3)
+
+    def test_noise_figure_added(self):
+        assert noise_floor_dbm(20e6, noise_figure_db=6.0) == pytest.approx(
+            noise_floor_dbm(20e6, noise_figure_db=0.0) + 6.0
+        )
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_floor_dbm(0.0)
+
+
+class TestPerSubcarrierNoise:
+    def test_width_independent(self):
+        """Same subcarrier spacing -> (almost) the same noise per subcarrier.
+
+        This is the paper's "the noise per subcarrier can be expected to
+        remain almost the same".
+        """
+        n20 = noise_per_subcarrier_dbm(OFDM_20MHZ)
+        n40 = noise_per_subcarrier_dbm(OFDM_40MHZ)
+        assert n20 == pytest.approx(n40, abs=0.01)
+
+
+class TestSubcarrierEnergy:
+    def test_ht20_reference_is_zero(self):
+        assert subcarrier_energy_offset_db(OFDM_20MHZ) == pytest.approx(0.0)
+
+    def test_ht40_offset_about_minus_3db(self):
+        """Fig 1: ~3 dB per-subcarrier energy drop with bonding."""
+        offset = subcarrier_energy_offset_db(OFDM_40MHZ)
+        assert offset == pytest.approx(-3.09, abs=0.05)
+
+    def test_cb_penalty_positive_3db(self):
+        assert cb_snr_penalty_db() == pytest.approx(3.09, abs=0.05)
+
+
+class TestLinkSnr:
+    def test_wideband_snr_budget(self):
+        value = snr_db(23.0, 100.0, 20e6, noise_figure_db=6.0)
+        expected = 23.0 - 100.0 - (-174.0 + 10 * 7.30103 + 6.0)
+        assert value == pytest.approx(expected, abs=0.01)
+
+    def test_subcarrier_snr_width_penalty(self):
+        """Same budget: HT40 per-subcarrier SNR sits ~3 dB below HT20."""
+        s20 = snr_per_subcarrier_db(20.0, 95.0, OFDM_20MHZ)
+        s40 = snr_per_subcarrier_db(20.0, 95.0, OFDM_40MHZ)
+        assert s20 - s40 == pytest.approx(3.09, abs=0.05)
+
+    def test_more_power_more_snr(self):
+        low = snr_per_subcarrier_db(10.0, 95.0, OFDM_20MHZ)
+        high = snr_per_subcarrier_db(20.0, 95.0, OFDM_20MHZ)
+        assert high - low == pytest.approx(10.0)
+
+    def test_more_loss_less_snr(self):
+        near = snr_per_subcarrier_db(20.0, 80.0, OFDM_20MHZ)
+        far = snr_per_subcarrier_db(20.0, 110.0, OFDM_20MHZ)
+        assert near - far == pytest.approx(30.0)

@@ -1,0 +1,142 @@
+"""Tests for the OFDM numerologies and nominal rates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.ofdm import (
+    OFDM_20MHZ,
+    OFDM_40MHZ,
+    OFDM_LEGACY,
+    OfdmParams,
+    nominal_data_rate_mbps,
+)
+
+
+class TestSubcarrierCounts:
+    """Section 3.1's counts: 48 legacy, 52 HT20, 108 HT40 data subcarriers."""
+
+    def test_legacy_has_48_data(self):
+        assert OFDM_LEGACY.n_data == 48
+
+    def test_ht20_has_52_data(self):
+        assert OFDM_20MHZ.n_data == 52
+
+    def test_ht40_has_108_data(self):
+        assert OFDM_40MHZ.n_data == 108
+
+    def test_pilot_counts(self):
+        assert OFDM_20MHZ.n_pilots == 4
+        assert OFDM_40MHZ.n_pilots == 6
+
+    def test_fft_sizes_match_paper(self):
+        # "using a 128-point FFT (as opposed to a 64-point FFT with 20MHz)"
+        assert OFDM_20MHZ.fft_size == 64
+        assert OFDM_40MHZ.fft_size == 128
+
+    def test_no_dc_subcarrier_used(self):
+        assert 0 not in OFDM_20MHZ.data_subcarriers
+        assert 0 not in OFDM_40MHZ.data_subcarriers
+
+    def test_subcarrier_spacing_constant(self):
+        assert OFDM_20MHZ.subcarrier_spacing_hz == pytest.approx(312_500.0)
+        assert OFDM_40MHZ.subcarrier_spacing_hz == pytest.approx(312_500.0)
+
+    def test_data_and_pilots_disjoint(self):
+        for params in (OFDM_LEGACY, OFDM_20MHZ, OFDM_40MHZ):
+            assert not set(params.data_subcarriers) & set(
+                params.pilot_subcarriers
+            )
+
+
+class TestSymbolTiming:
+    def test_long_gi_symbol_is_4us(self):
+        assert OFDM_20MHZ.symbol_duration_s() == pytest.approx(4.0e-6)
+
+    def test_short_gi_symbol_is_3_6us(self):
+        assert OFDM_20MHZ.symbol_duration_s(short_gi=True) == pytest.approx(3.6e-6)
+
+
+class TestNominalRates:
+    """Derived rates must reproduce the 802.11n standard table."""
+
+    @pytest.mark.parametrize(
+        "bits,rate,streams,short_gi,expected",
+        [
+            (1, 1 / 2, 1, False, 6.5),    # MCS 0
+            (2, 1 / 2, 1, False, 13.0),   # MCS 1
+            (6, 5 / 6, 1, False, 65.0),   # MCS 7
+            (6, 5 / 6, 2, False, 130.0),  # MCS 15
+            (6, 5 / 6, 1, True, 72.2),    # MCS 7 short GI
+        ],
+    )
+    def test_ht20_standard_rates(self, bits, rate, streams, short_gi, expected):
+        value = nominal_data_rate_mbps(
+            OFDM_20MHZ, bits, rate, n_streams=streams, short_gi=short_gi
+        )
+        assert value == pytest.approx(expected, rel=0.01)
+
+    @pytest.mark.parametrize(
+        "bits,rate,streams,short_gi,expected",
+        [
+            (1, 1 / 2, 1, False, 13.5),   # MCS 0
+            (6, 5 / 6, 1, False, 135.0),  # MCS 7
+            (6, 5 / 6, 2, False, 270.0),  # MCS 15
+            (6, 5 / 6, 2, True, 300.0),   # MCS 15 short GI
+        ],
+    )
+    def test_ht40_standard_rates(self, bits, rate, streams, short_gi, expected):
+        value = nominal_data_rate_mbps(
+            OFDM_40MHZ, bits, rate, n_streams=streams, short_gi=short_gi
+        )
+        assert value == pytest.approx(expected, rel=0.01)
+
+    def test_40mhz_slightly_more_than_double(self):
+        # "nominal bit rates with 40MHz are slightly higher than double"
+        rate20 = nominal_data_rate_mbps(OFDM_20MHZ, 6, 3 / 4)
+        rate40 = nominal_data_rate_mbps(OFDM_40MHZ, 6, 3 / 4)
+        assert rate40 / rate20 == pytest.approx(108 / 52)
+        assert rate40 > 2 * rate20
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nominal_data_rate_mbps(OFDM_20MHZ, 0, 1 / 2)
+
+    def test_invalid_code_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nominal_data_rate_mbps(OFDM_20MHZ, 2, 1.5)
+
+    def test_invalid_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nominal_data_rate_mbps(OFDM_20MHZ, 2, 1 / 2, n_streams=0)
+
+
+class TestOfdmParamsValidation:
+    def test_bad_fft_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmParams(
+                name="bad",
+                bandwidth_mhz=20.0,
+                fft_size=63,
+                data_subcarriers=(1,),
+                pilot_subcarriers=(),
+            )
+
+    def test_out_of_range_subcarrier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmParams(
+                name="bad",
+                bandwidth_mhz=20.0,
+                fft_size=64,
+                data_subcarriers=(40,),
+                pilot_subcarriers=(),
+            )
+
+    def test_overlapping_pilot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmParams(
+                name="bad",
+                bandwidth_mhz=20.0,
+                fft_size=64,
+                data_subcarriers=(1, 2),
+                pilot_subcarriers=(2,),
+            )

@@ -1,0 +1,87 @@
+"""Tests for the Eq. 6 PER model and goodput helper."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.per import ber_from_per, effective_throughput_mbps, per_from_ber
+
+
+class TestPerFromBer:
+    def test_zero_ber_zero_per(self):
+        assert per_from_ber(0.0) == 0.0
+
+    def test_certain_bit_errors_certain_packet_error(self):
+        assert per_from_ber(1.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # 1 - (1-1e-4)^(8*1500) = 1 - 0.9999^12000 ~ 0.6988.
+        assert per_from_ber(1e-4, 1500) == pytest.approx(0.6988, abs=1e-3)
+
+    def test_longer_packets_more_fragile(self):
+        assert per_from_ber(1e-5, 3000) > per_from_ber(1e-5, 300)
+
+    def test_tiny_ber_no_underflow(self):
+        value = per_from_ber(1e-12, 1500)
+        assert 0 < value < 1e-7
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_from_ber(0.1, 0)
+
+    def test_array_input(self):
+        bers = np.array([0.0, 1e-5, 1e-3])
+        pers = per_from_ber(bers)
+        assert pers.shape == bers.shape
+        assert np.all(np.diff(pers) > 0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_output_in_unit_interval(self, ber):
+        assert 0.0 <= per_from_ber(ber) <= 1.0
+
+    @given(
+        st.floats(min_value=1e-9, max_value=0.01),
+        st.integers(min_value=10, max_value=4000),
+    )
+    def test_roundtrip_through_inverse(self, ber, packet_bytes):
+        per = per_from_ber(ber, packet_bytes)
+        # Once the PER saturates toward 1.0 the BER is unrecoverable:
+        # (1 - per) loses float precision long before hitting exactly 1.
+        assume(per < 1.0 - 1e-9)
+        recovered = ber_from_per(per, packet_bytes)
+        assert recovered == pytest.approx(ber, rel=1e-6)
+
+
+class TestBerFromPer:
+    def test_zero_per_zero_ber(self):
+        assert ber_from_per(0.0) == 0.0
+
+    def test_invalid_packet_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ber_from_per(0.1, -5)
+
+    def test_monotone(self):
+        pers = np.linspace(0.0, 0.99, 20)
+        bers = ber_from_per(pers)
+        assert np.all(np.diff(bers) >= 0)
+
+
+class TestEffectiveThroughput:
+    def test_no_loss_full_rate(self):
+        assert effective_throughput_mbps(65.0, 0.0) == pytest.approx(65.0)
+
+    def test_total_loss_zero(self):
+        assert effective_throughput_mbps(65.0, 1.0) == 0.0
+
+    def test_paper_throughput_model(self):
+        # T = (1 - PER) * R
+        assert effective_throughput_mbps(130.0, 0.25) == pytest.approx(97.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=600.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_never_exceeds_nominal(self, rate, per):
+        assert effective_throughput_mbps(rate, per) <= rate + 1e-9

@@ -1,0 +1,82 @@
+"""Tests for PSD estimation and the Fig 1 per-subcarrier level drop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.psd import occupied_band_level_db, per_subcarrier_power_db, welch_psd
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from repro.warp.waveform import OfdmTransmitter
+
+
+class TestWelchPsd:
+    def test_tone_peak_location(self):
+        fs = 20e6
+        tone_hz = 2e6
+        t = np.arange(65536) / fs
+        samples = np.exp(2j * np.pi * tone_hz * t)
+        freqs, psd = welch_psd(samples, fs)
+        peak_freq = freqs[np.argmax(psd)]
+        assert peak_freq == pytest.approx(tone_hz, abs=fs / 256)
+
+    def test_output_shapes_match(self):
+        samples = np.random.default_rng(0).standard_normal(4096) + 0j
+        freqs, psd = welch_psd(samples, 20e6)
+        assert freqs.shape == psd.shape
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            welch_psd(np.ones(16, dtype=complex), 20e6)
+
+    def test_frequencies_sorted(self):
+        samples = np.random.default_rng(1).standard_normal(4096) + 0j
+        freqs, _ = welch_psd(samples, 20e6)
+        assert np.all(np.diff(freqs) > 0)
+
+
+class TestPerSubcarrierPower:
+    def test_uniform_grid(self):
+        grid = np.ones((20, 52), dtype=complex)
+        power = per_subcarrier_power_db(grid)
+        assert power.shape == (52,)
+        assert np.allclose(power, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_subcarrier_power_db(np.empty((0, 52), dtype=complex))
+
+
+class TestFig1Effect:
+    """The headline PSD observation: ~3 dB/subcarrier lower with CB."""
+
+    def _waveform_psd_level(self, params, n_symbols=300, seed=0):
+        transmitter = OfdmTransmitter(params=params, tx_power=1.0)
+        frame = transmitter.build_frame(n_symbols, rng=seed)
+        payload = frame.samples[frame.preamble_length :]
+        fs = params.bandwidth_mhz * 1e6
+        freqs, psd = welch_psd(payload, fs, segment_length=params.fft_size * 4)
+        return occupied_band_level_db(
+            freqs, psd, params.bandwidth_mhz * 1e6 * 0.8
+        )
+
+    def test_cb_drops_level_about_3db(self):
+        level20 = self._waveform_psd_level(OFDM_20MHZ)
+        level40 = self._waveform_psd_level(OFDM_40MHZ)
+        # Same total power over ~double the subcarriers: ~3 dB drop
+        # in the per-Hz level across the occupied band.
+        assert level20 - level40 == pytest.approx(3.0, abs=0.8)
+
+
+class TestOccupiedBandLevel:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupied_band_level_db(np.ones(4), np.ones(5), 20e6)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupied_band_level_db(np.ones(4), np.ones(4), 0.0)
+
+    def test_no_bins_in_band_rejected(self):
+        freqs = np.array([30e6, 40e6])
+        with pytest.raises(ConfigurationError):
+            occupied_band_level_db(freqs, np.zeros(2), 1e3)

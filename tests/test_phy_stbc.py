@@ -1,0 +1,98 @@
+"""Tests for 2x2 Alamouti STBC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channelmodel import awgn, measure_snr_db
+from repro.phy.modulation import QPSK
+from repro.phy.stbc import AlamoutiChannel, alamouti_decode, alamouti_encode
+
+
+def random_channel(seed: int) -> AlamoutiChannel:
+    rng = np.random.default_rng(seed)
+    h = (rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))) / np.sqrt(2)
+    return AlamoutiChannel(h)
+
+
+class TestEncoding:
+    def test_output_shape(self):
+        symbols = np.arange(8, dtype=complex)
+        encoded = alamouti_encode(symbols)
+        assert encoded.shape == (2, 8)
+
+    def test_alamouti_structure(self):
+        s = np.array([1 + 1j, 2 - 1j], dtype=complex)
+        encoded = alamouti_encode(s) * np.sqrt(2.0)
+        assert encoded[0, 0] == s[0]
+        assert encoded[1, 0] == s[1]
+        assert encoded[0, 1] == -np.conj(s[1])
+        assert encoded[1, 1] == np.conj(s[0])
+
+    def test_total_power_preserved(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=4000, dtype=np.uint8)
+        symbols = QPSK.map_bits(bits)
+        encoded = alamouti_encode(symbols)
+        input_power = np.mean(np.abs(symbols) ** 2)
+        total_tx_power = np.mean(np.sum(np.abs(encoded) ** 2, axis=0))
+        assert total_tx_power == pytest.approx(input_power, rel=0.05)
+
+    def test_odd_symbol_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alamouti_encode(np.ones(3, dtype=complex))
+
+
+class TestDecoding:
+    def test_noiseless_roundtrip_identity_channel(self):
+        channel = AlamoutiChannel(np.eye(2, dtype=complex))
+        symbols = np.array([1 + 2j, -1 + 0.5j, 0.25 - 1j, 2 + 2j])
+        received = channel.transmit(alamouti_encode(symbols))
+        decoded = alamouti_decode(received, channel)
+        assert np.allclose(decoded, symbols, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_noiseless_roundtrip_random_channel(self, seed):
+        channel = random_channel(seed)
+        rng = np.random.default_rng(seed + 100)
+        bits = rng.integers(0, 2, size=400, dtype=np.uint8)
+        symbols = QPSK.map_bits(bits)
+        received = channel.transmit(alamouti_encode(symbols))
+        decoded = alamouti_decode(received, channel)
+        assert np.allclose(decoded, symbols, atol=1e-9)
+
+    def test_decode_shape_checks(self):
+        channel = random_channel(4)
+        with pytest.raises(ConfigurationError):
+            alamouti_decode(np.ones((3, 4), dtype=complex), channel)
+        with pytest.raises(ConfigurationError):
+            alamouti_decode(np.ones((2, 5), dtype=complex), channel)
+
+    def test_diversity_beats_siso_in_deep_fade(self):
+        """Even if one path is dead, the 2x2 scheme still decodes."""
+        h = np.array([[1e-6, 1.0], [1.0, 1e-6]], dtype=complex)
+        channel = AlamoutiChannel(h)
+        rng = np.random.default_rng(11)
+        bits = rng.integers(0, 2, size=2000, dtype=np.uint8)
+        symbols = QPSK.map_bits(bits)
+        received = channel.transmit(alamouti_encode(symbols))
+        noisy = awgn(received, 15.0, rng=rng)
+        decoded_bits = QPSK.demap_symbols(alamouti_decode(noisy, channel))
+        ber = np.mean(decoded_bits != bits)
+        assert ber < 0.05
+
+
+class TestChannel:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlamoutiChannel(np.ones((2, 3), dtype=complex))
+
+    def test_effective_gain_identity(self):
+        channel = AlamoutiChannel(np.eye(2, dtype=complex))
+        # ||I||_F^2 / 2 = 1: same energy as a unit SISO link.
+        assert channel.effective_gain() == pytest.approx(1.0)
+
+    def test_transmit_requires_two_streams(self):
+        channel = random_channel(5)
+        with pytest.raises(ConfigurationError):
+            channel.transmit(np.ones(4, dtype=complex))

@@ -1,0 +1,193 @@
+"""Cross-cutting property-based tests on the core invariants.
+
+These use hypothesis to sweep randomised networks and parameters,
+checking the structural guarantees the paper's analysis relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import allocate_channels, random_assignment
+from repro.graph.coloring import worst_case_ratio
+from repro.link.quality import sigma_from_snr
+from repro.mcs.selection import optimal_mcs
+from repro.net.channels import Channel, ChannelPlan
+from repro.net.interference import build_interference_graph
+from repro.net.throughput import ThroughputModel
+from repro.net.topology import Network
+from repro.phy.ber import coded_ber, uncoded_ber
+from repro.phy.modulation import QAM16, QAM64, QPSK
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from repro.phy.per import per_from_ber
+
+MODEL = ThroughputModel()
+
+MODCODS = [(QPSK, 1 / 2), (QPSK, 3 / 4), (QAM16, 3 / 4), (QAM64, 5 / 6)]
+
+
+def random_network(n_aps: int, n_clients: int, edge_bits: int, snrs) -> Network:
+    """Deterministic network from hypothesis-drawn parameters."""
+    network = Network()
+    for index in range(n_aps):
+        network.add_ap(f"ap{index}")
+    for index in range(n_clients):
+        client = f"u{index}"
+        network.add_client(client)
+        ap = f"ap{index % n_aps}"
+        network.set_link_snr(ap, client, snrs[index])
+        network.associate(client, ap)
+    edges = []
+    bit = 0
+    for i in range(n_aps):
+        for j in range(i + 1, n_aps):
+            if (edge_bits >> bit) & 1:
+                edges.append((f"ap{i}", f"ap{j}"))
+            bit += 1
+    network.set_explicit_conflicts(edges)
+    return network
+
+
+class TestPhyInvariants:
+    @given(
+        st.sampled_from(MODCODS),
+        st.floats(min_value=-10.0, max_value=40.0),
+    )
+    def test_coding_never_worse_than_half(self, modcod, snr_db):
+        modulation, rate = modcod
+        assert 0.0 <= coded_ber(modulation, rate, snr_db) <= 0.5
+
+    @given(
+        st.sampled_from(MODCODS),
+        st.floats(min_value=-10.0, max_value=37.0),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    def test_uncoded_ber_monotone_in_snr(self, modcod, snr_db, delta):
+        modulation, _ = modcod
+        assert uncoded_ber(modulation, snr_db + delta) <= uncoded_ber(
+            modulation, snr_db
+        ) + 1e-15
+
+    @given(
+        st.sampled_from(MODCODS),
+        st.floats(min_value=-5.0, max_value=40.0),
+    )
+    def test_sigma_at_least_one_ish(self, modcod, snr_db):
+        """σ compares delivery without/with CB at equal power; because
+        bonding only lowers the per-subcarrier SNR, delivery without CB
+        is never meaningfully worse: σ ≳ 1 everywhere."""
+        modulation, rate = modcod
+        value = sigma_from_snr(snr_db, modulation, rate)
+        assert value >= 1.0 - 1e-6
+
+    @given(st.floats(min_value=-8.0, max_value=40.0))
+    def test_bonding_at_most_doubles_goodput(self, snr20):
+        """Inequality 3's flip side: CB gives at most the rate-ratio
+        (~2.08x) gain, because at equal SNR it cannot reduce PER."""
+        d20 = optimal_mcs(snr20, OFDM_20MHZ)
+        d40 = optimal_mcs(snr20 - 3.1, OFDM_40MHZ)
+        assert d40.goodput_mbps <= (108 / 52) * d20.goodput_mbps + 1e-6
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.001),
+        st.floats(min_value=1.0, max_value=4.0),
+    )
+    def test_per_superlinear_in_length(self, ber, factor):
+        short = per_from_ber(ber, 500)
+        longer = per_from_ber(ber, int(500 * factor))
+        assert longer >= short - 1e-12
+
+
+class TestAllocationInvariants:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_greedy_never_below_worst_case_bound(
+        self, n_aps, edge_bits, seed
+    ):
+        """The paper's O(1/(Δ+1)) guarantee, stress-tested."""
+        rng = np.random.default_rng(seed)
+        snrs = rng.uniform(0.0, 30.0, size=n_aps * 2)
+        network = random_network(n_aps, n_aps * 2, edge_bits, snrs)
+        graph = build_interference_graph(network)
+        plan = ChannelPlan().subset(4)
+        result = allocate_channels(network, graph, plan, MODEL, rng=seed)
+        from repro.baselines.optimal import isolation_upper_bound_mbps
+
+        y_star = isolation_upper_bound_mbps(
+            network, plan, MODEL, network.associations
+        )
+        assert result.aggregate_mbps >= worst_case_ratio(graph) * y_star - 1e-6
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_greedy_never_worse_than_initial(self, n_aps, edge_bits, seed):
+        rng = np.random.default_rng(seed)
+        snrs = rng.uniform(0.0, 30.0, size=n_aps * 2)
+        network = random_network(n_aps, n_aps * 2, edge_bits, snrs)
+        graph = build_interference_graph(network)
+        plan = ChannelPlan().subset(4)
+        initial = random_assignment(network.ap_ids, plan, rng=seed)
+        start = MODEL.aggregate_mbps(network, graph, assignment=initial)
+        result = allocate_channels(
+            network, graph, plan, MODEL, initial=initial
+        )
+        assert result.aggregate_mbps >= start - 1e-9
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_evaluation_is_pure(self, seed):
+        """Evaluating assignments must not change the stored network."""
+        rng = np.random.default_rng(seed)
+        snrs = rng.uniform(0.0, 30.0, size=6)
+        network = random_network(3, 6, 7, snrs)
+        graph = build_interference_graph(network)
+        assignment_before = dict(network.channel_assignment)
+        associations_before = dict(network.associations)
+        trial = {ap: Channel(36) for ap in network.ap_ids}
+        MODEL.aggregate_mbps(network, graph, assignment=trial)
+        assert network.channel_assignment == assignment_before
+        assert network.associations == associations_before
+
+
+class TestThroughputInvariants:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_contention_never_raises_throughput(self, seed):
+        """Adding an interference edge can only lower the aggregate."""
+        rng = np.random.default_rng(seed)
+        snrs = rng.uniform(5.0, 30.0, size=4)
+        isolated = random_network(2, 4, 0, snrs)
+        contended = random_network(2, 4, 1, snrs)
+        assignment = {"ap0": Channel(36), "ap1": Channel(36)}
+        value_isolated = MODEL.aggregate_mbps(
+            isolated, build_interference_graph(isolated), assignment=assignment
+        )
+        value_contended = MODEL.aggregate_mbps(
+            contended,
+            build_interference_graph(contended),
+            assignment=assignment,
+        )
+        assert value_contended <= value_isolated + 1e-9
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=-5.0, max_value=35.0),
+    )
+    def test_per_ap_throughput_nonnegative(self, seed, extra_snr):
+        rng = np.random.default_rng(seed)
+        snrs = list(rng.uniform(-5.0, 35.0, size=5)) + [extra_snr]
+        network = random_network(3, 6, 7, snrs)
+        graph = build_interference_graph(network)
+        assignment = random_assignment(network.ap_ids, ChannelPlan(), rng=seed)
+        report = MODEL.evaluate(network, graph, assignment=assignment)
+        assert all(v >= 0 for v in report.per_ap_mbps.values())

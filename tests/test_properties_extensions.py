@@ -1,0 +1,125 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.channels import Channel, ChannelPlan
+from repro.net.overlap import spectral_overlap_fraction, weighted_contention_share
+
+FIVE_GHZ = ChannelPlan().all_channels()
+TWO_FOUR = [Channel(n) for n in range(1, 14)]
+ALL_CHANNELS = list(FIVE_GHZ) + TWO_FOUR
+
+
+class TestOverlapProperties:
+    @given(st.sampled_from(ALL_CHANNELS), st.sampled_from(ALL_CHANNELS))
+    def test_overlap_bounds(self, a, b):
+        fraction = spectral_overlap_fraction(a, b)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(st.sampled_from(ALL_CHANNELS))
+    def test_self_overlap_is_one(self, channel):
+        assert spectral_overlap_fraction(channel, channel) == pytest.approx(1.0)
+
+    @given(st.sampled_from(ALL_CHANNELS), st.sampled_from(ALL_CHANNELS))
+    def test_overlap_area_reciprocity(self, a, b):
+        """The shared spectrum is one physical quantity:
+        overlap(a,b) * width_a == overlap(b,a) * width_b."""
+        left = spectral_overlap_fraction(a, b) * a.width_mhz
+        right = spectral_overlap_fraction(b, a) * b.width_mhz
+        assert left == pytest.approx(right, abs=1e-9)
+
+    @given(st.sampled_from(FIVE_GHZ), st.sampled_from(FIVE_GHZ))
+    def test_5ghz_overlap_consistent_with_binary_conflicts(self, a, b):
+        """On the orthogonal 5 GHz plan, positive overlap iff the
+        binary colour conflict holds."""
+        fraction = spectral_overlap_fraction(a, b)
+        assert (fraction > 0) == a.conflicts_with(b)
+
+    @given(
+        st.sampled_from(ALL_CHANNELS),
+        st.lists(st.sampled_from(ALL_CHANNELS), max_size=5),
+    )
+    def test_weighted_share_bounds(self, own, neighbours):
+        share = weighted_contention_share(own, neighbours)
+        assert 0.0 < share <= 1.0
+        # More neighbours can never raise the share.
+        assert share <= weighted_contention_share(own, neighbours[:-1] or [])
+
+
+class TestRefinementProperties:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_refinement_never_degrades_random_networks(self, seed):
+        from repro.core.allocation import random_assignment
+        from repro.core.refinement import refine_associations
+        from repro.net import ThroughputModel, build_interference_graph
+        from repro.net.topology import Network
+
+        rng = np.random.default_rng(seed)
+        network = Network()
+        n_aps = int(rng.integers(2, 4))
+        for index in range(n_aps):
+            network.add_ap(f"ap{index}")
+        for index in range(int(rng.integers(2, 7))):
+            client_id = f"u{index}"
+            network.add_client(client_id)
+            heard = rng.choice(n_aps, size=int(rng.integers(1, n_aps + 1)), replace=False)
+            for ap_index in heard:
+                network.set_link_snr(
+                    f"ap{int(ap_index)}",
+                    client_id,
+                    float(rng.uniform(0.0, 30.0)),
+                )
+            network.associate(client_id, f"ap{int(heard[0])}")
+        edges = []
+        for i in range(n_aps):
+            for j in range(i + 1, n_aps):
+                if rng.random() < 0.5:
+                    edges.append((f"ap{i}", f"ap{j}"))
+        network.set_explicit_conflicts(edges)
+        plan = ChannelPlan().subset(4)
+        assignment = random_assignment(network.ap_ids, plan, rng=seed)
+        for ap_id, channel in assignment.items():
+            network.set_channel(ap_id, channel)
+        graph = build_interference_graph(network)
+        model = ThroughputModel()
+        before = model.aggregate_mbps(network, graph)
+        result = refine_associations(network, graph, model)
+        assert result.aggregate_mbps >= before - 1e-9
+
+
+class TestMinstrelProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.floats(min_value=-2.0, max_value=36.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_minstrel_best_has_positive_estimate(self, snr_db, seed):
+        from repro.link.minstrel import MinstrelController
+        from repro.phy.ber import coded_ber
+        from repro.phy.mimo import MimoMode, effective_snr_db
+        from repro.phy.ofdm import OFDM_20MHZ
+        from repro.phy.per import per_from_ber
+
+        controller = MinstrelController(OFDM_20MHZ)
+
+        def success_probability(entry):
+            mode = MimoMode.STBC if entry.n_streams == 1 else MimoMode.SDM
+            ber = coded_ber(
+                entry.modulation,
+                entry.code_rate,
+                effective_snr_db(snr_db, mode),
+            )
+            return 1.0 - float(per_from_ber(ber))
+
+        best = controller.train(success_probability, n_packets=300, rng=seed)
+        assert controller.expected_throughput_mbps(best) >= 0.0
+        # Statistics accumulated for the rates it actually used.
+        assert any(s.attempts > 0 for s in controller.stats.values())

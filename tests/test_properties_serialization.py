@@ -1,0 +1,111 @@
+"""Property-based round-trip tests for network serialisation.
+
+Hypothesis builds arbitrary (small) networks — devices, pinned links,
+conflicts, associations, channel assignments — and the JSON round trip
+must preserve them exactly, including the evaluated throughput.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.net import (
+    Channel,
+    ChannelPlan,
+    Network,
+    ThroughputModel,
+    build_interference_graph,
+)
+from repro.net.serialization import network_from_dict, network_to_dict
+
+_PALETTE = ChannelPlan().all_channels()
+
+MODEL = ThroughputModel()
+
+
+@st.composite
+def networks(draw):
+    """A random small, internally consistent network."""
+    n_aps = draw(st.integers(min_value=1, max_value=4))
+    n_clients = draw(st.integers(min_value=0, max_value=6))
+    network = Network()
+    ap_ids = [f"ap{i}" for i in range(n_aps)]
+    for ap_id in ap_ids:
+        has_position = draw(st.booleans())
+        position = None
+        if has_position:
+            position = (
+                draw(st.floats(min_value=0, max_value=100)),
+                draw(st.floats(min_value=0, max_value=100)),
+            )
+        network.add_ap(ap_id, position=position)
+    for index in range(n_clients):
+        client_id = f"u{index}"
+        network.add_client(client_id)
+        # Pin a link to a random subset of APs.
+        n_links = draw(st.integers(min_value=0, max_value=n_aps))
+        for ap_id in ap_ids[:n_links]:
+            snr = draw(st.floats(min_value=-10.0, max_value=40.0))
+            network.set_link_snr(ap_id, client_id, snr)
+        if n_links and draw(st.booleans()):
+            network.associate(client_id, ap_ids[0])
+    if draw(st.booleans()):
+        edges = []
+        for i in range(n_aps):
+            for j in range(i + 1, n_aps):
+                if draw(st.booleans()):
+                    edges.append((ap_ids[i], ap_ids[j]))
+        network.set_explicit_conflicts(edges)
+    for ap_id in ap_ids:
+        if draw(st.booleans()):
+            network.set_channel(
+                ap_id, _PALETTE[draw(st.integers(0, len(_PALETTE) - 1))]
+            )
+    return network
+
+
+class TestRoundtripProperties:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(networks())
+    def test_structure_preserved(self, network):
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert rebuilt.ap_ids == network.ap_ids
+        assert rebuilt.client_ids == network.client_ids
+        assert rebuilt.associations == network.associations
+        assert rebuilt.channel_assignment == network.channel_assignment
+        assert rebuilt.explicit_conflicts == network.explicit_conflicts
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(networks())
+    def test_evaluation_preserved(self, network):
+        if network.explicit_conflicts is None:
+            # Geometry-based interference needs all positions; restrict
+            # the evaluated property to explicitly-declared networks.
+            return
+        rebuilt = network_from_dict(network_to_dict(network))
+        original_value = MODEL.aggregate_mbps(
+            network, build_interference_graph(network)
+        )
+        rebuilt_value = MODEL.aggregate_mbps(
+            rebuilt, build_interference_graph(rebuilt)
+        )
+        assert rebuilt_value == pytest.approx(original_value)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(networks())
+    def test_double_roundtrip_is_stable(self, network):
+        once = network_to_dict(network)
+        twice = network_to_dict(network_from_dict(once))
+        assert once == twice

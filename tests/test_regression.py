@@ -1,0 +1,92 @@
+"""Golden-number regression tests.
+
+These pin the headline quantities of the reproduction (with loose
+tolerances) so that refactors of the substrate cannot silently shift
+the results EXPERIMENTS.md documents. If a deliberate model change
+moves a number, update both the constant here and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import Acorn
+from repro.baselines import KauffmannController
+from repro.link.quality import transition_snr_db
+from repro.phy.modulation import QAM16, QAM64, QPSK
+from repro.phy.noise import cb_snr_penalty_db
+from repro.sim.scenario import dense_triangle, topology1, topology2
+
+
+class TestPhysicsConstants:
+    def test_cb_penalty(self):
+        assert cb_snr_penalty_db() == pytest.approx(3.09, abs=0.02)
+
+    @pytest.mark.parametrize(
+        "modulation,rate,expected",
+        [
+            (QPSK, 3 / 4, 12.0),
+            (QAM16, 3 / 4, 18.7),
+            (QAM64, 3 / 4, 24.6),
+            (QAM64, 5 / 6, 26.3),
+        ],
+    )
+    def test_transition_snrs(self, modulation, rate, expected):
+        assert transition_snr_db(modulation, rate) == pytest.approx(
+            expected, abs=0.5
+        )
+
+
+class TestScenarioGoldenNumbers:
+    def test_topology1_totals(self):
+        scenario = topology1()
+        acorn = Acorn(scenario.network, scenario.plan, seed=7)
+        result = acorn.configure(scenario.client_order)
+        assert result.total_mbps == pytest.approx(75.2, rel=0.05)
+        assert result.report.per_ap_mbps["AP1"] == pytest.approx(6.1, rel=0.1)
+        assert result.report.per_ap_mbps["AP2"] == pytest.approx(69.1, rel=0.05)
+
+    def test_topology2_totals(self):
+        acorn_scenario = topology2()
+        acorn = Acorn(acorn_scenario.network, acorn_scenario.plan, seed=7)
+        acorn_total = acorn.configure(acorn_scenario.client_order).total_mbps
+        baseline_scenario = topology2()
+        baseline = KauffmannController(
+            baseline_scenario.network, baseline_scenario.plan
+        )
+        baseline_total = baseline.configure(
+            baseline_scenario.client_order
+        ).total_mbps
+        assert acorn_total == pytest.approx(209.4, rel=0.05)
+        assert baseline_total == pytest.approx(202.0, rel=0.05)
+
+    def test_dense_triangle_total(self):
+        """Fig 11's headline: 81.0 Mbps here vs 79.98 in the paper."""
+        scenario = dense_triangle()
+        acorn = Acorn(scenario.network, scenario.plan, seed=7)
+        result = acorn.configure(scenario.client_order)
+        assert result.total_mbps == pytest.approx(81.0, rel=0.05)
+
+    def test_mobility_away_endpoint(self):
+        from repro.sim.mobility import run_mobility_experiment
+
+        trace = run_mobility_experiment("away")
+        assert trace.acorn_mbps[-1] == pytest.approx(15.4, rel=0.1)
+        assert trace.fixed_mbps[-1] == pytest.approx(0.0, abs=0.5)
+
+
+class TestThroughputCeilings:
+    def test_fig6a_ceilings(self):
+        """The simulated testbed's ceilings: ~63 Mbps at 20 MHz,
+        ~84 Mbps at 40 MHz (paper: ~60/~80)."""
+        from repro.link.budget import LinkBudget
+        from repro.mac.airtime import cell_throughput_mbps, client_delay_s
+        from repro.mcs.selection import optimal_mcs
+        from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+
+        budget = LinkBudget.from_snr20(40.0)
+        ceilings = {}
+        for params in (OFDM_20MHZ, OFDM_40MHZ):
+            decision = optimal_mcs(budget.subcarrier_snr_db(params), params)
+            delay = client_delay_s(decision.nominal_rate_mbps, decision.per)
+            ceilings[params.name] = cell_throughput_mbps([delay])
+        assert ceilings["HT20"] == pytest.approx(62.8, rel=0.03)
+        assert ceilings["HT40"] == pytest.approx(83.8, rel=0.03)

@@ -1,0 +1,168 @@
+"""Tests for scenarios, traffic models, and mobility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.interference import build_interference_graph, max_degree
+from repro.sim.mobility import LinearWalk, run_mobility_experiment
+from repro.sim.scenario import (
+    ap_triple,
+    dense_triangle,
+    random_enterprise,
+    topology1,
+    topology2,
+)
+from repro.sim.traffic import TcpTraffic, UdpTraffic
+
+
+class TestScenarios:
+    def test_topology1_shape(self):
+        scenario = topology1()
+        assert len(scenario.network.ap_ids) == 2
+        assert len(scenario.network.client_ids) == 4
+        assert scenario.network.explicit_conflicts == set()
+
+    def test_topology2_shape(self):
+        scenario = topology2()
+        assert len(scenario.network.ap_ids) == 5
+        assert len(scenario.client_order) == len(scenario.network.client_ids)
+
+    def test_topology2_shared_clients_hear_two_aps(self):
+        scenario = topology2()
+        assert set(scenario.network.candidate_aps("s1")) == {"AP1", "AP3"}
+
+    def test_dense_triangle_contention(self):
+        scenario = dense_triangle()
+        graph = build_interference_graph(scenario.network)
+        assert max_degree(graph) == 2
+        assert scenario.plan.n_basic == 4
+
+    def test_ap_triple_deterministic(self):
+        first = ap_triple(3)
+        second = ap_triple(3)
+        for client in first.network.client_ids:
+            for ap in first.network.ap_ids:
+                if first.network.has_link(ap, client):
+                    assert first.network.link_budget(
+                        ap, client
+                    ).snr20_db == pytest.approx(
+                        second.network.link_budget(ap, client).snr20_db
+                    )
+
+    def test_random_enterprise_deterministic(self):
+        first = random_enterprise(n_aps=4, n_clients=8, seed=7)
+        second = random_enterprise(n_aps=4, n_clients=8, seed=7)
+        assert first.network.explicit_conflicts == second.network.explicit_conflicts
+
+    def test_random_enterprise_scales(self):
+        scenario = random_enterprise(n_aps=3, n_clients=5, seed=1)
+        assert len(scenario.network.ap_ids) == 3
+        assert len(scenario.network.client_ids) == 5
+
+    def test_random_enterprise_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_enterprise(n_aps=0)
+
+    def test_fresh_network_is_unconfigured(self):
+        scenario = topology1()
+        scenario.network.associate("u1", "AP1")
+        fresh = scenario.fresh_network()
+        assert fresh.associations == {}
+
+
+class TestTraffic:
+    def test_udp_factor_constant(self):
+        assert UdpTraffic().goodput_factor(0.4) == 1.0
+
+    def test_tcp_factor_at_zero_loss(self):
+        traffic = TcpTraffic()
+        assert traffic.goodput_factor(0.0) == pytest.approx(0.85)
+
+    def test_tcp_more_loss_sensitive_than_udp(self):
+        traffic = TcpTraffic()
+        assert traffic.goodput_factor(0.3) < UdpTraffic().goodput_factor(0.3)
+
+    def test_tcp_factor_monotone(self):
+        traffic = TcpTraffic()
+        factors = [traffic.goodput_factor(p / 10) for p in range(11)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_tcp_invalid_per_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcpTraffic().goodput_factor(1.5)
+
+    def test_tcp_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcpTraffic(ack_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            TcpTraffic(loss_exponent=-1.0)
+
+
+class TestLinearWalk:
+    def test_interpolation(self):
+        walk = LinearWalk(0.0, 100.0, 50.0)
+        assert walk.distance_at(0.0) == 0.0
+        assert walk.distance_at(25.0) == pytest.approx(50.0)
+        assert walk.distance_at(50.0) == 100.0
+
+    def test_clamps_outside_duration(self):
+        walk = LinearWalk(10.0, 20.0, 10.0)
+        assert walk.distance_at(-5.0) == 10.0
+        assert walk.distance_at(99.0) == 20.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearWalk(0.0, 10.0, 0.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearWalk(-1.0, 10.0, 5.0)
+
+
+class TestMobilityExperiment:
+    def test_away_switches_to_20mhz(self):
+        trace = run_mobility_experiment("away", duration_s=50.0)
+        assert trace.acorn_width_mhz[0] == 40
+        assert trace.acorn_width_mhz[-1] == 20
+        assert trace.switch_time_s is not None
+
+    def test_away_beats_fixed_40_after_switch(self):
+        trace = run_mobility_experiment("away", duration_s=50.0)
+        assert trace.post_switch_gain() > 2.0
+
+    def test_toward_switches_to_40mhz(self):
+        trace = run_mobility_experiment("toward", duration_s=50.0)
+        assert trace.acorn_width_mhz[0] == 20
+        assert trace.acorn_width_mhz[-1] == 40
+
+    def test_toward_beats_fixed_20_after_switch(self):
+        trace = run_mobility_experiment("toward", duration_s=50.0)
+        assert trace.post_switch_gain() > 1.1
+
+    def test_acorn_never_below_fixed(self):
+        """The opportunistic mode always picks the better width."""
+        for direction in ("away", "toward"):
+            trace = run_mobility_experiment(direction, duration_s=30.0)
+            for acorn, fixed in zip(trace.acorn_mbps, trace.fixed_mbps):
+                assert acorn >= fixed - 1e-9
+
+    def test_snr_monotone_along_walk(self):
+        trace = run_mobility_experiment("away", duration_s=30.0)
+        snrs = trace.mobile_snr20_db
+        assert all(b <= a + 1e-9 for a, b in zip(snrs, snrs[1:]))
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mobility_experiment("sideways")
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mobility_experiment("away", step_s=0.0)
+
+    def test_no_switch_returns_unit_gain(self):
+        # A short walk that stays near the AP never leaves 40 MHz.
+        trace = run_mobility_experiment(
+            "away", duration_s=10.0, near_m=5.0, far_m=6.0
+        )
+        assert trace.switch_time_s is None
+        assert trace.post_switch_gain() == 1.0

@@ -1,0 +1,114 @@
+"""Tests for the office-floor building model."""
+
+import pytest
+
+from repro.config import PathLossModel
+from repro.errors import ConfigurationError
+from repro.sim.buildings import FloorPlan, office_floor
+
+
+class TestFloorPlan:
+    def test_dimensions(self):
+        floor = FloorPlan(rooms_x=4, rooms_y=3, room_size_m=6.0)
+        assert floor.width_m == 24.0
+        assert floor.height_m == 18.0
+
+    def test_room_center(self):
+        floor = FloorPlan(room_size_m=6.0)
+        assert floor.room_center(0, 0) == (3.0, 3.0)
+        assert floor.room_center(1, 2) == (9.0, 15.0)
+
+    def test_room_out_of_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FloorPlan(rooms_x=2, rooms_y=2).room_center(2, 0)
+
+    def test_same_room_no_walls(self):
+        floor = FloorPlan(room_size_m=6.0)
+        assert floor.walls_between((1.0, 1.0), (5.0, 5.0)) == 0
+
+    def test_adjacent_rooms_one_wall(self):
+        floor = FloorPlan(rooms_x=4, rooms_y=1, room_size_m=6.0)
+        # Crossing from room 0 into room 1 on the x axis.
+        assert floor.walls_between((3.0, 3.0), (9.0, 3.0)) == 1
+
+    def test_diagonal_counts_both_axes(self):
+        floor = FloorPlan(rooms_x=4, rooms_y=4, room_size_m=6.0)
+        assert floor.walls_between((3.0, 3.0), (9.0, 9.0)) == 2
+
+    def test_far_rooms_many_walls(self):
+        floor = FloorPlan(rooms_x=5, rooms_y=1, room_size_m=6.0)
+        assert floor.walls_between((3.0, 3.0), (27.0, 3.0)) == 4
+
+    def test_exterior_walls_not_counted(self):
+        floor = FloorPlan(rooms_x=2, rooms_y=1, room_size_m=6.0)
+        # Both points in the leftmost room, near the exterior wall.
+        assert floor.walls_between((0.1, 3.0), (0.2, 3.0)) == 0
+
+    def test_walls_symmetric(self):
+        floor = FloorPlan(rooms_x=3, rooms_y=3)
+        a, b = (2.0, 2.0), (16.0, 10.0)
+        assert floor.walls_between(a, b) == floor.walls_between(b, a)
+
+    def test_path_loss_includes_walls(self):
+        floor = FloorPlan(rooms_x=4, rooms_y=1, room_size_m=6.0, wall_loss_db=5.0)
+        model = PathLossModel(exponent=2.0)
+        same_room = floor.path_loss_db((1.0, 3.0), (5.0, 3.0), model)
+        # Equal distance but crossing one wall.
+        one_wall = floor.path_loss_db((4.0, 3.0), (8.0, 3.0), model)
+        assert one_wall == pytest.approx(same_room + 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FloorPlan(rooms_x=0)
+        with pytest.raises(ConfigurationError):
+            FloorPlan(room_size_m=0.0)
+        with pytest.raises(ConfigurationError):
+            FloorPlan(wall_loss_db=-1.0)
+
+
+class TestOfficeFloor:
+    def test_builds_requested_shape(self):
+        scenario = office_floor(rooms_x=3, rooms_y=2, clients_per_room=2, n_aps=2)
+        assert len(scenario.network.ap_ids) == 2
+        assert len(scenario.network.client_ids) == 12
+
+    def test_deterministic(self):
+        a = office_floor(seed=5)
+        b = office_floor(seed=5)
+        for client_id in a.network.client_ids:
+            assert a.network.client(client_id).position == pytest.approx(
+                b.network.client(client_id).position
+            )
+
+    def test_walls_create_quality_diversity(self):
+        """On a long floor with heavy walls, far rooms land in the poor
+        regime while in-room clients stay excellent."""
+        scenario = office_floor(
+            rooms_x=8,
+            rooms_y=3,
+            clients_per_room=1,
+            n_aps=1,
+            plan=FloorPlan(wall_loss_db=9.0),
+        )
+        snrs = [
+            scenario.network.link_budget("AP1", client_id).snr20_db
+            for client_id in scenario.network.client_ids
+            if scenario.network.has_link("AP1", client_id)
+        ]
+        assert max(snrs) > 25.0   # in-room clients are excellent
+        assert min(snrs) < 10.0   # far rooms are poor
+
+    def test_acorn_configures_office(self):
+        from repro import Acorn
+
+        scenario = office_floor(rooms_x=4, rooms_y=2, clients_per_room=1, n_aps=3)
+        acorn = Acorn(scenario.network, scenario.plan, seed=2)
+        result = acorn.configure(scenario.client_order)
+        assert result.total_mbps > 0
+        assert len(result.report.associations) >= 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            office_floor(clients_per_room=-1)
+        with pytest.raises(ConfigurationError):
+            office_floor(n_aps=0)

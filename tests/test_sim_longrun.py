@@ -1,0 +1,105 @@
+"""Tests for the long-run churn simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import ChannelPlan, Network
+from repro.sim.longrun import ChurnConfig, LongRunResult, run_long_run
+
+
+def small_wlan() -> Network:
+    network = Network()
+    network.add_ap("AP1")
+    network.add_ap("AP2")
+    network.set_explicit_conflicts([("AP1", "AP2")])
+    return network
+
+
+def quick_config(**overrides) -> ChurnConfig:
+    defaults = dict(
+        duration_s=1800.0,
+        arrival_rate_per_s=1 / 60.0,
+        period_s=600.0,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ChurnConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(arrival_rate_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(period_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(reallocation_downtime_s=-1.0)
+
+
+class TestRun:
+    def test_produces_traffic_and_churn(self):
+        result = run_long_run(small_wlan(), ChannelPlan().subset(4), quick_config())
+        assert result.mean_throughput_mbps > 0
+        assert result.n_arrivals > 0
+        # A 30-minute run with ~31-minute median sessions sees few
+        # departures, but the accounting must stay consistent.
+        assert 0 <= result.n_departures <= result.n_arrivals
+
+    def test_reallocations_match_period(self):
+        result = run_long_run(small_wlan(), ChannelPlan().subset(4), quick_config())
+        # duration 1800 s, period 600 s -> re-allocations at 600 and 1200.
+        assert result.n_reallocations == 2
+        assert result.downtime_s == pytest.approx(
+            2 * result.config.reallocation_downtime_s
+        )
+
+    def test_deterministic_given_seed(self):
+        first = run_long_run(small_wlan(), ChannelPlan().subset(4), quick_config())
+        second = run_long_run(small_wlan(), ChannelPlan().subset(4), quick_config())
+        assert first.mean_throughput_mbps == pytest.approx(
+            second.mean_throughput_mbps
+        )
+        assert first.n_arrivals == second.n_arrivals
+
+    def test_different_seeds_differ(self):
+        a = run_long_run(
+            small_wlan(), ChannelPlan().subset(4), quick_config(seed=1)
+        )
+        b = run_long_run(
+            small_wlan(), ChannelPlan().subset(4), quick_config(seed=2)
+        )
+        assert a.n_arrivals != b.n_arrivals or (
+            a.mean_throughput_mbps != pytest.approx(b.mean_throughput_mbps)
+        )
+
+    def test_downtime_lowers_throughput(self):
+        free = run_long_run(
+            small_wlan(),
+            ChannelPlan().subset(4),
+            quick_config(reallocation_downtime_s=0.0),
+        )
+        costly = run_long_run(
+            small_wlan(),
+            ChannelPlan().subset(4),
+            quick_config(reallocation_downtime_s=120.0),
+        )
+        assert costly.mean_throughput_mbps < free.mean_throughput_mbps
+
+    def test_samples_are_time_ordered(self):
+        result = run_long_run(small_wlan(), ChannelPlan().subset(4), quick_config())
+        times = [t for t, _ in result.samples]
+        assert times == sorted(times)
+        assert result.peak_throughput_mbps >= result.mean_throughput_mbps
+
+    def test_empty_result_peak(self):
+        result = LongRunResult(
+            config=quick_config(),
+            mean_throughput_mbps=0.0,
+            n_arrivals=0,
+            n_departures=0,
+            n_reallocations=0,
+            downtime_s=0.0,
+        )
+        assert result.peak_throughput_mbps == 0.0

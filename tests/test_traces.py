@@ -1,0 +1,90 @@
+"""Tests for the synthetic association-duration workload (Fig 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traces.associations import (
+    PAPER_MEDIAN_S,
+    PAPER_P90_S,
+    recommended_period_s,
+    summarize_durations,
+    synthesize_association_durations,
+)
+
+
+class TestSynthesis:
+    def test_median_matches_paper(self):
+        durations = synthesize_association_durations(50_000, rng=0)
+        summary = summarize_durations(durations)
+        assert summary.median_s == pytest.approx(PAPER_MEDIAN_S, rel=0.03)
+
+    def test_p90_matches_paper(self):
+        """More than 90 % of associations last under 40 minutes."""
+        durations = synthesize_association_durations(50_000, rng=1)
+        summary = summarize_durations(durations)
+        assert summary.p90_s == pytest.approx(PAPER_P90_S, rel=0.03)
+
+    def test_all_durations_positive(self):
+        durations = synthesize_association_durations(1_000, rng=2)
+        assert np.all(durations > 0)
+
+    def test_deterministic_with_seed(self):
+        first = synthesize_association_durations(100, rng=3)
+        second = synthesize_association_durations(100, rng=3)
+        assert np.array_equal(first, second)
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_association_durations(0)
+
+    def test_invalid_quantiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_association_durations(10, median_s=100.0, p90_s=50.0)
+
+    @settings(max_examples=20)
+    @given(
+        st.floats(min_value=60.0, max_value=7200.0),
+        st.floats(min_value=1.05, max_value=4.0),
+    )
+    def test_custom_quantiles_respected(self, median_s, ratio):
+        durations = synthesize_association_durations(
+            20_000, median_s=median_s, p90_s=median_s * ratio, rng=4
+        )
+        summary = summarize_durations(durations)
+        assert summary.median_s == pytest.approx(median_s, rel=0.08)
+
+
+class TestSummary:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_durations(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_durations(np.array([10.0, -1.0]))
+
+    def test_minutes_property(self):
+        summary = summarize_durations(np.array([600.0, 600.0, 600.0]))
+        assert summary.median_minutes == pytest.approx(10.0)
+
+
+class TestRecommendedPeriod:
+    def test_paper_trace_gives_30_minutes(self):
+        """The paper: 'we run our channel allocation every 30 minutes'."""
+        durations = synthesize_association_durations(50_000, rng=5)
+        assert recommended_period_s(durations) == pytest.approx(30 * 60.0)
+
+    def test_granularity_respected(self):
+        durations = np.full(100, 1700.0)
+        assert recommended_period_s(durations, granularity_s=600.0) == 1800.0
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recommended_period_s(np.array([100.0]), granularity_s=0.0)
+
+    def test_never_zero(self):
+        durations = np.full(10, 1.0)
+        assert recommended_period_s(durations) > 0

@@ -1,0 +1,99 @@
+"""Unit-conversion tests, including round-trip properties."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_mw_to_dbm_known_value(self):
+        assert units.mw_to_dbm(100.0) == pytest.approx(20.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-1.0)
+
+    def test_negative_watts_rejected(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(-0.5)
+
+    def test_zero_power_is_floor_not_error(self):
+        assert units.mw_to_dbm(0.0) < -250.0
+
+    @given(st.floats(min_value=-100.0, max_value=60.0))
+    def test_dbm_mw_roundtrip(self, dbm):
+        assert units.mw_to_dbm(units.dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    @given(st.floats(min_value=-120.0, max_value=40.0))
+    def test_watts_roundtrip(self, dbm):
+        assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+
+class TestRatioConversions:
+    def test_three_db_is_double(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_of_ten(self):
+        assert units.linear_to_db(10.0) == pytest.approx(10.0)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-2.0)
+
+    @given(st.floats(min_value=-80.0, max_value=80.0))
+    def test_db_roundtrip(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+
+class TestPowerAddition:
+    def test_equal_powers_add_three_db(self):
+        assert units.add_powers_dbm(-90.0, -90.0) == pytest.approx(-86.99, abs=0.01)
+
+    def test_dominant_power_wins(self):
+        # A 30 dB weaker interferer barely moves the total.
+        total = units.add_powers_dbm(-60.0, -90.0)
+        assert total == pytest.approx(-60.0, abs=0.01)
+
+    def test_single_power_identity(self):
+        assert units.add_powers_dbm(-75.0) == pytest.approx(-75.0)
+
+    def test_no_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            units.add_powers_dbm()
+
+    @given(
+        st.lists(
+            st.floats(min_value=-120.0, max_value=30.0), min_size=1, max_size=6
+        )
+    )
+    def test_sum_at_least_max(self, powers):
+        total = units.add_powers_dbm(*powers)
+        assert total >= max(powers) - 1e-9
+
+
+class TestFrequencyAndRate:
+    def test_mhz_to_hz(self):
+        assert units.mhz_to_hz(20.0) == 20e6
+
+    def test_hz_to_mhz(self):
+        assert units.hz_to_mhz(40e6) == pytest.approx(40.0)
+
+    def test_mbps_to_bps(self):
+        assert units.mbps_to_bps(65.0) == 65e6
+
+    def test_bps_to_mbps(self):
+        assert units.bps_to_mbps(135e6) == pytest.approx(135.0)
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    def test_rate_roundtrip(self, mbps):
+        assert units.bps_to_mbps(units.mbps_to_bps(mbps)) == pytest.approx(mbps)

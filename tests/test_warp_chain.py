@@ -1,0 +1,204 @@
+"""Tests for the WARP transmit/receive chain and the BERMAC harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channelmodel import awgn
+from repro.phy.modulation import QAM16, QPSK
+from repro.phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from repro.warp.bermac import BerMacHarness, BerMeasurement, PacketTrialResult, time_snr_offset_db
+from repro.warp.receiver import OfdmReceiver, detect_preamble
+from repro.warp.waveform import BARKER_13, OfdmTransmitter, preamble_sequence
+
+
+class TestWaveform:
+    def test_barker_13_autocorrelation(self):
+        """Barker codes have unit sidelobes — the reason they are used."""
+        full = np.correlate(BARKER_13, BARKER_13, mode="full")
+        peak = full[len(BARKER_13) - 1]
+        sidelobes = np.abs(np.delete(full, len(BARKER_13) - 1))
+        assert peak == 13
+        assert sidelobes.max() <= 1
+
+    def test_frame_sample_count(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK)
+        frame = transmitter.build_frame(5, rng=0)
+        expected_payload = 5 * (64 + 16)
+        assert frame.samples.size == frame.preamble_length + expected_payload
+
+    def test_frame_power_scaling(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK, tx_power=2.5)
+        frame = transmitter.build_frame(50, rng=1)
+        payload = frame.samples[frame.preamble_length :]
+        assert np.mean(np.abs(payload) ** 2) == pytest.approx(2.5, rel=1e-6)
+
+    def test_explicit_bits_used(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK)
+        bits = np.zeros(104, dtype=np.uint8)
+        frame = transmitter.build_frame(1, bits=bits)
+        assert np.array_equal(frame.bits, bits)
+
+    def test_wrong_bit_count_rejected(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK)
+        with pytest.raises(ConfigurationError):
+            transmitter.build_frame(1, bits=np.zeros(10, dtype=np.uint8))
+
+    def test_invalid_symbol_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmTransmitter(OFDM_20MHZ, QPSK).build_frame(0)
+
+    def test_invalid_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmTransmitter(OFDM_20MHZ, QPSK, tx_power=0.0)
+
+
+class TestReceiver:
+    @pytest.mark.parametrize("params", [OFDM_20MHZ, OFDM_40MHZ])
+    @pytest.mark.parametrize("modulation", [QPSK, QAM16])
+    def test_noiseless_roundtrip(self, params, modulation):
+        transmitter = OfdmTransmitter(params, modulation)
+        frame = transmitter.build_frame(3, rng=2)
+        receiver = OfdmReceiver(params, modulation)
+        result = receiver.demodulate_frame(frame)
+        assert result.bit_errors(frame.bits) == 0
+
+    def test_differential_roundtrip(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK, differential=True)
+        frame = transmitter.build_frame(4, rng=3)
+        receiver = OfdmReceiver(OFDM_20MHZ, QPSK, differential=True)
+        result = receiver.demodulate_frame(frame)
+        assert result.bit_errors(frame.bits) == 0
+
+    def test_preamble_detected_at_moderate_snr(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK)
+        frame = transmitter.build_frame(2, rng=4)
+        noisy = awgn(frame.samples, 15.0, rng=5)
+        assert detect_preamble(noisy) == frame.preamble_length
+
+    def test_preamble_detection_with_leading_noise(self):
+        """The correlator finds the payload start despite a noise prefix."""
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK)
+        frame = transmitter.build_frame(2, rng=6)
+        rng = np.random.default_rng(7)
+        prefix = 0.05 * (rng.standard_normal(37) + 1j * rng.standard_normal(37))
+        shifted = np.concatenate([prefix, frame.samples])
+        assert detect_preamble(shifted) == 37 + frame.preamble_length
+
+    def test_pure_noise_not_detected(self):
+        rng = np.random.default_rng(8)
+        noise = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        assert detect_preamble(noise) is None
+
+    def test_fallback_when_detection_fails(self):
+        receiver = OfdmReceiver(OFDM_20MHZ, QPSK)
+        rng = np.random.default_rng(9)
+        garbage = 0.01 * (
+            rng.standard_normal(1000) + 1j * rng.standard_normal(1000)
+        )
+        result = receiver.demodulate(garbage, 2)
+        assert not result.detected
+
+    def test_short_payload_rejected(self):
+        receiver = OfdmReceiver(OFDM_20MHZ, QPSK)
+        with pytest.raises(ConfigurationError):
+            receiver.demodulate(np.ones(60, dtype=complex), 5, payload_start=0)
+
+    def test_bit_error_count_mismatch_rejected(self):
+        transmitter = OfdmTransmitter(OFDM_20MHZ, QPSK)
+        frame = transmitter.build_frame(1, rng=10)
+        receiver = OfdmReceiver(OFDM_20MHZ, QPSK)
+        result = receiver.demodulate_frame(frame)
+        with pytest.raises(ConfigurationError):
+            result.bit_errors(np.zeros(5, dtype=np.uint8))
+
+
+class TestBerMeasurement:
+    def test_accumulation(self):
+        measurement = BerMeasurement(snr_db=5.0)
+        measurement.record(PacketTrialResult(n_bits=100, bit_errors=0))
+        measurement.record(PacketTrialResult(n_bits=100, bit_errors=3))
+        assert measurement.ber == pytest.approx(0.015)
+        assert measurement.per == pytest.approx(0.5)
+
+    def test_empty_measurement_rejected(self):
+        measurement = BerMeasurement(snr_db=0.0)
+        with pytest.raises(ConfigurationError):
+            _ = measurement.ber
+        with pytest.raises(ConfigurationError):
+            _ = measurement.per
+
+
+class TestBerMacHarness:
+    def test_time_snr_offset_sign(self):
+        """Fewer used bins than FFT size -> time SNR below subcarrier SNR."""
+        assert time_snr_offset_db(OFDM_20MHZ) < 0
+        assert time_snr_offset_db(OFDM_40MHZ) < 0
+
+    def test_measured_ber_tracks_theory(self):
+        from repro.phy.ber import uncoded_ber
+
+        harness = BerMacHarness(OFDM_20MHZ, QPSK)
+        measurement = harness.measure_at_subcarrier_snr(
+            4.0, n_packets=20, packet_bytes=250, rng=11
+        )
+        assert measurement.ber == pytest.approx(
+            uncoded_ber(QPSK, 4.0), rel=0.3
+        )
+
+    def test_width_independence_at_fixed_snr(self):
+        """Fig 3a: at the same per-subcarrier SNR, width does not matter."""
+        kwargs = dict(n_packets=15, packet_bytes=250, rng=12)
+        ber20 = (
+            BerMacHarness(OFDM_20MHZ, QPSK)
+            .measure_at_subcarrier_snr(4.0, **kwargs)
+            .ber
+        )
+        ber40 = (
+            BerMacHarness(OFDM_40MHZ, QPSK)
+            .measure_at_subcarrier_snr(4.0, **kwargs)
+            .ber
+        )
+        assert ber20 == pytest.approx(ber40, rel=0.35)
+
+    def test_cb_worse_at_fixed_tx_power(self):
+        """Fig 3b: at the same transmit power, the wider channel errs more."""
+        kwargs = dict(n_packets=15, packet_bytes=250, rng=13)
+        ber20 = (
+            BerMacHarness(OFDM_20MHZ, QPSK)
+            .measure_at_tx_power(10.0, path_loss_db=118.0, **kwargs)
+            .ber
+        )
+        ber40 = (
+            BerMacHarness(OFDM_40MHZ, QPSK)
+            .measure_at_tx_power(10.0, path_loss_db=118.0, **kwargs)
+            .ber
+        )
+        assert ber40 > ber20
+
+    def test_high_snr_error_free(self):
+        harness = BerMacHarness(OFDM_20MHZ, QPSK)
+        measurement = harness.measure_at_subcarrier_snr(
+            25.0, n_packets=5, packet_bytes=250, rng=14
+        )
+        assert measurement.ber == 0.0
+        assert measurement.per == 0.0
+
+    def test_sweep_returns_one_point_per_snr(self):
+        harness = BerMacHarness(OFDM_20MHZ, QPSK)
+        sweep = harness.sweep_subcarrier_snr(
+            [0.0, 6.0], n_packets=3, packet_bytes=100, rng=15
+        )
+        assert [m.snr_db for m in sweep] == [0.0, 6.0]
+
+    def test_invalid_packet_count_rejected(self):
+        harness = BerMacHarness(OFDM_20MHZ, QPSK)
+        with pytest.raises(ConfigurationError):
+            harness.measure_at_subcarrier_snr(5.0, n_packets=0)
+
+    def test_fading_harness_runs(self):
+        harness = BerMacHarness(OFDM_20MHZ, QPSK, fading_seed=99)
+        measurement = harness.measure_at_subcarrier_snr(
+            12.0, n_packets=4, packet_bytes=100, rng=16
+        )
+        assert 0.0 <= measurement.ber <= 0.5
