@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Allocator benchmark: full-evaluation path vs the incremental engine.
+
+Runs Algorithm 2 over the scalability scenario ladder twice per size —
+once through the :class:`~repro.net.DeltaEvaluator` (the production
+path) and once through the ``EvaluateFn`` adapter that re-evaluates the
+whole network per candidate (the pre-engine behaviour) — and persists
+the wall-clock times, evaluation counts, speedups, and engine counters
+as ``BENCH_allocator.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_allocator.py          # refresh the baseline
+    PYTHONPATH=src python benchmarks/bench_allocator.py --check  # gate against the baseline
+
+``--check`` re-measures and fails (exit 1) when the new numbers regress
+more than 20% against the checked-in baseline: evaluation counts are
+deterministic and must not grow, and the full/delta speedup — a
+machine-relative ratio, so it survives slow CI runners — must hold at
+every size with at least 10 APs, never dipping under the hard 5x
+acceptance floor. Both runs also assert that the engine's trajectory
+and aggregate match the full path exactly, so the gate doubles as an
+end-to-end equivalence smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro import Acorn
+from repro.core import allocate_channels
+from repro.core.allocation import greedy_allocate, random_assignment
+from repro.net import DeltaEvaluator, ThroughputModel
+from repro.sim.scenario import random_enterprise
+
+SIZES = ((4, 10), (6, 15), (8, 20), (10, 24), (16, 40), (24, 60))
+SCENARIO_SEED = 31
+START_SEED = 5
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_allocator.json"
+SPEEDUP_FLOOR = 5.0  # acceptance: >= 5x at n >= 10 APs
+SPEEDUP_FLOOR_MIN_APS = 10
+REGRESSION_TOLERANCE = 0.20
+
+
+def measure_size(n_aps: int, n_clients: int, repeats: int = 3) -> dict:
+    """One ladder rung: build the scenario, time both allocator paths."""
+    scenario = random_enterprise(
+        n_aps=n_aps, n_clients=n_clients, area_m=(60.0, 45.0), seed=SCENARIO_SEED
+    )
+    model = ThroughputModel()
+    acorn = Acorn(scenario.network, scenario.plan, model, seed=START_SEED)
+    acorn.assign_initial_channels()
+    acorn.admit_clients(scenario.client_order)
+    graph = acorn.graph
+    ap_ids = scenario.network.ap_ids
+    palette = scenario.plan.all_channels()
+    start = random_assignment(ap_ids, scenario.plan, START_SEED)
+
+    # Warm the model's rate-decision cache and module-level PHY tables
+    # so neither timed path is billed for the shared warm-up.
+    allocate_channels(
+        scenario.network, graph, scenario.plan, model, initial=start, rng=START_SEED
+    )
+
+    delta_s = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = allocate_channels(
+            scenario.network, graph, scenario.plan, model,
+            initial=start, rng=START_SEED,
+        )
+        delta_s = min(delta_s, time.perf_counter() - t0)
+
+    # One instrumented engine run to capture the work counters.
+    engine = DeltaEvaluator(scenario.network, graph, model=model, assignment={})
+    greedy_allocate(ap_ids, palette, initial=start, engine=engine)
+    stats = engine.stats.as_dict()
+
+    # The pre-engine path: a full-network evaluation per candidate,
+    # through the EvaluateFn ablation adapter. Shares the model instance
+    # (and its decision cache) with the delta runs — see
+    # benchmarks/test_scalability.py for why that matters at 1e-5.
+    def evaluate(assignment):
+        return model.aggregate_mbps(
+            scenario.network, graph, assignment=dict(assignment)
+        )
+
+    t0 = time.perf_counter()
+    full_result = greedy_allocate(ap_ids, palette, evaluate, initial=start)
+    full_s = time.perf_counter() - t0
+
+    if full_result.assignment != result.assignment:
+        raise SystemExit(
+            f"equivalence violated at ({n_aps}, {n_clients}): "
+            "delta and full paths diverged"
+        )
+    if abs(full_result.aggregate_mbps - result.aggregate_mbps) > 1e-9:
+        raise SystemExit(
+            f"equivalence violated at ({n_aps}, {n_clients}): aggregates "
+            f"{full_result.aggregate_mbps} != {result.aggregate_mbps}"
+        )
+
+    return {
+        "n_aps": n_aps,
+        "n_clients": n_clients,
+        "rounds": result.rounds,
+        "evaluations": result.evaluations,
+        "aggregate_mbps": round(result.aggregate_mbps, 6),
+        "full_ms": round(full_s * 1e3, 3),
+        "delta_ms": round(delta_s * 1e3, 3),
+        "speedup": round(full_s / delta_s, 2),
+        "engine": stats,
+    }
+
+
+def run_benchmark() -> dict:
+    rows = []
+    for n_aps, n_clients in SIZES:
+        row = measure_size(n_aps, n_clients)
+        rows.append(row)
+        print(
+            f"  {n_aps:3d} APs / {n_clients:3d} clients: "
+            f"full {row['full_ms']:9.1f} ms, delta {row['delta_ms']:8.1f} ms, "
+            f"speedup {row['speedup']:5.1f}x, {row['evaluations']} evals",
+            flush=True,
+        )
+    return {
+        "benchmark": "allocator",
+        "generated_by": "benchmarks/bench_allocator.py",
+        "scenario_seed": SCENARIO_SEED,
+        "speedup_floor": {
+            "min_aps": SPEEDUP_FLOOR_MIN_APS,
+            "speedup": SPEEDUP_FLOOR,
+        },
+        "sizes": rows,
+    }
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list:
+    """Regression gate: >20% worse than the baseline fails the build."""
+    failures = []
+    old_by_size = {
+        (row["n_aps"], row["n_clients"]): row for row in baseline.get("sizes", [])
+    }
+    for row in report["sizes"]:
+        key = (row["n_aps"], row["n_clients"])
+        label = f"({key[0]} APs, {key[1]} clients)"
+        if row["n_aps"] >= SPEEDUP_FLOOR_MIN_APS and row["speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"{label}: speedup {row['speedup']:.1f}x under the "
+                f"{SPEEDUP_FLOOR:.0f}x acceptance floor"
+            )
+        old = old_by_size.get(key)
+        if old is None:
+            continue
+        if row["evaluations"] > old["evaluations"] * (1 + REGRESSION_TOLERANCE):
+            failures.append(
+                f"{label}: evaluation count grew {old['evaluations']} -> "
+                f"{row['evaluations']} (>20%)"
+            )
+        if row["n_aps"] >= SPEEDUP_FLOOR_MIN_APS:
+            allowed = old["speedup"] * (1 - REGRESSION_TOLERANCE)
+            if row["speedup"] < allowed:
+                failures.append(
+                    f"{label}: speedup regressed {old['speedup']:.1f}x -> "
+                    f"{row['speedup']:.1f}x (>20%)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the checked-in baseline instead of refreshing it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"baseline path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check and not args.output.exists():
+        print(f"no baseline at {args.output}; nothing to check against")
+        return 1
+
+    print("allocator benchmark (full-evaluation vs delta engine)", flush=True)
+    report = run_benchmark()
+
+    if args.check:
+        baseline = json.loads(args.output.read_text())
+        failures = check_against_baseline(report, baseline)
+        if failures:
+            print("REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"ok: within {REGRESSION_TOLERANCE:.0%} of {args.output}")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

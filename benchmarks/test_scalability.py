@@ -3,8 +3,11 @@
 The allocation problem is NP-complete, so the brute-force optimum
 explodes (|palette|^n assignments); ACORN's greedy pass costs
 O(rounds x n x |palette|) evaluations and converges in a couple of
-rounds. This bench measures both curves so the complexity claim is a
-number, not a sentence.
+rounds. This bench measures both curves — and, since the allocator now
+runs on the incremental DeltaEvaluator, it also times the same greedy
+run through the full-evaluation adapter to put a number on the
+engine's speedup (the (16, 40) and (24, 60) sizes only became
+affordable with the engine).
 """
 
 import time
@@ -14,13 +17,14 @@ import pytest
 from repro import Acorn
 from repro.analysis.tables import render_table
 from repro.core import allocate_channels
+from repro.core.allocation import greedy_allocate, random_assignment
 from repro.net import ThroughputModel
 from repro.sim.scenario import random_enterprise
 
-SIZES = ((4, 10), (6, 15), (8, 20), (10, 24))
+SIZES = ((4, 10), (6, 15), (8, 20), (10, 24), (16, 40), (24, 60))
 
 
-def run_size(n_aps: int, n_clients: int):
+def run_size(n_aps: int, n_clients: int, time_full: bool = True):
     scenario = random_enterprise(
         n_aps=n_aps, n_clients=n_clients, area_m=(60.0, 45.0), seed=31
     )
@@ -29,10 +33,58 @@ def run_size(n_aps: int, n_clients: int):
     acorn.assign_initial_channels()
     acorn.admit_clients(scenario.client_order)
     graph = acorn.graph
+    start_assignment = random_assignment(scenario.network.ap_ids, scenario.plan, 5)
+
+    # Warm the model's rate-decision cache and module-level PHY tables
+    # once so both timed paths face identical cache state — the engine
+    # performs far fewer link computations than the full path, so
+    # running it cold would bill the shared warm-up to whichever path
+    # happens to go first.
+    allocate_channels(
+        scenario.network, graph, scenario.plan, model,
+        initial=start_assignment, rng=5,
+    )
+
     start = time.perf_counter()
-    result = allocate_channels(scenario.network, graph, scenario.plan, model, rng=5)
-    elapsed = time.perf_counter() - start
-    return result, elapsed, len(scenario.plan)
+    result = allocate_channels(
+        scenario.network,
+        graph,
+        scenario.plan,
+        model,
+        initial=start_assignment,
+        rng=5,
+    )
+    delta_elapsed = time.perf_counter() - start
+
+    full_elapsed = float("nan")
+    if time_full:
+        # The pre-engine path: every candidate pays a full-network
+        # evaluation through the EvaluateFn adapter. Shares the model
+        # instance (and so its rate-decision cache) with the delta run:
+        # the cache keys round SNR to 3 decimals, so differently-warmed
+        # instances can disagree at the ~1e-5 level.
+
+        def evaluate(assignment):
+            return model.aggregate_mbps(
+                scenario.network, graph, assignment=dict(assignment)
+            )
+
+        start = time.perf_counter()
+        full_result = greedy_allocate(
+            scenario.network.ap_ids,
+            scenario.plan.all_channels(),
+            evaluate,
+            initial=start_assignment,
+        )
+        full_elapsed = time.perf_counter() - start
+        # Same arithmetic, same trajectory: the engine is a pure
+        # optimisation, not an approximation.
+        assert full_result.assignment == result.assignment
+        assert full_result.aggregate_mbps == pytest.approx(
+            result.aggregate_mbps, abs=1e-9
+        )
+
+    return result, delta_elapsed, full_elapsed, len(scenario.plan)
 
 
 @pytest.fixture(scope="module")
@@ -42,7 +94,7 @@ def measurements():
 
 def test_allocation_scalability(benchmark, measurements, emit):
     rows = []
-    for (n_aps, n_clients), (result, elapsed, palette) in sorted(
+    for (n_aps, n_clients), (result, delta_s, full_s, palette) in sorted(
         measurements.items()
     ):
         exhaustive = palette**n_aps
@@ -53,7 +105,9 @@ def test_allocation_scalability(benchmark, measurements, emit):
                 result.rounds,
                 result.evaluations,
                 exhaustive,
-                elapsed * 1e3,
+                full_s * 1e3,
+                delta_s * 1e3,
+                full_s / delta_s,
                 result.aggregate_mbps,
             ]
         )
@@ -64,14 +118,16 @@ def test_allocation_scalability(benchmark, measurements, emit):
             "rounds",
             "greedy evals",
             "brute-force size",
-            "time (ms)",
+            "full (ms)",
+            "delta (ms)",
+            "speedup",
             "Y (Mbps)",
         ],
         rows,
         float_format=".1f",
         title=(
-            "Algorithm 2 scalability — greedy evaluations vs the "
-            "exponential exhaustive search"
+            "Algorithm 2 scalability — full-evaluation vs delta-engine "
+            "wall-clock, and the exponential exhaustive search"
         ),
     )
     emit("scalability", table)
@@ -80,11 +136,25 @@ def test_allocation_scalability(benchmark, measurements, emit):
         measurements[size][0].evaluations for size in sorted(measurements)
     ]
     # Greedy work grows, but polynomially: ~n^2 * |palette| here, which
-    # for a 2.5x AP increase must stay well under the 10^13x explosion
-    # of the exhaustive search.
+    # for a 6x AP increase must stay orders of magnitude under the
+    # explosion of the exhaustive search.
     assert evaluations == sorted(evaluations)
-    assert evaluations[-1] < 50 * evaluations[0]
+    assert evaluations[-1] < 100 * evaluations[0]
     # Convergence in a handful of rounds regardless of size.
-    for (result, _, _) in measurements.values():
+    for (result, _, _, _) in measurements.values():
         assert result.rounds <= 4
-    benchmark.pedantic(lambda: run_size(4, 10), rounds=2, iterations=1)
+    benchmark.pedantic(lambda: run_size(4, 10, time_full=False), rounds=2, iterations=1)
+
+
+def test_delta_speedup_grows_with_density(measurements):
+    """The engine's win must be real and grow with the neighbourhood-
+    to-network ratio: at n >= 10 APs the full path is at least 5x
+    slower; the largest size must beat the smallest."""
+    speedups = {
+        size: full_s / delta_s
+        for size, (_, delta_s, full_s, _) in measurements.items()
+    }
+    for (n_aps, _), speedup in speedups.items():
+        if n_aps >= 10:
+            assert speedup >= 5.0, f"speedup {speedup:.1f}x at {n_aps} APs"
+    assert speedups[SIZES[-1]] > speedups[SIZES[0]]

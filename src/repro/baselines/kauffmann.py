@@ -23,6 +23,7 @@ from ..core.beacon import gather_beacon
 from ..core.association import throughput_with_mbps
 from ..errors import AssociationError, ChannelError
 from ..net.channels import Channel, ChannelPlan
+from ..net.evaluator import DeltaEvaluator
 from ..net.interference import build_interference_graph
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
@@ -66,6 +67,7 @@ def kauffmann_allocate(
     graph: nx.Graph,
     plan: ChannelPlan,
     passes: int = 2,
+    engine: Optional[DeltaEvaluator] = None,
 ) -> Dict[str, Channel]:
     """Greedy interference-minimising allocation of 40 MHz channels only.
 
@@ -73,25 +75,26 @@ def kauffmann_allocate(
     already-assigned interference-graph neighbours (the "total noise and
     interference" proxy at equal transmit powers). A second pass lets
     early APs react to later choices, mirroring the iterative scanning
-    of [17].
+    of [17]. Conflict counting goes through the evaluation engine's
+    stateless :meth:`~repro.net.evaluator.DeltaEvaluator.contention_load`
+    oracle, so the binary conflict test and cached neighbour lists are
+    shared with every other allocator.
     """
     palette = plan.channels_40()
     if not palette:
         raise ChannelError(
             "the plan offers no 40 MHz channels; [17]-greedy needs them"
         )
+    if engine is None:
+        engine = DeltaEvaluator(network, graph, assignment={})
     assignment: Dict[str, Channel] = {}
     for _ in range(max(1, passes)):
         for ap_id in network.ap_ids:
             best_channel = None
             best_conflicts = None
             for channel in palette:
-                conflicts = sum(
-                    1
-                    for neighbour in graph.neighbors(ap_id)
-                    if neighbour in assignment
-                    and neighbour != ap_id
-                    and channel.conflicts_with(assignment[neighbour])
+                conflicts = engine.contention_load(
+                    ap_id, channel, assignment=assignment
                 )
                 if best_conflicts is None or conflicts < best_conflicts:
                     best_conflicts = conflicts

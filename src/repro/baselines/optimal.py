@@ -16,6 +16,7 @@ import networkx as nx
 
 from ..errors import AllocationError
 from ..net.channels import Channel, ChannelPlan
+from ..net.evaluator import DeltaEvaluator
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -48,16 +49,27 @@ def brute_force_allocation(
             f"search space {search_size} exceeds {_MAX_SEARCH_SIZE}; "
             "use the greedy allocator for instances this large"
         )
+    engine = DeltaEvaluator(
+        network, graph, model=model, assignment={}, associations=associations
+    )
     best_assignment: Optional[Dict[str, Channel]] = None
     best_value = float("-inf")
+    value = float("-inf")
+    previous: Optional[Tuple[Channel, ...]] = None
+    # itertools.product varies the last position fastest, so consecutive
+    # combinations almost always differ in a short suffix: committing
+    # only the changed positions turns each step into O(deg) work.
     for combination in product(palette, repeat=len(ap_ids)):
-        assignment = dict(zip(ap_ids, combination))
-        value = model.aggregate_mbps(
-            network, graph, assignment=assignment, associations=associations
-        )
+        if previous is None:
+            value = engine.reset(dict(zip(ap_ids, combination)))
+        else:
+            for index, channel in enumerate(combination):
+                if channel != previous[index]:
+                    value = engine.commit(ap_ids[index], channel)
+        previous = combination
         if value > best_value:
             best_value = value
-            best_assignment = assignment
+            best_assignment = dict(zip(ap_ids, combination))
     assert best_assignment is not None
     return best_assignment, best_value
 

@@ -22,6 +22,7 @@ import numpy as np
 from ..config import ACORN_EPSILON, make_rng
 from ..errors import AllocationError
 from ..net.channels import Channel, ChannelPlan
+from ..net.evaluator import DeltaEvaluator, FullEvaluationEngine
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -48,13 +49,28 @@ class SwitchEvent:
 
 @dataclass
 class AllocationResult:
-    """Final assignment plus the optimisation trace."""
+    """Final assignment plus the optimisation trace.
+
+    ``evaluations`` counts the throughput evaluations spent by the
+    *winning* start only; ``total_evaluations`` sums them over every
+    restart (equal to ``evaluations`` for a single-start run) and
+    ``evaluations_per_start`` itemises the same per start, in start
+    order.
+    """
 
     assignment: Dict[str, Channel]
     aggregate_mbps: float
     rounds: int
     evaluations: int
     history: List[SwitchEvent] = field(default_factory=list)
+    total_evaluations: int = 0
+    evaluations_per_start: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.total_evaluations:
+            self.total_evaluations = self.evaluations
+        if not self.evaluations_per_start:
+            self.evaluations_per_start = [self.evaluations]
 
     def channel_of(self, ap_id: str) -> Channel:
         """The colour assigned to an AP."""
@@ -83,27 +99,40 @@ def random_assignment(
 def greedy_allocate(
     ap_ids: Sequence[str],
     palette: Sequence[Channel],
-    evaluate: EvaluateFn,
-    initial: Mapping[str, Channel],
+    evaluate: Optional[EvaluateFn] = None,
+    initial: Optional[Mapping[str, Channel]] = None,
     epsilon: float = ACORN_EPSILON,
     max_rounds: int = 20,
+    engine: Optional[DeltaEvaluator] = None,
 ) -> AllocationResult:
     """The core of Algorithm 2, decoupled from the network model.
 
-    ``evaluate`` maps a complete assignment to the aggregate throughput
-    estimate; decoupling it lets callers substitute a *distorted*
-    estimator (e.g. the no-SNR-calibration ablation) while measuring the
-    truth separately.
+    Candidate switches are scored through an incremental evaluation
+    engine: pass ``engine`` (a :class:`~repro.net.evaluator.DeltaEvaluator`,
+    which recomputes only the switching AP's interference neighbourhood
+    per trial) or ``evaluate``, a plain assignment→throughput callable
+    that gets wrapped in a :class:`~repro.net.evaluator.FullEvaluationEngine`
+    adapter. The callable form is the ablation hook: substituting a
+    *distorted* estimator (e.g. the no-SNR-calibration ablation) while
+    measuring the truth separately still works unchanged.
+
+    The AP's current channel is skipped as a candidate — it is a no-op
+    whose rank is identically 0, below the switch threshold.
     """
     if epsilon < 1.0:
         raise AllocationError(f"epsilon is a growth factor >= 1, got {epsilon}")
     if not ap_ids:
         raise AllocationError("no APs to allocate")
+    if engine is None:
+        if evaluate is None:
+            raise AllocationError("need an engine or an evaluate callable")
+        engine = FullEvaluationEngine(evaluate)
+    if initial is None:
+        raise AllocationError("greedy_allocate needs an initial assignment")
     missing = [ap for ap in ap_ids if ap not in initial]
     if missing:
         raise AllocationError(f"initial assignment misses APs {missing}")
-    assignment: Dict[str, Channel] = {ap: initial[ap] for ap in ap_ids}
-    aggregate = evaluate(assignment)
+    aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
     evaluations = 1
     history: List[SwitchEvent] = []
     rounds = 0
@@ -115,24 +144,22 @@ def greedy_allocate(
         while remaining:
             best: Optional[Tuple[float, str, Channel, float]] = None
             for ap_id in remaining:
+                current = engine.channel_of(ap_id)
                 for channel in palette:
-                    if channel == assignment[ap_id]:
-                        candidate_aggregate = aggregate
-                    else:
-                        trial = dict(assignment)
-                        trial[ap_id] = channel
-                        candidate_aggregate = evaluate(trial)
-                        evaluations += 1
+                    if channel == current:
+                        continue  # a no-op switch can never win
+                    candidate_aggregate = engine.trial(ap_id, channel)
+                    evaluations += 1
                     rank = candidate_aggregate - aggregate
                     if best is None or rank > best[0] + 1e-12:
                         best = (rank, ap_id, channel, candidate_aggregate)
-            assert best is not None
-            rank, winner, channel, new_aggregate = best
+            if best is None:
+                break  # palette offers nothing but no-ops
+            rank, winner, channel, _ = best
             if rank <= 1e-9:
                 # No remaining AP can improve the aggregate: the round ends.
                 break
-            assignment[winner] = channel
-            aggregate = new_aggregate
+            aggregate = engine.commit(winner, channel)
             remaining.remove(winner)
             improved_this_round = True
             history.append(
@@ -149,7 +176,7 @@ def greedy_allocate(
             # Less than (epsilon - 1) relative growth this round: stop.
             break
     return AllocationResult(
-        assignment=assignment,
+        assignment=engine.assignment,
         aggregate_mbps=aggregate,
         rounds=rounds,
         evaluations=evaluations,
@@ -190,6 +217,10 @@ def allocate_channels(
         the best outcome. 1 reproduces the paper's single run; the
         gradient-descent analogy in §4.2 ("can be trapped in a local
         extremum") is exactly what extra starts hedge against.
+
+    All starts share one :class:`~repro.net.evaluator.DeltaEvaluator`,
+    so the expensive per-(AP, channel) link mathematics is paid once and
+    every restart after the first runs on warm caches.
     """
     if restarts < 1:
         raise AllocationError(f"restarts must be >= 1, got {restarts}")
@@ -197,10 +228,13 @@ def allocate_channels(
     generator = make_rng(rng)
     deciding = decision_model if decision_model is not None else model
 
-    def evaluate(assignment: Mapping[str, Channel]) -> float:
-        return deciding.aggregate_mbps(
-            network, graph, assignment=dict(assignment), associations=associations
-        )
+    engine = DeltaEvaluator(
+        network,
+        graph,
+        model=deciding,
+        assignment={},
+        associations=associations,
+    )
 
     starts: List[Mapping[str, Channel]] = []
     if initial is not None:
@@ -209,21 +243,22 @@ def allocate_channels(
         starts.append(random_assignment(ap_ids, plan, generator))
 
     best: Optional[AllocationResult] = None
-    total_evaluations = 0
+    evaluations_per_start: List[int] = []
     for start in starts:
         result = greedy_allocate(
             ap_ids,
             plan.all_channels(),
-            evaluate,
-            start,
+            initial=start,
             epsilon=epsilon,
             max_rounds=max_rounds,
+            engine=engine,
         )
-        total_evaluations += result.evaluations
+        evaluations_per_start.append(result.evaluations)
         if best is None or result.aggregate_mbps > best.aggregate_mbps:
             best = result
     assert best is not None
-    best.evaluations = total_evaluations
+    best.total_evaluations = sum(evaluations_per_start)
+    best.evaluations_per_start = evaluations_per_start
     if deciding is not model:
         best.aggregate_mbps = model.aggregate_mbps(
             network,

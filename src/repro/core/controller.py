@@ -22,6 +22,7 @@ import numpy as np
 from ..config import ACORN_EPSILON, ACORN_PERIOD_SECONDS, make_rng
 from ..errors import AssociationError
 from ..net.channels import Channel, ChannelPlan
+from ..net.evaluator import DeltaEvaluator
 from ..net.interference import build_interference_graph
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
@@ -101,6 +102,28 @@ class Acorn:
     def invalidate_graph(self) -> None:
         """Force an interference-graph rebuild (topology/assoc changed)."""
         self._graph = None
+
+    def engine(
+        self,
+        assignment: Optional[Mapping[str, Channel]] = None,
+        associations: Optional[Mapping[str, str]] = None,
+    ) -> DeltaEvaluator:
+        """An incremental evaluator over the controller's current state.
+
+        The returned :class:`~repro.net.evaluator.DeltaEvaluator`
+        snapshots the network's assignment and associations (or the
+        overrides given) and answers channel/association what-ifs by
+        recomputing only the touched interference neighbourhood —
+        ``allocate_channels`` and ``refine_associations`` build the same
+        engine internally.
+        """
+        return DeltaEvaluator(
+            self.network,
+            self.graph,
+            model=self.model,
+            assignment=assignment,
+            associations=associations,
+        )
 
     # ------------------------------------------------------------------
     def assign_initial_channels(

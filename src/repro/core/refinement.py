@@ -21,6 +21,7 @@ import networkx as nx
 
 from ..errors import AssociationError
 from ..net.channels import Channel
+from ..net.evaluator import DeltaEvaluator
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -73,29 +74,23 @@ def refine_associations(
 
         min_snr20_db = serviceability_floor_db(model.packet_bytes)
 
-    associations: Dict[str, str] = dict(network.associations)
     assignment: Dict[str, Channel] = dict(network.channel_assignment)
-    aggregate = model.aggregate_mbps(
-        network, graph, assignment=assignment, associations=associations
-    )
+    engine = DeltaEvaluator(network, graph, model=model, assignment=assignment)
+    aggregate = engine.aggregate_mbps
     result = RefinementResult(
-        associations=associations, aggregate_mbps=aggregate, evaluations=1
+        associations=engine.associations, aggregate_mbps=aggregate, evaluations=1
     )
 
     for _ in range(max_rounds):
         best_move: Optional[Tuple[float, str, str, str]] = None
-        for client_id, current_ap in list(associations.items()):
+        for client_id, current_ap in engine.associations.items():
             candidates = network.candidate_aps(client_id, min_snr20_db)
             for target_ap in candidates:
                 if target_ap == current_ap:
                     continue
                 if target_ap not in assignment:
                     continue  # unconfigured AP cannot serve traffic
-                trial = dict(associations)
-                trial[client_id] = target_ap
-                value = model.aggregate_mbps(
-                    network, graph, assignment=assignment, associations=trial
-                )
+                value = engine.trial_move(client_id, target_ap)
                 result.evaluations += 1
                 gain = value - aggregate
                 if gain > improvement_epsilon and (
@@ -105,16 +100,12 @@ def refine_associations(
         if best_move is None:
             break
         _, client_id, from_ap, to_ap = best_move
-        associations[client_id] = to_ap
-        aggregate += best_move[0]
+        # Committed aggregates are exact (no incremental-gain drift).
+        aggregate = engine.commit_move(client_id, to_ap)
         result.moves.append((client_id, from_ap, to_ap))
-    # Re-measure exactly (gains were accumulated incrementally).
-    result.aggregate_mbps = model.aggregate_mbps(
-        network, graph, assignment=assignment, associations=associations
-    )
-    result.evaluations += 1
-    result.associations = associations
+    result.aggregate_mbps = aggregate
+    result.associations = engine.associations
     if apply:
-        for client_id, ap_id in associations.items():
+        for client_id, ap_id in result.associations.items():
             network.associate(client_id, ap_id)
     return result

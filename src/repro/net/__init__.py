@@ -8,6 +8,7 @@ from .interference import (
     max_degree,
 )
 from .throughput import NetworkReport, ThroughputModel, WeightedThroughputModel
+from .evaluator import DeltaEvaluator, EngineStats, FullEvaluationEngine
 from .uplink import UplinkThroughputModel
 from .overlap import (
     channel_center_mhz,
@@ -34,6 +35,9 @@ __all__ = [
     "NetworkReport",
     "ThroughputModel",
     "WeightedThroughputModel",
+    "DeltaEvaluator",
+    "EngineStats",
+    "FullEvaluationEngine",
     "UplinkThroughputModel",
     "channel_center_mhz",
     "spectral_overlap_fraction",

@@ -1,0 +1,911 @@
+"""Incremental (delta) evaluation of the aggregate-throughput objective.
+
+Every allocator in this repository optimises the same objective
+``Y(F) = Σ_a X_a`` (Eq. 5), and until now every candidate configuration
+paid a *full-network* :meth:`repro.net.throughput.ThroughputModel.evaluate`
+— re-deriving each AP's link budgets, rate decisions, client delays and
+medium share from scratch, ``O(n·(clients + deg))`` work per trial.
+
+The physics of the model makes almost all of that work redundant.  The
+cell throughput decomposes as ``X_a = M_a · S_a`` where
+
+* ``S_a`` (the *cell profile*: per-client delays/ATD and goodput
+  factors) depends only on AP ``a``'s own channel and its own clients —
+  never on any other AP's channel, and
+* ``M_a`` (the medium share) depends only on the channels of ``a`` and
+  its interference-graph neighbours ``N_IG(a)``.
+
+**Invalidation rule.**  Trying "what if AP *a* moved to channel *c*?"
+can therefore change only ``X_a`` and ``{X_b : b ∈ N_IG(a)}`` — every
+other cell's medium share and link decisions are untouched.  A
+:class:`DeltaEvaluator` holds the current assignment, caches the cell
+profiles per (AP, channel) and the contention loads per AP, and answers
+a trial by recomputing only the ``{a} ∪ N_IG(a)`` neighbourhood —
+``O(deg(a)·Δ)`` cheap arithmetic instead of a full model pass.  All link
+budgets and subcarrier-SNR maths are computed once per (AP, channel) and
+then leave the inner loop entirely.
+
+Committed aggregates are arithmetically *identical* (bit-for-bit, same
+floating-point operation order) to a fresh full ``evaluate()`` for the
+stock models: touched contention loads are recomputed fresh in
+``graph.neighbors`` order and cells replay the exact operation sequence
+of :meth:`~repro.net.throughput.ThroughputModel.ap_throughput_mbps`.
+
+Three execution tiers keep arbitrary models correct:
+
+* ``structural`` — the fast path described above.  Requires the model's
+  medium share to be ``1/(1 + Σ contention_weight)`` (true for the base
+  binary-conflict model and :class:`WeightedThroughputModel`) and a
+  stock per-AP throughput.  Detected via method identity; subclasses
+  that override both ``medium_share_of`` *and* ``contention_weight``
+  consistently can opt in with a class attribute
+  ``delta_structural = True``.
+* ``neighborhood`` — for models with a custom per-AP throughput whose
+  ``X_a`` still depends only on the ``{a} ∪ N_IG(a)`` channels (e.g.
+  :class:`~repro.net.uplink.UplinkThroughputModel`): recompute
+  ``ap_throughput_mbps`` for the touched neighbourhood only.
+* ``full`` — models that override ``evaluate()`` wholesale fall back to
+  a complete model pass per trial (the pre-engine behaviour, so nothing
+  can regress).
+
+An initialisation self-check compares the engine's aggregate against the
+model's own per-AP arithmetic and demotes ``structural`` to
+``neighborhood`` on any mismatch, so a subtly inconsistent subclass can
+slow the engine down but not corrupt it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import AllocationError
+from ..mac.airtime import client_delay_s
+from .channels import Channel
+from .throughput import ThroughputModel, WeightedThroughputModel
+from .topology import Network
+
+__all__ = ["DeltaEvaluator", "FullEvaluationEngine", "EngineStats"]
+
+# Sentinel for "the AP had no channel before this commit".
+_UNASSIGNED = object()
+
+
+class _Overlay(MappingABC):
+    """A one-key substitution view over a mapping, without copying.
+
+    Iteration order matches the base mapping exactly (the override key
+    keeps its original position), so downstream code that depends on
+    dict order — client lists, contention sums — sees the same sequence
+    a mutated copy would produce.
+    """
+
+    __slots__ = ("_base", "_key", "_value")
+
+    def __init__(self, base: Mapping, key, value) -> None:
+        self._base = base
+        self._key = key
+        self._value = value
+
+    def __getitem__(self, key):
+        if key == self._key:
+            return self._value
+        return self._base[key]
+
+    def get(self, key, default=None):
+        """Mapping.get without the MutableMapping copy overhead."""
+        if key == self._key:
+            return self._value
+        return self._base.get(key, default)
+
+    def __iter__(self) -> Iterator:
+        if self._key in self._base:
+            return iter(self._base)
+
+        def chain():
+            yield from self._base
+            yield self._key
+
+        return chain()
+
+    def __len__(self) -> int:
+        return len(self._base) + (0 if self._key in self._base else 1)
+
+
+@dataclass
+class EngineStats:
+    """Operation counters for complexity accounting and benchmarks.
+
+    ``cell_profile_builds`` counts the expensive link-budget → SNR →
+    rate-decision → delay pipelines (each covers every client of one AP
+    on one channel); ``cell_updates`` counts cheap cached-profile
+    re-scalings; ``weight_evaluations`` counts *distinct* channel-pair
+    contention-weight computations (pairs are memoised in a matrix, so
+    this saturates at ``|palette|²`` while a full evaluation re-checks
+    ``Σ deg`` pairs per call).  A full evaluation performs ``n_aps``
+    profile builds *per call*; the delta engine performs them once per
+    (AP, channel) *per topology*.
+    """
+
+    trials: int = 0
+    commits: int = 0
+    rollbacks: int = 0
+    resets: int = 0
+    full_evaluations: int = 0
+    cell_profile_builds: int = 0
+    cell_updates: int = 0
+    weight_evaluations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for benchmark JSON emission)."""
+        return {
+            "trials": self.trials,
+            "commits": self.commits,
+            "rollbacks": self.rollbacks,
+            "resets": self.resets,
+            "full_evaluations": self.full_evaluations,
+            "cell_profile_builds": self.cell_profile_builds,
+            "cell_updates": self.cell_updates,
+            "weight_evaluations": self.weight_evaluations,
+        }
+
+
+class DeltaEvaluator:
+    """Stateful incremental evaluator of the aggregate objective Y.
+
+    Parameters
+    ----------
+    network:
+        The WLAN under evaluation.  Topology, link qualities and (unless
+        overridden) associations are snapshotted at construction.
+    graph:
+        The AP interference graph.
+    model:
+        The throughput model; defaults to a stock
+        :class:`~repro.net.throughput.ThroughputModel`.
+    assignment:
+        Authoritative channel assignment to start from.  Defaults to a
+        snapshot of ``network.channel_assignment``.  APs absent from the
+        assignment are inactive: they carry no traffic and project no
+        contention, exactly as in a full evaluation.
+    associations:
+        Client→AP mapping to evaluate under; defaults to a snapshot of
+        ``network.associations``.
+
+    The engine exposes ``trial`` (pure what-if), ``commit``/``rollback``
+    (apply/undo a switch in one neighbourhood's worth of work), the
+    association counterparts ``trial_move``/``commit_move``, and
+    ``reset`` for multi-restart searches (cell-profile caches survive a
+    reset — they are assignment-independent).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        graph: nx.Graph,
+        model: Optional[ThroughputModel] = None,
+        assignment: Optional[Mapping[str, Channel]] = None,
+        associations: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._network = network
+        self._graph = graph
+        self._model = model if model is not None else ThroughputModel()
+        self._ap_ids: Tuple[str, ...] = network.ap_ids
+        self._neighbors: Dict[str, Tuple[str, ...]] = {
+            ap: tuple(graph.neighbors(ap)) if ap in graph else None
+            for ap in self._ap_ids
+        }
+        self._assignment: Dict[str, Channel] = dict(
+            network.channel_assignment if assignment is None else assignment
+        )
+        self._associations: Dict[str, str] = dict(
+            network.associations if associations is None else associations
+        )
+        self._packet_mbits = 8 * self._model.packet_bytes / 1e6
+        # Channel interning: every distinct colour maps to a dense index
+        # and pairwise contention weights live in a memoised matrix, so
+        # the hot load sums are pure list-indexed float adds — no
+        # conflicts_with set algebra in the inner loop.
+        self._channels: List[Channel] = []
+        self._channel_index: Dict[Channel, int] = {}
+        self._weight_rows: List[List[float]] = []
+        self._assignment_idx: Dict[str, int] = {}
+        # (atd, goodput factors in client order) per AP per channel index.
+        self._profiles: Dict[str, Dict[int, Tuple[float, Tuple[float, ...]]]] = {
+            ap: {} for ap in self._ap_ids
+        }
+        # Memoised cell values: X_a is a pure function of the AP's
+        # channel and contention load (given fixed associations), so a
+        # value computed once is reused verbatim — bit-exact by
+        # construction.
+        self._cells: Dict[str, Dict[Tuple[int, float], float]] = {
+            ap: {} for ap in self._ap_ids
+        }
+        self._clients_of: Dict[str, List[str]] = {}
+        self._loads: Dict[str, float] = {}
+        self._x: Dict[str, float] = {}
+        self._aggregate: float = 0.0
+        self._undo: Optional[tuple] = None
+        self.stats = EngineStats()
+        self._tier = self._select_tier()
+        self._rebuild()
+        self._self_check()
+
+    # ------------------------------------------------------------------
+    # Tier selection and safety
+    # ------------------------------------------------------------------
+    def _select_tier(self) -> str:
+        cls = type(self._model)
+        stock_evaluate = cls.evaluate is ThroughputModel.evaluate
+        stock_cell = cls.ap_throughput_mbps is ThroughputModel.ap_throughput_mbps
+        share_consistent = cls.medium_share_of in (
+            ThroughputModel.medium_share_of,
+            WeightedThroughputModel.medium_share_of,
+        ) or getattr(self._model, "delta_structural", False)
+        if stock_evaluate and stock_cell and share_consistent:
+            return "structural"
+        if stock_evaluate and getattr(self._model, "delta_neighborhood", True):
+            return "neighborhood"
+        return "full"
+
+    def _self_check(self) -> None:
+        """Demote the structural fast path if the model disagrees with it."""
+        if self._tier != "structural" or not self._assignment:
+            return
+        reference = 0.0
+        for ap_id in self._ap_ids:
+            if self._assignment.get(ap_id) is None:
+                continue
+            reference += self._model.ap_throughput_mbps(
+                self._network, self._graph, ap_id, self._assignment, self._associations
+            )[0]
+        if abs(reference - self._aggregate) > 1e-9 * max(1.0, abs(reference)):
+            self._tier = "neighborhood"
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_mbps(self) -> float:
+        """The current committed aggregate throughput Y."""
+        return self._aggregate
+
+    @property
+    def assignment(self) -> Dict[str, Channel]:
+        """A copy of the current committed assignment."""
+        return dict(self._assignment)
+
+    @property
+    def associations(self) -> Dict[str, str]:
+        """A copy of the current committed associations."""
+        return dict(self._associations)
+
+    @property
+    def tier(self) -> str:
+        """Active execution tier: ``structural``, ``neighborhood`` or ``full``."""
+        return self._tier
+
+    def channel_of(self, ap_id: str) -> Optional[Channel]:
+        """The AP's committed channel, or ``None`` if unassigned."""
+        return self._assignment.get(ap_id)
+
+    def per_ap_mbps(self) -> Dict[str, float]:
+        """Per-AP cell throughputs of the committed state."""
+        return dict(self._x)
+
+    # ------------------------------------------------------------------
+    # Contention arithmetic (shared by all allocators)
+    # ------------------------------------------------------------------
+    def _neighbors_of(self, ap_id: str) -> Tuple[str, ...]:
+        neighbors = self._neighbors.get(ap_id)
+        if neighbors is None:
+            raise AllocationError(
+                f"AP {ap_id!r} is not in the interference graph"
+            )
+        return neighbors
+
+    def _intern(self, channel: Channel) -> int:
+        """Dense index of a colour; first sight fills its weight row.
+
+        ``contention_weight`` runs once per distinct channel pair for
+        the engine's lifetime — the matrix turns every later load sum
+        into list-indexed float adds with an identical addition order,
+        so memoisation cannot move a single bit.
+        """
+        index = self._channel_index.get(channel)
+        if index is None:
+            weight = self._model.contention_weight
+            index = len(self._channels)
+            for other_index, other_row in enumerate(self._weight_rows):
+                other_row.append(weight(self._channels[other_index], channel))
+            self._channel_index[channel] = index
+            self._channels.append(channel)
+            self._weight_rows.append(
+                [weight(channel, other) for other in self._channels]
+            )
+            self.stats.weight_evaluations += 2 * index + 1
+        return index
+
+    def contention_load(
+        self,
+        ap_id: str,
+        channel: Channel,
+        assignment: Optional[Mapping[str, Channel]] = None,
+    ) -> float:
+        """Σ of neighbour contention weights if ``ap_id`` used ``channel``.
+
+        With the base binary-conflict model this is the conflicting
+        neighbour count of footnote 5; with the weighted model it is the
+        spectral-overlap sum.  ``assignment`` defaults to the engine's
+        committed state — passing an explicit mapping makes this a
+        stateless conflict oracle (used by the Kauffmann baseline).
+        """
+        row = self._weight_rows[self._intern(channel)]
+        total = 0.0
+        if assignment is None:
+            indices = self._assignment_idx
+            for neighbour in self._neighbors_of(ap_id):
+                if neighbour == ap_id:
+                    continue
+                other = indices.get(neighbour)
+                if other is None:
+                    continue
+                total += row[other]
+            return total
+        for neighbour in self._neighbors_of(ap_id):
+            if neighbour == ap_id:
+                continue
+            other = assignment.get(neighbour)
+            if other is None:
+                continue
+            total += row[self._intern(other)]
+        return total
+
+    # ------------------------------------------------------------------
+    # Cell arithmetic (structural tier)
+    # ------------------------------------------------------------------
+    def _client_list(self, ap_id: str) -> List[str]:
+        clients = self._clients_of.get(ap_id)
+        if clients is None:
+            clients = [
+                client
+                for client, ap in self._associations.items()
+                if ap == ap_id
+            ]
+            self._clients_of[ap_id] = clients
+        return clients
+
+    def _profile(
+        self, ap_id: str, channel: Channel, channel_index: int, clients: List[str]
+    ) -> Tuple[float, Tuple[float, ...]]:
+        """(ATD, goodput factors) for one AP on one channel, cached.
+
+        This is where all the link-budget / subcarrier-SNR / rate
+        selection mathematics happens — once per (AP, channel) for the
+        lifetime of the topology, after which trials are pure cached
+        arithmetic.
+        """
+        cache = self._profiles[ap_id]
+        profile = cache.get(channel_index)
+        if profile is None:
+            profile = self._build_profile(ap_id, channel, clients)
+            cache[channel_index] = profile
+        return profile
+
+    def _build_profile(
+        self, ap_id: str, channel: Channel, clients: List[str]
+    ) -> Tuple[float, Tuple[float, ...]]:
+        model = self._model
+        delays: List[float] = []
+        factors: List[float] = []
+        for client_id in clients:
+            decision = model.link_decision(self._network, ap_id, client_id, channel)
+            delays.append(
+                client_delay_s(
+                    decision.nominal_rate_mbps,
+                    decision.per,
+                    model.packet_bytes,
+                    model.timings,
+                )
+            )
+            factors.append(model.traffic.goodput_factor(decision.per))
+        self.stats.cell_profile_builds += 1
+        # sum() in client order replicates ap_throughput_mbps exactly.
+        return sum(delays), tuple(factors)
+
+    def _cell_from_load(
+        self,
+        ap_id: str,
+        channel: Channel,
+        channel_index: int,
+        load: float,
+        clients: List[str],
+    ) -> float:
+        """X_a from a contention load, replaying the model's arithmetic.
+
+        Memoised per (channel, load): given fixed associations the cell
+        value is a pure function of those two, so trials that revisit a
+        combination reuse the identical float.
+        """
+        cache = self._cells[ap_id]
+        key = (channel_index, load)
+        value = cache.get(key)
+        if value is None:
+            m_share = 1.0 / (1.0 + load)
+            atd, factors = self._profile(ap_id, channel, channel_index, clients)
+            if atd == float("inf"):
+                value = 0.0
+            else:
+                base = m_share / atd
+                packet_mbits = self._packet_mbits
+                value = sum(base * packet_mbits * factor for factor in factors)
+            cache[key] = value
+        self.stats.cell_updates += 1
+        return value
+
+    def _structural_x(self, ap_id: str, channel: Optional[Channel]) -> float:
+        if channel is None:
+            return 0.0
+        clients = self._client_list(ap_id)
+        if not clients:
+            return 0.0
+        load = self._loads.get(ap_id)
+        if load is None:
+            load = self.contention_load(ap_id, channel)
+            self._loads[ap_id] = load
+        return self._cell_from_load(
+            ap_id, channel, self._assignment_idx[ap_id], load, clients
+        )
+
+    # ------------------------------------------------------------------
+    # Cell arithmetic (neighborhood / full tiers)
+    # ------------------------------------------------------------------
+    def _model_x(
+        self,
+        ap_id: str,
+        assignment: Mapping[str, Channel],
+        associations: Mapping[str, str],
+    ) -> float:
+        if assignment.get(ap_id) is None:
+            return 0.0
+        self.stats.cell_profile_builds += 1
+        return self._model.ap_throughput_mbps(
+            self._network, self._graph, ap_id, assignment, associations
+        )[0]
+
+    def _full_aggregate(
+        self,
+        assignment: Mapping[str, Channel],
+        associations: Mapping[str, str],
+    ) -> float:
+        self.stats.full_evaluations += 1
+        return self._model.aggregate_mbps(
+            self._network,
+            self._graph,
+            assignment=dict(assignment),
+            associations=associations,
+        )
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Recompute loads and cell throughputs for the committed state."""
+        self._clients_of = {}
+        self._loads = {}
+        self._undo = None
+        self._assignment_idx = {
+            ap: self._intern(channel)
+            for ap, channel in self._assignment.items()
+            if channel is not None
+        }
+        if self._tier == "full":
+            self._x = {ap: 0.0 for ap in self._ap_ids}
+            self._aggregate = (
+                self._full_aggregate(self._assignment, self._associations)
+                if self._assignment
+                else 0.0
+            )
+            return
+        x: Dict[str, float] = {}
+        for ap_id in self._ap_ids:
+            channel = self._assignment.get(ap_id)
+            if self._tier == "structural":
+                x[ap_id] = self._structural_x(ap_id, channel)
+            else:
+                x[ap_id] = self._model_x(
+                    ap_id, self._assignment, self._associations
+                )
+        self._x = x
+        self._aggregate = sum(x.values())
+
+    def reset(self, assignment: Mapping[str, Channel]) -> float:
+        """Replace the committed assignment wholesale; returns Y.
+
+        Cell-profile caches survive: they depend only on the topology
+        and associations, so multi-restart searches pay the expensive
+        link mathematics exactly once.
+        """
+        self.stats.resets += 1
+        self._assignment = dict(assignment)
+        clients_of = self._clients_of
+        self._rebuild()
+        self._clients_of = clients_of  # association state did not change
+        return self._aggregate
+
+    # ------------------------------------------------------------------
+    # Channel trials
+    # ------------------------------------------------------------------
+    def _touched_x(
+        self, ap_id: str, channel: Channel
+    ) -> Dict[str, float]:
+        """New cell values for the ``{a} ∪ N_IG(a)`` neighbourhood."""
+        new_x: Dict[str, float] = {}
+        if self._tier == "neighborhood":
+            overlay = _Overlay(self._assignment, ap_id, channel)
+            new_x[ap_id] = self._model_x(ap_id, overlay, self._associations)
+            for neighbour in self._neighbors_of(ap_id):
+                new_x[neighbour] = self._model_x(
+                    neighbour, overlay, self._associations
+                )
+            return new_x
+        # Structural tier.  This is the innermost loop of every
+        # allocator, so the load sums are inlined with hoisted locals:
+        # each touched AP's neighbour list is walked in graph order with
+        # at most one channel index substituted, keeping the addition
+        # order — and therefore every bit — identical to a
+        # committed-state rebuild.
+        channel_index = self._intern(channel)
+        ap_neighbors = self._neighbors_of(ap_id)
+        assignment = self._assignment
+        indices = self._assignment_idx
+        indices_get = indices.get
+        rows = self._weight_rows
+        neighbors = self._neighbors
+        clients_of = self._clients_of
+        cells = self._cells
+        stats = self.stats
+        clients = clients_of.get(ap_id)
+        if clients is None:
+            clients = self._client_list(ap_id)
+        if clients:
+            row = rows[channel_index]
+            load = 0.0
+            for other in ap_neighbors:
+                if other == ap_id:
+                    continue
+                j = indices_get(other)
+                if j is not None:
+                    load += row[j]
+            value = cells[ap_id].get((channel_index, load))
+            if value is None:
+                value = self._cell_from_load(
+                    ap_id, channel, channel_index, load, clients
+                )
+            else:
+                stats.cell_updates += 1
+            new_x[ap_id] = value
+        else:
+            new_x[ap_id] = 0.0
+        # ...and each active neighbour's medium share re-derived.
+        for neighbour in ap_neighbors:
+            own = assignment.get(neighbour)
+            if own is None:
+                new_x[neighbour] = 0.0
+                continue
+            nb_clients = clients_of.get(neighbour)
+            if nb_clients is None:
+                nb_clients = self._client_list(neighbour)
+            if not nb_clients:
+                new_x[neighbour] = 0.0
+                continue
+            own_index = indices[neighbour]
+            row = rows[own_index]
+            load = 0.0
+            for other in neighbors[neighbour]:
+                if other == neighbour:
+                    continue
+                j = channel_index if other == ap_id else indices_get(other)
+                if j is not None:
+                    load += row[j]
+            value = cells[neighbour].get((own_index, load))
+            if value is None:
+                value = self._cell_from_load(
+                    neighbour, own, own_index, load, nb_clients
+                )
+            else:
+                stats.cell_updates += 1
+            new_x[neighbour] = value
+        return new_x
+
+    def _substituted_total(self, new_x: Mapping[str, float]) -> float:
+        x = self._x
+        return sum(
+            new_x[ap] if ap in new_x else x[ap] for ap in self._ap_ids
+        )
+
+    def trial(self, ap_id: str, channel: Channel) -> float:
+        """Y if ``ap_id`` moved to ``channel`` — without changing state.
+
+        Recomputes only the ``{a} ∪ N_IG(a)`` neighbourhood; the result
+        is arithmetically identical to a fresh full evaluation of the
+        modified assignment.
+        """
+        self.stats.trials += 1
+        if ap_id not in self._neighbors:
+            raise AllocationError(f"unknown AP {ap_id!r}")
+        if self._tier == "full":
+            return self._full_aggregate(
+                _Overlay(self._assignment, ap_id, channel), self._associations
+            )
+        return self._substituted_total(self._touched_x(ap_id, channel))
+
+    def commit(self, ap_id: str, channel: Channel) -> float:
+        """Apply a channel switch; returns the new committed Y.
+
+        Only the switching AP's neighbourhood is recomputed (loads
+        refreshed in ``graph.neighbors`` order so weighted-overlap sums
+        stay bit-identical to a full evaluation).  Undoable via
+        :meth:`rollback`.
+        """
+        self.stats.commits += 1
+        if ap_id not in self._neighbors:
+            raise AllocationError(f"unknown AP {ap_id!r}")
+        previous = self._assignment.get(ap_id, _UNASSIGNED)
+        touched = (ap_id,) + self._neighbors_of(ap_id)
+        self._undo = (
+            "channel",
+            ap_id,
+            previous,
+            {ap: self._x[ap] for ap in touched},
+            {ap: self._loads[ap] for ap in touched if ap in self._loads},
+            self._aggregate,
+        )
+        self._assignment[ap_id] = channel
+        self._assignment_idx[ap_id] = self._intern(channel)
+        if self._tier == "full":
+            self._aggregate = self._full_aggregate(
+                self._assignment, self._associations
+            )
+            return self._aggregate
+        for ap in touched:
+            self._loads.pop(ap, None)
+        if self._tier == "structural":
+            for ap in touched:
+                self._x[ap] = self._structural_x(ap, self._assignment.get(ap))
+        else:
+            for ap in touched:
+                self._x[ap] = self._model_x(
+                    ap, self._assignment, self._associations
+                )
+        self._aggregate = sum(self._x.values())
+        return self._aggregate
+
+    def rollback(self) -> float:
+        """Undo the most recent ``commit``/``commit_move``; returns Y."""
+        if self._undo is None:
+            raise AllocationError("nothing to roll back")
+        self.stats.rollbacks += 1
+        kind = self._undo[0]
+        if kind == "channel":
+            _, ap_id, previous, old_x, old_loads, old_aggregate = self._undo
+            if previous is _UNASSIGNED:
+                self._assignment.pop(ap_id, None)
+                self._assignment_idx.pop(ap_id, None)
+            else:
+                self._assignment[ap_id] = previous
+                self._assignment_idx[ap_id] = self._intern(previous)
+            self._x.update(old_x)
+            for ap in (ap_id,) + self._neighbors_of(ap_id):
+                self._loads.pop(ap, None)
+            self._loads.update(old_loads)
+        else:
+            (
+                _,
+                client_id,
+                previous_ap,
+                old_x,
+                old_lists,
+                old_profiles,
+                old_cells,
+                old_aggregate,
+            ) = self._undo
+            if previous_ap is None:
+                self._associations.pop(client_id, None)
+            else:
+                self._associations[client_id] = previous_ap
+            self._x.update(old_x)
+            for ap, clients in old_lists.items():
+                self._clients_of[ap] = clients
+            for ap, profiles in old_profiles.items():
+                self._profiles[ap] = profiles
+            for ap, cell_cache in old_cells.items():
+                self._cells[ap] = cell_cache
+        self._aggregate = old_aggregate
+        self._undo = None
+        return self._aggregate
+
+    # ------------------------------------------------------------------
+    # Association trials (the refinement local search)
+    # ------------------------------------------------------------------
+    def _move_touched(self, client_id: str, target_ap: str) -> Tuple[str, ...]:
+        current = self._associations.get(client_id)
+        touched: List[str] = []
+        for ap in (current, target_ap):
+            if ap is None or ap in touched:
+                continue
+            touched.append(ap)
+            if self._tier == "neighborhood":
+                # A custom cell model (e.g. uplink) may couple a cell to
+                # its neighbours' *clients*, so widen the blast radius.
+                for neighbour in self._neighbors_of(ap):
+                    if neighbour not in touched:
+                        touched.append(neighbour)
+        return tuple(touched)
+
+    def trial_move(self, client_id: str, target_ap: str) -> float:
+        """Y if ``client_id`` re-associated to ``target_ap`` (pure what-if).
+
+        Medium shares are untouched by an association move (the IG is a
+        fixed input here, as in the refinement pass), so only the two
+        affected cells — plus, for custom cell models, their neighbours —
+        are recomputed.
+        """
+        self.stats.trials += 1
+        if target_ap not in self._neighbors:
+            raise AllocationError(f"unknown AP {target_ap!r}")
+        overlay = _Overlay(self._associations, client_id, target_ap)
+        if self._tier == "full":
+            return self._full_aggregate(self._assignment, overlay)
+        touched = self._move_touched(client_id, target_ap)
+        new_x: Dict[str, float] = {}
+        for ap in touched:
+            channel = self._assignment.get(ap)
+            if channel is None:
+                new_x[ap] = 0.0
+                continue
+            if self._tier == "neighborhood":
+                new_x[ap] = self._model_x(ap, self._assignment, overlay)
+                continue
+            clients = [c for c, a in overlay.items() if a == ap]
+            if not clients:
+                new_x[ap] = 0.0
+                continue
+            load = self._loads.get(ap)
+            if load is None:
+                load = self.contention_load(ap, channel)
+            atd, factors = self._build_profile(ap, channel, clients)
+            if atd == float("inf"):
+                new_x[ap] = 0.0
+                continue
+            base = (1.0 / (1.0 + load)) / atd
+            new_x[ap] = sum(
+                base * self._packet_mbits * factor for factor in factors
+            )
+        return self._substituted_total(new_x)
+
+    def commit_move(self, client_id: str, target_ap: str) -> float:
+        """Apply a client re-association; returns the new committed Y."""
+        self.stats.commits += 1
+        if target_ap not in self._neighbors:
+            raise AllocationError(f"unknown AP {target_ap!r}")
+        previous_ap = self._associations.get(client_id)
+        touched = self._move_touched(client_id, target_ap)
+        profile_owners = tuple(
+            ap for ap in (previous_ap, target_ap) if ap is not None
+        )
+        self._undo = (
+            "move",
+            client_id,
+            previous_ap,
+            {ap: self._x[ap] for ap in touched},
+            {
+                ap: self._clients_of[ap]
+                for ap in profile_owners
+                if ap in self._clients_of
+            },
+            {ap: self._profiles[ap] for ap in profile_owners},
+            {ap: self._cells[ap] for ap in profile_owners},
+            self._aggregate,
+        )
+        self._associations[client_id] = target_ap
+        if self._tier == "full":
+            self._aggregate = self._full_aggregate(
+                self._assignment, self._associations
+            )
+            return self._aggregate
+        for ap in profile_owners:
+            # Membership changed: cached client lists, cell profiles and
+            # memoised cell values for these two APs are stale.
+            self._clients_of.pop(ap, None)
+            self._profiles[ap] = {}
+            self._cells[ap] = {}
+        if self._tier == "structural":
+            for ap in touched:
+                self._x[ap] = self._structural_x(ap, self._assignment.get(ap))
+        else:
+            for ap in touched:
+                self._x[ap] = self._model_x(
+                    ap, self._assignment, self._associations
+                )
+        self._aggregate = sum(self._x.values())
+        return self._aggregate
+
+
+class FullEvaluationEngine:
+    """Adapter giving a plain ``EvaluateFn`` the engine interface.
+
+    This is the thin compatibility layer the allocators use when handed
+    a bare evaluation callable (distorted-estimator ablations, toy
+    objectives in tests): every trial is a full evaluation of a copied
+    assignment, exactly the pre-engine behaviour.  Trial results are
+    memoised until the next commit so committing a winner costs no extra
+    evaluation.
+    """
+
+    def __init__(self, evaluate: Callable[[Mapping[str, Channel]], float]) -> None:
+        self._fn = evaluate
+        self._assignment: Dict[str, Channel] = {}
+        self._aggregate: float = 0.0
+        self._trials: Dict[Tuple[str, Channel], float] = {}
+        self._undo: Optional[tuple] = None
+
+    @property
+    def aggregate_mbps(self) -> float:
+        """The current committed aggregate."""
+        return self._aggregate
+
+    @property
+    def assignment(self) -> Dict[str, Channel]:
+        """A copy of the current committed assignment."""
+        return dict(self._assignment)
+
+    def channel_of(self, ap_id: str) -> Optional[Channel]:
+        """The AP's committed channel, or ``None`` if unassigned."""
+        return self._assignment.get(ap_id)
+
+    def reset(self, assignment: Mapping[str, Channel]) -> float:
+        """Replace the committed assignment; evaluates it once."""
+        self._assignment = dict(assignment)
+        self._trials.clear()
+        self._undo = None
+        self._aggregate = self._fn(self._assignment)
+        return self._aggregate
+
+    def trial(self, ap_id: str, channel: Channel) -> float:
+        """Full evaluation of the assignment with one channel overridden."""
+        trial = dict(self._assignment)
+        trial[ap_id] = channel
+        value = self._fn(trial)
+        self._trials[(ap_id, channel)] = value
+        return value
+
+    def commit(self, ap_id: str, channel: Channel) -> float:
+        """Apply a switch, reusing the memoised trial value when present."""
+        previous = self._assignment.get(ap_id, _UNASSIGNED)
+        self._undo = (ap_id, previous, self._aggregate)
+        value = self._trials.get((ap_id, channel))
+        self._assignment[ap_id] = channel
+        if value is None:
+            value = self._fn(dict(self._assignment))
+        self._aggregate = value
+        self._trials.clear()
+        return self._aggregate
+
+    def rollback(self) -> float:
+        """Undo the most recent commit."""
+        if self._undo is None:
+            raise AllocationError("nothing to roll back")
+        ap_id, previous, aggregate = self._undo
+        if previous is _UNASSIGNED:
+            self._assignment.pop(ap_id, None)
+        else:
+            self._assignment[ap_id] = previous
+        self._aggregate = aggregate
+        self._trials.clear()
+        self._undo = None
+        return self._aggregate

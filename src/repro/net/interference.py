@@ -10,7 +10,7 @@ conflict (:meth:`repro.net.channels.Channel.conflicts_with`).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Mapping, Set
 
 import networkx as nx
 
@@ -104,7 +104,7 @@ def _aps_interfere(
 def contenders(
     graph: nx.Graph,
     ap_id: str,
-    assignment: Dict[str, Channel],
+    assignment: Mapping[str, Channel],
 ) -> Set[str]:
     """con_a: the IG neighbours whose channel conflicts with AP a's.
 

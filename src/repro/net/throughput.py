@@ -114,6 +114,18 @@ class ThroughputModel:
         )
 
     # ------------------------------------------------------------------
+    def contention_weight(self, own: Channel, other: Channel) -> float:
+        """Airtime cost one neighbour on ``other`` imposes on ``own``.
+
+        The base model is binary: 1.0 when the colours conflict, else
+        0.0, so that ``1/(1 + Σ weights)`` reproduces the paper's
+        ``M = 1/(|con|+1)``. The delta engine's structural fast path
+        assumes ``medium_share_of`` equals exactly this form; subclasses
+        overriding one should override the other consistently (and may
+        set ``delta_structural = True`` to keep the fast path).
+        """
+        return 1.0 if own.conflicts_with(other) else 0.0
+
     def medium_share_of(
         self,
         graph: nx.Graph,
@@ -125,7 +137,7 @@ class ThroughputModel:
         Subclasses may refine this — e.g. the weighted partial-overlap
         model of :class:`WeightedThroughputModel`.
         """
-        n_contenders = len(contenders(graph, ap_id, dict(assignment)))
+        n_contenders = len(contenders(graph, ap_id, assignment))
         return medium_share(n_contenders)
 
     # ------------------------------------------------------------------
@@ -278,6 +290,12 @@ class WeightedThroughputModel(ThroughputModel):
     ``M = 1/(1 + Σ overlap)``. Reduces to the base model whenever all
     overlaps are 0 or 1.
     """
+
+    def contention_weight(self, own: Channel, other: Channel) -> float:
+        """Fractional spectral overlap instead of the binary conflict."""
+        from .overlap import spectral_overlap_fraction
+
+        return spectral_overlap_fraction(own, other)
 
     def medium_share_of(
         self,

@@ -41,7 +41,29 @@ class TestMultiStart:
         three = allocate_channels(
             triangle_network, graph, plan, model, rng=5, restarts=3
         )
-        assert three.evaluations > one.evaluations
+        assert three.total_evaluations > one.total_evaluations
+
+    def test_restart_accounting_is_explicit(self, triangle_network, model):
+        """The winner's own cost stays intact; the total is itemised
+        per start instead of overwriting ``evaluations``."""
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(4)
+        three = allocate_channels(
+            triangle_network, graph, plan, model, rng=5, restarts=3
+        )
+        assert len(three.evaluations_per_start) == 3
+        assert three.total_evaluations == sum(three.evaluations_per_start)
+        assert three.evaluations in three.evaluations_per_start
+        assert three.evaluations < three.total_evaluations
+
+    def test_single_start_totals_coincide(self, triangle_network, model):
+        graph = build_interference_graph(triangle_network)
+        plan = ChannelPlan().subset(4)
+        one = allocate_channels(
+            triangle_network, graph, plan, model, rng=5, restarts=1
+        )
+        assert one.total_evaluations == one.evaluations
+        assert one.evaluations_per_start == [one.evaluations]
 
     def test_explicit_initial_counts_as_first_start(
         self, triangle_network, model

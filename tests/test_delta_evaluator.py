@@ -1,0 +1,301 @@
+"""Property-style equivalence suite for the incremental evaluation engine.
+
+The contract under test: after *any* sequence of trial / commit /
+rollback / reset / association-move operations, a
+:class:`repro.net.DeltaEvaluator`'s aggregate equals a fresh full
+:meth:`repro.net.ThroughputModel.evaluate` of the same configuration to
+1e-9 — for the base binary-conflict model, the
+:class:`~repro.net.WeightedThroughputModel` overlap path, and the
+uplink model's neighbourhood tier.
+"""
+
+import random
+
+import pytest
+
+from repro.core.allocation import random_assignment
+from repro.errors import AllocationError
+from repro.net import (
+    Channel,
+    ChannelPlan,
+    DeltaEvaluator,
+    FullEvaluationEngine,
+    ThroughputModel,
+    UplinkThroughputModel,
+    WeightedThroughputModel,
+    build_interference_graph,
+)
+from repro.sim.scenario import random_enterprise
+
+SCENARIO_SEEDS = tuple(range(20))
+TOLERANCE = 1e-9
+
+
+def build_scenario(seed, n_aps=5, n_clients=12):
+    """A random enterprise with deterministic random associations."""
+    scenario = random_enterprise(
+        n_aps=n_aps, n_clients=n_clients, area_m=(60.0, 45.0), seed=seed
+    )
+    network = scenario.network
+    rng = random.Random(seed)
+    for client_id in network.client_ids:
+        candidates = list(network.candidate_aps(client_id, -8.0))
+        if candidates:
+            network.associate(client_id, rng.choice(candidates))
+    graph = build_interference_graph(network)
+    return network, graph, scenario.plan
+
+
+def full_aggregate(model, network, graph, engine):
+    """Ground truth: a fresh full evaluation of the engine's state."""
+    return model.evaluate(
+        network,
+        graph,
+        assignment=engine.assignment,
+        associations=engine.associations,
+    ).total_mbps
+
+
+def drive_random_walk(model, network, graph, plan, seed, steps=30):
+    """Random operation sequence, checking the contract at every step."""
+    rng = random.Random(7919 + seed)
+    palette = plan.all_channels()
+    ap_ids = network.ap_ids
+    client_ids = [c for c in network.client_ids if c in network.associations]
+    engine = DeltaEvaluator(
+        network, graph, model=model, assignment=random_assignment(ap_ids, plan, seed)
+    )
+    reference = full_aggregate(model, network, graph, engine)
+    assert engine.aggregate_mbps == pytest.approx(reference, abs=TOLERANCE)
+    can_rollback = False
+    for _ in range(steps):
+        op = rng.choice(
+            ("trial", "commit", "commit", "rollback", "reset", "move")
+        )
+        if op == "trial":
+            ap_id = rng.choice(ap_ids)
+            channel = rng.choice(palette)
+            before = engine.aggregate_mbps
+            value = engine.trial(ap_id, channel)
+            what_if = engine.assignment
+            what_if[ap_id] = channel
+            truth = model.evaluate(
+                network, graph, assignment=what_if, associations=engine.associations
+            ).total_mbps
+            assert value == pytest.approx(truth, abs=TOLERANCE)
+            # A trial must not disturb the committed state.
+            assert engine.aggregate_mbps == before
+        elif op == "commit":
+            ap_id = rng.choice(ap_ids)
+            channel = rng.choice(palette)
+            engine.commit(ap_id, channel)
+            can_rollback = True
+        elif op == "rollback" and can_rollback:
+            engine.rollback()
+            can_rollback = False
+        elif op == "reset":
+            engine.reset(random_assignment(ap_ids, plan, rng.randint(0, 10**6)))
+            can_rollback = False
+        elif op == "move" and client_ids:
+            client_id = rng.choice(client_ids)
+            target_ap = rng.choice(ap_ids)
+            value = engine.trial_move(client_id, target_ap)
+            what_if = engine.associations
+            what_if[client_id] = target_ap
+            truth = model.evaluate(
+                network,
+                graph,
+                assignment=engine.assignment,
+                associations=what_if,
+            ).total_mbps
+            assert value == pytest.approx(truth, abs=TOLERANCE)
+            if rng.random() < 0.5:
+                engine.commit_move(client_id, target_ap)
+                can_rollback = True
+        assert engine.aggregate_mbps == pytest.approx(
+            full_aggregate(model, network, graph, engine), abs=TOLERANCE
+        )
+    return engine
+
+
+class TestStructuralEquivalence:
+    @pytest.mark.parametrize("seed", SCENARIO_SEEDS)
+    def test_base_model_walks(self, seed):
+        network, graph, plan = build_scenario(seed)
+        engine = drive_random_walk(
+            ThroughputModel(), network, graph, plan, seed
+        )
+        assert engine.tier == "structural"
+
+    @pytest.mark.parametrize("seed", SCENARIO_SEEDS)
+    def test_weighted_model_walks(self, seed):
+        """The partial-overlap medium share follows the same contract."""
+        network, graph, plan = build_scenario(seed)
+        engine = drive_random_walk(
+            WeightedThroughputModel(), network, graph, plan, seed
+        )
+        assert engine.tier == "structural"
+
+    def test_trial_equals_commit_exactly(self):
+        """A trial predicts the post-commit aggregate bit-for-bit."""
+        network, graph, plan = build_scenario(3)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 3),
+        )
+        rng = random.Random(3)
+        palette = plan.all_channels()
+        for _ in range(25):
+            ap_id = rng.choice(network.ap_ids)
+            channel = rng.choice(palette)
+            predicted = engine.trial(ap_id, channel)
+            assert engine.commit(ap_id, channel) == predicted
+
+
+class TestNeighborhoodTier:
+    @pytest.mark.parametrize("seed", (0, 7, 13))
+    def test_uplink_model_walks(self, seed):
+        """Uplink X_a couples to neighbour cells' clients: the engine
+        must fall back to neighbourhood recomputation and stay exact."""
+        network, graph, plan = build_scenario(seed)
+        engine = drive_random_walk(
+            UplinkThroughputModel(), network, graph, plan, seed
+        )
+        assert engine.tier == "neighborhood"
+
+
+class TestFullTierFallback:
+    def test_custom_evaluate_stays_exact(self):
+        """A model overriding evaluate() wholesale is never fast-pathed."""
+
+        class DoubledModel(ThroughputModel):
+            def evaluate(self, network, graph, assignment=None, associations=None):
+                report = super().evaluate(network, graph, assignment, associations)
+                doubled = {ap: 2 * x for ap, x in report.per_ap_mbps.items()}
+                return type(report)(
+                    per_ap_mbps=doubled,
+                    per_client_mbps=report.per_client_mbps,
+                    assignment=report.assignment,
+                    associations=report.associations,
+                )
+
+        network, graph, plan = build_scenario(5)
+        model = DoubledModel()
+        engine = drive_random_walk(model, network, graph, plan, 5, steps=8)
+        assert engine.tier == "full"
+
+
+class TestEngineMechanics:
+    def test_rollback_without_commit_raises(self):
+        network, graph, plan = build_scenario(1)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 1),
+        )
+        with pytest.raises(AllocationError):
+            engine.rollback()
+
+    def test_double_rollback_raises(self):
+        network, graph, plan = build_scenario(1)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 1),
+        )
+        engine.commit(network.ap_ids[0], Channel(36, 40))
+        engine.rollback()
+        with pytest.raises(AllocationError):
+            engine.rollback()
+
+    def test_unknown_ap_rejected(self):
+        network, graph, plan = build_scenario(1)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 1),
+        )
+        with pytest.raises(AllocationError):
+            engine.trial("nonexistent", Channel(36))
+        with pytest.raises(AllocationError):
+            engine.commit("nonexistent", Channel(36))
+
+    def test_profiles_cached_across_trials(self):
+        """Repeating a trial costs no new link mathematics."""
+        network, graph, plan = build_scenario(2)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 2),
+        )
+        ap_id = network.ap_ids[0]
+        channel = plan.all_channels()[0]
+        engine.trial(ap_id, channel)
+        builds = engine.stats.cell_profile_builds
+        for _ in range(10):
+            engine.trial(ap_id, channel)
+        assert engine.stats.cell_profile_builds == builds
+
+    def test_profiles_survive_reset(self):
+        """Multi-restart searches reuse warm caches."""
+        network, graph, plan = build_scenario(2)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 2),
+        )
+        palette = plan.all_channels()
+        for channel in palette:
+            for ap_id in network.ap_ids:
+                engine.trial(ap_id, channel)
+        builds = engine.stats.cell_profile_builds
+        engine.reset(random_assignment(network.ap_ids, plan, 99))
+        for channel in palette:
+            for ap_id in network.ap_ids:
+                engine.trial(ap_id, channel)
+        assert engine.stats.cell_profile_builds == builds
+
+    def test_stats_counters_track_operations(self):
+        network, graph, plan = build_scenario(4)
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            assignment=random_assignment(network.ap_ids, plan, 4),
+        )
+        engine.trial(network.ap_ids[0], Channel(36, 40))
+        engine.commit(network.ap_ids[0], Channel(44, 48))
+        engine.rollback()
+        stats = engine.stats.as_dict()
+        assert stats["trials"] == 1
+        assert stats["commits"] == 1
+        assert stats["rollbacks"] == 1
+
+
+class TestFullEvaluationAdapter:
+    def test_adapter_matches_callable(self):
+        """The EvaluateFn adapter reproduces the callable exactly and
+        charges no extra evaluation for committing a tried winner."""
+        network, graph, plan = build_scenario(6)
+        model = ThroughputModel()
+        calls = {"n": 0}
+
+        def evaluate(assignment):
+            calls["n"] += 1
+            return model.aggregate_mbps(
+                network, graph, assignment=dict(assignment)
+            )
+
+        adapter = FullEvaluationEngine(evaluate)
+        start = random_assignment(network.ap_ids, plan, 6)
+        adapter.reset(start)
+        assert calls["n"] == 1
+        value = adapter.trial(network.ap_ids[0], Channel(36, 40))
+        assert calls["n"] == 2
+        committed = adapter.commit(network.ap_ids[0], Channel(36, 40))
+        assert calls["n"] == 2  # memoised: no re-evaluation
+        assert committed == value
+        adapter.rollback()
+        assert adapter.aggregate_mbps == pytest.approx(
+            evaluate(start), abs=TOLERANCE
+        )
