@@ -190,7 +190,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.check and not args.output.exists():
-        print(f"no baseline at {args.output}; nothing to check against")
+        print(
+            f"no baseline at {args.output}; run without --check first to "
+            "record one",
+            file=sys.stderr,
+        )
         return 1
 
     print("allocator benchmark (full-evaluation vs delta engine)", flush=True)

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Fleet scaling benchmark: sweep wall-clock vs worker count.
+
+Runs the same random-enterprise sweep (default: 200 cells, the scale of
+the paper's Table 3 style comparisons) serially and across increasing
+worker counts, verifies every run's :class:`ResultStore` fingerprint is
+bit-identical to the serial reference, and reports jobs/s, speedup and
+parallel efficiency per worker count. Persists ``BENCH_fleet.json`` at
+the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py                # full 200-cell sweep
+    PYTHONPATH=src python benchmarks/bench_fleet.py --jobs 40      # quicker look
+    PYTHONPATH=src python benchmarks/bench_fleet.py --check        # gate the 4-worker floor
+
+``--check`` fails (exit 1) when the 4-worker speedup lands under the
+2.5x acceptance floor — but only on machines with at least 4 CPU cores;
+on smaller hosts the floor is reported as skipped, since a process pool
+cannot outrun the hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.analysis.tables import render_table
+from repro.fleet import SweepSpec, run_sweep
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fleet.json"
+SPEEDUP_FLOOR = 2.5  # acceptance: >= 2.5x at 4 workers (on >= 4 cores)
+FLOOR_WORKERS = 4
+
+
+def build_spec(n_jobs: int) -> SweepSpec:
+    """The benchmark sweep: ``n_jobs`` random-enterprise ACORN cells."""
+    return SweepSpec(
+        scenarios=(("random", {"n_aps": 5, "n_clients": 12}),),
+        seeds=tuple(range(n_jobs)),
+        algorithms=("acorn",),
+        entropy=2010,
+    )
+
+
+def measure(spec: SweepSpec, workers: int) -> dict:
+    """Time one full sweep at the given worker count."""
+    start = time.perf_counter()
+    store = run_sweep(spec, workers=workers)
+    elapsed = time.perf_counter() - start
+    if store.failed:
+        raise SystemExit(
+            f"{len(store.failed)} jobs failed at workers={workers}: "
+            f"{store.failed[0].error}"
+        )
+    return {
+        "workers": workers,
+        "wall_s": round(elapsed, 3),
+        "jobs_per_s": round(len(store) / elapsed, 3),
+        "fingerprint": store.fingerprint(),
+    }
+
+
+def run_benchmark(n_jobs: int, worker_counts) -> dict:
+    """Sweep the worker ladder and assemble the report."""
+    spec = build_spec(n_jobs)
+    rows = []
+    serial = None
+    for workers in worker_counts:
+        row = measure(spec, workers)
+        if serial is None:
+            serial = row
+        if row["fingerprint"] != serial["fingerprint"]:
+            raise SystemExit(
+                f"workers={workers} produced different results than serial"
+            )
+        row["speedup"] = round(serial["wall_s"] / row["wall_s"], 2)
+        row["efficiency"] = round(row["speedup"] / workers, 2)
+        rows.append(row)
+        print(
+            f"  {workers:2d} workers: {row['wall_s']:7.1f} s, "
+            f"{row['jobs_per_s']:6.2f} jobs/s, speedup {row['speedup']:5.2f}x",
+            flush=True,
+        )
+    return {
+        "benchmark": "fleet",
+        "generated_by": "benchmarks/bench_fleet.py",
+        "n_jobs": n_jobs,
+        "cpu_count": os.cpu_count(),
+        "speedup_floor": {"workers": FLOOR_WORKERS, "speedup": SPEEDUP_FLOOR},
+        "fingerprint": serial["fingerprint"],
+        "scaling": rows,
+    }
+
+
+def check_floor(report: dict) -> list:
+    """The acceptance gate: >= 2.5x at 4 workers on >= 4 cores."""
+    cores = report.get("cpu_count") or 1
+    if cores < FLOOR_WORKERS:
+        print(
+            f"skipping the {SPEEDUP_FLOOR}x floor: host has {cores} core(s), "
+            f"needs >= {FLOOR_WORKERS}"
+        )
+        return []
+    failures = []
+    by_workers = {row["workers"]: row for row in report["scaling"]}
+    row = by_workers.get(FLOOR_WORKERS)
+    if row is None:
+        failures.append(f"no {FLOOR_WORKERS}-worker measurement in the ladder")
+    elif row["speedup"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"{FLOOR_WORKERS}-worker speedup {row['speedup']:.2f}x under the "
+            f"{SPEEDUP_FLOOR}x acceptance floor"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    """Benchmark entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=200, help="sweep cells (default 200)"
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker ladder (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the 4-worker speedup misses the 2.5x floor",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT
+    )
+    args = parser.parse_args(argv)
+    ladder = [int(w) for w in args.workers.split(",") if w.strip()]
+    if not ladder or ladder[0] != 1:
+        ladder = [1] + [w for w in ladder if w != 1]
+
+    print(
+        f"fleet scaling benchmark ({args.jobs} random-enterprise cells, "
+        f"{os.cpu_count()} cores)",
+        flush=True,
+    )
+    report = run_benchmark(args.jobs, ladder)
+    print(
+        render_table(
+            ["workers", "wall (s)", "jobs/s", "speedup", "efficiency"],
+            [
+                [r["workers"], r["wall_s"], r["jobs_per_s"], r["speedup"], r["efficiency"]]
+                for r in report["scaling"]
+            ],
+            float_format=".2f",
+            title="Sweep scaling (bit-identical results at every width)",
+        )
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_floor(report)
+        if failures:
+            print("REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("ok: scaling floor satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Analysis helpers: ECDF, R², ASCII tables for bench reports."""
 
-from .stats import coefficient_of_determination, ecdf
+from .stats import coefficient_of_determination, ecdf, summary_statistics
 from .tables import render_table
 from .fairness import (
     jain_index,
@@ -12,6 +12,7 @@ from .plots import ascii_line_chart, sparkline
 __all__ = [
     "ecdf",
     "coefficient_of_determination",
+    "summary_statistics",
     "render_table",
     "jain_index",
     "proportional_fair_utility",

@@ -7,13 +7,13 @@ reporting R² = 0.8/0.89 between measured and theoretical BER curves.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["ecdf", "coefficient_of_determination"]
+__all__ = ["ecdf", "coefficient_of_determination", "summary_statistics"]
 
 
 def ecdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -51,3 +51,25 @@ def coefficient_of_determination(
     if total == 0.0:
         return 1.0 if residual == 0.0 else 0.0
     return 1.0 - residual / total
+
+
+def summary_statistics(values: Iterable[float]) -> Dict[str, float]:
+    """Location/spread summary of a sample, as a flat dict.
+
+    Returns ``n``, ``mean``, ``std`` (population), ``min``, ``p10``,
+    ``median``, ``p90`` and ``max`` — the row shape the sweep result
+    store reports per algorithm.
+    """
+    array = np.asarray(list(values), dtype=float).ravel()
+    if array.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    return {
+        "n": float(array.size),
+        "mean": float(np.mean(array)),
+        "std": float(np.std(array)),
+        "min": float(np.min(array)),
+        "p10": float(np.percentile(array, 10)),
+        "median": float(np.median(array)),
+        "p90": float(np.percentile(array, 90)),
+        "max": float(np.max(array)),
+    }

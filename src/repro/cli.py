@@ -2,12 +2,20 @@
 
 Usage (via ``python -m repro``):
 
-* ``scenario topology1|topology2|dense|random`` — configure a scenario
-  with ACORN and the "[17]" baseline, print per-AP throughputs.
+* ``scenario <name>`` — configure a registered scenario with ACORN and
+  the "[17]" baseline, print per-AP throughputs (names resolve through
+  :data:`repro.sim.scenario.SCENARIOS`).
 * ``mobility --direction away|toward`` — the Fig 13 mobility trace.
 * ``transitions`` — the Table 1 σ = 2 transition SNRs.
 * ``trace`` — the Fig 9 association-duration statistics and the
   derived allocation periodicity.
+* ``sweep`` — a multi-cell (scenario × seed × algorithm × traffic)
+  evaluation sweep via :mod:`repro.fleet`, with ``--workers``,
+  ``--timeout``, a JSONL checkpoint journal (``--out``) and
+  ``--resume``.
+
+Any :class:`~repro.errors.ReproError` escaping a subcommand is reported
+as a one-line message on stderr with exit code 2.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ import sys
 from typing import List, Optional
 
 from .analysis.tables import render_table
+from .errors import ReproError
+from .sim.scenario import scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -34,10 +44,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument(
         "name",
-        choices=("topology1", "topology2", "dense", "random", "office"),
-        help="which deployment to configure",
+        choices=scenario_names(),
+        help="which registered deployment to configure",
     )
     scenario.add_argument("--seed", type=int, default=7, help="ACORN RNG seed")
+    scenario.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=None,
+        dest="scenario_seed",
+        help="seed for the scenario builder (only for seeded factories)",
+    )
     scenario.add_argument(
         "--traffic",
         choices=("udp", "tcp"),
@@ -76,23 +93,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--period-min", type=float, default=30.0, dest="period_min"
     )
     longrun.add_argument("--seed", type=int, default=3)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a scenario x seed x algorithm sweep (repro.fleet)",
+    )
+    sweep.add_argument(
+        "--scenario",
+        action="append",
+        choices=scenario_names(),
+        dest="scenarios",
+        help="scenario to include (repeatable; default: random)",
+    )
+    sweep.add_argument(
+        "--n-seeds",
+        type=int,
+        default=5,
+        dest="n_seeds",
+        help="number of consecutive seeds per scenario",
+    )
+    sweep.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        dest="seed_base",
+        help="first seed of the grid axis",
+    )
+    sweep.add_argument(
+        "--algorithms",
+        default="acorn,kauffmann",
+        help="comma-separated algorithm names (see repro.fleet)",
+    )
+    sweep.add_argument(
+        "--traffic",
+        choices=("udp", "tcp", "both"),
+        default="udp",
+        help="traffic model axis",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts for timed-out/crashed jobs",
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        help="JSONL checkpoint journal path (enables --resume)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload completed jobs from the journal instead of rerunning",
+    )
+    sweep.add_argument(
+        "--entropy",
+        type=int,
+        default=2010,
+        help="root entropy for the per-job seed streams",
+    )
+    sweep.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress lines",
+    )
     return parser
 
 
-def _build_scenario(name: str):
-    from .sim.buildings import office_floor
-    from .sim.scenario import dense_triangle, random_enterprise, topology1, topology2
+def _build_scenario(name: str, scenario_seed: "Optional[int]" = None):
+    from .sim.scenario import make_scenario
 
-    builders = {
-        "topology1": topology1,
-        "topology2": topology2,
-        "dense": dense_triangle,
-        "random": lambda: random_enterprise(n_aps=5, n_clients=12, seed=11),
-        "office": lambda: office_floor(
-            rooms_x=8, rooms_y=3, clients_per_room=1, n_aps=2, seed=4
-        ),
-    }
-    return builders[name]
+    kwargs = {} if scenario_seed is None else {"seed": scenario_seed}
+    return lambda: make_scenario(name, **kwargs)
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
@@ -101,7 +185,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     from .net import ThroughputModel
     from .sim.traffic import TcpTraffic
 
-    builder = _build_scenario(args.name)
+    builder = _build_scenario(args.name, getattr(args, "scenario_seed", None))
 
     def make_model():
         if args.traffic == "tcp":
@@ -275,20 +359,74 @@ def _run_longrun(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    from .fleet import SweepSpec, run_sweep
+
+    scenarios = tuple(args.scenarios) if args.scenarios else ("random",)
+    traffic = ("udp", "tcp") if args.traffic == "both" else (args.traffic,)
+    spec = SweepSpec(
+        scenarios=scenarios,
+        seeds=tuple(range(args.seed_base, args.seed_base + args.n_seeds)),
+        algorithms=tuple(
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ),
+        traffic=traffic,
+        entropy=args.entropy,
+    )
+    n_jobs = len(spec.expand())
+
+    def _progress(result) -> None:
+        if args.quiet:
+            return
+        total = result.metrics.get("total_mbps")
+        detail = (
+            f"{total:8.1f} Mbps" if total is not None else result.error or ""
+        )
+        print(f"  [{result.job_id}] {result.status:7s} {detail}", flush=True)
+
+    store = run_sweep(
+        spec,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        journal_path=args.out,
+        resume=args.resume,
+        progress=_progress,
+    )
+    fresh = len(store) - store.reloaded
+    print(
+        f"sweep: {len(store)}/{n_jobs} jobs "
+        f"({store.reloaded} reloaded from journal, {fresh} executed, "
+        f"{len(store.failed)} failed)"
+    )
+    print(store.summary_table())
+    return 1 if store.failed or len(store) < n_jobs else 0
+
+
 _HANDLERS = {
     "scenario": _run_scenario,
     "mobility": _run_mobility,
     "transitions": _run_transitions,
     "trace": _run_trace,
     "longrun": _run_longrun,
+    "sweep": _run_sweep,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) are reported as a
+    one-line ``error: ...`` message on stderr with exit code 2 instead
+    of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,6 +9,8 @@ __all__ = [
     "TopologyError",
     "AssociationError",
     "AllocationError",
+    "FleetError",
+    "JobTimeout",
 ]
 
 
@@ -34,3 +36,11 @@ class AssociationError(ReproError):
 
 class AllocationError(ReproError):
     """A channel-allocation operation could not be completed."""
+
+
+class FleetError(ReproError):
+    """A sweep-orchestration operation (spec, journal, executor) failed."""
+
+
+class JobTimeout(FleetError):
+    """A sweep job exceeded its per-job wall-clock budget."""

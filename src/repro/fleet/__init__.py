@@ -1,0 +1,47 @@
+"""Parallel sweep orchestration with checkpoint/resume.
+
+The evaluation layer above a single configuration run: declare a sweep
+(:class:`SweepSpec`), shard it across worker processes
+(:func:`run_sweep`), checkpoint every finished cell to an append-only
+JSONL journal (:class:`JobJournal`), and aggregate the typed results
+(:class:`ResultStore`). A sweep killed mid-run resumes losslessly —
+completed jobs are reloaded from the journal, never recomputed — and
+the final store is bit-identical to an uninterrupted serial run.
+
+Quickstart::
+
+    from repro.fleet import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        scenarios=(("random", {"n_aps": 5, "n_clients": 12}),),
+        seeds=tuple(range(50)),
+        algorithms=("acorn", "kauffmann"),
+    )
+    store = run_sweep(spec, workers=4, journal_path="sweep.jsonl")
+    print(store.summary_table())
+"""
+
+from .executor import (
+    ALGORITHMS,
+    algorithm_names,
+    execute_job,
+    register_algorithm,
+    run_sweep,
+)
+from .jobs import TRAFFIC_MODELS, Job, SweepSpec
+from .journal import JobJournal
+from .results import JobResult, ResultStore
+
+__all__ = [
+    "ALGORITHMS",
+    "TRAFFIC_MODELS",
+    "Job",
+    "JobJournal",
+    "JobResult",
+    "ResultStore",
+    "SweepSpec",
+    "algorithm_names",
+    "execute_job",
+    "register_algorithm",
+    "run_sweep",
+]

@@ -1,0 +1,442 @@
+"""Fault-tolerant sweep execution: process pool, timeouts, retries.
+
+The executor turns :class:`~repro.fleet.jobs.Job` records into
+:class:`~repro.fleet.results.JobResult` records:
+
+* **Parallel** — a ``ProcessPoolExecutor`` (fork context) with chunked
+  dispatch: at most ``2 × workers`` jobs are in flight, so a 10k-cell
+  sweep never materialises 10k pickled futures at once.
+* **Per-job wall-clock timeout** — enforced *inside* the worker via
+  ``SIGALRM`` (where available), so a diverging job cannot wedge a
+  worker forever; it surfaces as a ``timeout`` result.
+* **Bounded retry with exponential backoff** — jobs that time out or
+  crash the worker are resubmitted up to ``retries`` extra times;
+  deterministic library errors (:class:`~repro.errors.ReproError`)
+  are *not* retried, they would fail identically.
+* **Graceful degradation** — ``max_workers=1``, a missing ``fork``
+  start method, or a platform without ``SIGALRM`` falls back to plain
+  in-process serial execution with identical semantics and results
+  (per-job randomness is carried by the job record, not the runner).
+
+Every finished job is checkpointed to the optional
+:class:`~repro.fleet.journal.JobJournal` before the next one is
+dispatched, which is what makes ``--resume`` after a SIGKILL lossless.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import signal
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.fairness import throughput_fairness_report
+from ..errors import FleetError, JobTimeout, ReproError
+from .jobs import Job, SweepSpec
+from .journal import JobJournal
+from .results import JobResult, ResultStore
+
+__all__ = [
+    "ALGORITHMS",
+    "register_algorithm",
+    "algorithm_names",
+    "execute_job",
+    "run_sweep",
+]
+
+
+# ----------------------------------------------------------------------
+# Algorithm registry: name → runner(scenario, traffic, rng) returning
+# (NetworkReport, extra-metrics dict).
+
+def _make_model(traffic: str):
+    from ..net.throughput import ThroughputModel
+    from ..sim.traffic import TcpTraffic
+
+    if traffic == "tcp":
+        return ThroughputModel(traffic=TcpTraffic())
+    return ThroughputModel()
+
+
+def _run_acorn(scenario, traffic, rng, refine=False):
+    from ..core.controller import Acorn
+
+    acorn = Acorn(scenario.network, scenario.plan, _make_model(traffic), seed=rng)
+    result = acorn.configure(scenario.client_order, refine=refine)
+    extra = {
+        "evaluations": float(result.allocation.total_evaluations),
+        "rounds": float(result.allocation.rounds),
+    }
+    return result.report, extra
+
+
+def _run_acorn_refine(scenario, traffic, rng):
+    return _run_acorn(scenario, traffic, rng, refine=True)
+
+
+def _run_kauffmann(scenario, traffic, rng):
+    from ..baselines.kauffmann import KauffmannController
+
+    controller = KauffmannController(
+        scenario.network, scenario.plan, _make_model(traffic)
+    )
+    result = controller.configure(scenario.client_order)
+    return result.report, {}
+
+
+ALGORITHMS: Dict[str, Callable] = {
+    "acorn": _run_acorn,
+    "acorn_refine": _run_acorn_refine,
+    "kauffmann": _run_kauffmann,
+}
+
+
+def register_algorithm(name: str, runner: Callable) -> None:
+    """Register ``runner(scenario, traffic, rng) -> (report, extra)``.
+
+    Registration must happen at import time (or before the pool forks)
+    for worker processes to see it; the default fork context inherits
+    the registry, the spawn context re-imports modules instead.
+    """
+    existing = ALGORITHMS.get(name)
+    if existing is not None and existing is not runner:
+        raise FleetError(f"algorithm {name!r} is already registered")
+    ALGORITHMS[name] = runner
+
+
+def algorithm_names() -> List[str]:
+    """The registered algorithm names, sorted."""
+    return sorted(ALGORITHMS)
+
+
+# ----------------------------------------------------------------------
+# Single-job execution (runs inside the worker process).
+
+@contextlib.contextmanager
+def _wall_clock_alarm(timeout_s: Optional[float]):
+    """Raise :class:`JobTimeout` after ``timeout_s`` (best effort).
+
+    Uses ``SIGALRM``, so it only engages on the main thread of a POSIX
+    process — exactly where pool workers and the serial path run. When
+    unavailable the job simply runs unbounded.
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded its {timeout_s:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_job(job: Job, timeout_s: Optional[float] = None) -> JobResult:
+    """Run one job to a :class:`JobResult` (never raises on job failure).
+
+    Library errors are captured as ``status="failed"``, a blown
+    wall-clock budget as ``status="timeout"``; any other exception as
+    ``status="crashed"`` (the retryable class). The deterministic
+    metrics come from the job's private seed stream only.
+    """
+    start = time.perf_counter()
+    base = dict(
+        job_id=job.job_id,
+        scenario=job.scenario,
+        algorithm=job.algorithm,
+        traffic=job.traffic,
+        seed=job.seed,
+    )
+    try:
+        runner = ALGORITHMS.get(job.algorithm)
+        if runner is None:
+            raise FleetError(
+                f"unknown algorithm {job.algorithm!r}; registered: "
+                f"{', '.join(sorted(ALGORITHMS))}"
+            )
+        with _wall_clock_alarm(timeout_s):
+            scenario = job.build_scenario()
+            report, extra = runner(scenario, job.traffic, job.rng())
+    except JobTimeout as exc:
+        return JobResult(
+            status="timeout",
+            error=str(exc),
+            elapsed_s=time.perf_counter() - start,
+            **base,
+        )
+    except ReproError as exc:
+        return JobResult(
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - start,
+            **base,
+        )
+    except Exception as exc:  # worker bug / OOM / etc — retryable
+        return JobResult(
+            status="crashed",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - start,
+            **base,
+        )
+    per_ap = {
+        ap_id: float(mbps)
+        for ap_id, mbps in sorted(report.per_ap_mbps.items())
+    }
+    fairness = throughput_fairness_report(per_ap.values())
+    metrics = {
+        "total_mbps": float(fairness["total"]),
+        "jain": float(fairness["jain"]),
+        "pf_utility": float(fairness["pf_utility"]),
+        "min_ap_mbps": float(fairness["min"]),
+        "max_ap_mbps": float(fairness["max"]),
+        "n_aps": float(len(per_ap)),
+        "n_associated": float(len(report.associations)),
+    }
+    metrics.update({key: float(value) for key, value in extra.items()})
+    return JobResult(
+        status="ok",
+        metrics=metrics,
+        per_ap_mbps=per_ap,
+        elapsed_s=time.perf_counter() - start,
+        **base,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep orchestration.
+
+_RETRYABLE = ("timeout", "crashed")
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _backoff(attempt: int, base_s: float) -> float:
+    return base_s * (2.0 ** max(0, attempt - 1))
+
+
+def _run_serial(
+    jobs: Sequence[Job],
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+    on_result: Callable[[JobResult], None],
+) -> None:
+    for job in jobs:
+        attempts = 0
+        while True:
+            attempts += 1
+            result = execute_job(job, timeout_s)
+            if result.status in _RETRYABLE and attempts <= retries:
+                time.sleep(_backoff(attempts, backoff_s))
+                continue
+            result.attempts = attempts
+            on_result(result)
+            break
+
+
+def _run_pool(
+    jobs: Sequence[Job],
+    workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+    on_result: Callable[[JobResult], None],
+) -> None:
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    context = multiprocessing.get_context("fork")
+    attempts: Dict[str, int] = {job.job_id: 0 for job in jobs}
+    queue: "deque[Tuple[Job, float]]" = deque((job, 0.0) for job in jobs)
+    window = max(1, 2 * workers)  # chunked dispatch: bound in-flight work
+
+    def _terminal(job: Job, status: str, error: str) -> None:
+        on_result(
+            JobResult(
+                job_id=job.job_id,
+                scenario=job.scenario,
+                algorithm=job.algorithm,
+                traffic=job.traffic,
+                seed=job.seed,
+                status=status,
+                error=error,
+                attempts=attempts[job.job_id],
+            )
+        )
+
+    executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    futures: Dict = {}
+    try:
+        while queue or futures:
+            now = time.monotonic()
+            requeue: List[Tuple[Job, float]] = []
+            while queue and len(futures) < window:
+                job, ready_at = queue.popleft()
+                if ready_at > now and futures:
+                    # Still backing off; revisit after the next wait().
+                    requeue.append((job, ready_at))
+                    continue
+                if ready_at > now:
+                    time.sleep(ready_at - now)
+                attempts[job.job_id] += 1
+                futures[executor.submit(execute_job, job, timeout_s)] = job
+            queue.extend(requeue)
+            if not futures:
+                continue
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            broken: List[Job] = []
+            for future in done:
+                job = futures.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault, OOM-kill); the whole
+                    # pool is unusable. Collect and rebuild below.
+                    broken.append(job)
+                    continue
+                except Exception as exc:  # dispatch/unpickling failure
+                    result = JobResult(
+                        job_id=job.job_id,
+                        scenario=job.scenario,
+                        algorithm=job.algorithm,
+                        traffic=job.traffic,
+                        seed=job.seed,
+                        status="crashed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if (
+                    result.status in _RETRYABLE
+                    and attempts[job.job_id] <= retries
+                ):
+                    queue.append(
+                        (
+                            job,
+                            time.monotonic()
+                            + _backoff(attempts[job.job_id], backoff_s),
+                        )
+                    )
+                    continue
+                result.attempts = attempts[job.job_id]
+                on_result(result)
+            if broken:
+                # Retry every job that was in flight when the pool broke.
+                in_flight = broken + list(futures.values())
+                futures.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
+                for job in in_flight:
+                    if attempts[job.job_id] <= retries:
+                        queue.append(
+                            (
+                                job,
+                                time.monotonic()
+                                + _backoff(attempts[job.job_id], backoff_s),
+                            )
+                        )
+                    else:
+                        _terminal(
+                            job, "crashed", "worker process died (pool broken)"
+                        )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 2,
+    backoff_s: float = 0.05,
+    journal_path: "Optional[str]" = None,
+    resume: bool = False,
+    progress: Optional[Callable[[JobResult], None]] = None,
+) -> ResultStore:
+    """Run a sweep to a :class:`ResultStore`, checkpointing as it goes.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to expand and execute.
+    workers:
+        Process count. ``1`` (or a platform without the ``fork`` start
+        method) runs serially in-process.
+    timeout_s:
+        Per-job wall-clock budget (None = unbounded). Enforced via
+        ``SIGALRM`` inside each worker, so it also works serially.
+    retries:
+        Extra attempts for jobs that time out or crash. Deterministic
+        :class:`~repro.errors.ReproError` failures are never retried.
+    backoff_s:
+        Base of the exponential retry backoff
+        (``backoff_s * 2**(attempt-1)``).
+    journal_path:
+        Optional JSONL checkpoint journal. With ``resume=True`` an
+        existing journal's completed jobs are *reloaded*, not
+        recomputed; without it the journal is truncated and rewritten.
+    progress:
+        Callback invoked once per freshly executed job (not for
+        reloaded ones), in completion order.
+
+    Returns the store over all jobs (reloaded + fresh). The store's
+    :meth:`~repro.fleet.results.ResultStore.fingerprint` is independent
+    of ``workers`` and of interruption/resume boundaries.
+    """
+    if workers < 1:
+        raise FleetError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise FleetError(f"retries must be >= 0, got {retries}")
+    jobs = spec.expand()
+    store = ResultStore(spec_fingerprint=spec.fingerprint())
+
+    journal: Optional[JobJournal] = None
+    done: Mapping[str, JobResult] = {}
+    if journal_path is not None:
+        journal = JobJournal(journal_path)
+        if resume:
+            done = journal.completed_results(spec.fingerprint())
+    known_ids = {job.job_id for job in jobs}
+    for job_id, result in done.items():
+        if job_id in known_ids:
+            store.add(result)
+            store.reloaded += 1
+    pending = [job for job in jobs if job.job_id not in store]
+
+    if journal is not None:
+        journal.start(spec.fingerprint(), len(jobs), fresh=not resume)
+
+    def _on_result(result: JobResult) -> None:
+        store.add(result)
+        if journal is not None:
+            journal.record(result)
+        if progress is not None:
+            progress(result)
+
+    try:
+        if workers == 1 or not _fork_available() or not pending:
+            _run_serial(pending, timeout_s, retries, backoff_s, _on_result)
+        else:
+            _run_pool(
+                pending, workers, timeout_s, retries, backoff_s, _on_result
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    return store

@@ -1,0 +1,284 @@
+"""Declarative sweep specifications and picklable job records.
+
+A :class:`SweepSpec` describes an evaluation campaign the way the paper's
+Sections 6-7 (and the channel-bonding literature it spawned) phrase one:
+a grid of scenario × seed × algorithm × traffic cells, optionally
+augmented with an explicit job list for off-grid cells. ``expand()``
+turns the spec into deterministic, picklable :class:`Job` records that
+worker processes can execute independently.
+
+Determinism contract: every job carries its own
+``numpy.random.SeedSequence`` state, spawned from the spec's root
+entropy via ``SeedSequence.spawn`` — so a job's random stream depends
+only on the spec and the job's position in the expansion, never on
+which worker runs it or in what order. Two expansions of the same spec
+are bit-identical, which is what makes the checkpoint journal's
+resume-by-job-id sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import FleetError
+from ..sim.scenario import scenario_accepts, scenario_names
+
+__all__ = ["Job", "SweepSpec", "TRAFFIC_MODELS"]
+
+# Traffic models understood by the job runner (repro.sim.traffic).
+TRAFFIC_MODELS = ("udp", "tcp")
+
+# A grid scenario entry: a registered name, or (name, factory kwargs).
+ScenarioEntry = Union[str, Tuple[str, Mapping[str, Any]]]
+
+
+def _canonical(data: Any) -> str:
+    """Stable JSON used for fingerprints and job-id digests."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One executable sweep cell (picklable, JSON-serialisable).
+
+    Attributes
+    ----------
+    job_id:
+        Deterministic identifier — the journal's resume key.
+    scenario / scenario_kwargs:
+        Registered scenario name and the factory kwargs (including the
+        scenario ``seed`` when the factory accepts one).
+    algorithm:
+        Name in the executor's algorithm registry (e.g. ``"acorn"``).
+    traffic:
+        ``"udp"`` or ``"tcp"``.
+    seed:
+        The grid seed of this cell (reporting axis; also fed to the
+        scenario factory when it takes a ``seed``).
+    entropy / spawn_key:
+        ``numpy.random.SeedSequence`` state for this job's private
+        random stream (drives e.g. ACORN's random initial channels).
+    """
+
+    job_id: str
+    scenario: str
+    scenario_kwargs: Dict[str, Any] = field(default_factory=dict)
+    algorithm: str = "acorn"
+    traffic: str = "udp"
+    seed: int = 0
+    entropy: int = 0
+    spawn_key: Tuple[int, ...] = ()
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """This job's private ``SeedSequence`` (reconstructed from state)."""
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=tuple(self.spawn_key)
+        )
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator over this job's private seed stream."""
+        return np.random.default_rng(self.seed_sequence())
+
+    def build_scenario(self):
+        """Materialise the scenario (resolved through the registry)."""
+        from ..sim.scenario import make_scenario
+
+        return make_scenario(self.scenario, **self.scenario_kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (journal header / debugging)."""
+        return {
+            "job_id": self.job_id,
+            "scenario": self.scenario,
+            "scenario_kwargs": dict(self.scenario_kwargs),
+            "algorithm": self.algorithm,
+            "traffic": self.traffic,
+            "seed": self.seed,
+            "entropy": self.entropy,
+            "spawn_key": list(self.spawn_key),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            job_id=data["job_id"],
+            scenario=data["scenario"],
+            scenario_kwargs=dict(data.get("scenario_kwargs", {})),
+            algorithm=data.get("algorithm", "acorn"),
+            traffic=data.get("traffic", "udp"),
+            seed=int(data.get("seed", 0)),
+            entropy=int(data.get("entropy", 0)),
+            spawn_key=tuple(data.get("spawn_key", ())),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: grid axes and/or an explicit job list.
+
+    Parameters
+    ----------
+    scenarios:
+        Grid axis of scenario entries — registered names, or
+        ``(name, kwargs)`` pairs for parameterised deployments.
+    seeds:
+        Grid axis of integer seeds. Each seed is passed to the scenario
+        factory when it accepts one (``random_enterprise`` does;
+        ``topology1`` does not) and always labels the cell.
+    algorithms:
+        Grid axis of algorithm names (see
+        :func:`repro.fleet.executor.algorithm_names`).
+    traffic:
+        Grid axis of traffic models (``"udp"`` / ``"tcp"``).
+    explicit:
+        Extra off-grid cells, each a mapping with any of ``scenario``,
+        ``scenario_kwargs``, ``algorithm``, ``traffic``, ``seed``.
+    entropy:
+        Root entropy for the per-job ``SeedSequence.spawn`` streams.
+    """
+
+    scenarios: Tuple[ScenarioEntry, ...] = ("random",)
+    seeds: Tuple[int, ...] = (0,)
+    algorithms: Tuple[str, ...] = ("acorn",)
+    traffic: Tuple[str, ...] = ("udp",)
+    explicit: Tuple[Mapping[str, Any], ...] = ()
+    entropy: int = 2010
+
+    def __post_init__(self) -> None:
+        # Normalise list inputs into tuples so the spec stays hashable
+        # and its fingerprint is insensitive to the caller's container.
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "traffic", tuple(self.traffic))
+        object.__setattr__(self, "explicit", tuple(self.explicit))
+        if not (self.scenarios or self.explicit):
+            raise FleetError("a sweep needs at least one scenario or explicit job")
+        if self.scenarios and not self.seeds:
+            raise FleetError("a sweep grid needs at least one seed")
+        for traffic in self.traffic:
+            if traffic not in TRAFFIC_MODELS:
+                raise FleetError(
+                    f"unknown traffic model {traffic!r}; "
+                    f"expected one of {TRAFFIC_MODELS}"
+                )
+
+    # ------------------------------------------------------------------
+    def _cells(self) -> List[Dict[str, Any]]:
+        """The flat (pre-seed-spawn) cell list: grid then explicit."""
+        known = set(scenario_names())
+        cells: List[Dict[str, Any]] = []
+        for entry in self.scenarios:
+            if isinstance(entry, str):
+                name, kwargs = entry, {}
+            else:
+                name, kwargs = entry[0], dict(entry[1])
+            if name not in known:
+                raise FleetError(
+                    f"sweep references unregistered scenario {name!r}; "
+                    f"registered: {', '.join(sorted(known))}"
+                )
+            for seed in self.seeds:
+                for algorithm in self.algorithms:
+                    for traffic in self.traffic:
+                        cell_kwargs = dict(kwargs)
+                        if "seed" not in cell_kwargs and scenario_accepts(
+                            name, "seed"
+                        ):
+                            cell_kwargs["seed"] = int(seed)
+                        cells.append(
+                            {
+                                "scenario": name,
+                                "scenario_kwargs": cell_kwargs,
+                                "algorithm": algorithm,
+                                "traffic": traffic,
+                                "seed": int(seed),
+                            }
+                        )
+        for extra in self.explicit:
+            cell = {
+                "scenario": extra.get("scenario", "random"),
+                "scenario_kwargs": dict(extra.get("scenario_kwargs", {})),
+                "algorithm": extra.get("algorithm", "acorn"),
+                "traffic": extra.get("traffic", "udp"),
+                "seed": int(extra.get("seed", 0)),
+            }
+            if cell["scenario"] not in known:
+                raise FleetError(
+                    f"explicit job references unregistered scenario "
+                    f"{cell['scenario']!r}"
+                )
+            if cell["traffic"] not in TRAFFIC_MODELS:
+                raise FleetError(
+                    f"explicit job has unknown traffic {cell['traffic']!r}"
+                )
+            cells.append(cell)
+        return cells
+
+    def expand(self) -> List[Job]:
+        """Expand into deterministic :class:`Job` records.
+
+        Validates algorithm names against the executor registry and
+        spawns one child ``SeedSequence`` per job from the spec's root
+        entropy, so re-expanding the same spec is bit-identical.
+        """
+        from .executor import algorithm_names
+
+        known_algorithms = set(algorithm_names())
+        cells = self._cells()
+        root = np.random.SeedSequence(self.entropy)
+        children = root.spawn(len(cells))
+        jobs: List[Job] = []
+        for index, (cell, child) in enumerate(zip(cells, children)):
+            if cell["algorithm"] not in known_algorithms:
+                raise FleetError(
+                    f"unknown algorithm {cell['algorithm']!r}; registered: "
+                    f"{', '.join(sorted(known_algorithms))}"
+                )
+            digest = hashlib.sha256(
+                _canonical(
+                    {key: value for key, value in cell.items()}
+                ).encode()
+            ).hexdigest()[:8]
+            job_id = (
+                f"{index:04d}-{cell['scenario']}-{cell['algorithm']}"
+                f"-{cell['traffic']}-s{cell['seed']}-{digest}"
+            )
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    scenario=cell["scenario"],
+                    scenario_kwargs=cell["scenario_kwargs"],
+                    algorithm=cell["algorithm"],
+                    traffic=cell["traffic"],
+                    seed=cell["seed"],
+                    entropy=int(child.entropy),
+                    spawn_key=tuple(int(k) for k in child.spawn_key),
+                )
+            )
+        if len({job.job_id for job in jobs}) != len(jobs):
+            raise FleetError("sweep expansion produced duplicate job ids")
+        return jobs
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical spec — the journal compatibility key."""
+        payload = {
+            "scenarios": [
+                entry
+                if isinstance(entry, str)
+                else [entry[0], dict(sorted(dict(entry[1]).items()))]
+                for entry in self.scenarios
+            ],
+            "seeds": list(self.seeds),
+            "algorithms": list(self.algorithms),
+            "traffic": list(self.traffic),
+            "explicit": [dict(sorted(dict(e).items())) for e in self.explicit],
+            "entropy": self.entropy,
+        }
+        return hashlib.sha256(_canonical(payload).encode()).hexdigest()

@@ -1,0 +1,161 @@
+"""Append-only JSONL checkpoint journal for sweep runs.
+
+One line per event: a ``header`` line binding the journal to a
+:class:`~repro.fleet.jobs.SweepSpec` fingerprint, then one ``job`` line
+per finished job (ok, failed, timeout or crashed). Every append is
+flushed and fsynced, so a driver killed mid-run (even SIGKILL) loses at
+most the final, partially-written line — which :meth:`JobJournal.load`
+tolerates by ignoring any undecodable tail. Resume therefore reduces
+to: load, keep the last ``ok`` record per job id, skip those ids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import FleetError
+from .results import JobResult
+
+__all__ = ["JobJournal"]
+
+_FORMAT_VERSION = 1
+
+
+class JobJournal:
+    """Durable per-job checkpointing for :func:`repro.fleet.run_sweep`.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file. Created (with its parent directory) on
+        :meth:`start`; appended to on :meth:`record`.
+    """
+
+    def __init__(self, path: "str | pathlib.Path") -> None:
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def load(self) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+        """Read the journal: ``(header, job_records)``.
+
+        Missing file → ``(None, [])``. A truncated or corrupt final line
+        (the SIGKILL case) is ignored; corruption *before* the last line
+        raises :class:`FleetError` because silently dropping interior
+        results would recompute jobs the caller believes are done.
+        """
+        if not self.path.exists():
+            return None, []
+        raw_lines = self.path.read_text(encoding="utf-8").split("\n")
+        # Anything after the final newline is a partial write.
+        complete, tail = raw_lines[:-1], raw_lines[-1]
+        header: Optional[Dict[str, Any]] = None
+        records: List[Dict[str, Any]] = []
+        for index, line in enumerate(complete):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(complete) - 1 and not tail:
+                    # Torn final line that happened to end in a newline.
+                    break
+                raise FleetError(
+                    f"corrupt journal {self.path} at line {index + 1}: {exc}"
+                )
+            if event.get("type") == "header":
+                if event.get("version") != _FORMAT_VERSION:
+                    raise FleetError(
+                        f"journal {self.path} has unsupported version "
+                        f"{event.get('version')!r}"
+                    )
+                header = event
+            elif event.get("type") == "job":
+                records.append(event)
+        return header, records
+
+    def completed_results(
+        self, spec_fingerprint: Optional[str] = None
+    ) -> Dict[str, JobResult]:
+        """The last ``ok`` result per job id (the resume set).
+
+        When ``spec_fingerprint`` is given, the journal's header must
+        match — resuming a journal written by a *different* sweep would
+        silently mix incompatible cells.
+        """
+        header, records = self.load()
+        if header is None:
+            return {}
+        if (
+            spec_fingerprint is not None
+            and header.get("spec") != spec_fingerprint
+        ):
+            raise FleetError(
+                f"journal {self.path} was written by a different sweep "
+                f"(spec {header.get('spec')!r:.20} != {spec_fingerprint!r:.20}); "
+                "use a fresh --out path or rerun without --resume"
+            )
+        done: Dict[str, JobResult] = {}
+        for record in records:
+            if record.get("status") == "ok":
+                result = JobResult.from_dict(record)
+                done[result.job_id] = result
+        return done
+
+    # ------------------------------------------------------------------
+    def start(self, spec_fingerprint: str, n_jobs: int, fresh: bool) -> None:
+        """Open for appending; write the header when starting fresh.
+
+        ``fresh=True`` truncates any existing file; ``fresh=False``
+        (resume) keeps it and only writes a header if none exists yet.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        had_header = False
+        if not fresh and self.path.exists():
+            header, _ = self.load()
+            had_header = header is not None
+        self._handle = open(
+            self.path, "w" if fresh else "a", encoding="utf-8"
+        )
+        if fresh or not had_header:
+            self._append(
+                {
+                    "type": "header",
+                    "version": _FORMAT_VERSION,
+                    "spec": spec_fingerprint,
+                    "n_jobs": n_jobs,
+                }
+            )
+
+    def record(self, result: JobResult) -> None:
+        """Checkpoint one finished job (flushed and fsynced)."""
+        event = {"type": "job", **result.to_dict()}
+        self._append(event)
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise FleetError(
+                f"journal {self.path} is not open; call start() first"
+            )
+        self._handle.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        """Context-manager support (closes on exit)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on scope exit."""
+        self.close()

@@ -1,0 +1,255 @@
+"""Typed per-job results and the sweep-level aggregate store.
+
+A :class:`JobResult` is the unit the executor produces and the journal
+checkpoints: the deterministic metrics of one (scenario, seed,
+algorithm, traffic) cell — aggregate throughput, Jain fairness,
+proportional-fair utility, allocator work counters — plus
+non-deterministic bookkeeping (wall-clock, attempt count) kept separate
+so that resumed and uninterrupted runs compare bit-identical.
+
+A :class:`ResultStore` aggregates JobResults and feeds the existing
+analysis helpers: :func:`repro.analysis.stats.ecdf` /
+:func:`~repro.analysis.stats.summary_statistics` for distributions and
+:func:`repro.analysis.tables.render_table` for the report table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.stats import ecdf, summary_statistics
+from ..analysis.tables import render_table
+from ..errors import FleetError
+
+__all__ = ["JobResult", "ResultStore"]
+
+_canonical = lambda data: json.dumps(  # noqa: E731 — one shared idiom
+    data, sort_keys=True, separators=(",", ":")
+)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one sweep job.
+
+    ``metrics`` and ``per_ap_mbps`` are the deterministic payload (pure
+    functions of the job record); ``attempts`` and ``elapsed_s`` are
+    execution bookkeeping excluded from :meth:`deterministic_dict`.
+    """
+
+    job_id: str
+    scenario: str
+    algorithm: str
+    traffic: str
+    seed: int
+    status: str = "ok"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    per_ap_mbps: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the job ran to completion."""
+        return self.status == "ok"
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """The payload that must be identical across reruns and resumes."""
+        return {
+            "job_id": self.job_id,
+            "scenario": self.scenario,
+            "algorithm": self.algorithm,
+            "traffic": self.traffic,
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "per_ap_mbps": dict(self.per_ap_mbps),
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-compatible form (what the journal records)."""
+        data = self.deterministic_dict()
+        data["attempts"] = self.attempts
+        data["elapsed_s"] = self.elapsed_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        """Rebuild a result from its journal/JSON form."""
+        return cls(
+            job_id=data["job_id"],
+            scenario=data.get("scenario", ""),
+            algorithm=data.get("algorithm", ""),
+            traffic=data.get("traffic", "udp"),
+            seed=int(data.get("seed", 0)),
+            status=data.get("status", "ok"),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            per_ap_mbps={
+                k: float(v) for k, v in data.get("per_ap_mbps", {}).items()
+            },
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+class ResultStore:
+    """Aggregate over a sweep's :class:`JobResult` records.
+
+    Results are keyed by ``job_id``; adding a result for an id that is
+    already present replaces it (last write wins — matching the
+    journal's retry semantics). ``reloaded`` counts results restored
+    from a checkpoint journal rather than executed this run.
+    """
+
+    def __init__(self, spec_fingerprint: Optional[str] = None) -> None:
+        self._results: Dict[str, JobResult] = {}
+        self.spec_fingerprint = spec_fingerprint
+        self.reloaded = 0
+
+    # -- container protocol -------------------------------------------
+    def add(self, result: JobResult) -> None:
+        """Insert (or replace) one result."""
+        self._results[result.job_id] = result
+
+    def extend(self, results: Iterable[JobResult]) -> None:
+        """Insert many results."""
+        for result in results:
+            self.add(result)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[JobResult]:
+        return iter(self.results())
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._results
+
+    def get(self, job_id: str) -> Optional[JobResult]:
+        """The result for ``job_id``, or None."""
+        return self._results.get(job_id)
+
+    def results(self) -> List[JobResult]:
+        """All results, sorted by job id (the canonical order)."""
+        return [self._results[key] for key in sorted(self._results)]
+
+    @property
+    def completed(self) -> List[JobResult]:
+        """Results with status ``ok``."""
+        return [r for r in self.results() if r.ok]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        """Results that ended failed / timed out / crashed."""
+        return [r for r in self.results() if not r.ok]
+
+    # -- analysis ------------------------------------------------------
+    def metric_values(
+        self, metric: str, algorithm: Optional[str] = None
+    ) -> np.ndarray:
+        """Values of ``metric`` over completed jobs (optionally filtered)."""
+        values = [
+            result.metrics[metric]
+            for result in self.completed
+            if metric in result.metrics
+            and (algorithm is None or result.algorithm == algorithm)
+        ]
+        return np.asarray(values, dtype=float)
+
+    def metric_ecdf(self, metric: str, algorithm: Optional[str] = None):
+        """ECDF of a metric — plugs into the Table 3 style comparisons."""
+        return ecdf(self.metric_values(metric, algorithm))
+
+    def by_algorithm(self) -> Dict[str, List[JobResult]]:
+        """Completed results grouped by algorithm name."""
+        groups: Dict[str, List[JobResult]] = {}
+        for result in self.completed:
+            groups.setdefault(result.algorithm, []).append(result)
+        return groups
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-algorithm summary statistics of the aggregate throughput."""
+        summaries: Dict[str, Dict[str, float]] = {}
+        for algorithm, results in sorted(self.by_algorithm().items()):
+            totals = [r.metrics.get("total_mbps", 0.0) for r in results]
+            stats = summary_statistics(totals)
+            jain = [
+                r.metrics["jain"] for r in results if "jain" in r.metrics
+            ]
+            stats["mean_jain"] = float(np.mean(jain)) if jain else float("nan")
+            summaries[algorithm] = stats
+        return summaries
+
+    def summary_table(self, title: str = "Sweep summary") -> str:
+        """Human-readable per-algorithm table (``analysis.tables``)."""
+        rows = []
+        for algorithm, stats in self.summary().items():
+            rows.append(
+                [
+                    algorithm,
+                    int(stats["n"]),
+                    stats["mean"],
+                    stats["median"],
+                    stats["min"],
+                    stats["max"],
+                    stats["mean_jain"],
+                ]
+            )
+        if not rows:
+            return f"{title}: no completed jobs"
+        return render_table(
+            [
+                "algorithm",
+                "jobs",
+                "mean Y (Mbps)",
+                "median",
+                "min",
+                "max",
+                "mean Jain",
+            ],
+            rows,
+            float_format=".2f",
+            title=title,
+        )
+
+    # -- persistence / identity ---------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 over the sorted deterministic payloads.
+
+        Two stores fingerprint equal iff every job produced bit-identical
+        deterministic results — the acceptance check for resume.
+        """
+        payload = [result.deterministic_dict() for result in self.results()]
+        return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+    def to_json(self, path: "str | pathlib.Path") -> None:
+        """Persist the store (deterministic payloads + bookkeeping)."""
+        data = {
+            "spec_fingerprint": self.spec_fingerprint,
+            "results": [result.to_dict() for result in self.results()],
+        }
+        pathlib.Path(path).write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_json(cls, path: "str | pathlib.Path") -> "ResultStore":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FleetError(f"cannot load result store from {path}: {exc}")
+        store = cls(spec_fingerprint=data.get("spec_fingerprint"))
+        store.extend(
+            JobResult.from_dict(record) for record in data.get("results", [])
+        )
+        return store

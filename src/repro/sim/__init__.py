@@ -2,12 +2,17 @@
 
 from .traffic import TcpTraffic, UdpTraffic
 from .scenario import (
+    SCENARIOS,
     Scenario,
+    ap_triple,
+    dense_triangle,
+    make_scenario,
+    random_enterprise,
+    register_scenario,
+    scenario_accepts,
+    scenario_names,
     topology1,
     topology2,
-    dense_triangle,
-    random_enterprise,
-    ap_triple,
 )
 from .mobility import LinearWalk, MobilityTrace, run_mobility_experiment
 from .longrun import ChurnConfig, LongRunResult, run_long_run
@@ -30,4 +35,9 @@ __all__ = [
     "run_long_run",
     "FloorPlan",
     "office_floor",
+    "SCENARIOS",
+    "register_scenario",
+    "make_scenario",
+    "scenario_names",
+    "scenario_accepts",
 ]

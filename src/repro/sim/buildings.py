@@ -18,7 +18,7 @@ from ..errors import ConfigurationError
 from ..link.budget import LinkBudget
 from ..net.channels import ChannelPlan
 from ..net.topology import Network
-from .scenario import Scenario, _finish
+from .scenario import Scenario, _finish, register_scenario
 
 __all__ = ["FloorPlan", "office_floor"]
 
@@ -184,3 +184,6 @@ def office_floor(
             rooms_x, rooms_y, clients_per_room, n_aps, seed, plan
         ),
     )
+
+
+register_scenario("office", office_floor)

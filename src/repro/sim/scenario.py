@@ -14,9 +14,10 @@ explicitly. :func:`random_enterprise` is fully geometric instead.
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +33,11 @@ __all__ = [
     "dense_triangle",
     "random_enterprise",
     "ap_triple",
+    "SCENARIOS",
+    "register_scenario",
+    "make_scenario",
+    "scenario_names",
+    "scenario_accepts",
 ]
 
 # Representative link qualities (20 MHz per-subcarrier SNR, dB).
@@ -303,6 +309,83 @@ def random_enterprise(
             n_aps, n_clients, area_m, seed, shadowing_sigma_db
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# Scenario registry: name → factory, so callers (the CLI `scenario`
+# subcommand, `repro.fleet` sweep jobs, serialized experiment specs) can
+# reference deployments by string instead of importing builders.
+
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {}
+
+
+def register_scenario(name: str, factory: Callable[..., Scenario]) -> None:
+    """Register a scenario ``factory`` under ``name``.
+
+    Re-registering the same factory is a no-op; binding an existing name
+    to a *different* factory raises :class:`ConfigurationError` so sweep
+    job ids stay unambiguous.
+    """
+    existing = SCENARIOS.get(name)
+    if existing is not None and existing is not factory:
+        raise ConfigurationError(
+            f"scenario name {name!r} is already registered to "
+            f"{existing.__module__}.{existing.__qualname__}"
+        )
+    SCENARIOS[name] = factory
+
+
+def _ensure_registry() -> None:
+    """Pull in modules that register scenarios at import time."""
+    from . import buildings  # noqa: F401 — registers "office"
+
+
+def scenario_names() -> List[str]:
+    """The registered scenario names, sorted."""
+    _ensure_registry()
+    return sorted(SCENARIOS)
+
+
+def _factory_for(name: str) -> Callable[..., Scenario]:
+    _ensure_registry()
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def make_scenario(name: str, **kwargs) -> Scenario:
+    """Build the scenario registered under ``name``.
+
+    ``kwargs`` are passed to the factory after validation against its
+    signature, so a typo (or a seed passed to a deterministic topology)
+    fails with a :class:`ConfigurationError` instead of a ``TypeError``
+    deep inside a worker process.
+    """
+    factory = _factory_for(name)
+    parameters = inspect.signature(factory).parameters
+    unknown = sorted(key for key in kwargs if key not in parameters)
+    if unknown:
+        raise ConfigurationError(
+            f"scenario {name!r} does not accept {unknown}; "
+            f"its parameters are {sorted(parameters)}"
+        )
+    return factory(**kwargs)
+
+
+def scenario_accepts(name: str, parameter: str) -> bool:
+    """Whether the factory registered under ``name`` takes ``parameter``."""
+    return parameter in inspect.signature(_factory_for(name)).parameters
+
+
+register_scenario("topology1", topology1)
+register_scenario("topology2", topology2)
+register_scenario("dense", dense_triangle)
+register_scenario("triple", ap_triple)
+register_scenario("random", random_enterprise)
 
 
 def _snr20_from_loss(path_loss_db: float, config: SimulationConfig) -> float:

@@ -26,6 +26,21 @@ class TestParser:
         assert args.direction == "away"
         assert args.duration == 50.0
 
+    def test_scenario_choices_come_from_registry(self):
+        from repro.sim.scenario import scenario_names
+
+        for name in scenario_names():
+            args = build_parser().parse_args(["scenario", name])
+            assert args.name == name
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scenarios is None
+        assert args.n_seeds == 5
+        assert args.workers == 1
+        assert args.algorithms == "acorn,kauffmann"
+        assert not args.resume
+
 
 class TestCommands:
     def test_scenario_topology1(self, capsys):
@@ -84,6 +99,65 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "mean throughput" in output
         assert "re-allocations" in output
+
+    def test_sweep_runs_and_summarises(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--scenario",
+                "topology1",
+                "--n-seeds",
+                "2",
+                "--algorithms",
+                "acorn",
+                "--out",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Sweep summary" in output
+        assert "2/2 jobs" in output
+        assert journal.exists()
+
+    def test_sweep_resume_reloads_journal(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        argv = [
+            "sweep",
+            "--scenario",
+            "topology1",
+            "--n-seeds",
+            "2",
+            "--algorithms",
+            "acorn",
+            "--out",
+            str(journal),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "2 reloaded from journal, 0 executed" in output
+
+    def test_repro_error_exits_2_with_one_line_message(self, capsys):
+        # topology1 is deterministic: it takes no scenario seed.
+        code = main(["scenario", "topology1", "--scenario-seed", "5"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_sweep_resume_spec_mismatch_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        base = ["sweep", "--scenario", "topology1", "--algorithms", "acorn",
+                "--out", str(journal)]
+        assert main(base + ["--n-seeds", "1"]) == 0
+        capsys.readouterr()
+        code = main(base + ["--n-seeds", "2", "--resume"])
+        assert code == 2
+        assert "different sweep" in capsys.readouterr().err
 
     def test_module_entry_point(self):
         import subprocess

@@ -1,0 +1,353 @@
+"""Tests for the repro.fleet sweep orchestration subsystem."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FleetError
+from repro.fleet import (
+    Job,
+    JobJournal,
+    JobResult,
+    ResultStore,
+    SweepSpec,
+    algorithm_names,
+    execute_job,
+    run_sweep,
+)
+from repro.sim.scenario import (
+    make_scenario,
+    random_enterprise,
+    scenario_accepts,
+    scenario_names,
+)
+
+
+class TestScenarioRegistry:
+    def test_names_include_all_builders(self):
+        names = scenario_names()
+        for name in ("topology1", "topology2", "dense", "random", "office", "triple"):
+            assert name in names
+
+    def test_make_scenario_resolves(self):
+        scenario = make_scenario("random", n_aps=3, n_clients=6, seed=9)
+        assert len(scenario.network.ap_ids) == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            make_scenario("nosuch")
+
+    def test_unknown_kwarg_raises(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            make_scenario("topology1", seed=3)
+
+    def test_scenario_accepts(self):
+        assert scenario_accepts("random", "seed")
+        assert not scenario_accepts("topology1", "seed")
+
+
+class TestSweepSpec:
+    def test_grid_expansion_count(self):
+        spec = SweepSpec(
+            scenarios=("topology1", "dense"),
+            seeds=(0, 1, 2),
+            algorithms=("acorn", "kauffmann"),
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 2 * 3 * 2
+        assert len({job.job_id for job in jobs}) == len(jobs)
+
+    def test_expansion_is_deterministic(self):
+        spec = SweepSpec(scenarios=("dense",), seeds=(0, 1))
+        assert spec.expand() == spec.expand()
+
+    def test_seed_streams_are_distinct_and_reproducible(self):
+        spec = SweepSpec(scenarios=("topology1",), seeds=(0, 1, 2))
+        jobs = spec.expand()
+        draws = [job.rng().integers(0, 2**63) for job in jobs]
+        assert len(set(draws)) == len(draws)
+        again = [job.rng().integers(0, 2**63) for job in spec.expand()]
+        assert draws == again
+
+    def test_seed_reaches_seeded_factories_only(self):
+        spec = SweepSpec(scenarios=("topology1", "random"), seeds=(7,))
+        jobs = spec.expand()
+        by_name = {job.scenario: job for job in jobs}
+        assert "seed" not in by_name["topology1"].scenario_kwargs
+        assert by_name["random"].scenario_kwargs["seed"] == 7
+
+    def test_explicit_jobs_appended(self):
+        spec = SweepSpec(
+            scenarios=("topology1",),
+            seeds=(0,),
+            explicit=({"scenario": "dense", "algorithm": "kauffmann", "seed": 4},),
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 2
+        assert jobs[-1].scenario == "dense"
+        assert jobs[-1].algorithm == "kauffmann"
+
+    def test_unknown_algorithm_rejected(self):
+        spec = SweepSpec(scenarios=("topology1",), algorithms=("nosuch",))
+        with pytest.raises(FleetError, match="unknown algorithm"):
+            spec.expand()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FleetError, match="unregistered scenario"):
+            SweepSpec(scenarios=("nosuch",)).expand()
+
+    def test_bad_traffic_rejected(self):
+        with pytest.raises(FleetError, match="traffic"):
+            SweepSpec(scenarios=("topology1",), traffic=("carrier-pigeon",))
+
+    def test_fingerprint_depends_on_axes(self):
+        base = SweepSpec(scenarios=("topology1",), seeds=(0,))
+        assert base.fingerprint() == SweepSpec(
+            scenarios=("topology1",), seeds=(0,)
+        ).fingerprint()
+        assert base.fingerprint() != SweepSpec(
+            scenarios=("topology1",), seeds=(1,)
+        ).fingerprint()
+        assert base.fingerprint() != SweepSpec(
+            scenarios=("topology1",), seeds=(0,), entropy=1
+        ).fingerprint()
+
+    def test_job_round_trips_through_dict(self):
+        job = SweepSpec(scenarios=("dense",), seeds=(3,)).expand()[0]
+        assert Job.from_dict(job.to_dict()) == job
+
+
+class TestSeedDeterminism:
+    """The satellite: explicit reproducibility guarantees."""
+
+    def test_random_enterprise_reproducible_per_seed(self):
+        first = random_enterprise(n_aps=4, n_clients=8, seed=13)
+        second = random_enterprise(n_aps=4, n_clients=8, seed=13)
+        assert first.network._snr_overrides == second.network._snr_overrides
+        assert first.network.explicit_conflicts == second.network.explicit_conflicts
+        assert first.client_order == second.client_order
+        different = random_enterprise(n_aps=4, n_clients=8, seed=14)
+        assert first.network._snr_overrides != different.network._snr_overrides
+
+    def test_same_spec_gives_bit_identical_journals(self, tmp_path):
+        spec = SweepSpec(
+            scenarios=("topology1", ("random", {"n_aps": 3, "n_clients": 6})),
+            seeds=(0, 1),
+        )
+        stores = []
+        payloads = []
+        for run in range(2):
+            path = tmp_path / f"run{run}.jsonl"
+            stores.append(run_sweep(spec, workers=1, journal_path=str(path)))
+            lines = path.read_text().splitlines()
+            records = [json.loads(line) for line in lines[1:]]
+            # Strip the wall-clock bookkeeping; everything else must match.
+            for record in records:
+                record.pop("elapsed_s")
+            payloads.append(sorted(records, key=lambda r: r["job_id"]))
+        assert payloads[0] == payloads[1]
+        assert stores[0].fingerprint() == stores[1].fingerprint()
+
+
+class TestExecuteJob:
+    def _job(self, **overrides):
+        spec = SweepSpec(scenarios=("topology1",), seeds=(0,))
+        job = spec.expand()[0]
+        return Job.from_dict({**job.to_dict(), **overrides})
+
+    def test_ok_result_metrics(self):
+        result = execute_job(self._job())
+        assert result.ok
+        assert result.metrics["total_mbps"] > 0
+        assert 0 < result.metrics["jain"] <= 1
+        assert result.metrics["n_aps"] == 2
+        assert result.per_ap_mbps.keys() == {"AP1", "AP2"}
+
+    def test_library_error_is_captured_not_raised(self):
+        result = execute_job(self._job(scenario_kwargs={"seed": 1}))
+        assert result.status == "failed"
+        assert "ConfigurationError" in result.error
+
+    def test_unknown_algorithm_is_failed(self):
+        result = execute_job(self._job(algorithm="nosuch"))
+        assert result.status == "failed"
+        assert "unknown algorithm" in result.error
+
+    def test_algorithm_registry_names(self):
+        names = algorithm_names()
+        for name in ("acorn", "acorn_refine", "kauffmann"):
+            assert name in names
+
+
+class TestJournal:
+    def test_load_missing_file(self, tmp_path):
+        header, records = JobJournal(tmp_path / "absent.jsonl").load()
+        assert header is None and records == []
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        spec = SweepSpec(scenarios=("topology1",), seeds=(0, 1))
+        run_sweep(spec, workers=1, journal_path=str(path))
+        full = path.read_text()
+        lines = full.splitlines(keepends=True)
+        path.write_text("".join(lines[:2]) + lines[2][:20])
+        journal = JobJournal(path)
+        header, records = journal.load()
+        assert header is not None
+        assert len(records) == 1
+        done = journal.completed_results(spec.fingerprint())
+        assert len(done) == 1
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"type": "header", "version": 1}\nGARBAGE\n{"type": "job"}\n')
+        with pytest.raises(FleetError, match="corrupt journal"):
+            JobJournal(path).load()
+
+    def test_mismatched_spec_fingerprint_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        run_sweep(
+            SweepSpec(scenarios=("topology1",), seeds=(0,)),
+            journal_path=str(path),
+        )
+        other = SweepSpec(scenarios=("topology1",), seeds=(1,))
+        with pytest.raises(FleetError, match="different sweep"):
+            JobJournal(path).completed_results(other.fingerprint())
+
+    def test_record_requires_start(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        with pytest.raises(FleetError, match="not open"):
+            journal.record(
+                JobResult(job_id="x", scenario="s", algorithm="a", traffic="udp", seed=0)
+            )
+
+
+class TestResultStore:
+    def _result(self, job_id, algorithm="acorn", total=100.0, status="ok"):
+        return JobResult(
+            job_id=job_id,
+            scenario="topology1",
+            algorithm=algorithm,
+            traffic="udp",
+            seed=0,
+            status=status,
+            metrics={"total_mbps": total, "jain": 0.8} if status == "ok" else {},
+        )
+
+    def test_fingerprint_is_order_independent(self):
+        a = ResultStore()
+        b = ResultStore()
+        first, second = self._result("01"), self._result("02", total=50.0)
+        a.add(first), a.add(second)
+        b.add(second), b.add(first)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_excludes_bookkeeping(self):
+        a, b = ResultStore(), ResultStore()
+        fast = self._result("01")
+        slow = self._result("01")
+        slow.elapsed_s, slow.attempts = 99.0, 3
+        a.add(fast), b.add(slow)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_summary_and_table(self):
+        store = ResultStore()
+        store.extend(
+            [
+                self._result("01", "acorn", 100.0),
+                self._result("02", "acorn", 120.0),
+                self._result("03", "kauffmann", 80.0),
+                self._result("04", "kauffmann", 0.0, status="failed"),
+            ]
+        )
+        summary = store.summary()
+        assert summary["acorn"]["mean"] == pytest.approx(110.0)
+        assert summary["kauffmann"]["n"] == 1
+        table = store.summary_table()
+        assert "acorn" in table and "kauffmann" in table
+        assert len(store.failed) == 1
+
+    def test_metric_ecdf(self):
+        store = ResultStore()
+        store.extend([self._result(f"{i:02d}", total=float(i)) for i in range(5)])
+        values, probabilities = store.metric_ecdf("total_mbps")
+        assert values.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert probabilities[-1] == 1.0
+
+    def test_json_round_trip(self, tmp_path):
+        store = ResultStore(spec_fingerprint="abc")
+        store.add(self._result("01"))
+        path = tmp_path / "store.json"
+        store.to_json(path)
+        loaded = ResultStore.from_json(path)
+        assert loaded.spec_fingerprint == "abc"
+        assert loaded.fingerprint() == store.fingerprint()
+
+
+class TestRunSweep:
+    SPEC = SweepSpec(
+        scenarios=("topology1", "dense"),
+        seeds=(0, 1),
+        algorithms=("acorn",),
+    )
+
+    def test_serial_and_parallel_are_bit_identical(self, tmp_path):
+        serial = run_sweep(self.SPEC, workers=1)
+        parallel = run_sweep(self.SPEC, workers=2)
+        assert len(serial) == len(parallel) == 4
+        assert serial.fingerprint() == parallel.fingerprint()
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        reference = run_sweep(self.SPEC, workers=1, journal_path=str(path))
+        lines = path.read_text().splitlines(keepends=True)
+        # Keep header + 2 records, leave a torn tail (SIGKILL mid-write).
+        path.write_text("".join(lines[:3]) + lines[3][:25])
+        executed = []
+        resumed = run_sweep(
+            self.SPEC,
+            workers=1,
+            journal_path=str(path),
+            resume=True,
+            progress=lambda result: executed.append(result.job_id),
+        )
+        assert resumed.reloaded == 2
+        assert len(executed) == 2
+        assert resumed.fingerprint() == reference.fingerprint()
+
+    def test_resume_with_complete_journal_recomputes_nothing(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        reference = run_sweep(self.SPEC, workers=1, journal_path=str(path))
+        executed = []
+        resumed = run_sweep(
+            self.SPEC,
+            workers=1,
+            journal_path=str(path),
+            resume=True,
+            progress=lambda result: executed.append(result.job_id),
+        )
+        assert executed == []
+        assert resumed.reloaded == 4
+        assert resumed.fingerprint() == reference.fingerprint()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(FleetError, match="workers"):
+            run_sweep(self.SPEC, workers=0)
+
+    def test_failed_jobs_are_recorded_not_raised(self):
+        spec = SweepSpec(
+            scenarios=("topology1",),
+            seeds=(0,),
+            explicit=(
+                {
+                    "scenario": "random",
+                    "scenario_kwargs": {"n_aps": 0, "n_clients": 1},
+                },
+            ),
+        )
+        store = run_sweep(spec, workers=1)
+        assert len(store) == 2
+        assert len(store.failed) == 1
+        assert store.failed[0].status == "failed"

@@ -1,0 +1,93 @@
+"""Fault-tolerance tests for the fleet executor: timeout, retry, crash.
+
+The helper algorithms are registered at import time so that forked
+worker processes inherit them (the documented contract of
+``register_algorithm``).
+"""
+
+import os
+import time
+
+from repro.fleet import SweepSpec, register_algorithm, run_sweep
+from repro.fleet.executor import _run_acorn
+
+_FLAKY_CALLS = []
+
+
+def _sleepy(scenario, traffic, rng):
+    """Outlive any reasonable per-job budget."""
+    time.sleep(30)
+
+
+def _flaky(scenario, traffic, rng):
+    """Crash on the first attempt, then behave (serial-only helper)."""
+    _FLAKY_CALLS.append(1)
+    if len(_FLAKY_CALLS) < 2:
+        raise RuntimeError("transient fault")
+    return _run_acorn(scenario, traffic, rng)
+
+
+def _suicidal(scenario, traffic, rng):
+    """Kill the worker process outright (breaks the pool)."""
+    os._exit(1)
+
+
+register_algorithm("test_sleepy", _sleepy)
+register_algorithm("test_flaky", _flaky)
+register_algorithm("test_suicidal", _suicidal)
+
+
+def _spec(algorithm):
+    return SweepSpec(scenarios=("topology1",), seeds=(0,), algorithms=(algorithm,))
+
+
+class TestTimeout:
+    def test_serial_timeout_with_bounded_retries(self):
+        start = time.perf_counter()
+        store = run_sweep(
+            _spec("test_sleepy"), workers=1, timeout_s=0.2, retries=2, backoff_s=0.01
+        )
+        elapsed = time.perf_counter() - start
+        result = store.results()[0]
+        assert result.status == "timeout"
+        assert result.attempts == 3
+        assert "wall-clock" in result.error
+        assert elapsed < 10.0  # three 0.2 s budgets, not three 30 s sleeps
+
+    def test_parallel_timeout(self):
+        store = run_sweep(
+            _spec("test_sleepy"), workers=2, timeout_s=0.2, retries=0, backoff_s=0.01
+        )
+        result = store.results()[0]
+        assert result.status == "timeout"
+        assert result.attempts == 1
+
+
+class TestRetry:
+    def test_transient_crash_is_retried_serially(self):
+        _FLAKY_CALLS.clear()
+        store = run_sweep(_spec("test_flaky"), workers=1, retries=2, backoff_s=0.01)
+        result = store.results()[0]
+        assert result.status == "ok"
+        assert result.attempts == 2
+
+    def test_exhausted_retries_record_the_crash(self):
+        _FLAKY_CALLS.clear()
+        store = run_sweep(_spec("test_sleepy"), workers=1, timeout_s=0.1, retries=0)
+        result = store.results()[0]
+        assert result.status == "timeout"
+        assert result.attempts == 1
+
+
+class TestBrokenPool:
+    def test_pool_is_rebuilt_after_worker_death(self):
+        spec = SweepSpec(
+            scenarios=("topology1",),
+            seeds=(0,),
+            algorithms=("test_suicidal", "acorn"),
+        )
+        store = run_sweep(spec, workers=2, retries=1, backoff_s=0.01)
+        assert len(store) == 2
+        by_algorithm = {r.algorithm: r for r in store.results()}
+        assert by_algorithm["test_suicidal"].status == "crashed"
+        assert by_algorithm["acorn"].status == "ok"
