@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Lint wall-clock benchmark: full-tree ``repro lint`` under a budget.
+
+Times repeated full runs of the static-analysis pass over ``src/repro``
+(the exact work the CI lint gate performs), reports per-run wall clock,
+per-file latency and findings count, and persists ``BENCH_lint.json``
+at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py           # measure only
+    PYTHONPATH=src python benchmarks/bench_lint.py --check   # gate the budget
+
+``--check`` fails (exit 1) when the best-of-N full-tree run exceeds the
+wall-clock budget (default 5 s) or when the tree is not clean — the
+lint is only useful as a pre-commit/CI gate while it stays effectively
+free to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.analysis.tables import render_table
+from repro.lint import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_lint.json"
+BUDGET_S = 5.0  # acceptance: best full-tree run under 5 s wall clock
+
+
+def measure(target: pathlib.Path, repeats: int) -> dict:
+    """Run the full lint ``repeats`` times and collect timings."""
+    runs = []
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = lint_paths([target])
+        runs.append(time.perf_counter() - start)
+    best = min(runs)
+    try:
+        shown = str(target.relative_to(REPO_ROOT))
+    except ValueError:
+        shown = str(target)
+    return {
+        "target": shown,
+        "repeats": repeats,
+        "files_checked": report.files_checked,
+        "findings": len(report.findings),
+        "waivers": report.waivers,
+        "wall_s_best": round(best, 4),
+        "wall_s_median": round(statistics.median(runs), 4),
+        "ms_per_file_best": round(1000.0 * best / max(report.files_checked, 1), 3),
+    }
+
+
+def check_budget(report: dict) -> list:
+    """The acceptance gate: clean tree, best run under the budget."""
+    failures = []
+    if report["wall_s_best"] > BUDGET_S:
+        failures.append(
+            f"best full-tree run {report['wall_s_best']:.2f} s over the "
+            f"{BUDGET_S:.1f} s budget"
+        )
+    if report["findings"]:
+        failures.append(f"tree is not lint-clean: {report['findings']} finding(s)")
+    return failures
+
+
+def main(argv=None) -> int:
+    """Benchmark entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target", type=pathlib.Path, default=DEFAULT_TARGET,
+        help="tree to lint (default src/repro)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="full runs to time (default 3)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail when the best run exceeds the {BUDGET_S:.0f} s budget "
+        "or the tree has findings",
+    )
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    print(f"lint benchmark ({args.target}, {args.repeats} repeats)", flush=True)
+    row = measure(args.target, max(1, args.repeats))
+    report = {
+        "benchmark": "lint",
+        "generated_by": "benchmarks/bench_lint.py",
+        "budget_s": BUDGET_S,
+        **row,
+    }
+    print(
+        render_table(
+            ["files", "findings", "waivers", "best (s)", "median (s)", "ms/file"],
+            [[
+                row["files_checked"], row["findings"], row["waivers"],
+                row["wall_s_best"], row["wall_s_median"], row["ms_per_file_best"],
+            ]],
+            float_format=".3f",
+            title=f"Full-tree repro lint (budget {BUDGET_S:.1f} s)",
+        )
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = check_budget(report)
+        if failures:
+            print("REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("ok: lint budget satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

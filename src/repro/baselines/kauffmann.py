@@ -28,7 +28,12 @@ from ..net.interference import build_interference_graph
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
 
-__all__ = ["kauffmann_choose_ap", "kauffmann_allocate", "KauffmannController"]
+__all__ = [
+    "kauffmann_choose_ap",
+    "kauffmann_allocate",
+    "KauffmannController",
+    "KauffmannResult",
+]
 
 
 def kauffmann_choose_ap(

@@ -13,6 +13,10 @@ Usage (via ``python -m repro``):
   evaluation sweep via :mod:`repro.fleet`, with ``--workers``,
   ``--timeout``, a JSONL checkpoint journal (``--out``) and
   ``--resume``.
+* ``lint`` — the :mod:`repro.lint` static invariant checker (RL001
+  determinism, RL002 units, RL003 errors, ...) over the given paths;
+  exit 0 clean, 1 findings, 2 internal error. ``--format json`` emits
+  a machine-readable report, ``--list-rules`` the rule catalogue.
 
 Any :class:`~repro.errors.ReproError` escaping a subcommand is reported
 as a one-line message on stderr with exit code 2.
@@ -168,6 +172,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress per-job progress lines",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the reprolint static invariant checker (repro.lint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help="report format: compiler-style text or a JSON document",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="print the rule catalogue and exit",
     )
     return parser
 
@@ -403,6 +436,31 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 1 if store.failed or len(store) < n_jobs else 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from .lint import lint_paths, rule_catalog
+
+    if args.list_rules:
+        print(
+            render_table(
+                ["rule", "title", "exempt modules"],
+                [
+                    [row["id"], row["title"], row["exempt"]]
+                    for row in rule_catalog()
+                ],
+                title="reprolint rules (see docs/LINT_RULES.md)",
+            )
+        )
+        return 0
+    select = (
+        [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+        if args.rules
+        else None
+    )
+    report = lint_paths(args.paths, select=select)
+    print(report.render(args.format))
+    return report.exit_code
+
+
 _HANDLERS = {
     "scenario": _run_scenario,
     "mobility": _run_mobility,
@@ -410,6 +468,7 @@ _HANDLERS = {
     "trace": _run_trace,
     "longrun": _run_longrun,
     "sweep": _run_sweep,
+    "lint": _run_lint,
 }
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .errors import ConfigurationError
+from .units import THERMAL_NOISE_DBM_PER_HZ
 
 __all__ = [
     "THERMAL_NOISE_DBM_PER_HZ",
@@ -27,8 +28,9 @@ __all__ = [
     "make_rng",
 ]
 
-# Johnson-Nyquist thermal noise density at ~290 K (dBm per Hz of bandwidth).
-THERMAL_NOISE_DBM_PER_HZ = -174.0
+# The Johnson-Nyquist thermal noise density (-174 dBm/Hz) now lives in
+# repro.units next to the Eq. 1 noise_floor_dbm helper; re-exported here
+# because every PHY call site historically reads it from the config.
 
 # Receiver noise figure added on top of the thermal floor. Commodity
 # 802.11n cards are typically 5-7 dB; the exact value shifts every SNR by a
@@ -108,6 +110,8 @@ class PathLossModel:
         if distance_m < 0:
             raise ConfigurationError(f"distance must be non-negative, got {distance_m}")
         d = max(distance_m, self.reference_m)
+        # reprolint: ok RL002 log-distance law scales the dB term by the
+        # path-loss exponent; this is not a plain power-ratio conversion
         loss = self.pl0_db + 10.0 * self.exponent * np.log10(d / self.reference_m)
         if self.shadowing_sigma_db > 0 and rng is not None:
             loss += rng.normal(0.0, self.shadowing_sigma_db)

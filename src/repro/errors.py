@@ -11,6 +11,8 @@ __all__ = [
     "AllocationError",
     "FleetError",
     "JobTimeout",
+    "UnitsError",
+    "LintError",
 ]
 
 
@@ -44,3 +46,19 @@ class FleetError(ReproError):
 
 class JobTimeout(FleetError):
     """A sweep job exceeded its per-job wall-clock budget."""
+
+
+class UnitsError(ReproError, ValueError):
+    """An invalid physical quantity was passed to a unit conversion.
+
+    Also a :class:`ValueError` so long-standing callers that guard the
+    conversions with ``except ValueError`` keep working.
+    """
+
+
+class LintError(ReproError):
+    """An internal ``repro lint`` failure (bad target, unknown rule).
+
+    Findings are *not* errors — they are data; this class marks runs
+    that could not complete at all (CLI exit code 2).
+    """

@@ -1,0 +1,60 @@
+"""reprolint — AST-based invariant checking for the reproduction.
+
+The test suite proves the code computes the right numbers today;
+``repro lint`` proves the *structure* that keeps them right is still in
+place: explicit RNG plumbing (bit-identical sweeps at any worker
+count), centralised dB/linear conversions (the 3 dB channel-bonding
+penalty survives refactors), the ``ReproError`` exit-code contract,
+no stray stdout, picklable registries and an honest ``__all__``.
+
+Run it as ``repro lint [paths...]`` (exit 0 clean / 1 findings /
+2 internal error) or programmatically::
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src/repro"])
+    for finding in report.findings:
+        ...  # finding.path, finding.line, finding.rule_id, finding.message
+
+Rules live in a registry (:data:`~repro.lint.rules.RULES`); see
+``docs/LINT_RULES.md`` for the catalogue and the waiver syntax.
+"""
+
+from .context import ModuleContext, module_path
+from .engine import (
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_waivers,
+)
+from .findings import Finding, render_json, render_text
+from .rules import (
+    PARSE_RULE_ID,
+    RULES,
+    WAIVER_RULE_ID,
+    LintRule,
+    default_rules,
+    register_rule,
+    rule_catalog,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "RULES",
+    "WAIVER_RULE_ID",
+    "PARSE_RULE_ID",
+    "default_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_path",
+    "parse_waivers",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+]

@@ -1,0 +1,58 @@
+"""Per-file context handed to every lint rule.
+
+A :class:`ModuleContext` bundles the parsed AST, the raw source lines
+and the file's waiver set, plus the *module path* — the path relative
+to the ``repro`` package (``"phy/noise.py"``, ``"cli.py"``) that rules
+use for their exemption lists. Files outside a ``repro`` package (e.g.
+test fixtures) fall back to their bare filename, which keeps the
+exemption machinery testable with temp directories.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import FrozenSet, List
+
+__all__ = ["ModuleContext", "module_path"]
+
+
+def module_path(path: "pathlib.Path") -> str:
+    """Path relative to the innermost ``repro`` package, as posix.
+
+    ``src/repro/phy/noise.py`` → ``"phy/noise.py"``; a file with no
+    ``repro`` ancestor directory reduces to its filename.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return path.name
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to check one source file.
+
+    Attributes
+    ----------
+    path:
+        The file as given on the command line (used in findings).
+    module:
+        Package-relative path (see :func:`module_path`) used by rule
+        exemption lists.
+    tree:
+        The parsed ``ast.Module``.
+    lines:
+        Raw source split into lines (1-indexed via ``lines[line - 1]``).
+    waived:
+        Rule ids waived for this whole file by
+        ``# reprolint: ok RLxxx <reason>`` comments.
+    """
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    waived: FrozenSet[str] = frozenset()

@@ -1,0 +1,235 @@
+"""The reprolint engine: file discovery, waivers, rule dispatch.
+
+``lint_paths`` walks the requested files/directories, parses each
+module once, extracts its per-file waivers and runs every registered
+rule over it, returning a :class:`LintReport`. The report's
+``exit_code`` implements the CLI contract: 0 clean, 1 findings;
+internal errors (unreadable paths, bad rule selections) raise
+:class:`~repro.errors.LintError`, which the CLI maps to exit code 2.
+
+Waiver syntax — one comment anywhere in a file waives the named rules
+for that whole file, and the reason is mandatory::
+
+    # reprolint: ok RL002 deliberate PHY-layer spectral math (Fig 1)
+
+Malformed waivers (unknown rule id, missing reason) are themselves
+reported as RL000 findings rather than silently honoured.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import LintError
+from .context import ModuleContext, module_path
+from .findings import Finding, render_json, render_text
+from .rules import PARSE_RULE_ID, RULES, WAIVER_RULE_ID, LintRule, default_rules
+
+__all__ = [
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+    "parse_waivers",
+]
+
+_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<verb>[A-Za-z-]+)"
+    r"(?P<rules>(?:\s*,?\s*RL\d{3})*)"
+    r"(?P<reason>[^#]*)$"
+)
+_RULE_ID_RE = re.compile(r"RL\d{3}")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run.
+
+    ``exit_code`` is 0 when clean and 1 when any finding was produced;
+    internal failures never reach a report (they raise
+    :class:`~repro.errors.LintError` instead, exit code 2 in the CLI).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    waivers: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """The ``repro lint`` process exit code for this report."""
+        return 1 if self.findings else 0
+
+    def render(self, fmt: str = "text") -> str:
+        """The report as ``text`` (file:line rows) or ``json``."""
+        if fmt == "json":
+            return render_json(self.findings, self.files_checked)
+        if fmt != "text":
+            raise LintError(f"unknown lint output format {fmt!r}")
+        body = render_text(self.findings)
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            if self.findings
+            else f"clean: {self.files_checked} file(s), {self.waivers} waiver(s)"
+        )
+        return f"{body}\n{summary}" if body else summary
+
+
+def iter_python_files(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: Set[pathlib.Path] = set()
+    ordered: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            candidates: Iterable[pathlib.Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"lint target {path} does not exist")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def _comment_tokens(source: str) -> Iterable[Tuple[int, str]]:
+    """(line, text) for every comment token; docstrings never match."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable tail; ast.parse will surface it as RL900.
+        return
+
+
+def parse_waivers(source: str, path: str) -> Tuple[Set[str], List[Finding], int]:
+    """Extract per-file waivers; malformed ones become RL000 findings.
+
+    Only genuine comment tokens are considered (a docstring describing
+    the waiver syntax is not a waiver). Returns ``(waived rule ids,
+    RL000 findings, well-formed count)``.
+    """
+    waived: Set[str] = set()
+    findings: List[Finding] = []
+    count = 0
+    for lineno, line in _comment_tokens(source):
+        if "reprolint" not in line:
+            continue
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        verb = match.group("verb")
+        rule_ids = _RULE_ID_RE.findall(match.group("rules") or "")
+        reason = (match.group("reason") or "").strip(" \t,:;-")
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+        problem = None
+        if verb != "ok":
+            problem = f"unknown reprolint directive {verb!r}; expected 'ok'"
+        elif not rule_ids:
+            problem = "waiver names no RLxxx rule id"
+        elif not reason:
+            problem = "waiver must state a reason after the rule id(s)"
+        elif unknown:
+            problem = f"waiver names unknown rule(s): {', '.join(unknown)}"
+        if problem is not None:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=0,
+                    rule_id=WAIVER_RULE_ID,
+                    message=problem,
+                )
+            )
+            continue
+        waived.update(rule_ids)
+        count += 1
+    return waived, findings, count
+
+
+def _lint_module(
+    source: str, path: str, rules: Sequence[LintRule]
+) -> Tuple[List[Finding], int]:
+    """Lint one module's source; returns (findings, waiver count)."""
+    lines = source.splitlines()
+    waived, findings, count = parse_waivers(source, path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=max(0, (exc.offset or 1) - 1),
+                rule_id=PARSE_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return findings, count
+    module = ModuleContext(
+        path=path,
+        module=module_path(pathlib.Path(path)),
+        tree=tree,
+        lines=lines,
+        waived=frozenset(waived),
+    )
+    for rule in rules:
+        if rule.applies_to(module):
+            findings.extend(rule.run(module))
+    return findings, count
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; the unit used by tests and fixtures."""
+    active = list(default_rules()) if rules is None else list(rules)
+    findings, _ = _lint_module(source, path, active)
+    return findings
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[LintRule]:
+    if select is None:
+        return default_rules()
+    chosen: List[LintRule] = []
+    for rule_id in select:
+        if rule_id not in RULES:
+            raise LintError(
+                f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULES))}"
+            )
+        chosen.append(RULES[rule_id])
+    return chosen
+
+
+def lint_paths(
+    paths: Sequence[pathlib.Path],
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories with the registered (or selected) rules."""
+    rules = _select_rules(select)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        findings, count = _lint_module(str(source), str(path), rules)
+        report.findings.extend(findings)
+        report.waivers += count
+        report.files_checked += 1
+    report.findings.sort()
+    return report

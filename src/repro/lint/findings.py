@@ -1,0 +1,73 @@
+"""Finding records and output formatting for :mod:`repro.lint`.
+
+A :class:`Finding` pins one rule violation to a ``file:line`` location.
+Findings render either as classic compiler-style text lines
+(``file:line: RLxxx message``) or as a JSON document for tooling
+(``repro lint --format json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import LintError
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Sort order is (path, line, col, rule_id) so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if not self.rule_id.startswith("RL"):
+            raise LintError(f"rule ids must look like RLxxx, got {self.rule_id!r}")
+
+    def render(self) -> str:
+        """The compiler-style one-line form: ``file:line: RLxxx message``."""
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form used by ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """All findings as newline-joined ``file:line: RLxxx message`` rows."""
+    return "\n".join(finding.render() for finding in sorted(findings))
+
+
+def render_json(findings: Sequence[Finding], files_checked: int = 0) -> str:
+    """A JSON report: per-rule counts plus the full sorted finding list."""
+    counts: Dict[str, int] = {}
+    ordered: List[Finding] = sorted(findings)
+    for finding in ordered:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "total": len(ordered),
+            "counts": counts,
+            "findings": [finding.to_dict() for finding in ordered],
+        },
+        indent=2,
+        sort_keys=True,
+    )

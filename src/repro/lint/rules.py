@@ -1,0 +1,698 @@
+"""The reprolint rule set and its pluggable registry.
+
+Every rule is a :class:`LintRule` subclass registered into
+:data:`RULES` via :func:`register_rule`; ``repro lint`` runs whatever
+the registry holds, so downstream projects (or tests) can add rules
+without touching the engine. Each rule carries its identifier, a
+one-line title and a rationale paragraph — ``docs/LINT_RULES.md`` is
+the human-readable mirror of this module.
+
+The shipped rules guard the invariants the reproduction's correctness
+rests on: explicit-``Generator`` determinism (RL001), dB/linear unit
+hygiene around the paper's 3 dB channel-bonding penalty (RL002), the
+``ReproError`` exit-code contract (RL003), logging discipline (RL004),
+fleet-registry picklability (RL005) and public-API/``__all__``
+consistency (RL006).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Set
+
+from ..errors import LintError
+from .context import ModuleContext
+from .findings import Finding
+
+__all__ = [
+    "LintRule",
+    "DeterminismRule",
+    "UnitsRule",
+    "ErrorDisciplineRule",
+    "NoPrintRule",
+    "RegistryPicklabilityRule",
+    "PublicApiRule",
+    "RULES",
+    "register_rule",
+    "default_rules",
+    "rule_catalog",
+    "WAIVER_RULE_ID",
+    "PARSE_RULE_ID",
+]
+
+# Meta findings emitted by the engine itself (not waivable, not rules).
+WAIVER_RULE_ID = "RL000"  # malformed / unknown waiver comment
+PARSE_RULE_ID = "RL900"  # file failed to parse
+
+
+class LintRule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`title`, :attr:`rationale`
+    and optionally :attr:`exempt_modules` (package-relative paths the
+    rule never applies to), then implement :meth:`run`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    exempt_modules: FrozenSet[str] = frozenset()
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule checks ``module`` at all (exemptions/waivers)."""
+        return (
+            module.module not in self.exempt_modules
+            and self.rule_id not in module.waived
+        )
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module; must be overridden."""
+        raise LintError(f"rule {type(self).__name__} does not implement run()")
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def _tail_name(node: ast.AST) -> str:
+    """The last identifier of a ``Name``/``Attribute`` chain ('' otherwise)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+# ----------------------------------------------------------------------
+# RL001 — determinism
+
+
+class DeterminismRule(LintRule):
+    """Forbid hidden global randomness and wall-clock reads in library code."""
+
+    rule_id = "RL001"
+    title = "no global random state or wall-clock reads"
+    rationale = (
+        "Sweep results must be bit-identical at any worker count, so every "
+        "random draw must flow through an explicitly plumbed "
+        "numpy.random.Generator (seeded via SeedSequence.spawn) and no "
+        "library path may branch on wall-clock time. Legacy np.random.* "
+        "module-level calls, the stdlib random module, time.time() and "
+        "datetime.now() all smuggle ambient state past the seed plumbing."
+    )
+    exempt_modules = frozenset({"cli.py", "fleet/executor.py"})
+
+    # np.random attributes that construct explicit, plumb-able state.
+    _ALLOWED_NP_RANDOM = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+        }
+    )
+    _CLOCK_TIME_ATTRS = frozenset({"time", "time_ns"})
+    _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Track import aliases, then flag the offending imports/calls."""
+        numpy_aliases: Set[str] = set()
+        np_random_aliases: Set[str] = set()
+        stdlib_random_aliases: Set[str] = set()
+        time_aliases: Set[str] = set()
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name.split(".")[0] == "numpy":
+                        numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        stdlib_random_aliases.add(bound)
+                    elif alias.name == "time":
+                        time_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(alias.asname or alias.name)
+                elif node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from the stdlib random module; plumb an "
+                        "explicit np.random.Generator instead",
+                    )
+                elif node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in self._CLOCK_TIME_ATTRS:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"from time import {alias.name} reads the "
+                                "wall clock; results must not depend on it",
+                            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # random.<anything>(...) via the stdlib module.
+            if isinstance(base, ast.Name) and base.id in stdlib_random_aliases:
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{func.attr}() uses hidden global state; plumb "
+                    "an explicit np.random.Generator instead",
+                )
+            # np.random.<legacy>(...) — module-level global RNG.
+            elif self._is_np_random(base, numpy_aliases, np_random_aliases):
+                if func.attr not in self._ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{func.attr}() mutates numpy's global "
+                        "RNG; use an explicit np.random.Generator",
+                    )
+            # time.time() / time.time_ns().
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in time_aliases
+                and func.attr in self._CLOCK_TIME_ATTRS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"time.{func.attr}() reads the wall clock; library "
+                    "results must not depend on it",
+                )
+            # datetime.now()/utcnow()/today() and date.today().
+            elif func.attr in self._DATETIME_ATTRS and _tail_name(base) in (
+                "datetime",
+                "date",
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{_tail_name(base)}.{func.attr}() reads the wall "
+                    "clock; library results must not depend on it",
+                )
+
+    def _is_np_random(
+        self,
+        base: ast.AST,
+        numpy_aliases: Set[str],
+        np_random_aliases: Set[str],
+    ) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id in np_random_aliases
+        return (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+        )
+
+
+# ----------------------------------------------------------------------
+# RL002 — unit hygiene
+
+
+class UnitsRule(LintRule):
+    """Flag inline dB/linear conversion arithmetic outside repro.units."""
+
+    rule_id = "RL002"
+    title = "no inline dB/linear conversion arithmetic"
+    rationale = (
+        "The paper's headline number — the ~3 dB per-subcarrier SNR penalty "
+        "of channel bonding (Sec 3.1) — is one log-base or factor-of-10 slip "
+        "away from silently corrupting every downstream comparison. All "
+        "dB/linear conversions therefore live in repro.units (linear_to_db, "
+        "db_to_linear, mw_to_dbm, noise_floor_dbm, ...); deliberate "
+        "PHY-layer spectral math carries a per-file waiver."
+    )
+    exempt_modules = frozenset({"units.py"})
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Match ``10*log10(x)`` / ``10**(x/10)`` shapes in expressions."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Mult):
+                pairs = ((node.left, node.right), (node.right, node.left))
+                for factor, other in pairs:
+                    if self._has_db_factor(factor) and self._is_log10_call(other):
+                        yield self.finding(
+                            module,
+                            node,
+                            "inline linear→dB conversion (10*log10); use "
+                            "repro.units.linear_to_db and friends",
+                        )
+                        break
+            elif isinstance(node.op, ast.Pow):
+                if self._is_db_constant(node.left) and self._divides_by_db(
+                    node.right
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "inline dB→linear conversion (10**(x/10)); use "
+                        "repro.units.db_to_linear and friends",
+                    )
+
+    @staticmethod
+    def _is_db_constant(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and type(node.value) in (int, float)
+            and float(node.value) in (10.0, 20.0)
+        )
+
+    def _has_db_factor(self, node: ast.AST) -> bool:
+        """True for 10/20 constants, possibly buried in a product chain."""
+        if self._is_db_constant(node):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            return self._has_db_factor(node.left) or self._has_db_factor(
+                node.right
+            )
+        return False
+
+    @staticmethod
+    def _is_log10_call(node: ast.AST) -> bool:
+        return isinstance(node, ast.Call) and _tail_name(node.func) == "log10"
+
+    def _divides_by_db(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Div)
+            and self._is_db_constant(node.right)
+        )
+
+
+# ----------------------------------------------------------------------
+# RL003 — error discipline
+
+
+class ErrorDisciplineRule(LintRule):
+    """Library code must raise ReproError subclasses, not builtins."""
+
+    rule_id = "RL003"
+    title = "raise ReproError subclasses, not bare builtins"
+    rationale = (
+        "The CLI maps any ReproError to a one-line message and exit code 2; "
+        "a bare ValueError escaping library code instead produces a "
+        "traceback and an uncontracted exit status, and the fleet executor "
+        "uses the ReproError/other split to decide retryability. Raising "
+        "from the repro.errors hierarchy keeps both contracts airtight."
+    )
+    exempt_modules = frozenset({"cli.py"})
+
+    _BANNED = frozenset(
+        {
+            "Exception",
+            "ValueError",
+            "RuntimeError",
+            "TypeError",
+            "KeyError",
+            "IndexError",
+            "ArithmeticError",
+            "ZeroDivisionError",
+        }
+    )
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag ``raise <builtin>`` statements (bare re-raise is fine)."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = ""
+            if isinstance(exc, ast.Call):
+                name = _tail_name(exc.func)
+            elif isinstance(exc, (ast.Name, ast.Attribute)):
+                name = _tail_name(exc)
+            if name in self._BANNED:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raise {name} in library code; raise a ReproError "
+                    "subclass from repro.errors instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL004 — no print in library modules
+
+
+class NoPrintRule(LintRule):
+    """Library modules must not print; only the CLI owns stdout."""
+
+    rule_id = "RL004"
+    title = "no print() outside the CLI"
+    rationale = (
+        "Sweep workers run dozens of jobs in parallel; a stray print() in "
+        "library code interleaves garbage into the CLI's table output and "
+        "the JSONL journal stream. All user-facing output flows through "
+        "the CLI layer, which is exempt."
+    )
+    exempt_modules = frozenset({"cli.py", "__main__.py"})
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag direct ``print(...)`` calls."""
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code; return data and let the CLI "
+                    "render it",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL005 — registry picklability
+
+
+class RegistryPicklabilityRule(LintRule):
+    """Registered runners/factories must be module-level functions."""
+
+    rule_id = "RL005"
+    title = "registry entries must be module-level callables"
+    rationale = (
+        "The fleet executor ships registered algorithm runners and scenario "
+        "factories into worker processes; pickling resolves functions by "
+        "module-qualified name, so lambdas and nested defs break the moment "
+        "a spawn-context pool (or a journal replay) needs them. "
+        "Registration must also execute at import time, or re-importing "
+        "workers will not see the entry."
+    )
+
+    _REGISTRARS = frozenset(
+        {"register_algorithm", "register_scenario", "register_rule"}
+    )
+    _REGISTRY_NAMES = frozenset({"ALGORITHMS", "SCENARIOS", "RULES"})
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Check register_*() call sites and registry dict literals."""
+        nested_defs = self._nested_def_names(module.tree)
+        module_lambdas = {
+            target.id
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Lambda)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+
+        for scope, node in self._walk_with_scope(module.tree):
+            if isinstance(node, ast.Call):
+                name = _tail_name(node.func)
+                if name not in self._REGISTRARS:
+                    continue
+                if scope is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() inside {scope!r}; registration must run "
+                        "at import time so worker processes see it",
+                    )
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{name}() given a lambda; lambdas cannot be "
+                            "pickled by reference — use a module-level def",
+                        )
+                    elif isinstance(arg, ast.Name) and (
+                        arg.id in nested_defs or arg.id in module_lambdas
+                    ):
+                        kind = "nested def" if arg.id in nested_defs else "lambda"
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{name}() given {arg.id!r}, a {kind}; worker "
+                            "processes cannot unpickle it — use a "
+                            "module-level def",
+                        )
+            elif (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Dict)
+                and any(
+                    isinstance(t, ast.Name) and t.id in self._REGISTRY_NAMES
+                    for t in node.targets
+                )
+            ):
+                for value in node.value.values:
+                    if isinstance(value, ast.Lambda):
+                        yield self.finding(
+                            module,
+                            value,
+                            "registry dict holds a lambda; worker processes "
+                            "cannot unpickle it — use a module-level def",
+                        )
+
+    @staticmethod
+    def _nested_def_names(tree: ast.Module) -> Set[str]:
+        """Names of functions defined inside other functions."""
+        nested: Set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is outer:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return nested
+
+    @staticmethod
+    def _walk_with_scope(tree: ast.Module):
+        """Yield (enclosing function name or None, node) pairs."""
+        stack: List = [(None, tree)]
+        while stack:
+            scope, node = stack.pop()
+            yield scope, node
+            child_scope = scope
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_scope = node.name
+            for child in ast.iter_child_nodes(node):
+                stack.append((child_scope, child))
+
+
+# ----------------------------------------------------------------------
+# RL006 — public API / __all__ consistency
+
+
+class PublicApiRule(LintRule):
+    """Modules declare __all__; it matches the public surface; docs exist."""
+
+    rule_id = "RL006"
+    title = "__all__ present, consistent, and documented"
+    rationale = (
+        "docs/API.md and the star-import surface are generated from what "
+        "modules claim to export. A module without __all__, an __all__ "
+        "naming something undefined, or a public def missing from __all__ "
+        "silently drifts the documented API away from the real one."
+    )
+    exempt_modules = frozenset({"__main__.py"})
+
+    def run(self, module: ModuleContext) -> Iterator[Finding]:
+        """Cross-check __all__ against module-level bindings and docstrings."""
+        tree = module.tree
+        if not ast.get_docstring(tree):
+            yield self.finding(module, tree, "module lacks a docstring")
+
+        all_node, all_names = self._find_all(tree)
+        if all_node is None:
+            yield self.finding(
+                module,
+                tree,
+                "module does not declare __all__; the public surface is "
+                "undefined",
+            )
+            return
+        if all_names is None:
+            yield self.finding(
+                module,
+                all_node,
+                "__all__ is not a literal list/tuple of strings; it cannot "
+                "be checked statically",
+            )
+            return
+
+        bound = self._module_bindings(tree)
+        for name in all_names:
+            if name not in bound and name != "__version__":
+                yield self.finding(
+                    module,
+                    all_node,
+                    f"__all__ names {name!r} which is not defined at module "
+                    "level",
+                )
+
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if stmt.name.startswith("_"):
+                    continue
+                if stmt.name not in all_names:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"public {stmt.name!r} is missing from __all__ "
+                        "(export it or rename it with a leading underscore)",
+                    )
+                if not ast.get_docstring(stmt):
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"public {stmt.name!r} lacks a docstring",
+                    )
+
+    @staticmethod
+    def _find_all(tree: ast.Module):
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        if isinstance(stmt.value, (ast.List, ast.Tuple)) and all(
+                            isinstance(e, ast.Constant) and isinstance(e.value, str)
+                            for e in stmt.value.elts
+                        ):
+                            return stmt, [e.value for e in stmt.value.elts]
+                        return stmt, None
+        return None, None
+
+    @staticmethod
+    def _module_bindings(tree: ast.Module) -> Set[str]:
+        bound: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for element in target.elts:
+                            if isinstance(element, ast.Name):
+                                bound.add(element.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # Conditional definitions (TYPE_CHECKING blocks, fallbacks).
+                for sub in ast.walk(stmt):
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        bound.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if isinstance(target, ast.Name):
+                                bound.add(target.id)
+        return bound
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+
+RULES: Dict[str, LintRule] = {}
+
+
+def register_rule(rule: LintRule) -> None:
+    """Add ``rule`` to the registry keyed by its ``rule_id``.
+
+    Re-registering the identical object is a no-op; binding an existing
+    id to a different rule is an error, mirroring the scenario and
+    algorithm registries.
+    """
+    if not rule.rule_id:
+        raise LintError(f"rule {type(rule).__name__} has no rule_id")
+    existing = RULES.get(rule.rule_id)
+    if existing is not None and existing is not rule:
+        raise LintError(f"rule id {rule.rule_id!r} is already registered")
+    RULES[rule.rule_id] = rule
+
+
+def default_rules() -> List[LintRule]:
+    """All registered rules, sorted by id."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Id/title/rationale/exemptions rows for docs and ``--list-rules``."""
+    rows = [
+        {
+            "id": rule.rule_id,
+            "title": rule.title,
+            "rationale": rule.rationale,
+            "exempt": ", ".join(sorted(rule.exempt_modules)) or "-",
+        }
+        for rule in default_rules()
+    ]
+    rows.append(
+        {
+            "id": WAIVER_RULE_ID,
+            "title": "malformed reprolint waiver comment",
+            "rationale": (
+                "A waiver that names an unknown rule or omits its reason is "
+                "a silent hole in the gate; the engine reports it instead "
+                "of honouring it."
+            ),
+            "exempt": "-",
+        }
+    )
+    rows.append(
+        {
+            "id": PARSE_RULE_ID,
+            "title": "file failed to parse",
+            "rationale": (
+                "A file the ast module cannot parse cannot be checked; the "
+                "engine surfaces the SyntaxError as a finding rather than "
+                "aborting the whole run."
+            ),
+            "exempt": "-",
+        }
+    )
+    return sorted(rows, key=lambda row: row["id"])
+
+
+register_rule(DeterminismRule())
+register_rule(UnitsRule())
+register_rule(ErrorDisciplineRule())
+register_rule(NoPrintRule())
+register_rule(RegistryPicklabilityRule())
+register_rule(PublicApiRule())

@@ -15,7 +15,14 @@ from ..errors import ConfigurationError
 from ..phy.modulation import BPSK, QAM16, QAM64, QPSK, Modulation
 from ..phy.ofdm import OfdmParams, nominal_data_rate_mbps
 
-__all__ = ["McsEntry", "MCS_TABLE", "mcs_by_index", "modcod_label"]
+__all__ = [
+    "McsEntry",
+    "MCS_TABLE",
+    "mcs_by_index",
+    "modcod_label",
+    "single_stream_entries",
+    "dual_stream_entries",
+]
 
 # (modulation, code rate) ladder for MCS 0..7; MCS 8..15 repeat it with
 # two spatial streams.

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..config import make_rng
 from ..errors import ConfigurationError
+from ..units import db_to_linear, linear_to_db
 
 __all__ = [
     "awgn",
@@ -40,7 +41,7 @@ def awgn(
         raise ConfigurationError("cannot add noise to an empty signal")
     rng = make_rng(rng)
     signal_power = float(np.mean(np.abs(samples) ** 2))
-    noise_power = signal_power / 10.0 ** (snr_db / 10.0)
+    noise_power = signal_power / db_to_linear(snr_db)
     scale = np.sqrt(noise_power / 2.0)
     noise = scale * (
         rng.standard_normal(samples.shape) + 1j * rng.standard_normal(samples.shape)
@@ -60,7 +61,7 @@ def measure_snr_db(clean: np.ndarray, noisy: np.ndarray) -> float:
     noise_power = float(np.mean(np.abs(noisy - clean) ** 2))
     if noise_power == 0:
         return float("inf")
-    return 10.0 * np.log10(signal_power / noise_power)
+    return float(linear_to_db(signal_power / noise_power))
 
 
 def rayleigh_subcarrier_gains(
@@ -93,7 +94,7 @@ def rician_subcarrier_gains(
             f"subcarrier count must be positive, got {n_subcarriers}"
         )
     rng = make_rng(rng)
-    k = 10.0 ** (k_factor_db / 10.0)
+    k = db_to_linear(k_factor_db)
     los = np.sqrt(k / (k + 1.0))
     scatter_scale = np.sqrt(1.0 / (2.0 * (k + 1.0)))
     scatter = scatter_scale * (

@@ -22,6 +22,7 @@ import numpy as np
 from scipy.special import comb
 
 from ..errors import ConfigurationError
+from ..units import linear_to_db
 
 __all__ = [
     "ConvolutionalCode",
@@ -104,7 +105,7 @@ class ConvolutionalCode:
 
     def coding_gain_db(self) -> float:
         """Asymptotic hard-decision coding gain, 10*log10(R * dfree / 2)."""
-        return 10.0 * math.log10(self.rate * self.free_distance / 2.0)
+        return linear_to_db(self.rate * self.free_distance / 2.0)
 
 
 # Published distance spectra for the K=7 (133,171) code and its standard

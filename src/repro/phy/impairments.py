@@ -17,6 +17,7 @@ import numpy as np
 
 from ..config import make_rng
 from ..errors import ConfigurationError
+from ..units import db_to_amplitude
 
 __all__ = [
     "apply_cfo",
@@ -84,7 +85,7 @@ def apply_iq_imbalance(
     β = 0.
     """
     samples = np.asarray(samples, dtype=complex)
-    g = 10.0 ** (gain_imbalance_db / 20.0)
+    g = db_to_amplitude(gain_imbalance_db)
     phi = np.deg2rad(phase_imbalance_deg)
     alpha = (1.0 + g * np.exp(-1j * phi)) / 2.0
     beta = (1.0 - g * np.exp(1j * phi)) / 2.0

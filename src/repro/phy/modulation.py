@@ -19,6 +19,7 @@ import numpy as np
 from scipy.special import erfc
 
 from ..errors import ConfigurationError
+from ..units import db_to_linear
 
 __all__ = [
     "Modulation",
@@ -182,7 +183,7 @@ class Modulation:
 
     def ber_db(self, snr_db: "float | np.ndarray") -> "float | np.ndarray":
         """Bit error probability at Es/N0 given in dB."""
-        return self.ber(10.0 ** (np.asarray(snr_db, dtype=float) / 10.0))
+        return self.ber(db_to_linear(np.asarray(snr_db, dtype=float)))
 
 
 BPSK = Modulation(

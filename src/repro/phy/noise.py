@@ -9,10 +9,10 @@ bonding is active. This module centralises that arithmetic.
 
 from __future__ import annotations
 
-import math
-
-from ..config import DEFAULT_NOISE_FIGURE_DB, THERMAL_NOISE_DBM_PER_HZ
+from ..config import DEFAULT_NOISE_FIGURE_DB
 from ..errors import ConfigurationError
+from ..units import linear_to_db
+from ..units import noise_floor_dbm as thermal_noise_floor_dbm
 from .ofdm import OFDM_20MHZ, OFDM_40MHZ, OfdmParams
 
 __all__ = [
@@ -31,7 +31,7 @@ def noise_floor_dbm(
     """Total noise power in dBm over ``bandwidth_hz`` (Eq. 1 + noise figure)."""
     if bandwidth_hz <= 0:
         raise ConfigurationError(f"bandwidth must be positive, got {bandwidth_hz}")
-    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+    return thermal_noise_floor_dbm(bandwidth_hz) + noise_figure_db
 
 
 def noise_per_subcarrier_dbm(
@@ -52,7 +52,7 @@ def subcarrier_energy_offset_db(params: OfdmParams) -> float:
     With total power fixed, energy per subcarrier scales as 1/n_used.
     For HT40 (114 used vs 56 used) this is ~-3.1 dB — the Fig 1 PSD drop.
     """
-    return -10.0 * math.log10(params.n_used / OFDM_20MHZ.n_used)
+    return -linear_to_db(params.n_used / OFDM_20MHZ.n_used)
 
 
 def cb_snr_penalty_db() -> float:
@@ -89,5 +89,5 @@ def snr_per_subcarrier_db(
     ~3 dB bonding penalty materialises.
     """
     received_dbm = tx_power_dbm - path_loss_db
-    per_subcarrier_signal = received_dbm - 10.0 * math.log10(params.n_used)
+    per_subcarrier_signal = received_dbm - linear_to_db(params.n_used)
     return per_subcarrier_signal - noise_per_subcarrier_dbm(params, noise_figure_db)

@@ -13,6 +13,7 @@ import numpy as np
 from scipy import signal as _signal
 
 from ..errors import ConfigurationError
+from ..units import linear_to_db
 
 __all__ = ["welch_psd", "per_subcarrier_power_db", "occupied_band_level_db"]
 
@@ -40,8 +41,7 @@ def welch_psd(
         scaling="density",
     )
     order = np.argsort(freqs)
-    psd = np.maximum(psd[order], 1e-30)
-    return freqs[order], 10.0 * np.log10(psd)
+    return freqs[order], linear_to_db(psd[order])
 
 
 def per_subcarrier_power_db(
@@ -57,7 +57,7 @@ def per_subcarrier_power_db(
             f"expected non-empty (n_symbols, n_subcarriers), got {symbols.shape}"
         )
     power = np.mean(np.abs(symbols) ** 2, axis=0)
-    return 10.0 * np.log10(np.maximum(power, 1e-30))
+    return linear_to_db(power)
 
 
 def occupied_band_level_db(

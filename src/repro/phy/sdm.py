@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..units import linear_to_db
 
 __all__ = ["SdmChannel", "sdm_encode", "sdm_decode"]
 
@@ -75,7 +76,7 @@ class SdmChannel:
         """
         inverse = self.zero_forcing_matrix()
         row_gains = np.sum(np.abs(inverse) ** 2, axis=1)
-        return float(10.0 * np.log10(np.max(row_gains)))
+        return float(linear_to_db(float(np.max(row_gains))))
 
 
 def sdm_decode(received: np.ndarray, channel: SdmChannel) -> np.ndarray:

@@ -2,36 +2,58 @@
 
 Radio engineering mixes logarithmic (dB, dBm) and linear (mW, W, plain
 ratios) quantities freely; keeping the conversions in one tested module
-avoids the classic factor-of-10 and log-base bugs.
+avoids the classic factor-of-10 and log-base bugs. ``repro lint``
+(rule RL002) enforces this centralisation: inline ``10*log10`` /
+``10**(x/10)`` arithmetic outside this module is a lint finding unless
+the file carries an explicit waiver.
 
 Conventions
 -----------
 * ``dBm`` is absolute power referenced to 1 milliwatt.
 * ``dB`` is a dimensionless power *ratio* on a logarithmic scale.
 * SNR values are power ratios: ``snr_db = 10 * log10(snr_linear)``.
+* :func:`linear_to_db` and :func:`db_to_linear` are array-aware: given
+  a numpy array (or any sequence) they convert element-wise and return
+  an ``ndarray``; given a plain scalar they return a ``float``.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Union
+
+import numpy as np
+
+from .errors import UnitsError
 
 __all__ = [
+    "THERMAL_NOISE_DBM_PER_HZ",
     "dbm_to_mw",
     "mw_to_dbm",
     "dbm_to_watts",
     "watts_to_dbm",
     "db_to_linear",
     "linear_to_db",
+    "db_to_amplitude",
+    "amplitude_to_db",
     "add_powers_dbm",
+    "noise_floor_dbm",
     "mhz_to_hz",
     "hz_to_mhz",
     "mbps_to_bps",
     "bps_to_mbps",
 ]
 
+# Johnson-Nyquist thermal noise density at ~290 K (dBm per Hz of
+# bandwidth) — the "-174" of the paper's Eq. 1.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
 # Smallest power we will express in dBm; avoids ``log10(0)`` blowing up
 # when a simulated signal is entirely absent.
 _MIN_POWER_MW = 1e-30
+
+# Scalar in, float out; array-like in, ndarray out.
+ArrayLike = Union[float, "np.ndarray"]
 
 
 def dbm_to_mw(power_dbm: float) -> float:
@@ -44,11 +66,11 @@ def mw_to_dbm(power_mw: float) -> float:
 
     Raises
     ------
-    ValueError
+    UnitsError
         If ``power_mw`` is negative; physical powers cannot be negative.
     """
     if power_mw < 0:
-        raise ValueError(f"power must be non-negative, got {power_mw} mW")
+        raise UnitsError(f"power must be non-negative, got {power_mw} mW")
     return 10.0 * math.log10(max(power_mw, _MIN_POWER_MW))
 
 
@@ -60,26 +82,73 @@ def dbm_to_watts(power_dbm: float) -> float:
 def watts_to_dbm(power_w: float) -> float:
     """Convert an absolute power from watts to dBm."""
     if power_w < 0:
-        raise ValueError(f"power must be non-negative, got {power_w} W")
+        raise UnitsError(f"power must be non-negative, got {power_w} W")
     return mw_to_dbm(power_w * 1e3)
 
 
-def db_to_linear(ratio_db: float) -> float:
-    """Convert a power ratio from decibels to a linear ratio."""
-    return 10.0 ** (ratio_db / 10.0)
+def db_to_linear(ratio_db: ArrayLike) -> ArrayLike:
+    """Convert power ratio(s) from decibels to linear ratio(s).
+
+    Scalars convert through :mod:`math` and return ``float``; anything
+    array-like converts element-wise and returns an ``ndarray``.
+    """
+    if isinstance(ratio_db, (int, float)):
+        return 10.0 ** (float(ratio_db) / 10.0)
+    values = np.asarray(ratio_db, dtype=float)
+    return np.power(10.0, values / 10.0)
 
 
-def linear_to_db(ratio: float) -> float:
-    """Convert a linear power ratio to decibels.
+def linear_to_db(ratio: ArrayLike) -> ArrayLike:
+    """Convert linear power ratio(s) to decibels (element-wise on arrays).
+
+    Ratios below :data:`_MIN_POWER_MW` are clamped rather than allowed
+    to produce ``-inf``.
 
     Raises
     ------
-    ValueError
-        If ``ratio`` is negative.
+    UnitsError
+        If any ratio is negative.
     """
-    if ratio < 0:
-        raise ValueError(f"ratio must be non-negative, got {ratio}")
-    return 10.0 * math.log10(max(ratio, _MIN_POWER_MW))
+    if isinstance(ratio, (int, float)):
+        if ratio < 0:
+            raise UnitsError(f"ratio must be non-negative, got {ratio}")
+        return 10.0 * math.log10(max(float(ratio), _MIN_POWER_MW))
+    values = np.asarray(ratio, dtype=float)
+    if np.any(values < 0):
+        raise UnitsError("ratios must be non-negative")
+    return 10.0 * np.log10(np.maximum(values, _MIN_POWER_MW))
+
+
+def db_to_amplitude(gain_db: ArrayLike) -> ArrayLike:
+    """Convert amplitude (voltage) gain(s) from decibels to linear.
+
+    Amplitude quantities use the factor-of-20 convention:
+    ``amplitude = 10 ** (gain_db / 20)``. IQ gain imbalance and field
+    strengths are amplitudes; SNR and powers are not — use
+    :func:`db_to_linear` for those.
+    """
+    if isinstance(gain_db, (int, float)):
+        return 10.0 ** (float(gain_db) / 20.0)
+    values = np.asarray(gain_db, dtype=float)
+    return np.power(10.0, values / 20.0)
+
+
+def amplitude_to_db(amplitude: ArrayLike) -> ArrayLike:
+    """Convert linear amplitude (voltage) gain(s) to decibels.
+
+    Raises
+    ------
+    UnitsError
+        If any amplitude is negative.
+    """
+    if isinstance(amplitude, (int, float)):
+        if amplitude < 0:
+            raise UnitsError(f"amplitude must be non-negative, got {amplitude}")
+        return 20.0 * math.log10(max(float(amplitude), _MIN_POWER_MW))
+    values = np.asarray(amplitude, dtype=float)
+    if np.any(values < 0):
+        raise UnitsError("amplitudes must be non-negative")
+    return 20.0 * np.log10(np.maximum(values, _MIN_POWER_MW))
 
 
 def add_powers_dbm(*powers_dbm: float) -> float:
@@ -89,9 +158,29 @@ def add_powers_dbm(*powers_dbm: float) -> float:
     ``add_powers_dbm(-90, -90)`` is ``-87`` (3 dB up), not ``-180``.
     """
     if not powers_dbm:
-        raise ValueError("at least one power value is required")
+        raise UnitsError("at least one power value is required")
     total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
     return mw_to_dbm(total_mw)
+
+
+def noise_floor_dbm(bandwidth_hz: float) -> float:
+    """Thermal noise power in dBm over ``bandwidth_hz`` — the paper's Eq. 1.
+
+    ``N (dBm) = -174 + 10 * log10(B)``: doubling the bandwidth (20 →
+    40 MHz channel bonding) raises the floor by ~3 dB. Receiver noise
+    figure is *not* included; :func:`repro.phy.noise.noise_floor_dbm`
+    layers it on top.
+
+    Raises
+    ------
+    UnitsError
+        If ``bandwidth_hz`` is not positive.
+    """
+    if bandwidth_hz <= 0:
+        raise UnitsError(
+            f"bandwidth must be positive, got {bandwidth_hz} Hz"
+        )
+    return THERMAL_NOISE_DBM_PER_HZ + linear_to_db(bandwidth_hz)
 
 
 def mhz_to_hz(freq_mhz: float) -> float:

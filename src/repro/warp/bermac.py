@@ -24,7 +24,12 @@ from ..phy.ofdm import OfdmParams
 from .receiver import OfdmReceiver
 from .waveform import OfdmTransmitter
 
-__all__ = ["PacketTrialResult", "BerMeasurement", "BerMacHarness"]
+__all__ = [
+    "PacketTrialResult",
+    "BerMeasurement",
+    "BerMacHarness",
+    "time_snr_offset_db",
+]
 
 
 @dataclass
@@ -80,6 +85,8 @@ def time_snr_offset_db(params: OfdmParams) -> float:
     white across all of them, so the time-domain SNR sits
     ``10*log10(n_used/fft_size)`` below the per-subcarrier SNR.
     """
+    # reprolint: ok RL002 mirrors the WARP DSP reference's inline
+    # subcarrier duty-cycle arithmetic, kept literal for comparability
     return 10.0 * math.log10(params.n_used / params.fft_size)
 
 

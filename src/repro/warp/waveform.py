@@ -19,7 +19,7 @@ from ..errors import ConfigurationError
 from ..phy.modulation import Modulation, QPSK
 from ..phy.ofdm import OfdmParams
 
-__all__ = ["BARKER_13", "OfdmFrame", "OfdmTransmitter"]
+__all__ = ["BARKER_13", "OfdmFrame", "OfdmTransmitter", "preamble_sequence"]
 
 # Barker-13 code: ideal autocorrelation sidelobes, used for frame timing.
 BARKER_13 = np.array(
