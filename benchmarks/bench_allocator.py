@@ -1,12 +1,16 @@
 #!/usr/bin/env python
-"""Allocator benchmark: full-evaluation path vs the incremental engine.
+"""Allocator benchmark: full vs delta vs compiled allocator paths.
 
-Runs Algorithm 2 over the scalability scenario ladder twice per size —
-once through the :class:`~repro.net.DeltaEvaluator` (the production
-path) and once through the ``EvaluateFn`` adapter that re-evaluates the
-whole network per candidate (the pre-engine behaviour) — and persists
-the wall-clock times, evaluation counts, speedups, and engine counters
-as ``BENCH_allocator.json`` at the repository root.
+Runs Algorithm 2 over the scalability scenario ladder three times per
+size — through the array-backed :class:`~repro.net.CompiledEvaluator`
+(the production path), through the dict-keyed
+:class:`~repro.net.DeltaEvaluator` (the oracle path), and through the
+``EvaluateFn`` adapter that re-evaluates the whole network per
+candidate (the pre-engine behaviour) — and persists the wall-clock
+times, evaluation counts, speedups, and engine counters as
+``BENCH_allocator.json`` at the repository root. Compilation happens
+outside the timed region (recorded separately as ``compile_ms``),
+matching how the controller and the fleet amortise it.
 
 Usage::
 
@@ -15,12 +19,12 @@ Usage::
 
 ``--check`` re-measures and fails (exit 1) when the new numbers regress
 more than 20% against the checked-in baseline: evaluation counts are
-deterministic and must not grow, and the full/delta speedup — a
-machine-relative ratio, so it survives slow CI runners — must hold at
-every size with at least 10 APs, never dipping under the hard 5x
-acceptance floor. Both runs also assert that the engine's trajectory
-and aggregate match the full path exactly, so the gate doubles as an
-end-to-end equivalence smoke test.
+deterministic and must not grow, and the speedups — machine-relative
+ratios, so they survive slow CI runners — must hold: full/delta at
+least 5x at every size with at least 10 APs, and compiled/delta at
+least 3x at 24+ APs. All three runs must produce bit-identical
+allocations, so the gate doubles as an end-to-end equivalence smoke
+test.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ import time
 from repro import Acorn
 from repro.core import allocate_channels
 from repro.core.allocation import greedy_allocate, random_assignment
-from repro.net import DeltaEvaluator, ThroughputModel
+from repro.net import CompiledNetwork, DeltaEvaluator, ThroughputModel
 from repro.sim.scenario import random_enterprise
 
 SIZES = ((4, 10), (6, 15), (8, 20), (10, 24), (16, 40), (24, 60))
@@ -44,6 +48,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_allocator.json"
 SPEEDUP_FLOOR = 5.0  # acceptance: >= 5x at n >= 10 APs
 SPEEDUP_FLOOR_MIN_APS = 10
+COMPILED_SPEEDUP_FLOOR = 3.0  # acceptance: compiled >= 3x delta at n >= 24 APs
+COMPILED_SPEEDUP_FLOOR_MIN_APS = 24
 REGRESSION_TOLERANCE = 0.20
 
 
@@ -62,9 +68,10 @@ def measure_size(n_aps: int, n_clients: int, repeats: int = 3) -> dict:
     start = random_assignment(ap_ids, scenario.plan, START_SEED)
 
     # Warm the model's rate-decision cache and module-level PHY tables
-    # so neither timed path is billed for the shared warm-up.
+    # so no timed path is billed for the shared warm-up.
     allocate_channels(
-        scenario.network, graph, scenario.plan, model, initial=start, rng=START_SEED
+        scenario.network, graph, scenario.plan, model,
+        initial=start, rng=START_SEED, engine_mode="delta",
     )
 
     delta_s = float("inf")
@@ -73,9 +80,36 @@ def measure_size(n_aps: int, n_clients: int, repeats: int = 3) -> dict:
         t0 = time.perf_counter()
         result = allocate_channels(
             scenario.network, graph, scenario.plan, model,
-            initial=start, rng=START_SEED,
+            initial=start, rng=START_SEED, engine_mode="delta",
         )
         delta_s = min(delta_s, time.perf_counter() - t0)
+
+    # The compiled path: arrays built once outside the timed region
+    # (recorded as compile_ms), as the controller and fleet amortise it.
+    t0 = time.perf_counter()
+    compiled = CompiledNetwork.compile(scenario.network, graph, scenario.plan)
+    compiled.rate_tables(model)
+    compile_s = time.perf_counter() - t0
+    compiled_s = float("inf")
+    compiled_result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        compiled_result = allocate_channels(
+            scenario.network, graph, scenario.plan, model,
+            initial=start, rng=START_SEED, engine_mode="compiled",
+            compiled=compiled,
+        )
+        compiled_s = min(compiled_s, time.perf_counter() - t0)
+
+    if (
+        compiled_result.assignment != result.assignment
+        or compiled_result.aggregate_mbps != result.aggregate_mbps
+        or compiled_result.evaluations != result.evaluations
+    ):
+        raise SystemExit(
+            f"equivalence violated at ({n_aps}, {n_clients}): "
+            "compiled and delta paths diverged"
+        )
 
     # One instrumented engine run to capture the work counters.
     engine = DeltaEvaluator(scenario.network, graph, model=model, assignment={})
@@ -114,7 +148,10 @@ def measure_size(n_aps: int, n_clients: int, repeats: int = 3) -> dict:
         "aggregate_mbps": round(result.aggregate_mbps, 6),
         "full_ms": round(full_s * 1e3, 3),
         "delta_ms": round(delta_s * 1e3, 3),
+        "compiled_ms": round(compiled_s * 1e3, 3),
+        "compile_ms": round(compile_s * 1e3, 3),
         "speedup": round(full_s / delta_s, 2),
+        "speedup_vs_delta": round(delta_s / compiled_s, 2),
         "engine": stats,
     }
 
@@ -127,6 +164,8 @@ def run_benchmark() -> dict:
         print(
             f"  {n_aps:3d} APs / {n_clients:3d} clients: "
             f"full {row['full_ms']:9.1f} ms, delta {row['delta_ms']:8.1f} ms, "
+            f"compiled {row['compiled_ms']:7.1f} ms "
+            f"({row['speedup_vs_delta']:.1f}x delta), "
             f"speedup {row['speedup']:5.1f}x, {row['evaluations']} evals",
             flush=True,
         )
@@ -137,6 +176,10 @@ def run_benchmark() -> dict:
         "speedup_floor": {
             "min_aps": SPEEDUP_FLOOR_MIN_APS,
             "speedup": SPEEDUP_FLOOR,
+        },
+        "compiled_speedup_floor": {
+            "min_aps": COMPILED_SPEEDUP_FLOOR_MIN_APS,
+            "speedup_vs_delta": COMPILED_SPEEDUP_FLOOR,
         },
         "sizes": rows,
     }
@@ -156,6 +199,14 @@ def check_against_baseline(report: dict, baseline: dict) -> list:
                 f"{label}: speedup {row['speedup']:.1f}x under the "
                 f"{SPEEDUP_FLOOR:.0f}x acceptance floor"
             )
+        if (
+            row["n_aps"] >= COMPILED_SPEEDUP_FLOOR_MIN_APS
+            and row["speedup_vs_delta"] < COMPILED_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"{label}: compiled speedup {row['speedup_vs_delta']:.1f}x "
+                f"under the {COMPILED_SPEEDUP_FLOOR:.0f}x acceptance floor"
+            )
         old = old_by_size.get(key)
         if old is None:
             continue
@@ -170,6 +221,17 @@ def check_against_baseline(report: dict, baseline: dict) -> list:
                 failures.append(
                     f"{label}: speedup regressed {old['speedup']:.1f}x -> "
                     f"{row['speedup']:.1f}x (>20%)"
+                )
+        if (
+            row["n_aps"] >= COMPILED_SPEEDUP_FLOOR_MIN_APS
+            and "speedup_vs_delta" in old
+        ):
+            allowed = old["speedup_vs_delta"] * (1 - REGRESSION_TOLERANCE)
+            if row["speedup_vs_delta"] < allowed:
+                failures.append(
+                    f"{label}: compiled speedup regressed "
+                    f"{old['speedup_vs_delta']:.1f}x -> "
+                    f"{row['speedup_vs_delta']:.1f}x (>20%)"
                 )
     return failures
 
@@ -197,7 +259,10 @@ def main(argv=None) -> int:
         )
         return 1
 
-    print("allocator benchmark (full-evaluation vs delta engine)", flush=True)
+    print(
+        "allocator benchmark (full evaluation vs delta vs compiled engines)",
+        flush=True,
+    )
     report = run_benchmark()
 
     if args.check:

@@ -25,6 +25,7 @@ from ..errors import AssociationError, ChannelError
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator
 from ..net.interference import build_interference_graph
+from ..net.state import CompiledEvaluator, CompiledNetwork
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
 
@@ -43,25 +44,30 @@ def kauffmann_choose_ap(
     client_id: str,
     candidates: Optional[Sequence[str]] = None,
     min_snr20_db: "float | None" = None,
+    compiled: Optional[CompiledNetwork] = None,
 ) -> Tuple[str, Dict[str, float]]:
     """Delay-based *selfish* association: maximise own X_w,u.
 
     Equivalent to minimising the client's own expected transmission
-    delay share, the criterion of [17].
+    delay share, the criterion of [17]. ``compiled`` serves candidate
+    scans and beacon delays from frozen arrays (same floats).
     """
     if min_snr20_db is None:
         from ..link.adaptation import serviceability_floor_db
 
         min_snr20_db = serviceability_floor_db(model.packet_bytes)
     if candidates is None:
-        candidates = network.candidate_aps(client_id, min_snr20_db)
+        source = network if compiled is None else compiled
+        candidates = tuple(source.candidate_aps(client_id, min_snr20_db))
     else:
         candidates = tuple(candidates)
     if not candidates:
         raise AssociationError(f"client {client_id!r} has no candidate APs")
     scores = {}
     for ap_id in candidates:
-        beacon = gather_beacon(network, graph, model, ap_id, client_id)
+        beacon = gather_beacon(
+            network, graph, model, ap_id, client_id, compiled=compiled
+        )
         scores[ap_id] = throughput_with_mbps(beacon, model)
     best = max(candidates, key=lambda ap_id: (scores[ap_id],))
     return best, scores
@@ -72,7 +78,8 @@ def kauffmann_allocate(
     graph: nx.Graph,
     plan: ChannelPlan,
     passes: int = 2,
-    engine: Optional[DeltaEvaluator] = None,
+    engine: "Optional[DeltaEvaluator | CompiledEvaluator]" = None,
+    compiled: Optional[CompiledNetwork] = None,
 ) -> Dict[str, Channel]:
     """Greedy interference-minimising allocation of 40 MHz channels only.
 
@@ -81,9 +88,11 @@ def kauffmann_allocate(
     interference" proxy at equal transmit powers). A second pass lets
     early APs react to later choices, mirroring the iterative scanning
     of [17]. Conflict counting goes through the evaluation engine's
-    stateless :meth:`~repro.net.evaluator.DeltaEvaluator.contention_load`
-    oracle, so the binary conflict test and cached neighbour lists are
-    shared with every other allocator.
+    stateless ``contention_load`` oracle — by default the compiled
+    array-backed engine (:class:`~repro.net.state.CompiledEvaluator`),
+    whose counts are bit-identical to the dict engine's — so the binary
+    conflict test and cached neighbour lists are shared with every
+    other allocator.
     """
     palette = plan.channels_40()
     if not palette:
@@ -91,7 +100,9 @@ def kauffmann_allocate(
             "the plan offers no 40 MHz channels; [17]-greedy needs them"
         )
     if engine is None:
-        engine = DeltaEvaluator(network, graph, assignment={})
+        if compiled is None:
+            compiled = CompiledNetwork.compile(network, graph, plan)
+        engine = CompiledEvaluator(compiled, assignment={})
     assignment: Dict[str, Channel] = {}
     for _ in range(max(1, passes)):
         for ap_id in network.ap_ids:

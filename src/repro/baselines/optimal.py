@@ -17,6 +17,7 @@ import networkx as nx
 from ..errors import AllocationError
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator
+from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -49,9 +50,21 @@ def brute_force_allocation(
             f"search space {search_size} exceeds {_MAX_SEARCH_SIZE}; "
             "use the greedy allocator for instances this large"
         )
-    engine = DeltaEvaluator(
-        network, graph, model=model, assignment={}, associations=associations
-    )
+    engine: "DeltaEvaluator | CompiledEvaluator"
+    if supports_compiled(model):
+        engine = CompiledEvaluator(
+            CompiledNetwork.compile(network, graph, plan),
+            model=model,
+            assignment={},
+            associations=(
+                associations if associations is not None
+                else network.associations
+            ),
+        )
+    else:
+        engine = DeltaEvaluator(
+            network, graph, model=model, assignment={}, associations=associations
+        )
     best_assignment: Optional[Dict[str, Channel]] = None
     best_value = float("-inf")
     value = float("-inf")

@@ -23,6 +23,7 @@ from ..config import ACORN_EPSILON, make_rng
 from ..errors import AllocationError
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator, FullEvaluationEngine
+from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -132,6 +133,10 @@ def greedy_allocate(
     missing = [ap for ap in ap_ids if ap not in initial]
     if missing:
         raise AllocationError(f"initial assignment misses APs {missing}")
+    if isinstance(engine, CompiledEvaluator):
+        return _greedy_allocate_compiled(
+            ap_ids, palette, initial, epsilon, max_rounds, engine
+        )
     aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
     evaluations = 1
     history: List[SwitchEvent] = []
@@ -184,6 +189,94 @@ def greedy_allocate(
     )
 
 
+def _greedy_allocate_compiled(
+    ap_ids: Sequence[str],
+    palette: Sequence[Channel],
+    initial: Mapping[str, Channel],
+    epsilon: float,
+    max_rounds: int,
+    engine: CompiledEvaluator,
+) -> AllocationResult:
+    """Algorithm 2 on integer indices — the compiled-engine hot loop.
+
+    Control flow, scan order, tie-breaking and stop thresholds are
+    copied verbatim from the string loop above; only the id space
+    changes (AP/channel indices into the compiled arrays). Channel
+    interning is injective on :class:`Channel` equality, so the
+    index comparison ``candidate == current`` skips exactly the
+    candidates the string loop skips and every trial value is the
+    identical float — the two loops make the same decisions bit for
+    bit.
+    """
+    ap_index = engine.compiled.ap_index
+    positions: List[int] = []
+    for ap_id in ap_ids:
+        index = ap_index.get(ap_id)
+        if index is None:
+            raise AllocationError(f"unknown AP {ap_id!r}")
+        positions.append(index)
+    palette_indices = [engine.intern(channel) for channel in palette]
+    aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
+    evaluations = 1
+    history: List[SwitchEvent] = []
+    rounds = 0
+    trial_index = engine.trial_index
+    channel_index_of = engine.channel_index_of
+    for round_index in range(max_rounds):
+        rounds = round_index + 1
+        round_start = aggregate
+        remaining = list(range(len(ap_ids)))
+        improved_this_round = False
+        while remaining:
+            best: Optional[Tuple[float, int, int, float]] = None
+            best_rank_floor = None
+            for position in remaining:
+                ap = positions[position]
+                current = channel_index_of(ap)
+                for candidate_position, candidate in enumerate(palette_indices):
+                    if candidate == current:
+                        continue  # a no-op switch can never win
+                    candidate_aggregate = trial_index(ap, candidate)
+                    evaluations += 1
+                    rank = candidate_aggregate - aggregate
+                    if best_rank_floor is None or rank > best_rank_floor:
+                        best = (rank, position, candidate_position, candidate)
+                        best_rank_floor = rank + 1e-12
+            if best is None:
+                break  # palette offers nothing but no-ops
+            rank, winner_position, channel_position, channel_index = best
+            if rank <= 1e-9:
+                # No remaining AP can improve the aggregate: the round ends.
+                break
+            winner = ap_ids[winner_position]
+            channel = palette[channel_position]
+            aggregate = engine.commit_index(
+                positions[winner_position], channel_index
+            )
+            remaining.remove(winner_position)
+            improved_this_round = True
+            history.append(
+                SwitchEvent(
+                    ap_id=winner,
+                    channel=channel,
+                    aggregate_mbps=aggregate,
+                    round_index=round_index,
+                )
+            )
+        if not improved_this_round:
+            break
+        if round_start > 0 and aggregate < epsilon * round_start:
+            # Less than (epsilon - 1) relative growth this round: stop.
+            break
+    return AllocationResult(
+        assignment=engine.assignment,
+        aggregate_mbps=aggregate,
+        rounds=rounds,
+        evaluations=evaluations,
+        history=history,
+    )
+
+
 def allocate_channels(
     network: Network,
     graph: nx.Graph,
@@ -196,6 +289,8 @@ def allocate_channels(
     rng: "np.random.Generator | int | None" = None,
     decision_model: Optional[ThroughputModel] = None,
     restarts: int = 1,
+    engine_mode: str = "auto",
+    compiled: Optional[CompiledNetwork] = None,
 ) -> AllocationResult:
     """Run Algorithm 2 against a network.
 
@@ -217,24 +312,57 @@ def allocate_channels(
         the best outcome. 1 reproduces the paper's single run; the
         gradient-descent analogy in §4.2 ("can be trapped in a local
         extremum") is exactly what extra starts hedge against.
+    engine_mode:
+        ``"auto"`` (default) scores switches on the compiled
+        array-backed engine whenever the deciding model supports it
+        (:func:`repro.net.state.supports_compiled`), falling back to
+        the dict-keyed delta engine otherwise; ``"compiled"`` and
+        ``"delta"`` force one engine. Both engines are bit-equivalent,
+        so the mode changes speed, never the result.
+    compiled:
+        A pre-built :class:`~repro.net.state.CompiledNetwork` for this
+        (network, graph, plan); avoids recompiling when the caller
+        already holds one (e.g. the controller or a fleet worker).
 
-    All starts share one :class:`~repro.net.evaluator.DeltaEvaluator`,
-    so the expensive per-(AP, channel) link mathematics is paid once and
-    every restart after the first runs on warm caches.
+    All starts share one evaluation engine, so the expensive
+    per-(AP, channel) link mathematics is paid once and every restart
+    after the first runs on warm caches.
     """
     if restarts < 1:
         raise AllocationError(f"restarts must be >= 1, got {restarts}")
+    if engine_mode not in ("auto", "compiled", "delta"):
+        raise AllocationError(
+            f"engine_mode must be 'auto', 'compiled' or 'delta', "
+            f"got {engine_mode!r}"
+        )
     ap_ids = network.ap_ids
     generator = make_rng(rng)
     deciding = decision_model if decision_model is not None else model
 
-    engine = DeltaEvaluator(
-        network,
-        graph,
-        model=deciding,
-        assignment={},
-        associations=associations,
+    use_compiled = engine_mode == "compiled" or (
+        engine_mode == "auto" and supports_compiled(deciding)
     )
+    engine: "DeltaEvaluator | CompiledEvaluator"
+    if use_compiled:
+        if compiled is None:
+            compiled = CompiledNetwork.compile(network, graph, plan)
+        engine = CompiledEvaluator(
+            compiled,
+            model=deciding,
+            assignment={},
+            associations=(
+                associations if associations is not None
+                else network.associations
+            ),
+        )
+    else:
+        engine = DeltaEvaluator(
+            network,
+            graph,
+            model=deciding,
+            assignment={},
+            associations=associations,
+        )
 
     starts: List[Mapping[str, Channel]] = []
     if initial is not None:

@@ -21,6 +21,7 @@ import networkx as nx
 
 from ..errors import AssociationError
 from ..net.channels import Channel
+from ..net.state import CompiledNetwork
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 from .beacon import Beacon, gather_beacon
@@ -89,19 +90,25 @@ def choose_ap(
     candidates: Optional[Sequence[str]] = None,
     assignment: Optional[Mapping[str, Channel]] = None,
     min_snr20_db: "float | None" = None,
+    compiled: Optional[CompiledNetwork] = None,
 ) -> Tuple[str, Dict[str, float]]:
     """Run Algorithm 1 for one client.
 
     Returns the chosen AP and the per-candidate utilities (useful for
     reports). Raises :class:`AssociationError` when the client hears no
     AP at a workable SNR.
+
+    ``compiled`` (a :class:`~repro.net.state.CompiledNetwork` of the
+    same network) serves the candidate scan and the beacon delay
+    lookups from frozen arrays — same floats, same choice.
     """
     if min_snr20_db is None:
         from ..link.adaptation import serviceability_floor_db
 
         min_snr20_db = serviceability_floor_db(model.packet_bytes)
     if candidates is None:
-        candidates = network.candidate_aps(client_id, min_snr20_db)
+        source = network if compiled is None else compiled
+        candidates = tuple(source.candidate_aps(client_id, min_snr20_db))
     else:
         candidates = tuple(candidates)
     if not candidates:
@@ -109,7 +116,10 @@ def choose_ap(
             f"client {client_id!r} has no candidate APs"
         )
     beacons = {
-        ap_id: gather_beacon(network, graph, model, ap_id, client_id, assignment)
+        ap_id: gather_beacon(
+            network, graph, model, ap_id, client_id, assignment,
+            compiled=compiled,
+        )
         for ap_id in candidates
     }
     utilities = {

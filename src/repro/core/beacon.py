@@ -18,6 +18,7 @@ from ..errors import AssociationError
 from ..mac.airtime import medium_share
 from ..net.channels import Channel
 from ..net.interference import contenders
+from ..net.state import CompiledNetwork, supports_compiled
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -60,12 +61,20 @@ def gather_beacon(
     ap_id: str,
     client_id: str,
     assignment: Optional[Mapping[str, Channel]] = None,
+    compiled: Optional[CompiledNetwork] = None,
 ) -> Beacon:
     """Compute the beacon AP ``ap_id`` would expose to client ``client_id``.
 
     The prospective client is counted into K_i and ATD_i exactly as the
     paper specifies (K_j "was defined as the number of clients associated
     with AP j, including client u").
+
+    When ``compiled`` is given (and the model supports the compiled
+    fast path) per-client delays are read from its precomputed rate
+    tables — the identical floats the live computation derives, since
+    the tables were filled through the same rate-decision cache. The
+    live ``network`` still supplies the association state, which churns
+    while the compiled arrays stay valid (they only freeze topology).
     """
     merged: Dict[str, Channel] = dict(network.channel_assignment)
     if assignment:
@@ -78,11 +87,29 @@ def gather_beacon(
     existing = [
         client for client in network.clients_of(ap_id) if client != client_id
     ]
-    delays = {
-        client: model.client_delay(network, ap_id, client, channel)
-        for client in existing
-    }
-    prospective = model.client_delay(network, ap_id, client_id, channel)
+    if compiled is not None and supports_compiled(model):
+        tables = compiled.rate_tables(model)
+        width = 1 if channel.is_bonded else 0
+        ap = compiled.ap_index[ap_id]
+        delay_row = tables.delay[width][ap]
+        client_index = compiled.client_index
+
+        def _delay(client: str) -> float:
+            index = client_index.get(client)
+            if index is None or not compiled.has_link[ap, index]:
+                # Unknown or linkless client: the live path raises the
+                # proper topology error.
+                return model.client_delay(network, ap_id, client, channel)
+            return delay_row[index]
+
+        delays = {client: _delay(client) for client in existing}
+        prospective = _delay(client_id)
+    else:
+        delays = {
+            client: model.client_delay(network, ap_id, client, channel)
+            for client in existing
+        }
+        prospective = model.client_delay(network, ap_id, client_id, channel)
     m_share = medium_share(len(contenders(graph, ap_id, merged)))
     return Beacon(
         ap_id=ap_id,

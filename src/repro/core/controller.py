@@ -24,6 +24,7 @@ from ..errors import AssociationError
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator
 from ..net.interference import build_interference_graph
+from ..net.state import CompiledNetwork, supports_compiled
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
 from .allocation import AllocationResult, allocate_channels, random_assignment
@@ -90,6 +91,7 @@ class Acorn:
         self.min_snr20_db = min_snr20_db
         self._rng = make_rng(seed)
         self._graph: Optional[nx.Graph] = None
+        self._compiled: Optional[CompiledNetwork] = None
 
     # ------------------------------------------------------------------
     @property
@@ -99,9 +101,25 @@ class Acorn:
             self._graph = build_interference_graph(self.network)
         return self._graph
 
+    @property
+    def compiled(self) -> CompiledNetwork:
+        """The current network frozen into compiled arrays (on demand).
+
+        Shares the graph cache's lifetime: any change that invalidates
+        the interference graph (association churn moves footnote-5
+        edges) also drops the compiled snapshot, so the arrays can never
+        go stale relative to the graph the allocator scores against.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledNetwork.compile(
+                self.network, self.graph, self.plan
+            )
+        return self._compiled
+
     def invalidate_graph(self) -> None:
         """Force an interference-graph rebuild (topology/assoc changed)."""
         self._graph = None
+        self._compiled = None
 
     def engine(
         self,
@@ -180,6 +198,7 @@ class Acorn:
             initial=initial if initial is not None else self.network.channel_assignment,
             epsilon=self.epsilon,
             rng=self._rng,
+            compiled=self.compiled if supports_compiled(self.model) else None,
         )
         for ap_id, channel in result.assignment.items():
             self.network.set_channel(ap_id, channel)
@@ -227,6 +246,9 @@ class Acorn:
                 self.graph,
                 self.model,
                 min_snr20_db=self.min_snr20_db,
+                compiled=(
+                    self.compiled if supports_compiled(self.model) else None
+                ),
             )
             if refinement.n_moves:
                 self.invalidate_graph()

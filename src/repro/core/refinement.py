@@ -22,6 +22,7 @@ import networkx as nx
 from ..errors import AssociationError
 from ..net.channels import Channel
 from ..net.evaluator import DeltaEvaluator
+from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
 
@@ -51,6 +52,8 @@ def refine_associations(
     max_rounds: int = 10,
     improvement_epsilon: float = 1e-6,
     apply: bool = True,
+    engine_mode: str = "auto",
+    compiled: Optional[CompiledNetwork] = None,
 ) -> RefinementResult:
     """Hill-climb on single-client moves until no move improves Y.
 
@@ -66,25 +69,62 @@ def refine_associations(
     apply:
         Write the refined associations back into ``network`` (default);
         pass ``False`` for a what-if evaluation.
+    engine_mode:
+        ``"auto"`` (default) trials moves on the compiled array-backed
+        engine when the model supports it, else the dict-keyed delta
+        engine; ``"compiled"``/``"delta"`` force one. Bit-equivalent
+        either way.
+    compiled:
+        Pre-built :class:`~repro.net.state.CompiledNetwork` to reuse;
+        must reflect the current associations and graph.
     """
     if max_rounds < 1:
         raise AssociationError(f"max_rounds must be >= 1, got {max_rounds}")
+    if engine_mode not in ("auto", "compiled", "delta"):
+        raise AssociationError(
+            f"engine_mode must be 'auto', 'compiled' or 'delta', "
+            f"got {engine_mode!r}"
+        )
     if min_snr20_db is None:
         from ..link.adaptation import serviceability_floor_db
 
         min_snr20_db = serviceability_floor_db(model.packet_bytes)
 
     assignment: Dict[str, Channel] = dict(network.channel_assignment)
-    engine = DeltaEvaluator(network, graph, model=model, assignment=assignment)
+    use_compiled = engine_mode == "compiled" or (
+        engine_mode == "auto" and supports_compiled(model)
+    )
+    engine: "DeltaEvaluator | CompiledEvaluator"
+    if use_compiled:
+        if compiled is None:
+            compiled = CompiledNetwork.compile(network, graph)
+        engine = CompiledEvaluator(
+            compiled,
+            model=model,
+            assignment=assignment,
+            associations=network.associations,
+        )
+        candidate_source = compiled
+    else:
+        engine = DeltaEvaluator(
+            network, graph, model=model, assignment=assignment
+        )
+        candidate_source = network
     aggregate = engine.aggregate_mbps
     result = RefinementResult(
         associations=engine.associations, aggregate_mbps=aggregate, evaluations=1
     )
 
+    candidate_cache: Dict[str, Tuple[str, ...]] = {}
     for _ in range(max_rounds):
         best_move: Optional[Tuple[float, str, str, str]] = None
         for client_id, current_ap in engine.associations.items():
-            candidates = network.candidate_aps(client_id, min_snr20_db)
+            candidates = candidate_cache.get(client_id)
+            if candidates is None:
+                candidates = tuple(
+                    candidate_source.candidate_aps(client_id, min_snr20_db)
+                )
+                candidate_cache[client_id] = candidates
             for target_ap in candidates:
                 if target_ap == current_ap:
                     continue

@@ -7,6 +7,7 @@ __all__ = [
     "ConfigurationError",
     "ChannelError",
     "TopologyError",
+    "SerializationError",
     "AssociationError",
     "AllocationError",
     "FleetError",
@@ -30,6 +31,14 @@ class ChannelError(ReproError):
 
 class TopologyError(ReproError):
     """An inconsistent network topology (unknown AP/client, bad geometry)."""
+
+
+class SerializationError(TopologyError):
+    """A saved network could not be loaded (bad version, bad fingerprint).
+
+    Also a :class:`TopologyError` so callers that guarded loads with
+    ``except TopologyError`` before this class existed keep working.
+    """
 
 
 class AssociationError(ReproError):

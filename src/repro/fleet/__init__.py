@@ -28,13 +28,20 @@ from .executor import (
     register_algorithm,
     run_sweep,
 )
-from .jobs import TRAFFIC_MODELS, Job, SweepSpec
+from .jobs import (
+    TRAFFIC_MODELS,
+    CompiledScenario,
+    Job,
+    SweepSpec,
+    payload_key,
+)
 from .journal import JobJournal
 from .results import JobResult, ResultStore
 
 __all__ = [
     "ALGORITHMS",
     "TRAFFIC_MODELS",
+    "CompiledScenario",
     "Job",
     "JobJournal",
     "JobResult",
@@ -42,6 +49,7 @@ __all__ = [
     "SweepSpec",
     "algorithm_names",
     "execute_job",
+    "payload_key",
     "register_algorithm",
     "run_sweep",
 ]

@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.fairness import throughput_fairness_report
 from ..errors import FleetError, JobTimeout, ReproError
-from .jobs import Job, SweepSpec
+from .jobs import CompiledScenario, Job, SweepSpec, payload_key
 from .journal import JobJournal
 from .results import JobResult, ResultStore
 
@@ -145,13 +145,23 @@ def _wall_clock_alarm(timeout_s: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
-def execute_job(job: Job, timeout_s: Optional[float] = None) -> JobResult:
+def execute_job(
+    job: Job,
+    timeout_s: Optional[float] = None,
+    payload: Optional[CompiledScenario] = None,
+) -> JobResult:
     """Run one job to a :class:`JobResult` (never raises on job failure).
 
     Library errors are captured as ``status="failed"``, a blown
     wall-clock budget as ``status="timeout"``; any other exception as
     ``status="crashed"`` (the retryable class). The deterministic
     metrics come from the job's private seed stream only.
+
+    ``payload`` — a :class:`~repro.fleet.jobs.CompiledScenario` compiled
+    for this job's cell — replaces the scenario-factory rebuild with a
+    thaw of the shipped arrays; the thawed network is bit-equivalent,
+    so the result is identical either way. A payload compiled for a
+    different cell is a caller bug and fails the job deterministically.
     """
     start = time.perf_counter()
     base = dict(
@@ -168,8 +178,17 @@ def execute_job(job: Job, timeout_s: Optional[float] = None) -> JobResult:
                 f"unknown algorithm {job.algorithm!r}; registered: "
                 f"{', '.join(sorted(ALGORITHMS))}"
             )
+        if payload is not None and not payload.matches(job):
+            raise FleetError(
+                f"compiled payload for cell {payload.key!r} does not match "
+                f"job {job.job_id!r}"
+            )
         with _wall_clock_alarm(timeout_s):
-            scenario = job.build_scenario()
+            scenario = (
+                payload.to_scenario()
+                if payload is not None
+                else job.build_scenario()
+            )
             report, extra = runner(scenario, job.traffic, job.rng())
     except JobTimeout as exc:
         return JobResult(
@@ -236,12 +255,14 @@ def _run_serial(
     retries: int,
     backoff_s: float,
     on_result: Callable[[JobResult], None],
+    payloads: "Optional[Mapping[str, Optional[CompiledScenario]]]" = None,
 ) -> None:
+    payloads = payloads or {}
     for job in jobs:
         attempts = 0
         while True:
             attempts += 1
-            result = execute_job(job, timeout_s)
+            result = execute_job(job, timeout_s, payloads.get(payload_key(job)))
             if result.status in _RETRYABLE and attempts <= retries:
                 time.sleep(_backoff(attempts, backoff_s))
                 continue
@@ -257,10 +278,12 @@ def _run_pool(
     retries: int,
     backoff_s: float,
     on_result: Callable[[JobResult], None],
+    payloads: "Optional[Mapping[str, Optional[CompiledScenario]]]" = None,
 ) -> None:
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
+    payloads = payloads or {}
     context = multiprocessing.get_context("fork")
     attempts: Dict[str, int] = {job.job_id: 0 for job in jobs}
     queue: "deque[Tuple[Job, float]]" = deque((job, 0.0) for job in jobs)
@@ -295,7 +318,14 @@ def _run_pool(
                 if ready_at > now:
                     time.sleep(ready_at - now)
                 attempts[job.job_id] += 1
-                futures[executor.submit(execute_job, job, timeout_s)] = job
+                futures[
+                    executor.submit(
+                        execute_job,
+                        job,
+                        timeout_s,
+                        payloads.get(payload_key(job)),
+                    )
+                ] = job
             queue.extend(requeue)
             if not futures:
                 continue
@@ -368,6 +398,7 @@ def run_sweep(
     journal_path: "Optional[str]" = None,
     resume: bool = False,
     progress: Optional[Callable[[JobResult], None]] = None,
+    precompile: bool = True,
 ) -> ResultStore:
     """Run a sweep to a :class:`ResultStore`, checkpointing as it goes.
 
@@ -394,6 +425,13 @@ def run_sweep(
     progress:
         Callback invoked once per freshly executed job (not for
         reloaded ones), in completion order.
+    precompile:
+        Compile each distinct (scenario, kwargs) cell once up front and
+        ship the frozen arrays to workers (default). Jobs sharing a
+        cell reuse one :class:`~repro.fleet.jobs.CompiledScenario`
+        instead of re-running the scenario factory per job; results are
+        bit-identical either way. ``False`` restores the per-job
+        factory rebuild.
 
     Returns the store over all jobs (reloaded + fresh). The store's
     :meth:`~repro.fleet.results.ResultStore.fingerprint` is independent
@@ -419,6 +457,18 @@ def run_sweep(
             store.reloaded += 1
     pending = [job for job in jobs if job.job_id not in store]
 
+    payloads: Dict[str, Optional[CompiledScenario]] = {}
+    if precompile:
+        for job in pending:
+            key = payload_key(job)
+            if key not in payloads:
+                try:
+                    payloads[key] = CompiledScenario.from_job(job)
+                except ReproError:
+                    # A broken cell must fail per-job (status="failed"),
+                    # not abort the sweep: leave it to the in-job build.
+                    payloads[key] = None
+
     if journal is not None:
         journal.start(spec.fingerprint(), len(jobs), fresh=not resume)
 
@@ -431,10 +481,18 @@ def run_sweep(
 
     try:
         if workers == 1 or not _fork_available() or not pending:
-            _run_serial(pending, timeout_s, retries, backoff_s, _on_result)
+            _run_serial(
+                pending, timeout_s, retries, backoff_s, _on_result, payloads
+            )
         else:
             _run_pool(
-                pending, workers, timeout_s, retries, backoff_s, _on_result
+                pending,
+                workers,
+                timeout_s,
+                retries,
+                backoff_s,
+                _on_result,
+                payloads,
             )
     finally:
         if journal is not None:

@@ -26,9 +26,16 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import FleetError
+from ..net.state import CompiledNetwork
 from ..sim.scenario import scenario_accepts, scenario_names
 
-__all__ = ["Job", "SweepSpec", "TRAFFIC_MODELS"]
+__all__ = [
+    "CompiledScenario",
+    "Job",
+    "SweepSpec",
+    "TRAFFIC_MODELS",
+    "payload_key",
+]
 
 # Traffic models understood by the job runner (repro.sim.traffic).
 TRAFFIC_MODELS = ("udp", "tcp")
@@ -116,6 +123,89 @@ class Job:
             entropy=int(data.get("entropy", 0)),
             spawn_key=tuple(data.get("spawn_key", ())),
         )
+
+
+def payload_key(job: "Job") -> str:
+    """The cell identity a compiled payload is valid for.
+
+    Jobs that share a (scenario, factory-kwargs) pair build identical
+    networks, so one compiled payload serves them all — algorithm,
+    traffic and grid seed do not enter the key.
+    """
+    return _canonical(
+        {"scenario": job.scenario, "kwargs": dict(job.scenario_kwargs)}
+    )
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A scenario frozen into compiled arrays — the fleet wire format.
+
+    Workers receiving one skip the scenario factory (geometry, link
+    budgets, palette construction) and thaw the compiled network
+    instead: :meth:`to_scenario` yields a pristine
+    :class:`~repro.sim.scenario.Scenario` whose network is
+    bit-equivalent to a factory build (same fingerprint), so job
+    results are identical with or without the payload.
+
+    Attributes
+    ----------
+    compiled:
+        The frozen network (picklable; per-model rate-table caches are
+        process-local and dropped on the wire).
+    channel_numbers / bonded_pairs:
+        Plain numbers reconstructing the scenario's
+        :class:`~repro.net.channels.ChannelPlan`.
+    key:
+        The :func:`payload_key` of the cell this payload was compiled
+        for; :meth:`matches` guards against cross-cell reuse.
+    """
+
+    name: str
+    description: str
+    compiled: CompiledNetwork
+    channel_numbers: Tuple[int, ...]
+    bonded_pairs: Tuple[Tuple[int, int], ...]
+    client_order: Tuple[str, ...]
+    key: str
+
+    @classmethod
+    def from_scenario(cls, scenario, key: str = "") -> "CompiledScenario":
+        """Freeze a built scenario (``key`` from :func:`payload_key`)."""
+        plan = scenario.plan
+        return cls(
+            name=scenario.name,
+            description=scenario.description,
+            compiled=CompiledNetwork.compile(scenario.network, plan=plan),
+            channel_numbers=tuple(plan.channel_numbers),
+            bonded_pairs=tuple(plan.bonded_pairs),
+            client_order=tuple(scenario.client_order),
+            key=key,
+        )
+
+    @classmethod
+    def from_job(cls, job: "Job") -> "CompiledScenario":
+        """Build and freeze the scenario of one sweep cell."""
+        return cls.from_scenario(job.build_scenario(), key=payload_key(job))
+
+    def matches(self, job: "Job") -> bool:
+        """Whether this payload was compiled for ``job``'s cell."""
+        return self.key == payload_key(job)
+
+    def to_scenario(self):
+        """Thaw into a pristine, mutable scenario (fresh per call)."""
+        from ..net.channels import ChannelPlan
+        from ..sim.scenario import Scenario
+
+        scenario = Scenario(
+            name=self.name,
+            network=self.compiled.thaw(),
+            plan=ChannelPlan(self.channel_numbers, self.bonded_pairs),
+            client_order=list(self.client_order),
+            description=self.description,
+        )
+        scenario._factory = self.to_scenario
+        return scenario
 
 
 @dataclass(frozen=True)

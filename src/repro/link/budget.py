@@ -20,7 +20,24 @@ from ..errors import ConfigurationError
 from ..phy.noise import snr_per_subcarrier_db
 from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ, OfdmParams
 
-__all__ = ["LinkBudget"]
+__all__ = ["LinkBudget", "snr20_from_path_loss"]
+
+
+def snr20_from_path_loss(
+    path_loss_db: float,
+    tx_power_dbm: float = MAX_TX_POWER_DBM,
+    noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB,
+) -> float:
+    """Canonical loss → 20 MHz per-subcarrier SNR conversion.
+
+    Every layer that turns a path loss into the canonical 20 MHz link
+    quality (scenario builders, the mobility trace, the compiled-state
+    SNR matrices) routes through this single function, so the geometry
+    and compiled paths cannot drift apart.
+    """
+    return snr_per_subcarrier_db(
+        tx_power_dbm, path_loss_db, OFDM_20MHZ, noise_figure_db
+    )
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,13 @@ from .interference import (
 )
 from .throughput import NetworkReport, ThroughputModel, WeightedThroughputModel
 from .evaluator import DeltaEvaluator, EngineStats, FullEvaluationEngine
+from .state import (
+    CompiledEvaluator,
+    CompiledNetwork,
+    RateTables,
+    network_fingerprint,
+    supports_compiled,
+)
 from .uplink import UplinkThroughputModel
 from .overlap import (
     channel_center_mhz,
@@ -38,6 +45,11 @@ __all__ = [
     "DeltaEvaluator",
     "EngineStats",
     "FullEvaluationEngine",
+    "CompiledEvaluator",
+    "CompiledNetwork",
+    "RateTables",
+    "network_fingerprint",
+    "supports_compiled",
     "UplinkThroughputModel",
     "channel_center_mhz",
     "spectral_overlap_fraction",

@@ -157,6 +157,15 @@ class ChannelPlan:
         """Number of 20 MHz channels in the plan."""
         return len(self._numbers)
 
+    @property
+    def bonded_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The (lower, upper) couples bonded into 40 MHz channels.
+
+        Exposed so an equivalent plan can be reconstructed from plain
+        numbers (e.g. by fleet workers receiving a compiled payload).
+        """
+        return self._pairs
+
     def channels_20(self) -> Tuple[Channel, ...]:
         """All basic (20 MHz) colours."""
         return tuple(Channel(n) for n in self._numbers)

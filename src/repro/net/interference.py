@@ -10,9 +10,10 @@ conflict (:meth:`repro.net.channels.Channel.conflicts_with`).
 
 from __future__ import annotations
 
-from typing import Mapping, Set
+from typing import Mapping, Sequence, Set
 
 import networkx as nx
+import numpy as np
 
 from ..errors import AllocationError, TopologyError
 from .channels import Channel
@@ -20,6 +21,7 @@ from .topology import Network
 
 __all__ = [
     "DEFAULT_CS_THRESHOLD_DBM",
+    "adjacency_arrays",
     "build_interference_graph",
     "contenders",
     "max_degree",
@@ -122,6 +124,32 @@ def contenders(
         if other is not None and own.conflicts_with(other):
             result.add(neighbour)
     return result
+
+
+def adjacency_arrays(graph: nx.Graph, ap_ids: "Sequence[str]"):
+    """CSR-style adjacency of the IG over a fixed AP ordering.
+
+    Returns ``(indptr, indices, in_graph)``: ``indices[indptr[i]:
+    indptr[i + 1]]`` are the integer ids of AP ``i``'s neighbours, in
+    ``graph.neighbors`` order (the same order the dict engine walks, so
+    sequential load sums match bitwise). ``in_graph[i]`` is False for
+    APs absent from the graph — the dict engine treats those as having
+    no neighbourhood at all, which is distinct from an isolated node.
+    """
+    index = {ap_id: i for i, ap_id in enumerate(ap_ids)}
+    indptr = np.zeros(len(ap_ids) + 1, dtype=np.int64)
+    indices_list = []
+    in_graph = np.zeros(len(ap_ids), dtype=bool)
+    for i, ap_id in enumerate(ap_ids):
+        if ap_id in graph:
+            in_graph[i] = True
+            for neighbour in graph.neighbors(ap_id):
+                j = index.get(neighbour)
+                if j is not None and j != i:
+                    indices_list.append(j)
+        indptr[i + 1] = len(indices_list)
+    indices = np.asarray(indices_list, dtype=np.int64)
+    return indptr, indices, in_graph
 
 
 def max_degree(graph: nx.Graph) -> int:

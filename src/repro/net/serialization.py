@@ -4,20 +4,30 @@ An operations tool needs to persist what it decided: topology, pinned
 link qualities, interference edges, the current channel plan and
 associations. The format is a plain JSON-compatible dict, stable across
 sessions and diffable in version control.
+
+Format version 2 also persists the simulation config (version 1 silently
+dropped it, so loads re-evaluated under defaults) and the compiled-state
+fingerprint (:func:`repro.net.state.network_fingerprint`) of the saved
+network; loading verifies the rebuilt network hashes to the same value,
+so silent corruption or a semantics drift between writer and reader
+surfaces as a :class:`~repro.errors.SerializationError` instead of
+quietly different throughput numbers.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from ..errors import TopologyError
+from ..config import PathLossModel, SimulationConfig
+from ..errors import SerializationError
 from .channels import Channel
+from .state import network_fingerprint
 from .topology import Network
 
 __all__ = ["network_to_dict", "network_from_dict", "dump_network", "load_network"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def _channel_to_dict(channel: Channel) -> Dict[str, Any]:
@@ -26,6 +36,39 @@ def _channel_to_dict(channel: Channel) -> Dict[str, Any]:
 
 def _channel_from_dict(data: Dict[str, Any]) -> Channel:
     return Channel(primary=data["primary"], secondary=data.get("secondary"))
+
+
+def _config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
+    return {
+        "seed": config.seed,
+        "noise_figure_db": config.noise_figure_db,
+        "max_tx_power_dbm": config.max_tx_power_dbm,
+        "packet_size_bytes": config.packet_size_bytes,
+        "path_loss": {
+            "pl0_db": config.path_loss.pl0_db,
+            "exponent": config.path_loss.exponent,
+            "reference_m": config.path_loss.reference_m,
+            "shadowing_sigma_db": config.path_loss.shadowing_sigma_db,
+        },
+    }
+
+
+def _config_from_dict(data: Optional[Dict[str, Any]]) -> SimulationConfig:
+    if data is None:
+        return SimulationConfig()
+    loss = data.get("path_loss", {})
+    return SimulationConfig(
+        seed=int(data.get("seed", SimulationConfig().seed)),
+        noise_figure_db=float(data["noise_figure_db"]),
+        max_tx_power_dbm=float(data["max_tx_power_dbm"]),
+        packet_size_bytes=int(data["packet_size_bytes"]),
+        path_loss=PathLossModel(
+            pl0_db=float(loss["pl0_db"]),
+            exponent=float(loss["exponent"]),
+            reference_m=float(loss["reference_m"]),
+            shadowing_sigma_db=float(loss["shadowing_sigma_db"]),
+        ),
+    )
 
 
 def network_to_dict(network: Network) -> Dict[str, Any]:
@@ -59,6 +102,8 @@ def network_to_dict(network: Network) -> Dict[str, Any]:
         conflicts.sort()
     return {
         "version": _FORMAT_VERSION,
+        "config": _config_to_dict(network.config),
+        "fingerprint": network_fingerprint(network),
         "aps": aps,
         "clients": clients,
         "links": links,
@@ -72,14 +117,23 @@ def network_to_dict(network: Network) -> Dict[str, Any]:
 
 
 def network_from_dict(data: Dict[str, Any]) -> Network:
-    """Rebuild a network from its serialised form."""
+    """Rebuild a network from its serialised form.
+
+    Raises :class:`~repro.errors.SerializationError` for any format
+    version other than the current one (version 1 saves lack the config
+    and fingerprint needed to guarantee faithful re-evaluation —
+    re-export them with the writer that produced them), and when the
+    rebuilt network's fingerprint does not match the recorded one.
+    """
     version = data.get("version")
     if version != _FORMAT_VERSION:
-        raise TopologyError(
-            f"unsupported network format version {version!r}; "
-            f"expected {_FORMAT_VERSION}"
+        raise SerializationError(
+            f"unsupported network format version {version!r}; this reader "
+            f"only accepts version {_FORMAT_VERSION}. Version-1 saves omit "
+            "the simulation config and state fingerprint; re-export them "
+            "with the original writer."
         )
-    network = Network()
+    network = Network(_config_from_dict(data.get("config")))
     for ap in data.get("aps", []):
         position = tuple(ap["position"]) if ap.get("position") else None
         network.add_ap(
@@ -99,6 +153,15 @@ def network_from_dict(data: Dict[str, Any]) -> Network:
         network.associate(client_id, ap_id)
     for ap_id, channel_data in data.get("channels", {}).items():
         network.set_channel(ap_id, _channel_from_dict(channel_data))
+    recorded = data.get("fingerprint")
+    if recorded is not None:
+        actual = network_fingerprint(network)
+        if actual != recorded:
+            raise SerializationError(
+                f"saved fingerprint {recorded[:12]}… does not match the "
+                f"rebuilt network ({actual[:12]}…); the save is corrupt or "
+                "was produced under different evaluation semantics"
+            )
     return network
 
 

@@ -1,0 +1,1010 @@
+"""Compiled array-backed network state: the index fast path.
+
+A built :class:`~repro.net.topology.Network` is a web of string-keyed
+dicts — ideal for construction and inspection, but every hot path
+(delta rescoring, greedy sweeps, fleet workers) pays dict hashing and
+object traversal per candidate. :class:`CompiledNetwork` freezes a
+network into contiguous arrays with stable integer ids:
+
+* ``ap_ids`` / ``client_ids`` record the id↔name mapping — integer id
+  ``i`` *is* position ``i`` in those tuples (insertion order, the same
+  order every dict walk in the legacy engine uses);
+* dense AP×client SNR matrices (20 and 40 MHz, computed through the
+  exact :meth:`~repro.net.topology.Network.link_budget` pipeline);
+* CSR-style interference adjacency in ``graph.neighbors`` order, so
+  sequential load sums replay the dict engine's addition order;
+* precomputed channel-conflict/overlap tables for the palette and
+  per-model MCS rate tables (:class:`RateTables`).
+
+**Contract.** ``compile()`` snapshots; later mutations of the source
+``Network`` are *not* reflected — recompile after topology, link,
+association or conflict changes (the controller invalidates its cached
+compile together with the interference graph). ``thaw()`` reconstructs
+an equivalent mutable ``Network`` from the frozen state, and
+``fingerprint()`` digests everything that affects evaluation so a
+payload can be verified end-to-end.
+
+:class:`CompiledEvaluator` is the engine riding on this state: an
+index-based mirror of the :class:`~repro.net.evaluator.DeltaEvaluator`
+structural tier that replays its floating-point operation order exactly
+— same sequential sums, same memoised pure-function cells — so
+committed aggregates and every trial value are bit-identical to the
+legacy dict engine (enforced by the equivalence test suite). It applies
+only to models that :func:`supports_compiled`; anything exotic stays on
+the legacy engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError, TopologyError
+from ..mac.airtime import client_delay_s
+from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
+from .channels import Channel, ChannelPlan
+from .evaluator import EngineStats
+from .interference import adjacency_arrays, build_interference_graph
+from .overlap import spectral_overlap_fraction
+from .throughput import ThroughputModel, WeightedThroughputModel
+from .topology import Network
+
+__all__ = [
+    "CompiledEvaluator",
+    "CompiledNetwork",
+    "RateTables",
+    "network_fingerprint",
+    "supports_compiled",
+]
+
+# Width index 0 is 20 MHz, 1 is 40 MHz — everywhere in this module.
+_WIDTH_PARAMS = (OFDM_20MHZ, OFDM_40MHZ)
+
+_FINGERPRINT_VERSION = 1
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def _hex_position(position) -> "Optional[List[str]]":
+    if position is None:
+        return None
+    return [_hex(position[0]), _hex(position[1])]
+
+
+def network_fingerprint(network: Network) -> str:
+    """Stable digest of everything that affects evaluation results.
+
+    Covers devices (in insertion order — it shapes summation order),
+    link overrides, explicit conflicts, associations, channels and the
+    simulation config. Floats are hashed via ``float.hex`` so the digest
+    is exact, platform-independent and insensitive to repr formatting.
+    Equal fingerprints ⇒ bit-identical evaluation on both engines.
+    """
+    config = network.config
+    payload = {
+        "version": _FINGERPRINT_VERSION,
+        "config": {
+            "seed": int(config.seed),
+            "noise_figure_db": _hex(config.noise_figure_db),
+            "max_tx_power_dbm": _hex(config.max_tx_power_dbm),
+            "packet_size_bytes": int(config.packet_size_bytes),
+            "path_loss": {
+                "pl0_db": _hex(config.path_loss.pl0_db),
+                "exponent": _hex(config.path_loss.exponent),
+                "reference_m": _hex(config.path_loss.reference_m),
+                "shadowing_sigma_db": _hex(config.path_loss.shadowing_sigma_db),
+            },
+        },
+        "aps": [
+            [
+                ap_id,
+                _hex_position(network.ap(ap_id).position),
+                _hex(network.ap(ap_id).tx_power_dbm),
+            ]
+            for ap_id in network.ap_ids
+        ],
+        "clients": [
+            [client_id, _hex_position(network.client(client_id).position)]
+            for client_id in network.client_ids
+        ],
+        "links": sorted(
+            [ap_id, client_id, _hex(value)]
+            for (ap_id, client_id), value in network._snr_overrides.items()
+        ),
+        "conflicts": (
+            None
+            if network.explicit_conflicts is None
+            else sorted(sorted(pair) for pair in network.explicit_conflicts)
+        ),
+        "associations": sorted(
+            [client_id, ap_id]
+            for client_id, ap_id in network.associations.items()
+        ),
+        "channels": sorted(
+            [ap_id, channel.primary, channel.secondary]
+            for ap_id, channel in network.channel_assignment.items()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def supports_compiled(model: ThroughputModel) -> bool:
+    """Whether the compiled fast path reproduces ``model`` bit-for-bit.
+
+    True for the stock binary-conflict and weighted-overlap models (and
+    subclasses that only change *data* fields like packet size, traffic
+    or controller). Overriding any evaluation hook — ``evaluate``,
+    ``ap_throughput_mbps``, ``link_decision``, or an inconsistent
+    ``medium_share_of``/``contention_weight`` pair — opts the model out;
+    such models must use :class:`~repro.net.evaluator.DeltaEvaluator`.
+    """
+    cls = type(model)
+    if cls.evaluate is not ThroughputModel.evaluate:
+        return False
+    if cls.ap_throughput_mbps is not ThroughputModel.ap_throughput_mbps:
+        return False
+    if cls.link_decision is not ThroughputModel.link_decision:
+        return False
+    binary = (
+        cls.medium_share_of is ThroughputModel.medium_share_of
+        and cls.contention_weight is ThroughputModel.contention_weight
+    )
+    weighted = (
+        cls.medium_share_of is WeightedThroughputModel.medium_share_of
+        and cls.contention_weight is WeightedThroughputModel.contention_weight
+    )
+    return binary or weighted
+
+
+class RateTables:
+    """Per-(width, AP, client) delay and goodput-factor lookup tables.
+
+    Entry ``delay[w][a][c]`` is the exact float the dict engine derives
+    via ``link_decision`` + ``client_delay_s`` for AP ``a``, client
+    ``c`` on width ``w`` (0 = 20 MHz, 1 = 40 MHz); ``factor[w][a][c]``
+    is the matching traffic goodput factor. Undefined links hold NaN and
+    are never read (associations require a link). Built once per
+    (compiled network, model) — after that no link-budget, SNR or rate
+    mathematics remains on any hot path.
+    """
+
+    def __init__(self, compiled: "CompiledNetwork", model: ThroughputModel) -> None:
+        """Precompute both width tables for every defined link."""
+        snr_matrices = (compiled.snr20_db, compiled.snr40_db)
+        nan = float("nan")
+        packet_bytes = model.packet_bytes
+        timings = model.timings
+        goodput_factor = model.traffic.goodput_factor
+        self.delay: List[List[List[float]]] = []
+        self.factor: List[List[List[float]]] = []
+        for width, params in enumerate(_WIDTH_PARAMS):
+            snr_matrix = snr_matrices[width]
+            delay_rows: List[List[float]] = []
+            factor_rows: List[List[float]] = []
+            for ap in range(compiled.n_aps):
+                linked = compiled.has_link[ap]
+                snr_row = snr_matrix[ap]
+                delay_row: List[float] = []
+                factor_row: List[float] = []
+                for client in range(compiled.n_clients):
+                    if linked[client]:
+                        decision = model.decision_from_snr(
+                            float(snr_row[client]), params
+                        )
+                        delay_row.append(
+                            client_delay_s(
+                                decision.nominal_rate_mbps,
+                                decision.per,
+                                packet_bytes,
+                                timings,
+                            )
+                        )
+                        factor_row.append(goodput_factor(decision.per))
+                    else:
+                        delay_row.append(nan)
+                        factor_row.append(nan)
+                delay_rows.append(delay_row)
+                factor_rows.append(factor_row)
+            self.delay.append(delay_rows)
+            self.factor.append(factor_rows)
+
+
+class CompiledNetwork:
+    """A :class:`Network` frozen into contiguous arrays and integer ids.
+
+    Integer AP id ``i`` is position ``i`` of :attr:`ap_ids` (insertion
+    order); likewise for clients. The snapshot is immutable by
+    convention: it records topology, link SNRs, adjacency, the channel
+    palette, and the association/channel state at compile time. Use
+    :meth:`thaw` to get back a mutable ``Network`` and
+    :meth:`fingerprint` to verify integrity across process boundaries.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        graph=None,
+        plan: Optional[ChannelPlan] = None,
+    ) -> None:
+        """Freeze ``network`` — prefer the :meth:`compile` classmethod."""
+        if graph is None:
+            graph = build_interference_graph(network)
+        self.config = network.config
+        self.ap_ids: Tuple[str, ...] = network.ap_ids
+        self.client_ids: Tuple[str, ...] = network.client_ids
+        self.ap_index: Dict[str, int] = {
+            ap_id: index for index, ap_id in enumerate(self.ap_ids)
+        }
+        self.client_index: Dict[str, int] = {
+            client_id: index for index, client_id in enumerate(self.client_ids)
+        }
+        n_aps = len(self.ap_ids)
+        n_clients = len(self.client_ids)
+        self.tx_power_dbm = np.array(
+            [network.ap(ap_id).tx_power_dbm for ap_id in self.ap_ids],
+            dtype=np.float64,
+        )
+        self.ap_positions = tuple(
+            network.ap(ap_id).position for ap_id in self.ap_ids
+        )
+        self.client_positions = tuple(
+            network.client(client_id).position for client_id in self.client_ids
+        )
+        # Dense link matrices. -inf marks "no link" (never a valid SNR
+        # and safely below any serviceability floor).
+        self.has_link = np.zeros((n_aps, n_clients), dtype=bool)
+        self.snr20_db = np.full((n_aps, n_clients), -np.inf, dtype=np.float64)
+        self.snr40_db = np.full((n_aps, n_clients), -np.inf, dtype=np.float64)
+        for ap, ap_id in enumerate(self.ap_ids):
+            for client, client_id in enumerate(self.client_ids):
+                if not network.has_link(ap_id, client_id):
+                    continue
+                budget = network.link_budget(ap_id, client_id)
+                self.has_link[ap, client] = True
+                self.snr20_db[ap, client] = budget.subcarrier_snr_db(OFDM_20MHZ)
+                self.snr40_db[ap, client] = budget.subcarrier_snr_db(OFDM_40MHZ)
+        self.snr_overrides: Tuple[Tuple[str, str, float], ...] = tuple(
+            (ap_id, client_id, value)
+            for (ap_id, client_id), value in network._snr_overrides.items()
+        )
+        self.adj_indptr, self.adj_indices, self.in_graph = adjacency_arrays(
+            graph, self.ap_ids
+        )
+        flat = [int(j) for j in self.adj_indices]
+        self.neighbor_lists: Tuple[Optional[Tuple[int, ...]], ...] = tuple(
+            tuple(flat[self.adj_indptr[ap] : self.adj_indptr[ap + 1]])
+            if self.in_graph[ap]
+            else None
+            for ap in range(n_aps)
+        )
+        conflicts = network.explicit_conflicts
+        self.explicit_conflicts: Optional[Tuple[Tuple[str, str], ...]] = (
+            None
+            if conflicts is None
+            else tuple(sorted(tuple(sorted(pair)) for pair in conflicts))
+        )
+        if plan is not None:
+            self.channels: Tuple[Channel, ...] = plan.all_channels()
+            self.channel_numbers: Tuple[int, ...] = plan.channel_numbers
+            self.bonded_pairs: Tuple[Tuple[int, int], ...] = plan.bonded_pairs
+        else:
+            self.channels = ()
+            self.channel_numbers = ()
+            self.bonded_pairs = ()
+        self.channel_index: Dict[Channel, int] = {
+            channel: index for index, channel in enumerate(self.channels)
+        }
+        n_channels = len(self.channels)
+        self.conflict = np.zeros((n_channels, n_channels), dtype=bool)
+        self.overlap = np.zeros((n_channels, n_channels), dtype=np.float64)
+        for i, own in enumerate(self.channels):
+            for j, other in enumerate(self.channels):
+                self.conflict[i, j] = own.conflicts_with(other)
+                self.overlap[i, j] = spectral_overlap_fraction(own, other)
+        self.associations: Tuple[Tuple[str, str], ...] = tuple(
+            network.associations.items()
+        )
+        self.channel_assignment: Tuple[Tuple[str, Channel], ...] = tuple(
+            network.channel_assignment.items()
+        )
+        self._rate_tables: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        network: Network,
+        graph=None,
+        plan: Optional[ChannelPlan] = None,
+    ) -> "CompiledNetwork":
+        """Snapshot ``network`` (and optionally its palette) into arrays.
+
+        ``graph`` defaults to a freshly built interference graph. The
+        result is decoupled from the source network: later mutations are
+        not reflected — recompile instead.
+        """
+        return cls(network, graph=graph, plan=plan)
+
+    @property
+    def n_aps(self) -> int:
+        """Number of APs (integer ids are ``range(n_aps)``)."""
+        return len(self.ap_ids)
+
+    @property
+    def n_clients(self) -> int:
+        """Number of clients (integer ids are ``range(n_clients)``)."""
+        return len(self.client_ids)
+
+    # ------------------------------------------------------------------
+    def thaw(self) -> Network:
+        """Reconstruct an equivalent mutable :class:`Network`.
+
+        Devices, raw SNR overrides, explicit conflicts, associations and
+        channels are replayed in their recorded insertion order, so the
+        thawed network evaluates bit-identically to the original.
+        """
+        network = Network(self.config)
+        for ap, ap_id in enumerate(self.ap_ids):
+            network.add_ap(
+                ap_id,
+                position=self.ap_positions[ap],
+                tx_power_dbm=float(self.tx_power_dbm[ap]),
+            )
+        for client, client_id in enumerate(self.client_ids):
+            network.add_client(client_id, position=self.client_positions[client])
+        for ap_id, client_id, value in self.snr_overrides:
+            network.set_link_snr(ap_id, client_id, value)
+        if self.explicit_conflicts is not None:
+            network.set_explicit_conflicts(list(self.explicit_conflicts))
+        for client_id, ap_id in self.associations:
+            network.associate(client_id, ap_id)
+        for ap_id, channel in self.channel_assignment:
+            network.set_channel(ap_id, channel)
+        return network
+
+    def fingerprint(self) -> str:
+        """Digest of the frozen state (``network_fingerprint`` of a thaw)."""
+        return network_fingerprint(self.thaw())
+
+    def candidate_aps(
+        self, client_id: str, min_snr20_db: float = -5.0
+    ) -> Tuple[str, ...]:
+        """The serving set A_u, identical to ``Network.candidate_aps``.
+
+        Vectorised over the SNR matrix; the comparison floats are the
+        same ones the legacy per-call path derives, so the returned
+        tuple matches exactly (AP insertion order).
+        """
+        client = self.client_index.get(client_id)
+        if client is None:
+            raise TopologyError(f"unknown client {client_id!r}")
+        mask = self.has_link[:, client] & (
+            self.snr20_db[:, client] >= min_snr20_db
+        )
+        return tuple(self.ap_ids[int(ap)] for ap in np.nonzero(mask)[0])
+
+    def rate_tables(self, model: ThroughputModel) -> RateTables:
+        """Per-model :class:`RateTables`, cached by model identity."""
+        key = id(model)
+        cached = self._rate_tables.get(key)
+        if cached is not None:
+            ref, tables = cached
+            if ref() is model:
+                return tables
+        tables = RateTables(self, model)
+        self._rate_tables[key] = (weakref.ref(model), tables)
+        return tables
+
+    def __getstate__(self) -> dict:
+        """Pickle without the process-local per-model table cache."""
+        state = dict(self.__dict__)
+        state["_rate_tables"] = {}
+        return state
+
+
+class CompiledEvaluator:
+    """Index-based incremental evaluator over a :class:`CompiledNetwork`.
+
+    A drop-in replacement for the structural tier of
+    :class:`~repro.net.evaluator.DeltaEvaluator` — same ``trial`` /
+    ``commit`` / ``rollback`` / ``reset`` / ``trial_move`` /
+    ``commit_move`` surface plus integer-id fast variants
+    (:meth:`trial_index`, :meth:`commit_index`) for allocator hot loops.
+    Every float it produces replays the legacy engine's operation order,
+    so results are bit-identical; construction fails for models that
+    :func:`supports_compiled` rejects.
+
+    When all contention weights are integer-valued (the stock binary
+    model), neighbour loads update incrementally — exact, because sums
+    of small integers are closed under float arithmetic — and cell
+    values memoise in flat lists indexed by load. Non-integer weights
+    (partial spectral overlap) fall back to order-preserving fresh load
+    sums per trial.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledNetwork,
+        model: Optional[ThroughputModel] = None,
+        assignment: Optional[Mapping[str, Channel]] = None,
+        associations: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Build the engine; defaults mirror the compiled snapshots."""
+        self._compiled = compiled
+        self._model = model if model is not None else ThroughputModel()
+        if not supports_compiled(self._model):
+            raise AllocationError(
+                "model overrides evaluation hooks the compiled engine cannot "
+                "replay; use DeltaEvaluator instead"
+            )
+        self.stats = EngineStats()
+        self._tables = compiled.rate_tables(self._model)
+        self._packet_mbits = 8 * self._model.packet_bytes / 1e6
+        self._ap_ids = compiled.ap_ids
+        self._client_ids = compiled.client_ids
+        self._ap_index = compiled.ap_index
+        self._client_index = compiled.client_index
+        self._nbr = compiled.neighbor_lists
+        n_aps = len(self._ap_ids)
+        self._channels: List[Channel] = []
+        self._channel_index: Dict[Channel, int] = {}
+        self._weight_rows: List[List[float]] = []
+        self._widths: List[int] = []
+        self._int_weights = True
+        assoc_items = (
+            compiled.associations
+            if associations is None
+            else tuple(associations.items())
+        )
+        self._assoc: Dict[int, int] = {}
+        for client_id, ap_id in assoc_items:
+            client = self._client_index.get(client_id)
+            owner = self._ap_index.get(ap_id)
+            if client is None or owner is None:
+                raise AllocationError(
+                    f"association {client_id!r}->{ap_id!r} names an unknown device"
+                )
+            self._assoc[client] = owner
+        assignment_items = (
+            compiled.channel_assignment
+            if assignment is None
+            else tuple(assignment.items())
+        )
+        self._chan: List[int] = [-1] * n_aps
+        for ap_id, channel in assignment_items:
+            owner = self._ap_index.get(ap_id)
+            if owner is None:
+                raise AllocationError(f"unknown AP {ap_id!r} in assignment")
+            if channel is not None:
+                self._chan[owner] = self._intern(channel)
+        self._profiles: List[List[Optional[tuple]]] = [
+            [None, None] for _ in range(n_aps)
+        ]
+        self._cells_fast: List[List[List[Optional[float]]]] = [
+            [[], []] for _ in range(n_aps)
+        ]
+        self._cells: List[Dict[tuple, float]] = [{} for _ in range(n_aps)]
+        self._clients_of: List[Optional[List[int]]] = [None] * n_aps
+        self._loads: List[Optional[float]] = [None] * n_aps
+        self._x: List[float] = [0.0] * n_aps
+        self._aggregate = 0.0
+        self._undo: Optional[tuple] = None
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Introspection facade (mirrors DeltaEvaluator)
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_mbps(self) -> float:
+        """The current committed aggregate throughput Y."""
+        return self._aggregate
+
+    @property
+    def assignment(self) -> Dict[str, Channel]:
+        """A copy of the current committed assignment (string-keyed)."""
+        channels = self._channels
+        return {
+            self._ap_ids[ap]: channels[index]
+            for ap, index in enumerate(self._chan)
+            if index >= 0
+        }
+
+    @property
+    def associations(self) -> Dict[str, str]:
+        """A copy of the current committed associations (string-keyed)."""
+        return {
+            self._client_ids[client]: self._ap_ids[owner]
+            for client, owner in self._assoc.items()
+        }
+
+    @property
+    def tier(self) -> str:
+        """Always ``"compiled"`` — the index fast path."""
+        return "compiled"
+
+    @property
+    def compiled(self) -> CompiledNetwork:
+        """The frozen network this engine evaluates over."""
+        return self._compiled
+
+    def channel_of(self, ap_id: str) -> Optional[Channel]:
+        """The AP's committed channel, or ``None`` if unassigned."""
+        owner = self._ap_index.get(ap_id)
+        if owner is None:
+            return None
+        index = self._chan[owner]
+        return self._channels[index] if index >= 0 else None
+
+    def per_ap_mbps(self) -> Dict[str, float]:
+        """Per-AP cell throughputs of the committed state."""
+        return {
+            self._ap_ids[ap]: self._x[ap] for ap in range(len(self._ap_ids))
+        }
+
+    def channel_index_of(self, ap: int) -> int:
+        """Committed channel index of AP ``ap``, or -1 when unassigned."""
+        return self._chan[ap]
+
+    def intern(self, channel: Channel) -> int:
+        """Dense index of a colour, stable for this engine's lifetime."""
+        return self._intern(channel)
+
+    # ------------------------------------------------------------------
+    # Channel interning and contention arithmetic
+    # ------------------------------------------------------------------
+    def _intern(self, channel: Channel) -> int:
+        index = self._channel_index.get(channel)
+        if index is None:
+            weight = self._model.contention_weight
+            index = len(self._channels)
+            for other_index, other_row in enumerate(self._weight_rows):
+                value = weight(self._channels[other_index], channel)
+                if not float(value).is_integer():
+                    self._int_weights = False
+                other_row.append(value)
+            self._channel_index[channel] = index
+            self._channels.append(channel)
+            row = [weight(channel, other) for other in self._channels]
+            for value in row:
+                if not float(value).is_integer():
+                    self._int_weights = False
+            self._weight_rows.append(row)
+            self._widths.append(1 if channel.is_bonded else 0)
+            self.stats.weight_evaluations += 2 * index + 1
+        return index
+
+    def contention_load(
+        self,
+        ap_id: str,
+        channel: Channel,
+        assignment: Optional[Mapping[str, Channel]] = None,
+    ) -> float:
+        """Σ of neighbour contention weights if ``ap_id`` used ``channel``.
+
+        String facade matching ``DeltaEvaluator.contention_load``:
+        defaults to the committed state; an explicit ``assignment`` makes
+        it a stateless conflict oracle (the Kauffmann baseline).
+        """
+        ap = self._ap_index.get(ap_id)
+        if ap is None or self._nbr[ap] is None:
+            raise AllocationError(
+                f"AP {ap_id!r} is not in the interference graph"
+            )
+        row = self._weight_rows[self._intern(channel)]
+        total = 0.0
+        if assignment is None:
+            chan = self._chan
+            for other in self._nbr[ap]:
+                j = chan[other]
+                if j >= 0:
+                    total += row[j]
+            return total
+        ap_ids = self._ap_ids
+        for other in self._nbr[ap]:
+            other_channel = assignment.get(ap_ids[other])
+            if other_channel is None:
+                continue
+            total += row[self._intern(other_channel)]
+        return total
+
+    # ------------------------------------------------------------------
+    # Cell arithmetic
+    # ------------------------------------------------------------------
+    def _client_list(self, ap: int) -> List[int]:
+        clients = [
+            client for client, owner in self._assoc.items() if owner == ap
+        ]
+        self._clients_of[ap] = clients
+        return clients
+
+    def _profile(self, ap: int, width: int, clients: List[int]) -> tuple:
+        profile = self._profiles[ap][width]
+        if profile is None:
+            delay_row = self._tables.delay[width][ap]
+            factor_row = self._tables.factor[width][ap]
+            delays = [delay_row[client] for client in clients]
+            factors = tuple(factor_row[client] for client in clients)
+            self.stats.cell_profile_builds += 1
+            # sum() in client order replicates the dict engine exactly.
+            profile = (sum(delays), factors)
+            self._profiles[ap][width] = profile
+        return profile
+
+    def _compute_cell(
+        self, ap: int, width: int, load: float, clients: List[int]
+    ) -> float:
+        m_share = 1.0 / (1.0 + load)
+        atd, factors = self._profile(ap, width, clients)
+        if atd == float("inf"):
+            return 0.0
+        base = m_share / atd
+        packet_mbits = self._packet_mbits
+        return sum(base * packet_mbits * factor for factor in factors)
+
+    def _cell_value(
+        self, ap: int, width: int, load: float, clients: List[int]
+    ) -> float:
+        self.stats.cell_updates += 1
+        if self._int_weights:
+            row = self._cells_fast[ap][width]
+            load_key = int(load)
+            if load_key < len(row):
+                value = row[load_key]
+                if value is not None:
+                    return value
+            else:
+                row.extend([None] * (load_key + 1 - len(row)))
+            value = self._compute_cell(ap, width, load, clients)
+            row[load_key] = value
+            return value
+        cache = self._cells[ap]
+        key = (width, load)
+        value = cache.get(key)
+        if value is None:
+            value = self._compute_cell(ap, width, load, clients)
+            cache[key] = value
+        return value
+
+    def _fresh_load(self, ap: int, row: List[float]) -> float:
+        nbrs = self._nbr[ap]
+        if nbrs is None:
+            raise AllocationError(
+                f"AP {self._ap_ids[ap]!r} is not in the interference graph"
+            )
+        chan = self._chan
+        total = 0.0
+        for other in nbrs:
+            j = chan[other]
+            if j >= 0:
+                total += row[j]
+        return total
+
+    def _structural_x(self, ap: int) -> float:
+        channel_index = self._chan[ap]
+        if channel_index < 0:
+            return 0.0
+        clients = self._clients_of[ap]
+        if clients is None:
+            clients = self._client_list(ap)
+        if not clients:
+            return 0.0
+        load = self._loads[ap]
+        if load is None:
+            load = self._fresh_load(ap, self._weight_rows[channel_index])
+            self._loads[ap] = load
+        return self._cell_value(ap, self._widths[channel_index], load, clients)
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        n_aps = len(self._ap_ids)
+        self._clients_of = [None] * n_aps
+        self._loads = [None] * n_aps
+        self._undo = None
+        x = [self._structural_x(ap) for ap in range(n_aps)]
+        self._x = x
+        self._aggregate = sum(x)
+
+    def reset(self, assignment: Mapping[str, Channel]) -> float:
+        """Replace the committed assignment wholesale; returns Y.
+
+        Cell-profile and cell-value caches survive — they depend only on
+        topology and associations — so multi-restart searches pay the
+        link mathematics once (same contract as the dict engine).
+        """
+        self.stats.resets += 1
+        chan = [-1] * len(self._ap_ids)
+        for ap_id, channel in assignment.items():
+            owner = self._ap_index.get(ap_id)
+            if owner is None:
+                raise AllocationError(f"unknown AP {ap_id!r} in assignment")
+            if channel is not None:
+                chan[owner] = self._intern(channel)
+        self._chan = chan
+        clients_of = self._clients_of
+        self._rebuild()
+        self._clients_of = clients_of  # association state did not change
+        return self._aggregate
+
+    # ------------------------------------------------------------------
+    # Channel trials (index hot path + string facade)
+    # ------------------------------------------------------------------
+    def trial_index(self, ap: int, channel_index: int) -> float:
+        """Y if AP ``ap`` moved to ``channel_index`` — pure what-if.
+
+        The allocator hot path: integer ids in, exact float out. Only
+        the ``{a} ∪ N_IG(a)`` neighbourhood is rescored; the substituted
+        total replays the dict engine's summation order bit-for-bit.
+        """
+        self.stats.trials += 1
+        nbrs = self._nbr[ap]
+        if nbrs is None:
+            raise AllocationError(
+                f"AP {self._ap_ids[ap]!r} is not in the interference graph"
+            )
+        chan = self._chan
+        rows = self._weight_rows
+        widths = self._widths
+        x = self._x
+        clients_of = self._clients_of
+        old_index = chan[ap]
+        clients = clients_of[ap]
+        if clients is None:
+            clients = self._client_list(ap)
+        if clients:
+            row = rows[channel_index]
+            load = 0.0
+            for other in nbrs:
+                j = chan[other]
+                if j >= 0:
+                    load += row[j]
+            own_value = self._cell_value(ap, widths[channel_index], load, clients)
+        else:
+            own_value = 0.0
+        saved = [(ap, x[ap])]
+        x[ap] = own_value
+        int_weights = self._int_weights
+        loads = self._loads
+        all_nbrs = self._nbr
+        for b in nbrs:
+            jb = chan[b]
+            if jb < 0:
+                continue  # inactive neighbour: X stays 0.0
+            nb_clients = clients_of[b]
+            if nb_clients is None:
+                nb_clients = self._client_list(b)
+            if not nb_clients:
+                continue  # empty cell: X stays 0.0
+            row_b = rows[jb]
+            if int_weights:
+                # Incremental: exact for integer weights (sums of small
+                # integers are closed under float64 arithmetic, so this
+                # equals the fresh CSR-order sum bit-for-bit).
+                load_b = loads[b]
+                if load_b is None:
+                    load_b = 0.0
+                    for other in all_nbrs[b]:
+                        j = chan[other]
+                        if j >= 0:
+                            load_b += row_b[j]
+                    loads[b] = load_b
+                new_load = load_b + row_b[channel_index]
+                if old_index >= 0:
+                    new_load -= row_b[old_index]
+            else:
+                # Non-integer weights: order-preserving fresh sum with
+                # the trial channel substituted in place.
+                new_load = 0.0
+                for other in all_nbrs[b]:
+                    j = channel_index if other == ap else chan[other]
+                    if j >= 0:
+                        new_load += row_b[j]
+            saved.append((b, x[b]))
+            x[b] = self._cell_value(b, widths[jb], new_load, nb_clients)
+        total = sum(x)
+        for index, value in saved:
+            x[index] = value
+        return total
+
+    def trial(self, ap_id: str, channel: Channel) -> float:
+        """String facade over :meth:`trial_index`."""
+        ap = self._ap_index.get(ap_id)
+        if ap is None:
+            raise AllocationError(f"unknown AP {ap_id!r}")
+        return self.trial_index(ap, self._intern(channel))
+
+    def commit_index(self, ap: int, channel_index: int) -> float:
+        """Apply a channel switch by index; returns the new committed Y."""
+        self.stats.commits += 1
+        nbrs = self._nbr[ap]
+        if nbrs is None:
+            raise AllocationError(
+                f"AP {self._ap_ids[ap]!r} is not in the interference graph"
+            )
+        touched = (ap,) + nbrs
+        self._undo = (
+            "channel",
+            ap,
+            self._chan[ap],
+            [(t, self._x[t]) for t in touched],
+            [(t, self._loads[t]) for t in touched],
+            self._aggregate,
+        )
+        self._chan[ap] = channel_index
+        loads = self._loads
+        for t in touched:
+            loads[t] = None
+        for t in touched:
+            self._x[t] = self._structural_x(t)
+        self._aggregate = sum(self._x)
+        return self._aggregate
+
+    def commit(self, ap_id: str, channel: Channel) -> float:
+        """String facade over :meth:`commit_index`."""
+        ap = self._ap_index.get(ap_id)
+        if ap is None:
+            raise AllocationError(f"unknown AP {ap_id!r}")
+        return self.commit_index(ap, self._intern(channel))
+
+    def rollback(self) -> float:
+        """Undo the most recent ``commit``/``commit_move``; returns Y."""
+        if self._undo is None:
+            raise AllocationError("nothing to roll back")
+        self.stats.rollbacks += 1
+        record = self._undo
+        if record[0] == "channel":
+            _, ap, previous, old_x, old_loads, old_aggregate = record
+            self._chan[ap] = previous
+            for index, value in old_x:
+                self._x[index] = value
+            for index, value in old_loads:
+                self._loads[index] = value
+        else:
+            (
+                _,
+                client,
+                previous,
+                old_x,
+                old_lists,
+                old_profiles,
+                old_cells_fast,
+                old_cells,
+                old_aggregate,
+            ) = record
+            if previous is None:
+                self._assoc.pop(client, None)
+            else:
+                self._assoc[client] = previous
+            for index, value in old_x:
+                self._x[index] = value
+            for index, value in old_lists:
+                self._clients_of[index] = value
+            for index, value in old_profiles:
+                self._profiles[index] = value
+            for index, value in old_cells_fast:
+                self._cells_fast[index] = value
+            for index, value in old_cells:
+                self._cells[index] = value
+        self._aggregate = old_aggregate
+        self._undo = None
+        return self._aggregate
+
+    # ------------------------------------------------------------------
+    # Association trials (the refinement local search)
+    # ------------------------------------------------------------------
+    def _move_indices(self, client_id: str, target_ap: str) -> tuple:
+        target = self._ap_index.get(target_ap)
+        if target is None:
+            raise AllocationError(f"unknown AP {target_ap!r}")
+        client = self._client_index.get(client_id)
+        if client is None:
+            raise AllocationError(f"unknown client {client_id!r}")
+        if self._chan[target] >= 0 and not self._compiled.has_link[
+            target, client
+        ]:
+            # The dict engine raises from Network.link_budget when the
+            # target cell's profile is rebuilt; raising here keeps error
+            # parity (and, for commit_move, fails before any mutation).
+            raise TopologyError(
+                "no SNR override and no geometry for link "
+                f"{target_ap!r}->{client_id!r}"
+            )
+        return client, target
+
+    def trial_move(self, client_id: str, target_ap: str) -> float:
+        """Y if ``client_id`` re-associated to ``target_ap`` (pure what-if).
+
+        Medium shares are untouched by an association move, so only the
+        source and target cells are recomputed — with fresh profiles, as
+        the dict engine does for overlaid memberships.
+        """
+        self.stats.trials += 1
+        client, target = self._move_indices(client_id, target_ap)
+        previous = self._assoc.get(client)
+        touched: List[int] = []
+        for ap in (previous, target):
+            if ap is not None and ap not in touched:
+                touched.append(ap)
+        x = self._x
+        saved = []
+        for ap in touched:
+            channel_index = self._chan[ap]
+            if channel_index < 0:
+                value = 0.0
+            else:
+                clients: List[int] = []
+                for other, owner in self._assoc.items():
+                    if (target if other == client else owner) == ap:
+                        clients.append(other)
+                if previous is None and target == ap and client not in clients:
+                    clients.append(client)
+                if not clients:
+                    value = 0.0
+                else:
+                    load = self._loads[ap]
+                    if load is None:
+                        load = self._fresh_load(
+                            ap, self._weight_rows[channel_index]
+                        )
+                    width = self._widths[channel_index]
+                    delay_row = self._tables.delay[width][ap]
+                    factor_row = self._tables.factor[width][ap]
+                    delays = [delay_row[c] for c in clients]
+                    factors = tuple(factor_row[c] for c in clients)
+                    self.stats.cell_profile_builds += 1
+                    atd = sum(delays)
+                    if atd == float("inf"):
+                        value = 0.0
+                    else:
+                        base = (1.0 / (1.0 + load)) / atd
+                        packet_mbits = self._packet_mbits
+                        value = sum(
+                            base * packet_mbits * factor for factor in factors
+                        )
+            saved.append((ap, x[ap]))
+            x[ap] = value
+        total = sum(x)
+        for index, value in saved:
+            x[index] = value
+        return total
+
+    def commit_move(self, client_id: str, target_ap: str) -> float:
+        """Apply a client re-association; returns the new committed Y."""
+        self.stats.commits += 1
+        client, target = self._move_indices(client_id, target_ap)
+        previous = self._assoc.get(client)
+        touched: List[int] = []
+        for ap in (previous, target):
+            if ap is not None and ap not in touched:
+                touched.append(ap)
+        self._undo = (
+            "move",
+            client,
+            previous,
+            [(ap, self._x[ap]) for ap in touched],
+            [(ap, self._clients_of[ap]) for ap in touched],
+            [(ap, self._profiles[ap]) for ap in touched],
+            [(ap, self._cells_fast[ap]) for ap in touched],
+            [(ap, self._cells[ap]) for ap in touched],
+            self._aggregate,
+        )
+        self._assoc[client] = target
+        for ap in touched:
+            # Membership changed: client lists, profiles and memoised
+            # cell values for the two affected APs are stale.
+            self._clients_of[ap] = None
+            self._profiles[ap] = [None, None]
+            self._cells_fast[ap] = [[], []]
+            self._cells[ap] = {}
+        for ap in touched:
+            self._x[ap] = self._structural_x(ap)
+        self._aggregate = sum(self._x)
+        return self._aggregate

@@ -88,18 +88,28 @@ class ThroughputModel:
         self._decision_cache: Dict[Tuple[float, str], RateDecision] = {}
 
     # ------------------------------------------------------------------
+    def decision_from_snr(self, snr: float, params) -> RateDecision:
+        """Cached rate decision from a per-subcarrier SNR and numerology.
+
+        This is the exact cache used by :meth:`link_decision`; the
+        compiled-state rate tables (:mod:`repro.net.state`) call it
+        directly with SNRs read from the frozen matrices so both paths
+        produce identical :class:`RateDecision` objects.
+        """
+        key = (round(snr, 3), params.name)
+        decision = self._decision_cache.get(key)
+        if decision is None:
+            decision = self.controller.decide_from_snr(snr, params)
+            self._decision_cache[key] = decision
+        return decision
+
     def link_decision(
         self, network: Network, ap_id: str, client_id: str, channel: Channel
     ) -> RateDecision:
         """Cached goodput-optimal rate decision for one link and width."""
         budget = network.link_budget(ap_id, client_id)
         snr = budget.subcarrier_snr_db(channel.params)
-        key = (round(snr, 3), channel.params.name)
-        decision = self._decision_cache.get(key)
-        if decision is None:
-            decision = self.controller.decide_from_snr(snr, channel.params)
-            self._decision_cache[key] = decision
-        return decision
+        return self.decision_from_snr(snr, channel.params)
 
     def client_delay(
         self, network: Network, ap_id: str, client_id: str, channel: Channel

@@ -194,12 +194,12 @@ class Network:
             raise TopologyError(
                 f"no SNR override and no geometry for link {ap_id!r}->{client_id!r}"
             )
-        loss = self.config.path_loss.loss_db(
-            self.distance(ap.position, client.position)
-        )
-        return LinkBudget(
+        # One shared geometry → budget path (see link.budget): the
+        # compiled-state SNR matrices reuse these exact floats.
+        return LinkBudget.from_distance(
+            self.distance(ap.position, client.position),
+            model=self.config.path_loss,
             tx_power_dbm=ap.tx_power_dbm,
-            path_loss_db=loss,
             noise_figure_db=self.config.noise_figure_db,
         )
 

@@ -193,11 +193,10 @@ def run_mobility_experiment(
 
 
 def _snr20(network: Network, path_loss_db: float) -> float:
-    from ..link.budget import LinkBudget
+    from ..link.budget import snr20_from_path_loss
 
-    budget = LinkBudget(
+    return snr20_from_path_loss(
+        path_loss_db,
         tx_power_dbm=network.ap("AP").tx_power_dbm,
-        path_loss_db=path_loss_db,
         noise_figure_db=network.config.noise_figure_db,
     )
-    return budget.snr20_db

@@ -390,11 +390,10 @@ register_scenario("random", random_enterprise)
 
 def _snr20_from_loss(path_loss_db: float, config: SimulationConfig) -> float:
     """20 MHz per-subcarrier SNR for a link with the given total loss."""
-    from ..link.budget import LinkBudget
+    from ..link.budget import snr20_from_path_loss
 
-    budget = LinkBudget(
+    return snr20_from_path_loss(
+        path_loss_db,
         tx_power_dbm=config.max_tx_power_dbm,
-        path_loss_db=path_loss_db,
         noise_figure_db=config.noise_figure_db,
     )
-    return budget.snr20_db

@@ -91,3 +91,61 @@ class TestBrokenPool:
         by_algorithm = {r.algorithm: r for r in store.results()}
         assert by_algorithm["test_suicidal"].status == "crashed"
         assert by_algorithm["acorn"].status == "ok"
+
+
+class TestPrecompiledPayloads:
+    """Compiled-scenario shipping: same results, wrong payloads rejected."""
+
+    def _spec(self):
+        return SweepSpec(
+            scenarios=(
+                "topology1",
+                ("random", {"n_aps": 4, "n_clients": 8}),
+            ),
+            seeds=(0, 1),
+            algorithms=("acorn",),
+        )
+
+    @staticmethod
+    def _key(store):
+        results = sorted(store.results(), key=lambda r: r.job_id)
+        return [r.deterministic_dict() for r in results]
+
+    def test_precompile_matches_rebuild_path(self):
+        baseline = run_sweep(self._spec(), workers=1, precompile=False)
+        compiled = run_sweep(self._spec(), workers=1, precompile=True)
+        assert self._key(compiled) == self._key(baseline)
+
+    def test_precompile_matches_across_pool(self):
+        baseline = run_sweep(self._spec(), workers=1, precompile=False)
+        pooled = run_sweep(self._spec(), workers=2, precompile=True)
+        assert self._key(pooled) == self._key(baseline)
+
+    def test_compiled_scenario_round_trip(self):
+        from repro.fleet import CompiledScenario, payload_key
+        from repro.net import network_fingerprint
+
+        job = self._spec().expand()[0]
+        payload = CompiledScenario.from_job(job)
+        assert payload.matches(job)
+        rebuilt = payload.to_scenario()
+        reference = job.build_scenario()
+        assert network_fingerprint(rebuilt.network) == network_fingerprint(
+            reference.network
+        )
+        assert rebuilt.client_order == reference.client_order
+        assert payload.key == payload_key(job)
+
+    def test_mismatched_payload_fails_the_job(self):
+        from repro.fleet import CompiledScenario, SweepSpec
+        from repro.fleet.executor import execute_job
+
+        job = self._spec().expand()[0]
+        other_spec = SweepSpec(
+            scenarios=("dense",), seeds=(0,), algorithms=("acorn",)
+        )
+        wrong = CompiledScenario.from_job(other_spec.expand()[0])
+        assert not wrong.matches(job)
+        result = execute_job(job, payload=wrong)
+        assert result.status == "failed"
+        assert "payload" in result.error

@@ -187,3 +187,66 @@ class TestRateController:
     def test_invalid_packet_bytes_rejected(self):
         with pytest.raises(ConfigurationError):
             RateController(packet_bytes=-1)
+
+
+class TestSnr20FromPathLoss:
+    """Regression pin for the shared loss → SNR conversion.
+
+    :func:`repro.link.budget.snr20_from_path_loss` is the single
+    function every layer (scenario builders, the mobility trace, the
+    compiled-state SNR matrices) uses to turn a path loss into the
+    canonical 20 MHz link quality. These exact floats are load-bearing:
+    changing them silently re-grades every geometry scenario.
+    """
+
+    PINNED_DEFAULTS = {
+        60.0: 58.569619513137056,
+        80.0: 38.569619513137056,
+        95.0: 23.569619513137056,
+        110.0: 8.569619513137056,
+    }
+    PINNED_CUSTOM = {
+        60.0: 53.569619513137056,
+        80.0: 33.569619513137056,
+        95.0: 18.569619513137056,
+        110.0: 3.569619513137056,
+    }
+
+    def test_pinned_values_defaults(self):
+        from repro.link.budget import snr20_from_path_loss
+
+        for loss, expected in self.PINNED_DEFAULTS.items():
+            assert snr20_from_path_loss(loss) == expected
+
+    def test_pinned_values_custom_budget(self):
+        from repro.link.budget import snr20_from_path_loss
+
+        for loss, expected in self.PINNED_CUSTOM.items():
+            assert (
+                snr20_from_path_loss(
+                    loss, tx_power_dbm=20.0, noise_figure_db=8.0
+                )
+                == expected
+            )
+
+    def test_matches_link_budget_class(self):
+        from repro.link.budget import snr20_from_path_loss
+
+        for loss in (55.0, 72.5, 96.25, 120.0):
+            budget = LinkBudget(tx_power_dbm=23.0, path_loss_db=loss)
+            assert snr20_from_path_loss(loss) == budget.snr20_db
+
+    def test_topology_geometry_routes_through_it(self):
+        from repro.link.budget import snr20_from_path_loss
+        from repro.net.topology import Network
+
+        network = Network()
+        network.add_ap("a", position=(0.0, 0.0), tx_power_dbm=20.0)
+        network.add_client("c", position=(30.0, 40.0))
+        budget = network.link_budget("a", "c")
+        expected = snr20_from_path_loss(
+            network.config.path_loss.loss_db(50.0),
+            tx_power_dbm=20.0,
+            noise_figure_db=network.config.noise_figure_db,
+        )
+        assert budget.snr20_db == expected

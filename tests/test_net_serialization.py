@@ -81,13 +81,62 @@ class TestRoundtrip:
 class TestFormat:
     def test_version_field_present(self):
         data = network_to_dict(Network())
-        assert data["version"] == 1
+        assert data["version"] == 2
 
     def test_unknown_version_rejected(self):
         data = network_to_dict(Network())
         data["version"] = 99
         with pytest.raises(TopologyError):
             network_from_dict(data)
+
+    def test_version1_rejected_with_clear_error(self):
+        from repro.errors import SerializationError
+
+        data = network_to_dict(full_network())
+        data["version"] = 1
+        with pytest.raises(SerializationError, match="version 1"):
+            network_from_dict(data)
+        # SerializationError subclasses TopologyError, so pre-existing
+        # guards keep catching it.
+        with pytest.raises(TopologyError):
+            network_from_dict(data)
+
+    def test_fingerprint_round_trips(self):
+        from repro.net.state import network_fingerprint
+
+        original = full_network()
+        data = network_to_dict(original)
+        assert data["fingerprint"] == network_fingerprint(original)
+        rebuilt = network_from_dict(data)
+        assert network_fingerprint(rebuilt) == data["fingerprint"]
+
+    def test_corrupted_fingerprint_rejected(self):
+        from repro.errors import SerializationError
+
+        data = network_to_dict(full_network())
+        data["fingerprint"] = "0" * 64
+        with pytest.raises(SerializationError, match="fingerprint"):
+            network_from_dict(data)
+
+    def test_config_round_trips(self):
+        from repro.config import PathLossModel, SimulationConfig
+
+        config = SimulationConfig(
+            seed=7,
+            noise_figure_db=7.5,
+            max_tx_power_dbm=20.0,
+            packet_size_bytes=1200,
+            path_loss=PathLossModel(pl0_db=40.0, exponent=3.5),
+        )
+        network = Network(config)
+        network.add_ap("a", position=(0.0, 0.0))
+        network.add_client("c", position=(10.0, 0.0))
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert rebuilt.config == config
+        assert (
+            rebuilt.link_budget("a", "c").snr20_db
+            == network.link_budget("a", "c").snr20_db
+        )
 
     def test_json_serialisable(self):
         import json
