@@ -1,0 +1,37 @@
+"""Helpers shared by the standalone ``bench_*`` scripts and conftest.
+
+One thing lives here today: the missing-baseline protocol. Every gated
+benchmark (``bench_allocator --check``, ``bench_obs --check``) and every
+pytest fixture that reads a checked-in ``BENCH_*.json`` reports the
+same message and the same exit code (:data:`MISSING_BASELINE_EXIT`)
+when the baseline file is absent, so CI logs and ``tests/test_cli.py``
+can match on a single phrasing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+#: Exit code for "--check requested but no baseline file recorded yet".
+#: Distinct from 1 (a real regression) so scripts can tell "you forgot
+#: to record" from "you made it slower".
+MISSING_BASELINE_EXIT = 2
+
+
+def missing_baseline_message(path: "str | pathlib.Path") -> str:
+    """The one shared phrasing for an absent ``BENCH_*.json`` baseline."""
+    return f"no baseline at {path}; run without --check first to record one"
+
+
+def require_baseline(path: "str | pathlib.Path") -> "int | None":
+    """Gate entry for ``--check`` modes: complain if the baseline is gone.
+
+    Returns :data:`MISSING_BASELINE_EXIT` (printing the shared message
+    to stderr) when ``path`` does not exist, else ``None`` — callers do
+    ``code = require_baseline(p); if code is not None: return code``.
+    """
+    if pathlib.Path(path).exists():
+        return None
+    print(missing_baseline_message(path), file=sys.stderr)
+    return MISSING_BASELINE_EXIT

@@ -41,6 +41,9 @@ from repro.core.allocation import greedy_allocate, random_assignment
 from repro.net import CompiledNetwork, DeltaEvaluator, ThroughputModel
 from repro.sim.scenario import random_enterprise
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from _shared import require_baseline  # noqa: E402
+
 SIZES = ((4, 10), (6, 15), (8, 20), (10, 24), (16, 40), (24, 60))
 SCENARIO_SEED = 31
 START_SEED = 5
@@ -251,13 +254,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.check and not args.output.exists():
-        print(
-            f"no baseline at {args.output}; run without --check first to "
-            "record one",
-            file=sys.stderr,
-        )
-        return 1
+    if args.check:
+        code = require_baseline(args.output)
+        if code is not None:
+            return code
 
     print(
         "allocator benchmark (full evaluation vs delta vs compiled engines)",

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark: the disabled tracer must be free.
+
+Re-runs the largest allocator ladder rung — (24 APs, 60 clients),
+compiled engine, identical scenario/start seeds to
+``benchmarks/bench_allocator.py`` — twice: once with the default
+:class:`~repro.obs.tracer.NullTracer` (the *disabled* mode every
+un-profiled caller pays) and once under an activated
+:class:`~repro.obs.tracer.Tracer` (the ``--profile`` mode). Both runs
+must produce bit-identical allocations; the disabled run must stay
+within :data:`OVERHEAD_LIMIT_PCT` of the ``compiled_ms`` timing
+recorded in ``BENCH_allocator.json`` — i.e. instrumenting the hot path
+may not tax callers who never asked for a trace.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py          # refresh BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs.py --check  # gate the overhead
+
+Both modes need ``BENCH_allocator.json`` as the reference timing (exit
+2 when missing, the shared missing-baseline protocol). ``--check``
+fails with exit 1 when the disabled-mode overhead reaches the limit.
+The comparison is against a timing recorded on the *same* machine —
+refresh the allocator baseline first when moving hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro import Acorn
+from repro.core import allocate_channels
+from repro.core.allocation import random_assignment
+from repro.net import CompiledNetwork, ThroughputModel
+from repro.obs import Tracer, activate
+from repro.sim.scenario import random_enterprise
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from _shared import require_baseline  # noqa: E402
+
+N_APS, N_CLIENTS = 24, 60  # the largest bench_allocator rung
+SCENARIO_SEED = 31
+START_SEED = 5
+REPEATS = 9
+OVERHEAD_LIMIT_PCT = 2.0
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ALLOCATOR_BASELINE = REPO_ROOT / "BENCH_allocator.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_obs.json"
+
+
+def _build_workload():
+    """The (24, 60) compiled-allocator workload, arrays pre-built."""
+    scenario = random_enterprise(
+        n_aps=N_APS,
+        n_clients=N_CLIENTS,
+        area_m=(60.0, 45.0),
+        seed=SCENARIO_SEED,
+    )
+    model = ThroughputModel()
+    acorn = Acorn(scenario.network, scenario.plan, model, seed=START_SEED)
+    acorn.assign_initial_channels()
+    acorn.admit_clients(scenario.client_order)
+    graph = acorn.graph
+    start = random_assignment(scenario.network.ap_ids, scenario.plan, START_SEED)
+    compiled = CompiledNetwork.compile(scenario.network, graph, scenario.plan)
+    compiled.rate_tables(model)
+
+    def run():
+        return allocate_channels(
+            scenario.network,
+            graph,
+            scenario.plan,
+            model,
+            initial=start,
+            rng=START_SEED,
+            engine_mode="compiled",
+            compiled=compiled,
+        )
+
+    return run
+
+
+def measure() -> dict:
+    """Best-of-``REPEATS`` wall clock for the disabled and enabled modes."""
+    run = _build_workload()
+    run()  # warm caches (rate decisions, PHY tables) off the clock
+
+    disabled_s = float("inf")
+    baseline_result = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        baseline_result = run()
+        disabled_s = min(disabled_s, time.perf_counter() - t0)
+
+    enabled_s = float("inf")
+    traced_result = None
+    for _ in range(REPEATS):
+        tracer = Tracer()  # fresh per repeat: spans must not accumulate
+        with activate(tracer):
+            t0 = time.perf_counter()
+            traced_result = run()
+            enabled_s = min(enabled_s, time.perf_counter() - t0)
+
+    if (
+        traced_result.assignment != baseline_result.assignment
+        or traced_result.aggregate_mbps != baseline_result.aggregate_mbps
+        or traced_result.evaluations != baseline_result.evaluations
+    ):
+        raise SystemExit(
+            "transparency violated: traced and untraced allocations diverged"
+        )
+
+    return {
+        "disabled_ms": round(disabled_s * 1e3, 3),
+        "enabled_ms": round(enabled_s * 1e3, 3),
+        "evaluations": baseline_result.evaluations,
+        "enabled_overhead_pct": round(
+            (enabled_s / disabled_s - 1.0) * 100.0, 2
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    """Benchmark entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the disabled-mode overhead instead of refreshing BENCH_obs.json",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--reference",
+        type=pathlib.Path,
+        default=ALLOCATOR_BASELINE,
+        help=f"allocator baseline to compare against (default: {ALLOCATOR_BASELINE})",
+    )
+    args = parser.parse_args(argv)
+
+    code = require_baseline(args.reference)
+    if code is not None:
+        return code
+    allocator = json.loads(args.reference.read_text())
+    reference_ms = next(
+        row["compiled_ms"]
+        for row in allocator["sizes"]
+        if (row["n_aps"], row["n_clients"]) == (N_APS, N_CLIENTS)
+    )
+
+    print(
+        f"obs overhead benchmark ({N_APS} APs / {N_CLIENTS} clients, "
+        f"compiled engine, best of {REPEATS})",
+        flush=True,
+    )
+    report = measure()
+    overhead_pct = (report["disabled_ms"] / reference_ms - 1.0) * 100.0
+    report.update(
+        benchmark="obs",
+        generated_by="benchmarks/bench_obs.py",
+        n_aps=N_APS,
+        n_clients=N_CLIENTS,
+        reference_compiled_ms=reference_ms,
+        disabled_overhead_pct=round(overhead_pct, 2),
+        overhead_limit_pct=OVERHEAD_LIMIT_PCT,
+    )
+    print(
+        f"  disabled {report['disabled_ms']:8.1f} ms "
+        f"({report['disabled_overhead_pct']:+.1f}% vs reference "
+        f"{reference_ms:.1f} ms), "
+        f"enabled {report['enabled_ms']:8.1f} ms "
+        f"({report['enabled_overhead_pct']:+.1f}% vs disabled)",
+        flush=True,
+    )
+
+    if args.check:
+        if overhead_pct >= OVERHEAD_LIMIT_PCT:
+            print(
+                f"REGRESSION: disabled-tracer overhead "
+                f"{overhead_pct:+.1f}% reaches the "
+                f"{OVERHEAD_LIMIT_PCT:.0f}% limit"
+            )
+            return 1
+        print(
+            f"ok: disabled-tracer overhead {overhead_pct:+.1f}% "
+            f"under {OVERHEAD_LIMIT_PCT:.0f}%"
+        )
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

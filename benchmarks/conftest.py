@@ -9,12 +9,29 @@ times the computational kernel via pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
 import pytest
 
+from _shared import missing_baseline_message
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+ALLOCATOR_BASELINE = pathlib.Path(__file__).parent.parent / "BENCH_allocator.json"
+
+
+@pytest.fixture(scope="session")
+def allocator_baseline():
+    """The checked-in ``BENCH_allocator.json``, or a skip when absent.
+
+    The skip reason is the same phrasing the ``bench_*`` scripts print
+    on exit 2 (``benchmarks/_shared.py``), so a missing baseline reads
+    identically everywhere.
+    """
+    if not ALLOCATOR_BASELINE.exists():
+        pytest.skip(missing_baseline_message(ALLOCATOR_BASELINE))
+    return json.loads(ALLOCATOR_BASELINE.read_text())
 
 
 @pytest.fixture(scope="session")

@@ -28,6 +28,7 @@ from ..net.interference import build_interference_graph
 from ..net.state import CompiledEvaluator, CompiledNetwork
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
+from ..obs.tracer import active_tracer
 
 __all__ = [
     "kauffmann_choose_ap",
@@ -103,6 +104,11 @@ def kauffmann_allocate(
         if compiled is None:
             compiled = CompiledNetwork.compile(network, graph, plan)
         engine = CompiledEvaluator(compiled, assignment={})
+    tracer = active_tracer()
+    observe = tracer.enabled
+    if observe:
+        tracer.start("kauffmann.allocate")
+    scans = 0
     assignment: Dict[str, Channel] = {}
     for _ in range(max(1, passes)):
         for ap_id in network.ap_ids:
@@ -112,11 +118,15 @@ def kauffmann_allocate(
                 conflicts = engine.contention_load(
                     ap_id, channel, assignment=assignment
                 )
+                scans += 1
                 if best_conflicts is None or conflicts < best_conflicts:
                     best_conflicts = conflicts
                     best_channel = channel
             assert best_channel is not None
             assignment[ap_id] = best_channel
+    if observe:
+        tracer.end("kauffmann.allocate")
+        tracer.metrics.counter("kauffmann.contention_scans").inc(scans)
     return assignment
 
 
@@ -173,6 +183,16 @@ class KauffmannController:
         self, client_order: Optional[Sequence[str]] = None
     ) -> KauffmannResult:
         """Allocate aggressively, then admit clients selfishly."""
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return self._configure(client_order)
+        with tracer.span("kauffmann.configure"):
+            return self._configure(client_order)
+
+    def _configure(
+        self, client_order: Optional[Sequence[str]] = None
+    ) -> KauffmannResult:
+        """The :meth:`configure` body, free of tracing scaffolding."""
         assignment = kauffmann_allocate(self.network, self.graph, self.plan)
         for ap_id, channel in assignment.items():
             self.network.set_channel(ap_id, channel)

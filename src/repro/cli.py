@@ -8,11 +8,15 @@ Usage (via ``python -m repro``):
 * ``mobility --direction away|toward`` — the Fig 13 mobility trace.
 * ``transitions`` — the Table 1 σ = 2 transition SNRs.
 * ``trace`` — the Fig 9 association-duration statistics and the
-  derived allocation periodicity.
+  derived allocation periodicity; ``trace <journal>`` instead renders
+  the merged :mod:`repro.obs` profile of a recorded sweep (text or
+  ``--format json``).
 * ``sweep`` — a multi-cell (scenario × seed × algorithm × traffic)
   evaluation sweep via :mod:`repro.fleet`, with ``--workers``,
   ``--timeout``, a JSONL checkpoint journal (``--out``) and
-  ``--resume``.
+  ``--resume``. ``--profile`` traces every job and the driver and
+  prints the merged span/counter report (``scenario --profile``
+  does the same for a single configuration run).
 * ``lint`` — the :mod:`repro.lint` static invariant checker (RL001
   determinism, RL002 units, RL003 errors, ...) over the given paths;
   exit 0 clean, 1 findings, 2 internal error. ``--format json`` emits
@@ -70,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the association-refinement extension after configuring",
     )
+    scenario.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run (repro.obs) and print the span/counter report",
+    )
 
     mobility = subparsers.add_parser(
         "mobility", help="run the Fig 13 pedestrian-mobility trace"
@@ -84,10 +93,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     trace = subparsers.add_parser(
-        "trace", help="association-duration statistics (Fig 9)"
+        "trace",
+        help=(
+            "association-duration statistics (Fig 9), or — given a sweep "
+            "journal — the merged repro.obs profile of that run"
+        ),
+    )
+    trace.add_argument(
+        "run",
+        nargs="?",
+        default=None,
+        help="sweep journal (from `sweep --out`) to render a trace report for",
     )
     trace.add_argument("--sessions", type=int, default=20_000)
     trace.add_argument("--seed", type=int, default=2010)
+    trace.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format",
+        help="trace-report format (only with a journal argument)",
+    )
 
     longrun = subparsers.add_parser(
         "longrun", help="churned long-run operation at a given period"
@@ -173,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-job progress lines",
     )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "trace every job (payloads land in the --out journal) and "
+            "print the merged span/counter report"
+        ),
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -216,6 +250,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     from . import Acorn
     from .baselines import KauffmannController
     from .net import ThroughputModel
+    from .obs import Tracer, activate, render_trace_text
     from .sim.traffic import TcpTraffic
 
     builder = _build_scenario(args.name, getattr(args, "scenario_seed", None))
@@ -225,19 +260,32 @@ def _run_scenario(args: argparse.Namespace) -> int:
             return ThroughputModel(traffic=TcpTraffic())
         return ThroughputModel()
 
-    acorn_scenario = builder()
-    acorn = Acorn(
-        acorn_scenario.network, acorn_scenario.plan, make_model(), seed=args.seed
-    )
-    acorn_result = acorn.configure(
-        acorn_scenario.client_order, refine=getattr(args, "refine", False)
-    )
+    profile = getattr(args, "profile", False)
+    tracer = Tracer() if profile else None
 
-    baseline_scenario = builder()
-    baseline = KauffmannController(
-        baseline_scenario.network, baseline_scenario.plan, make_model()
-    )
-    baseline_result = baseline.configure(baseline_scenario.client_order)
+    def _configure_both():
+        acorn_scenario = builder()
+        acorn = Acorn(
+            acorn_scenario.network,
+            acorn_scenario.plan,
+            make_model(),
+            seed=args.seed,
+        )
+        acorn_result = acorn.configure(
+            acorn_scenario.client_order, refine=getattr(args, "refine", False)
+        )
+        baseline_scenario = builder()
+        baseline = KauffmannController(
+            baseline_scenario.network, baseline_scenario.plan, make_model()
+        )
+        baseline_result = baseline.configure(baseline_scenario.client_order)
+        return acorn_result, baseline_result
+
+    if tracer is not None:
+        with activate(tracer):
+            acorn_result, baseline_result = _configure_both()
+    else:
+        acorn_result, baseline_result = _configure_both()
 
     rows = []
     for ap_id in sorted(acorn_result.report.per_ap_mbps):
@@ -260,6 +308,13 @@ def _run_scenario(args: argparse.Namespace) -> int:
             title=f"{args.name} ({args.traffic.upper()} traffic, seed {args.seed})",
         )
     )
+    if tracer is not None:
+        print()
+        print(
+            render_trace_text(
+                tracer.to_payload(), title=f"Profile of scenario {args.name}"
+            )
+        )
     return 0
 
 
@@ -331,6 +386,12 @@ def _run_transitions(args: argparse.Namespace) -> int:
 
 
 def _run_trace(args: argparse.Namespace) -> int:
+    if getattr(args, "run", None) is not None:
+        from .obs import trace_report
+
+        print(trace_report(args.run, fmt=args.format))
+        return 0
+
     from .traces.associations import (
         recommended_period_s,
         summarize_durations,
@@ -417,15 +478,38 @@ def _run_sweep(args: argparse.Namespace) -> int:
         )
         print(f"  [{result.job_id}] {result.status:7s} {detail}", flush=True)
 
-    store = run_sweep(
-        spec,
-        workers=args.workers,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        journal_path=args.out,
-        resume=args.resume,
-        progress=_progress,
-    )
+    profile = getattr(args, "profile", False)
+    if profile:
+        from .obs import Tracer, activate, merge_traces, render_trace_text
+
+        driver = Tracer()
+        with activate(driver):
+            store = run_sweep(
+                spec,
+                workers=args.workers,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                journal_path=args.out,
+                resume=args.resume,
+                progress=_progress,
+                profile=True,
+            )
+        payloads = [driver.to_payload()]
+        payloads.extend(r.trace for r in store if r.trace is not None)
+        trace_text = render_trace_text(
+            merge_traces(payloads), title="Sweep profile"
+        )
+    else:
+        store = run_sweep(
+            spec,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            journal_path=args.out,
+            resume=args.resume,
+            progress=_progress,
+        )
+        trace_text = None
     fresh = len(store) - store.reloaded
     print(
         f"sweep: {len(store)}/{n_jobs} jobs "
@@ -433,6 +517,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"{len(store.failed)} failed)"
     )
     print(store.summary_table())
+    if trace_text is not None:
+        print()
+        print(trace_text)
     return 1 if store.failed or len(store) < n_jobs else 0
 
 

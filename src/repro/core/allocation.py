@@ -26,6 +26,7 @@ from ..net.evaluator import DeltaEvaluator, FullEvaluationEngine
 from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
+from ..obs.tracer import active_tracer
 
 __all__ = [
     "SwitchEvent",
@@ -36,6 +37,39 @@ __all__ = [
 ]
 
 EvaluateFn = Callable[[Mapping[str, Channel]], float]
+
+# Per-start evaluation-count histogram buckets (counts, not seconds).
+_EVALS_PER_START_BOUNDS = (10.0, 100.0, 1_000.0, 10_000.0, 100_000.0)
+
+
+def _record_start(tracer, engine, stats_before, result, skips) -> None:
+    """Bridge one greedy start's counters into the active tracer.
+
+    Engine operation counts (trials/commits/rollbacks/...) are taken as
+    deltas of the engine's own :class:`~repro.net.evaluator.EngineStats`
+    — both the dict-keyed and the compiled engine maintain them — so the
+    observability layer never touches the evaluators' hot paths.
+    """
+    metrics = tracer.metrics
+    metrics.counter("alloc.starts").inc()
+    metrics.counter("alloc.evaluations").inc(result.evaluations)
+    metrics.counter("alloc.skips").inc(skips)
+    metrics.counter("alloc.rounds").inc(result.rounds)
+    metrics.counter("alloc.switches").inc(len(result.history))
+    metrics.histogram(
+        "alloc.evaluations_per_start", _EVALS_PER_START_BOUNDS
+    ).observe(result.evaluations)
+    if stats_before is not None:
+        after = engine.stats.as_dict()
+        for key in ("trials", "commits", "rollbacks", "resets",
+                    "full_evaluations"):
+            metrics.counter(f"engine.{key}").inc(after[key] - stats_before[key])
+
+
+def _engine_stats_snapshot(engine):
+    """The engine's counter dict, or None for stat-less adapters."""
+    stats = getattr(engine, "stats", None)
+    return stats.as_dict() if stats is not None else None
 
 
 @dataclass(frozen=True)
@@ -137,6 +171,10 @@ def greedy_allocate(
         return _greedy_allocate_compiled(
             ap_ids, palette, initial, epsilon, max_rounds, engine
         )
+    tracer = active_tracer()
+    observe = tracer.enabled
+    stats_before = _engine_stats_snapshot(engine) if observe else None
+    skips = 0
     aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
     evaluations = 1
     history: List[SwitchEvent] = []
@@ -152,6 +190,8 @@ def greedy_allocate(
                 current = engine.channel_of(ap_id)
                 for channel in palette:
                     if channel == current:
+                        if observe:
+                            skips += 1
                         continue  # a no-op switch can never win
                     candidate_aggregate = engine.trial(ap_id, channel)
                     evaluations += 1
@@ -180,13 +220,16 @@ def greedy_allocate(
         if round_start > 0 and aggregate < epsilon * round_start:
             # Less than (epsilon - 1) relative growth this round: stop.
             break
-    return AllocationResult(
+    result = AllocationResult(
         assignment=engine.assignment,
         aggregate_mbps=aggregate,
         rounds=rounds,
         evaluations=evaluations,
         history=history,
     )
+    if observe:
+        _record_start(tracer, engine, stats_before, result, skips)
+    return result
 
 
 def _greedy_allocate_compiled(
@@ -216,6 +259,10 @@ def _greedy_allocate_compiled(
             raise AllocationError(f"unknown AP {ap_id!r}")
         positions.append(index)
     palette_indices = [engine.intern(channel) for channel in palette]
+    tracer = active_tracer()
+    observe = tracer.enabled
+    stats_before = engine.stats.as_dict() if observe else None
+    skips = 0
     aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
     evaluations = 1
     history: List[SwitchEvent] = []
@@ -235,6 +282,8 @@ def _greedy_allocate_compiled(
                 current = channel_index_of(ap)
                 for candidate_position, candidate in enumerate(palette_indices):
                     if candidate == current:
+                        if observe:
+                            skips += 1
                         continue  # a no-op switch can never win
                     candidate_aggregate = trial_index(ap, candidate)
                     evaluations += 1
@@ -268,13 +317,16 @@ def _greedy_allocate_compiled(
         if round_start > 0 and aggregate < epsilon * round_start:
             # Less than (epsilon - 1) relative growth this round: stop.
             break
-    return AllocationResult(
+    result = AllocationResult(
         assignment=engine.assignment,
         aggregate_mbps=aggregate,
         rounds=rounds,
         evaluations=evaluations,
         history=history,
     )
+    if observe:
+        _record_start(tracer, engine, stats_before, result, skips)
+    return result
 
 
 def allocate_channels(
@@ -370,9 +422,17 @@ def allocate_channels(
     while len(starts) < restarts:
         starts.append(random_assignment(ap_ids, plan, generator))
 
+    tracer = active_tracer()
+    observe = tracer.enabled
+    if observe:
+        tracer.start("allocate")
+        tracer.metrics.counter("alloc.runs").inc()
+        tracer.metrics.counter("alloc.restarts").inc(len(starts) - 1)
     best: Optional[AllocationResult] = None
     evaluations_per_start: List[int] = []
     for start in starts:
+        if observe:
+            tracer.start("allocate.start")
         result = greedy_allocate(
             ap_ids,
             plan.all_channels(),
@@ -381,9 +441,13 @@ def allocate_channels(
             max_rounds=max_rounds,
             engine=engine,
         )
+        if observe:
+            tracer.end("allocate.start")
         evaluations_per_start.append(result.evaluations)
         if best is None or result.aggregate_mbps > best.aggregate_mbps:
             best = result
+    if observe:
+        tracer.end("allocate")
     assert best is not None
     best.total_evaluations = sum(evaluations_per_start)
     best.evaluations_per_start = evaluations_per_start

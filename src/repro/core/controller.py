@@ -27,6 +27,7 @@ from ..net.interference import build_interference_graph
 from ..net.state import CompiledNetwork, supports_compiled
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
+from ..obs.tracer import active_tracer
 from .allocation import AllocationResult, allocate_channels, random_assignment
 from .association import choose_ap
 
@@ -97,8 +98,13 @@ class Acorn:
     @property
     def graph(self) -> nx.Graph:
         """The current interference graph (rebuilt on demand)."""
+        tracer = active_tracer()
         if self._graph is None:
+            if tracer.enabled:
+                tracer.metrics.counter("controller.graph_builds").inc()
             self._graph = build_interference_graph(self.network)
+        elif tracer.enabled:
+            tracer.metrics.counter("controller.graph_cache_hits").inc()
         return self._graph
 
     @property
@@ -110,14 +116,23 @@ class Acorn:
         edges) also drops the compiled snapshot, so the arrays can never
         go stale relative to the graph the allocator scores against.
         """
+        tracer = active_tracer()
         if self._compiled is None:
+            if tracer.enabled:
+                tracer.metrics.counter("controller.compile_builds").inc()
             self._compiled = CompiledNetwork.compile(
                 self.network, self.graph, self.plan
             )
+        elif tracer.enabled:
+            tracer.metrics.counter("controller.compile_cache_hits").inc()
         return self._compiled
 
     def invalidate_graph(self) -> None:
         """Force an interference-graph rebuild (topology/assoc changed)."""
+        if self._graph is not None or self._compiled is not None:
+            tracer = active_tracer()
+            if tracer.enabled:
+                tracer.metrics.counter("controller.cache_invalidations").inc()
         self._graph = None
         self._compiled = None
 
@@ -227,6 +242,20 @@ class Acorn:
         escapes the sequential-greedy basins documented in
         EXPERIMENTS.md. The default keeps the paper-faithful pipeline.
         """
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return self._configure(client_order, joint_rounds, initial, refine)
+        with tracer.span("controller.configure"):
+            return self._configure(client_order, joint_rounds, initial, refine)
+
+    def _configure(
+        self,
+        client_order: Optional[Sequence[str]] = None,
+        joint_rounds: int = 2,
+        initial: Optional[Mapping[str, Channel]] = None,
+        refine: bool = False,
+    ) -> AcornResult:
+        """The :meth:`configure` body, free of tracing scaffolding."""
         self.assign_initial_channels(initial)
         order = self.admit_clients(client_order)
         allocation = self.allocate()

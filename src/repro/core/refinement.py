@@ -25,6 +25,7 @@ from ..net.evaluator import DeltaEvaluator
 from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
 from ..net.throughput import ThroughputModel
 from ..net.topology import Network
+from ..obs.tracer import active_tracer
 
 __all__ = ["RefinementResult", "refine_associations"]
 
@@ -115,6 +116,10 @@ def refine_associations(
         associations=engine.associations, aggregate_mbps=aggregate, evaluations=1
     )
 
+    tracer = active_tracer()
+    observe = tracer.enabled
+    if observe:
+        tracer.start("refine")
     candidate_cache: Dict[str, Tuple[str, ...]] = {}
     for _ in range(max_rounds):
         best_move: Optional[Tuple[float, str, str, str]] = None
@@ -145,6 +150,10 @@ def refine_associations(
         result.moves.append((client_id, from_ap, to_ap))
     result.aggregate_mbps = aggregate
     result.associations = engine.associations
+    if observe:
+        tracer.end("refine")
+        tracer.metrics.counter("refine.evaluations").inc(result.evaluations)
+        tracer.metrics.counter("refine.moves").inc(result.n_moves)
     if apply:
         for client_id, ap_id in result.associations.items():
             network.associate(client_id, ap_id)

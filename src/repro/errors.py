@@ -14,6 +14,7 @@ __all__ = [
     "JobTimeout",
     "UnitsError",
     "LintError",
+    "ObsError",
 ]
 
 
@@ -70,4 +71,14 @@ class LintError(ReproError):
 
     Findings are *not* errors — they are data; this class marks runs
     that could not complete at all (CLI exit code 2).
+    """
+
+
+class ObsError(ReproError):
+    """A misused :mod:`repro.obs` primitive (unbalanced spans, bad merge).
+
+    Instrumentation must never corrupt a measurement silently: closing a
+    span that is not the innermost open one, merging histograms with
+    different bucket bounds, or registering one metric name under two
+    types all raise this instead of producing a quietly wrong trace.
     """

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.fairness import throughput_fairness_report
 from ..errors import FleetError, JobTimeout, ReproError
+from ..obs.tracer import Tracer, activate, active_tracer
 from .jobs import CompiledScenario, Job, SweepSpec, payload_key
 from .journal import JobJournal
 from .results import JobResult, ResultStore
@@ -149,6 +150,7 @@ def execute_job(
     job: Job,
     timeout_s: Optional[float] = None,
     payload: Optional[CompiledScenario] = None,
+    profile: bool = False,
 ) -> JobResult:
     """Run one job to a :class:`JobResult` (never raises on job failure).
 
@@ -162,6 +164,13 @@ def execute_job(
     thaw of the shipped arrays; the thawed network is bit-equivalent,
     so the result is identical either way. A payload compiled for a
     different cell is a caller bug and fails the job deterministically.
+
+    ``profile=True`` runs the algorithm under a fresh worker-local
+    :class:`~repro.obs.tracer.Tracer` and attaches its serialized
+    payload as ``JobResult.trace`` on successful jobs — the journal
+    persists it and ``repro trace <journal>`` merges the payloads back
+    into one sweep-level report. The tracer never changes the metrics
+    (pinned by ``tests/test_obs_transparency.py``).
     """
     start = time.perf_counter()
     base = dict(
@@ -171,6 +180,7 @@ def execute_job(
         traffic=job.traffic,
         seed=job.seed,
     )
+    tracer: Optional[Tracer] = None
     try:
         runner = ALGORITHMS.get(job.algorithm)
         if runner is None:
@@ -189,7 +199,12 @@ def execute_job(
                 if payload is not None
                 else job.build_scenario()
             )
-            report, extra = runner(scenario, job.traffic, job.rng())
+            if profile:
+                tracer = Tracer()
+                with activate(tracer):
+                    report, extra = runner(scenario, job.traffic, job.rng())
+            else:
+                report, extra = runner(scenario, job.traffic, job.rng())
     except JobTimeout as exc:
         return JobResult(
             status="timeout",
@@ -231,6 +246,7 @@ def execute_job(
         metrics=metrics,
         per_ap_mbps=per_ap,
         elapsed_s=time.perf_counter() - start,
+        trace=tracer.to_payload() if tracer is not None else None,
         **base,
     )
 
@@ -256,13 +272,16 @@ def _run_serial(
     backoff_s: float,
     on_result: Callable[[JobResult], None],
     payloads: "Optional[Mapping[str, Optional[CompiledScenario]]]" = None,
+    profile: bool = False,
 ) -> None:
     payloads = payloads or {}
     for job in jobs:
         attempts = 0
         while True:
             attempts += 1
-            result = execute_job(job, timeout_s, payloads.get(payload_key(job)))
+            result = execute_job(
+                job, timeout_s, payloads.get(payload_key(job)), profile
+            )
             if result.status in _RETRYABLE and attempts <= retries:
                 time.sleep(_backoff(attempts, backoff_s))
                 continue
@@ -279,6 +298,7 @@ def _run_pool(
     backoff_s: float,
     on_result: Callable[[JobResult], None],
     payloads: "Optional[Mapping[str, Optional[CompiledScenario]]]" = None,
+    profile: bool = False,
 ) -> None:
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
@@ -324,6 +344,7 @@ def _run_pool(
                         job,
                         timeout_s,
                         payloads.get(payload_key(job)),
+                        profile,
                     )
                 ] = job
             queue.extend(requeue)
@@ -399,6 +420,7 @@ def run_sweep(
     resume: bool = False,
     progress: Optional[Callable[[JobResult], None]] = None,
     precompile: bool = True,
+    profile: bool = False,
 ) -> ResultStore:
     """Run a sweep to a :class:`ResultStore`, checkpointing as it goes.
 
@@ -432,6 +454,15 @@ def run_sweep(
         instead of re-running the scenario factory per job; results are
         bit-identical either way. ``False`` restores the per-job
         factory rebuild.
+    profile:
+        Run every job under a worker-local
+        :class:`~repro.obs.tracer.Tracer` and attach the serialized
+        span/counter payload to its result (and journal record). The
+        driver additionally folds per-job bookkeeping — job counts,
+        retries, timeouts, wall-clock histogram, checkpoint flushes —
+        into whichever tracer is active *in the driver process* (see
+        :func:`repro.obs.tracer.activate`); with the default
+        ``NullTracer`` that bookkeeping is skipped entirely.
 
     Returns the store over all jobs (reloaded + fresh). The store's
     :meth:`~repro.fleet.results.ResultStore.fingerprint` is independent
@@ -472,17 +503,35 @@ def run_sweep(
     if journal is not None:
         journal.start(spec.fingerprint(), len(jobs), fresh=not resume)
 
+    tracer = active_tracer()
+
     def _on_result(result: JobResult) -> None:
         store.add(result)
         if journal is not None:
             journal.record(result)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("fleet.jobs").inc()
+            if result.status == "timeout":
+                metrics.counter("fleet.timeouts").inc()
+            if result.attempts > 1:
+                metrics.counter("fleet.retries").inc(result.attempts - 1)
+            metrics.histogram("fleet.job_seconds").observe(result.elapsed_s)
+            if journal is not None:
+                metrics.counter("fleet.checkpoint_flushes").inc()
         if progress is not None:
             progress(result)
 
     try:
         if workers == 1 or not _fork_available() or not pending:
             _run_serial(
-                pending, timeout_s, retries, backoff_s, _on_result, payloads
+                pending,
+                timeout_s,
+                retries,
+                backoff_s,
+                _on_result,
+                payloads,
+                profile,
             )
         else:
             _run_pool(
@@ -493,6 +542,7 @@ def run_sweep(
                 backoff_s,
                 _on_result,
                 payloads,
+                profile,
             )
     finally:
         if journal is not None:

@@ -39,8 +39,11 @@ class JobResult:
     """Outcome of one sweep job.
 
     ``metrics`` and ``per_ap_mbps`` are the deterministic payload (pure
-    functions of the job record); ``attempts`` and ``elapsed_s`` are
-    execution bookkeeping excluded from :meth:`deterministic_dict`.
+    functions of the job record); ``attempts``, ``elapsed_s`` and the
+    optional ``trace`` (a serialized :mod:`repro.obs` payload recorded
+    under ``--profile``) are execution bookkeeping excluded from
+    :meth:`deterministic_dict` — wall-clock spans can never perturb a
+    resume fingerprint.
     """
 
     job_id: str
@@ -54,6 +57,7 @@ class JobResult:
     error: Optional[str] = None
     attempts: int = 1
     elapsed_s: float = 0.0
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -79,6 +83,8 @@ class JobResult:
         data = self.deterministic_dict()
         data["attempts"] = self.attempts
         data["elapsed_s"] = self.elapsed_s
+        if self.trace is not None:
+            data["trace"] = self.trace
         return data
 
     @classmethod
@@ -98,6 +104,7 @@ class JobResult:
             error=data.get("error"),
             attempts=int(data.get("attempts", 1)),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            trace=data.get("trace"),
         )
 
 

@@ -104,9 +104,13 @@ class DeterminismRule(LintRule):
         "numpy.random.Generator (seeded via SeedSequence.spawn) and no "
         "library path may branch on wall-clock time. Legacy np.random.* "
         "module-level calls, the stdlib random module, time.time() and "
-        "datetime.now() all smuggle ambient state past the seed plumbing."
+        "datetime.now() all smuggle ambient state past the seed plumbing. "
+        "Monotonic clocks (time.perf_counter/monotonic) are deterministic-"
+        "safe only behind the injected-clock seam in repro.obs.clock — "
+        "anywhere else they are flagged too, so profiling cannot creep "
+        "into library control flow."
     )
-    exempt_modules = frozenset({"cli.py", "fleet/executor.py"})
+    exempt_modules = frozenset({"cli.py", "fleet/executor.py", "obs/clock.py"})
 
     # np.random attributes that construct explicit, plumb-able state.
     _ALLOWED_NP_RANDOM = frozenset(
@@ -123,6 +127,9 @@ class DeterminismRule(LintRule):
         }
     )
     _CLOCK_TIME_ATTRS = frozenset({"time", "time_ns"})
+    _MONO_CLOCK_ATTRS = frozenset(
+        {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    )
     _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 
     def run(self, module: ModuleContext) -> Iterator[Finding]:
@@ -163,6 +170,14 @@ class DeterminismRule(LintRule):
                                 f"from time import {alias.name} reads the "
                                 "wall clock; results must not depend on it",
                             )
+                        elif alias.name in self._MONO_CLOCK_ATTRS:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"from time import {alias.name} times the "
+                                "run outside the approved seam; inject a "
+                                "clock via repro.obs.clock instead",
+                            )
 
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -199,6 +214,19 @@ class DeterminismRule(LintRule):
                     node,
                     f"time.{func.attr}() reads the wall clock; library "
                     "results must not depend on it",
+                )
+            # time.perf_counter()/monotonic() (+_ns) outside the seam.
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in time_aliases
+                and func.attr in self._MONO_CLOCK_ATTRS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"time.{func.attr}() times the run outside the "
+                    "approved seam; inject a clock via repro.obs.clock "
+                    "instead",
                 )
             # datetime.now()/utcnow()/today() and date.today().
             elif func.attr in self._DATETIME_ATTRS and _tail_name(base) in (

@@ -1,0 +1,63 @@
+"""Observability: tracing, counters and profiling for the hot path.
+
+The subsystem has one hard contract, pinned by
+``tests/test_obs_transparency.py``: **observed runs are bit-identical
+to unobserved runs**. Instrumented library code (allocator loops, the
+evaluation engines' stat bridge, controller caches, fleet jobs) guards
+every recording behind a single ``tracer.enabled`` attribute check
+against the :class:`NullTracer` default, so the disabled mode costs one
+boolean read per instrumented block — gated at <2% end-to-end by
+``benchmarks/bench_obs.py``.
+
+Quickstart::
+
+    from repro.obs import Tracer, activate
+
+    tracer = Tracer()
+    with activate(tracer):
+        acorn.configure(scenario.client_order)
+    print(render_trace_text(tracer.to_payload()))
+
+Clocks are injected (:mod:`repro.obs.clock` is the RL001-approved
+seam), metric merges are order-independent across fleet workers
+(:mod:`repro.obs.metrics`), and sweep journals replay into merged
+reports via ``repro trace <journal>`` (:mod:`repro.obs.report`).
+"""
+
+from .clock import ManualClock, monotonic_clock
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    journal_trace,
+    merge_traces,
+    render_trace_json,
+    render_trace_text,
+    trace_report,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "journal_trace",
+    "merge_traces",
+    "monotonic_clock",
+    "render_trace_json",
+    "render_trace_text",
+    "trace_report",
+]

@@ -1,0 +1,72 @@
+"""The approved clock seam for the observability layer.
+
+Every duration the tracer records flows through a single injectable
+callable returning monotonic seconds. Library code never reads a clock
+directly — reprolint's RL001 flags ``time.perf_counter()`` /
+``time.monotonic()`` outside this module — so swapping the process
+clock for a :class:`ManualClock` makes every span duration a pure
+function of the test script, and the *absence* of a clock read (the
+``NullTracer`` path) is statically checkable.
+
+The process clock is monotonic, never wall time: traces must order
+events even across NTP steps, and no library result may depend on the
+time of day.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import ObsError
+
+__all__ = ["monotonic_clock", "ManualClock"]
+
+
+def monotonic_clock() -> Callable[[], float]:
+    """The process-wide monotonic clock as an injectable callable.
+
+    Returns ``time.monotonic`` itself (seconds as float, arbitrary
+    epoch) — the only sanctioned way for instrumentation to reach a
+    real clock.
+    """
+    return time.monotonic
+
+
+class ManualClock:
+    """A deterministic injectable clock for tests and replay.
+
+    Starts at ``start`` seconds and moves only when told to: either
+    explicitly via :meth:`advance` or implicitly by ``step`` seconds on
+    every read. Time never flows backwards — a negative advance raises
+    :class:`~repro.errors.ObsError` — so spans timed against a
+    ``ManualClock`` can never report negative durations.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        if start < 0.0:
+            raise ObsError(f"clock cannot start before zero, got {start}")
+        if step < 0.0:
+            raise ObsError(f"clock step must be non-negative, got {step}")
+        self._now = float(start)
+        self._step = float(step)
+
+    @property
+    def now(self) -> float:
+        """The current reading without advancing."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds``; returns the new reading."""
+        if seconds < 0.0:
+            raise ObsError(
+                f"a monotonic clock cannot go backwards (advance {seconds})"
+            )
+        self._now += float(seconds)
+        return self._now
+
+    def __call__(self) -> float:
+        """Read the clock, then auto-advance by the configured step."""
+        value = self._now
+        self._now += self._step
+        return value

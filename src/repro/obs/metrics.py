@@ -1,0 +1,232 @@
+"""Typed metric instruments and the per-tracer registry.
+
+Three instrument kinds, chosen so that *merging* payloads from fleet
+workers is order-independent (every combine step is commutative and
+associative):
+
+* :class:`Counter` — monotone event count; merge **adds**.
+* :class:`Gauge` — a level observed at least once; merge takes the
+  **max** (last-write-wins would depend on worker completion order).
+* :class:`Histogram` — bucketed distribution with exact count/total/
+  min/max; merge adds bucket counts and combines the extremes.
+
+A :class:`MetricsRegistry` holds instruments by name with get-or-create
+semantics; re-registering a name under a different instrument type is a
+bug and raises :class:`~repro.errors.ObsError`. Payloads (plain JSON
+dicts) round-trip through :meth:`MetricsRegistry.to_payload` /
+:meth:`MetricsRegistry.merge_payload`, which is how worker traces ride
+the fleet's JSONL journal back to the driver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ObsError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+# Default histogram bucket upper bounds (seconds-flavoured, log-spaced);
+# one overflow bucket is appended implicitly.
+_DEFAULT_BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ObsError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def merge_value(self, value: float) -> None:
+        """Fold another worker's count in (addition — order-free)."""
+        if value < 0:
+            raise ObsError(
+                f"counter {self.name!r} cannot absorb a negative count"
+            )
+        self.value += value
+
+
+class Gauge:
+    """A level (queue depth, cache size) observed at least once."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def merge_value(self, value: Optional[float]) -> None:
+        """Fold another worker's level in (max — order-free)."""
+        if value is None:
+            return
+        self.value = value if self.value is None else max(self.value, value)
+
+
+class Histogram:
+    """A bucketed distribution with exact count, total, min and max.
+
+    ``bounds`` are ascending bucket *upper* bounds; observations greater
+    than the last bound land in an implicit overflow bucket, so
+    ``len(counts) == len(bounds) + 1``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = _DEFAULT_BOUNDS
+    ) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ObsError(
+                f"histogram {self.name!r} bounds must be strictly "
+                f"ascending, got {self.bounds}"
+            )
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of the observations (None when empty)."""
+        return self.total / self.count if self.count else None
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Fold another histogram's payload in (bounds must match)."""
+        bounds = tuple(float(b) for b in other.get("bounds", ()))
+        if bounds != self.bounds:
+            raise ObsError(
+                f"histogram {self.name!r} bounds mismatch on merge: "
+                f"{self.bounds} != {bounds}"
+            )
+        for index, count in enumerate(other.get("counts", ())):
+            self.counts[index] += int(count)
+        self.count += int(other.get("count", 0))
+        self.total += float(other.get("total", 0.0))
+        for extreme, pick in (("min", min), ("max", max)):
+            theirs = other.get(extreme)
+            if theirs is None:
+                continue
+            ours = getattr(self, extreme)
+            setattr(
+                self,
+                extreme,
+                theirs if ours is None else pick(ours, float(theirs)),
+            )
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    One registry belongs to one :class:`~repro.obs.tracer.Tracer`; the
+    fleet driver merges worker payloads into its own registry via
+    :meth:`merge_payload`, which commutes — any interleaving of worker
+    completions yields the same merged payload.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, name: str, kind: str, factory) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise ObsError(
+                f"metric {name!r} is a {instrument.kind}, not a {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, "gauge", lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = _DEFAULT_BOUNDS
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, "histogram", lambda: Histogram(name, bounds))
+
+    # -- payloads ------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot of every instrument."""
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.kind == "counter":
+                counters[name] = instrument.value
+            elif instrument.kind == "gauge":
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = {
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge_payload(self, payload: Mapping[str, Any]) -> None:
+        """Fold a :meth:`to_payload` snapshot into this registry."""
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).merge_value(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).merge_value(value)
+        for name, data in payload.get("histograms", {}).items():
+            self.histogram(
+                name, tuple(data.get("bounds", _DEFAULT_BOUNDS))
+            ).merge(data)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot."""
+        registry = cls()
+        registry.merge_payload(payload)
+        return registry

@@ -1,0 +1,190 @@
+"""Trace merging and report rendering for profiled runs and sweeps.
+
+A *trace payload* is the JSON dict produced by
+:meth:`repro.obs.tracer.Tracer.to_payload` — spans plus a metrics
+snapshot. Fleet workers attach one per profiled job
+(``JobResult.trace``), the journal persists them, and this module folds
+any number of payloads into one merged view: span records concatenate,
+metric instruments combine order-independently (counters add, gauges
+max, histogram buckets add — see :mod:`repro.obs.metrics`), so a
+32-worker sweep and its serial rerun render the same report.
+
+``repro trace <journal>`` and the ``--profile`` CLI flags both end
+here: :func:`render_trace_text` for the human table,
+:func:`render_trace_json` for machines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from ..analysis.tables import render_table
+from ..errors import FleetError, ObsError
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "merge_traces",
+    "journal_trace",
+    "render_trace_text",
+    "render_trace_json",
+    "trace_report",
+]
+
+
+def merge_traces(payloads: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold trace payloads into one (order of ``payloads`` is immaterial).
+
+    Spans concatenate (each record already carries its own clock
+    readings); metrics merge through the registry's commutative
+    combine. Returns an empty trace for an empty iterable.
+    """
+    spans: List[Dict[str, Any]] = []
+    registry = MetricsRegistry()
+    for payload in payloads:
+        spans.extend(dict(record) for record in payload.get("spans", ()))
+        registry.merge_payload(payload.get("metrics", {}))
+    return {"spans": spans, "metrics": registry.to_payload()}
+
+
+def journal_trace(path: "str | pathlib.Path") -> Dict[str, Any]:
+    """The merged trace of a sweep journal.
+
+    Reads the JSONL journal written by :func:`repro.fleet.run_sweep`,
+    merges every job's serialized trace payload (jobs recorded without
+    ``--profile`` simply contribute none) and adds the fleet-level
+    counters derivable from the job records themselves — job count per
+    status, retries, and the wall-clock histogram — so even an
+    unprofiled journal yields a useful report.
+    """
+    from ..fleet.journal import JobJournal
+
+    journal = JobJournal(path)
+    header, records = journal.load()
+    if header is None and not records:
+        raise ObsError(f"no journal at {path} (or it is empty)")
+
+    payloads = [
+        record["trace"]
+        for record in records
+        if isinstance(record.get("trace"), Mapping)
+    ]
+    merged = merge_traces(payloads)
+    registry = MetricsRegistry.from_payload(merged["metrics"])
+    for record in records:
+        status = record.get("status", "ok")
+        registry.counter(f"fleet.jobs.{status}").inc()
+        attempts = int(record.get("attempts", 1))
+        if attempts > 1:
+            registry.counter("fleet.retries").inc(attempts - 1)
+        registry.histogram("fleet.job_seconds").observe(
+            float(record.get("elapsed_s", 0.0))
+        )
+    merged["metrics"] = registry.to_payload()
+    return merged
+
+
+def _span_rows(spans: Iterable[Mapping[str, Any]]) -> List[List[Any]]:
+    """Aggregate span records into per-name count/total/mean/max rows."""
+    totals: Dict[str, List[float]] = {}
+    for record in spans:
+        duration_ms = (
+            float(record["end_s"]) - float(record["start_s"])
+        ) * 1e3
+        entry = totals.setdefault(record["name"], [0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += duration_ms
+        entry[2] = max(entry[2], duration_ms)
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n][1]):
+        count, total_ms, max_ms = totals[name]
+        rows.append(
+            [name, int(count), total_ms, total_ms / count, max_ms]
+        )
+    return rows
+
+
+def render_trace_text(
+    payload: Mapping[str, Any], title: str = "Trace report"
+) -> str:
+    """Human-readable report: span table, counters, histograms."""
+    blocks: List[str] = []
+    span_rows = _span_rows(payload.get("spans", ()))
+    if span_rows:
+        blocks.append(
+            render_table(
+                ["span", "count", "total ms", "mean ms", "max ms"],
+                span_rows,
+                float_format=".2f",
+                title=f"{title} — spans",
+            )
+        )
+    metrics = payload.get("metrics", {})
+    counter_rows = [
+        [name, value]
+        for name, value in sorted(metrics.get("counters", {}).items())
+    ]
+    gauge_rows = [
+        [name, value]
+        for name, value in sorted(metrics.get("gauges", {}).items())
+        if value is not None
+    ]
+    if counter_rows or gauge_rows:
+        blocks.append(
+            render_table(
+                ["metric", "value"],
+                counter_rows + gauge_rows,
+                float_format=".0f",
+                title=f"{title} — counters",
+            )
+        )
+    histogram_rows = []
+    for name, data in sorted(metrics.get("histograms", {}).items()):
+        count = int(data.get("count", 0))
+        if not count:
+            continue
+        total = float(data.get("total", 0.0))
+        histogram_rows.append(
+            [
+                name,
+                count,
+                total / count,
+                data.get("min", 0.0),
+                data.get("max", 0.0),
+            ]
+        )
+    if histogram_rows:
+        blocks.append(
+            render_table(
+                ["distribution", "count", "mean", "min", "max"],
+                histogram_rows,
+                float_format=".4f",
+                title=f"{title} — distributions",
+            )
+        )
+    if not blocks:
+        return f"{title}: empty trace (run with --profile to record one)"
+    return "\n\n".join(blocks)
+
+
+def render_trace_json(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON form of a trace payload (sorted keys)."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def trace_report(
+    path: "str | pathlib.Path", fmt: str = "text", title: Optional[str] = None
+) -> str:
+    """The ``repro trace <run>`` entry point: journal → rendered report."""
+    if fmt not in ("text", "json"):
+        raise ObsError(f"format must be 'text' or 'json', got {fmt!r}")
+    try:
+        merged = journal_trace(path)
+    except FleetError as exc:
+        raise ObsError(f"cannot read trace from {path}: {exc}") from exc
+    if fmt == "json":
+        return render_trace_json(merged)
+    return render_trace_text(
+        merged, title=title if title is not None else f"Trace of {path}"
+    )

@@ -1,0 +1,268 @@
+"""Nested-span tracing with a zero-overhead disabled mode.
+
+A :class:`Tracer` records wall-time spans (against the injected
+monotonic clock — see :mod:`repro.obs.clock`) plus a
+:class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+histograms. The :class:`NullTracer` is the library-wide default: every
+instrumented hot path guards its bookkeeping with a single
+``tracer.enabled`` attribute check, so an unprofiled run pays one
+boolean read per instrumented block and nothing else — the differential
+suite (``tests/test_obs_transparency.py``) pins that an enabled tracer
+changes *no* result either.
+
+The active tracer is an explicit dynamic scope: :func:`activate` pushes
+a tracer for the duration of a ``with`` block and
+:func:`active_tracer` reads the innermost one (the shared
+:data:`NULL_TRACER` when none is active). Instrumented library code
+reads the seam once per call, never caches it across calls, and never
+mutates it — so the scope cannot leak across fleet workers (each worker
+process activates its own tracer).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import ObsError
+from .clock import monotonic_clock
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "active_tracer",
+    "activate",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed (closed) span."""
+
+    name: str
+    start_s: float
+    end_s: float
+    depth: int
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds; clamped non-negative at close time."""
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (what rides the fleet journal)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "depth": self.depth,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every metric kind on the null tracer."""
+
+    def inc(self, amount: float = 1) -> None:
+        """Discard the increment."""
+
+    def set(self, value: float) -> None:
+        """Discard the level."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+class _NullMetrics:
+    """Registry facade whose instruments swallow every update."""
+
+    _instrument = _NullInstrument()
+
+    def counter(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return self._instrument
+
+    def gauge(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return self._instrument
+
+    def histogram(self, name: str, bounds=None) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return self._instrument
+
+    def to_payload(self) -> Dict[str, Any]:
+        """An empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is False, so correctly guarded instrumentation never
+    calls anything here; the methods still exist (and silently discard)
+    so an unguarded call site degrades to slow-but-correct instead of
+    crashing a production run.
+    """
+
+    enabled = False
+    metrics = _NullMetrics()
+
+    def start(self, name: str) -> None:
+        """Discard the span open."""
+
+    def end(self, name: Optional[str] = None) -> None:
+        """Discard the span close."""
+
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """A no-op context manager."""
+        yield
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Discard the count."""
+
+    def spans(self) -> Tuple[Span, ...]:
+        """No spans are ever recorded."""
+        return ()
+
+    def to_payload(self) -> Dict[str, Any]:
+        """An empty trace payload."""
+        return {"spans": [], "metrics": self.metrics.to_payload()}
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records nested spans and metrics against an injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonic seconds; defaults to
+        the process clock from :func:`repro.obs.clock.monotonic_clock`.
+        Inject a :class:`~repro.obs.clock.ManualClock` for fully
+        deterministic durations.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else monotonic_clock()
+        self.metrics = MetricsRegistry()
+        self._open: List[Tuple[str, float]] = []
+        self._spans: List[Span] = []
+
+    # -- spans ---------------------------------------------------------
+    def start(self, name: str) -> None:
+        """Open a span; it nests under any span already open."""
+        self._open.append((name, self._clock()))
+
+    def end(self, name: Optional[str] = None) -> None:
+        """Close the innermost open span.
+
+        Passing ``name`` asserts it is the innermost one; closing with
+        nothing open, or out of order, raises
+        :class:`~repro.errors.ObsError` — an unbalanced trace would
+        silently misattribute every enclosing duration.
+        """
+        if not self._open:
+            label = f"end({name!r})" if name is not None else "end()"
+            raise ObsError(f"{label} called with no span open")
+        open_name, start_s = self._open.pop()
+        if name is not None and name != open_name:
+            self._open.append((open_name, start_s))
+            raise ObsError(
+                f"unbalanced span nesting: end({name!r}) while "
+                f"{open_name!r} is the innermost open span"
+            )
+        # A monotonic clock cannot run backwards; clamp defensively so a
+        # misbehaving injected clock still yields duration >= 0.
+        end_s = max(self._clock(), start_s)
+        self._spans.append(
+            Span(
+                name=open_name,
+                start_s=start_s,
+                end_s=end_s,
+                depth=len(self._open),
+            )
+        )
+
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context-manager form of :meth:`start` / :meth:`end`."""
+        self.start(name)
+        try:
+            yield
+        finally:
+            self.end(name)
+
+    def spans(self) -> Tuple[Span, ...]:
+        """All completed spans, in close order."""
+        return tuple(self._spans)
+
+    def open_spans(self) -> Tuple[str, ...]:
+        """Names of the currently open spans, outermost first."""
+        return tuple(name for name, _ in self._open)
+
+    # -- metrics -------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Shorthand for ``metrics.counter(name).inc(amount)``."""
+        self.metrics.counter(name).inc(amount)
+
+    # -- payloads ------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible trace (spans + metrics snapshot).
+
+        Refuses to serialise while spans are still open — a partial
+        trace would under-report every open span's duration.
+        """
+        if self._open:
+            raise ObsError(
+                "cannot serialise a trace with open spans: "
+                + ", ".join(repr(name) for name in self.open_spans())
+            )
+        return {
+            "spans": [span.to_dict() for span in self._spans],
+            "metrics": self.metrics.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Tracer":
+        """Rebuild a (closed) tracer from its payload."""
+        tracer = cls()
+        for record in payload.get("spans", ()):
+            tracer._spans.append(
+                Span(
+                    name=record["name"],
+                    start_s=float(record["start_s"]),
+                    end_s=float(record["end_s"]),
+                    depth=int(record.get("depth", 0)),
+                )
+            )
+        tracer.metrics.merge_payload(payload.get("metrics", {}))
+        return tracer
+
+
+# ----------------------------------------------------------------------
+# The dynamic scope: which tracer instrumented library code reports to.
+
+_ACTIVE: List[Tracer] = []
+
+
+def active_tracer() -> "Tracer | NullTracer":
+    """The innermost activated tracer, or the shared null tracer."""
+    return _ACTIVE[-1] if _ACTIVE else NULL_TRACER
+
+
+@contextlib.contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the active tracer for the enclosed block."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()

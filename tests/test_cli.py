@@ -40,6 +40,15 @@ class TestParser:
         assert args.workers == 1
         assert args.algorithms == "acorn,kauffmann"
         assert not args.resume
+        assert not args.profile
+
+    def test_trace_defaults_keep_fig9_mode(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.run is None
+        assert args.sessions == 20_000
+        assert args.format == "text"
+        args = build_parser().parse_args(["trace", "journal.jsonl"])
+        assert args.run == "journal.jsonl"
 
 
 class TestCommands:
@@ -171,3 +180,90 @@ class TestCommands:
         )
         assert completed.returncode == 0
         assert "QPSK" in completed.stdout
+
+
+class TestProfiling:
+    """The --profile flags and the journal-mode trace subcommand."""
+
+    def test_scenario_profile_prints_trace_report(self, capsys):
+        assert main(["scenario", "topology1", "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "Profile of scenario topology1" in output
+        assert "controller.configure" in output
+        assert "alloc.evaluations" in output
+
+    def _profiled_sweep(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        code = main(
+            [
+                "sweep", "--scenario", "topology1", "--n-seeds", "2",
+                "--algorithms", "acorn", "--quiet", "--profile",
+                "--out", str(journal),
+            ]
+        )
+        assert code == 0
+        return journal, capsys.readouterr().out
+
+    def test_sweep_profile_prints_merged_report(self, tmp_path, capsys):
+        _, output = self._profiled_sweep(tmp_path, capsys)
+        assert "Sweep profile" in output
+        assert "fleet.jobs" in output
+        assert "alloc.evaluations" in output
+
+    def test_trace_renders_profiled_journal(self, tmp_path, capsys):
+        journal, _ = self._profiled_sweep(tmp_path, capsys)
+        assert main(["trace", str(journal)]) == 0
+        output = capsys.readouterr().out
+        assert f"Trace of {journal}" in output
+        assert "controller.configure" in output
+        assert "fleet.jobs.ok" in output
+
+    def test_trace_journal_json_format(self, tmp_path, capsys):
+        import json
+
+        journal, _ = self._profiled_sweep(tmp_path, capsys)
+        assert main(["trace", str(journal), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["fleet.jobs.ok"] == 2
+        assert payload["spans"]
+
+    def test_trace_missing_journal_exits_2(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+class TestBenchMissingBaseline:
+    """The shared missing-baseline protocol: message + exit 2."""
+
+    @staticmethod
+    def _run(script, *extra):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        repo = pathlib.Path(__file__).parent.parent
+        env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+        return subprocess.run(
+            [sys.executable, str(repo / "benchmarks" / script), "--check", *extra],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+
+    def test_bench_allocator_check_without_baseline_exits_2(self, tmp_path):
+        completed = self._run(
+            "bench_allocator.py", "--output", str(tmp_path / "none.json")
+        )
+        assert completed.returncode == 2
+        assert "no baseline at" in completed.stderr
+        assert "run without --check first" in completed.stderr
+
+    def test_bench_obs_check_without_reference_exits_2(self, tmp_path):
+        completed = self._run(
+            "bench_obs.py", "--reference", str(tmp_path / "none.json")
+        )
+        assert completed.returncode == 2
+        assert "no baseline at" in completed.stderr

@@ -149,3 +149,68 @@ class TestPrecompiledPayloads:
         result = execute_job(job, payload=wrong)
         assert result.status == "failed"
         assert "payload" in result.error
+
+
+class TestProfiledSweep:
+    """``profile=True``: traces ride the journal, never the fingerprint."""
+
+    def _spec(self):
+        return SweepSpec(
+            scenarios=("topology1",), seeds=(0, 1), algorithms=("acorn",)
+        )
+
+    def test_profile_attaches_traces_without_changing_results(self):
+        baseline = run_sweep(self._spec(), workers=1)
+        profiled = run_sweep(self._spec(), workers=1, profile=True)
+        assert profiled.fingerprint() == baseline.fingerprint()
+        for result in profiled.results():
+            assert result.trace is not None
+            assert result.trace["metrics"]["counters"]["alloc.starts"] > 0
+            assert result.deterministic_dict() == baseline.get(
+                result.job_id
+            ).deterministic_dict()
+        for result in baseline.results():
+            assert result.trace is None
+
+    def test_resume_survives_torn_trace_payload(self, tmp_path):
+        """A SIGKILL mid-flush can cut a record inside its trace blob;
+
+        resume must still reload every intact completed job."""
+        journal = tmp_path / "journal.jsonl"
+        first = run_sweep(
+            self._spec(), workers=1, journal_path=str(journal), profile=True
+        )
+        assert len(first) == 2
+        lines = journal.read_text().splitlines()
+        record_line = lines[-1]
+        cut = record_line.index('"trace"') + len('"trace": {"metr')
+        with journal.open("a") as handle:
+            handle.write(record_line[:cut])  # torn duplicate, no newline
+        resumed = run_sweep(
+            self._spec(),
+            workers=1,
+            journal_path=str(journal),
+            resume=True,
+            profile=True,
+        )
+        assert resumed.reloaded == 2
+        assert resumed.fingerprint() == first.fingerprint()
+        for result in resumed.results():
+            assert result.trace is not None
+
+    def test_journal_trace_merges_worker_payloads(self, tmp_path):
+        from repro.obs import journal_trace
+
+        journal = tmp_path / "journal.jsonl"
+        run_sweep(
+            self._spec(), workers=1, journal_path=str(journal), profile=True
+        )
+        merged = journal_trace(journal)
+        counters = merged["metrics"]["counters"]
+        assert counters["fleet.jobs.ok"] == 2
+        assert counters["alloc.starts"] >= 2
+        assert merged["metrics"]["histograms"]["fleet.job_seconds"]["count"] == 2
+        assert any(
+            record["name"] == "controller.configure"
+            for record in merged["spans"]
+        )

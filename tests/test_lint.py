@@ -96,13 +96,34 @@ class TestDeterminismRL001:
         """
         assert findings_for(source, "RL001") == []
 
-    def test_perf_counter_passes(self):
+    def test_perf_counter_flagged_outside_seam(self):
         source = """
         import time
         elapsed = time.perf_counter()
+        """
+        found = findings_for(source, "RL001")
+        assert len(found) == 1
+        assert "repro.obs.clock" in found[0].message
+
+    def test_from_time_import_monotonic_flagged(self):
+        found = findings_for("from time import monotonic\n", "RL001")
+        assert len(found) == 1
+        assert "repro.obs.clock" in found[0].message
+
+    def test_time_sleep_passes(self):
+        source = """
+        import time
         time.sleep(0.0)
         """
         assert findings_for(source, "RL001") == []
+
+    def test_clock_seam_module_is_exempt(self):
+        source = """
+        import time
+        now = time.monotonic()
+        tick = time.perf_counter()
+        """
+        assert findings_for(source, "RL001", path="repro/obs/clock.py") == []
 
     def test_executor_module_is_exempt(self):
         source = """

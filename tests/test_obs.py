@@ -1,0 +1,307 @@
+"""Tests for repro.obs — tracer, metrics, clocks, reports.
+
+Three property-style guarantees anchor the suite: span durations are
+never negative under any open/close sequence on any monotone clock,
+unbalanced nesting always raises :class:`~repro.errors.ObsError`
+instead of producing a silently wrong trace, and metric merges across
+fleet workers are order-independent (integer observations, so float
+associativity cannot blur the assertion).
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ObsError, ReproError
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    ManualClock,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    activate,
+    active_tracer,
+    merge_traces,
+    monotonic_clock,
+    render_trace_json,
+    render_trace_text,
+)
+
+
+class TestClock:
+    def test_monotonic_clock_is_callable_and_monotone(self):
+        clock = monotonic_clock()
+        a, b = clock(), clock()
+        assert b >= a
+
+    def test_manual_clock_advances(self):
+        clock = ManualClock(start=2.0)
+        assert clock() == 2.0
+        clock.advance(0.5)
+        assert clock.now == 2.5
+
+    def test_manual_clock_auto_step(self):
+        clock = ManualClock(step=0.25)
+        assert clock() == 0.0
+        assert clock() == 0.25
+
+    def test_manual_clock_rejects_negative(self):
+        with pytest.raises(ObsError):
+            ManualClock(start=-1.0)
+        with pytest.raises(ObsError):
+            ManualClock(step=-0.1)
+        with pytest.raises(ObsError):
+            ManualClock().advance(-0.5)
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObsError):
+            Counter("c").inc(-1)
+
+    def test_gauge_merge_takes_max(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.merge_value(1.0)
+        assert gauge.value == 3.0
+        gauge.merge_value(7.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_and_mean(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(55.5 / 3)
+        assert hist.counts == [1, 1, 1]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ObsError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ObsError):
+            Histogram("h", bounds=(1.0, 1.0))
+
+    def test_histogram_merge_requires_equal_bounds(self):
+        left = Histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ObsError):
+            left.merge(
+                {"bounds": [1.0, 3.0], "counts": [1, 0, 0], "count": 1}
+            )
+
+    def test_registry_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObsError):
+            registry.gauge("x")
+
+    def test_registry_payload_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        registry.gauge("peak").set(1.5)
+        registry.histogram("lat", bounds=(0.1, 1.0)).observe(0.4)
+        clone = MetricsRegistry.from_payload(registry.to_payload())
+        assert clone.to_payload() == registry.to_payload()
+        assert len(clone) == 3
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]), st.integers(0, 1000)
+            ),
+            max_size=30,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_counter_merge_is_order_independent(self, increments, rng):
+        """Worker payloads fold to the same totals in any arrival order."""
+        payloads = []
+        for name, amount in increments:
+            worker = MetricsRegistry()
+            worker.counter(name).inc(amount)
+            worker.histogram("obs", bounds=(10.0, 100.0)).observe(amount)
+            payloads.append(worker.to_payload())
+        shuffled = list(payloads)
+        rng.shuffle(shuffled)
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for payload in payloads:
+            forward.merge_payload(payload)
+        for payload in shuffled:
+            backward.merge_payload(payload)
+        assert forward.to_payload() == backward.to_payload()
+
+
+class TestTracer:
+    def test_null_tracer_is_default_and_inert(self):
+        assert active_tracer() is NULL_TRACER
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.start("x")
+        NULL_TRACER.end("x")
+        NULL_TRACER.metrics.counter("x").inc()
+        with NULL_TRACER.span("y"):
+            pass
+        assert NULL_TRACER.spans() == ()
+        payload = NULL_TRACER.to_payload()
+        assert payload["spans"] == []
+        assert payload["metrics"]["counters"] == {}
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_activate_scopes_the_tracer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert active_tracer() is tracer
+            inner = Tracer()
+            with activate(inner):
+                assert active_tracer() is inner
+            assert active_tracer() is tracer
+        assert active_tracer() is NULL_TRACER
+
+    def test_span_records_duration_and_depth(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        tracer.start("outer")
+        clock.advance(1.0)
+        with tracer.span("inner"):
+            clock.advance(0.5)
+        tracer.end("outer")
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[0].depth == 1 and spans[1].depth == 0
+        assert spans[0].duration_s == pytest.approx(0.5)
+        assert spans[1].duration_s == pytest.approx(1.5)
+
+    def test_end_without_start_raises(self):
+        with pytest.raises(ObsError):
+            Tracer().end()
+        with pytest.raises(ObsError):
+            Tracer().end("ghost")
+
+    def test_mismatched_end_raises_and_preserves_stack(self):
+        tracer = Tracer()
+        tracer.start("a")
+        with pytest.raises(ObsError):
+            tracer.end("b")
+        assert tracer.open_spans() == ("a",)
+        tracer.end("a")
+        assert [s.name for s in tracer.spans()] == ["a"]
+
+    def test_payload_with_open_span_raises(self):
+        tracer = Tracer()
+        tracer.start("open")
+        with pytest.raises(ObsError):
+            tracer.to_payload()
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        assert tracer.open_spans() == ()
+        assert [s.name for s in tracer.spans()] == ["risky"]
+
+    def test_count_shorthand(self):
+        tracer = Tracer()
+        tracer.count("hits", 2)
+        tracer.count("hits")
+        assert tracer.metrics.counter("hits").value == 3
+
+    def test_payload_round_trip(self):
+        clock = ManualClock(step=0.125)
+        tracer = Tracer(clock=clock)
+        with tracer.span("work"):
+            tracer.count("steps")
+        clone = Tracer.from_payload(tracer.to_payload())
+        assert clone.to_payload() == tracer.to_payload()
+
+    def test_obs_error_is_repro_error(self):
+        assert issubclass(ObsError, ReproError)
+
+    @given(
+        st.lists(st.integers(0, 3), max_size=40),
+        st.lists(
+            st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+            max_size=40,
+        ),
+    )
+    def test_random_sequences_never_go_negative(self, ops, advances):
+        """Any open/close walk on a monotone clock yields durations >= 0.
+
+        Opcode 0–1 opens a span, 2 advances the clock, 3 closes the
+        innermost span (when one is open); leftovers close at the end.
+        """
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        advance = iter(advances)
+        for op in ops:
+            if op <= 1:
+                tracer.start(f"s{op}")
+            elif op == 2:
+                clock.advance(next(advance, 0.25))
+            elif tracer.open_spans():
+                tracer.end()
+        while tracer.open_spans():
+            tracer.end()
+        assert all(span.duration_s >= 0.0 for span in tracer.spans())
+        assert all(span.end_s >= span.start_s for span in tracer.spans())
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=30))
+    def test_unbalanced_nesting_always_raises(self, ops):
+        """Closing the wrong span (or none) is always a loud ObsError."""
+        tracer = Tracer()
+        depth = 0
+        for op in ops:
+            if op == 0:
+                tracer.start(f"d{depth}")
+                depth += 1
+            elif op == 1 and depth:
+                tracer.end(f"d{depth - 1}")
+                depth -= 1
+            else:
+                with pytest.raises(ObsError):
+                    tracer.end("never-opened" if depth else None)
+        assert len(tracer.open_spans()) == depth
+
+
+class TestReports:
+    def _payload(self):
+        clock = ManualClock(step=0.01)
+        tracer = Tracer(clock=clock)
+        with tracer.span("phase"):
+            tracer.count("widgets", 3)
+            tracer.metrics.gauge("peak").set(2.0)
+            tracer.metrics.histogram("lat", bounds=(0.1, 1.0)).observe(0.2)
+        return tracer.to_payload()
+
+    def test_merge_traces_is_order_independent(self):
+        one, two = self._payload(), self._payload()
+        forward = merge_traces([one, two])
+        backward = merge_traces([two, one])
+        assert forward["metrics"] == backward["metrics"]
+        assert forward["metrics"]["counters"]["widgets"] == 6
+        assert len(forward["spans"]) == 2
+
+    def test_render_text_contains_tables(self):
+        text = render_trace_text(self._payload(), title="T")
+        assert "phase" in text
+        assert "widgets" in text
+        assert "lat" in text
+
+    def test_render_text_empty_payload(self):
+        text = render_trace_text({"spans": [], "metrics": {}})
+        assert "empty trace" in text
+
+    def test_render_json_is_canonical(self):
+        payload = self._payload()
+        data = json.loads(render_trace_json(payload))
+        assert data["metrics"]["counters"]["widgets"] == 3

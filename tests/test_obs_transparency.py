@@ -1,0 +1,157 @@
+"""Differential harness: instrumentation must change nothing.
+
+The :mod:`repro.obs` contract is that an activated :class:`Tracer` is
+*transparent*: every allocator, refinement pass and baseline run under
+a full tracer produces results bit-identical (float ``==``, dict ``==``)
+to the same run under the default :class:`NullTracer`. The harness
+mirrors ``tests/test_compiled_state.py``'s oracle pattern — every
+registered scenario plus a seeded sweep of random enterprises — and
+additionally asserts the tracer actually *recorded* something, so a
+silently dead instrumentation path cannot fake transparency.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.kauffmann import KauffmannController
+from repro.core.allocation import allocate_channels, random_assignment
+from repro.core.controller import Acorn
+from repro.core.refinement import refine_associations
+from repro.net import ThroughputModel, build_interference_graph
+from repro.obs import NULL_TRACER, Tracer, activate, active_tracer
+from repro.sim.scenario import SCENARIOS, random_enterprise
+
+RANDOM_SEEDS = tuple(range(8))
+ALL_CASES = [("scenario", name) for name in SCENARIOS] + [
+    ("random", seed) for seed in RANDOM_SEEDS
+]
+
+
+def registered(name):
+    """A registered scenario with every client associated."""
+    scenario = SCENARIOS[name]()
+    network = scenario.network
+    for client_id in network.client_ids:
+        candidates = network.candidate_aps(client_id)
+        if candidates:
+            network.associate(client_id, candidates[0])
+    return network, build_interference_graph(network), scenario.plan
+
+
+def random_case(seed, n_aps=5, n_clients=12):
+    """A random enterprise with deterministic random associations."""
+    scenario = random_enterprise(
+        n_aps=n_aps, n_clients=n_clients, area_m=(60.0, 45.0), seed=seed
+    )
+    network = scenario.network
+    rng = random.Random(seed)
+    for client_id in network.client_ids:
+        candidates = list(network.candidate_aps(client_id, -8.0))
+        if candidates:
+            network.associate(client_id, rng.choice(candidates))
+    return network, build_interference_graph(network), scenario.plan
+
+
+def build_case(kind, key):
+    return registered(key) if kind == "scenario" else random_case(key)
+
+
+def run_observed(work):
+    """``work()`` under a fresh full tracer; returns (result, payload)."""
+    tracer = Tracer()
+    with activate(tracer):
+        result = work()
+    assert active_tracer() is NULL_TRACER
+    return result, tracer.to_payload()
+
+
+def assert_recorded(payload):
+    """The tracer must have seen real work — not a dead seam."""
+    assert payload["spans"] or payload["metrics"]["counters"]
+
+
+class TestGreedyTransparency:
+    @pytest.mark.parametrize(("kind", "key"), ALL_CASES)
+    def test_allocation_is_bit_identical(self, kind, key):
+        def run():
+            network, graph, plan = build_case(kind, key)
+            model = ThroughputModel()
+            initial = random_assignment(network.ap_ids, plan, 3)
+            return allocate_channels(
+                network, graph, plan, model,
+                initial=initial, rng=7, restarts=2,
+            )
+
+        baseline = run()
+        observed, payload = run_observed(run)
+        assert observed.assignment == baseline.assignment
+        assert observed.aggregate_mbps == baseline.aggregate_mbps
+        assert observed.rounds == baseline.rounds
+        assert observed.evaluations == baseline.evaluations
+        assert observed.history == baseline.history
+        assert_recorded(payload)
+        assert payload["metrics"]["counters"]["alloc.starts"] == 2
+
+
+class TestRefinementTransparency:
+    @pytest.mark.parametrize(("kind", "key"), ALL_CASES)
+    def test_refinement_is_bit_identical(self, kind, key):
+        def run():
+            network, graph, plan = build_case(kind, key)
+            model = ThroughputModel()
+            initial = random_assignment(network.ap_ids, plan, 3)
+            allocation = allocate_channels(
+                network, graph, plan, model, initial=initial, rng=7
+            )
+            for ap_id, channel in allocation.assignment.items():
+                network.set_channel(ap_id, channel)
+            return refine_associations(network, graph, model, apply=False)
+
+        baseline = run()
+        observed, payload = run_observed(run)
+        assert observed.associations == baseline.associations
+        assert observed.aggregate_mbps == baseline.aggregate_mbps
+        assert observed.moves == baseline.moves
+        assert observed.evaluations == baseline.evaluations
+        assert_recorded(payload)
+        assert "refine.evaluations" in payload["metrics"]["counters"]
+
+
+class TestControllerTransparency:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_acorn_configure_is_bit_identical(self, name):
+        def run():
+            scenario = SCENARIOS[name]()
+            acorn = Acorn(scenario.network, scenario.plan, seed=11)
+            return acorn.configure(scenario.client_order)
+
+        baseline = run()
+        observed, payload = run_observed(run)
+        assert observed.total_mbps == baseline.total_mbps
+        assert (
+            observed.allocation.assignment == baseline.allocation.assignment
+        )
+        assert observed.report.per_ap_mbps == baseline.report.per_ap_mbps
+        assert observed.association_order == baseline.association_order
+        assert_recorded(payload)
+        names = [record["name"] for record in payload["spans"]]
+        assert "controller.configure" in names
+
+
+class TestKauffmannTransparency:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_kauffmann_configure_is_bit_identical(self, name):
+        def run():
+            scenario = SCENARIOS[name]()
+            controller = KauffmannController(scenario.network, scenario.plan)
+            return controller.configure(scenario.client_order)
+
+        baseline = run()
+        observed, payload = run_observed(run)
+        assert observed.total_mbps == baseline.total_mbps
+        assert observed.assignment == baseline.assignment
+        assert observed.report.per_ap_mbps == baseline.report.per_ap_mbps
+        assert_recorded(payload)
+        counters = payload["metrics"]["counters"]
+        assert counters["kauffmann.contention_scans"] > 0
