@@ -1,11 +1,14 @@
 """Helpers shared by the standalone ``bench_*`` scripts and conftest.
 
-One thing lives here today: the missing-baseline protocol. Every gated
-benchmark (``bench_allocator --check``, ``bench_obs --check``) and every
-pytest fixture that reads a checked-in ``BENCH_*.json`` reports the
-same message and the same exit code (:data:`MISSING_BASELINE_EXIT`)
-when the baseline file is absent, so CI logs and ``tests/test_cli.py``
-can match on a single phrasing.
+Two protocols live here: the missing-baseline protocol and the
+floor-failure phrasing. Every gated benchmark (``bench_allocator
+--check``, ``bench_obs --check``) and every pytest fixture that reads a
+checked-in ``BENCH_*.json`` reports the same message and the same exit
+code (:data:`MISSING_BASELINE_EXIT`) when the baseline file is absent,
+and names the specific acceptance floor (``full/delta``,
+``compiled/delta``, ``batched/compiled``) through
+:func:`floor_failure_message` when one is missed, so CI logs and
+``tests/test_cli.py`` can match on a single phrasing.
 """
 
 from __future__ import annotations
@@ -22,6 +25,22 @@ MISSING_BASELINE_EXIT = 2
 def missing_baseline_message(path: "str | pathlib.Path") -> str:
     """The one shared phrasing for an absent ``BENCH_*.json`` baseline."""
     return f"no baseline at {path}; run without --check first to record one"
+
+
+def floor_failure_message(
+    label: str, floor_name: str, value: float, floor: float
+) -> str:
+    """Name the acceptance floor a benchmark rung missed.
+
+    ``floor_name`` identifies which engine ratio failed (``full/delta``,
+    ``compiled/delta``, ``batched/compiled``), so a CI log line is
+    actionable without opening the baseline JSON. The same phrasing is
+    used for every floor, and ``tests/test_cli.py`` pins it.
+    """
+    return (
+        f"{label}: {floor_name} speedup {value:.2f}x is under the "
+        f"{floor:.0f}x acceptance floor"
+    )
 
 
 def require_baseline(path: "str | pathlib.Path") -> "int | None":

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..config import ACORN_EPSILON, make_rng
 from ..errors import AllocationError
+from ..net.batch import BatchTables, BatchedEvaluator, accumulate_totals
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator, FullEvaluationEngine
 from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
@@ -40,6 +41,9 @@ EvaluateFn = Callable[[Mapping[str, Channel]], float]
 
 # Per-start evaluation-count histogram buckets (counts, not seconds).
 _EVALS_PER_START_BOUNDS = (10.0, 100.0, 1_000.0, 10_000.0, 100_000.0)
+
+# Per-superstep batch-width histogram buckets (candidate counts).
+_BATCH_SIZE_BOUNDS = (16.0, 64.0, 256.0, 1_024.0, 4_096.0)
 
 
 def _record_start(tracer, engine, stats_before, result, skips) -> None:
@@ -167,6 +171,10 @@ def greedy_allocate(
     missing = [ap for ap in ap_ids if ap not in initial]
     if missing:
         raise AllocationError(f"initial assignment misses APs {missing}")
+    if isinstance(engine, BatchedEvaluator):
+        return _greedy_allocate_batched(
+            ap_ids, palette, initial, epsilon, max_rounds, engine
+        )
     if isinstance(engine, CompiledEvaluator):
         return _greedy_allocate_compiled(
             ap_ids, palette, initial, epsilon, max_rounds, engine
@@ -329,6 +337,313 @@ def _greedy_allocate_compiled(
     return result
 
 
+class _BatchedGreedyRun:
+    """One replica's greedy state machine over the batched engine.
+
+    Replays ``_greedy_allocate_compiled``'s control flow — scan order,
+    the ``1e-12`` ratchet floor, the ``1e-9`` switch threshold, the
+    epsilon round stop — as an explicit state machine so a lockstep
+    driver can advance many replicas one *superstep* (one inner
+    while-iteration) at a time, scoring all their candidate sets in a
+    single stacked batch. Candidate totals are bit-identical to
+    ``trial_index``, the replayed scan compares them in the identical
+    order, and commits go through ``commit_index`` — so the finished
+    run equals the scalar loops bit for bit.
+    """
+
+    def __init__(
+        self,
+        ap_ids,
+        positions,
+        palette,
+        palette_indices,
+        initial,
+        epsilon,
+        max_rounds,
+        batch,
+        observe,
+    ) -> None:
+        self.ap_ids = ap_ids
+        self.positions = positions
+        self.palette = palette
+        self.palette_indices = palette_indices
+        self.epsilon = epsilon
+        self.max_rounds = max_rounds
+        self.batch = batch
+        self.engine = batch.engine
+        self.observe = observe
+        self.skips = 0
+        self.stats_before = self.engine.stats.as_dict() if observe else None
+        self.aggregate = self.engine.reset({ap: initial[ap] for ap in ap_ids})
+        self.evaluations = 1
+        self.history: List[SwitchEvent] = []
+        self.round_index = 0
+        self.done = max_rounds < 1
+        self.rounds = 0 if self.done else 1
+        self.round_start = self.aggregate
+        self.remaining = list(range(len(ap_ids)))
+        self.improved = False
+        # How many palette entries equal a given interned index — the
+        # per-row skip count for rows pruned without a candidate scan.
+        self._skip_counts: Dict[int, int] = {}
+        for index in palette_indices:
+            self._skip_counts[index] = self._skip_counts.get(index, 0) + 1
+
+    def propose(self):
+        """The next superstep's candidate block (None when finished)."""
+        if self.done:
+            return None
+        return self.batch.step_block(
+            self.positions, self.remaining, self.palette_indices
+        )
+
+    def absorb(self, block, totals) -> None:
+        """Replay the sequential candidate scan; commit the winner."""
+        engine = self.engine
+        aggregate = self.aggregate
+        width = block.width
+        palette_indices = self.palette_indices
+        chan = engine._chan
+        observe = self.observe
+        best: Optional[Tuple[float, int, int]] = None
+        best_rank_floor = None
+        evaluations = self.evaluations
+        skips = self.skips
+        skip_counts = self._skip_counts
+        # Rows whose best value cannot beat the running ratchet floor are
+        # pruned whole: subtraction by a common float is monotone, so
+        # ``max(row) - aggregate <= floor`` implies every rank in the row
+        # fails ``rank > floor`` — identical outcome, no per-candidate
+        # scan. (A NaN row max — the scalar-fallback sentinel — compares
+        # False and simply falls through to the exact scan.)
+        row_maxes = (
+            totals.reshape(len(self.remaining), width).max(axis=1).tolist()
+            if width and len(self.remaining)
+            else None
+        )
+        values: Optional[List[float]] = None
+        base = 0
+        for i, position in enumerate(self.remaining):
+            current = chan[self.positions[position]]
+            if (
+                best_rank_floor is not None
+                and row_maxes is not None
+                and row_maxes[i] - aggregate <= best_rank_floor
+            ):
+                n_skip = skip_counts.get(current, 0)
+                evaluations += width - n_skip
+                if observe:
+                    skips += n_skip
+                base += width
+                continue
+            if values is None:
+                values = totals.tolist()
+            for candidate_position in range(width):
+                if palette_indices[candidate_position] == current:
+                    if observe:
+                        skips += 1
+                    continue  # a no-op switch can never win
+                evaluations += 1
+                rank = values[base + candidate_position] - aggregate
+                if best_rank_floor is None or rank > best_rank_floor:
+                    best = (rank, position, candidate_position)
+                    best_rank_floor = rank + 1e-12
+            base += width
+        self.evaluations = evaluations
+        self.skips = skips
+        if best is None:
+            self._end_round()
+            return
+        rank, winner_position, channel_position = best
+        if rank <= 1e-9:
+            # No remaining AP can improve the aggregate: the round ends.
+            self._end_round()
+            return
+        winner_ap = self.positions[winner_position]
+        new_index = self.palette_indices[channel_position]
+        old_index = chan[winner_ap]
+        self.aggregate = engine.commit_index(winner_ap, new_index)
+        self.batch.note_commit(winner_ap, old_index, new_index)
+        self.remaining.remove(winner_position)
+        self.improved = True
+        self.history.append(
+            SwitchEvent(
+                ap_id=self.ap_ids[winner_position],
+                channel=self.palette[channel_position],
+                aggregate_mbps=self.aggregate,
+                round_index=self.round_index,
+            )
+        )
+        if not self.remaining:
+            self._end_round()
+
+    def _end_round(self) -> None:
+        """Round bookkeeping: stop checks, then start the next round."""
+        if not self.improved:
+            self.done = True
+            return
+        if self.round_start > 0 and self.aggregate < (
+            self.epsilon * self.round_start
+        ):
+            # Less than (epsilon - 1) relative growth this round: stop.
+            self.done = True
+            return
+        self.round_index += 1
+        if self.round_index >= self.max_rounds:
+            self.done = True
+            return
+        self.rounds = self.round_index + 1
+        self.round_start = self.aggregate
+        self.remaining = list(range(len(self.ap_ids)))
+        self.improved = False
+
+    def result(self) -> AllocationResult:
+        """The finished run as an :class:`AllocationResult`."""
+        return AllocationResult(
+            assignment=self.engine.assignment,
+            aggregate_mbps=self.aggregate,
+            rounds=self.rounds,
+            evaluations=self.evaluations,
+            history=self.history,
+        )
+
+
+def _drive_batched(runs, tracer, observe) -> None:
+    """Advance replicas in lockstep until every run finishes.
+
+    Each iteration stacks all active replicas' candidate blocks along
+    the candidate axis, accumulates their totals in one pass, and lets
+    each run replay its own scan/commit. Batch instrumentation lands on
+    the tracer only when observing (NullTracer transparency).
+    """
+    while True:
+        active = [run for run in runs if not run.done]
+        if not active:
+            return
+        blocks = [run.propose() for run in active]
+        totals = accumulate_totals(blocks)
+        if observe:
+            evaluated = sum(block.evaluated() for block in blocks)
+            metrics = tracer.metrics
+            metrics.counter("alloc.batch_evaluations").inc(evaluated)
+            metrics.counter("alloc.batch_steps").inc()
+            metrics.histogram(
+                "alloc.batch_size", _BATCH_SIZE_BOUNDS
+            ).observe(evaluated)
+        for run, block, block_totals in zip(active, blocks, totals):
+            run.absorb(block, block_totals)
+
+
+def _positions_of(ap_ids, compiled) -> List[int]:
+    """Allocator-position → compiled-AP-index mapping (validated)."""
+    ap_index = compiled.ap_index
+    positions: List[int] = []
+    for ap_id in ap_ids:
+        index = ap_index.get(ap_id)
+        if index is None:
+            raise AllocationError(f"unknown AP {ap_id!r}")
+        positions.append(index)
+    return positions
+
+
+def _greedy_allocate_batched(
+    ap_ids: Sequence[str],
+    palette: Sequence[Channel],
+    initial: Mapping[str, Channel],
+    epsilon: float,
+    max_rounds: int,
+    batch: BatchedEvaluator,
+) -> AllocationResult:
+    """Single-start Algorithm 2 on a caller-supplied batched engine."""
+    positions = _positions_of(ap_ids, batch.engine.compiled)
+    palette_indices = [batch.engine.intern(channel) for channel in palette]
+    tracer = active_tracer()
+    observe = tracer.enabled
+    run = _BatchedGreedyRun(
+        ap_ids,
+        positions,
+        list(palette),
+        palette_indices,
+        initial,
+        epsilon,
+        max_rounds,
+        batch,
+        observe,
+    )
+    _drive_batched([run], tracer, observe)
+    result = run.result()
+    if observe:
+        _record_start(tracer, run.engine, run.stats_before, result, run.skips)
+    return result
+
+
+def _allocate_batched_starts(
+    ap_ids,
+    palette,
+    starts,
+    epsilon,
+    max_rounds,
+    compiled,
+    deciding,
+    associations,
+    tracer,
+    observe,
+) -> List[AllocationResult]:
+    """All multi-start replicas of one allocation, evaluated in lockstep.
+
+    Each start gets its own :class:`~repro.net.state.CompiledEvaluator`
+    (committed state is per-replica) wrapping shared
+    :class:`~repro.net.batch.BatchTables` (cell values are not), with
+    the palette interned first so every replica shares one channel-index
+    space. Results come back in start order, each bit-identical to a
+    sequential run from the same start.
+    """
+    if epsilon < 1.0:
+        raise AllocationError(
+            f"epsilon is a growth factor >= 1, got {epsilon}"
+        )
+    if not ap_ids:
+        raise AllocationError("no APs to allocate")
+    positions = _positions_of(ap_ids, compiled)
+    tables = BatchTables()
+    runs: List[_BatchedGreedyRun] = []
+    for start in starts:
+        missing = [ap for ap in ap_ids if ap not in start]
+        if missing:
+            raise AllocationError(f"initial assignment misses APs {missing}")
+        engine = CompiledEvaluator(
+            compiled,
+            model=deciding,
+            assignment={},
+            associations=associations,
+        )
+        palette_indices = [engine.intern(channel) for channel in palette]
+        batch = BatchedEvaluator(engine, tables=tables)
+        runs.append(
+            _BatchedGreedyRun(
+                ap_ids,
+                positions,
+                list(palette),
+                palette_indices,
+                start,
+                epsilon,
+                max_rounds,
+                batch,
+                observe,
+            )
+        )
+    _drive_batched(runs, tracer, observe)
+    results = []
+    for run in runs:
+        result = run.result()
+        if observe:
+            _record_start(
+                tracer, run.engine, run.stats_before, result, run.skips
+            )
+        results.append(result)
+    return results
+
+
 def allocate_channels(
     network: Network,
     graph: nx.Graph,
@@ -365,12 +680,14 @@ def allocate_channels(
         gradient-descent analogy in §4.2 ("can be trapped in a local
         extremum") is exactly what extra starts hedge against.
     engine_mode:
-        ``"auto"`` (default) scores switches on the compiled
-        array-backed engine whenever the deciding model supports it
+        ``"auto"`` (default) scores switches on the batched vectorized
+        engine (:class:`repro.net.batch.BatchedEvaluator` over the
+        compiled arrays) whenever the deciding model supports it
         (:func:`repro.net.state.supports_compiled`), falling back to
-        the dict-keyed delta engine otherwise; ``"compiled"`` and
-        ``"delta"`` force one engine. Both engines are bit-equivalent,
-        so the mode changes speed, never the result.
+        the dict-keyed delta engine otherwise; ``"batched"``,
+        ``"compiled"`` and ``"delta"`` force one engine. All engines
+        are bit-equivalent, so the mode changes speed, never the
+        result.
     compiled:
         A pre-built :class:`~repro.net.state.CompiledNetwork` for this
         (network, graph, plan); avoids recompiling when the caller
@@ -382,22 +699,24 @@ def allocate_channels(
     """
     if restarts < 1:
         raise AllocationError(f"restarts must be >= 1, got {restarts}")
-    if engine_mode not in ("auto", "compiled", "delta"):
+    if engine_mode not in ("auto", "batched", "compiled", "delta"):
         raise AllocationError(
-            f"engine_mode must be 'auto', 'compiled' or 'delta', "
-            f"got {engine_mode!r}"
+            f"engine_mode must be 'auto', 'batched', 'compiled' or "
+            f"'delta', got {engine_mode!r}"
         )
     ap_ids = network.ap_ids
     generator = make_rng(rng)
     deciding = decision_model if decision_model is not None else model
 
-    use_compiled = engine_mode == "compiled" or (
+    use_batched = engine_mode == "batched" or (
         engine_mode == "auto" and supports_compiled(deciding)
     )
-    engine: "DeltaEvaluator | CompiledEvaluator"
-    if use_compiled:
+    use_compiled = engine_mode == "compiled"
+    engine: "DeltaEvaluator | CompiledEvaluator | None"
+    if use_batched or use_compiled:
         if compiled is None:
             compiled = CompiledNetwork.compile(network, graph, plan)
+    if use_compiled:
         engine = CompiledEvaluator(
             compiled,
             model=deciding,
@@ -407,6 +726,8 @@ def allocate_channels(
                 else network.associations
             ),
         )
+    elif use_batched:
+        engine = None  # per-replica engines built by the batched driver
     else:
         engine = DeltaEvaluator(
             network,
@@ -430,22 +751,47 @@ def allocate_channels(
         tracer.metrics.counter("alloc.restarts").inc(len(starts) - 1)
     best: Optional[AllocationResult] = None
     evaluations_per_start: List[int] = []
-    for start in starts:
+    if use_batched:
         if observe:
-            tracer.start("allocate.start")
-        result = greedy_allocate(
+            tracer.start("allocate.batch")
+        results = _allocate_batched_starts(
             ap_ids,
             plan.all_channels(),
-            initial=start,
-            epsilon=epsilon,
-            max_rounds=max_rounds,
-            engine=engine,
+            starts,
+            epsilon,
+            max_rounds,
+            compiled,
+            deciding,
+            (
+                associations if associations is not None
+                else network.associations
+            ),
+            tracer,
+            observe,
         )
         if observe:
-            tracer.end("allocate.start")
-        evaluations_per_start.append(result.evaluations)
-        if best is None or result.aggregate_mbps > best.aggregate_mbps:
-            best = result
+            tracer.end("allocate.batch")
+        for result in results:
+            evaluations_per_start.append(result.evaluations)
+            if best is None or result.aggregate_mbps > best.aggregate_mbps:
+                best = result
+    else:
+        for start in starts:
+            if observe:
+                tracer.start("allocate.start")
+            result = greedy_allocate(
+                ap_ids,
+                plan.all_channels(),
+                initial=start,
+                epsilon=epsilon,
+                max_rounds=max_rounds,
+                engine=engine,
+            )
+            if observe:
+                tracer.end("allocate.start")
+            evaluations_per_start.append(result.evaluations)
+            if best is None or result.aggregate_mbps > best.aggregate_mbps:
+                best = result
     if observe:
         tracer.end("allocate")
     assert best is not None

@@ -66,6 +66,12 @@ class Acorn:
         the mobility/long-run simulations).
     seed:
         Seed for the random initial channel draw.
+    engine_mode:
+        Evaluation engine for allocation and refinement passes:
+        ``"auto"`` (default) batches candidate evaluation on the
+        compiled core when the model supports it; ``"batched"``,
+        ``"compiled"`` and ``"delta"`` force one path. All modes are
+        bit-identical.
     """
 
     def __init__(
@@ -77,12 +83,14 @@ class Acorn:
         period_s: float = ACORN_PERIOD_SECONDS,
         seed: "int | np.random.Generator | None" = 2010,
         min_snr20_db: "float | None" = None,
+        engine_mode: str = "auto",
     ) -> None:
         self.network = network
         self.plan = plan
         self.model = model if model is not None else ThroughputModel()
         self.epsilon = epsilon
         self.period_s = period_s
+        self.engine_mode = engine_mode
         if min_snr20_db is None:
             # Admission floor: below this even MCS 0 cannot deliver
             # and an associated client would zero out its cell.
@@ -213,6 +221,7 @@ class Acorn:
             initial=initial if initial is not None else self.network.channel_assignment,
             epsilon=self.epsilon,
             rng=self._rng,
+            engine_mode=self.engine_mode,
             compiled=self.compiled if supports_compiled(self.model) else None,
         )
         for ap_id, channel in result.assignment.items():
@@ -275,6 +284,7 @@ class Acorn:
                 self.graph,
                 self.model,
                 min_snr20_db=self.min_snr20_db,
+                engine_mode=self.engine_mode,
                 compiled=(
                     self.compiled if supports_compiled(self.model) else None
                 ),

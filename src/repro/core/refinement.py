@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..errors import AssociationError
+from ..net.batch import BatchedEvaluator
 from ..net.channels import Channel
 from ..net.evaluator import DeltaEvaluator
 from ..net.state import CompiledEvaluator, CompiledNetwork, supports_compiled
@@ -71,20 +72,21 @@ def refine_associations(
         Write the refined associations back into ``network`` (default);
         pass ``False`` for a what-if evaluation.
     engine_mode:
-        ``"auto"`` (default) trials moves on the compiled array-backed
-        engine when the model supports it, else the dict-keyed delta
-        engine; ``"compiled"``/``"delta"`` force one. Bit-equivalent
-        either way.
+        ``"auto"`` (default) scores each round's move set in one batch
+        on the compiled array-backed engine when the model supports it,
+        else falls back to the dict-keyed delta engine;
+        ``"batched"``/``"compiled"``/``"delta"`` force one path.
+        Bit-equivalent every way.
     compiled:
         Pre-built :class:`~repro.net.state.CompiledNetwork` to reuse;
         must reflect the current associations and graph.
     """
     if max_rounds < 1:
         raise AssociationError(f"max_rounds must be >= 1, got {max_rounds}")
-    if engine_mode not in ("auto", "compiled", "delta"):
+    if engine_mode not in ("auto", "batched", "compiled", "delta"):
         raise AssociationError(
-            f"engine_mode must be 'auto', 'compiled' or 'delta', "
-            f"got {engine_mode!r}"
+            f"engine_mode must be 'auto', 'batched', 'compiled' or "
+            f"'delta', got {engine_mode!r}"
         )
     if min_snr20_db is None:
         from ..link.adaptation import serviceability_floor_db
@@ -92,9 +94,10 @@ def refine_associations(
         min_snr20_db = serviceability_floor_db(model.packet_bytes)
 
     assignment: Dict[str, Channel] = dict(network.channel_assignment)
-    use_compiled = engine_mode == "compiled" or (
+    use_batched = engine_mode == "batched" or (
         engine_mode == "auto" and supports_compiled(model)
     )
+    use_compiled = use_batched or engine_mode == "compiled"
     engine: "DeltaEvaluator | CompiledEvaluator"
     if use_compiled:
         if compiled is None:
@@ -116,6 +119,11 @@ def refine_associations(
         associations=engine.associations, aggregate_mbps=aggregate, evaluations=1
     )
 
+    batch: Optional[BatchedEvaluator] = None
+    if use_batched and isinstance(engine, CompiledEvaluator):
+        batch = BatchedEvaluator(engine)
+    batch_evaluations = 0
+
     tracer = active_tracer()
     observe = tracer.enabled
     if observe:
@@ -123,25 +131,56 @@ def refine_associations(
     candidate_cache: Dict[str, Tuple[str, ...]] = {}
     for _ in range(max_rounds):
         best_move: Optional[Tuple[float, str, str, str]] = None
-        for client_id, current_ap in engine.associations.items():
-            candidates = candidate_cache.get(client_id)
-            if candidates is None:
-                candidates = tuple(
-                    candidate_source.candidate_aps(client_id, min_snr20_db)
-                )
-                candidate_cache[client_id] = candidates
-            for target_ap in candidates:
-                if target_ap == current_ap:
-                    continue
-                if target_ap not in assignment:
-                    continue  # unconfigured AP cannot serve traffic
-                value = engine.trial_move(client_id, target_ap)
-                result.evaluations += 1
-                gain = value - aggregate
-                if gain > improvement_epsilon and (
-                    best_move is None or gain > best_move[0]
-                ):
-                    best_move = (gain, client_id, current_ap, target_ap)
+        if batch is not None:
+            # Gather the round's move set in scan order, score it in one
+            # batch, then replay the gain ratchet over the exact totals.
+            moves: List[Tuple[str, str]] = []
+            sources: List[str] = []
+            for client_id, current_ap in engine.associations.items():
+                candidates = candidate_cache.get(client_id)
+                if candidates is None:
+                    candidates = tuple(
+                        candidate_source.candidate_aps(client_id, min_snr20_db)
+                    )
+                    candidate_cache[client_id] = candidates
+                for target_ap in candidates:
+                    if target_ap == current_ap:
+                        continue
+                    if target_ap not in assignment:
+                        continue  # unconfigured AP cannot serve traffic
+                    moves.append((client_id, target_ap))
+                    sources.append(current_ap)
+            if moves:
+                totals = batch.move_totals(moves)
+                result.evaluations += len(moves)
+                batch_evaluations += len(moves)
+                for k, value in enumerate(totals.tolist()):
+                    gain = value - aggregate
+                    if gain > improvement_epsilon and (
+                        best_move is None or gain > best_move[0]
+                    ):
+                        client_id, target_ap = moves[k]
+                        best_move = (gain, client_id, sources[k], target_ap)
+        else:
+            for client_id, current_ap in engine.associations.items():
+                candidates = candidate_cache.get(client_id)
+                if candidates is None:
+                    candidates = tuple(
+                        candidate_source.candidate_aps(client_id, min_snr20_db)
+                    )
+                    candidate_cache[client_id] = candidates
+                for target_ap in candidates:
+                    if target_ap == current_ap:
+                        continue
+                    if target_ap not in assignment:
+                        continue  # unconfigured AP cannot serve traffic
+                    value = engine.trial_move(client_id, target_ap)
+                    result.evaluations += 1
+                    gain = value - aggregate
+                    if gain > improvement_epsilon and (
+                        best_move is None or gain > best_move[0]
+                    ):
+                        best_move = (gain, client_id, current_ap, target_ap)
         if best_move is None:
             break
         _, client_id, from_ap, to_ap = best_move
@@ -154,6 +193,10 @@ def refine_associations(
         tracer.end("refine")
         tracer.metrics.counter("refine.evaluations").inc(result.evaluations)
         tracer.metrics.counter("refine.moves").inc(result.n_moves)
+        if batch_evaluations:
+            tracer.metrics.counter("refine.batch_evaluations").inc(
+                batch_evaluations
+            )
     if apply:
         for client_id, ap_id in result.associations.items():
             network.associate(client_id, ap_id)

@@ -64,8 +64,15 @@ def _make_model(traffic: str):
 
 def _run_acorn(scenario, traffic, rng, refine=False):
     from ..core.controller import Acorn
+    from .jobs import DEFAULT_ENGINE_MODE
 
-    acorn = Acorn(scenario.network, scenario.plan, _make_model(traffic), seed=rng)
+    acorn = Acorn(
+        scenario.network,
+        scenario.plan,
+        _make_model(traffic),
+        seed=rng,
+        engine_mode=DEFAULT_ENGINE_MODE,
+    )
     result = acorn.configure(scenario.client_order, refine=refine)
     extra = {
         "evaluations": float(result.allocation.total_evaluations),

@@ -31,11 +31,17 @@ from ..sim.scenario import scenario_accepts, scenario_names
 
 __all__ = [
     "CompiledScenario",
+    "DEFAULT_ENGINE_MODE",
     "Job",
     "SweepSpec",
     "TRAFFIC_MODELS",
     "payload_key",
 ]
+
+# Engine mode every fleet job runs with: the batched evaluator is the
+# fastest path and bit-identical to the scalar engines, so campaign
+# results are unchanged while wall-clock drops.
+DEFAULT_ENGINE_MODE = "batched"
 
 # Traffic models understood by the job runner (repro.sim.traffic).
 TRAFFIC_MODELS = ("udp", "tcp")

@@ -16,6 +16,7 @@ from .state import (
     network_fingerprint,
     supports_compiled,
 )
+from .batch import BatchedEvaluator, BatchTables, accumulate_totals
 from .uplink import UplinkThroughputModel
 from .overlap import (
     channel_center_mhz,
@@ -47,6 +48,9 @@ __all__ = [
     "FullEvaluationEngine",
     "CompiledEvaluator",
     "CompiledNetwork",
+    "BatchedEvaluator",
+    "BatchTables",
+    "accumulate_totals",
     "RateTables",
     "network_fingerprint",
     "supports_compiled",

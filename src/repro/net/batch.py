@@ -1,0 +1,595 @@
+"""Batched vectorized candidate evaluation over the compiled core.
+
+The greedy allocator (Algorithm 2) scores every candidate (AP, channel)
+switch of a step through :meth:`~repro.net.state.CompiledEvaluator.
+trial_index` — one Python call per candidate, ~K = |remaining| × |palette|
+calls per step. Once the network state is frozen into contiguous arrays
+(PR 4), the per-candidate arithmetic is tiny and the Python loop itself
+dominates. This module evaluates the whole candidate set of a greedy
+step — and the candidate sets of *every* multi-start replica — as a
+handful of numpy operations, bit-identical to the scalar oracle:
+
+* **Loads.** All contention weights produced by the stock binary and
+  weighted-overlap models are dyadic rationals (multiples of ``1/2**k``
+  for a small ``k``, detected at runtime). Sums and dot products of
+  dyadic rationals of these magnitudes are *exact* in float64 — every
+  partial sum is representable — so candidate contention loads may be
+  computed in any order (``counts @ weights.T``, per-edge incremental
+  updates) and still equal the scalar engine's sequential sums bit for
+  bit. Non-dyadic custom weights fall back to the scalar
+  ``trial_index`` per candidate (still exact, just not vectorized).
+* **Cells.** Per-AP cell throughputs depend only on ``(ap, width,
+  load)``. A dense grid indexed by ``(ap * 2 + width, load * scale)``
+  caches them; misses are filled through the wrapped engine's own
+  :meth:`~repro.net.state.CompiledEvaluator._cell_value` — the exact,
+  memoised scalar path — then gathered with one fancy index. The grid
+  is shared by all replicas of a multi-start run via
+  :class:`BatchTables` (associations, and therefore cell values, are
+  identical across replicas).
+* **Totals.** ``trial_index`` ends with Python's left-to-right
+  ``sum(x)`` over the substituted per-AP vector. The batched path
+  builds an ``(n_aps, K)`` column matrix (committed ``x`` broadcast,
+  touched rows scattered per candidate) and accumulates row by row —
+  ``total += matrix[ap]`` for ascending ``ap`` — which replays that
+  exact summation order per column. ``np.sum``/``np.add.reduce`` use
+  pairwise summation and are deliberately avoided.
+
+Candidate *selection* (the allocator's ratchet with its ``1e-12``
+floor) stays sequential in the caller — it is order-dependent and
+cheap; only the O(n_aps × K) arithmetic is vectorized here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError
+from .channels import Channel
+from .state import CompiledEvaluator
+
+__all__ = [
+    "BatchTables",
+    "BatchedEvaluator",
+    "CandidateBlock",
+    "accumulate_totals",
+]
+
+# Dyadic scales probed for exact load quantisation, smallest first.
+# Powers of two only: multiplying a float by one is always exact.
+_SCALES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+# Initial cell-grid capacity along the quantised-load axis.
+_INITIAL_Q_CAP = 64
+
+
+def _dyadic_scale(weights: np.ndarray) -> Optional[int]:
+    """Smallest power-of-two ``s`` with every ``weight * s`` integral.
+
+    Returns ``None`` when no probed scale works — the caller must fall
+    back to scalar evaluation, because vectorized reordering of the
+    load sums would no longer be exact.
+    """
+    for scale in _SCALES:
+        scaled = weights * scale
+        if np.array_equal(scaled, np.floor(scaled)):
+            return scale
+    return None
+
+
+class BatchTables:
+    """Cell-value grid shared by the replicas of one multi-start run.
+
+    Cell throughput depends only on ``(ap, width, load)`` — not on the
+    channel identity or on which replica asks — so one dense grid,
+    indexed by ``slot = ap * 2 + width`` and ``q = load * scale``,
+    serves every :class:`BatchedEvaluator` of a run. ``NaN`` marks an
+    unfilled entry (a genuinely-NaN cell value would merely be
+    recomputed on every gather, never mis-read).
+    """
+
+    def __init__(self) -> None:
+        self.scale: Optional[int] = None
+        self.grid: Optional[np.ndarray] = None
+
+    def adopt_scale(self, scale: int) -> None:
+        """Raise the shared quantisation scale to cover ``scale``.
+
+        Scales are powers of two, so the shared scale is their max; a
+        growth invalidates the ``q`` axis and the grid is dropped (the
+        refill cost is negligible — entries are memoised scalars).
+        """
+        if self.scale is None or scale > self.scale:
+            self.scale = scale
+            self.grid = None
+
+    def ensure(self, n_slots: int, q_cap: int) -> np.ndarray:
+        """The grid, grown to at least ``(n_slots, q_cap)``."""
+        grid = self.grid
+        if grid is None:
+            cap = max(_INITIAL_Q_CAP, q_cap)
+            grid = np.full((n_slots, cap), np.nan)
+            self.grid = grid
+        elif grid.shape[1] < q_cap:
+            cap = max(q_cap, 2 * grid.shape[1])
+            grown = np.full((grid.shape[0], cap), np.nan)
+            grown[:, : grid.shape[1]] = grid
+            grid = grown
+            self.grid = grid
+        return grid
+
+
+@dataclass
+class CandidateBlock:
+    """One greedy superstep's candidate scores, pre-accumulation.
+
+    ``matrix`` is the ``(n_aps, K)`` column matrix of substituted
+    per-AP throughputs (fast path); ``totals`` carries pre-computed
+    candidate totals instead when the evaluator fell back to scalar
+    trials. ``skip`` flags candidates equal to the AP's current channel
+    — the allocator never evaluates those, so their column content is
+    unspecified. Candidates are laid out AP-major, palette-minor,
+    matching the scalar scan order; ``width`` is the palette length.
+    """
+
+    skip: np.ndarray
+    width: int
+    matrix: Optional[np.ndarray] = None
+    totals: Optional[np.ndarray] = None
+
+    @property
+    def n_candidates(self) -> int:
+        """Total candidate count K, skipped entries included."""
+        return int(self.skip.size)
+
+    def evaluated(self) -> int:
+        """Candidates actually scored (K minus the skipped no-ops)."""
+        return int(self.skip.size - int(self.skip.sum()))
+
+
+def accumulate_totals(blocks: Sequence[CandidateBlock]) -> List[np.ndarray]:
+    """Candidate totals for each block, replaying ``sum(x)`` exactly.
+
+    Column matrices from all blocks (typically one per multi-start
+    replica) are stacked along the candidate axis and accumulated row
+    by row in ascending AP order — the same left-to-right order as the
+    scalar engine's ``sum(x)`` — so every total is bit-identical to the
+    corresponding :meth:`~repro.net.state.CompiledEvaluator.trial_index`
+    value. Blocks that already carry ``totals`` pass through untouched.
+    """
+    matrices = [block.matrix for block in blocks if block.matrix is not None]
+    stacked_totals: Optional[np.ndarray] = None
+    if matrices:
+        stacked = matrices[0] if len(matrices) == 1 else np.hstack(matrices)
+        stacked_totals = np.zeros(stacked.shape[1])
+        for ap in range(stacked.shape[0]):
+            stacked_totals += stacked[ap]
+    results: List[np.ndarray] = []
+    offset = 0
+    for block in blocks:
+        if block.matrix is not None:
+            assert stacked_totals is not None
+            k = block.matrix.shape[1]
+            results.append(stacked_totals[offset : offset + k])
+            offset += k
+        else:
+            assert block.totals is not None
+            results.append(block.totals)
+    return results
+
+
+class BatchedEvaluator:
+    """Vectorized K-candidate scorer over one :class:`CompiledEvaluator`.
+
+    Wraps (not replaces) a compiled engine: committed state, commits,
+    rollbacks and caches stay on the engine; this class only *reads*
+    its arrays to score many what-ifs at once. Every value it produces
+    is bit-identical to the engine's scalar ``trial_index`` /
+    ``trial_move`` / ``contention_load`` for the same inputs — the
+    equivalence the differential harness in
+    ``tests/test_batched_evaluator.py`` enforces.
+
+    Pass a shared :class:`BatchTables` to let multi-start replicas
+    (identical associations, hence identical cell values) reuse one
+    cell grid.
+    """
+
+    def __init__(
+        self,
+        engine: CompiledEvaluator,
+        tables: Optional[BatchTables] = None,
+    ) -> None:
+        """Wrap ``engine``; mirrors build lazily on first use."""
+        if not isinstance(engine, CompiledEvaluator):
+            raise AllocationError(
+                "BatchedEvaluator wraps a CompiledEvaluator; got "
+                f"{type(engine).__name__}"
+            )
+        self.engine = engine
+        self.tables = tables if tables is not None else BatchTables()
+        compiled = engine.compiled
+        self._n_aps = len(compiled.ap_ids)
+        indptr = np.asarray(compiled.adj_indptr, dtype=np.int64)
+        self._edge_dst = np.asarray(compiled.adj_indices, dtype=np.int64)
+        self._edge_src = np.repeat(
+            np.arange(self._n_aps, dtype=np.int64), np.diff(indptr)
+        )
+        self._in_graph = np.asarray(compiled.in_graph, dtype=bool)
+        self._indptr = indptr
+        self._max_degree = (
+            int(np.diff(indptr).max()) if self._n_aps else 0
+        )
+        self._n_channels = -1  # mirror staleness marker
+        self._weights: Optional[np.ndarray] = None
+        self._widths: Optional[np.ndarray] = None
+        self._scale: Optional[int] = None
+        self._q_bound = 1
+        self._has_clients: Optional[np.ndarray] = None
+        # Gathers that depend only on the palette, cached per palette.
+        self._pal_key: Optional[Tuple[int, ...]] = None
+        self._pal: Optional[np.ndarray] = None
+        self._pal_widths: Optional[np.ndarray] = None
+        self._pal_weights: Optional[np.ndarray] = None
+        # Committed-load cache, validated against the engine's channel
+        # vector on every step and kept warm by :meth:`note_commit`.
+        self._chan_arr: Optional[np.ndarray] = None
+        self._loads_all: Optional[np.ndarray] = None
+        self._edge_active: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Mirrors of the engine's interning state
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Refresh numpy mirrors after the engine interned new channels."""
+        engine = self.engine
+        n_ch = len(engine._channels)
+        if n_ch != self._n_channels:
+            if n_ch:
+                self._weights = np.array(
+                    engine._weight_rows, dtype=np.float64
+                ).reshape(n_ch, n_ch)
+                self._scale = _dyadic_scale(self._weights)
+            else:
+                self._weights = np.zeros((0, 0))
+                self._scale = 1
+            self._widths = np.array(engine._widths, dtype=np.int64)
+            self._n_channels = n_ch
+            self._pal_key = None
+            self._loads_all = None  # shape follows the channel count
+            if self._scale is not None:
+                self.tables.adopt_scale(self._scale)
+                scale = self.tables.scale
+                assert scale is not None
+                w_max = float(self._weights.max()) if self._weights.size else 0.0
+                # No load can exceed every-neighbour-at-max-weight, so a
+                # grid this wide never needs a bounds check per gather.
+                self._q_bound = int(round(self._max_degree * w_max * scale)) + 1
+                self.tables.ensure(2 * self._n_aps, self._q_bound)
+        if self._has_clients is None:
+            has = np.zeros(self._n_aps, dtype=bool)
+            for ap in range(self._n_aps):
+                clients = engine._clients_of[ap]
+                if clients is None:
+                    clients = engine._client_list(ap)
+                has[ap] = bool(clients)
+            self._has_clients = has
+
+    def note_commit(self, ap: int, old_index: int, new_index: int) -> None:
+        """Fold a committed channel switch into the cached load matrix.
+
+        Optional fast path: after ``engine.commit_index(ap, new_index)``
+        the caller may report the switch here so the next
+        :meth:`step_block` reuses the committed-load cache instead of
+        rebuilding it. Exact — the per-row delta ``w[:, new] - w[:, old]``
+        is dyadic, so the updated rows equal a from-scratch rebuild bit
+        for bit. Safe to omit: the cache is validated against the
+        engine's committed channels and rebuilt on any mismatch.
+        """
+        loads = self._loads_all
+        chan_arr = self._chan_arr
+        if loads is None or chan_arr is None:
+            return
+        if old_index == new_index:
+            return
+        if old_index < 0 or chan_arr[ap] != old_index:
+            self._loads_all = None  # out-of-band change: force rebuild
+            return
+        weights = self._weights
+        assert weights is not None
+        neighbours = self._edge_dst[self._indptr[ap] : self._indptr[ap + 1]]
+        loads[neighbours] += weights[:, new_index] - weights[:, old_index]
+        chan_arr[ap] = new_index
+
+    # ------------------------------------------------------------------
+    # Cell-grid gather
+    # ------------------------------------------------------------------
+    def _cells(self, slot: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Gather cell values for flat ``(slot, q)`` pairs, filling misses.
+
+        Misses go through the engine's exact scalar
+        :meth:`~repro.net.state.CompiledEvaluator._cell_value` (which
+        also feeds the engine's own memo), so the grid only ever holds
+        floats the scalar path would produce.
+        """
+        tables = self.tables
+        grid = tables.grid
+        if grid is None or grid.shape[1] < self._q_bound:
+            q_cap = max(int(q.max()) + 1 if q.size else 1, self._q_bound)
+            grid = tables.ensure(2 * self._n_aps, q_cap)
+        values = grid[slot, q]
+        miss = np.flatnonzero(np.isnan(values))
+        if miss.size:
+            engine = self.engine
+            scale = tables.scale
+            assert scale is not None
+            stride = np.int64(grid.shape[1])
+            keys = np.unique(slot[miss] * stride + q[miss])
+            for key in keys.tolist():
+                cell_slot, cell_q = divmod(int(key), int(stride))
+                ap = cell_slot >> 1
+                width = cell_slot & 1
+                clients = engine._clients_of[ap]
+                if clients is None:
+                    clients = engine._client_list(ap)
+                grid[cell_slot, cell_q] = engine._cell_value(
+                    ap, width, cell_q / scale, clients
+                )
+            values = grid[slot, q]
+        return values
+
+    # ------------------------------------------------------------------
+    # Greedy-step candidate blocks
+    # ------------------------------------------------------------------
+    def step_block(
+        self,
+        positions: Sequence[int],
+        remaining: Sequence[int],
+        palette_indices: Sequence[int],
+    ) -> CandidateBlock:
+        """Score all (remaining AP, palette channel) switches of one step.
+
+        ``positions`` maps allocator positions to compiled AP indices;
+        ``remaining`` lists the positions still eligible this round, in
+        scan order; ``palette_indices`` are interned channel indices.
+        The resulting block's column ``i * len(palette_indices) + j``
+        holds the what-if per-AP throughput vector for moving
+        ``remaining[i]`` to palette entry ``j`` — run it through
+        :func:`accumulate_totals` for the candidate totals.
+        """
+        self._sync()
+        engine = self.engine
+        n = self._n_aps
+        width = len(palette_indices)
+        moving = np.fromiter(
+            (positions[p] for p in remaining), dtype=np.int64, count=len(remaining)
+        )
+        outside = moving[~self._in_graph[moving]] if moving.size else moving
+        if outside.size:
+            raise AllocationError(
+                f"AP {engine._ap_ids[int(outside[0])]!r} is not in the "
+                "interference graph"
+            )
+        chan = np.fromiter(engine._chan, dtype=np.int64, count=n)
+        pal_key = tuple(palette_indices)
+        if pal_key != self._pal_key:
+            self._pal = np.asarray(palette_indices, dtype=np.int64)
+            self._pal_key = pal_key
+            if self._widths is not None:
+                self._pal_widths = self._widths[self._pal]
+            if self._weights is not None:
+                self._pal_weights = np.ascontiguousarray(
+                    self._weights[:, self._pal]
+                )
+        pal = self._pal
+        assert pal is not None
+        skip = (chan[moving][:, None] == pal[None, :]).ravel()
+        if self._scale is None:
+            return self._step_block_scalar(moving, chan, palette_indices, skip)
+        weights = self._weights
+        pal_widths = self._pal_widths
+        pal_weights = self._pal_weights
+        assert weights is not None
+        assert pal_widths is not None and pal_weights is not None
+        scale = self.tables.scale
+        assert scale is not None
+
+        # Committed per-(AP, channel) contention loads: counts of active
+        # neighbours per channel, times the weight matrix. Exact for
+        # dyadic weights in any summation order — and bit-equal to the
+        # per-commit deltas of :meth:`note_commit`, so a cache validated
+        # against the committed channel vector is reused across steps.
+        n_ch = self._n_channels
+        loads_all = self._loads_all
+        if (
+            loads_all is None
+            or self._chan_arr is None
+            or not np.array_equal(chan, self._chan_arr)
+        ):
+            active_edge = chan[self._edge_dst] >= 0
+            src = self._edge_src[active_edge]
+            dst_chan = chan[self._edge_dst[active_edge]]
+            counts = (
+                np.bincount(src * n_ch + dst_chan, minlength=n * n_ch)
+                .reshape(n, n_ch)
+                .astype(np.float64)
+            )
+            loads_all = counts @ weights.T  # [a, c]: load of a sitting on c
+            self._loads_all = loads_all
+            self._chan_arr = chan
+            self._edge_active = active_edge
+        edge_active = self._edge_active
+        assert edge_active is not None
+
+        k_total = len(remaining) * width
+        matrix = np.broadcast_to(
+            np.fromiter(engine._x, dtype=np.float64, count=n)[:, None],
+            (n, k_total),
+        ).copy()
+        if not width:
+            return CandidateBlock(skip=skip, width=width, matrix=matrix)
+        cols = np.arange(k_total, dtype=np.int64).reshape(len(remaining), width)
+
+        # Moving AP's own cell on each candidate channel (0.0 for a
+        # clientless cell, exactly as the scalar path substitutes).
+        rows = np.flatnonzero(self._has_clients[moving])
+        movers_c = moving[rows]
+        q_own = np.rint(
+            loads_all[movers_c[:, None], pal[None, :]] * scale
+        ).astype(np.int64)
+        slot_own = (movers_c * 2)[:, None] + pal_widths[None, :]
+        own_n = movers_c.size * width
+
+        # Neighbours of each mover: incremental load update per edge,
+        # identical (exactly) to the scalar engine's formula.
+        moving_mask = np.zeros(n, dtype=bool)
+        moving_mask[moving] = True
+        keep = (
+            moving_mask[self._edge_src]
+            & edge_active
+            & self._has_clients[self._edge_dst]
+        )
+        edge_src = self._edge_src[keep]
+        edge_dst = self._edge_dst[keep]
+        if edge_src.size:
+            nbr_chan = chan[edge_dst]
+            old_chan = chan[edge_src]
+            old_weight = np.where(
+                old_chan >= 0,
+                weights[nbr_chan, np.maximum(old_chan, 0)],
+                0.0,
+            )
+            base = loads_all[edge_dst, nbr_chan] - old_weight
+            nbr_loads = base[:, None] + pal_weights[nbr_chan]
+            q_nbr = np.rint(nbr_loads * scale).astype(np.int64).ravel()
+            slot_nbr = np.repeat(
+                edge_dst * 2 + self._widths[nbr_chan], width
+            )
+        else:
+            q_nbr = np.empty(0, dtype=np.int64)
+            slot_nbr = np.empty(0, dtype=np.int64)
+
+        # One fused gather for every touched cell of the superstep.
+        values = self._cells(
+            np.concatenate((slot_own.ravel(), slot_nbr)),
+            np.concatenate((q_own.ravel(), q_nbr)),
+        )
+        own_values = np.zeros((len(remaining), width))
+        if own_n:
+            own_values[rows] = values[:own_n].reshape(rows.size, width)
+        matrix[np.repeat(moving, width), cols.ravel()] = own_values.ravel()
+        if edge_src.size:
+            position_of = np.empty(n, dtype=np.int64)
+            position_of[moving] = np.arange(len(remaining), dtype=np.int64)
+            edge_cols = cols[position_of[edge_src]]
+            matrix[np.repeat(edge_dst, width), edge_cols.ravel()] = (
+                values[own_n:]
+            )
+        return CandidateBlock(skip=skip, width=width, matrix=matrix)
+
+    def _step_block_scalar(
+        self,
+        moving: np.ndarray,
+        chan: np.ndarray,
+        palette_indices: Sequence[int],
+        skip: np.ndarray,
+    ) -> CandidateBlock:
+        """Non-dyadic weights: exact totals via scalar trials."""
+        engine = self.engine
+        width = len(palette_indices)
+        totals = np.full(moving.size * width, np.nan)
+        k = 0
+        for ap in moving.tolist():
+            current = int(chan[ap])
+            for candidate in palette_indices:
+                if candidate != current:
+                    totals[k] = engine.trial_index(int(ap), int(candidate))
+                k += 1
+        return CandidateBlock(skip=skip, width=width, totals=totals)
+
+    # ------------------------------------------------------------------
+    # Association-move batches (the refinement local search)
+    # ------------------------------------------------------------------
+    def move_totals(
+        self, moves: Sequence[Tuple[str, str]]
+    ) -> np.ndarray:
+        """Batched ``trial_move`` totals for ``(client_id, target_ap)`` pairs.
+
+        The per-move touched-cell values come from the engine's exact
+        :meth:`~repro.net.state.CompiledEvaluator.move_values` seam (at
+        most two cells change per move); only the O(n_aps) substituted
+        summation is batched, replayed in the scalar order by row-wise
+        accumulation.
+        """
+        engine = self.engine
+        n = self._n_aps
+        k_total = len(moves)
+        matrix = np.broadcast_to(
+            np.fromiter(engine._x, dtype=np.float64, count=n)[:, None],
+            (n, k_total),
+        ).copy()
+        for k, (client_id, target_ap) in enumerate(moves):
+            touched, values = engine.move_values(client_id, target_ap)
+            for ap, value in zip(touched, values):
+                matrix[ap, k] = value
+        totals = np.zeros(k_total)
+        for ap in range(n):
+            totals += matrix[ap]
+        return totals
+
+    # ------------------------------------------------------------------
+    # Stateless contention oracle (the Kauffmann baseline)
+    # ------------------------------------------------------------------
+    def contention_loads(
+        self,
+        ap_id: str,
+        channels: Sequence[Channel],
+        assignment: Optional[Mapping[str, Channel]] = None,
+    ) -> np.ndarray:
+        """Vector of ``contention_load`` values over many channels.
+
+        Same semantics as the engine's scalar oracle — committed state
+        by default, an explicit ``assignment`` for stateless what-ifs —
+        with one weight-matrix gather instead of a Python loop per
+        channel. Bit-identical (dyadic exactness; scalar fallback
+        otherwise), so ``argmin`` selection matches the scalar ratchet.
+        """
+        engine = self.engine
+        ap = engine._ap_index.get(ap_id)
+        if ap is None or engine._nbr[ap] is None:
+            raise AllocationError(
+                f"AP {ap_id!r} is not in the interference graph"
+            )
+        neighbours = engine._nbr[ap]
+        if assignment is None:
+            chan = engine._chan
+            neighbour_indices = [
+                chan[other] for other in neighbours if chan[other] >= 0
+            ]
+        else:
+            ap_ids = engine._ap_ids
+            neighbour_indices = []
+            for other in neighbours:
+                channel = assignment.get(ap_ids[other])
+                if channel is not None:
+                    neighbour_indices.append(engine._intern(channel))
+        row_indices = [engine._intern(channel) for channel in channels]
+        self._sync()
+        if self._scale is None:
+            return np.array(
+                [
+                    engine.contention_load(ap_id, channel, assignment=assignment)
+                    for channel in channels
+                ]
+            )
+        if not neighbour_indices or not row_indices:
+            return np.zeros(len(row_indices))
+        assert self._weights is not None
+        sub = self._weights[
+            np.ix_(
+                np.asarray(row_indices, dtype=np.int64),
+                np.asarray(neighbour_indices, dtype=np.int64),
+            )
+        ]
+        return sub.sum(axis=1)

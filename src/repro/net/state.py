@@ -919,22 +919,23 @@ class CompiledEvaluator:
             )
         return client, target
 
-    def trial_move(self, client_id: str, target_ap: str) -> float:
-        """Y if ``client_id`` re-associated to ``target_ap`` (pure what-if).
+    def _move_cell_values(
+        self, client: int, target: int, previous: "Optional[int]"
+    ) -> "Tuple[Tuple[int, ...], Tuple[float, ...]]":
+        """What-if cell values for the APs a re-association touches.
 
-        Medium shares are untouched by an association move, so only the
-        source and target cells are recomputed — with fresh profiles, as
-        the dict engine does for overlaid memberships.
+        The shared core of :meth:`trial_move` and :meth:`move_values`:
+        recomputes the source and target cells with fresh profiles (as
+        the dict engine does for overlaid memberships) and returns the
+        touched AP indices with their substituted X values, in touch
+        order. Medium shares are untouched by an association move, so
+        no other cell changes.
         """
-        self.stats.trials += 1
-        client, target = self._move_indices(client_id, target_ap)
-        previous = self._assoc.get(client)
         touched: List[int] = []
         for ap in (previous, target):
             if ap is not None and ap not in touched:
                 touched.append(ap)
-        x = self._x
-        saved = []
+        values: List[float] = []
         for ap in touched:
             channel_index = self._chan[ap]
             if channel_index < 0:
@@ -969,6 +970,39 @@ class CompiledEvaluator:
                         value = sum(
                             base * packet_mbits * factor for factor in factors
                         )
+            values.append(value)
+        return tuple(touched), tuple(values)
+
+    def move_values(
+        self, client_id: str, target_ap: str
+    ) -> "Tuple[Tuple[int, ...], Tuple[float, ...]]":
+        """Touched AP indices and their what-if X values for a move.
+
+        The seam used by :class:`repro.net.batch.BatchedEvaluator`'s
+        association-move batching: the caller substitutes these values
+        into a column matrix and reduces many candidates at once; the
+        floats are exactly those :meth:`trial_move` would substitute.
+        Counts as one trial in :attr:`stats`, like :meth:`trial_move`.
+        """
+        self.stats.trials += 1
+        client, target = self._move_indices(client_id, target_ap)
+        previous = self._assoc.get(client)
+        return self._move_cell_values(client, target, previous)
+
+    def trial_move(self, client_id: str, target_ap: str) -> float:
+        """Y if ``client_id`` re-associated to ``target_ap`` (pure what-if).
+
+        Medium shares are untouched by an association move, so only the
+        source and target cells are recomputed — with fresh profiles, as
+        the dict engine does for overlaid memberships.
+        """
+        self.stats.trials += 1
+        client, target = self._move_indices(client_id, target_ap)
+        previous = self._assoc.get(client)
+        touched, values = self._move_cell_values(client, target, previous)
+        x = self._x
+        saved = []
+        for ap, value in zip(touched, values):
             saved.append((ap, x[ap]))
             x[ap] = value
         total = sum(x)

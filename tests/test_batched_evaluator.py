@@ -1,0 +1,418 @@
+"""Differential harness for the batched candidate evaluator.
+
+The contract under test: every number the batched path produces — the
+candidate totals of a greedy superstep, the batched refinement move
+totals, the vectorized contention scans — must equal the scalar
+oracles (``trial_index`` / ``trial_move`` / ``contention_load``) with
+float ``==``, no tolerance, and the batched allocator / refinement /
+baseline drivers built on them must make bit-identical decisions to
+the ``delta`` and ``compiled`` engines on every registered scenario
+and a seeded sweep of random enterprises, under both stock models.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import allocate_channels, random_assignment
+from repro.core.controller import Acorn
+from repro.core.refinement import refine_associations
+from repro.baselines.kauffmann import kauffmann_allocate
+from repro.errors import AllocationError, AssociationError
+from repro.net import (
+    BatchedEvaluator,
+    ChannelPlan,
+    CompiledEvaluator,
+    CompiledNetwork,
+    DeltaEvaluator,
+    Network,
+    ThroughputModel,
+    WeightedThroughputModel,
+    build_interference_graph,
+)
+from repro.net.batch import BatchTables, _dyadic_scale, accumulate_totals
+from repro.sim.scenario import SCENARIOS, random_enterprise
+
+RANDOM_SEEDS = tuple(range(12))
+MODELS = ("base", "weighted")
+
+
+def make_model(kind):
+    return ThroughputModel() if kind == "base" else WeightedThroughputModel()
+
+
+def registered(name):
+    """A registered scenario with every client associated."""
+    scenario = SCENARIOS[name]()
+    network = scenario.network
+    for client_id in network.client_ids:
+        candidates = network.candidate_aps(client_id)
+        if candidates:
+            network.associate(client_id, candidates[0])
+    return network, build_interference_graph(network), scenario.plan
+
+
+def random_case(seed, n_aps=5, n_clients=12):
+    """A random enterprise with deterministic random associations."""
+    scenario = random_enterprise(
+        n_aps=n_aps, n_clients=n_clients, area_m=(60.0, 45.0), seed=seed
+    )
+    network = scenario.network
+    rng = random.Random(seed)
+    for client_id in network.client_ids:
+        candidates = list(network.candidate_aps(client_id, -8.0))
+        if candidates:
+            network.associate(client_id, rng.choice(candidates))
+    return network, build_interference_graph(network), scenario.plan
+
+
+ALL_CASES = [("scenario", name) for name in SCENARIOS] + [
+    ("random", seed) for seed in RANDOM_SEEDS
+]
+
+
+def build_case(kind, key):
+    return registered(key) if kind == "scenario" else random_case(key)
+
+
+def batched_setup(network, graph, plan, model, seed=3):
+    """A compiled engine plus its batched wrapper over a random start."""
+    initial = random_assignment(network.ap_ids, plan, seed)
+    compiled = CompiledNetwork.compile(network, graph, plan)
+    engine = CompiledEvaluator(compiled, model=model, assignment=initial)
+    palette_indices = [engine.intern(c) for c in plan.all_channels()]
+    positions = [compiled.ap_index[ap_id] for ap_id in network.ap_ids]
+    return engine, BatchedEvaluator(engine), positions, palette_indices
+
+
+def assert_results_equal(out, ref):
+    """Field-by-field bit equality of two AllocationResults."""
+    assert out.assignment == ref.assignment
+    assert out.aggregate_mbps == ref.aggregate_mbps
+    assert out.rounds == ref.rounds
+    assert out.evaluations == ref.evaluations
+    assert out.total_evaluations == ref.total_evaluations
+    assert out.evaluations_per_start == ref.evaluations_per_start
+    assert [
+        (e.ap_id, e.channel, e.aggregate_mbps, e.round_index)
+        for e in out.history
+    ] == [
+        (e.ap_id, e.channel, e.aggregate_mbps, e.round_index)
+        for e in ref.history
+    ]
+
+
+class TestStepBlockOracle:
+    @pytest.mark.parametrize("model_kind", MODELS)
+    @pytest.mark.parametrize(
+        ("kind", "key"),
+        [("scenario", name) for name in SCENARIOS]
+        + [("random", seed) for seed in RANDOM_SEEDS[:4]],
+    )
+    def test_totals_match_trial_index(self, kind, key, model_kind):
+        network, graph, plan = build_case(kind, key)
+        model = make_model(model_kind)
+        engine, batch, positions, palette = batched_setup(
+            network, graph, plan, model
+        )
+        remaining = list(range(len(positions)))
+        block = batch.step_block(positions, remaining, palette)
+        totals = accumulate_totals([block])[0]
+        width = block.width
+        for i, position in enumerate(remaining):
+            ap = positions[position]
+            for j, channel_index in enumerate(palette):
+                flat = i * width + j
+                if engine._chan[ap] == channel_index:
+                    assert bool(block.skip[flat])
+                    continue
+                assert not bool(block.skip[flat])
+                assert totals[flat] == engine.trial_index(ap, channel_index)
+
+    def test_totals_survive_commits_without_notification(self):
+        """The load cache self-validates against out-of-band commits."""
+        network, graph, plan = registered("office")
+        engine, batch, positions, palette = batched_setup(
+            network, graph, plan, ThroughputModel()
+        )
+        remaining = list(range(len(positions)))
+        batch.step_block(positions, remaining, palette)
+        engine.commit_index(positions[0], palette[-1])  # no note_commit
+        block = batch.step_block(positions, remaining, palette)
+        totals = accumulate_totals([block])[0]
+        width = block.width
+        for i, position in enumerate(remaining):
+            ap = positions[position]
+            for j, channel_index in enumerate(palette):
+                if engine._chan[ap] != channel_index:
+                    assert totals[i * width + j] == engine.trial_index(
+                        ap, channel_index
+                    )
+
+    def test_note_commit_matches_rebuild(self):
+        """Incremental load deltas equal a from-scratch rebuild."""
+        network, graph, plan = registered("dense")
+        engine, batch, positions, palette = batched_setup(
+            network, graph, plan, WeightedThroughputModel()
+        )
+        remaining = list(range(len(positions)))
+        batch.step_block(positions, remaining, palette)
+        ap = positions[0]
+        old = engine._chan[ap]
+        engine.commit_index(ap, palette[-1])
+        batch.note_commit(ap, old, palette[-1])
+        cached = batch._loads_all.copy()
+        batch._loads_all = None  # force the from-scratch path
+        batch.step_block(positions, remaining, palette)
+        assert np.array_equal(batch._loads_all, cached)
+
+    def test_scalar_fallback_matches(self):
+        """Non-dyadic weights fall back to per-candidate trials."""
+        network, graph, plan = registered("office")
+        engine, batch, positions, palette = batched_setup(
+            network, graph, plan, ThroughputModel()
+        )
+        remaining = list(range(len(positions)))
+        fast = accumulate_totals(
+            [batch.step_block(positions, remaining, palette)]
+        )[0]
+        batch._scale = None  # pretend the weights were not dyadic
+        block = batch.step_block(positions, remaining, palette)
+        assert block.matrix is None and block.totals is not None
+        slow = accumulate_totals([block])[0]
+        keep = ~block.skip
+        assert np.array_equal(fast[keep], slow[keep])
+
+    def test_dyadic_scale_detection(self):
+        assert _dyadic_scale(np.array([0.0, 1.0])) == 1
+        assert _dyadic_scale(np.array([0.5, 0.25])) == 4
+        assert _dyadic_scale(np.array([1.0 / 3.0])) is None
+
+    def test_ap_outside_graph_is_rejected(self):
+        network, graph, plan = registered("office")
+        network.add_ap("loner")
+        graph = build_interference_graph(network)
+        graph.remove_node("loner")
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        engine = CompiledEvaluator(
+            compiled,
+            model=ThroughputModel(),
+            assignment=random_assignment(network.ap_ids, plan, 3),
+        )
+        palette = [engine.intern(c) for c in plan.all_channels()]
+        batch = BatchedEvaluator(engine)
+        loner = compiled.ap_index["loner"]
+        with pytest.raises(AllocationError):
+            batch.step_block([loner], [0], palette)
+
+    def test_wrapping_a_delta_engine_is_rejected(self):
+        network, graph, plan = registered("office")
+        delta = DeltaEvaluator(network, graph, model=ThroughputModel())
+        with pytest.raises(AllocationError):
+            BatchedEvaluator(delta)
+
+
+class TestBatchedAllocatorEquivalence:
+    @pytest.mark.parametrize("model_kind", MODELS)
+    @pytest.mark.parametrize(("kind", "key"), ALL_CASES)
+    def test_allocate_channels_bit_identical(self, kind, key, model_kind):
+        network, graph, plan = build_case(kind, key)
+        model = make_model(model_kind)
+        kwargs = dict(rng=7, restarts=2)
+        ref = allocate_channels(
+            network, graph, plan, model, engine_mode="delta", **kwargs
+        )
+        out = allocate_channels(
+            network, graph, plan, model, engine_mode="batched", **kwargs
+        )
+        assert_results_equal(out, ref)
+
+    def test_auto_mode_is_batched_for_supported_models(self):
+        network, graph, plan = registered("dense")
+        auto = allocate_channels(network, graph, plan, ThroughputModel(), rng=1)
+        forced = allocate_channels(
+            network, graph, plan, ThroughputModel(), rng=1,
+            engine_mode="batched",
+        )
+        assert_results_equal(auto, forced)
+        with pytest.raises(AllocationError):
+            allocate_channels(
+                network, graph, plan, ThroughputModel(), engine_mode="turbo"
+            )
+
+    def test_equal_delta_candidates_keep_scan_order(self):
+        """Ties break toward the first candidate scanned, as in scalar."""
+        plan = ChannelPlan()
+        palette = plan.all_channels()
+        network = Network()
+        for index in (1, 2):
+            network.add_ap(f"ap{index}")
+            network.add_client(f"u{index}")
+            network.set_link_snr(f"ap{index}", f"u{index}", 20.0)
+            network.associate(f"u{index}", f"ap{index}")
+        network.set_explicit_conflicts([("ap1", "ap2")])
+        graph = build_interference_graph(network)
+        initial = {"ap1": palette[0], "ap2": palette[0]}
+        results = [
+            allocate_channels(
+                network, graph, plan, ThroughputModel(),
+                initial=initial, engine_mode=mode,
+            )
+            for mode in ("delta", "batched")
+        ]
+        assert_results_equal(results[1], results[0])
+        # The symmetric topology makes every conflict-free candidate of
+        # the first AP tie exactly; prove the tie exists in the batched
+        # totals and that the committed winner is the first one scanned.
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        engine = CompiledEvaluator(
+            compiled, model=ThroughputModel(), assignment=initial
+        )
+        indices = [engine.intern(c) for c in palette]
+        positions = [compiled.ap_index[ap] for ap in network.ap_ids]
+        block = BatchedEvaluator(engine).step_block(
+            positions, [0, 1], indices
+        )
+        totals = accumulate_totals([block])[0]
+        live = totals[~block.skip]
+        best = live.max()
+        assert int((live == best).sum()) >= 2
+        flat = int(np.flatnonzero(~block.skip & (totals == best))[0])
+        first = results[1].history[0]
+        assert first.ap_id == network.ap_ids[flat // block.width]
+        assert first.channel == palette[flat % block.width]
+
+    def test_shared_tables_adopt_the_larger_scale(self):
+        tables = BatchTables()
+        tables.adopt_scale(1)
+        tables.ensure(4, 8)
+        assert tables.grid is not None
+        tables.adopt_scale(2)
+        assert tables.scale == 2 and tables.grid is None
+        tables.adopt_scale(1)  # never shrinks
+        assert tables.scale == 2
+
+
+class TestBatchedRefinement:
+    @pytest.mark.parametrize("model_kind", MODELS)
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS[:6])
+    def test_refinement_bit_identical(self, seed, model_kind):
+        model = make_model(model_kind)
+        outcomes = []
+        for mode in ("delta", "compiled", "batched"):
+            network, graph, plan = random_case(seed)
+            allocation = allocate_channels(
+                network, graph, plan, model, rng=5, engine_mode="delta"
+            )
+            for ap_id, channel in allocation.assignment.items():
+                network.set_channel(ap_id, channel)
+            refined = refine_associations(
+                network, graph, model, engine_mode=mode
+            )
+            outcomes.append(
+                (
+                    refined.associations,
+                    refined.aggregate_mbps,
+                    refined.moves,
+                    refined.evaluations,
+                    dict(network.associations),
+                )
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_move_totals_match_trial_move(self):
+        network, graph, plan = registered("office")
+        model = ThroughputModel()
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        assignment = random_assignment(network.ap_ids, plan, 11)
+        engine = CompiledEvaluator(
+            compiled,
+            model=model,
+            assignment=assignment,
+            associations=network.associations,
+        )
+        batch = BatchedEvaluator(engine)
+        moves = []
+        for client_id, current in engine.associations.items():
+            for target in compiled.candidate_aps(client_id, -8.0):
+                if target != current:
+                    moves.append((client_id, target))
+        totals = batch.move_totals(moves)
+        for k, (client_id, target) in enumerate(moves):
+            assert totals[k] == engine.trial_move(client_id, target)
+
+    def test_invalid_engine_mode_is_rejected(self):
+        network, graph, plan = registered("office")
+        with pytest.raises(AssociationError):
+            refine_associations(
+                network, graph, ThroughputModel(), engine_mode="turbo"
+            )
+
+
+class TestBatchedBaselines:
+    def test_kauffmann_scans_match_scalar_engine(self):
+        for kind, key in (("scenario", "office"), ("random", 2)):
+            network, graph, plan = build_case(kind, key)
+            batched = kauffmann_allocate(network, graph, plan)
+            delta = kauffmann_allocate(
+                network,
+                graph,
+                plan,
+                engine=DeltaEvaluator(network, graph, assignment={}),
+            )
+            assert batched == delta
+
+    @pytest.mark.parametrize("model_kind", MODELS)
+    def test_contention_loads_match_oracle(self, model_kind):
+        network, graph, plan = registered("office")
+        model = make_model(model_kind)
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        assignment = random_assignment(network.ap_ids, plan, 17)
+        engine = CompiledEvaluator(compiled, model=model, assignment=assignment)
+        batch = BatchedEvaluator(engine)
+        palette = plan.all_channels()
+        what_if = random_assignment(network.ap_ids, plan, 19)
+        for ap_id in network.ap_ids:
+            committed = batch.contention_loads(ap_id, palette)
+            hypothetical = batch.contention_loads(
+                ap_id, palette, assignment=what_if
+            )
+            for j, channel in enumerate(palette):
+                assert committed[j] == engine.contention_load(ap_id, channel)
+                assert hypothetical[j] == engine.contention_load(
+                    ap_id, channel, assignment=what_if
+                )
+
+    def test_contention_loads_unknown_ap_is_rejected(self):
+        network, graph, plan = registered("office")
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        engine = CompiledEvaluator(compiled, assignment={})
+        with pytest.raises(AllocationError):
+            BatchedEvaluator(engine).contention_loads(
+                "nobody", plan.all_channels()
+            )
+
+
+class TestControllerEngineMode:
+    @pytest.mark.parametrize("refine", (False, True))
+    def test_configure_bit_identical_across_modes(self, refine):
+        scenario = SCENARIOS["office"]()
+        reports = []
+        for mode in ("delta", "batched"):
+            case = SCENARIOS["office"]()
+            acorn = Acorn(
+                case.network, case.plan, ThroughputModel(),
+                seed=9, engine_mode=mode,
+            )
+            result = acorn.configure(case.client_order, refine=refine)
+            reports.append(
+                (
+                    result.total_mbps,
+                    dict(case.network.channel_assignment),
+                    dict(case.network.associations),
+                    result.allocation.evaluations,
+                )
+            )
+        assert reports[0] == reports[1]
+        assert scenario is not None

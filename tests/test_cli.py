@@ -267,3 +267,66 @@ class TestBenchMissingBaseline:
         )
         assert completed.returncode == 2
         assert "no baseline at" in completed.stderr
+
+
+class TestBenchFloorMessages:
+    """A failed acceptance floor must name WHICH engine ratio missed."""
+
+    @staticmethod
+    def _bench_allocator():
+        import pathlib
+        import sys
+
+        bench_dir = str(pathlib.Path(__file__).parent.parent / "benchmarks")
+        if bench_dir not in sys.path:
+            sys.path.insert(0, bench_dir)
+        import bench_allocator
+
+        return bench_allocator
+
+    def test_floor_failure_message_names_the_ratio(self):
+        self._bench_allocator()  # puts benchmarks/ on sys.path
+        from _shared import floor_failure_message
+
+        message = floor_failure_message(
+            "(24 APs, 60 clients)", "batched/compiled", 4.2, 5.0
+        )
+        assert message == (
+            "(24 APs, 60 clients): batched/compiled speedup 4.20x "
+            "is under the 5x acceptance floor"
+        )
+
+    def test_check_names_every_failed_floor(self):
+        bench = self._bench_allocator()
+        bad_row = {
+            "n_aps": 24,
+            "n_clients": 60,
+            "evaluations": 100,
+            "speedup": 4.0,
+            "speedup_vs_delta": 2.0,
+            "speedup_vs_compiled": 3.0,
+        }
+        failures = bench.check_against_baseline(
+            {"sizes": [bad_row]}, {"sizes": []}
+        )
+        named = [f.split(": ")[1].split(" speedup")[0] for f in failures]
+        assert named == ["full/delta", "compiled/delta", "batched/compiled"]
+        for failure in failures:
+            assert "(24 APs, 60 clients)" in failure
+            assert "acceptance floor" in failure
+
+    def test_engine_only_rung_skips_the_full_floor(self):
+        bench = self._bench_allocator()
+        large_row = {
+            "n_aps": 100,
+            "n_clients": 500,
+            "evaluations": 1000,
+            "speedup_vs_delta": 6.0,
+            "speedup_vs_compiled": 7.0,
+        }
+        assert (
+            bench.check_against_baseline(
+                {"sizes": [large_row]}, {"sizes": []}
+            )
+            == []
+        )

@@ -139,6 +139,55 @@ class TestControllerTransparency:
         assert "controller.configure" in names
 
 
+class TestBatchedTransparency:
+    @pytest.mark.parametrize(("kind", "key"), ALL_CASES)
+    def test_batched_allocation_is_bit_identical(self, kind, key):
+        def run():
+            network, graph, plan = build_case(kind, key)
+            model = ThroughputModel()
+            initial = random_assignment(network.ap_ids, plan, 3)
+            return allocate_channels(
+                network, graph, plan, model,
+                initial=initial, rng=7, restarts=2,
+                engine_mode="batched",
+            )
+
+        baseline = run()
+        observed, payload = run_observed(run)
+        assert observed.assignment == baseline.assignment
+        assert observed.aggregate_mbps == baseline.aggregate_mbps
+        assert observed.rounds == baseline.rounds
+        assert observed.evaluations == baseline.evaluations
+        assert observed.history == baseline.history
+        assert_recorded(payload)
+        counters = payload["metrics"]["counters"]
+        assert counters["alloc.starts"] == 2
+        assert counters["alloc.batch_evaluations"] > 0
+        assert counters["alloc.batch_steps"] > 0
+        assert "alloc.batch_size" in payload["metrics"]["histograms"]
+
+    def test_batched_refinement_counts_evaluations(self):
+        def run():
+            network, graph, plan = build_case("random", 1)
+            model = ThroughputModel()
+            allocation = allocate_channels(
+                network, graph, plan, model, rng=5, engine_mode="batched"
+            )
+            for ap_id, channel in allocation.assignment.items():
+                network.set_channel(ap_id, channel)
+            return refine_associations(
+                network, graph, model, apply=False, engine_mode="batched"
+            )
+
+        baseline = run()
+        observed, payload = run_observed(run)
+        assert observed.associations == baseline.associations
+        assert observed.aggregate_mbps == baseline.aggregate_mbps
+        assert observed.evaluations == baseline.evaluations
+        counters = payload["metrics"]["counters"]
+        assert 0 < counters["refine.batch_evaluations"] <= observed.evaluations
+
+
 class TestKauffmannTransparency:
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_kauffmann_configure_is_bit_identical(self, name):
