@@ -28,18 +28,26 @@ def missing_baseline_message(path: "str | pathlib.Path") -> str:
 
 
 def floor_failure_message(
-    label: str, floor_name: str, value: float, floor: float
+    label: str,
+    floor_name: str,
+    value: float,
+    floor: float,
+    kind: str = "speedup",
+    unit: str = "x",
 ) -> str:
     """Name the acceptance floor a benchmark rung missed.
 
-    ``floor_name`` identifies which engine ratio failed (``full/delta``,
-    ``compiled/delta``, ``batched/compiled``), so a CI log line is
-    actionable without opening the baseline JSON. The same phrasing is
-    used for every floor, and ``tests/test_cli.py`` pins it.
+    ``floor_name`` identifies which quantity failed — an engine ratio
+    (``full/delta``, ``compiled/delta``, ``batched/compiled``,
+    ``compile/churn``) or an absolute throughput floor — so a CI log
+    line is actionable without opening the baseline JSON. The default
+    ``kind``/``unit`` keep the historical speedup phrasing byte-for-byte
+    (``tests/test_cli.py`` pins it); rate floors pass e.g.
+    ``kind="rate", unit=" events/s"`` to report events/sec the same way.
     """
     return (
-        f"{label}: {floor_name} speedup {value:.2f}x is under the "
-        f"{floor:.0f}x acceptance floor"
+        f"{label}: {floor_name} {kind} {value:.2f}{unit} is under the "
+        f"{floor:.0f}{unit} acceptance floor"
     )
 
 

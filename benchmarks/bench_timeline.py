@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""Timeline benchmark: incremental recompilation vs fresh compile.
+
+Two rungs, persisted as ``BENCH_timeline.json`` at the repository root:
+
+1. **Churn speedup** — at campus scale (100 APs, 500 associated
+   clients), times a fresh :meth:`~repro.net.CompiledNetwork.compile`
+   against a single-event :meth:`~repro.net.CompiledNetwork.apply_churn`
+   (one departure, one arrival, hearing cache warm — the steady state of
+   the event loop). The acceptance floor is a 10x compile/churn speedup;
+   the patched snapshot must also reproduce the fresh compile's
+   fingerprint bit-for-bit, so the gate doubles as an equivalence smoke
+   test. Rate tables stay cold here on both sides: a fresh table build
+   at this size costs minutes, which is exactly why the timeline never
+   pays it (tables grow by patched columns instead).
+
+2. **Event throughput** — replays a short
+   :func:`~repro.sim.timeline.run_timeline` over a 100-AP campus
+   (starting empty, tables growing incrementally) and gates an absolute
+   events/sec floor, so the end-to-end loop — Eq. 4 admission, churn
+   patching, periodic Algorithm 2 — cannot quietly regress to
+   fresh-compile costs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_timeline.py          # refresh the baseline
+    PYTHONPATH=src python benchmarks/bench_timeline.py --check  # gate against the baseline
+
+``--check`` re-measures and fails (exit 1) when a floor is missed or
+the new numbers regress more than 20% against the checked-in baseline.
+Floor failures share :func:`benchmarks._shared.floor_failure_message`
+phrasing with the other gated benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import gc
+import json
+import pathlib
+import sys
+import time
+
+
+@contextlib.contextmanager
+def quiesced_gc():
+    """Collect then pause the cyclic GC around a timed region.
+
+    Same rationale as ``bench_allocator``: a gen-2 collection landing
+    inside a ~20 ms ``apply_churn`` inflates its minimum enough to read
+    as a fake ratio regression.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+from repro.core.allocation import random_assignment
+from repro.net import CompiledNetwork
+from repro.net.interference import build_interference_graph
+from repro.sim.timeline import (
+    TimelineConfig,
+    campus_network,
+    place_client_uniform,
+    run_timeline,
+)
+from repro.config import make_rng
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from _shared import floor_failure_message, require_baseline  # noqa: E402
+
+CHURN_SIZE = (100, 500)
+SCENARIO_SEED = 31
+START_SEED = 5
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timeline.json"
+CHURN_SPEEDUP_FLOOR = 10.0  # acceptance: compile >= 10x one apply_churn event
+# Absolute end-to-end floor. Deliberately far under the ~1.4 events/s a
+# development machine records: wall-clock rates are runner-relative (the
+# ratio floors are not), so the floor only catches collapse back to
+# fresh-compile costs (~0.02 events/s at this size), not slow CI iron.
+EVENTS_PER_S_FLOOR = 0.3
+REGRESSION_TOLERANCE = 0.20
+
+# Event-throughput rung: ~20 minutes of simulated campus churn, sized
+# so CI finishes in seconds while still mixing arrivals, departures,
+# and a periodic Algorithm 2 epoch.
+TIMELINE_CONFIG = dict(
+    horizon_s=1200.0,
+    arrival_rate_per_s=1 / 20.0,
+    period_s=600.0,
+    seed=START_SEED,
+)
+
+
+def _campus_with_clients(n_aps: int, n_clients: int):
+    """A campus grid with clients associated to their strongest AP.
+
+    Associations use the max-SNR rule rather than the full Eq. 4 scan:
+    this rung gates compile-vs-patch arithmetic, which only needs a
+    realistic associated state, not an optimal one.
+    """
+    network = campus_network(n_aps=n_aps, seed=SCENARIO_SEED)
+    rng = make_rng(SCENARIO_SEED)
+    for index in range(n_clients):
+        client_id = f"c{index:04d}"
+        place_client_uniform(network, client_id, rng)
+        best = max(
+            network.ap_ids,
+            key=lambda ap_id: network.link_budget(ap_id, client_id).snr20_db,
+        )
+        network.associate(client_id, best)
+    return network
+
+
+def measure_churn(n_aps: int, n_clients: int, repeats: int = 3) -> dict:
+    """The compile-vs-apply_churn rung, with a bit-identity check."""
+    from repro.net import ChannelPlan
+
+    network = _campus_with_clients(n_aps, n_clients)
+    plan = ChannelPlan().subset(4)
+    assignment = random_assignment(network.ap_ids, plan, START_SEED)
+    for ap_id, channel in assignment.items():
+        network.set_channel(ap_id, channel)
+    graph = build_interference_graph(network)
+
+    compile_s = float("inf")
+    with quiesced_gc():
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            compiled = CompiledNetwork.compile(network, graph, plan)
+            compile_s = min(compile_s, time.perf_counter() - t0)
+
+    # The churn cycle removes one client and re-adds it identically, so
+    # every repeat patches the same steady state. The first cycle pays
+    # the one-time AP hearing-matrix build; warm it outside timing, as
+    # the event loop does after its first event.
+    victim = network.client_ids[-1]
+    position = network.client(victim).position
+    home_ap = network.associations[victim]
+
+    def depart():
+        network.disassociate(victim)
+        network.remove_client(victim)
+        compiled.apply_churn(network, removed_clients=(victim,))
+
+    def arrive():
+        network.add_client(victim, position=position)
+        network.associate(victim, home_ap)
+        compiled.apply_churn(network, added_clients=(victim,))
+
+    depart()
+    arrive()
+
+    depart_s = arrive_s = float("inf")
+    churn_repeats = max(repeats, 7)
+    with quiesced_gc():
+        for _ in range(churn_repeats):
+            t0 = time.perf_counter()
+            depart()
+            depart_s = min(depart_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            arrive()
+            arrive_s = min(arrive_s, time.perf_counter() - t0)
+
+    fresh = CompiledNetwork.compile(
+        network, build_interference_graph(network), plan
+    )
+    if compiled.fingerprint() != fresh.fingerprint():
+        raise SystemExit(
+            f"equivalence violated at ({n_aps}, {n_clients}): patched "
+            "snapshot fingerprint diverged from a fresh compile"
+        )
+
+    churn_s = max(depart_s, arrive_s)  # conservative: the slower event
+    return {
+        "n_aps": n_aps,
+        "n_clients": n_clients,
+        "compile_ms": round(compile_s * 1e3, 3),
+        "churn_departure_ms": round(depart_s * 1e3, 3),
+        "churn_arrival_ms": round(arrive_s * 1e3, 3),
+        "churn_ms": round(churn_s * 1e3, 3),
+        "speedup_vs_compile": round(compile_s / churn_s, 2),
+    }
+
+
+def measure_timeline() -> dict:
+    """The end-to-end events/sec rung over an initially-empty campus."""
+    from repro.net import ChannelPlan
+
+    network = campus_network(n_aps=CHURN_SIZE[0], seed=SCENARIO_SEED)
+    config = TimelineConfig(**TIMELINE_CONFIG)
+    plan = ChannelPlan().subset(4)
+    with quiesced_gc():
+        t0 = time.perf_counter()
+        result = run_timeline(network, plan, config)
+        wall_s = time.perf_counter() - t0
+    events_per_s = result.n_events / wall_s if wall_s > 0 else 0.0
+    return {
+        "n_aps": CHURN_SIZE[0],
+        "horizon_s": config.horizon_s,
+        "n_events": result.n_events,
+        "n_epochs": result.n_epochs,
+        "peak_clients": result.peak_clients,
+        "mean_throughput_mbps": round(result.mean_throughput_mbps, 6),
+        "wall_s": round(wall_s, 3),
+        "events_per_s": round(events_per_s, 2),
+    }
+
+
+def run_benchmark() -> dict:
+    churn = measure_churn(*CHURN_SIZE)
+    print(
+        f"  {churn['n_aps']:3d} APs / {churn['n_clients']:3d} clients: "
+        f"compile {churn['compile_ms']:8.1f} ms, "
+        f"churn {churn['churn_ms']:6.1f} ms "
+        f"(arrival {churn['churn_arrival_ms']:.1f} / "
+        f"departure {churn['churn_departure_ms']:.1f}), "
+        f"speedup {churn['speedup_vs_compile']:5.1f}x",
+        flush=True,
+    )
+    timeline = measure_timeline()
+    print(
+        f"  replay {timeline['n_events']:4d} events in "
+        f"{timeline['wall_s']:6.1f} s: "
+        f"{timeline['events_per_s']:.1f} events/s "
+        f"({timeline['n_epochs']} epochs, "
+        f"peak {timeline['peak_clients']} clients)",
+        flush=True,
+    )
+    return {
+        "benchmark": "timeline",
+        "generated_by": "benchmarks/bench_timeline.py",
+        "scenario_seed": SCENARIO_SEED,
+        "churn_speedup_floor": {
+            "speedup_vs_compile": CHURN_SPEEDUP_FLOOR,
+        },
+        "events_per_s_floor": EVENTS_PER_S_FLOOR,
+        "churn": churn,
+        "timeline": timeline,
+    }
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list:
+    """Regression gate: floors plus >20% drift against the baseline."""
+    failures = []
+    churn = report["churn"]
+    label = f"({churn['n_aps']} APs, {churn['n_clients']} clients)"
+    if churn["speedup_vs_compile"] < CHURN_SPEEDUP_FLOOR:
+        failures.append(
+            floor_failure_message(
+                label,
+                "compile/churn",
+                churn["speedup_vs_compile"],
+                CHURN_SPEEDUP_FLOOR,
+            )
+        )
+    timeline = report["timeline"]
+    replay_label = f"({timeline['n_aps']} APs replay)"
+    if timeline["events_per_s"] < EVENTS_PER_S_FLOOR:
+        failures.append(
+            floor_failure_message(
+                replay_label,
+                "run_timeline",
+                timeline["events_per_s"],
+                EVENTS_PER_S_FLOOR,
+                kind="rate",
+                unit=" events/s",
+            )
+        )
+    old_churn = baseline.get("churn", {})
+    if "speedup_vs_compile" in old_churn:
+        allowed = old_churn["speedup_vs_compile"] * (1 - REGRESSION_TOLERANCE)
+        if churn["speedup_vs_compile"] < allowed:
+            failures.append(
+                f"{label}: churn speedup regressed "
+                f"{old_churn['speedup_vs_compile']:.1f}x -> "
+                f"{churn['speedup_vs_compile']:.1f}x (>20%)"
+            )
+    # No drift clause for events/s: absolute rates are runner-relative,
+    # so baseline-vs-CI comparisons would flag hardware, not code. The
+    # floor above plus the deterministic event count carry the gate.
+    old_timeline = baseline.get("timeline", {})
+    if "n_events" in old_timeline and (
+        timeline["n_events"] != old_timeline["n_events"]
+    ):
+        failures.append(
+            f"{replay_label}: event count changed "
+            f"{old_timeline['n_events']} -> {timeline['n_events']} "
+            "(seeded replay must be deterministic)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the checked-in baseline instead of refreshing it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"baseline path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        code = require_baseline(args.output)
+        if code is not None:
+            return code
+
+    print(
+        "timeline benchmark (incremental recompilation vs fresh compile)",
+        flush=True,
+    )
+    report = run_benchmark()
+
+    if args.check:
+        baseline = json.loads(args.output.read_text())
+        failures = check_against_baseline(report, baseline)
+        if failures:
+            print("REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"ok: within {REGRESSION_TOLERANCE:.0%} of {args.output}")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

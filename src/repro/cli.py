@@ -124,6 +124,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     longrun.add_argument("--seed", type=int, default=3)
 
+    timeline = subparsers.add_parser(
+        "timeline",
+        help=(
+            "event-driven campus churn replay with incremental "
+            "recompilation (repro.sim.timeline)"
+        ),
+    )
+    timeline.add_argument(
+        "--aps", type=int, default=25, help="campus grid size in APs"
+    )
+    timeline.add_argument(
+        "--hours", type=float, default=2.0, help="simulated horizon"
+    )
+    timeline.add_argument(
+        "--rate-per-min",
+        type=float,
+        default=0.5,
+        dest="rate_per_min",
+        help="mean client arrivals per minute",
+    )
+    timeline.add_argument(
+        "--period-min",
+        type=float,
+        default=30.0,
+        dest="period_min",
+        help="Algorithm 2 re-run period T in minutes",
+    )
+    timeline.add_argument(
+        "--every-arrivals",
+        type=int,
+        default=0,
+        dest="every_arrivals",
+        help="also re-run Algorithm 2 every N admissions (0 = off)",
+    )
+    timeline.add_argument("--channels", type=int, default=4)
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the replay and print the repro.obs report",
+    )
+
     sweep = subparsers.add_parser(
         "sweep",
         help="run a scenario x seed x algorithm sweep (repro.fleet)",
@@ -453,6 +495,56 @@ def _run_longrun(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_timeline(args: argparse.Namespace) -> int:
+    from .net import ChannelPlan
+    from .sim.timeline import TimelineConfig, campus_network, run_timeline
+
+    network = campus_network(n_aps=args.aps, seed=args.seed)
+    config = TimelineConfig(
+        horizon_s=args.hours * 3600.0,
+        arrival_rate_per_s=args.rate_per_min / 60.0,
+        period_s=args.period_min * 60.0,
+        allocate_every_arrivals=args.every_arrivals,
+        seed=args.seed,
+    )
+    plan = ChannelPlan().subset(args.channels)
+    if args.profile:
+        from .obs import Tracer, activate, render_trace_text
+
+        tracer = Tracer()
+        with activate(tracer):
+            result = run_timeline(network, plan, config)
+        trace_text = render_trace_text(
+            tracer.to_payload(), title="Timeline profile"
+        )
+    else:
+        result = run_timeline(network, plan, config)
+        trace_text = None
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["APs", args.aps],
+                ["horizon (h)", args.hours],
+                ["re-allocation period (min)", args.period_min],
+                ["events processed", result.n_events],
+                ["arrivals / departures", f"{result.n_arrivals} / {result.n_departures}"],
+                ["rejected arrivals", result.n_rejected],
+                ["peak concurrent clients", result.peak_clients],
+                ["reconfiguration epochs", result.n_epochs],
+                ["mean throughput (Mbps)", result.mean_throughput_mbps],
+                ["switch downtime (s)", result.downtime_s],
+            ],
+            float_format=".1f",
+            title="Campus timeline replay",
+        )
+    )
+    if trace_text is not None:
+        print()
+        print(trace_text)
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from .fleet import SweepSpec, run_sweep
 
@@ -554,6 +646,7 @@ _HANDLERS = {
     "transitions": _run_transitions,
     "trace": _run_trace,
     "longrun": _run_longrun,
+    "timeline": _run_timeline,
     "sweep": _run_sweep,
     "lint": _run_lint,
 }

@@ -22,8 +22,11 @@ from .topology import Network
 __all__ = [
     "DEFAULT_CS_THRESHOLD_DBM",
     "adjacency_arrays",
+    "ap_hearing_columns",
+    "ap_hearing_square",
     "build_interference_graph",
     "contenders",
+    "graph_from_hearing",
     "max_degree",
 ]
 
@@ -101,6 +104,92 @@ def _aps_interfere(
             ):
                 return True
     return False
+
+
+def ap_hearing_square(
+    network: Network,
+    cs_threshold_dbm: float = DEFAULT_CS_THRESHOLD_DBM,
+) -> np.ndarray:
+    """``hears[i, j]``: AP *i*'s signal reaches AP *j* above threshold.
+
+    Scalar-for-scalar the same propagation math as
+    :func:`build_interference_graph`, so boolean results match exactly.
+    This matrix depends only on AP geometry, never on client churn — it
+    is computed once and cached by ``CompiledNetwork.apply_churn``.
+    """
+    ap_ids = network.ap_ids
+    n = len(ap_ids)
+    hears = np.zeros((n, n), dtype=bool)
+    positions = []
+    for ap_id in ap_ids:
+        position = network.ap(ap_id).position
+        if position is None:
+            raise TopologyError(
+                f"AP {ap_id!r} lacks a position; call "
+                "Network.set_explicit_conflicts for SNR-specified scenarios"
+            )
+        positions.append(position)
+    for i, ap_i in enumerate(ap_ids):
+        for j in range(n):
+            if i == j:
+                continue
+            hears[i, j] = (
+                _received_power_dbm(network, ap_i, positions[j])
+                >= cs_threshold_dbm
+            )
+    return hears
+
+
+def ap_hearing_columns(
+    network: Network,
+    client_ids: "Sequence[str]",
+    cs_threshold_dbm: float = DEFAULT_CS_THRESHOLD_DBM,
+) -> np.ndarray:
+    """``hears[i, k]``: AP *i*'s signal reaches client *k* above threshold.
+
+    Clients without a position yield all-``False`` columns (the fresh
+    graph build skips them the same way). Columns are independent, so
+    churn only ever recomputes the columns of arriving clients.
+    """
+    ap_ids = network.ap_ids
+    hears = np.zeros((len(ap_ids), len(client_ids)), dtype=bool)
+    for k, client_id in enumerate(client_ids):
+        position = network.client(client_id).position
+        if position is None:
+            continue
+        for i, ap_id in enumerate(ap_ids):
+            hears[i, k] = (
+                _received_power_dbm(network, ap_id, position)
+                >= cs_threshold_dbm
+            )
+    return hears
+
+
+def graph_from_hearing(
+    ap_ids: "Sequence[str]",
+    ap_hears_ap: np.ndarray,
+    ap_hears_client: np.ndarray,
+    association: np.ndarray,
+) -> nx.Graph:
+    """Assemble the footnote-5 graph from cached hearing matrices.
+
+    ``association[i, k]`` marks client *k* associated with AP *i*. An
+    edge (i, j) exists when either AP hears the other, or either AP is
+    heard at one of the other's associated clients. Edges are inserted
+    in the same i < j row-major order as the fresh double loop in
+    :func:`build_interference_graph`, so ``graph.neighbors`` iteration —
+    and therefore every CSR summation order downstream — is identical.
+    """
+    heard_at = association.astype(np.int64) @ ap_hears_client.T.astype(np.int64)
+    via_clients = heard_at > 0
+    edges = ap_hears_ap | ap_hears_ap.T | via_clients | via_clients.T
+    np.fill_diagonal(edges, False)
+    graph = nx.Graph()
+    graph.add_nodes_from(ap_ids)
+    rows, cols = np.nonzero(np.triu(edges, k=1))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        graph.add_edge(ap_ids[i], ap_ids[j])
+    return graph
 
 
 def contenders(

@@ -48,7 +48,13 @@ from ..mac.airtime import client_delay_s
 from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
 from .channels import Channel, ChannelPlan
 from .evaluator import EngineStats
-from .interference import adjacency_arrays, build_interference_graph
+from .interference import (
+    adjacency_arrays,
+    ap_hearing_columns,
+    ap_hearing_square,
+    build_interference_graph,
+    graph_from_hearing,
+)
 from .overlap import spectral_overlap_fraction
 from .throughput import ThroughputModel, WeightedThroughputModel
 from .topology import Network
@@ -315,6 +321,9 @@ class CompiledNetwork:
             network.channel_assignment.items()
         )
         self._rate_tables: Dict[int, tuple] = {}
+        # Lazily-built carrier-sense cache for incremental graph rebuilds
+        # on geometric networks (see apply_churn); process-local.
+        self._hearing_cache: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -406,7 +415,255 @@ class CompiledNetwork:
         """Pickle without the process-local per-model table cache."""
         state = dict(self.__dict__)
         state["_rate_tables"] = {}
+        state["_hearing_cache"] = None
         return state
+
+    # ------------------------------------------------------------------
+    # Incremental recompilation
+    # ------------------------------------------------------------------
+    def apply_churn(
+        self,
+        network: Network,
+        added_clients: "Tuple[str, ...] | List[str]" = (),
+        removed_clients: "Tuple[str, ...] | List[str]" = (),
+    ):
+        """Patch the snapshot in place after client arrival/departure.
+
+        ``network`` is the already-mutated source network (clients added
+        via :meth:`Network.add_client` / removed via
+        :meth:`Network.remove_client`, associations updated). The AP set,
+        AP geometry/power, existing client positions, the channel
+        palette and the config must be unchanged — anything else needs a
+        fresh :meth:`compile`. Kept SNR columns and rate-table entries
+        are gathered by index; fresh columns run through the exact same
+        scalar ``link_budget`` pipeline as :meth:`compile`, so the
+        patched state is bit-identical to a fresh compile of ``network``
+        (equal :meth:`fingerprint`, equal evaluation results — enforced
+        by the timeline differential suite). Dense arrays are *rebound*,
+        not mutated, so evaluators built earlier stay internally
+        consistent — but they describe the pre-churn network; build new
+        engines after patching. Returns the rebuilt interference graph.
+
+        Cost is O(APs × changed clients) plus a cheap column gather —
+        near ``compiled_ms`` instead of ``compile_ms`` — which is what
+        makes per-event reconfiguration affordable in
+        :mod:`repro.sim.timeline`.
+        """
+        if network.ap_ids != self.ap_ids:
+            raise TopologyError(
+                "apply_churn only patches client churn; the AP set changed "
+                "— recompile instead"
+            )
+        added = frozenset(added_clients)
+        removed = frozenset(removed_clients)
+        new_ids = network.client_ids
+        new_index = {cid: k for k, cid in enumerate(new_ids)}
+        for cid in removed:
+            if cid not in self.client_index:
+                raise TopologyError(
+                    f"removed client {cid!r} was not in the snapshot"
+                )
+            if cid in new_index and cid not in added:
+                raise TopologyError(
+                    f"removed client {cid!r} is still in the network"
+                )
+        for cid in added:
+            if cid not in new_index:
+                raise TopologyError(
+                    f"added client {cid!r} is not in the network"
+                )
+        col_src: List[int] = []
+        for cid in new_ids:
+            if cid in added:
+                col_src.append(-1)
+                continue
+            src = self.client_index.get(cid)
+            if src is None:
+                raise TopologyError(
+                    f"client {cid!r} appeared without being declared in "
+                    "added_clients"
+                )
+            col_src.append(src)
+        for cid in self.client_ids:
+            if cid not in removed and cid not in new_index:
+                raise TopologyError(
+                    f"client {cid!r} disappeared without being declared in "
+                    "removed_clients"
+                )
+
+        n_aps = len(self.ap_ids)
+        n_clients = len(new_ids)
+        fresh_cols = [k for k, src in enumerate(col_src) if src < 0]
+        # Identity churn (association/channel resync only): the client
+        # axis is unchanged, so the SNR matrices and every rate table
+        # stay valid — only the graph and the state tuples move.
+        identity = not fresh_cols and new_ids == self.client_ids
+        if not identity:
+            src_arr = np.asarray(col_src, dtype=np.int64)
+            kept = src_arr >= 0
+            has_link = np.zeros((n_aps, n_clients), dtype=bool)
+            snr20_db = np.full((n_aps, n_clients), -np.inf, dtype=np.float64)
+            snr40_db = np.full((n_aps, n_clients), -np.inf, dtype=np.float64)
+            if n_clients and kept.any():
+                gather = src_arr[kept]
+                has_link[:, kept] = self.has_link[:, gather]
+                snr20_db[:, kept] = self.snr20_db[:, gather]
+                snr40_db[:, kept] = self.snr40_db[:, gather]
+            for k in fresh_cols:
+                client_id = new_ids[k]
+                for ap, ap_id in enumerate(self.ap_ids):
+                    if not network.has_link(ap_id, client_id):
+                        continue
+                    budget = network.link_budget(ap_id, client_id)
+                    has_link[ap, k] = True
+                    snr20_db[ap, k] = budget.subcarrier_snr_db(OFDM_20MHZ)
+                    snr40_db[ap, k] = budget.subcarrier_snr_db(OFDM_40MHZ)
+
+        graph = self._churn_graph(network, new_ids, new_index, added, removed)
+
+        # Point of no return: rebind everything atomically-ish (pure
+        # python, single-threaded contract).
+        self.client_ids = new_ids
+        self.client_index = new_index
+        self.client_positions = tuple(
+            network.client(cid).position for cid in new_ids
+        )
+        if not identity:
+            self.has_link = has_link
+            self.snr20_db = snr20_db
+            self.snr40_db = snr40_db
+        self.snr_overrides = tuple(
+            (ap_id, client_id, value)
+            for (ap_id, client_id), value in network._snr_overrides.items()
+        )
+        self.associations = tuple(network.associations.items())
+        self.channel_assignment = tuple(network.channel_assignment.items())
+        conflicts = network.explicit_conflicts
+        self.explicit_conflicts = (
+            None
+            if conflicts is None
+            else tuple(sorted(tuple(sorted(pair)) for pair in conflicts))
+        )
+        self.adj_indptr, self.adj_indices, self.in_graph = adjacency_arrays(
+            graph, self.ap_ids
+        )
+        flat = [int(j) for j in self.adj_indices]
+        self.neighbor_lists = tuple(
+            tuple(flat[self.adj_indptr[ap] : self.adj_indptr[ap + 1]])
+            if self.in_graph[ap]
+            else None
+            for ap in range(n_aps)
+        )
+        if not identity:
+            self._patch_rate_tables(col_src, fresh_cols)
+        return graph
+
+    def _churn_graph(
+        self,
+        network: Network,
+        new_ids: Tuple[str, ...],
+        new_index: Dict[str, int],
+        added: frozenset,
+        removed: frozenset,
+    ):
+        """Interference graph of the churned network, incrementally.
+
+        Explicit-conflicts scenarios rebuild through the (cheap)
+        early-return path of :func:`build_interference_graph`. Geometric
+        scenarios reassemble the footnote-5 edge set from cached
+        carrier-sense hearing matrices: the AP×AP square never changes
+        under client churn and AP×client columns only change for
+        arriving clients, so the per-event cost is O(APs × arrivals)
+        scalar propagation tests instead of O(APs² × clients).
+        """
+        if network.explicit_conflicts is not None:
+            return build_interference_graph(network)
+        cache = getattr(self, "_hearing_cache", None)
+        if cache is None:
+            cache = {"square": ap_hearing_square(network), "columns": {}}
+            self._hearing_cache = cache
+        columns: Dict[str, np.ndarray] = cache["columns"]
+        for cid in removed:
+            columns.pop(cid, None)
+        fresh = [
+            cid for cid in new_ids if cid in added or cid not in columns
+        ]
+        if fresh:
+            fresh_matrix = ap_hearing_columns(network, fresh)
+            for k, cid in enumerate(fresh):
+                columns[cid] = np.ascontiguousarray(fresh_matrix[:, k])
+        n_aps = len(self.ap_ids)
+        hears_client = np.zeros((n_aps, len(new_ids)), dtype=bool)
+        for k, cid in enumerate(new_ids):
+            hears_client[:, k] = columns[cid]
+        association = np.zeros((n_aps, len(new_ids)), dtype=bool)
+        for cid, ap_id in network.associations.items():
+            association[self.ap_index[ap_id], new_index[cid]] = True
+        return graph_from_hearing(
+            self.ap_ids, cache["square"], hears_client, association
+        )
+
+    def _patch_rate_tables(
+        self, col_src: List[int], fresh_cols: List[int]
+    ) -> None:
+        """Re-key live per-model rate tables to the churned client axis.
+
+        Kept entries are gathered (they are the exact floats a fresh
+        build would recompute); fresh clients run through the same
+        ``decision_from_snr`` + ``client_delay_s`` scalar pipeline as
+        :meth:`RateTables.__init__`. Dead model weakrefs are dropped.
+        """
+        if not self._rate_tables:
+            return
+        nan = float("nan")
+        snr_matrices = (self.snr20_db, self.snr40_db)
+        patched_cache: Dict[int, tuple] = {}
+        for key, (ref, tables) in self._rate_tables.items():
+            model = ref()
+            if model is None:
+                continue
+            packet_bytes = model.packet_bytes
+            timings = model.timings
+            goodput_factor = model.traffic.goodput_factor
+            patched = RateTables.__new__(RateTables)
+            patched.delay = []
+            patched.factor = []
+            for width, params in enumerate(_WIDTH_PARAMS):
+                snr_matrix = snr_matrices[width]
+                old_delay = tables.delay[width]
+                old_factor = tables.factor[width]
+                delay_rows: List[List[float]] = []
+                factor_rows: List[List[float]] = []
+                for ap in range(self.n_aps):
+                    old_drow = old_delay[ap]
+                    old_frow = old_factor[ap]
+                    drow = [
+                        old_drow[src] if src >= 0 else nan for src in col_src
+                    ]
+                    frow = [
+                        old_frow[src] if src >= 0 else nan for src in col_src
+                    ]
+                    linked = self.has_link[ap]
+                    snr_row = snr_matrix[ap]
+                    for k in fresh_cols:
+                        if not linked[k]:
+                            continue
+                        decision = model.decision_from_snr(
+                            float(snr_row[k]), params
+                        )
+                        drow[k] = client_delay_s(
+                            decision.nominal_rate_mbps,
+                            decision.per,
+                            packet_bytes,
+                            timings,
+                        )
+                        frow[k] = goodput_factor(decision.per)
+                    delay_rows.append(drow)
+                    factor_rows.append(frow)
+                patched.delay.append(delay_rows)
+                patched.factor.append(factor_rows)
+            patched_cache[key] = (ref, patched)
+        self._rate_tables = patched_cache
 
 
 class CompiledEvaluator:

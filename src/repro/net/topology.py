@@ -86,6 +86,21 @@ class Network:
         self._clients[client_id] = client
         return client
 
+    def remove_client(self, client_id: str) -> None:
+        """Forget a client entirely: registration, overrides, association.
+
+        Session churn (clients departing mid-day) needs the inverse of
+        :meth:`add_client`; the interference graph and any compiled state
+        must be refreshed afterwards (see ``CompiledNetwork.apply_churn``).
+        """
+        if client_id not in self._clients:
+            raise TopologyError(f"unknown client {client_id!r}")
+        del self._clients[client_id]
+        self.associations.pop(client_id, None)
+        stale = [key for key in self._snr_overrides if key[1] == client_id]
+        for key in stale:
+            del self._snr_overrides[key]
+
     def set_link_snr(self, ap_id: str, client_id: str, snr20_db: float) -> None:
         """Pin the AP↔client link quality (20 MHz per-subcarrier SNR)."""
         self._require_ap(ap_id)

@@ -25,7 +25,7 @@ reports via ``repro trace <journal>`` (:mod:`repro.obs.report`).
 """
 
 from .clock import ManualClock, monotonic_clock
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 from .report import (
     journal_trace,
     merge_traces,
@@ -51,6 +51,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "TimeSeries",
     "Tracer",
     "activate",
     "active_tracer",

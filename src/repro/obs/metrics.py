@@ -9,6 +9,9 @@ associative):
   **max** (last-write-wins would depend on worker completion order).
 * :class:`Histogram` — bucketed distribution with exact count/total/
   min/max; merge adds bucket counts and combines the extremes.
+* :class:`TimeSeries` — timestamped samples (per-epoch throughput,
+  fairness, reconfiguration latency in the timeline simulator); merge
+  **concatenates and re-sorts** by ``(t, value)``, which commutes.
 
 A :class:`MetricsRegistry` holds instruments by name with get-or-create
 semantics; re-registering a name under a different instrument type is a
@@ -24,7 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ObsError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "TimeSeries"]
 
 # Default histogram bucket upper bounds (seconds-flavoured, log-spaced);
 # one overflow bucket is appended implicitly.
@@ -146,6 +149,41 @@ class Histogram:
             )
 
 
+class TimeSeries:
+    """Timestamped samples on a simulated (or wall) time axis.
+
+    The instrument behind the timeline simulator's per-epoch outputs:
+    each :meth:`append` records ``(t, value)``. Merging concatenates the
+    two sample lists and re-sorts by ``(t, value)`` — commutative and
+    associative like every other merge here, so fleet workers can land
+    in any order. Timestamps carry whatever clock the caller uses
+    (simulated seconds for timelines); they are data, not wall-clock
+    reads.
+    """
+
+    kind = "series"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def append(self, t: float, value: float) -> None:
+        """Record one sample at time ``t``."""
+        self.samples.append((float(t), float(value)))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    def merge(self, samples: "Sequence[Sequence[float]]") -> None:
+        """Fold another worker's samples in (concat + sort — order-free)."""
+        for sample in samples:
+            t, value = sample
+            self.samples.append((float(t), float(value)))
+        self.samples.sort()
+
+
 class MetricsRegistry:
     """Named instruments with get-or-create semantics.
 
@@ -186,18 +224,25 @@ class MetricsRegistry:
         """The histogram called ``name`` (created on first use)."""
         return self._get(name, "histogram", lambda: Histogram(name, bounds))
 
+    def series(self, name: str) -> TimeSeries:
+        """The time series called ``name`` (created on first use)."""
+        return self._get(name, "series", lambda: TimeSeries(name))
+
     # -- payloads ------------------------------------------------------
     def to_payload(self) -> Dict[str, Any]:
         """A JSON-compatible snapshot of every instrument."""
         counters = {}
         gauges = {}
         histograms = {}
+        series = {}
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
             if instrument.kind == "counter":
                 counters[name] = instrument.value
             elif instrument.kind == "gauge":
                 gauges[name] = instrument.value
+            elif instrument.kind == "series":
+                series[name] = [list(sample) for sample in instrument.samples]
             else:
                 histograms[name] = {
                     "bounds": list(instrument.bounds),
@@ -211,6 +256,7 @@ class MetricsRegistry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+            "series": series,
         }
 
     def merge_payload(self, payload: Mapping[str, Any]) -> None:
@@ -223,6 +269,8 @@ class MetricsRegistry:
             self.histogram(
                 name, tuple(data.get("bounds", _DEFAULT_BOUNDS))
             ).merge(data)
+        for name, samples in payload.get("series", {}).items():
+            self.series(name).merge(samples)
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":

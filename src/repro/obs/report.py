@@ -163,6 +163,32 @@ def render_trace_text(
                 title=f"{title} — distributions",
             )
         )
+    series_rows = []
+    for name, samples in sorted(metrics.get("series", {}).items()):
+        if not samples:
+            continue
+        values = [float(sample[1]) for sample in samples]
+        times = [float(sample[0]) for sample in samples]
+        series_rows.append(
+            [
+                name,
+                len(samples),
+                min(times),
+                max(times),
+                sum(values) / len(values),
+                min(values),
+                max(values),
+            ]
+        )
+    if series_rows:
+        blocks.append(
+            render_table(
+                ["series", "samples", "t min", "t max", "mean", "min", "max"],
+                series_rows,
+                float_format=".4f",
+                title=f"{title} — time series",
+            )
+        )
     if not blocks:
         return f"{title}: empty trace (run with --profile to record one)"
     return "\n\n".join(blocks)

@@ -75,6 +75,9 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         """Discard the observation."""
 
+    def append(self, t: float, value: float) -> None:
+        """Discard the sample."""
+
 
 class _NullMetrics:
     """Registry facade whose instruments swallow every update."""
@@ -93,9 +96,13 @@ class _NullMetrics:
         """The shared no-op instrument."""
         return self._instrument
 
+    def series(self, name: str) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return self._instrument
+
     def to_payload(self) -> Dict[str, Any]:
         """An empty snapshot."""
-        return {"counters": {}, "gauges": {}, "histograms": {}}
+        return {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
 
 
 class NullTracer:

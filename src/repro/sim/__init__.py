@@ -16,6 +16,15 @@ from .scenario import (
 )
 from .mobility import LinearWalk, MobilityTrace, run_mobility_experiment
 from .longrun import ChurnConfig, LongRunResult, run_long_run
+from .timeline import (
+    EpochRecord,
+    TimelineConfig,
+    TimelineResult,
+    campus_network,
+    place_client_random_links,
+    place_client_uniform,
+    run_timeline,
+)
 from .buildings import FloorPlan, office_floor
 
 __all__ = [
@@ -33,6 +42,13 @@ __all__ = [
     "ChurnConfig",
     "LongRunResult",
     "run_long_run",
+    "EpochRecord",
+    "TimelineConfig",
+    "TimelineResult",
+    "campus_network",
+    "place_client_random_links",
+    "place_client_uniform",
+    "run_timeline",
     "FloorPlan",
     "office_floor",
     "SCENARIOS",

@@ -1,0 +1,392 @@
+"""Event-driven campus timeline: a day of association churn, replayed.
+
+The paper picks T = 30 min from the CRAWDAD association durations
+(Fig 9) but only evaluates static snapshots; this module replays the
+session model over time. Clients arrive per a Poisson process and stay
+for log-normal sessions (:func:`repro.traces.associations.
+synthesize_association_events`), associate through Algorithm 1 on
+arrival, and Algorithm 2 re-runs every ``period_s`` — plus optionally
+every N admissions — with warm-started allocations.
+
+What makes this affordable at campus scale (hundreds of APs, tens of
+thousands of sessions) is incremental recompilation: every arrival and
+departure patches the controller's compiled snapshot through
+:meth:`~repro.net.state.CompiledNetwork.apply_churn` (bit-identical to a
+fresh compile, near ``compiled_ms`` instead of ``compile_ms``) rather
+than rebuilding it. Per-epoch throughput, fairness and reconfiguration
+latency stream into :class:`repro.obs.TimeSeries` metrics when a tracer
+is active; ``benchmarks/bench_timeline.py`` gates events/sec and the
+recompile-vs-fresh speedup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.fairness import jain_index
+from ..config import ACORN_PERIOD_SECONDS, make_rng
+from ..core.controller import Acorn
+from ..errors import AssociationError, ConfigurationError
+from ..net.channels import ChannelPlan
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+from ..obs.clock import monotonic_clock
+from ..obs.tracer import active_tracer
+from ..traces.associations import (
+    PAPER_MEDIAN_S,
+    PAPER_P90_S,
+    synthesize_association_events,
+)
+
+__all__ = [
+    "EpochRecord",
+    "TimelineConfig",
+    "TimelineResult",
+    "campus_network",
+    "place_client_random_links",
+    "place_client_uniform",
+    "run_timeline",
+]
+
+# Event ordering tags (heap ties broken by insertion sequence).
+_ARRIVAL, _DEPARTURE, _EPOCH = 0, 1, 2
+
+# client_factory contract: register ``client_id`` on the network (position
+# and/or SNR overrides) so it can be admitted; see place_client_uniform.
+ClientFactory = Callable[[Network, str, np.random.Generator], None]
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Workload and control knobs of the timeline simulation."""
+
+    horizon_s: float = 4 * 3600.0
+    arrival_rate_per_s: float = 1 / 120.0
+    median_session_s: float = PAPER_MEDIAN_S
+    p90_session_s: float = PAPER_P90_S
+    period_s: float = ACORN_PERIOD_SECONDS
+    # 0 disables event-triggered reconfiguration; N > 0 re-runs
+    # Algorithm 2 after every N admitted arrivals, on top of the
+    # periodic schedule.
+    allocate_every_arrivals: int = 0
+    # Channel switches cost real time (CSA quiet periods, client
+    # re-association); same conservative figure as the long-run model.
+    reallocation_downtime_s: float = 15.0
+    measure_every_event: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        if self.allocate_every_arrivals < 0:
+            raise ConfigurationError(
+                "allocate_every_arrivals must be non-negative"
+            )
+        if self.reallocation_downtime_s < 0:
+            raise ConfigurationError("downtime must be non-negative")
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One reconfiguration epoch: when, why, and what it achieved."""
+
+    t_s: float
+    trigger: str  # "initial" | "periodic" | "event"
+    total_mbps: float
+    jain: float
+    n_clients: int
+    n_rounds: int
+    # Wall-clock latency of the Algorithm 2 re-run (monotonic-clock
+    # seam). Latency telemetry, not simulation state: nothing downstream
+    # branches on it, so results stay deterministic.
+    reconfig_wall_s: float
+
+
+@dataclass
+class TimelineResult:
+    """Aggregated outcome of one timeline replay."""
+
+    config: TimelineConfig
+    mean_throughput_mbps: float
+    n_arrivals: int
+    n_departures: int
+    n_rejected: int
+    n_events: int
+    peak_clients: int
+    downtime_s: float
+    epochs: List[EpochRecord] = field(default_factory=list)
+    samples: List[Tuple[float, float]] = field(repr=False, default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of reconfiguration epochs (including the initial one)."""
+        return len(self.epochs)
+
+    @property
+    def mean_reconfig_wall_s(self) -> float:
+        """Mean wall-clock reconfiguration latency across epochs."""
+        if not self.epochs:
+            return 0.0
+        return math.fsum(e.reconfig_wall_s for e in self.epochs) / len(
+            self.epochs
+        )
+
+
+def campus_network(
+    n_aps: int = 100,
+    spacing_m: float = 40.0,
+    jitter_m: float = 5.0,
+    seed: int = 0,
+) -> Network:
+    """A campus-scale geometric deployment: a jittered AP grid.
+
+    Purely geometric (no explicit conflicts), so the footnote-5
+    interference graph follows from propagation — the deployment style
+    that exercises the incremental hearing-matrix path of
+    ``CompiledNetwork.apply_churn``.
+    """
+    if n_aps <= 0:
+        raise ConfigurationError(f"n_aps must be positive, got {n_aps}")
+    if spacing_m <= 0:
+        raise ConfigurationError(f"spacing must be positive, got {spacing_m}")
+    rng = make_rng(seed)
+    network = Network()
+    side = int(math.ceil(math.sqrt(n_aps)))
+    for index in range(n_aps):
+        row, col = divmod(index, side)
+        x = col * spacing_m + float(rng.uniform(-jitter_m, jitter_m))
+        y = row * spacing_m + float(rng.uniform(-jitter_m, jitter_m))
+        network.add_ap(f"ap{index}", position=(x, y))
+    return network
+
+
+def place_client_uniform(
+    network: Network, client_id: str, rng: np.random.Generator
+) -> None:
+    """Register an arriving client uniformly inside the AP bounding box.
+
+    The default ``client_factory``: geometric placement over the convex
+    extent of the deployment, so link SNRs follow from path loss exactly
+    as they do for the APs.
+    """
+    xs = [p[0] for p in (network.ap(a).position for a in network.ap_ids) if p]
+    ys = [p[1] for p in (network.ap(a).position for a in network.ap_ids) if p]
+    if not xs:
+        raise ConfigurationError(
+            "place_client_uniform needs positioned APs; pass a custom "
+            "client_factory for SNR-specified topologies"
+        )
+    position = (
+        float(rng.uniform(min(xs), max(xs))),
+        float(rng.uniform(min(ys), max(ys))),
+    )
+    network.add_client(client_id, position=position)
+
+
+def place_client_random_links(
+    network: Network, client_id: str, rng: np.random.Generator
+) -> None:
+    """Register an arriving client with random link SNRs to a few APs.
+
+    The ``client_factory`` for SNR-specified (explicit-conflict)
+    topologies where APs have no positions: the client hears one to
+    three APs at SNRs spanning the MCS range.
+    """
+    ap_ids = network.ap_ids
+    if not ap_ids:
+        raise ConfigurationError("network has no APs to link the client to")
+    network.add_client(client_id)
+    n_heard = int(rng.integers(1, min(3, len(ap_ids)) + 1))
+    heard = rng.choice(len(ap_ids), size=n_heard, replace=False)
+    for ap_index in heard:
+        network.set_link_snr(
+            ap_ids[int(ap_index)], client_id, float(rng.uniform(2.0, 32.0))
+        )
+
+
+def run_timeline(
+    network: Network,
+    plan: ChannelPlan,
+    config: TimelineConfig,
+    model: Optional[ThroughputModel] = None,
+    client_factory: Optional[ClientFactory] = None,
+) -> TimelineResult:
+    """Replay a campus day of association churn against the controller.
+
+    ``network`` supplies the APs (clients arrive and depart per the
+    session model). Every churn event patches the controller's compiled
+    snapshot incrementally; Algorithm 2 re-runs warm-started every
+    ``config.period_s`` (and, optionally, every N admissions).
+    Throughput between measurements is piecewise constant;
+    re-allocations zero it for the configured downtime, as in the
+    long-run model.
+    """
+    model = model if model is not None else ThroughputModel()
+    factory = client_factory if client_factory is not None else place_client_uniform
+    rng_place = make_rng(config.seed + 1)
+    tracer = active_tracer()
+    clock = monotonic_clock()
+
+    acorn = Acorn(network, plan, model, seed=config.seed)
+    acorn.assign_initial_channels()
+
+    events: List[Tuple[float, int, int, str]] = []
+    sequence = 0
+
+    def push(when: float, kind: int, payload: str) -> None:
+        nonlocal sequence
+        heapq.heappush(events, (when, kind, sequence, payload))
+        sequence += 1
+
+    session_events = list(
+        synthesize_association_events(
+            config.horizon_s,
+            config.arrival_rate_per_s,
+            median_s=config.median_session_s,
+            p90_s=config.p90_session_s,
+            rng=make_rng(config.seed),
+        )
+    )
+    departures = {
+        event.client_id: event.departure_s for event in session_events
+    }
+    for event in session_events:
+        push(event.arrival_s, _ARRIVAL, event.client_id)
+    next_epoch = config.period_s
+    while next_epoch < config.horizon_s:
+        push(next_epoch, _EPOCH, "")
+        next_epoch += config.period_s
+
+    result = TimelineResult(
+        config=config,
+        mean_throughput_mbps=0.0,
+        n_arrivals=0,
+        n_departures=0,
+        n_rejected=0,
+        n_events=0,
+        peak_clients=0,
+        downtime_s=0.0,
+    )
+    sim_clock = 0.0
+    weighted_sum = 0.0
+    current_throughput = 0.0
+    arrivals_since_epoch = 0
+
+    def advance_to(when: float) -> None:
+        nonlocal sim_clock, weighted_sum
+        weighted_sum += current_throughput * (when - sim_clock)
+        sim_clock = when
+
+    def measure() -> float:
+        report = model.evaluate(network, acorn.graph)
+        return float(report.total_mbps)
+
+    def run_epoch(trigger: str) -> None:
+        nonlocal current_throughput
+        t0 = clock()
+        allocation = acorn.allocate()
+        reconfig_wall_s = clock() - t0
+        report = model.evaluate(network, acorn.graph)
+        active = [
+            mbps
+            for ap_id, mbps in sorted(report.per_ap_mbps.items())
+            if network.clients_of(ap_id)
+        ]
+        jain = jain_index(active) if active else 1.0
+        record = EpochRecord(
+            t_s=sim_clock,
+            trigger=trigger,
+            total_mbps=float(report.total_mbps),
+            jain=float(jain),
+            n_clients=len(network.associations),
+            n_rounds=int(allocation.rounds),
+            reconfig_wall_s=reconfig_wall_s,
+        )
+        result.epochs.append(record)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter(f"timeline.epochs.{trigger}").inc()
+            metrics.series("timeline.throughput_mbps").append(
+                sim_clock, record.total_mbps
+            )
+            metrics.series("timeline.fairness").append(sim_clock, record.jain)
+            metrics.series("timeline.reconfig_s").append(
+                sim_clock, record.reconfig_wall_s
+            )
+            metrics.histogram("timeline.reconfig_seconds").observe(
+                record.reconfig_wall_s
+            )
+        if trigger != "initial":
+            downtime = min(
+                config.reallocation_downtime_s, config.horizon_s - sim_clock
+            )
+            result.downtime_s += downtime
+            current_throughput = 0.0
+            advance_to(sim_clock + downtime)
+        current_throughput = record.total_mbps
+        result.samples.append((sim_clock, current_throughput))
+
+    run_epoch("initial")
+
+    while events:
+        when, kind, _, payload = heapq.heappop(events)
+        if when >= config.horizon_s:
+            break
+        advance_to(when)
+        result.n_events += 1
+        if kind == _ARRIVAL:
+            factory(network, payload, rng_place)
+            try:
+                acorn.admit_client(payload, incremental=True)
+            except AssociationError:
+                # The Eq. 4 scan already patched the arrival into the
+                # compiled snapshot; undo both the registration and the
+                # patch to restore exact pre-arrival state.
+                network.remove_client(payload)
+                acorn.apply_churn(removed_clients=(payload,))
+                result.n_rejected += 1
+                if tracer.enabled:
+                    tracer.metrics.counter("timeline.rejections").inc()
+                continue
+            result.n_arrivals += 1
+            result.peak_clients = max(
+                result.peak_clients, len(network.associations)
+            )
+            if tracer.enabled:
+                tracer.metrics.counter("timeline.arrivals").inc()
+            push(departures[payload], _DEPARTURE, payload)
+            arrivals_since_epoch += 1
+            if (
+                config.allocate_every_arrivals
+                and arrivals_since_epoch >= config.allocate_every_arrivals
+            ):
+                arrivals_since_epoch = 0
+                run_epoch("event")
+                continue
+        elif kind == _DEPARTURE:
+            network.disassociate(payload)
+            network.remove_client(payload)
+            acorn.apply_churn(removed_clients=(payload,))
+            result.n_departures += 1
+            if tracer.enabled:
+                tracer.metrics.counter("timeline.departures").inc()
+        else:  # _EPOCH
+            arrivals_since_epoch = 0
+            run_epoch("periodic")
+            continue
+        if config.measure_every_event:
+            current_throughput = measure()
+            result.samples.append((sim_clock, current_throughput))
+
+    advance_to(config.horizon_s)
+    result.mean_throughput_mbps = weighted_sum / config.horizon_s
+    return result

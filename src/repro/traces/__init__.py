@@ -1,15 +1,19 @@
 """Workload traces: synthetic association-duration sessions (Fig 9)."""
 
 from .associations import (
+    AssociationEvent,
     AssociationTraceSummary,
     recommended_period_s,
     summarize_durations,
     synthesize_association_durations,
+    synthesize_association_events,
 )
 
 __all__ = [
-    "synthesize_association_durations",
-    "summarize_durations",
+    "AssociationEvent",
     "AssociationTraceSummary",
     "recommended_period_s",
+    "summarize_durations",
+    "synthesize_association_durations",
+    "synthesize_association_events",
 ]

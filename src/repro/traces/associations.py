@@ -25,10 +25,12 @@ from ..errors import ConfigurationError
 __all__ = [
     "PAPER_MEDIAN_S",
     "PAPER_P90_S",
-    "synthesize_association_durations",
-    "summarize_durations",
+    "AssociationEvent",
     "AssociationTraceSummary",
     "recommended_period_s",
+    "summarize_durations",
+    "synthesize_association_durations",
+    "synthesize_association_events",
 ]
 
 # Quantiles reported in the paper's Fig 9 discussion.
@@ -60,6 +62,68 @@ def synthesize_association_durations(
     mu, sigma = _lognormal_parameters(median_s, p90_s)
     rng = make_rng(rng)
     return rng.lognormal(mean=mu, sigma=sigma, size=n_sessions)
+
+
+@dataclass(frozen=True)
+class AssociationEvent:
+    """One synthetic session: who arrives, when, and for how long."""
+
+    arrival_s: float
+    duration_s: float
+    client_id: str
+
+    @property
+    def departure_s(self) -> float:
+        """Absolute departure time of the session."""
+        return self.arrival_s + self.duration_s
+
+
+def synthesize_association_events(
+    horizon_s: float,
+    arrival_rate_per_s: float,
+    median_s: float = PAPER_MEDIAN_S,
+    p90_s: float = PAPER_P90_S,
+    rng: "np.random.Generator | int | None" = None,
+    client_prefix: str = "u",
+):
+    """Yield ``(arrival, duration, client_id)`` session events directly.
+
+    A seeded generator over a Poisson arrival process (exponential
+    inter-arrivals at ``arrival_rate_per_s``) with log-normal session
+    durations calibrated to the Fig 9 quantiles — the event stream the
+    timeline simulator replays, so callers no longer re-derive events
+    from :func:`synthesize_association_durations` samples. Events are
+    yielded in arrival order until the arrival clock passes
+    ``horizon_s``; client ids are ``{prefix}00000``, ``{prefix}00001``…
+    in arrival order, so the stream is fully reproducible from the seed.
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon_s}")
+    if arrival_rate_per_s <= 0:
+        raise ConfigurationError(
+            f"arrival rate must be positive, got {arrival_rate_per_s}"
+        )
+    # Validate eagerly, then delegate to an inner generator — a bad
+    # horizon/rate/quantile should fail at the call site, not on the
+    # first next().
+    mu, sigma = _lognormal_parameters(median_s, p90_s)
+    rng = make_rng(rng)
+
+    def events():
+        clock = 0.0
+        sequence = 0
+        while True:
+            clock += float(rng.exponential(1.0 / arrival_rate_per_s))
+            if clock >= horizon_s:
+                return
+            yield AssociationEvent(
+                arrival_s=clock,
+                duration_s=float(rng.lognormal(mean=mu, sigma=sigma)),
+                client_id=f"{client_prefix}{sequence:05d}",
+            )
+            sequence += 1
+
+    return events()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,485 @@
+"""Timeline subsystem suite: churn patching, sessions, and the replay.
+
+Three contracts under test. First, incremental recompilation:
+:meth:`repro.net.CompiledNetwork.apply_churn` must reproduce a fresh
+``compile()`` *bit-for-bit* (fingerprints, rate tables, and the
+allocations the batched engine derives from them) after any declared
+arrival/departure mix, on every registered scenario, on a seeded sweep
+of random enterprises, and on geometric campuses where the interference
+graph flows through the AP hearing matrices. Second, the session model:
+:func:`repro.traces.associations.synthesize_association_events` must
+keep the paper's Fig 9 duration statistics (median ~31 min). Third, the
+replay itself: :func:`repro.sim.timeline.run_timeline` is deterministic
+per seed (wall-clock telemetry aside) and the controller seam patches
+rather than recompiles.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import Acorn
+from repro.config import make_rng
+from repro.core.allocation import allocate_channels, random_assignment
+from repro.errors import ConfigurationError, ObsError, TopologyError
+from repro.net import (
+    ChannelPlan,
+    CompiledNetwork,
+    ThroughputModel,
+    build_interference_graph,
+    network_fingerprint,
+)
+from repro.obs import MetricsRegistry, Tracer, activate
+from repro.sim.scenario import SCENARIOS, random_enterprise
+from repro.sim.timeline import (
+    TimelineConfig,
+    campus_network,
+    place_client_random_links,
+    place_client_uniform,
+    run_timeline,
+)
+from repro.traces.associations import (
+    PAPER_MEDIAN_S,
+    PAPER_P90_S,
+    synthesize_association_events,
+)
+
+RANDOM_SEEDS = tuple(range(8))
+ALL_CASES = [("scenario", name) for name in SCENARIOS] + [
+    ("random", seed) for seed in RANDOM_SEEDS
+]
+
+
+def build_case(kind, key):
+    """A network + plan with associations, as in test_compiled_state."""
+    if kind == "scenario":
+        scenario = SCENARIOS[key]()
+        seed = 0
+    else:
+        scenario = random_enterprise(
+            n_aps=5, n_clients=12, area_m=(60.0, 45.0), seed=key
+        )
+        seed = key
+    network = scenario.network
+    rng = random.Random(seed)
+    for client_id in network.client_ids:
+        candidates = list(network.candidate_aps(client_id, -8.0))
+        if candidates:
+            network.associate(client_id, rng.choice(candidates))
+    return network, scenario.plan
+
+
+def apply_network_churn(network, removals, additions, seed=0):
+    """Mutate the network: remove ``removals``, add ``additions``.
+
+    Added clients get geometry when the APs have it, otherwise random
+    SNR overrides, then associate to their strongest candidate — so the
+    footnote-5 via-client edges move too.
+    """
+    rng = make_rng(seed)
+    for client_id in removals:
+        network.disassociate(client_id)
+        network.remove_client(client_id)
+    geometric = all(
+        network.ap(ap_id).position is not None for ap_id in network.ap_ids
+    )
+    for client_id in additions:
+        if geometric:
+            place_client_uniform(network, client_id, rng)
+        else:
+            place_client_random_links(network, client_id, rng)
+        candidates = network.candidate_aps(client_id, -8.0)
+        if candidates:
+            network.associate(client_id, candidates[0])
+
+
+def assert_tables_equal(patched, fresh, model):
+    """Rate tables must match entry-for-entry (NaN-aware float ==)."""
+    a, b = patched.rate_tables(model), fresh.rate_tables(model)
+    for table_a, table_b in ((a.delay, b.delay), (a.factor, b.factor)):
+        assert len(table_a) == len(table_b)  # widths: 20 and 40 MHz
+        for width_a, width_b in zip(table_a, table_b):
+            assert len(width_a) == len(width_b)
+            for row_a, row_b in zip(width_a, width_b):
+                assert len(row_a) == len(row_b)
+                for cell_a, cell_b in zip(row_a, row_b):
+                    if math.isnan(cell_a) or math.isnan(cell_b):
+                        assert math.isnan(cell_a) and math.isnan(cell_b)
+                    else:
+                        assert cell_a == cell_b
+
+
+class TestApplyChurnDifferential:
+    """apply_churn vs fresh compile, bit-for-bit."""
+
+    @pytest.mark.parametrize(("kind", "key"), ALL_CASES)
+    def test_churn_matches_fresh_compile(self, kind, key):
+        network, plan = build_case(kind, key)
+        model = ThroughputModel()
+        patched = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        # Live tables before the churn, so the column-patching path runs.
+        patched.rate_tables(model)
+
+        removals = list(network.client_ids[-2:])
+        additions = [f"churn{index}" for index in range(2)]
+        apply_network_churn(
+            network, removals, additions, seed=hash(key) % 1000
+        )
+        patched.apply_churn(
+            network, added_clients=additions, removed_clients=removals
+        )
+
+        fresh = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        assert patched.fingerprint() == fresh.fingerprint()
+        assert patched.fingerprint() == network_fingerprint(network)
+        assert patched.client_ids == fresh.client_ids
+        assert_tables_equal(patched, fresh, model)
+
+        initial = random_assignment(network.ap_ids, plan, 3)
+        results = [
+            allocate_channels(
+                network,
+                build_interference_graph(network),
+                plan,
+                model,
+                initial=initial,
+                rng=3,
+                compiled=snapshot,
+            )
+            for snapshot in (patched, fresh)
+        ]
+        assert results[0].assignment == results[1].assignment
+        assert results[0].aggregate_mbps == results[1].aggregate_mbps
+        assert results[0].evaluations == results[1].evaluations
+
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_campus_hearing_path(self, seed):
+        """Geometric campus: churn moves footnote-5 hearing edges."""
+        network = campus_network(n_aps=12, spacing_m=30.0, seed=seed)
+        rng = make_rng(seed)
+        for index in range(20):
+            client_id = f"c{index}"
+            place_client_uniform(network, client_id, rng)
+            network.associate(
+                client_id, network.candidate_aps(client_id, -8.0)[0]
+            )
+        plan = ChannelPlan().subset(4)
+        patched = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        # Several rounds, reusing the cached hearing matrices each time.
+        for round_index in range(3):
+            removals = list(network.client_ids[: round_index + 1])
+            additions = [f"r{round_index}c{k}" for k in range(2)]
+            apply_network_churn(
+                network, removals, additions, seed=seed + round_index
+            )
+            patched.apply_churn(
+                network, added_clients=additions, removed_clients=removals
+            )
+            fresh = CompiledNetwork.compile(
+                network, build_interference_graph(network), plan
+            )
+            assert patched.fingerprint() == fresh.fingerprint()
+
+    def test_association_only_resync(self):
+        """Re-association without arrivals/departures is a valid patch."""
+        network, plan = build_case("random", 0)
+        patched = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        mover = network.client_ids[0]
+        candidates = network.candidate_aps(mover, -8.0)
+        target = candidates[-1]
+        network.associate(mover, target)
+        patched.apply_churn(network)
+        fresh = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        assert patched.fingerprint() == fresh.fingerprint()
+        assert patched.thaw().associations[mover] == target
+
+    def test_ap_set_change_rejected(self):
+        network, plan = build_case("random", 1)
+        compiled = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        network.add_ap("late-ap", position=(1.0, 2.0))
+        with pytest.raises(TopologyError):
+            compiled.apply_churn(network)
+
+    def test_undeclared_churn_rejected(self):
+        network, plan = build_case("random", 2)
+        compiled = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        victim = network.client_ids[0]
+        network.disassociate(victim)
+        network.remove_client(victim)
+        with pytest.raises(TopologyError):
+            compiled.apply_churn(network)  # departure not declared
+
+    def test_remove_client_unknown_rejected(self):
+        network, _ = build_case("random", 3)
+        with pytest.raises(TopologyError):
+            network.remove_client("nobody")
+
+
+class TestThawAfterChurn:
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS[:4])
+    def test_thaw_round_trip_after_churn(self, seed):
+        """A patched snapshot thaws back to the live network, bit-for-bit."""
+        network, plan = build_case("random", seed)
+        patched = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        removals = list(network.client_ids[-2:])
+        additions = ["thaw0", "thaw1"]
+        apply_network_churn(network, removals, additions, seed=seed)
+        patched.apply_churn(
+            network, added_clients=additions, removed_clients=removals
+        )
+        thawed = patched.thaw()
+        assert network_fingerprint(thawed) == network_fingerprint(network)
+        assert thawed.client_ids == network.client_ids
+        assert thawed.associations == network.associations
+        # And the thawed network re-compiles to the same snapshot.
+        recompiled = CompiledNetwork.compile(
+            thawed, build_interference_graph(thawed), plan
+        )
+        assert recompiled.fingerprint() == patched.fingerprint()
+
+
+class TestControllerChurn:
+    def _campus_acorn(self, n_clients=6, seed=0):
+        network = campus_network(n_aps=6, spacing_m=30.0, seed=seed)
+        rng = make_rng(seed)
+        acorn = Acorn(
+            network, ChannelPlan().subset(4), ThroughputModel(), seed=seed
+        )
+        acorn.assign_initial_channels()
+        for index in range(n_clients):
+            place_client_uniform(network, f"c{index}", rng)
+            acorn.admit_client(f"c{index}")
+        return network, acorn, rng
+
+    def test_apply_churn_patches_instead_of_recompiling(self):
+        network, acorn, rng = self._campus_acorn()
+        tracer = Tracer()
+        with activate(tracer):
+            acorn.allocate()  # builds the compiled snapshot
+            place_client_uniform(network, "late", rng)
+            acorn.apply_churn(added_clients=("late",))
+            acorn.allocate()
+        counters = tracer.to_payload()["metrics"]["counters"]
+        assert counters.get("controller.churn_patches", 0) >= 1
+        assert counters.get("controller.compile_builds", 0) == 1
+        assert "late" in acorn.compiled.client_ids
+
+    def test_apply_churn_invalidates_when_uncompiled(self):
+        network, acorn, rng = self._campus_acorn(n_clients=3)
+        place_client_uniform(network, "late", rng)
+        acorn.apply_churn(added_clients=("late",))  # no snapshot yet: no-op
+        assert acorn.graph is not None  # rebuilt lazily, includes the churn
+
+    def test_churned_controller_matches_fresh_controller(self):
+        """A patched controller snapshot equals a fresh controller's."""
+        network, acorn, rng = self._campus_acorn()
+        acorn.allocate()
+        place_client_uniform(network, "late", rng)
+        acorn.apply_churn(added_clients=("late",))
+        network.associate("late", network.candidate_aps("late", -8.0)[0])
+        acorn.apply_churn()
+
+        fresh_acorn = Acorn(
+            network, ChannelPlan().subset(4), ThroughputModel(), seed=0
+        )
+        assert acorn.compiled.fingerprint() == fresh_acorn.compiled.fingerprint()
+        assert set(acorn.graph.edges) == set(fresh_acorn.graph.edges)
+        assert set(acorn.graph.nodes) == set(fresh_acorn.graph.nodes)
+
+    def test_admit_incremental_equivalent(self):
+        """incremental=True admissions match the recompile-everything path."""
+        outcomes = []
+        for incremental in (False, True):
+            network = campus_network(n_aps=6, spacing_m=30.0, seed=7)
+            rng = make_rng(7)
+            acorn = Acorn(
+                network, ChannelPlan().subset(4), ThroughputModel(), seed=7
+            )
+            acorn.assign_initial_channels()
+            acorn.allocate()
+            for index in range(8):
+                place_client_uniform(network, f"c{index}", rng)
+                acorn.admit_client(f"c{index}", incremental=incremental)
+            outcomes.append(
+                (dict(network.associations), acorn.allocate().assignment)
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestAssociationEvents:
+    def test_median_matches_paper(self):
+        """Session durations keep the Fig 9 median the period T rests on."""
+        events = synthesize_association_events(
+            200_000.0, 0.1, rng=make_rng(2010)
+        )
+        durations = sorted(event.duration_s for event in events)
+        assert len(durations) > 5_000
+        median = durations[len(durations) // 2]
+        assert median == pytest.approx(PAPER_MEDIAN_S, rel=0.05)
+        p90 = durations[int(len(durations) * 0.9)]
+        assert p90 == pytest.approx(PAPER_P90_S, rel=0.08)
+
+    def test_events_ordered_and_bounded(self):
+        events = list(
+            synthesize_association_events(3600.0, 1 / 60.0, rng=make_rng(5))
+        )
+        arrivals = [event.arrival_s for event in events]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 3600.0 for t in arrivals)
+        assert all(event.duration_s > 0 for event in events)
+        assert all(
+            event.departure_s == event.arrival_s + event.duration_s
+            for event in events
+        )
+
+    def test_deterministic_per_seed(self):
+        first = list(
+            synthesize_association_events(7200.0, 0.01, rng=make_rng(3))
+        )
+        second = list(
+            synthesize_association_events(7200.0, 0.01, rng=make_rng(3))
+        )
+        assert first == second
+        assert len({event.client_id for event in first}) == len(first)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_association_events(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            synthesize_association_events(10.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            synthesize_association_events(10.0, 1.0, median_s=-5.0)
+
+
+class TestTimeSeriesMetric:
+    def test_merge_is_commutative(self):
+        payloads = []
+        for offset in range(3):
+            registry = MetricsRegistry()
+            series = registry.series("timeline.throughput_mbps")
+            for step in range(4):
+                series.append(offset * 10 + step, float(step))
+            payloads.append(registry.to_payload())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for payload in payloads:
+            forward.merge_payload(payload)
+        for payload in reversed(payloads):
+            backward.merge_payload(payload)
+        assert forward.to_payload() == backward.to_payload()
+
+    def test_payload_round_trip(self):
+        registry = MetricsRegistry()
+        registry.series("s").append(1.5, 2.5)
+        registry.counter("c").inc()
+        clone = MetricsRegistry.from_payload(registry.to_payload())
+        assert clone.to_payload() == registry.to_payload()
+        assert clone.series("s").samples == [(1.5, 2.5)]
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.series("x")
+        with pytest.raises(ObsError):
+            registry.counter("x")
+
+
+class TestRunTimeline:
+    CONFIG = TimelineConfig(
+        horizon_s=1800.0,
+        arrival_rate_per_s=1 / 120.0,
+        period_s=900.0,
+        seed=11,
+    )
+
+    def _run(self, config=None):
+        network = campus_network(n_aps=9, spacing_m=30.0, seed=11)
+        return run_timeline(network, ChannelPlan().subset(4), config or self.CONFIG)
+
+    def test_replay_accounting(self):
+        result = self._run()
+        n_periodic = sum(
+            1 for epoch in result.epochs if epoch.trigger == "periodic"
+        )
+        assert result.n_events == (
+            result.n_arrivals
+            + result.n_rejected
+            + result.n_departures
+            + n_periodic
+        )
+        assert result.n_departures <= result.n_arrivals
+        assert result.peak_clients >= 1
+        assert result.epochs[0].trigger == "initial"
+        assert any(epoch.trigger == "periodic" for epoch in result.epochs)
+        assert result.mean_throughput_mbps > 0.0
+        assert result.downtime_s >= 0.0
+
+    def test_deterministic_per_seed(self):
+        def signature(result):
+            return (
+                result.mean_throughput_mbps,
+                result.n_arrivals,
+                result.n_departures,
+                result.n_rejected,
+                result.peak_clients,
+                [
+                    (e.t_s, e.trigger, e.total_mbps, e.jain, e.n_clients)
+                    for e in result.epochs
+                ],
+                result.samples,
+            )
+
+        assert signature(self._run()) == signature(self._run())
+
+    def test_event_triggered_epochs(self):
+        config = TimelineConfig(
+            horizon_s=1800.0,
+            arrival_rate_per_s=1 / 120.0,
+            period_s=900.0,
+            allocate_every_arrivals=3,
+            seed=11,
+        )
+        result = self._run(config)
+        assert any(epoch.trigger == "event" for epoch in result.epochs)
+
+    def test_metrics_stream_under_tracer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            result = self._run()
+        payload = tracer.to_payload()["metrics"]
+        assert payload["counters"]["timeline.arrivals"] == result.n_arrivals
+        series = payload["series"]["timeline.throughput_mbps"]
+        assert len(series) == result.n_epochs
+        assert payload["counters"]["controller.compile_builds"] == 1
+
+    def test_place_client_random_links(self):
+        network, plan = build_case("scenario", list(SCENARIOS)[0])
+        rng = make_rng(0)
+        place_client_random_links(network, "fresh", rng)
+        assert "fresh" in network.client_ids
+        assert network.candidate_aps("fresh", -8.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimelineConfig(horizon_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            TimelineConfig(arrival_rate_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TimelineConfig(period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TimelineConfig(allocate_every_arrivals=-1)
