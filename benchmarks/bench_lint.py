@@ -1,20 +1,23 @@
 #!/usr/bin/env python
-"""Lint wall-clock benchmark: full-tree ``repro lint`` under a budget.
+"""Lint wall-clock benchmark: cold vs warm full-tree ``repro lint``.
 
-Times repeated full runs of the static-analysis pass over ``src/repro``
-(the exact work the CI lint gate performs), reports per-run wall clock,
-per-file latency and findings count, and persists ``BENCH_lint.json``
+Times the two-phase flow-aware lint over ``src/repro`` (the exact work
+the CI lint gate performs) in both cache states: *cold* runs start from
+an empty ``.reprolint-cache.json`` in a scratch directory (full phase-1
+extraction plus phase-2 flow analysis for every module), *warm* runs
+replay the populated cache (content hashes and dependency fingerprints
+all match, so no module is re-analysed). Persists ``BENCH_lint.json``
 at the repository root.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_lint.py           # measure only
-    PYTHONPATH=src python benchmarks/bench_lint.py --check   # gate the budget
+    PYTHONPATH=src python benchmarks/bench_lint.py --check   # gate the budgets
 
-``--check`` fails (exit 1) when the best-of-N full-tree run exceeds the
-wall-clock budget (default 5 s) or when the tree is not clean — the
-lint is only useful as a pre-commit/CI gate while it stays effectively
-free to run.
+``--check`` fails (exit 1) when the best cold run exceeds the wall-clock
+budget (default 10 s), when the warm replay is under the 5x speedup
+floor, or when the tree is not lint-clean — the lint is only useful as
+a pre-commit/CI gate while the incremental path stays effectively free.
 """
 
 from __future__ import annotations
@@ -22,28 +25,44 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 
 from repro.analysis.tables import render_table
 from repro.lint import lint_paths
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from _shared import floor_failure_message  # noqa: E402
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_lint.json"
-BUDGET_S = 5.0  # acceptance: best full-tree run under 5 s wall clock
+COLD_BUDGET_S = 10.0  # acceptance: best cold full-tree run under 10 s
+WARM_SPEEDUP_FLOOR = 5.0  # acceptance: warm replay >= 5x faster than cold
 
 
 def measure(target: pathlib.Path, repeats: int) -> dict:
-    """Run the full lint ``repeats`` times and collect timings."""
-    runs = []
-    report = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        report = lint_paths([target])
-        runs.append(time.perf_counter() - start)
-    best = min(runs)
+    """Time cold and warm full-tree runs against a scratch cache dir."""
+    cold_runs, warm_runs = [], []
+    cold_report = warm_report = None
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="reprolint-bench-"))
+    try:
+        for _ in range(repeats):
+            cache_file = scratch / ".reprolint-cache.json"
+            if cache_file.exists():
+                cache_file.unlink()
+            start = time.perf_counter()
+            cold_report = lint_paths([target], cache_dir=scratch)
+            cold_runs.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            warm_report = lint_paths([target], cache_dir=scratch)
+            warm_runs.append(time.perf_counter() - start)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    cold_best, warm_best = min(cold_runs), min(warm_runs)
     try:
         shown = str(target.relative_to(REPO_ROOT))
     except ValueError:
@@ -51,22 +70,42 @@ def measure(target: pathlib.Path, repeats: int) -> dict:
     return {
         "target": shown,
         "repeats": repeats,
-        "files_checked": report.files_checked,
-        "findings": len(report.findings),
-        "waivers": report.waivers,
-        "wall_s_best": round(best, 4),
-        "wall_s_median": round(statistics.median(runs), 4),
-        "ms_per_file_best": round(1000.0 * best / max(report.files_checked, 1), 3),
+        "files_checked": cold_report.files_checked,
+        "findings": len(cold_report.findings),
+        "waivers": cold_report.waivers,
+        "cold_wall_s_best": round(cold_best, 4),
+        "cold_wall_s_median": round(statistics.median(cold_runs), 4),
+        "warm_wall_s_best": round(warm_best, 4),
+        "warm_wall_s_median": round(statistics.median(warm_runs), 4),
+        "warm_speedup_best": round(cold_best / warm_best, 2),
+        "warm_files_from_cache": warm_report.files_from_cache,
+        "warm_flow_reanalyzed": warm_report.flow_reanalyzed,
+        "ms_per_file_cold_best": round(
+            1000.0 * cold_best / max(cold_report.files_checked, 1), 3
+        ),
     }
 
 
 def check_budget(report: dict) -> list:
-    """The acceptance gate: clean tree, best run under the budget."""
+    """The acceptance gate: clean tree, cold budget, warm speedup floor."""
     failures = []
-    if report["wall_s_best"] > BUDGET_S:
+    if report["cold_wall_s_best"] > COLD_BUDGET_S:
         failures.append(
-            f"best full-tree run {report['wall_s_best']:.2f} s over the "
-            f"{BUDGET_S:.1f} s budget"
+            f"best cold full-tree run {report['cold_wall_s_best']:.2f} s "
+            f"over the {COLD_BUDGET_S:.1f} s budget"
+        )
+    if report["warm_speedup_best"] < WARM_SPEEDUP_FLOOR:
+        failures.append(
+            floor_failure_message(
+                "lint", "warm/cold", report["warm_speedup_best"],
+                WARM_SPEEDUP_FLOOR,
+            )
+        )
+    if report["warm_files_from_cache"] != report["files_checked"]:
+        failures.append(
+            f"warm replay re-extracted "
+            f"{report['files_checked'] - report['warm_files_from_cache']} "
+            f"module(s); cache is not sticky"
         )
     if report["findings"]:
         failures.append(f"tree is not lint-clean: {report['findings']} finding(s)")
@@ -81,13 +120,15 @@ def main(argv=None) -> int:
         help="tree to lint (default src/repro)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=3, help="full runs to time (default 3)"
+        "--repeats", type=int, default=3,
+        help="cold/warm run pairs to time (default 3)",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help=f"fail when the best run exceeds the {BUDGET_S:.0f} s budget "
-        "or the tree has findings",
+        help=f"fail when the best cold run exceeds the {COLD_BUDGET_S:.0f} s "
+        f"budget, warm is under the {WARM_SPEEDUP_FLOOR:.0f}x floor, or the "
+        "tree has findings",
     )
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
@@ -97,18 +138,23 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "lint",
         "generated_by": "benchmarks/bench_lint.py",
-        "budget_s": BUDGET_S,
+        "cold_budget_s": COLD_BUDGET_S,
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
         **row,
     }
     print(
         render_table(
-            ["files", "findings", "waivers", "best (s)", "median (s)", "ms/file"],
+            ["files", "findings", "cold (s)", "warm (s)", "speedup", "ms/file"],
             [[
-                row["files_checked"], row["findings"], row["waivers"],
-                row["wall_s_best"], row["wall_s_median"], row["ms_per_file_best"],
+                row["files_checked"], row["findings"],
+                row["cold_wall_s_best"], row["warm_wall_s_best"],
+                row["warm_speedup_best"], row["ms_per_file_cold_best"],
             ]],
             float_format=".3f",
-            title=f"Full-tree repro lint (budget {BUDGET_S:.1f} s)",
+            title=(
+                f"Full-tree repro lint (cold budget {COLD_BUDGET_S:.1f} s, "
+                f"warm floor {WARM_SPEEDUP_FLOOR:.0f}x)"
+            ),
         )
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -121,7 +167,7 @@ def main(argv=None) -> int:
             for failure in failures:
                 print(f"  - {failure}")
             return 1
-        print("ok: lint budget satisfied")
+        print("ok: lint budgets satisfied")
     return 0
 
 

@@ -17,10 +17,15 @@ Usage (via ``python -m repro``):
   ``--resume``. ``--profile`` traces every job and the driver and
   prints the merged span/counter report (``scenario --profile``
   does the same for a single configuration run).
-* ``lint`` — the :mod:`repro.lint` static invariant checker (RL001
-  determinism, RL002 units, RL003 errors, ...) over the given paths;
-  exit 0 clean, 1 findings, 2 internal error. ``--format json`` emits
-  a machine-readable report, ``--list-rules`` the rule catalogue.
+* ``lint`` — the :mod:`repro.lint` static invariant checker (per-file
+  rules RL001 determinism, RL002 units, RL003 errors, ..., and the
+  project-wide flow rules RL101–RL104) over the given paths; exit 0
+  clean, 1 findings, 2 internal error. ``--format json`` emits a
+  machine-readable report, ``--list-rules`` the rule catalogue,
+  ``--changed [REF]`` restricts to git-changed files plus their
+  reverse importers, ``--no-cache`` bypasses the incremental cache,
+  ``--timings`` prints the per-rule timing table, and
+  ``--explain RLxxx`` prints each finding's full call chain.
 
 Any :class:`~repro.errors.ReproError` escaping a subcommand is reported
 as a one-line message on stderr with exit code 2.
@@ -277,6 +282,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_rules",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="ignore and do not write the .reprolint-cache.json cache",
+    )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="RLxxx",
+        help=(
+            "after linting, print each finding of the given rule with its "
+            "full file:line call chain"
+        ),
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "lint only files changed vs the given git ref (default HEAD) "
+            "plus their reverse import dependencies"
+        ),
+    )
+    lint.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a per-rule wall-time table after the report",
     )
     return parser
 
@@ -615,8 +651,40 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 1 if store.failed or len(store) < n_jobs else 0
 
 
+def _git_changed_files(ref: str) -> "List[str]":
+    """Absolute paths of tracked .py files changed vs ``ref``."""
+    import pathlib
+    import subprocess
+
+    from .errors import LintError
+
+    try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--", "*.py"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise LintError(
+            f"--changed could not diff against {ref!r}: {detail.strip()}"
+        ) from exc
+    return [
+        str(pathlib.Path(toplevel) / line)
+        for line in diff.splitlines()
+        if line.strip()
+    ]
+
+
 def _run_lint(args: argparse.Namespace) -> int:
-    from .lint import lint_paths, rule_catalog
+    from .lint import changed_scope, lint_paths, rule_catalog
 
     if args.list_rules:
         print(
@@ -635,8 +703,47 @@ def _run_lint(args: argparse.Namespace) -> int:
         if args.rules
         else None
     )
-    report = lint_paths(args.paths, select=select)
+    use_cache = not args.no_cache
+    paths = args.paths
+    project_paths = None
+    if args.changed is not None:
+        import pathlib
+
+        changed = _git_changed_files(args.changed)
+        scope = changed_scope(
+            [pathlib.Path(p) for p in paths], changed, use_cache=use_cache
+        )
+        if not scope:
+            print(f"clean: no lintable changes vs {args.changed}")
+            return 0
+        project_paths = paths
+        paths = scope
+    report = lint_paths(
+        paths,
+        select=select,
+        use_cache=use_cache,
+        project_paths=project_paths,
+    )
     print(report.render(args.format))
+    if args.timings and args.format == "text":
+        print(
+            render_table(
+                ["rule", "seconds"],
+                [
+                    [rule_id, f"{seconds:.4f}"]
+                    for rule_id, seconds in report.timing_rows()
+                ],
+                title="per-rule wall time",
+            )
+        )
+    if args.explain:
+        matches = [f for f in report.findings if f.rule_id == args.explain]
+        if matches:
+            print(f"\n{args.explain} call chains:")
+            for finding in matches:
+                print(finding.render_chain())
+        else:
+            print(f"\nno {args.explain} findings to explain")
     return report.exit_code
 
 

@@ -13,6 +13,10 @@ better.
 
 from __future__ import annotations
 
+# reprolint: ok RL103 greedy scan loop: trial() is side-effect-free by the
+# engine contract (tests/test_delta_evaluator.py); only the winning candidate
+# is committed, losers need no rollback
+
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 

@@ -14,6 +14,9 @@ aggregate is bounded.
 
 from __future__ import annotations
 
+# reprolint: ok RL103 hill-climb scan: trial_move() is side-effect-free by
+# the engine contract; only the best improving move is committed per round
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

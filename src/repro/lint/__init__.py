@@ -7,6 +7,15 @@ count), centralised dB/linear conversions (the 3 dB channel-bonding
 penalty survives refactors), the ``ReproError`` exit-code contract,
 no stray stdout, picklable registries and an honest ``__all__``.
 
+The check runs in two phases. Phase 1 applies the per-file rules
+(RL001–RL006) and extracts a semantic summary per module
+(:mod:`repro.lint.semantics`); phase 2 links the summaries into a
+project-wide call graph and runs the flow rules: RL101 transitive
+determinism taint, RL102 unit-domain flow, RL103 engine trial/commit
+discipline, RL104 worker-payload picklability. Results replay from an
+incremental on-disk cache (``.reprolint-cache.json``) keyed on content
+hashes and transitive dependency fingerprints.
+
 Run it as ``repro lint [paths...]`` (exit 0 clean / 1 findings /
 2 internal error) or programmatically::
 
@@ -23,12 +32,14 @@ Rules live in a registry (:data:`~repro.lint.rules.RULES`); see
 from .context import ModuleContext, module_path
 from .engine import (
     LintReport,
+    changed_scope,
     iter_python_files,
     lint_paths,
     lint_source,
     parse_waivers,
 )
 from .findings import Finding, render_json, render_text
+from .flow_rules import ProjectRule
 from .rules import (
     PARSE_RULE_ID,
     RULES,
@@ -44,9 +55,11 @@ __all__ = [
     "LintReport",
     "LintRule",
     "ModuleContext",
+    "ProjectRule",
     "RULES",
     "WAIVER_RULE_ID",
     "PARSE_RULE_ID",
+    "changed_scope",
     "default_rules",
     "iter_python_files",
     "lint_paths",

@@ -1,11 +1,21 @@
-"""The reprolint engine: file discovery, waivers, rule dispatch.
+"""The reprolint engine: discovery, waivers, two-phase rule dispatch.
 
-``lint_paths`` walks the requested files/directories, parses each
-module once, extracts its per-file waivers and runs every registered
-rule over it, returning a :class:`LintReport`. The report's
-``exit_code`` implements the CLI contract: 0 clean, 1 findings;
-internal errors (unreadable paths, bad rule selections) raise
-:class:`~repro.errors.LintError`, which the CLI maps to exit code 2.
+``lint_paths`` runs in two phases. Phase 1 parses each module once,
+extracts its per-file waivers, runs every per-file rule and distils a
+:class:`~repro.lint.semantics.model.ModuleSummary`. Phase 2 stitches
+the summaries into a :class:`~repro.lint.semantics.project.ProjectIndex`
+and runs the flow-aware :class:`~repro.lint.flow_rules.ProjectRule`
+set (RL101–RL104) per module. Both phases replay from the on-disk
+incremental cache (``.reprolint-cache.json``): phase-1 results are
+keyed by content hash, phase-2 findings by a transitive dependency
+fingerprint, so a warm run re-analyses only changed modules and their
+reverse dependencies. The cache is bypassed whenever an explicit
+``--rules`` selection is active (cached findings assume the full set).
+
+The report's ``exit_code`` implements the CLI contract: 0 clean,
+1 findings; internal errors (unreadable paths, bad rule selections)
+raise :class:`~repro.errors.LintError`, which the CLI maps to exit
+code 2.
 
 Waiver syntax — one comment anywhere in a file waives the named rules
 for that whole file, and the reason is mandatory::
@@ -24,12 +34,32 @@ import pathlib
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import LintError
+from ..obs.clock import monotonic_clock
 from .context import ModuleContext, module_path
 from .findings import Finding, render_json, render_text
+from .flow_rules import ProjectRule
 from .rules import PARSE_RULE_ID, RULES, WAIVER_RULE_ID, LintRule, default_rules
+from .semantics.cache import (
+    cached_summary,
+    load_cache,
+    rules_fingerprint,
+    save_cache,
+    source_fingerprint,
+)
+from .semantics.extract import extract_module
+from .semantics.model import ModuleSummary
+from .semantics.project import ProjectIndex
 
 __all__ = [
     "LintReport",
@@ -37,14 +67,18 @@ __all__ = [
     "lint_source",
     "iter_python_files",
     "parse_waivers",
+    "changed_scope",
 ]
 
+# Rule ids may repeat with any mix of commas/whitespace between them
+# (``RL003, RL004`` / ``RL003,,RL004`` / ``RL003  RL004`` all parse).
 _WAIVER_RE = re.compile(
     r"#\s*reprolint:\s*(?P<verb>[A-Za-z-]+)"
-    r"(?P<rules>(?:\s*,?\s*RL\d{3})*)"
+    r"(?P<rules>(?:[\s,]*RL\d{3})*)"
     r"(?P<reason>[^#]*)$"
 )
 _RULE_ID_RE = re.compile(r"RL\d{3}")
+_REASON_STRIP = " \t\r\f,:;-"
 
 
 @dataclass
@@ -54,21 +88,48 @@ class LintReport:
     ``exit_code`` is 0 when clean and 1 when any finding was produced;
     internal failures never reach a report (they raise
     :class:`~repro.errors.LintError` instead, exit code 2 in the CLI).
+    ``rule_seconds`` accumulates wall time per rule id (measured with
+    the injected monotonic clock), ``files_from_cache`` counts modules
+    whose phase-1 analysis replayed from the incremental cache, and
+    ``flow_reanalyzed`` counts modules whose phase-2 flow findings had
+    to be recomputed (their dependency fingerprint changed).
     """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     waivers: int = 0
+    rule_seconds: Dict[str, float] = field(default_factory=dict)
+    files_from_cache: int = 0
+    flow_reanalyzed: int = 0
 
     @property
     def exit_code(self) -> int:
         """The ``repro lint`` process exit code for this report."""
         return 1 if self.findings else 0
 
+    def timing_rows(self) -> List[Tuple[str, float]]:
+        """(rule id, seconds) rows, slowest first, for timing tables."""
+        return sorted(
+            self.rule_seconds.items(), key=lambda row: (-row[1], row[0])
+        )
+
     def render(self, fmt: str = "text") -> str:
         """The report as ``text`` (file:line rows) or ``json``."""
         if fmt == "json":
-            return render_json(self.findings, self.files_checked)
+            return render_json(
+                self.findings,
+                self.files_checked,
+                meta={
+                    "rule_seconds": {
+                        rule_id: round(seconds, 6)
+                        for rule_id, seconds in self.rule_seconds.items()
+                    },
+                    "cache": {
+                        "files_from_cache": self.files_from_cache,
+                        "flow_reanalyzed": self.flow_reanalyzed,
+                    },
+                },
+            )
         if fmt != "text":
             raise LintError(f"unknown lint output format {fmt!r}")
         body = render_text(self.findings)
@@ -132,7 +193,7 @@ def parse_waivers(source: str, path: str) -> Tuple[Set[str], List[Finding], int]
             continue
         verb = match.group("verb")
         rule_ids = _RULE_ID_RE.findall(match.group("rules") or "")
-        reason = (match.group("reason") or "").strip(" \t,:;-")
+        reason = (match.group("reason") or "").strip(_REASON_STRIP)
         unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
         problem = None
         if verb != "ok":
@@ -159,11 +220,22 @@ def parse_waivers(source: str, path: str) -> Tuple[Set[str], List[Finding], int]
     return waived, findings, count
 
 
-def _lint_module(
-    source: str, path: str, rules: Sequence[LintRule]
-) -> Tuple[List[Finding], int]:
-    """Lint one module's source; returns (findings, waiver count)."""
-    lines = source.splitlines()
+def _finding_from_dict(data: dict) -> Finding:
+    """Rebuild a finding from its cached/JSON dict form."""
+    return Finding(
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        rule_id=data["rule"],
+        message=data["message"],
+        chain=tuple(data.get("chain", ())),
+    )
+
+
+def _parse_module(
+    source: str, path: str
+) -> Tuple[Optional[ModuleContext], List[Finding], int]:
+    """Parse one module; a SyntaxError becomes an RL900 finding."""
     waived, findings, count = parse_waivers(source, path)
     try:
         tree = ast.parse(source)
@@ -177,18 +249,40 @@ def _lint_module(
                 message=f"file does not parse: {exc.msg}",
             )
         )
-        return findings, count
+        return None, findings, count
     module = ModuleContext(
         path=path,
         module=module_path(pathlib.Path(path)),
         tree=tree,
-        lines=lines,
+        lines=source.splitlines(),
         waived=frozenset(waived),
     )
+    return module, findings, count
+
+
+def _lint_module(
+    source: str,
+    path: str,
+    rules: Sequence[LintRule],
+    rule_seconds: Optional[Dict[str, float]] = None,
+) -> Tuple[List[Finding], int, Optional[ModuleContext]]:
+    """Run the per-file rules over one module's source."""
+    clock = monotonic_clock()
+    module, findings, count = _parse_module(source, path)
+    if module is None:
+        return findings, count, None
     for rule in rules:
-        if rule.applies_to(module):
-            findings.extend(rule.run(module))
-    return findings, count
+        if isinstance(rule, ProjectRule):
+            continue
+        if not rule.applies_to(module):
+            continue
+        start = clock()
+        findings.extend(rule.run(module))
+        if rule_seconds is not None:
+            rule_seconds[rule.rule_id] = (
+                rule_seconds.get(rule.rule_id, 0.0) + clock() - start
+            )
+    return findings, count, module
 
 
 def lint_source(
@@ -196,9 +290,13 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Sequence[LintRule]] = None,
 ) -> List[Finding]:
-    """Lint one in-memory module; the unit used by tests and fixtures."""
+    """Lint one in-memory module; the unit used by tests and fixtures.
+
+    Runs the per-file rules only — flow rules need a project scope, so
+    they are exercised through :func:`lint_paths`.
+    """
     active = list(default_rules()) if rules is None else list(rules)
-    findings, _ = _lint_module(source, path, active)
+    findings, _, _ = _lint_module(source, path, active)
     return findings
 
 
@@ -215,21 +313,186 @@ def _select_rules(select: Optional[Sequence[str]]) -> List[LintRule]:
     return chosen
 
 
+def _read_source(path: pathlib.Path) -> str:
+    try:
+        return str(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+
+
 def lint_paths(
     paths: Sequence[pathlib.Path],
     select: Optional[Sequence[str]] = None,
+    *,
+    use_cache: bool = True,
+    cache_dir: Optional[pathlib.Path] = None,
+    project_paths: Optional[Sequence[pathlib.Path]] = None,
 ) -> LintReport:
-    """Lint files/directories with the registered (or selected) rules."""
+    """Lint files/directories with the registered (or selected) rules.
+
+    ``project_paths`` widens the *analysis* scope beyond the reported
+    ``paths`` — cross-module resolution (taint chains, unit flow) sees
+    every module in scope while findings are reported only for
+    ``paths``; ``repro lint --changed`` uses this to stay correct on a
+    subset. The incremental cache lives in ``cache_dir`` (default: the
+    current directory) and is bypassed when ``select`` names explicit
+    rules, because cached findings assume the full default set.
+    """
     rules = _select_rules(select)
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    cache_full = select is None
+    clock = monotonic_clock()
+
+    report_files = iter_python_files(paths)
+    report_set = {path.resolve() for path in report_files}
+    if project_paths:
+        scope_files = iter_python_files(list(project_paths))
+        scoped = {path.resolve() for path in scope_files}
+        scope_files += [
+            path for path in report_files if path.resolve() not in scoped
+        ]
+    else:
+        scope_files = report_files
+
     report = LintReport()
-    for path in iter_python_files(paths):
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise LintError(f"cannot read {path}: {exc}") from exc
-        findings, count = _lint_module(str(source), str(path), rules)
-        report.findings.extend(findings)
-        report.waivers += count
-        report.files_checked += 1
+    rules_fp = rules_fingerprint() if use_cache else ""
+    cache_root = pathlib.Path(cache_dir) if cache_dir is not None else pathlib.Path.cwd()
+    cache = load_cache(cache_root, rules_fp) if use_cache else {}
+    new_cache: Dict[str, dict] = {}
+
+    summaries: Dict[str, ModuleSummary] = {}
+    entry_by_module: Dict[str, dict] = {}
+    reported_modules: Set[str] = set()
+
+    for path in scope_files:
+        source = _read_source(path)
+        key = path.as_posix()
+        source_hash = source_fingerprint(source)
+        reportable = path.resolve() in report_set
+        entry = cache.get(key)
+        summary: Optional[ModuleSummary] = None
+        if (
+            cache_full
+            and isinstance(entry, dict)
+            and entry.get("source_hash") == source_hash
+        ):
+            summary = cached_summary(entry, source_hash)
+            reused = summary is not None or entry.get("summary") is None
+        else:
+            reused = False
+        if reused:
+            findings = [
+                _finding_from_dict(data)
+                for data in entry.get("file_findings", [])
+            ]
+            count = int(entry.get("waiver_count", 0))
+            report.files_from_cache += 1
+        else:
+            findings, count, module = _lint_module(
+                source, str(path), file_rules, report.rule_seconds
+            )
+            if module is not None:
+                summary = extract_module(module, source_hash)
+            entry = {
+                "source_hash": source_hash,
+                "file_findings": [finding.to_dict() for finding in findings],
+                "waiver_count": count,
+                "summary": summary.to_dict() if summary is not None else None,
+            }
+        new_cache[key] = entry
+        if summary is not None:
+            summaries[summary.module] = summary
+            entry_by_module[summary.module] = entry
+            if reportable:
+                reported_modules.add(summary.module)
+        if reportable:
+            report.findings.extend(findings)
+            report.waivers += count
+            report.files_checked += 1
+
+    if project_rules and summaries:
+        index = ProjectIndex(summaries)
+        for module_key in sorted(reported_modules):
+            summary = summaries[module_key]
+            entry = entry_by_module[module_key]
+            dep_fp = index.dependency_fingerprint(module_key)
+            flow = entry.get("flow") if cache_full else None
+            if isinstance(flow, dict) and flow.get("dep_fp") == dep_fp:
+                flow_findings = [
+                    _finding_from_dict(data)
+                    for data in flow.get("findings", [])
+                ]
+            else:
+                report.flow_reanalyzed += 1
+                flow_findings = []
+                for rule in project_rules:
+                    if not rule.applies_to_summary(summary):
+                        continue
+                    start = clock()
+                    flow_findings.extend(rule.run_project(index, summary))
+                    report.rule_seconds[rule.rule_id] = (
+                        report.rule_seconds.get(rule.rule_id, 0.0)
+                        + clock()
+                        - start
+                    )
+                if cache_full:
+                    entry["flow"] = {
+                        "dep_fp": dep_fp,
+                        "findings": [
+                            finding.to_dict() for finding in flow_findings
+                        ],
+                    }
+            report.findings.extend(flow_findings)
+
+    if use_cache and cache_full:
+        merged = dict(cache)
+        merged.update(new_cache)
+        save_cache(cache_root, rules_fp, merged)
+
     report.findings.sort()
     return report
+
+
+def changed_scope(
+    project_paths: Sequence[pathlib.Path],
+    changed: Sequence[pathlib.Path],
+    *,
+    use_cache: bool = True,
+    cache_dir: Optional[pathlib.Path] = None,
+) -> List[pathlib.Path]:
+    """Changed files plus their transitive reverse importers.
+
+    Backs ``repro lint --changed``: the import graph built from (cached)
+    module summaries maps each changed file to every module that could
+    observe the change, so linting that expanded set is sound without
+    re-linting the whole tree. Changed paths outside ``project_paths``
+    are ignored; deleted files simply no longer appear.
+    """
+    files = iter_python_files(list(project_paths))
+    rules_fp = rules_fingerprint() if use_cache else ""
+    cache_root = pathlib.Path(cache_dir) if cache_dir is not None else pathlib.Path.cwd()
+    cache = load_cache(cache_root, rules_fp) if use_cache else {}
+    summaries: Dict[str, ModuleSummary] = {}
+    path_by_module: Dict[str, pathlib.Path] = {}
+    for path in files:
+        source = _read_source(path)
+        source_hash = source_fingerprint(source)
+        summary = cached_summary(cache.get(path.as_posix()), source_hash)
+        if summary is None:
+            module, _, _ = _parse_module(source, str(path))
+            if module is None:
+                continue
+            summary = extract_module(module, source_hash)
+        summaries[summary.module] = summary
+        path_by_module[summary.module] = path
+    index = ProjectIndex(summaries)
+    changed_resolved = {pathlib.Path(p).resolve() for p in changed}
+    changed_modules = [
+        module
+        for module, path in path_by_module.items()
+        if path.resolve() in changed_resolved
+    ]
+    scope = index.expand_changed(changed_modules)
+    scope.update(changed_modules)
+    return sorted(path_by_module[module] for module in scope)

@@ -9,8 +9,8 @@ Findings render either as classic compiler-style text lines
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import LintError
 
@@ -30,6 +30,7 @@ class Finding:
     col: int
     rule_id: str
     message: str
+    chain: Tuple[str, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         if not self.rule_id.startswith("RL"):
@@ -39,15 +40,26 @@ class Finding:
         """The compiler-style one-line form: ``file:line: RLxxx message``."""
         return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
 
+    def render_chain(self) -> str:
+        """The finding plus its ``file:line`` call-chain hops, indented."""
+        body = self.render()
+        if not self.chain:
+            return body
+        hops = "\n".join(f"    {hop}" for hop in self.chain)
+        return f"{body}\n{hops}"
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible form used by ``--format json``."""
-        return {
+        data: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
         }
+        if self.chain:
+            data["chain"] = list(self.chain)
+        return data
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -55,19 +67,26 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(finding.render() for finding in sorted(findings))
 
 
-def render_json(findings: Sequence[Finding], files_checked: int = 0) -> str:
-    """A JSON report: per-rule counts plus the full sorted finding list."""
+def render_json(
+    findings: Sequence[Finding],
+    files_checked: int = 0,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """A JSON report: per-rule counts plus the full sorted finding list.
+
+    ``meta`` (per-rule timings, cache statistics) is merged into the
+    top-level document when provided.
+    """
     counts: Dict[str, int] = {}
     ordered: List[Finding] = sorted(findings)
     for finding in ordered:
         counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
-    return json.dumps(
-        {
-            "files_checked": files_checked,
-            "total": len(ordered),
-            "counts": counts,
-            "findings": [finding.to_dict() for finding in ordered],
-        },
-        indent=2,
-        sort_keys=True,
-    )
+    document: Dict[str, object] = {
+        "files_checked": files_checked,
+        "total": len(ordered),
+        "counts": counts,
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    if meta:
+        document.update(meta)
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,384 @@
+"""Flow-aware rules (RL101–RL104) over the project-wide semantic index.
+
+Unlike the per-file rules in :mod:`repro.lint.rules`, these run in
+phase 2 against a :class:`~repro.lint.semantics.project.ProjectIndex`:
+the engine builds (or loads from cache) every module's summary, then
+calls :meth:`ProjectRule.run_project` once per reported module. They
+catch exactly the violations a per-file check cannot see — a wall-clock
+read laundered through a helper in another module, a dB value crossing
+a call boundary into a linear-typed parameter, a ``trial()`` whose
+commit lives on only some paths, or a worker payload that only *looks*
+picklable from the submitting file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import LintError
+from .findings import Finding
+from .rules import LintRule, register_rule
+from .semantics.model import (
+    ModuleSummary,
+    unit_of_identifier,
+    units_conflict,
+)
+from .semantics.project import SOURCE_EXEMPT_MODULES, ProjectIndex
+
+__all__ = [
+    "ProjectRule",
+    "TransitiveDeterminismRule",
+    "UnitFlowRule",
+    "EngineDisciplineRule",
+    "WorkerCaptureRule",
+]
+
+# Modules that own the trial/commit and compiled-array vocabulary; the
+# discipline RL103 enforces is *about* them, not *in* them.
+_ENGINE_MODULES = frozenset({"net/evaluator.py", "net/batch.py", "net/state.py"})
+_WRITE_ALLOWED_MODULES = frozenset({"net/state.py", "net/batch.py"})
+
+
+class ProjectRule(LintRule):
+    """A rule that needs the whole-project index, not a single file.
+
+    The engine calls :meth:`run_project` once per module in the
+    reporting set after phase 1 has summarised every module in scope;
+    per-file :meth:`run` is never invoked for these rules.
+    """
+
+    def run(self, module) -> Iterator[Finding]:
+        """Project rules have no per-file mode."""
+        raise LintError(
+            f"rule {type(self).__name__} is project-wide; "
+            "it cannot run on a single file"
+        )
+
+    def applies_to_summary(self, summary: ModuleSummary) -> bool:
+        """Whether this rule checks ``summary`` (exemptions/waivers)."""
+        return (
+            summary.module not in self.exempt_modules
+            and self.rule_id not in summary.waived
+        )
+
+    def run_project(
+        self, index: ProjectIndex, summary: ModuleSummary
+    ) -> Iterator[Finding]:
+        """Yield findings for one module; must be overridden."""
+        raise LintError(
+            f"rule {type(self).__name__} does not implement run_project()"
+        )
+
+
+# ----------------------------------------------------------------------
+# RL101 — transitive determinism taint
+
+
+class TransitiveDeterminismRule(ProjectRule):
+    """Flag functions that reach a clock/RNG source through calls."""
+
+    rule_id = "RL101"
+    title = "no transitive wall-clock/global-RNG reach through calls"
+    rationale = (
+        "RL001 catches a direct time.time() or np.random call, but a "
+        "helper that wraps one launders the ambient state past the "
+        "per-file check — any caller silently loses bit-identical "
+        "reproducibility. This rule closes the call graph over every "
+        "direct source (outside the approved repro.obs.clock and CLI/"
+        "executor seams) and flags each function whose chain reaches "
+        "one, carrying the shortest file:line chain for --explain."
+    )
+    exempt_modules = SOURCE_EXEMPT_MODULES
+
+    def run_project(
+        self, index: ProjectIndex, summary: ModuleSummary
+    ) -> Iterator[Finding]:
+        """Report transitively tainted functions (direct taint is RL001's)."""
+        for qual, func in summary.functions.items():
+            record = index.taint.get(f"{summary.module}::{qual}")
+            if record is None or record.depth < 2:
+                continue
+            hops = record.depth - 1
+            yield Finding(
+                path=summary.path,
+                line=func.line,
+                col=func.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"'{qual}' is transitively non-deterministic: it "
+                    f"reaches {record.detail} ({record.kind}) through "
+                    f"{hops} call hop(s); run repro lint --explain RL101 "
+                    "for the chain"
+                ),
+                chain=record.chain,
+            )
+
+
+# ----------------------------------------------------------------------
+# RL102 — unit flow across call boundaries
+
+
+class UnitFlowRule(ProjectRule):
+    """Flag dB/linear (and other unit-domain) mixes in and across calls."""
+
+    rule_id = "RL102"
+    title = "no unit-domain mismatches in arithmetic or across calls"
+    rationale = (
+        "RL002 bans inline conversion *formulas*; this rule tracks the "
+        "values themselves. Identifier conventions (*_dbm, *_db, *_mw, "
+        "*_mhz, ...) and the repro.units converter signatures give most "
+        "expressions a unit, so adding dBm to dBm (absolute powers do "
+        "not add in the log domain), mixing mW into dB arithmetic, or "
+        "passing a dB-typed argument to a linear-typed parameter in "
+        "another module are all statically visible bugs."
+    )
+    exempt_modules = frozenset({"units.py"})
+
+    def run_project(
+        self, index: ProjectIndex, summary: ModuleSummary
+    ) -> Iterator[Finding]:
+        """Report local arithmetic conflicts, then cross-call mismatches."""
+        for conflict in summary.unit_conflicts:
+            yield Finding(
+                path=summary.path,
+                line=conflict.line,
+                col=conflict.col,
+                rule_id=self.rule_id,
+                message=f"unit-domain conflict: {conflict.detail}",
+            )
+        for qual, func in summary.functions.items():
+            for site in func.calls:
+                if site.callee.startswith("@"):
+                    continue
+                targets = index.resolve_call(
+                    summary.module, qual, site.callee
+                )
+                if len(targets) != 1:
+                    continue
+                target = index.function(targets[0])
+                if target is None:
+                    continue
+                offset = (
+                    1
+                    if target.is_method
+                    and target.params
+                    and target.params[0] in ("self", "cls")
+                    else 0
+                )
+                for position, unit in enumerate(site.arg_units):
+                    if unit is None:
+                        continue
+                    param_index = position + offset
+                    if param_index >= len(target.params):
+                        break
+                    param = target.params[param_index]
+                    expected = unit_of_identifier(param)
+                    if expected is not None and units_conflict(unit, expected):
+                        yield Finding(
+                            path=summary.path,
+                            line=site.line,
+                            col=site.col,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"passes a {unit}-typed value to parameter "
+                                f"'{param}' ({expected}) of {target.qual}; "
+                                "convert via repro.units first"
+                            ),
+                        )
+                for name, unit in site.kw_units.items():
+                    if unit is None or name not in target.params:
+                        continue
+                    expected = unit_of_identifier(name)
+                    if expected is not None and units_conflict(unit, expected):
+                        yield Finding(
+                            path=summary.path,
+                            line=site.line,
+                            col=site.col,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"passes a {unit}-typed value to keyword "
+                                f"'{name}' ({expected}) of {target.qual}; "
+                                "convert via repro.units first"
+                            ),
+                        )
+
+
+# ----------------------------------------------------------------------
+# RL103 — engine mutation discipline
+
+
+class EngineDisciplineRule(ProjectRule):
+    """Trial calls must resolve on every path; no stray compiled writes."""
+
+    rule_id = "RL103"
+    title = "trial/commit pairing and compiled-array write discipline"
+    rationale = (
+        "The delta/compiled/batched engines stay bit-identical because "
+        "every trial() is resolved by a commit/rollback/reset before "
+        "control leaves the function, and because CompiledNetwork's "
+        "arrays are only mutated inside net/state.py, net/batch.py or "
+        "an apply_churn patch path. A trial left dangling on one early "
+        "return, or a direct array poke from allocator code, desyncs "
+        "the incremental caches the whole engine stack shares."
+    )
+
+    def run_project(
+        self, index: ProjectIndex, summary: ModuleSummary
+    ) -> Iterator[Finding]:
+        """Report dangling-trial paths and out-of-bounds array writes."""
+        if summary.module not in _ENGINE_MODULES:
+            for gap in summary.trial_gaps:
+                yield Finding(
+                    path=summary.path,
+                    line=gap.line,
+                    col=gap.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"'{gap.func}' calls {gap.detail}() on a path that "
+                        "reaches the function exit with no commit/rollback/"
+                        "reset; resolve the trial on every path"
+                    ),
+                )
+        if summary.module not in _WRITE_ALLOWED_MODULES:
+            for write in summary.compiled_writes:
+                if "apply_churn" in write.func:
+                    continue
+                yield Finding(
+                    path=summary.path,
+                    line=write.line,
+                    col=write.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"direct write to CompiledNetwork.{write.detail} "
+                        "outside net/state.py, net/batch.py or an "
+                        "apply_churn path; mutate through the engine's "
+                        "commit seam instead"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+# RL104 — worker-capture / cross-module picklability
+
+
+class WorkerCaptureRule(ProjectRule):
+    """Worker payloads and registry entries must pickle by reference."""
+
+    rule_id = "RL104"
+    title = "worker submissions and registrations must be picklable"
+    rationale = (
+        "RL005 rejects a lambda registered in the same file; this rule "
+        "resolves executor submit() arguments and registry entries "
+        "through the project symbol table, so a lambda smuggled in via "
+        "an import alias, or a factory call whose return value is a "
+        "closure, is caught before a spawn-context worker pool fails "
+        "to unpickle it mid-sweep."
+    )
+
+    def run_project(
+        self, index: ProjectIndex, summary: ModuleSummary
+    ) -> Iterator[Finding]:
+        """Check submit() payloads and registrations across modules."""
+        for qual, func in summary.functions.items():
+            for site in func.calls:
+                if "." not in site.callee:
+                    continue
+                if site.callee.split(".")[-1] != "submit":
+                    continue
+                if not site.arg_refs:
+                    continue
+                yield from self._check_ref(
+                    index,
+                    summary,
+                    site.line,
+                    site.col,
+                    site.arg_refs[0],
+                    f"'{qual}' submits",
+                )
+        for registration in summary.registrations:
+            yield from self._check_ref(
+                index,
+                summary,
+                registration.line,
+                0,
+                registration.arg_ref,
+                f"{registration.registry} registers",
+            )
+
+    def _check_ref(
+        self,
+        index: ProjectIndex,
+        summary: ModuleSummary,
+        line: int,
+        col: int,
+        ref,
+        context: str,
+    ) -> Iterator[Finding]:
+        """Findings for one submit argument / registration target."""
+        if ref == "lambda":
+            yield Finding(
+                path=summary.path,
+                line=line,
+                col=col,
+                rule_id=self.rule_id,
+                message=(
+                    f"{context} a lambda; worker processes unpickle "
+                    "callables by module-qualified name — use a "
+                    "module-level def"
+                ),
+            )
+            return
+        if not isinstance(ref, str):
+            return
+        if ref.startswith("call:"):
+            factory = ref[len("call:"):]
+            if factory.startswith("@"):
+                return
+            targets = index.resolve_call(summary.module, "", factory)
+            if len(targets) != 1:
+                return
+            target = index.function(targets[0])
+            if target is not None and target.returns_closure:
+                yield Finding(
+                    path=summary.path,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{context} the result of {target.qual}(), which "
+                        "returns a closure; closures cannot be pickled "
+                        "into worker processes — pass a module-level def"
+                    ),
+                )
+            return
+        if ref.startswith("name:") or ref.startswith("attr:"):
+            dotted = ref.split(":", 1)[1]
+            parts = dotted.split(".")
+            resolved = index.resolve_name(summary.module, parts[0])
+            for part in parts[1:]:
+                if resolved is None or resolved[0] != "module":
+                    resolved = None
+                    break
+                resolved = index.resolve_name(resolved[1], part)
+            if resolved is None or resolved[0] != "value":
+                return
+            kind, module, name = resolved
+            entry = index.summaries[module].symbols.get(name, {})
+            if entry.get("kind") == "lambda":
+                yield Finding(
+                    path=summary.path,
+                    line=line,
+                    col=col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{context} {dotted!r}, which resolves to a "
+                        f"module-level lambda in {module}; lambdas cannot "
+                        "be pickled by reference — use a def"
+                    ),
+                )
+
+
+register_rule(TransitiveDeterminismRule())
+register_rule(UnitFlowRule())
+register_rule(EngineDisciplineRule())
+register_rule(WorkerCaptureRule())

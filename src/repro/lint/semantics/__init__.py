@@ -1,0 +1,53 @@
+"""Project-wide semantic analysis layer for reprolint (phase 1 + 2).
+
+Phase 1 (:mod:`~repro.lint.semantics.extract`) distils every module
+into a cacheable :class:`~repro.lint.semantics.model.ModuleSummary`;
+phase 2 (:mod:`~repro.lint.semantics.project`) resolves them into a
+project-wide :class:`~repro.lint.semantics.project.ProjectIndex` — the
+call graph, import graph and determinism-taint closure the RL101–RL104
+flow rules consume. :mod:`~repro.lint.semantics.cache` persists both
+phases to ``.reprolint-cache.json`` for warm incremental runs.
+"""
+
+from __future__ import annotations
+
+from .cache import (
+    CACHE_FILENAME,
+    load_cache,
+    rules_fingerprint,
+    save_cache,
+    source_fingerprint,
+)
+from .extract import dotted_name, extract_module
+from .model import (
+    CallSite,
+    ClassInfo,
+    FunctionSummary,
+    IntraFinding,
+    ModuleSummary,
+    Registration,
+    unit_of_identifier,
+    units_conflict,
+)
+from .project import SOURCE_EXEMPT_MODULES, ProjectIndex, TaintRecord
+
+__all__ = [
+    "CACHE_FILENAME",
+    "CallSite",
+    "ClassInfo",
+    "FunctionSummary",
+    "IntraFinding",
+    "ModuleSummary",
+    "ProjectIndex",
+    "Registration",
+    "SOURCE_EXEMPT_MODULES",
+    "TaintRecord",
+    "dotted_name",
+    "extract_module",
+    "load_cache",
+    "rules_fingerprint",
+    "save_cache",
+    "source_fingerprint",
+    "unit_of_identifier",
+    "units_conflict",
+]

@@ -1,0 +1,116 @@
+"""On-disk incremental cache for the semantic layer.
+
+``.reprolint-cache.json`` stores, per module: the source content hash,
+the phase-1 :class:`~repro.lint.semantics.model.ModuleSummary` (so a
+warm run skips parsing and extraction for unchanged files), and the
+phase-2 flow findings keyed by a *dependency fingerprint* — a hash of
+the module's own and every transitive import dependency's content hash.
+Editing a leaf module therefore invalidates exactly that module plus
+its reverse dependencies; everything else replays from cache.
+
+The whole file is additionally keyed on a fingerprint of the lint
+package's own sources (``rules_fp``): upgrading any rule or the
+extractor silently discards the cache. A corrupt, truncated, stale or
+version-mismatched cache is treated as absent — lint output must never
+depend on cache health, only its speed may.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Dict, Optional
+
+from .model import ModuleSummary
+
+__all__ = [
+    "CACHE_FILENAME",
+    "CACHE_VERSION",
+    "source_fingerprint",
+    "rules_fingerprint",
+    "load_cache",
+    "save_cache",
+    "cached_summary",
+]
+
+CACHE_FILENAME = ".reprolint-cache.json"
+CACHE_VERSION = 1
+
+
+def source_fingerprint(source: str) -> str:
+    """Content hash of one module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_fingerprint() -> str:
+    """Hash of the lint package's own sources (rules + semantics).
+
+    Any change to a rule, the extractor or the cache format itself must
+    invalidate every cached summary and finding.
+    """
+    package_dir = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+    return digest.hexdigest()
+
+
+def load_cache(cache_dir: pathlib.Path, rules_fp: str) -> Dict[str, dict]:
+    """The per-module cache map, or ``{}`` on any problem (silent).
+
+    A missing file, malformed JSON, wrong version or a rules-module
+    fingerprint mismatch all yield an empty cache — the caller falls
+    back to a full cold analysis.
+    """
+    path = pathlib.Path(cache_dir) / CACHE_FILENAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    if data.get("version") != CACHE_VERSION or data.get("rules_fp") != rules_fp:
+        return {}
+    modules = data.get("modules")
+    return modules if isinstance(modules, dict) else {}
+
+
+def save_cache(
+    cache_dir: pathlib.Path, rules_fp: str, modules: Dict[str, dict]
+) -> None:
+    """Persist the per-module cache map; IO failures are non-fatal."""
+    path = pathlib.Path(cache_dir) / CACHE_FILENAME
+    payload = {
+        "version": CACHE_VERSION,
+        "rules_fp": rules_fp,
+        "modules": modules,
+    }
+    try:
+        path.write_text(json.dumps(payload), encoding="utf-8")
+    except OSError:
+        # Read-only checkout or race: the cache is an optimisation only.
+        return
+
+
+def cached_summary(
+    entry: Optional[dict], source_hash: str
+) -> Optional[ModuleSummary]:
+    """Rebuild a cached phase-1 summary if its content hash matches."""
+    if not isinstance(entry, dict):
+        return None
+    if entry.get("source_hash") != source_hash:
+        return None
+    summary = entry.get("summary")
+    if not isinstance(summary, dict):
+        return None
+    try:
+        return ModuleSummary.from_dict(summary)
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None

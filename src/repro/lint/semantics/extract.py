@@ -1,0 +1,942 @@
+"""Per-module semantic extraction (phase 1 of the two-phase analysis).
+
+:func:`extract_module` distils one parsed module into a
+:class:`~repro.lint.semantics.model.ModuleSummary`: the module-level
+symbol table and import aliases, every class with its methods and base
+names, and a :class:`~repro.lint.semantics.model.FunctionSummary` per
+function — call sites (with inferred argument units and argument
+shapes), direct determinism-taint sources (wall clocks, global RNG),
+return-unit and closure-return facts.
+
+Three intra-procedural analyses also run here so their results land in
+the cacheable summary instead of re-running on warm starts:
+
+* a statement-level CFG check that every ``trial*`` engine call is
+  followed by a ``commit*``/``rollback``/``reset`` on all paths to the
+  function exit (RL103's path discipline; ``try/except`` edges are
+  modelled, ``finally`` is approximated as a normal successor block);
+* direct writes to compiled-core arrays (``snr20_db``, ``has_link``,
+  ...) recorded for RL103's mutation-discipline check;
+* unit-domain conflicts in local ``+``/``-`` arithmetic (dB plus mW,
+  dBm plus dBm) for RL102.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..context import ModuleContext
+from .model import (
+    CONVERTER_RETURNS,
+    CallSite,
+    ClassInfo,
+    FunctionSummary,
+    IntraFinding,
+    ModuleSummary,
+    Registration,
+    unit_domain,
+    unit_of_identifier,
+    units_conflict,
+)
+
+__all__ = [
+    "extract_module",
+    "dotted_name",
+    "COMPILED_ARRAY_ATTRS",
+    "TRIAL_METHODS",
+    "RESOLVE_METHODS",
+    "REGISTRY_NAMES",
+    "REGISTRAR_TO_REGISTRY",
+]
+
+# Compiled-core array attributes whose direct mutation outside the
+# engine modules breaks the incremental-recompilation contract.
+COMPILED_ARRAY_ATTRS = frozenset(
+    {
+        "snr20_db",
+        "snr40_db",
+        "has_link",
+        "neighbor_lists",
+        "channel_assignment",
+        "rate_tables",
+        "delay_tables",
+    }
+)
+
+# Evaluator method-name conventions (receiver types are not resolved;
+# the trial/commit vocabulary is unique to the engine stack).
+TRIAL_METHODS = frozenset({"trial", "trial_index", "trial_move"})
+RESOLVE_METHODS = frozenset(
+    {"commit", "commit_index", "commit_move", "rollback", "reset"}
+)
+
+REGISTRY_NAMES = frozenset({"ALGORITHMS", "SCENARIOS", "RULES"})
+REGISTRAR_TO_REGISTRY = {
+    "register_algorithm": "ALGORITHMS",
+    "register_scenario": "SCENARIOS",
+    "register_rule": "RULES",
+}
+
+# Monotonic clocks are deterministic-safe only behind repro.obs.clock;
+# wall clocks never are. Mirrors RL001's vocabulary so a source RL001
+# cannot see (because its module is exempt) still taints callers.
+_WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
+_MONO_CLOCK_ATTRS = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+)
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def dotted_name(module_rel: str) -> str:
+    """Dotted module name from a package-relative path.
+
+    ``"core/allocation.py"`` → ``"repro.core.allocation"``;
+    ``"net/__init__.py"`` → ``"repro.net"``; a bare filename outside a
+    ``repro`` package reduces to its stem.
+    """
+    if "/" not in module_rel and module_rel == "__init__.py":
+        return "repro"
+    trimmed = module_rel[:-3] if module_rel.endswith(".py") else module_rel
+    if trimmed.endswith("/__init__"):
+        trimmed = trimmed[: -len("/__init__")]
+    dotted = trimmed.replace("/", ".")
+    # Files that module_path() could anchor to a repro package carry the
+    # package prefix; loose fixture files keep their bare stem.
+    if module_rel == module_rel.split("/")[-1] and "/" not in module_rel:
+        # Single component: "units.py" inside the package vs. a loose
+        # fixture are indistinguishable here; both resolve fine because
+        # the index keys modules by their package-relative path too.
+        return f"repro.{dotted}" if module_rel.endswith(".py") else dotted
+    return f"repro.{dotted}"
+
+
+def _dotted_expr(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _callee_repr(func: ast.AST) -> str:
+    """Encode a call target: dotted chain, registry marker, or dynamic."""
+    dotted = _dotted_expr(func)
+    if dotted is not None:
+        return dotted
+    if isinstance(func, ast.Subscript):
+        base = _dotted_expr(func.value)
+        if base is not None:
+            tail = base.split(".")[-1]
+            if tail in REGISTRY_NAMES or tail.isupper():
+                return f"@registry:{tail}"
+    return "@dynamic"
+
+
+def _arg_ref(node: ast.AST) -> Optional[str]:
+    """How an argument expression is formed, for capture analysis."""
+    if isinstance(node, ast.Lambda):
+        return "lambda"
+    if isinstance(node, ast.Name):
+        return f"name:{node.id}"
+    dotted = _dotted_expr(node)
+    if dotted is not None and "." in dotted:
+        return f"attr:{dotted}"
+    if isinstance(node, ast.Call):
+        return f"call:{_callee_repr(node.func)}"
+    if isinstance(node, ast.Constant):
+        return "const"
+    return None
+
+
+def _infer_unit(node: ast.AST) -> Optional[str]:
+    """Best-effort unit of an expression from naming conventions.
+
+    Names and attribute tails carry their suffix unit; calls carry the
+    callee's conventional return unit (``repro.units`` converters or a
+    unit-suffixed function name); ``a - b`` of two absolute ``dbm``
+    powers yields a ``db`` ratio; unary minus is transparent.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _infer_unit(node.operand)
+    if isinstance(node, ast.Name):
+        return unit_of_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_identifier(node.attr)
+    if isinstance(node, ast.Call):
+        tail = None
+        dotted = _dotted_expr(node.func)
+        if dotted is not None:
+            tail = dotted.split(".")[-1]
+        if tail is not None:
+            if tail in CONVERTER_RETURNS:
+                return CONVERTER_RETURNS[tail]
+            return unit_of_identifier(tail)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = _infer_unit(node.left)
+        right = _infer_unit(node.right)
+        if left == "dbm" and right == "dbm" and isinstance(node.op, ast.Sub):
+            return "db"
+        if left is not None and right is None:
+            return left
+        if right is not None and left is None:
+            return right
+        if left == right:
+            return left
+        if {left, right} == {"db", "dbm"}:
+            return "dbm"
+    return None
+
+
+class _AliasTable:
+    """Module import aliases relevant to taint detection."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.numpy: Set[str] = set()
+        self.np_random: Set[str] = set()
+        self.stdlib_random: Set[str] = set()
+        self.time: Set[str] = set()
+        self.clock_names: Set[str] = set()  # from time import perf_counter, ...
+        self.wall_names: Set[str] = set()  # from time import time, time_ns
+        self.random_names: Set[str] = set()  # from random import shuffle, ...
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    root = alias.name.split(".")[0]
+                    if root == "numpy":
+                        self.numpy.add(bound)
+                    elif alias.name == "random":
+                        self.stdlib_random.add(bound)
+                    elif alias.name == "time":
+                        self.time.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random.add(alias.asname or alias.name)
+                elif node.module == "time":
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        if alias.name in _WALL_CLOCK_ATTRS:
+                            self.wall_names.add(bound)
+                        elif alias.name in _MONO_CLOCK_ATTRS:
+                            self.clock_names.add(bound)
+                elif node.module == "random":
+                    for alias in node.names:
+                        self.random_names.add(alias.asname or alias.name)
+
+
+def _taint_of_call(node: ast.Call, aliases: _AliasTable) -> Optional[dict]:
+    """A taint record if this call reads ambient time or global RNG."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in aliases.wall_names:
+            return {
+                "kind": "wall-clock",
+                "detail": f"{func.id}()",
+                "line": node.lineno,
+            }
+        if func.id in aliases.clock_names:
+            return {
+                "kind": "monotonic-clock",
+                "detail": f"{func.id}()",
+                "line": node.lineno,
+            }
+        if func.id in aliases.random_names:
+            return {
+                "kind": "global-rng",
+                "detail": f"{func.id}()",
+                "line": node.lineno,
+            }
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name):
+        if base.id in aliases.time and func.attr in _WALL_CLOCK_ATTRS:
+            return {
+                "kind": "wall-clock",
+                "detail": f"time.{func.attr}()",
+                "line": node.lineno,
+            }
+        if base.id in aliases.time and func.attr in _MONO_CLOCK_ATTRS:
+            return {
+                "kind": "monotonic-clock",
+                "detail": f"time.{func.attr}()",
+                "line": node.lineno,
+            }
+        if base.id in aliases.stdlib_random:
+            return {
+                "kind": "global-rng",
+                "detail": f"random.{func.attr}()",
+                "line": node.lineno,
+            }
+        if (
+            base.id in aliases.np_random
+            and func.attr not in _ALLOWED_NP_RANDOM
+        ):
+            return {
+                "kind": "global-rng",
+                "detail": f"np.random.{func.attr}()",
+                "line": node.lineno,
+            }
+    if (
+        isinstance(base, ast.Attribute)
+        and base.attr == "random"
+        and isinstance(base.value, ast.Name)
+        and base.value.id in aliases.numpy
+        and func.attr not in _ALLOWED_NP_RANDOM
+    ):
+        return {
+            "kind": "global-rng",
+            "detail": f"np.random.{func.attr}()",
+            "line": node.lineno,
+        }
+    tail = func.attr
+    if tail in _DATETIME_ATTRS:
+        base_tail = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if base_tail in ("datetime", "date"):
+            return {
+                "kind": "wall-clock",
+                "detail": f"{base_tail}.{tail}()",
+                "line": node.lineno,
+            }
+    return None
+
+
+def _iter_expr_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes in source order, not descending into def/lambda bodies."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(child, ast.Call):
+            # Arguments evaluate before the call fires.
+            for sub in ast.iter_child_nodes(child):
+                yield from _iter_expr_calls_from(sub)
+            yield child
+        else:
+            yield from _iter_expr_calls(child)
+
+
+def _iter_expr_calls_from(node: ast.AST) -> Iterator[ast.Call]:
+    """Like :func:`_iter_expr_calls` but includes ``node`` itself."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    if isinstance(node, ast.Call):
+        for sub in ast.iter_child_nodes(node):
+            yield from _iter_expr_calls_from(sub)
+        yield node
+    else:
+        yield from _iter_expr_calls(node)
+
+
+# ----------------------------------------------------------------------
+# Statement-level CFG for the trial/commit path check
+
+
+class _Node:
+    """One CFG node: the engine events a statement performs, in order."""
+
+    __slots__ = ("events", "succs")
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, str, int, int]] = []  # kind, attr, ln, col
+        self.succs: Set[int] = set()
+
+
+_EXIT = 0  # node id 0 is the synthetic function exit
+
+
+class _CFG:
+    """A tiny intra-procedural CFG over statement lists.
+
+    Good enough for path questions of the form "does a resolve event
+    stand between this trial call and every function exit": ``if``/
+    ``for``/``while``/``with``/``try`` are modelled (each ``try`` body
+    statement may jump to every handler), ``finally`` bodies run as
+    normal successors, and ``return``/``raise`` exit (``raise`` inside
+    a ``try`` reaches the handlers first).
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[_Node] = [_Node()]  # [0] = EXIT
+
+    def new(self) -> int:
+        """Allocate a node, returning its id."""
+        self.nodes.append(_Node())
+        return len(self.nodes) - 1
+
+    def link(self, src: int, dst: int) -> None:
+        """Add the edge src → dst."""
+        self.nodes[src].succs.add(dst)
+
+
+def _stmt_events(cfg: _CFG, node_id: int, stmt: ast.AST) -> None:
+    """Record trial/resolve engine calls a statement performs, in order."""
+    for call in _iter_expr_calls(stmt):
+        if not isinstance(call.func, ast.Attribute):
+            continue
+        attr = call.func.attr
+        if attr in TRIAL_METHODS:
+            cfg.nodes[node_id].events.append(
+                ("trial", attr, call.lineno, call.col_offset)
+            )
+        elif attr in RESOLVE_METHODS:
+            cfg.nodes[node_id].events.append(
+                ("resolve", attr, call.lineno, call.col_offset)
+            )
+
+
+def _build_block(
+    cfg: _CFG,
+    stmts: Sequence[ast.stmt],
+    breaks: Optional[List[int]],
+    continues: Optional[List[int]],
+    handlers: Sequence[int],
+) -> Tuple[Optional[int], List[int]]:
+    """Wire a statement list; returns (entry id, dangling exit ids)."""
+    entry: Optional[int] = None
+    dangling: List[int] = []
+
+    def attach(node: int) -> None:
+        nonlocal entry, dangling
+        if entry is None:
+            entry = node
+        for prev in dangling:
+            cfg.link(prev, node)
+        dangling = []
+
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = cfg.new()
+            _stmt_events(cfg, node, stmt)
+            attach(node)
+            if isinstance(stmt, ast.Raise):
+                for handler in handlers:
+                    cfg.link(node, handler)
+            cfg.link(node, _EXIT)
+            dangling = []
+        elif isinstance(stmt, ast.Break):
+            node = cfg.new()
+            attach(node)
+            if breaks is not None:
+                breaks.append(node)
+            else:
+                cfg.link(node, _EXIT)
+            dangling = []
+        elif isinstance(stmt, ast.Continue):
+            node = cfg.new()
+            attach(node)
+            if continues is not None:
+                continues.append(node)
+            else:
+                cfg.link(node, _EXIT)
+            dangling = []
+        elif isinstance(stmt, ast.If):
+            head = cfg.new()
+            _stmt_events(cfg, head, stmt.test)
+            attach(head)
+            body_entry, body_exits = _build_block(
+                cfg, stmt.body, breaks, continues, handlers
+            )
+            if body_entry is not None:
+                cfg.link(head, body_entry)
+                dangling.extend(body_exits)
+            else:
+                dangling.append(head)
+            if stmt.orelse:
+                else_entry, else_exits = _build_block(
+                    cfg, stmt.orelse, breaks, continues, handlers
+                )
+                if else_entry is not None:
+                    cfg.link(head, else_entry)
+                    dangling.extend(else_exits)
+                else:
+                    dangling.append(head)
+            else:
+                dangling.append(head)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = cfg.new()
+            test = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            _stmt_events(cfg, head, test)
+            attach(head)
+            loop_breaks: List[int] = []
+            loop_continues: List[int] = []
+            body_entry, body_exits = _build_block(
+                cfg, stmt.body, loop_breaks, loop_continues, handlers
+            )
+            if body_entry is not None:
+                cfg.link(head, body_entry)
+            for node in body_exits + loop_continues:
+                cfg.link(node, head)
+            dangling = list(loop_breaks)
+            if stmt.orelse:
+                else_entry, else_exits = _build_block(
+                    cfg, stmt.orelse, breaks, continues, handlers
+                )
+                if else_entry is not None:
+                    cfg.link(head, else_entry)
+                    dangling.extend(else_exits)
+                else:
+                    dangling.append(head)
+            else:
+                dangling.append(head)
+        elif isinstance(stmt, ast.Try):
+            handler_entries: List[int] = []
+            handler_exits: List[int] = []
+            for handler in stmt.handlers:
+                h_entry, h_exits = _build_block(
+                    cfg, handler.body, breaks, continues, handlers
+                )
+                if h_entry is None:
+                    h_entry = cfg.new()
+                    h_exits = [h_entry]
+                handler_entries.append(h_entry)
+                handler_exits.extend(h_exits)
+            body_entry, body_exits = _build_block(
+                cfg, stmt.body, breaks, continues, list(handlers) + handler_entries
+            )
+            if body_entry is not None:
+                attach(body_entry)
+                # Any statement in the body may raise into a handler.
+                for node_id in range(body_entry, len(cfg.nodes)):
+                    node = cfg.nodes[node_id]
+                    if node_id in handler_entries:
+                        break
+                    for h_entry in handler_entries:
+                        node.succs.add(h_entry)
+                dangling = list(body_exits)
+            else:
+                for h_entry in handler_entries:
+                    dangling.append(h_entry) if False else None
+            tail: List[ast.stmt] = list(stmt.orelse) + list(stmt.finalbody)
+            after_exits = dangling + handler_exits
+            dangling = after_exits
+            if tail:
+                tail_entry, tail_exits = _build_block(
+                    cfg, tail, breaks, continues, handlers
+                )
+                if tail_entry is not None:
+                    for prev in dangling:
+                        cfg.link(prev, tail_entry)
+                    dangling = tail_exits
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = cfg.new()
+            for item in stmt.items:
+                _stmt_events(cfg, head, item.context_expr)
+            attach(head)
+            body_entry, body_exits = _build_block(
+                cfg, stmt.body, breaks, continues, handlers
+            )
+            if body_entry is not None:
+                cfg.link(head, body_entry)
+                dangling = body_exits
+            else:
+                dangling = [head]
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            node = cfg.new()  # nested defs execute later, not here
+            attach(node)
+            dangling = [node]
+        else:
+            node = cfg.new()
+            _stmt_events(cfg, node, stmt)
+            attach(node)
+            dangling = [node]
+    return entry, dangling
+
+
+def _trial_gaps(func: ast.AST, qual: str) -> List[IntraFinding]:
+    """Trial calls from which a resolve-free path reaches the exit."""
+    cfg = _CFG()
+    entry, dangling = _build_block(cfg, func.body, None, None, ())
+    for node in dangling:
+        cfg.link(node, _EXIT)
+    if entry is None:
+        return []
+    gaps: List[IntraFinding] = []
+    for node_id, node in enumerate(cfg.nodes):
+        if node_id == _EXIT:
+            continue
+        for position, (kind, attr, line, col) in enumerate(node.events):
+            if kind != "trial":
+                continue
+            resolved_locally = any(
+                later[0] == "resolve" for later in node.events[position + 1:]
+            )
+            if resolved_locally:
+                continue
+            if _clean_exit_reachable(cfg, node_id):
+                gaps.append(
+                    IntraFinding(line=line, col=col, detail=attr, func=qual)
+                )
+    return gaps
+
+
+def _clean_exit_reachable(cfg: _CFG, start: int) -> bool:
+    """Whether EXIT is reachable from ``start`` avoiding resolve nodes."""
+    stack = [succ for succ in cfg.nodes[start].succs]
+    seen: Set[int] = set()
+    while stack:
+        node_id = stack.pop()
+        if node_id in seen:
+            continue
+        seen.add(node_id)
+        if node_id == _EXIT:
+            return True
+        node = cfg.nodes[node_id]
+        if any(kind == "resolve" for kind, _, _, _ in node.events):
+            continue
+        stack.extend(node.succs)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Module-level extraction
+
+
+def _relative_package(dotted: str, module_rel: str, level: int) -> str:
+    """The package a level-``level`` relative import resolves against."""
+    parts = dotted.split(".")
+    if not module_rel.endswith("__init__.py"):
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[: len(parts) - drop] if drop < len(parts) else parts[:1]
+    return ".".join(parts)
+
+
+def _collect_imports(
+    tree: ast.Module, dotted: str, module_rel: str
+) -> Tuple[Dict[str, dict], List[str]]:
+    """(symbol aliases, candidate internal dep modules) from imports."""
+    symbols: Dict[str, dict] = {}
+    deps: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                symbols[bound] = {"kind": "alias", "target": target}
+                if alias.name.split(".")[0] == "repro":
+                    deps.append(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _relative_package(dotted, module_rel, node.level)
+                source = f"{base}.{node.module}" if node.module else base
+            else:
+                source = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                symbols[bound] = {
+                    "kind": "alias",
+                    "target": f"{source}:{alias.name}",
+                }
+                if source.split(".")[0] == "repro":
+                    deps.append(source)
+                    deps.append(f"{source}.{alias.name}")
+    return symbols, deps
+
+
+def _returns_closure(func: ast.AST) -> bool:
+    """Whether the function returns a nested def or a lambda."""
+    nested = {
+        n.name
+        for n in ast.walk(func)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)) and n is not func
+    }
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Lambda):
+                return True
+            if isinstance(value, ast.Name) and value.id in nested:
+                return True
+    return False
+
+
+def _returns_unit(func: ast.AST) -> Optional[str]:
+    """The function's conventional return unit, if inferable."""
+    name_unit = unit_of_identifier(func.name)
+    if name_unit is not None:
+        return name_unit
+    units: Set[Optional[str]] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            units.add(_infer_unit(node.value))
+    if len(units) == 1:
+        (unit,) = units
+        return unit
+    return None
+
+
+def _function_summary(
+    func: ast.AST, qual: str, aliases: _AliasTable, is_method: bool
+) -> FunctionSummary:
+    """Build the summary for one function (including nested-def bodies)."""
+    params = [arg.arg for arg in func.args.posonlyargs + func.args.args]
+    summary = FunctionSummary(
+        name=func.name,
+        qual=qual,
+        line=func.lineno,
+        col=func.col_offset,
+        params=params,
+        is_method=is_method,
+        returns_unit=_returns_unit(func),
+        returns_closure=_returns_closure(func),
+    )
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        taint = _taint_of_call(node, aliases)
+        if taint is not None:
+            summary.taints.append(taint)
+        summary.calls.append(
+            CallSite(
+                callee=_callee_repr(node.func),
+                line=node.lineno,
+                col=node.col_offset,
+                arg_units=[_infer_unit(arg) for arg in node.args],
+                kw_units={
+                    kw.arg: _infer_unit(kw.value)
+                    for kw in node.keywords
+                    if kw.arg is not None
+                },
+                arg_refs=[_arg_ref(arg) for arg in node.args],
+            )
+        )
+    return summary
+
+
+def _unit_conflicts(tree: ast.Module) -> List[IntraFinding]:
+    """Local ``+``/``-`` expressions mixing incompatible unit domains."""
+    conflicts: List[IntraFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.BinOp) or not isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            continue
+        left = _infer_unit(node.left)
+        right = _infer_unit(node.right)
+        if left is None or right is None:
+            continue
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        if left == "dbm" and right == "dbm" and op == "+":
+            conflicts.append(
+                IntraFinding(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    detail=(
+                        "dbm + dbm adds absolute powers in the log domain; "
+                        "use repro.units.add_powers_dbm"
+                    ),
+                )
+            )
+            continue
+        if left != right and units_conflict(left, right) and units_conflict(
+            right, left
+        ):
+            conflicts.append(
+                IntraFinding(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    detail=(
+                        f"{left} {op} {right} mixes incompatible unit "
+                        f"domains ({unit_domain(left)} vs {unit_domain(right)})"
+                    ),
+                )
+            )
+    return conflicts
+
+
+def _compiled_writes(tree: ast.Module) -> List[IntraFinding]:
+    """Assignments into compiled-core arrays, with enclosing function."""
+    writes: List[IntraFinding] = []
+
+    def scan(node: ast.AST, func_qual: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_qual = func_qual
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_qual = (
+                    f"{func_qual}.{child.name}" if func_qual else child.name
+                )
+            elif isinstance(child, ast.ClassDef):
+                child_qual = (
+                    f"{func_qual}.{child.name}" if func_qual else child.name
+                )
+            if isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    attr = _write_target_attr(target)
+                    if attr is not None:
+                        writes.append(
+                            IntraFinding(
+                                line=child.lineno,
+                                col=child.col_offset,
+                                detail=attr,
+                                func=func_qual,
+                            )
+                        )
+            scan(child, child_qual)
+
+    scan(tree, "")
+    return writes
+
+
+def _write_target_attr(target: ast.AST) -> Optional[str]:
+    """The compiled-array attribute a write targets, if any.
+
+    Writes to a bare ``self.<attr>`` are a class mutating its own
+    state (the facade ``Network`` shares attribute names with
+    ``CompiledNetwork``); only writes through a reference —
+    ``compiled.snr20_db[...]``, ``self._compiled.has_link[...]`` —
+    count as external pokes at the compiled core.
+    """
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if not isinstance(target, ast.Attribute):
+        return None
+    if target.attr not in COMPILED_ARRAY_ATTRS:
+        return None
+    base = target.value
+    if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+        return None
+    return target.attr
+
+
+def extract_module(
+    module: ModuleContext, source_hash: str = ""
+) -> ModuleSummary:
+    """Distil one parsed module into its cacheable semantic summary."""
+    tree = module.tree
+    dotted = dotted_name(module.module)
+    aliases = _AliasTable(tree)
+    import_symbols, dep_candidates = _collect_imports(
+        tree, dotted, module.module
+    )
+    summary = ModuleSummary(
+        module=module.module,
+        path=module.path,
+        dotted=dotted,
+        source_hash=source_hash,
+        waived=sorted(module.waived),
+        dep_modules=sorted(set(dep_candidates)),
+        symbols=dict(import_symbols),
+    )
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.symbols[stmt.name] = {"kind": "def"}
+            summary.functions[stmt.name] = _function_summary(
+                stmt, stmt.name, aliases, is_method=False
+            )
+            summary.trial_gaps.extend(_trial_gaps(stmt, stmt.name))
+        elif isinstance(stmt, ast.ClassDef):
+            summary.symbols[stmt.name] = {"kind": "class"}
+            bases = [
+                base for base in (_dotted_expr(b) for b in stmt.bases) if base
+            ]
+            info = ClassInfo(name=stmt.name, line=stmt.lineno, bases=bases)
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods.append(item.name)
+                    qual = f"{stmt.name}.{item.name}"
+                    summary.functions[qual] = _function_summary(
+                        item, qual, aliases, is_method=True
+                    )
+                    summary.trial_gaps.extend(_trial_gaps(item, qual))
+            summary.classes[stmt.name] = info
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    kind = (
+                        "lambda"
+                        if isinstance(stmt.value, ast.Lambda)
+                        else "assign"
+                    )
+                    summary.symbols.setdefault(target.id, {"kind": kind})
+            if isinstance(stmt.value, ast.Dict):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in REGISTRY_NAMES
+                    ):
+                        for key, value in zip(
+                            stmt.value.keys, stmt.value.values
+                        ):
+                            summary.registrations.append(
+                                Registration(
+                                    registry=target.id,
+                                    line=value.lineno,
+                                    name_const=(
+                                        key.value
+                                        if isinstance(key, ast.Constant)
+                                        and isinstance(key.value, str)
+                                        else None
+                                    ),
+                                    arg_ref=_arg_ref(value),
+                                )
+                            )
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            summary.symbols.setdefault(stmt.target.id, {"kind": "assign"})
+
+    # register_*() calls anywhere in the module (top level or not; RL005
+    # already polices placement — the semantic layer just records edges).
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        tail = _dotted_expr(node.func)
+        tail = tail.split(".")[-1] if tail else ""
+        registry = REGISTRAR_TO_REGISTRY.get(tail)
+        if registry is None or len(node.args) < 2:
+            continue
+        name_node = node.args[0]
+        summary.registrations.append(
+            Registration(
+                registry=registry,
+                line=node.lineno,
+                name_const=(
+                    name_node.value
+                    if isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)
+                    else None
+                ),
+                arg_ref=_arg_ref(node.args[1]),
+            )
+        )
+
+    summary.unit_conflicts = _unit_conflicts(tree)
+    summary.compiled_writes = _compiled_writes(tree)
+    return summary

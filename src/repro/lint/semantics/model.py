@@ -1,0 +1,387 @@
+"""Data model for the reprolint semantic layer.
+
+Phase 1 of the two-phase analysis distils every module into a
+:class:`ModuleSummary` — symbol table, internal import dependencies,
+per-function :class:`FunctionSummary` records (call sites, determinism
+taint sources, unit facts) and the intra-procedural findings that the
+flow rules later filter by module (trial/commit gaps, compiled-array
+writes, unit-domain conflicts). Summaries are plain-data and round-trip
+through JSON dicts, which is what makes the on-disk incremental cache
+(:mod:`repro.lint.semantics.cache`) possible: a warm run rebuilds the
+whole-project index from cached summaries without re-parsing a single
+unchanged file.
+
+Unit vocabulary: identifiers ending in ``_db``/``_dbm`` carry
+log-domain power units, ``_mw``/``_watts``/``_linear`` linear-domain
+power, ``_hz``/``_mhz`` frequency and ``_mbps``/``_bps`` data rate —
+the same conventions :mod:`repro.units` encodes in its converter names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CallSite",
+    "FunctionSummary",
+    "ClassInfo",
+    "Registration",
+    "IntraFinding",
+    "ModuleSummary",
+    "unit_of_identifier",
+    "unit_domain",
+    "units_conflict",
+    "UNIT_SUFFIXES",
+    "CONVERTER_RETURNS",
+]
+
+# Identifier suffix → unit tag. Longest suffixes first so ``_dbm``
+# wins over ``_db`` and ``_mbps`` over ``_bps``.
+UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_dbm", "dbm"),
+    ("_db", "db"),
+    ("_mw", "mw"),
+    ("_watts", "watts"),
+    ("_linear", "linear"),
+    ("_mhz", "mhz"),
+    ("_hz", "hz"),
+    ("_mbps", "mbps"),
+    ("_bps", "bps"),
+)
+
+# Return units of the repro.units converter surface (and any function
+# whose name ends in a unit suffix, handled by unit_of_identifier).
+CONVERTER_RETURNS: Dict[str, str] = {
+    "dbm_to_mw": "mw",
+    "mw_to_dbm": "dbm",
+    "dbm_to_watts": "watts",
+    "watts_to_dbm": "dbm",
+    "db_to_linear": "linear",
+    "linear_to_db": "db",
+    "db_to_amplitude": "linear",
+    "amplitude_to_db": "db",
+    "add_powers_dbm": "dbm",
+    "noise_floor_dbm": "dbm",
+    "mhz_to_hz": "hz",
+    "hz_to_mhz": "mhz",
+    "mbps_to_bps": "bps",
+    "bps_to_mbps": "mbps",
+}
+
+# Unit → dimension. Log/linear power domains are kept distinct so a
+# cross-domain mix is a conflict while db↔dbm (gain applied to an
+# absolute power) is not.
+_DOMAINS: Dict[str, str] = {
+    "db": "power-log",
+    "dbm": "power-log",
+    "mw": "power-linear",
+    "watts": "power-linear",
+    "linear": "power-linear",
+    "hz": "frequency",
+    "mhz": "frequency",
+    "mbps": "rate",
+    "bps": "rate",
+}
+
+
+def unit_of_identifier(name: str) -> Optional[str]:
+    """The unit tag carried by an identifier's suffix, if any."""
+    for suffix, unit in UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return unit
+    return None
+
+
+def unit_domain(unit: str) -> str:
+    """The dimension bucket (``power-log``, ``frequency``, ...) of a unit."""
+    return _DOMAINS.get(unit, unit)
+
+
+def units_conflict(given: str, expected: str) -> bool:
+    """Whether passing ``given`` where ``expected`` is required is a bug.
+
+    Log-domain power units (``db``/``dbm``) are mutually compatible —
+    gains are routinely added to absolute powers — but every other
+    differing pair (``mw`` vs ``dbm``, ``hz`` vs ``mhz``, ``mbps`` vs
+    ``bps``, or a cross-dimension mix) conflicts.
+    """
+    if given == expected:
+        return False
+    if unit_domain(given) == "power-log" and unit_domain(expected) == "power-log":
+        return False
+    return True
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body.
+
+    ``callee`` is the raw dotted text of the call target (``"helper"``,
+    ``"np.random.rand"``, ``"self.trial"``) or the registry marker
+    ``"@registry:NAME"`` for subscripted registry dispatch
+    (``SCENARIOS[name](...)``). ``arg_units``/``kw_units`` record the
+    inferred unit of each argument expression (``None`` when unknown)
+    and ``arg_refs`` how each positional argument is formed
+    (``"name:x"``, ``"attr:mod.f"``, ``"lambda"``, ``"call:factory"``)
+    for the worker-capture analysis.
+    """
+
+    callee: str
+    line: int
+    col: int
+    arg_units: List[Optional[str]] = field(default_factory=list)
+    kw_units: Dict[str, Optional[str]] = field(default_factory=dict)
+    arg_refs: List[Optional[str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for the incremental cache."""
+        return {
+            "callee": self.callee,
+            "line": self.line,
+            "col": self.col,
+            "arg_units": self.arg_units,
+            "kw_units": self.kw_units,
+            "arg_refs": self.arg_refs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallSite":
+        """Rebuild a call site from its cached dict form."""
+        return cls(
+            callee=data["callee"],
+            line=data["line"],
+            col=data["col"],
+            arg_units=list(data.get("arg_units", [])),
+            kw_units=dict(data.get("kw_units", {})),
+            arg_refs=list(data.get("arg_refs", [])),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the flow rules need to know about one function.
+
+    ``qual`` is the in-module qualified name (``"f"`` or
+    ``"Class.method"``); ``taints`` lists the determinism-taint sources
+    the body reads directly (wall clocks, global RNG state) as
+    ``{"kind", "detail", "line"}`` records.
+    """
+
+    name: str
+    qual: str
+    line: int
+    col: int
+    params: List[str] = field(default_factory=list)
+    is_method: bool = False
+    returns_unit: Optional[str] = None
+    returns_closure: bool = False
+    taints: List[dict] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for the incremental cache."""
+        return {
+            "name": self.name,
+            "qual": self.qual,
+            "line": self.line,
+            "col": self.col,
+            "params": self.params,
+            "is_method": self.is_method,
+            "returns_unit": self.returns_unit,
+            "returns_closure": self.returns_closure,
+            "taints": self.taints,
+            "calls": [call.to_dict() for call in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionSummary":
+        """Rebuild a function summary from its cached dict form."""
+        return cls(
+            name=data["name"],
+            qual=data["qual"],
+            line=data["line"],
+            col=data["col"],
+            params=list(data.get("params", [])),
+            is_method=bool(data.get("is_method", False)),
+            returns_unit=data.get("returns_unit"),
+            returns_closure=bool(data.get("returns_closure", False)),
+            taints=list(data.get("taints", [])),
+            calls=[CallSite.from_dict(c) for c in data.get("calls", [])],
+        )
+
+
+@dataclass
+class ClassInfo:
+    """A class definition: its methods and raw base-class names."""
+
+    name: str
+    line: int
+    methods: List[str] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for the incremental cache."""
+        return {
+            "name": self.name,
+            "line": self.line,
+            "methods": self.methods,
+            "bases": self.bases,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassInfo":
+        """Rebuild class info from its cached dict form."""
+        return cls(
+            name=data["name"],
+            line=data["line"],
+            methods=list(data.get("methods", [])),
+            bases=list(data.get("bases", [])),
+        )
+
+
+@dataclass
+class Registration:
+    """One ``register_*``/registry-dict entry binding a name to a target.
+
+    ``arg_ref`` uses the same encoding as :attr:`CallSite.arg_refs` so
+    the worker-capture rule can resolve the registered object across
+    modules.
+    """
+
+    registry: str
+    line: int
+    name_const: Optional[str] = None
+    arg_ref: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for the incremental cache."""
+        return {
+            "registry": self.registry,
+            "line": self.line,
+            "name_const": self.name_const,
+            "arg_ref": self.arg_ref,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Registration":
+        """Rebuild a registration record from its cached dict form."""
+        return cls(
+            registry=data["registry"],
+            line=data["line"],
+            name_const=data.get("name_const"),
+            arg_ref=data.get("arg_ref"),
+        )
+
+
+@dataclass
+class IntraFinding:
+    """An intra-procedural fact a flow rule may turn into a finding.
+
+    Used for trial/commit path gaps (RL103), compiled-array writes
+    (RL103) and unit-domain conflicts in local arithmetic (RL102);
+    ``func`` names the enclosing function's qualified name.
+    """
+
+    line: int
+    col: int
+    detail: str
+    func: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for the incremental cache."""
+        return {
+            "line": self.line,
+            "col": self.col,
+            "detail": self.detail,
+            "func": self.func,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IntraFinding":
+        """Rebuild an intra-procedural fact from its cached dict form."""
+        return cls(
+            line=data["line"],
+            col=data["col"],
+            detail=data["detail"],
+            func=data.get("func", ""),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Phase-1 product for one module; the unit of cache reuse.
+
+    ``module`` is the package-relative path (``"core/allocation.py"``),
+    ``dotted`` the dotted module name (``"repro.core.allocation"``),
+    ``dep_modules`` the dotted names of internal modules this one
+    imports (the import-graph edge list), ``symbols`` the module-level
+    name table (``kind`` one of ``def``/``class``/``lambda``/``alias``/
+    ``assign``; aliases carry ``target`` as ``"dotted.module"`` or
+    ``"dotted.module:symbol"``).
+    """
+
+    module: str
+    path: str
+    dotted: str
+    source_hash: str = ""
+    waived: List[str] = field(default_factory=list)
+    dep_modules: List[str] = field(default_factory=list)
+    symbols: Dict[str, dict] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    registrations: List[Registration] = field(default_factory=list)
+    trial_gaps: List[IntraFinding] = field(default_factory=list)
+    unit_conflicts: List[IntraFinding] = field(default_factory=list)
+    compiled_writes: List[IntraFinding] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for the incremental cache."""
+        return {
+            "module": self.module,
+            "path": self.path,
+            "dotted": self.dotted,
+            "source_hash": self.source_hash,
+            "waived": self.waived,
+            "dep_modules": self.dep_modules,
+            "symbols": self.symbols,
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "functions": {k: v.to_dict() for k, v in self.functions.items()},
+            "registrations": [r.to_dict() for r in self.registrations],
+            "trial_gaps": [g.to_dict() for g in self.trial_gaps],
+            "unit_conflicts": [u.to_dict() for u in self.unit_conflicts],
+            "compiled_writes": [w.to_dict() for w in self.compiled_writes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleSummary":
+        """Rebuild a module summary from its cached dict form."""
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            dotted=data["dotted"],
+            source_hash=data.get("source_hash", ""),
+            waived=list(data.get("waived", [])),
+            dep_modules=list(data.get("dep_modules", [])),
+            symbols=dict(data.get("symbols", {})),
+            classes={
+                k: ClassInfo.from_dict(v)
+                for k, v in data.get("classes", {}).items()
+            },
+            functions={
+                k: FunctionSummary.from_dict(v)
+                for k, v in data.get("functions", {}).items()
+            },
+            registrations=[
+                Registration.from_dict(r) for r in data.get("registrations", [])
+            ],
+            trial_gaps=[
+                IntraFinding.from_dict(g) for g in data.get("trial_gaps", [])
+            ],
+            unit_conflicts=[
+                IntraFinding.from_dict(u) for u in data.get("unit_conflicts", [])
+            ],
+            compiled_writes=[
+                IntraFinding.from_dict(w) for w in data.get("compiled_writes", [])
+            ],
+        )

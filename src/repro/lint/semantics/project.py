@@ -1,0 +1,455 @@
+"""Whole-project resolution (phase 2 substrate of the semantic layer).
+
+:class:`ProjectIndex` stitches per-module
+:class:`~repro.lint.semantics.model.ModuleSummary` records into the
+project-wide facts the flow rules consume:
+
+* a symbol resolver that follows import aliases (absolute and relative,
+  including re-export chains through ``__init__`` modules) to the
+  defining module;
+* a call graph — module-level calls, ``self.``/``cls.`` method dispatch
+  through class definitions and their bases, registry-subscript dispatch
+  (``SCENARIOS[name](...)`` fans out to every registration), and a
+  unique-method-name fallback for attribute calls on unannotated
+  receivers (suppressed for ubiquitous container/stdlib method names);
+* the internal import graph with transitive reverse dependencies (the
+  ``--changed`` expansion set and the cache's invalidation frontier);
+* a determinism-taint closure: BFS from every direct clock/RNG source
+  backwards over call edges, recording the shortest offending chain as
+  ``file:line`` hops for ``repro lint --explain``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .model import FunctionSummary, ModuleSummary
+
+__all__ = ["ProjectIndex", "TaintRecord", "SOURCE_EXEMPT_MODULES"]
+
+# Modules allowed to read ambient time / RNG directly (the RL001 seams):
+# their sources neither seed the transitive closure nor get reported.
+SOURCE_EXEMPT_MODULES = frozenset(
+    {"cli.py", "__main__.py", "fleet/executor.py", "obs/clock.py"}
+)
+
+# Attribute names so common on containers/stdlib objects that a
+# unique-method fallback edge would be noise rather than dispatch.
+_FALLBACK_DENYLIST = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "index",
+        "count",
+        "sort",
+        "reverse",
+        "copy",
+        "get",
+        "items",
+        "keys",
+        "values",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "join",
+        "split",
+        "strip",
+        "startswith",
+        "endswith",
+        "format",
+        "encode",
+        "decode",
+        "read",
+        "write",
+        "readline",
+        "close",
+        "flush",
+        "submit",
+        "result",
+        "shutdown",
+        "cancel",
+        "acquire",
+        "release",
+        "wait",
+        "notify",
+        "put",
+        "run",
+        "mean",
+        "std",
+        "sum",
+        "astype",
+        "reshape",
+        "ravel",
+        "tolist",
+        "fill",
+        "dot",
+    }
+)
+
+_MAX_ALIAS_DEPTH = 8
+
+
+class TaintRecord:
+    """Why one function is determinism-tainted, with the shortest chain.
+
+    ``chain`` is a tuple of human-readable ``file:line`` hops from the
+    function down to the raw source read; ``depth`` counts functions on
+    the chain (1 = the function reads the source directly).
+    """
+
+    __slots__ = ("kind", "detail", "chain", "depth")
+
+    def __init__(
+        self, kind: str, detail: str, chain: Tuple[str, ...], depth: int
+    ) -> None:
+        self.kind = kind
+        self.detail = detail
+        self.chain = chain
+        self.depth = depth
+
+
+class ProjectIndex:
+    """Cross-module resolution over a set of module summaries.
+
+    Function keys are ``"<module>::<qual>"`` with ``module`` the
+    package-relative path (``"core/allocation.py::Acorn.configure"``).
+    """
+
+    def __init__(self, summaries: Dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        self.by_dotted: Dict[str, ModuleSummary] = {}
+        for summary in summaries.values():
+            self.by_dotted[summary.dotted] = summary
+        self._method_owners: Dict[str, List[Tuple[str, str]]] = {}
+        for module, summary in summaries.items():
+            for cls in summary.classes.values():
+                for method in cls.methods:
+                    self._method_owners.setdefault(method, []).append(
+                        (module, f"{cls.name}.{method}")
+                    )
+        self.import_graph = self._build_import_graph()
+        self.reverse_graph = self._invert(self.import_graph)
+        self.call_graph = self._build_call_graph()
+        self.taint = self._taint_closure()
+
+    # -- basic lookups -------------------------------------------------
+
+    def function(self, key: str) -> Optional[FunctionSummary]:
+        """The summary behind a ``module::qual`` function key."""
+        module, _, qual = key.partition("::")
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        return summary.functions.get(qual)
+
+    # -- import graph --------------------------------------------------
+
+    def _build_import_graph(self) -> Dict[str, Set[str]]:
+        graph: Dict[str, Set[str]] = {m: set() for m in self.summaries}
+        for module, summary in self.summaries.items():
+            for dep in summary.dep_modules:
+                target = self.by_dotted.get(dep)
+                if target is not None and target.module != module:
+                    graph[module].add(target.module)
+        return graph
+
+    @staticmethod
+    def _invert(graph: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+        inverted: Dict[str, Set[str]] = {m: set() for m in graph}
+        for module, deps in graph.items():
+            for dep in deps:
+                inverted.setdefault(dep, set()).add(module)
+        return inverted
+
+    def transitive_deps(self, module: str) -> Set[str]:
+        """All modules ``module`` depends on, transitively (cycles ok)."""
+        return self._reachable(module, self.import_graph)
+
+    def reverse_dependencies(self, module: str) -> Set[str]:
+        """All modules that (transitively) import ``module``."""
+        return self._reachable(module, self.reverse_graph)
+
+    @staticmethod
+    def _reachable(start: str, graph: Dict[str, Set[str]]) -> Set[str]:
+        seen: Set[str] = set()
+        stack = list(graph.get(start, ()))
+        while stack:
+            module = stack.pop()
+            if module in seen:
+                continue
+            seen.add(module)
+            stack.extend(graph.get(module, ()))
+        seen.discard(start)
+        return seen
+
+    def dependency_fingerprint(self, module: str) -> str:
+        """Hash of the module's own and transitive deps' source hashes.
+
+        The phase-2 cache key: flow findings for a module can be reused
+        exactly when nothing it can observe through imports changed.
+        """
+        import hashlib
+
+        parts = [f"{module}={self.summaries[module].source_hash}"]
+        for dep in sorted(self.transitive_deps(module)):
+            parts.append(f"{dep}={self.summaries[dep].source_hash}")
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+    # -- symbol resolution ---------------------------------------------
+
+    def _resolve_alias(
+        self, target: str, depth: int = 0
+    ) -> Optional[Tuple[str, str, str]]:
+        """Resolve an alias target to ``(kind, module, name)``.
+
+        ``kind`` is ``"func"``, ``"class"``, ``"value"`` or
+        ``"module"`` (``name`` empty for modules). Re-export chains are
+        followed up to a fixed depth; unresolvable (external) targets
+        return ``None``.
+        """
+        if depth > _MAX_ALIAS_DEPTH:
+            return None
+        dotted, _, symbol = target.partition(":")
+        if not symbol:
+            summary = self.by_dotted.get(dotted)
+            if summary is not None:
+                return ("module", summary.module, "")
+            return None
+        summary = self.by_dotted.get(dotted)
+        if summary is not None:
+            entry = summary.symbols.get(symbol)
+            if entry is not None:
+                kind = entry.get("kind")
+                if kind == "def":
+                    return ("func", summary.module, symbol)
+                if kind == "class":
+                    return ("class", summary.module, symbol)
+                if kind == "alias":
+                    return self._resolve_alias(entry["target"], depth + 1)
+                if kind in ("lambda", "assign"):
+                    return ("value", summary.module, symbol)
+        submodule = self.by_dotted.get(f"{dotted}.{symbol}")
+        if submodule is not None:
+            return ("module", submodule.module, "")
+        return None
+
+    def resolve_name(
+        self, module: str, name: str, depth: int = 0
+    ) -> Optional[Tuple[str, str, str]]:
+        """Resolve a bare name in a module to ``(kind, module, name)``."""
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        entry = summary.symbols.get(name)
+        if entry is None:
+            return None
+        kind = entry.get("kind")
+        if kind == "def":
+            return ("func", module, name)
+        if kind == "class":
+            return ("class", module, name)
+        if kind == "alias":
+            return self._resolve_alias(entry["target"], depth + 1)
+        if kind in ("lambda", "assign"):
+            return ("value", module, name)
+        return None
+
+    def _method_in_class(
+        self, module: str, class_name: str, method: str, depth: int = 0
+    ) -> Optional[str]:
+        """Find ``method`` on a class or its bases; returns a func key."""
+        if depth > _MAX_ALIAS_DEPTH:
+            return None
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        cls = summary.classes.get(class_name)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return f"{module}::{class_name}.{method}"
+        for base in cls.bases:
+            head = base.split(".")[0]
+            resolved = self.resolve_name(module, head)
+            if resolved is None:
+                continue
+            kind, base_module, base_name = resolved
+            if kind == "class":
+                found = self._method_in_class(
+                    base_module, base_name, method, depth + 1
+                )
+                if found is not None:
+                    return found
+            elif kind == "module" and "." in base:
+                tail = base.split(".")[-1]
+                found = self._method_in_class(
+                    base_module, tail, method, depth + 1
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_call(
+        self, module: str, caller_qual: str, callee: str
+    ) -> List[str]:
+        """Function keys a call site may dispatch to (empty if unknown)."""
+        if callee == "@dynamic":
+            return []
+        if callee.startswith("@registry:"):
+            return self._resolve_registry(callee[len("@registry:"):])
+        parts = callee.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and "." in caller_qual and len(parts) == 2:
+            class_name = caller_qual.split(".")[0]
+            found = self._method_in_class(module, class_name, parts[1])
+            return [found] if found is not None else []
+        resolved = self.resolve_name(module, head)
+        if resolved is not None:
+            kind, target_module, target_name = resolved
+            rest = parts[1:]
+            while rest and kind == "module":
+                step = self.resolve_name(target_module, rest[0])
+                if step is None:
+                    return []
+                kind, target_module, target_name = step
+                rest = rest[1:]
+            if kind == "func" and not rest:
+                return [f"{target_module}::{target_name}"]
+            if kind == "class":
+                if not rest:
+                    init = self._method_in_class(
+                        target_module, target_name, "__init__"
+                    )
+                    return [init] if init is not None else []
+                if len(rest) == 1:
+                    found = self._method_in_class(
+                        target_module, target_name, rest[0]
+                    )
+                    return [found] if found is not None else []
+            return []
+        # Unannotated receiver (`engine.trial_index(...)`): dispatch to
+        # the unique project class defining that method name.
+        if len(parts) >= 2:
+            tail = parts[-1]
+            if tail not in _FALLBACK_DENYLIST:
+                owners = self._method_owners.get(tail, [])
+                if len(owners) == 1:
+                    owner_module, qual = owners[0]
+                    return [f"{owner_module}::{qual}"]
+        return []
+
+    def _resolve_registry(self, registry: str) -> List[str]:
+        """Every function a registry subscript call can dispatch to."""
+        targets: List[str] = []
+        for module, summary in self.summaries.items():
+            for registration in summary.registrations:
+                if registration.registry != registry:
+                    continue
+                key = self._resolve_arg_ref(module, registration.arg_ref)
+                if key is not None:
+                    targets.append(key)
+        return targets
+
+    def _resolve_arg_ref(
+        self, module: str, arg_ref: Optional[str]
+    ) -> Optional[str]:
+        """A function key from a CallSite/Registration arg encoding."""
+        if arg_ref is None or arg_ref in ("lambda", "const"):
+            return None
+        if arg_ref.startswith("name:"):
+            resolved = self.resolve_name(module, arg_ref[len("name:"):])
+        elif arg_ref.startswith("attr:"):
+            dotted = arg_ref[len("attr:"):]
+            parts = dotted.split(".")
+            resolved = self.resolve_name(module, parts[0])
+            for part in parts[1:]:
+                if resolved is None or resolved[0] != "module":
+                    return None
+                resolved = self.resolve_name(resolved[1], part)
+        else:
+            return None
+        if resolved is None:
+            return None
+        kind, target_module, target_name = resolved
+        if kind == "func":
+            return f"{target_module}::{target_name}"
+        return None
+
+    # -- call graph & taint closure ------------------------------------
+
+    def _build_call_graph(self) -> Dict[str, List[Tuple[str, int]]]:
+        """caller key → [(callee key, call line)] over every call site."""
+        graph: Dict[str, List[Tuple[str, int]]] = {}
+        for module, summary in self.summaries.items():
+            for qual, func in summary.functions.items():
+                key = f"{module}::{qual}"
+                edges: List[Tuple[str, int]] = []
+                for site in func.calls:
+                    for target in self.resolve_call(module, qual, site.callee):
+                        edges.append((target, site.line))
+                graph[key] = edges
+        return graph
+
+    def _taint_closure(self) -> Dict[str, TaintRecord]:
+        """Shortest-chain determinism taint for every affected function."""
+        taint: Dict[str, TaintRecord] = {}
+        queue: deque = deque()
+        for module, summary in self.summaries.items():
+            if module in SOURCE_EXEMPT_MODULES:
+                continue
+            for qual, func in summary.functions.items():
+                if not func.taints:
+                    continue
+                source = func.taints[0]
+                key = f"{module}::{qual}"
+                taint[key] = TaintRecord(
+                    kind=source.get("kind", "taint"),
+                    detail=source.get("detail", ""),
+                    chain=(
+                        f"{summary.path}:{source.get('line', func.line)} "
+                        f"{qual} reads {source.get('detail', '?')}",
+                    ),
+                    depth=1,
+                )
+                queue.append(key)
+        reverse_calls: Dict[str, List[Tuple[str, int]]] = {}
+        for caller, edges in self.call_graph.items():
+            for callee, line in edges:
+                reverse_calls.setdefault(callee, []).append((caller, line))
+        while queue:
+            key = queue.popleft()
+            record = taint[key]
+            callee_module, _, callee_qual = key.partition("::")
+            for caller, line in reverse_calls.get(key, ()):  # BFS: shortest
+                if caller in taint:
+                    continue
+                caller_module, _, caller_qual = caller.partition("::")
+                caller_summary = self.summaries[caller_module]
+                hop = (
+                    f"{caller_summary.path}:{line} {caller_qual} calls "
+                    f"{callee_qual} [{callee_module}]"
+                )
+                taint[caller] = TaintRecord(
+                    kind=record.kind,
+                    detail=record.detail,
+                    chain=(hop,) + record.chain,
+                    depth=record.depth + 1,
+                )
+                queue.append(caller)
+        return taint
+
+    def expand_changed(self, changed: Sequence[str]) -> Set[str]:
+        """Changed modules plus their transitive reverse dependencies."""
+        scope: Set[str] = set()
+        for module in changed:
+            if module not in self.summaries:
+                continue
+            scope.add(module)
+            scope.update(self.reverse_dependencies(module))
+        return scope

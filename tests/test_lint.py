@@ -517,6 +517,63 @@ class TestWaiverSyntax:
         assert findings == []
         assert count == 1
 
+    def test_crlf_line_endings(self):
+        # Windows checkouts: the \r must not leak into the reason or id.
+        source = "# reprolint: ok RL004 printing fixture\r\nprint('x')\r\n"
+        waived, findings, count = parse_waivers(source, "mod.py")
+        assert waived == {"RL004"}
+        assert findings == []
+        assert count == 1
+
+    def test_comma_separated_ids_with_inconsistent_spacing(self):
+        # Doubled commas and uneven spacing must not drop ids silently.
+        source = (
+            "# reprolint: ok RL003 ,,RL004,  RL005 fixture with messy ids\n"
+            "x = 1\n"
+        )
+        waived, findings, count = parse_waivers(source, "mod.py")
+        assert waived == {"RL003", "RL004", "RL005"}
+        assert findings == []
+        assert count == 1
+
+    def test_waiver_on_last_line_without_trailing_newline(self):
+        source = "x = 1\n# reprolint: ok RL004 end-of-file fixture"
+        waived, findings, count = parse_waivers(source, "mod.py")
+        assert waived == {"RL004"}
+        assert findings == []
+        assert count == 1
+
+
+class TestPerRuleTiming:
+    def test_report_accumulates_rule_seconds(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""Fixture."""\n__all__ = []\n')
+        report = lint_paths([pkg], use_cache=False)
+        assert report.rule_seconds
+        assert all(sec >= 0.0 for sec in report.rule_seconds.values())
+        rows = report.timing_rows()
+        # Sorted slowest-first so the CI summary reads top-down.
+        assert [rid for rid, _ in rows] == [
+            rid
+            for rid, _ in sorted(
+                report.rule_seconds.items(), key=lambda r: (-r[1], r[0])
+            )
+        ]
+
+    def test_json_format_carries_timing_and_cache_meta(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""Fixture."""\n__all__ = []\n')
+        report = lint_paths([pkg], use_cache=False)
+        document = json.loads(report.render("json"))
+        assert "rule_seconds" in document
+        assert set(document["cache"]) == {
+            "files_from_cache",
+            "flow_reanalyzed",
+        }
+        assert document["cache"]["files_from_cache"] == 0
+
 
 class TestEngine:
     def test_syntax_error_is_rl900_finding(self):

@@ -1,0 +1,531 @@
+"""Tests for the flow-aware rules RL101–RL104 and their CLI surface.
+
+Each rule gets at least one true-positive fixture (the cross-module
+violation is found) and one near-miss negative (the pattern that looks
+like a violation but is legitimate): call-chain laundering that never
+calls the source (RL101), a unit round-trip through a ``repro.units``
+converter (RL102), a rollback-on-exception path (RL103), and a
+pickled module-level payload (RL104). The CLI classes cover
+``--explain RL101`` printing the full file:line chain, ``--changed``
+expansion through reverse imports, and ``--no-cache``.
+"""
+
+import json
+import pathlib
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint import changed_scope, lint_paths
+
+from tests.test_lint_semantics import write_project
+
+
+def flow_findings(tmp_path, files, rule_id):
+    """Findings of one flow rule over a materialised fixture project."""
+    root = write_project(tmp_path, files)
+    report = lint_paths([root], select=[rule_id], cache_dir=tmp_path)
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+CLOCK_HELPER = '''\
+"""Helpers."""
+import time
+__all__ = ["stamp", "laundered_ref"]
+
+def stamp():
+    """Reads the wall clock."""
+    return time.time()
+
+def laundered_ref():
+    """Returns the function itself; never reads the clock."""
+    return time.time
+'''
+
+
+class TestTransitiveDeterminismRL101:
+    def test_cross_module_chain_is_flagged(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "helpers.py": CLOCK_HELPER,
+                "core/alloc.py": '''\
+                """F."""
+                from ..helpers import stamp
+                __all__ = ["plan"]
+
+                def plan():
+                    """Transitively tainted through stamp()."""
+                    return stamp()
+                ''',
+            },
+            "RL101",
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path.endswith("core/alloc.py")
+        assert "'plan'" in finding.message
+        assert "time.time()" in finding.message
+        assert len(finding.chain) == 2
+        assert "plan calls stamp" in finding.chain[0]
+        assert "stamp reads time.time()" in finding.chain[1]
+
+    def test_direct_source_is_rl001_not_rl101(self, tmp_path):
+        findings = flow_findings(
+            tmp_path, {"helpers.py": CLOCK_HELPER}, "RL101"
+        )
+        assert findings == []
+
+    def test_laundering_without_a_call_is_clean(self, tmp_path):
+        # Near-miss: holding/returning the clock function taints nothing.
+        findings = flow_findings(
+            tmp_path,
+            {
+                "helpers.py": CLOCK_HELPER,
+                "core/alloc.py": '''\
+                """F."""
+                from ..helpers import laundered_ref
+                __all__ = ["plan"]
+
+                def plan():
+                    """Calls a function that only *references* the clock."""
+                    return laundered_ref()
+                ''',
+            },
+            "RL101",
+        )
+        assert findings == []
+
+    def test_waiver_suppresses(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "helpers.py": CLOCK_HELPER,
+                "core/alloc.py": '''\
+                """F."""
+                # reprolint: ok RL101 fixture demonstrating the waiver path
+                from ..helpers import stamp
+                __all__ = ["plan"]
+
+                def plan():
+                    """Doc."""
+                    return stamp()
+                ''',
+            },
+            "RL101",
+        )
+        assert findings == []
+
+
+class TestUnitFlowRL102:
+    def test_db_into_linear_param_across_modules(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "link.py": '''\
+                """F."""
+                __all__ = ["capacity"]
+
+                def capacity(snr_linear):
+                    """Expects a linear SNR."""
+                    return snr_linear
+                ''',
+                "caller.py": '''\
+                """F."""
+                from .link import capacity
+                __all__ = ["rate"]
+
+                def rate(snr_db):
+                    """Passes a dB value into a linear parameter."""
+                    return capacity(snr_db)
+                ''',
+            },
+            "RL102",
+        )
+        assert len(findings) == 1
+        assert "snr_linear" in findings[0].message
+        assert "db-typed" in findings[0].message
+
+    def test_round_trip_through_converter_is_clean(self, tmp_path):
+        # Near-miss: the conversion makes the cross-call well-typed.
+        findings = flow_findings(
+            tmp_path,
+            {
+                "link.py": '''\
+                """F."""
+                __all__ = ["capacity"]
+
+                def capacity(snr_linear):
+                    """Expects a linear SNR."""
+                    return snr_linear
+                ''',
+                "caller.py": '''\
+                """F."""
+                from .link import capacity
+                from .units import db_to_linear
+                __all__ = ["rate"]
+
+                def rate(snr_db):
+                    """Converts before crossing the boundary."""
+                    return capacity(db_to_linear(snr_db))
+                ''',
+                "units.py": '''\
+                """F."""
+                __all__ = ["db_to_linear"]
+
+                def db_to_linear(value_db):
+                    """Doc."""
+                    return value_db
+                ''',
+            },
+            "RL102",
+        )
+        assert findings == []
+
+    def test_dbm_plus_dbm_is_flagged_but_gain_is_fine(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "mod.py": '''\
+                """F."""
+                __all__ = ["combine", "apply_gain"]
+
+                def combine(noise_dbm, signal_dbm):
+                    """Absolute powers do not add in the log domain."""
+                    return noise_dbm + signal_dbm
+
+                def apply_gain(signal_dbm, gain_db):
+                    """A gain applied to an absolute power is fine."""
+                    return signal_dbm + gain_db
+                ''',
+            },
+            "RL102",
+        )
+        assert len(findings) == 1
+        assert "dbm + dbm" in findings[0].message
+        assert "add_powers_dbm" in findings[0].message
+
+
+ENGINE_FIXTURE = '''\
+"""F."""
+__all__ = ["Engine"]
+
+class Engine:
+    def trial(self, ap, channel):
+        """Doc."""
+        return 0.0
+
+    def commit(self, ap, channel):
+        """Doc."""
+        return 0.0
+
+    def rollback(self):
+        """Doc."""
+        return None
+'''
+
+
+class TestEngineDisciplineRL103:
+    def test_dangling_trial_is_flagged(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "engine.py": ENGINE_FIXTURE,
+                "alloc.py": '''\
+                """F."""
+                __all__ = ["scan"]
+
+                def scan(engine, aps):
+                    """Trial with commit on only one branch."""
+                    value = engine.trial(aps[0], 1)
+                    if value > 0:
+                        engine.commit(aps[0], 1)
+                    return value
+                ''',
+            },
+            "RL103",
+        )
+        assert len(findings) == 1
+        assert "trial()" in findings[0].message
+        assert "'scan'" in findings[0].message
+
+    def test_rollback_on_exception_path_is_clean(self, tmp_path):
+        # Near-miss: the exception path rolls back, the happy path commits.
+        findings = flow_findings(
+            tmp_path,
+            {
+                "engine.py": ENGINE_FIXTURE,
+                "alloc.py": '''\
+                """F."""
+                __all__ = ["scan"]
+
+                def scan(engine, aps):
+                    """Commit on success, rollback on the raise path."""
+                    value = engine.trial(aps[0], 1)
+                    try:
+                        validate(value)
+                        engine.commit(aps[0], 1)
+                    except Exception:
+                        engine.rollback()
+                        raise
+                    return value
+                ''',
+            },
+            "RL103",
+        )
+        assert findings == []
+
+    def test_compiled_write_outside_engine_modules(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "core/hack.py": '''\
+                """F."""
+                __all__ = ["poke"]
+
+                def poke(compiled, i, j):
+                    """Direct array poke from allocator code."""
+                    compiled.snr20_db[i, j] = 0.0
+                ''',
+            },
+            "RL103",
+        )
+        assert len(findings) == 1
+        assert "snr20_db" in findings[0].message
+
+    def test_apply_churn_path_is_allowed(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "core/patch.py": '''\
+                """F."""
+                __all__ = ["apply_churn"]
+
+                def apply_churn(compiled, column):
+                    """The sanctioned incremental patch path."""
+                    compiled.snr20_db[:, column] = 0.0
+                ''',
+            },
+            "RL103",
+        )
+        assert findings == []
+
+
+class TestWorkerCaptureRL104:
+    def test_submitted_lambda_is_flagged(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "runner.py": '''\
+                """F."""
+                __all__ = ["dispatch"]
+
+                def dispatch(pool, jobs):
+                    """Submits an unpicklable lambda."""
+                    return [pool.submit(lambda job=job: job, job) for job in jobs]
+                ''',
+            },
+            "RL104",
+        )
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_factory_returning_closure_is_flagged(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "factory.py": '''\
+                """F."""
+                __all__ = ["make_runner"]
+
+                def make_runner(config):
+                    """Builds a per-config closure."""
+                    def run(job):
+                        return config, job
+                    return run
+                ''',
+                "runner.py": '''\
+                """F."""
+                from .factory import make_runner
+                __all__ = ["dispatch"]
+
+                def dispatch(pool, config, job):
+                    """Submits a closure built by a cross-module factory."""
+                    return pool.submit(make_runner(config), job)
+                ''',
+            },
+            "RL104",
+        )
+        assert len(findings) == 1
+        assert "make_runner" in findings[0].message
+        assert "closure" in findings[0].message
+
+    def test_module_level_payload_is_clean(self, tmp_path):
+        # Near-miss: a compiled payload + module-level def pickle fine.
+        findings = flow_findings(
+            tmp_path,
+            {
+                "work.py": '''\
+                """F."""
+                __all__ = ["execute_job"]
+
+                def execute_job(payload):
+                    """Module-level worker entry point."""
+                    return payload
+                ''',
+                "runner.py": '''\
+                """F."""
+                from .work import execute_job
+                __all__ = ["dispatch"]
+
+                def dispatch(pool, payload):
+                    """Ships a pickled compiled payload to a def."""
+                    return pool.submit(execute_job, payload)
+                ''',
+            },
+            "RL104",
+        )
+        assert findings == []
+
+    def test_aliased_lambda_registration_is_flagged(self, tmp_path):
+        findings = flow_findings(
+            tmp_path,
+            {
+                "impl.py": '''\
+                """F."""
+                __all__ = ["HANDLER"]
+
+                HANDLER = lambda job: job
+                ''',
+                "reg.py": '''\
+                """F."""
+                from .impl import HANDLER
+                __all__ = []
+
+                ALGORITHMS = {"fast": HANDLER}
+                ''',
+            },
+            "RL104",
+        )
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+        assert "impl.py" in findings[0].message
+
+
+class TestExplainCli:
+    def test_explain_prints_full_chain(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        root = write_project(
+            tmp_path,
+            {
+                "helpers.py": CLOCK_HELPER,
+                "core/alloc.py": '''\
+                """F."""
+                from ..helpers import stamp
+                __all__ = ["plan"]
+
+                def plan():
+                    """Doc."""
+                    return stamp()
+                ''',
+            },
+        )
+        code = main(
+            [
+                "lint",
+                str(root),
+                "--rules",
+                "RL101",
+                "--explain",
+                "RL101",
+                "--no-cache",
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "RL101 call chains:" in output
+        # Every hop is a clickable file:line reference.
+        assert "core/alloc.py:7 plan calls stamp" in output
+        assert "helpers.py:7 stamp reads time.time()" in output
+
+    def test_explain_with_no_findings(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        root = write_project(
+            tmp_path,
+            {"ok.py": '"""F."""\n__all__ = []\n'},
+        )
+        code = main(["lint", str(root), "--explain", "RL101", "--no-cache"])
+        assert code == 0
+        assert "no RL101 findings" in capsys.readouterr().out
+
+
+class TestChangedMode:
+    def test_changed_scope_expands_reverse_deps(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "leaf.py": '"""L."""\n__all__ = ["f"]\n\ndef f():\n'
+                '    """Doc."""\n    return 1\n',
+                "mid.py": '"""M."""\nfrom .leaf import f\n__all__ = ["g"]\n'
+                '\ndef g():\n    """Doc."""\n    return f()\n',
+                "island.py": '"""I."""\n__all__ = ["h"]\n\ndef h():\n'
+                '    """Doc."""\n    return 0\n',
+            },
+        )
+        scope = changed_scope(
+            [root], [root / "leaf.py"], cache_dir=tmp_path
+        )
+        names = sorted(path.name for path in scope)
+        assert names == ["leaf.py", "mid.py"]
+
+    def test_changed_scope_empty_for_untouched(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"a.py": '"""A."""\n__all__ = []\n'},
+        )
+        assert changed_scope([root], [], cache_dir=tmp_path) == []
+
+    def test_cli_changed_against_git(self, tmp_path, capsys, monkeypatch):
+        repo = tmp_path / "proj"
+        write_project(repo / "src", {
+            "leaf.py": '"""L."""\n__all__ = ["f"]\n\ndef f():\n'
+            '    """Doc."""\n    return 1\n',
+            "mid.py": '"""M."""\nfrom .leaf import f\n__all__ = ["g"]\n'
+            '\ndef g():\n    """Doc."""\n    return f()\n',
+        })
+        env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+               "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+        for cmd in (
+            ["git", "init", "-q"],
+            ["git", "add", "-A"],
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t",
+             "commit", "-qm", "seed"],
+        ):
+            subprocess.run(cmd, cwd=repo, check=True, env={**env})
+        leaf = repo / "src" / "repro" / "leaf.py"
+        leaf.write_text(leaf.read_text() + "\nX = 1\n")
+        monkeypatch.chdir(repo)
+        code = main(["lint", "src/repro", "--changed", "HEAD", "--no-cache"])
+        output = capsys.readouterr().out
+        assert code == 0
+        # leaf.py changed; mid.py imports it: both linted, island absent.
+        assert "2 file(s)" in output
+
+    def test_cli_changed_clean_tree(self, tmp_path, capsys, monkeypatch):
+        repo = tmp_path / "proj"
+        write_project(repo / "src", {"a.py": '"""A."""\n__all__ = []\n'})
+        env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+               "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+        for cmd in (
+            ["git", "init", "-q"],
+            ["git", "add", "-A"],
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t",
+             "commit", "-qm", "seed"],
+        ):
+            subprocess.run(cmd, cwd=repo, check=True, env={**env})
+        monkeypatch.chdir(repo)
+        code = main(["lint", "src/repro", "--changed", "HEAD", "--no-cache"])
+        assert code == 0
+        assert "no lintable changes" in capsys.readouterr().out

@@ -1,0 +1,639 @@
+"""Tests for repro.lint.semantics — the project-wide analysis layer.
+
+Covers phase-1 extraction (symbols, imports, unit facts, the
+trial/commit CFG check), phase-2 resolution (method dispatch through
+class defs and bases, registry indirection, import aliasing, cyclic
+imports, taint chains) and the incremental cache contract: a warm run
+replays from ``.reprolint-cache.json``, editing a leaf module
+re-analyses only the leaf plus its reverse dependencies, and a corrupt
+cache silently falls back to a full cold rebuild.
+"""
+
+import ast
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.context import ModuleContext
+from repro.lint.semantics import (
+    CACHE_FILENAME,
+    ModuleSummary,
+    ProjectIndex,
+    dotted_name,
+    extract_module,
+    unit_of_identifier,
+    units_conflict,
+)
+
+
+def summarize(rel, source):
+    """A ModuleSummary for one dedented in-memory module."""
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    module = ModuleContext(
+        path=rel,
+        module=rel,
+        tree=tree,
+        lines=source.splitlines(),
+        waived=frozenset(),
+    )
+    return extract_module(module, source_hash=f"hash-of-{rel}")
+
+
+def build_index(files):
+    """A ProjectIndex over {relative path: source} fixtures."""
+    return ProjectIndex(
+        {rel: summarize(rel, source) for rel, source in files.items()}
+    )
+
+
+def write_project(tmp_path, files):
+    """Materialise fixtures as a ``repro`` package; returns its root."""
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        for parent in path.parents:
+            if parent == root.parent:
+                break
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text('"""Fixture package."""\n__all__ = []\n')
+    return root
+
+
+class TestUnitModel:
+    def test_suffix_ordering_prefers_longest(self):
+        assert unit_of_identifier("power_dbm") == "dbm"
+        assert unit_of_identifier("gain_db") == "db"
+        assert unit_of_identifier("rate_mbps") == "mbps"
+        assert unit_of_identifier("rate_bps") == "bps"
+        assert unit_of_identifier("plain_name") is None
+
+    def test_conflicts(self):
+        # Gains apply to absolute powers: the log-domain pair is fine.
+        assert not units_conflict("db", "dbm")
+        assert not units_conflict("dbm", "db")
+        assert units_conflict("db", "linear")
+        assert units_conflict("mw", "dbm")
+        assert units_conflict("hz", "mhz")
+        assert units_conflict("mbps", "bps")
+        assert not units_conflict("mw", "mw")
+
+
+class TestDottedName:
+    def test_plain_module(self):
+        assert dotted_name("units.py") == "repro.units"
+        assert dotted_name("core/allocation.py") == "repro.core.allocation"
+
+    def test_package_init(self):
+        assert dotted_name("__init__.py") == "repro"
+        assert dotted_name("net/__init__.py") == "repro.net"
+
+
+class TestExtraction:
+    def test_symbols_and_deps(self):
+        summary = summarize(
+            "core/alloc.py",
+            '''\
+            """Fixture."""
+            from ..units import db_to_linear
+            from repro.net import evaluator as ev
+            import numpy as np
+
+            def top():
+                """Doc."""
+                return db_to_linear(3.0)
+
+            HANDLER = lambda x: x
+            ''',
+        )
+        assert summary.dotted == "repro.core.alloc"
+        assert summary.symbols["db_to_linear"] == {
+            "kind": "alias",
+            "target": "repro.units:db_to_linear",
+        }
+        assert summary.symbols["ev"]["target"] == "repro.net:evaluator"
+        assert summary.symbols["top"] == {"kind": "def"}
+        assert summary.symbols["HANDLER"] == {"kind": "lambda"}
+        assert "repro.units" in summary.dep_modules
+
+    def test_taint_and_returns(self):
+        summary = summarize(
+            "helpers.py",
+            '''\
+            """Fixture."""
+            import time
+            import random
+
+            def stamp():
+                """Reads the wall clock."""
+                return time.time()
+
+            def draw():
+                """Global RNG."""
+                return random.random()
+
+            def make():
+                """Returns a closure."""
+                def inner():
+                    return 1
+                return inner
+
+            def snr_db(x):
+                """Unit-suffixed name."""
+                return x
+            ''',
+        )
+        assert summary.functions["stamp"].taints[0]["kind"] == "wall-clock"
+        assert summary.functions["draw"].taints[0]["kind"] == "global-rng"
+        assert summary.functions["make"].returns_closure
+        assert not summary.functions["stamp"].returns_closure
+        assert summary.functions["snr_db"].returns_unit == "db"
+
+    def test_local_unit_conflicts(self):
+        summary = summarize(
+            "mod.py",
+            '''\
+            """Fixture."""
+
+            def f(noise_dbm, signal_dbm, power_mw, gain_db):
+                """Doc."""
+                bad_sum = noise_dbm + signal_dbm
+                bad_mix = power_mw + gain_db
+                fine_ratio = signal_dbm - noise_dbm
+                fine_gain = signal_dbm + gain_db
+                return bad_sum, bad_mix, fine_ratio, fine_gain
+            ''',
+        )
+        details = [c.detail for c in summary.unit_conflicts]
+        assert len(details) == 2
+        assert any("dbm + dbm" in d for d in details)
+        assert any("mw" in d and "db" in d for d in details)
+
+    def test_compiled_write_detection_skips_self(self):
+        summary = summarize(
+            "mod.py",
+            '''\
+            """Fixture."""
+
+            def poke(compiled, i, j):
+                """External poke: flagged."""
+                compiled.snr20_db[i, j] = 0.0
+
+            class Owner:
+                def mutate(self, i):
+                    """A class mutating its own attribute: fine."""
+                    self.channel_assignment[i] = 3
+            ''',
+        )
+        assert [w.detail for w in summary.compiled_writes] == ["snr20_db"]
+        assert summary.compiled_writes[0].func == "poke"
+
+
+class TestTrialGapCFG:
+    def run(self, body):
+        summary = summarize(
+            "mod.py",
+            '"""F."""\n\ndef f(engine, items):\n'
+            + textwrap.indent(textwrap.dedent(body), "    "),
+        )
+        return summary.trial_gaps
+
+    def test_unresolved_trial_on_fallthrough(self):
+        gaps = self.run(
+            """\
+            value = engine.trial("a", 1)
+            return value
+            """
+        )
+        assert len(gaps) == 1 and gaps[0].detail == "trial"
+
+    def test_commit_on_all_paths_is_clean(self):
+        gaps = self.run(
+            """\
+            value = engine.trial("a", 1)
+            if value > 0:
+                engine.commit("a", 1)
+            else:
+                engine.rollback()
+            return value
+            """
+        )
+        assert gaps == []
+
+    def test_commit_on_one_branch_only_is_a_gap(self):
+        gaps = self.run(
+            """\
+            value = engine.trial("a", 1)
+            if value > 0:
+                engine.commit("a", 1)
+            return value
+            """
+        )
+        assert len(gaps) == 1
+
+    def test_rollback_on_exception_path_is_clean(self):
+        # The near-miss: commit on success, rollback in the handler.
+        gaps = self.run(
+            """\
+            value = engine.trial("a", 1)
+            try:
+                check(value)
+                engine.commit("a", 1)
+            except Exception:
+                engine.rollback()
+                raise
+            return value
+            """
+        )
+        assert gaps == []
+
+    def test_break_escapes_loop_without_commit(self):
+        gaps = self.run(
+            """\
+            for item in items:
+                value = engine.trial(item, 1)
+                if value < 0:
+                    break
+                engine.commit(item, 1)
+            return None
+            """
+        )
+        assert len(gaps) == 1
+
+    def test_loop_back_edge_reaches_commit(self):
+        gaps = self.run(
+            """\
+            best = None
+            for item in items:
+                value = engine.trial(item, 1)
+                engine.commit(item, 1)
+            return best
+            """
+        )
+        assert gaps == []
+
+
+class TestResolution:
+    def test_method_dispatch_through_self(self):
+        index = build_index(
+            {
+                "mod.py": '''\
+                """F."""
+
+                class Engine:
+                    def outer(self):
+                        """Doc."""
+                        return self.inner()
+
+                    def inner(self):
+                        """Doc."""
+                        return 1
+                ''',
+            }
+        )
+        edges = index.call_graph["mod.py::Engine.outer"]
+        assert ("mod.py::Engine.inner", 6) in edges
+
+    def test_method_dispatch_through_base_class(self):
+        index = build_index(
+            {
+                "base.py": '''\
+                """F."""
+
+                class Base:
+                    def shared(self):
+                        """Doc."""
+                        return 1
+                ''',
+                "child.py": '''\
+                """F."""
+                from repro.base import Base
+
+                class Child(Base):
+                    def use(self):
+                        """Doc."""
+                        return self.shared()
+                ''',
+            }
+        )
+        edges = index.call_graph["child.py::Child.use"]
+        assert edges == [("base.py::Base.shared", 7)]
+
+    def test_registry_indirection(self):
+        index = build_index(
+            {
+                "reg.py": '''\
+                """F."""
+
+                def make_atrium():
+                    """Doc."""
+                    return 1
+
+                SCENARIOS = {"atrium": make_atrium}
+                ''',
+                "caller.py": '''\
+                """F."""
+                from repro.reg import SCENARIOS
+
+                def run(name):
+                    """Doc."""
+                    return SCENARIOS[name]()
+                ''',
+            }
+        )
+        edges = index.call_graph["caller.py::run"]
+        assert edges == [("reg.py::make_atrium", 6)]
+
+    def test_import_aliasing(self):
+        index = build_index(
+            {
+                "helpers.py": '''\
+                """F."""
+
+                def stamp():
+                    """Doc."""
+                    return 0
+                ''',
+                "a.py": '''\
+                """F."""
+                from repro.helpers import stamp as s
+
+                def f():
+                    """Doc."""
+                    return s()
+                ''',
+                "b.py": '''\
+                """F."""
+                import repro.helpers as h
+
+                def g():
+                    """Doc."""
+                    return h.stamp()
+                ''',
+            }
+        )
+        assert index.call_graph["a.py::f"] == [("helpers.py::stamp", 6)]
+        assert index.call_graph["b.py::g"] == [("helpers.py::stamp", 6)]
+
+    def test_reexport_chain_through_init(self):
+        index = build_index(
+            {
+                "net/__init__.py": '''\
+                """F."""
+                from .engine import trial_run
+                ''',
+                "net/engine.py": '''\
+                """F."""
+
+                def trial_run():
+                    """Doc."""
+                    return 1
+                ''',
+                "user.py": '''\
+                """F."""
+                from repro.net import trial_run
+
+                def use():
+                    """Doc."""
+                    return trial_run()
+                ''',
+            }
+        )
+        assert index.call_graph["user.py::use"] == [
+            ("net/engine.py::trial_run", 6)
+        ]
+
+    def test_unique_method_fallback(self):
+        index = build_index(
+            {
+                "engine.py": '''\
+                """F."""
+
+                class Delta:
+                    def trial_index(self, i):
+                        """Doc."""
+                        return i
+                ''',
+                "alloc.py": '''\
+                """F."""
+
+                def scan(engine):
+                    """Doc."""
+                    return engine.trial_index(0)
+                ''',
+            }
+        )
+        assert index.call_graph["alloc.py::scan"] == [
+            ("engine.py::Delta.trial_index", 5)
+        ]
+
+    def test_import_cycle_terminates(self):
+        index = build_index(
+            {
+                "a.py": '''\
+                """F."""
+                from repro.b import g
+
+                def f():
+                    """Doc."""
+                    return g()
+                ''',
+                "b.py": '''\
+                """F."""
+                from repro.a import f
+
+                def g():
+                    """Doc."""
+                    return f()
+                ''',
+            }
+        )
+        assert "b.py" in index.reverse_dependencies("a.py")
+        assert "a.py" in index.reverse_dependencies("b.py")
+        # Mutually recursive clean functions must not be tainted.
+        assert index.taint == {}
+
+
+class TestTaintClosure:
+    def test_chain_depth_and_hops(self):
+        index = build_index(
+            {
+                "clock.py": '''\
+                """F."""
+                import time
+
+                def stamp():
+                    """Doc."""
+                    return time.time()
+                ''',
+                "mid.py": '''\
+                """F."""
+                from repro.clock import stamp
+
+                def relay():
+                    """Doc."""
+                    return stamp()
+                ''',
+                "top.py": '''\
+                """F."""
+                from repro.mid import relay
+
+                def entry():
+                    """Doc."""
+                    return relay()
+                ''',
+            }
+        )
+        assert index.taint["clock.py::stamp"].depth == 1
+        assert index.taint["mid.py::relay"].depth == 2
+        record = index.taint["top.py::entry"]
+        assert record.depth == 3
+        assert record.kind == "wall-clock"
+        assert len(record.chain) == 3
+        assert "entry calls relay" in record.chain[0]
+        assert "stamp reads time.time()" in record.chain[-1]
+
+    def test_exempt_seam_does_not_seed(self):
+        index = build_index(
+            {
+                "obs/clock.py": '''\
+                """F."""
+                import time
+
+                def monotonic_clock():
+                    """The approved seam."""
+                    return time.monotonic()
+                ''',
+                "user.py": '''\
+                """F."""
+                from repro.obs.clock import monotonic_clock
+
+                def f():
+                    """Doc."""
+                    return monotonic_clock()
+                ''',
+            }
+        )
+        assert index.taint == {}
+
+
+class TestSummaryRoundTrip:
+    def test_json_round_trip(self):
+        summary = summarize(
+            "core/alloc.py",
+            '''\
+            """F."""
+            from ..units import db_to_linear
+
+            class Engine:
+                def trial(self, x):
+                    """Doc."""
+                    return db_to_linear(x)
+
+            def scan(engine, snr_db):
+                """Doc."""
+                value = engine.trial(snr_db)
+                return value
+            ''',
+        )
+        encoded = json.dumps(summary.to_dict())
+        rebuilt = ModuleSummary.from_dict(json.loads(encoded))
+        assert rebuilt.to_dict() == summary.to_dict()
+        assert rebuilt.functions["scan"].calls[0].callee == "engine.trial"
+
+
+PROJECT = {
+    "leaf.py": '''\
+    """Leaf."""
+    __all__ = ["base"]
+
+    def base():
+        """Doc."""
+        return 1
+    ''',
+    "mid.py": '''\
+    """Mid."""
+    from .leaf import base
+    __all__ = ["relay"]
+
+    def relay():
+        """Doc."""
+        return base()
+    ''',
+    "top.py": '''\
+    """Top."""
+    from .mid import relay
+    __all__ = ["entry"]
+
+    def entry():
+        """Doc."""
+        return relay()
+    ''',
+    "island.py": '''\
+    """Unrelated."""
+    __all__ = ["alone"]
+
+    def alone():
+        """Doc."""
+        return 0
+    ''',
+}
+
+
+class TestIncrementalCache:
+    def test_warm_run_replays_from_cache(self, tmp_path):
+        root = write_project(tmp_path, PROJECT)
+        cold = lint_paths([root], cache_dir=tmp_path)
+        assert cold.files_from_cache == 0
+        assert cold.flow_reanalyzed == cold.files_checked
+        assert (tmp_path / CACHE_FILENAME).exists()
+        warm = lint_paths([root], cache_dir=tmp_path)
+        assert warm.files_from_cache == warm.files_checked
+        assert warm.flow_reanalyzed == 0
+        assert sorted(warm.findings) == sorted(cold.findings)
+
+    def test_leaf_edit_reanalyzes_only_reverse_deps(self, tmp_path):
+        root = write_project(tmp_path, PROJECT)
+        lint_paths([root], cache_dir=tmp_path)
+        leaf = root / "leaf.py"
+        leaf.write_text(
+            leaf.read_text() + "\n\ndef extra():\n    \"\"\"Doc.\"\"\"\n"
+            "    return 2\n"
+        )
+        report = lint_paths([root], cache_dir=tmp_path)
+        # Phase 1: only the edited file re-extracts.
+        assert report.files_from_cache == report.files_checked - 1
+        # Phase 2: leaf + mid + top re-run; __init__ and island replay.
+        assert report.flow_reanalyzed == 3
+        # RL006 still fires for the new undeclared public def.
+        assert any(f.rule_id == "RL006" for f in report.findings)
+
+    def test_corrupt_cache_rebuilds_silently(self, tmp_path):
+        root = write_project(tmp_path, PROJECT)
+        clean = lint_paths([root], cache_dir=tmp_path)
+        (tmp_path / CACHE_FILENAME).write_text("{not json", encoding="utf-8")
+        rebuilt = lint_paths([root], cache_dir=tmp_path)
+        assert rebuilt.files_from_cache == 0
+        assert sorted(rebuilt.findings) == sorted(clean.findings)
+        # And the rebuild rewrote a loadable cache.
+        again = lint_paths([root], cache_dir=tmp_path)
+        assert again.files_from_cache == again.files_checked
+
+    def test_rule_selection_bypasses_cache(self, tmp_path):
+        root = write_project(tmp_path, PROJECT)
+        lint_paths([root], cache_dir=tmp_path)
+        report = lint_paths([root], select=["RL101"], cache_dir=tmp_path)
+        assert report.files_from_cache == 0
+        assert report.findings == []
+
+    def test_no_cache_flag_writes_nothing(self, tmp_path):
+        root = write_project(tmp_path, PROJECT)
+        report = lint_paths([root], use_cache=False, cache_dir=tmp_path)
+        assert report.files_from_cache == 0
+        assert not (tmp_path / CACHE_FILENAME).exists()
