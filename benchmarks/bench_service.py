@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Service benchmark: request throughput, tail latency, warm restarts.
+
+Three rungs, persisted as ``BENCH_service.json`` at the repository
+root:
+
+1. **Request throughput** — replays the deterministic self-test script
+   (:func:`repro.service.run_self_test` over the (24, 60) campus:
+   concurrent admissions, batched beacons, shard reconfigurations,
+   departures) and gates an absolute requests/sec floor. The same run
+   is replayed twice and the response fingerprints must match — the
+   gate doubles as the determinism smoke the ``service-smoke`` CI job
+   runs through the CLI.
+
+2. **Tail latency** — the p99 of the per-response ``latency_s`` stamps
+   from the same replay, gated against an absolute budget. Both
+   wall-clock rungs are deliberately loose (runner-relative): they
+   catch a collapse back to cold-multi-start costs, not slow CI iron.
+
+3. **Warm-start factor** — cold (multi-start) vs warm (resumed)
+   reconfiguration over all shards, compared by *evaluation counts*,
+   which are deterministic: the warm pass must beat the cold one by
+   the gated factor. This is the ratio the whole warm-start design is
+   accountable to.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # refresh the baseline
+    PYTHONPATH=src python benchmarks/bench_service.py --check  # gate against the baseline
+
+``--check`` re-measures and fails (exit 1) when a floor is missed or a
+deterministic quantity drifts against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import gc
+import json
+import pathlib
+import sys
+import time
+
+
+@contextlib.contextmanager
+def quiesced_gc():
+    """Collect then pause the cyclic GC around a timed region."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+from repro.net import ChannelPlan, ThroughputModel
+from repro.service import AcornService, run_self_test
+from repro.service.server import self_test_network
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from _shared import floor_failure_message, require_baseline  # noqa: E402
+
+SCENARIO = (24, 60)
+SCENARIO_SEED = 3
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
+# Absolute wall-clock floors: runner-relative, so set far under the
+# ~9 req/s / ~0.4 s p99 a development machine records — they catch a
+# collapse to cold-allocation costs, not slow CI hardware.
+REQUESTS_PER_S_FLOOR = 1.0
+P99_LATENCY_BUDGET_S = 5.0
+# Deterministic floor: the warm pass must spend at least this factor
+# fewer throughput evaluations than the cold multi-start.
+WARM_EVAL_RATIO_FLOOR = 3.0
+REGRESSION_TOLERANCE = 0.20
+
+
+def measure_replay() -> dict:
+    """The throughput + tail-latency rung, with a determinism check."""
+    with quiesced_gc():
+        t0 = time.perf_counter()
+        responses, fingerprint = run_self_test(*SCENARIO, seed=SCENARIO_SEED)
+        wall_s = time.perf_counter() - t0
+    _, replay_fingerprint = run_self_test(*SCENARIO, seed=SCENARIO_SEED)
+    if fingerprint != replay_fingerprint:
+        raise SystemExit(
+            "determinism violated: two self-test replays produced "
+            f"different fingerprints ({fingerprint[:12]} vs "
+            f"{replay_fingerprint[:12]})"
+        )
+    latencies = sorted(r["latency_s"] for r in responses)
+    n = len(latencies)
+    p99 = latencies[min(n - 1, int(0.99 * n))]
+    failed = sum(1 for r in responses if not r.get("ok", False))
+    return {
+        "n_aps": SCENARIO[0],
+        "n_clients": SCENARIO[1],
+        "n_requests": n,
+        "n_failed": failed,
+        "wall_s": round(wall_s, 3),
+        "requests_per_s": round(n / wall_s, 2) if wall_s > 0 else 0.0,
+        "p99_latency_s": round(p99, 4),
+        "max_latency_s": round(latencies[-1], 4),
+        "fingerprint": fingerprint,
+    }
+
+
+def measure_warm_factor() -> dict:
+    """Cold multi-start vs warm-resumed reconfiguration (all shards)."""
+    network, arrival_lines = self_test_network(*SCENARIO, seed=SCENARIO_SEED)
+    arrivals = [json.loads(line) for line in arrival_lines]
+    service = AcornService(
+        network, ChannelPlan(), ThroughputModel(), seed=SCENARIO_SEED
+    )
+
+    async def script():
+        await service.start()
+        for arrival in arrivals:
+            await service.admit(
+                arrival["client"], position=tuple(arrival["position"])
+            )
+        cold = await service.reconfigure(warm=False)
+        warm = await service.reconfigure(warm=True)
+        await service.stop()
+        return cold, warm
+
+    cold, warm = asyncio.run(script())
+    ratio = (
+        cold["evaluations"] / warm["evaluations"]
+        if warm["evaluations"]
+        else float("inf")
+    )
+    return {
+        "n_shards": len(cold["shards"]),
+        "cold_evaluations": cold["evaluations"],
+        "warm_evaluations": warm["evaluations"],
+        "cold_aggregate_mbps": round(cold["aggregate_mbps"], 6),
+        "warm_aggregate_mbps": round(warm["aggregate_mbps"], 6),
+        "warm_eval_ratio": round(ratio, 2),
+    }
+
+
+def run_benchmark() -> dict:
+    replay = measure_replay()
+    print(
+        f"  ({replay['n_aps']} APs, {replay['n_clients']} clients): "
+        f"{replay['n_requests']} requests in {replay['wall_s']:.1f} s — "
+        f"{replay['requests_per_s']:.1f} req/s, "
+        f"p99 {replay['p99_latency_s'] * 1e3:.0f} ms, "
+        f"fingerprint {replay['fingerprint'][:12]}",
+        flush=True,
+    )
+    warm = measure_warm_factor()
+    print(
+        f"  warm reconfigure over {warm['n_shards']} shard(s): "
+        f"{warm['warm_evaluations']} evaluations vs "
+        f"{warm['cold_evaluations']} cold "
+        f"({warm['warm_eval_ratio']:.1f}x fewer)",
+        flush=True,
+    )
+    return {
+        "benchmark": "service",
+        "generated_by": "benchmarks/bench_service.py",
+        "scenario_seed": SCENARIO_SEED,
+        "requests_per_s_floor": REQUESTS_PER_S_FLOOR,
+        "p99_latency_budget_s": P99_LATENCY_BUDGET_S,
+        "warm_eval_ratio_floor": WARM_EVAL_RATIO_FLOOR,
+        "replay": replay,
+        "warm": warm,
+    }
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list:
+    """Regression gate: floors plus deterministic-quantity drift."""
+    failures = []
+    replay = report["replay"]
+    label = f"({replay['n_aps']} APs, {replay['n_clients']} clients replay)"
+    if replay["requests_per_s"] < REQUESTS_PER_S_FLOOR:
+        failures.append(
+            floor_failure_message(
+                label,
+                "service replay",
+                replay["requests_per_s"],
+                REQUESTS_PER_S_FLOOR,
+                kind="rate",
+                unit=" req/s",
+            )
+        )
+    if replay["p99_latency_s"] > P99_LATENCY_BUDGET_S:
+        failures.append(
+            f"{label}: p99 latency {replay['p99_latency_s']:.3f} s is over "
+            f"the {P99_LATENCY_BUDGET_S:.0f} s budget"
+        )
+    warm = report["warm"]
+    warm_label = f"({warm['n_shards']} shard warm reconfigure)"
+    if warm["warm_eval_ratio"] < WARM_EVAL_RATIO_FLOOR:
+        failures.append(
+            floor_failure_message(
+                warm_label,
+                "cold/warm evaluations",
+                warm["warm_eval_ratio"],
+                WARM_EVAL_RATIO_FLOOR,
+            )
+        )
+    # Deterministic quantities must not drift at all: the replay is
+    # seeded, so a changed request count or a fingerprint mismatch is a
+    # behaviour change, not noise. (No drift clause for wall rates —
+    # they are runner-relative, as in bench_timeline.)
+    old_replay = baseline.get("replay", {})
+    if "n_requests" in old_replay and (
+        replay["n_requests"] != old_replay["n_requests"]
+    ):
+        failures.append(
+            f"{label}: request count changed {old_replay['n_requests']} -> "
+            f"{replay['n_requests']} (seeded replay must be deterministic)"
+        )
+    old_warm = baseline.get("warm", {})
+    for key in ("cold_evaluations", "warm_evaluations", "n_shards"):
+        if key in old_warm and warm[key] != old_warm[key]:
+            failures.append(
+                f"{warm_label}: {key} changed {old_warm[key]} -> "
+                f"{warm[key]} (deterministic quantity)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the checked-in baseline instead of refreshing it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"baseline path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        code = require_baseline(args.output)
+        if code is not None:
+            return code
+
+    print(
+        "service benchmark (request throughput, tail latency, warm restarts)",
+        flush=True,
+    )
+    report = run_benchmark()
+
+    if args.check:
+        baseline = json.loads(args.output.read_text())
+        failures = check_against_baseline(report, baseline)
+        if failures:
+            print("REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"ok: within {REGRESSION_TOLERANCE:.0%} of {args.output}")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

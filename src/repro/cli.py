@@ -255,6 +255,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the shard-routed asyncio controller front-end "
+            "(repro.service)"
+        ),
+    )
+    serve.add_argument(
+        "--aps", type=int, default=24, help="campus grid size in APs"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=60, help="scripted client count"
+    )
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--self-test",
+        action="store_true",
+        dest="self_test",
+        help=(
+            "run the scripted concurrent request mix once and print the "
+            "response fingerprint instead of serving TCP"
+        ),
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="run the reprolint static invariant checker (repro.lint)",
@@ -581,6 +611,56 @@ def _run_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net import ChannelPlan, WeightedThroughputModel
+    from .service import AcornService, run_self_test, serve_tcp
+    from .service.server import self_test_network
+
+    if args.self_test:
+        responses, fingerprint = run_self_test(
+            n_aps=args.aps, n_clients=args.clients, seed=args.seed
+        )
+        served = sum(1 for r in responses if r.get("ok"))
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["APs", args.aps],
+                    ["scripted clients", args.clients],
+                    ["responses", len(responses)],
+                    ["ok responses", served],
+                ],
+                title="Service self-test",
+            )
+        )
+        print(f"fingerprint: {fingerprint}")
+        return 0
+
+    network, _ = self_test_network(args.aps, args.clients, args.seed)
+
+    async def _serve() -> None:
+        service = AcornService(
+            network, ChannelPlan(), WeightedThroughputModel(), seed=args.seed
+        )
+        boot = await service.start(configure=True)
+        server = await serve_tcp(service, host=args.host, port=args.port)
+        bound = server.sockets[0].getsockname()
+        print(
+            f"serving {args.aps} APs in {boot['n_shards']} shards "
+            f"on {bound[0]}:{bound[1]}"
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from .fleet import SweepSpec, run_sweep
 
@@ -755,6 +835,7 @@ _HANDLERS = {
     "longrun": _run_longrun,
     "timeline": _run_timeline,
     "sweep": _run_sweep,
+    "serve": _run_serve,
     "lint": _run_lint,
 }
 

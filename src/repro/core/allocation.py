@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import ACORN_EPSILON, make_rng
 from ..errors import AllocationError
+from ..graph.components import ComponentDecomposition
 from ..net.batch import BatchTables, BatchedEvaluator, accumulate_totals
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator, FullEvaluationEngine
@@ -139,6 +140,45 @@ def random_assignment(
     }
 
 
+def _reset_mapping(
+    ap_ids: Sequence[str],
+    initial: Mapping[str, Channel],
+    frozen: Optional[Mapping[str, Channel]],
+) -> Dict[str, Channel]:
+    """The engine-reset assignment: scanned APs plus frozen bystanders.
+
+    ``reset`` wipes any AP missing from its mapping to *unassigned*, so
+    a scoped run must carry the out-of-scope APs' committed channels
+    along — otherwise the scoped trial values would score against a
+    silent network instead of the live one. Scanned APs always win over
+    ``frozen`` on overlap.
+    """
+    mapping = {ap: initial[ap] for ap in ap_ids}
+    if frozen:
+        for ap_id, channel in frozen.items():
+            mapping.setdefault(ap_id, channel)
+    return mapping
+
+
+def _shard_lists(
+    ap_ids: Sequence[str],
+    shards: Optional[Sequence[Sequence[int]]],
+) -> List[List[int]]:
+    """Validated shard position lists (one all-covering shard when None)."""
+    if shards is None:
+        return [list(range(len(ap_ids)))]
+    lists = [list(shard) for shard in shards]
+    covered: List[int] = sorted(p for shard in lists for p in shard)
+    if covered != list(range(len(ap_ids))):
+        raise AllocationError(
+            "shards must partition the allocation positions "
+            f"0..{len(ap_ids) - 1}; got {covered}"
+        )
+    if any(not shard for shard in lists):
+        raise AllocationError("shards must be non-empty")
+    return lists
+
+
 def greedy_allocate(
     ap_ids: Sequence[str],
     palette: Sequence[Channel],
@@ -147,6 +187,8 @@ def greedy_allocate(
     epsilon: float = ACORN_EPSILON,
     max_rounds: int = 20,
     engine: Optional[DeltaEvaluator] = None,
+    frozen: Optional[Mapping[str, Channel]] = None,
+    shards: Optional[Sequence[Sequence[int]]] = None,
 ) -> AllocationResult:
     """The core of Algorithm 2, decoupled from the network model.
 
@@ -161,6 +203,16 @@ def greedy_allocate(
 
     The AP's current channel is skipped as a candidate — it is a no-op
     whose rank is identically 0, below the switch threshold.
+
+    ``frozen`` carries channels for APs that are *not* scanned but must
+    stay configured during the run (a scoped/shard allocation); scanned
+    APs take their channel from ``initial``. ``shards`` partitions the
+    scan positions into interference components: each round runs the
+    inner max-rank loop shard by shard (shard-major, round-lockstep)
+    while every trial still scores the **global** aggregate — the
+    execution order changes, the arithmetic does not, which is why the
+    sharded result is bit-identical to the monolithic scan (enforced by
+    ``tests/test_sharded_equivalence.py``).
     """
     if epsilon < 1.0:
         raise AllocationError(f"epsilon is a growth factor >= 1, got {epsilon}")
@@ -177,56 +229,64 @@ def greedy_allocate(
         raise AllocationError(f"initial assignment misses APs {missing}")
     if isinstance(engine, BatchedEvaluator):
         return _greedy_allocate_batched(
-            ap_ids, palette, initial, epsilon, max_rounds, engine
+            ap_ids, palette, initial, epsilon, max_rounds, engine,
+            frozen=frozen, shards=shards,
         )
     if isinstance(engine, CompiledEvaluator):
         return _greedy_allocate_compiled(
-            ap_ids, palette, initial, epsilon, max_rounds, engine
+            ap_ids, palette, initial, epsilon, max_rounds, engine,
+            frozen=frozen, shards=shards,
         )
+    shard_ids = [
+        [ap_ids[position] for position in shard]
+        for shard in _shard_lists(ap_ids, shards)
+    ]
     tracer = active_tracer()
     observe = tracer.enabled
     stats_before = _engine_stats_snapshot(engine) if observe else None
     skips = 0
-    aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
+    aggregate = engine.reset(_reset_mapping(ap_ids, initial, frozen))
     evaluations = 1
     history: List[SwitchEvent] = []
     rounds = 0
     for round_index in range(max_rounds):
         rounds = round_index + 1
         round_start = aggregate
-        remaining = list(ap_ids)
         improved_this_round = False
-        while remaining:
-            best: Optional[Tuple[float, str, Channel, float]] = None
-            for ap_id in remaining:
-                current = engine.channel_of(ap_id)
-                for channel in palette:
-                    if channel == current:
-                        if observe:
-                            skips += 1
-                        continue  # a no-op switch can never win
-                    candidate_aggregate = engine.trial(ap_id, channel)
-                    evaluations += 1
-                    rank = candidate_aggregate - aggregate
-                    if best is None or rank > best[0] + 1e-12:
-                        best = (rank, ap_id, channel, candidate_aggregate)
-            if best is None:
-                break  # palette offers nothing but no-ops
-            rank, winner, channel, _ = best
-            if rank <= 1e-9:
-                # No remaining AP can improve the aggregate: the round ends.
-                break
-            aggregate = engine.commit(winner, channel)
-            remaining.remove(winner)
-            improved_this_round = True
-            history.append(
-                SwitchEvent(
-                    ap_id=winner,
-                    channel=channel,
-                    aggregate_mbps=aggregate,
-                    round_index=round_index,
+        for shard in shard_ids:
+            remaining = list(shard)
+            while remaining:
+                best: Optional[Tuple[float, str, Channel, float]] = None
+                for ap_id in remaining:
+                    current = engine.channel_of(ap_id)
+                    for channel in palette:
+                        if channel == current:
+                            if observe:
+                                skips += 1
+                            continue  # a no-op switch can never win
+                        candidate_aggregate = engine.trial(ap_id, channel)
+                        evaluations += 1
+                        rank = candidate_aggregate - aggregate
+                        if best is None or rank > best[0] + 1e-12:
+                            best = (rank, ap_id, channel, candidate_aggregate)
+                if best is None:
+                    break  # palette offers nothing but no-ops
+                rank, winner, channel, _ = best
+                if rank <= 1e-9:
+                    # No remaining AP can improve the aggregate: this
+                    # shard is done for the round.
+                    break
+                aggregate = engine.commit(winner, channel)
+                remaining.remove(winner)
+                improved_this_round = True
+                history.append(
+                    SwitchEvent(
+                        ap_id=winner,
+                        channel=channel,
+                        aggregate_mbps=aggregate,
+                        round_index=round_index,
+                    )
                 )
-            )
         if not improved_this_round:
             break
         if round_start > 0 and aggregate < epsilon * round_start:
@@ -251,6 +311,8 @@ def _greedy_allocate_compiled(
     epsilon: float,
     max_rounds: int,
     engine: CompiledEvaluator,
+    frozen: Optional[Mapping[str, Channel]] = None,
+    shards: Optional[Sequence[Sequence[int]]] = None,
 ) -> AllocationResult:
     """Algorithm 2 on integer indices — the compiled-engine hot loop.
 
@@ -261,7 +323,7 @@ def _greedy_allocate_compiled(
     index comparison ``candidate == current`` skips exactly the
     candidates the string loop skips and every trial value is the
     identical float — the two loops make the same decisions bit for
-    bit.
+    bit. ``frozen``/``shards`` mirror :func:`greedy_allocate`.
     """
     ap_index = engine.compiled.ap_index
     positions: List[int] = []
@@ -270,12 +332,13 @@ def _greedy_allocate_compiled(
         if index is None:
             raise AllocationError(f"unknown AP {ap_id!r}")
         positions.append(index)
+    shard_lists = _shard_lists(ap_ids, shards)
     palette_indices = [engine.intern(channel) for channel in palette]
     tracer = active_tracer()
     observe = tracer.enabled
     stats_before = engine.stats.as_dict() if observe else None
     skips = 0
-    aggregate = engine.reset({ap: initial[ap] for ap in ap_ids})
+    aggregate = engine.reset(_reset_mapping(ap_ids, initial, frozen))
     evaluations = 1
     history: List[SwitchEvent] = []
     rounds = 0
@@ -284,46 +347,55 @@ def _greedy_allocate_compiled(
     for round_index in range(max_rounds):
         rounds = round_index + 1
         round_start = aggregate
-        remaining = list(range(len(ap_ids)))
         improved_this_round = False
-        while remaining:
-            best: Optional[Tuple[float, int, int, float]] = None
-            best_rank_floor = None
-            for position in remaining:
-                ap = positions[position]
-                current = channel_index_of(ap)
-                for candidate_position, candidate in enumerate(palette_indices):
-                    if candidate == current:
-                        if observe:
-                            skips += 1
-                        continue  # a no-op switch can never win
-                    candidate_aggregate = trial_index(ap, candidate)
-                    evaluations += 1
-                    rank = candidate_aggregate - aggregate
-                    if best_rank_floor is None or rank > best_rank_floor:
-                        best = (rank, position, candidate_position, candidate)
-                        best_rank_floor = rank + 1e-12
-            if best is None:
-                break  # palette offers nothing but no-ops
-            rank, winner_position, channel_position, channel_index = best
-            if rank <= 1e-9:
-                # No remaining AP can improve the aggregate: the round ends.
-                break
-            winner = ap_ids[winner_position]
-            channel = palette[channel_position]
-            aggregate = engine.commit_index(
-                positions[winner_position], channel_index
-            )
-            remaining.remove(winner_position)
-            improved_this_round = True
-            history.append(
-                SwitchEvent(
-                    ap_id=winner,
-                    channel=channel,
-                    aggregate_mbps=aggregate,
-                    round_index=round_index,
+        for shard in shard_lists:
+            remaining = list(shard)
+            while remaining:
+                best: Optional[Tuple[float, int, int, float]] = None
+                best_rank_floor = None
+                for position in remaining:
+                    ap = positions[position]
+                    current = channel_index_of(ap)
+                    for candidate_position, candidate in enumerate(
+                        palette_indices
+                    ):
+                        if candidate == current:
+                            if observe:
+                                skips += 1
+                            continue  # a no-op switch can never win
+                        candidate_aggregate = trial_index(ap, candidate)
+                        evaluations += 1
+                        rank = candidate_aggregate - aggregate
+                        if best_rank_floor is None or rank > best_rank_floor:
+                            best = (
+                                rank,
+                                position,
+                                candidate_position,
+                                candidate,
+                            )
+                            best_rank_floor = rank + 1e-12
+                if best is None:
+                    break  # palette offers nothing but no-ops
+                rank, winner_position, channel_position, channel_index = best
+                if rank <= 1e-9:
+                    # No remaining AP can improve the aggregate: this
+                    # shard is done for the round.
+                    break
+                winner = ap_ids[winner_position]
+                channel = palette[channel_position]
+                aggregate = engine.commit_index(
+                    positions[winner_position], channel_index
                 )
-            )
+                remaining.remove(winner_position)
+                improved_this_round = True
+                history.append(
+                    SwitchEvent(
+                        ap_id=winner,
+                        channel=channel,
+                        aggregate_mbps=aggregate,
+                        round_index=round_index,
+                    )
+                )
         if not improved_this_round:
             break
         if round_start > 0 and aggregate < epsilon * round_start:
@@ -366,6 +438,8 @@ class _BatchedGreedyRun:
         max_rounds,
         batch,
         observe,
+        frozen=None,
+        shards=None,
     ) -> None:
         self.ap_ids = ap_ids
         self.positions = positions
@@ -378,14 +452,18 @@ class _BatchedGreedyRun:
         self.observe = observe
         self.skips = 0
         self.stats_before = self.engine.stats.as_dict() if observe else None
-        self.aggregate = self.engine.reset({ap: initial[ap] for ap in ap_ids})
+        self.aggregate = self.engine.reset(
+            _reset_mapping(ap_ids, initial, frozen)
+        )
         self.evaluations = 1
         self.history: List[SwitchEvent] = []
         self.round_index = 0
         self.done = max_rounds < 1
         self.rounds = 0 if self.done else 1
         self.round_start = self.aggregate
-        self.remaining = list(range(len(ap_ids)))
+        self.shards = _shard_lists(ap_ids, shards)
+        self.shard_cursor = 0
+        self.remaining = list(self.shards[0])
         self.improved = False
         # How many palette entries equal a given interned index — the
         # per-row skip count for rows pruned without a candidate scan.
@@ -456,12 +534,13 @@ class _BatchedGreedyRun:
         self.evaluations = evaluations
         self.skips = skips
         if best is None:
-            self._end_round()
+            self._advance_shard()
             return
         rank, winner_position, channel_position = best
         if rank <= 1e-9:
-            # No remaining AP can improve the aggregate: the round ends.
-            self._end_round()
+            # No remaining AP can improve the aggregate: this shard is
+            # done for the round.
+            self._advance_shard()
             return
         winner_ap = self.positions[winner_position]
         new_index = self.palette_indices[channel_position]
@@ -479,7 +558,15 @@ class _BatchedGreedyRun:
             )
         )
         if not self.remaining:
-            self._end_round()
+            self._advance_shard()
+
+    def _advance_shard(self) -> None:
+        """Move to the round's next shard; after the last, end the round."""
+        if self.shard_cursor + 1 < len(self.shards):
+            self.shard_cursor += 1
+            self.remaining = list(self.shards[self.shard_cursor])
+            return
+        self._end_round()
 
     def _end_round(self) -> None:
         """Round bookkeeping: stop checks, then start the next round."""
@@ -498,7 +585,8 @@ class _BatchedGreedyRun:
             return
         self.rounds = self.round_index + 1
         self.round_start = self.aggregate
-        self.remaining = list(range(len(self.ap_ids)))
+        self.shard_cursor = 0
+        self.remaining = list(self.shards[0])
         self.improved = False
 
     def result(self) -> AllocationResult:
@@ -557,6 +645,8 @@ def _greedy_allocate_batched(
     epsilon: float,
     max_rounds: int,
     batch: BatchedEvaluator,
+    frozen: Optional[Mapping[str, Channel]] = None,
+    shards: Optional[Sequence[Sequence[int]]] = None,
 ) -> AllocationResult:
     """Single-start Algorithm 2 on a caller-supplied batched engine."""
     positions = _positions_of(ap_ids, batch.engine.compiled)
@@ -573,6 +663,8 @@ def _greedy_allocate_batched(
         max_rounds,
         batch,
         observe,
+        frozen=frozen,
+        shards=shards,
     )
     _drive_batched([run], tracer, observe)
     result = run.result()
@@ -592,6 +684,8 @@ def _allocate_batched_starts(
     associations,
     tracer,
     observe,
+    frozen=None,
+    shards=None,
 ) -> List[AllocationResult]:
     """All multi-start replicas of one allocation, evaluated in lockstep.
 
@@ -634,6 +728,8 @@ def _allocate_batched_starts(
                 max_rounds,
                 batch,
                 observe,
+                frozen=frozen,
+                shards=shards,
             )
         )
     _drive_batched(runs, tracer, observe)
@@ -662,6 +758,9 @@ def allocate_channels(
     restarts: int = 1,
     engine_mode: str = "auto",
     compiled: Optional[CompiledNetwork] = None,
+    scope: Optional[Sequence[str]] = None,
+    warm_start: Optional[Mapping[str, Channel]] = None,
+    decomposition: Optional[ComponentDecomposition] = None,
 ) -> AllocationResult:
     """Run Algorithm 2 against a network.
 
@@ -696,6 +795,25 @@ def allocate_channels(
         A pre-built :class:`~repro.net.state.CompiledNetwork` for this
         (network, graph, plan); avoids recompiling when the caller
         already holds one (e.g. the controller or a fleet worker).
+    scope:
+        Restrict the greedy scan to this subset of APs (a shard); every
+        AP outside the scope keeps its committed channel and still
+        contributes to every trial's aggregate. Mutually exclusive with
+        ``decomposition``.
+    warm_start:
+        A previous assignment used as the *single* start, so a
+        reconfiguration resumes from the last allocation instead of
+        multi-starting from scratch. Requires ``restarts == 1``,
+        mutually exclusive with ``initial``, and consumes no RNG draws
+        — replaying the same churn with the same seed stream is
+        bit-reproducible.
+    decomposition:
+        A :class:`~repro.graph.components.ComponentDecomposition` of the
+        interference graph. Each round then scans shard by shard
+        (shard-major, round-lockstep) over the same global engine —
+        a pure re-ordering of an arithmetic that is already
+        shard-separable, so the result is bit-identical to the
+        monolithic scan. Mutually exclusive with ``scope``.
 
     All starts share one evaluation engine, so the expensive
     per-(AP, channel) link mathematics is paid once and every restart
@@ -708,7 +826,49 @@ def allocate_channels(
             f"engine_mode must be 'auto', 'batched', 'compiled' or "
             f"'delta', got {engine_mode!r}"
         )
-    ap_ids = network.ap_ids
+    if warm_start is not None:
+        if initial is not None:
+            raise AllocationError(
+                "warm_start and initial are mutually exclusive; a warm "
+                "start IS the initial assignment"
+            )
+        if restarts != 1:
+            raise AllocationError(
+                f"warm_start resumes a single run; got restarts={restarts}"
+            )
+    if scope is not None and decomposition is not None:
+        raise AllocationError(
+            "scope and decomposition are mutually exclusive: scope "
+            "restricts to one shard, decomposition scans them all"
+        )
+    all_ap_ids = network.ap_ids
+    frozen: Optional[Dict[str, Channel]] = None
+    if scope is not None:
+        scope_set = frozenset(scope)
+        known = set(all_ap_ids)
+        unknown = [ap for ap in scope if ap not in known]
+        if unknown:
+            raise AllocationError(f"scope names unknown APs {unknown}")
+        ap_ids = tuple(ap for ap in all_ap_ids if ap in scope_set)
+        if not ap_ids:
+            raise AllocationError("scope selects no APs")
+        # Out-of-scope APs stay configured: their channels come from the
+        # warm start / initial when given, else the live network.
+        baseline: Dict[str, Channel] = dict(network.channel_assignment)
+        if initial is not None:
+            baseline.update(initial)
+        if warm_start is not None:
+            baseline.update(warm_start)
+        frozen = {
+            ap: baseline[ap]
+            for ap in all_ap_ids
+            if ap not in scope_set and baseline.get(ap) is not None
+        }
+    else:
+        ap_ids = all_ap_ids
+    shards: Optional[List[List[int]]] = None
+    if decomposition is not None:
+        shards = decomposition.position_shards(ap_ids)
     generator = make_rng(rng)
     deciding = decision_model if decision_model is not None else model
 
@@ -742,10 +902,18 @@ def allocate_channels(
         )
 
     starts: List[Mapping[str, Channel]] = []
-    if initial is not None:
-        starts.append(initial)
-    while len(starts) < restarts:
-        starts.append(random_assignment(ap_ids, plan, generator))
+    if warm_start is not None:
+        # The warm path must not touch the generator: a replayed seed
+        # stream then drives an identical reconfiguration.
+        missing = [ap for ap in ap_ids if ap not in warm_start]
+        if missing:
+            raise AllocationError(f"warm_start misses APs {missing}")
+        starts.append(warm_start)
+    else:
+        if initial is not None:
+            starts.append(initial)
+        while len(starts) < restarts:
+            starts.append(random_assignment(ap_ids, plan, generator))
 
     tracer = active_tracer()
     observe = tracer.enabled
@@ -753,6 +921,12 @@ def allocate_channels(
         tracer.start("allocate")
         tracer.metrics.counter("alloc.runs").inc()
         tracer.metrics.counter("alloc.restarts").inc(len(starts) - 1)
+        if warm_start is not None:
+            tracer.metrics.counter("alloc.warm_starts").inc()
+        if shards is not None:
+            tracer.metrics.counter("alloc.shards").inc(len(shards))
+        if scope is not None:
+            tracer.metrics.counter("alloc.scoped_runs").inc()
     best: Optional[AllocationResult] = None
     evaluations_per_start: List[int] = []
     if use_batched:
@@ -772,6 +946,8 @@ def allocate_channels(
             ),
             tracer,
             observe,
+            frozen=frozen,
+            shards=shards,
         )
         if observe:
             tracer.end("allocate.batch")
@@ -790,6 +966,8 @@ def allocate_channels(
                 epsilon=epsilon,
                 max_rounds=max_rounds,
                 engine=engine,
+                frozen=frozen,
+                shards=shards,
             )
             if observe:
                 tracer.end("allocate.start")

@@ -20,11 +20,12 @@ import networkx as nx
 import numpy as np
 
 from ..config import ACORN_EPSILON, ACORN_PERIOD_SECONDS, make_rng
-from ..errors import AssociationError
+from ..errors import AllocationError, AssociationError
+from ..graph.components import ComponentDecomposition, ShardDelta
 from ..net.channels import Channel, ChannelPlan
 from ..net.evaluator import DeltaEvaluator
 from ..net.interference import build_interference_graph
-from ..net.state import CompiledNetwork, supports_compiled
+from ..net.state import CompiledNetwork, ShardView, supports_compiled
 from ..net.throughput import NetworkReport, ThroughputModel
 from ..net.topology import Network
 from ..obs.tracer import active_tracer
@@ -32,6 +33,30 @@ from .allocation import AllocationResult, allocate_channels, random_assignment
 from .association import choose_ap
 
 __all__ = ["Acorn", "AcornResult"]
+
+
+@dataclass
+class _DerivedState:
+    """Every cache derived from the live network, dropped as one unit.
+
+    The controller used to hold a loose ``(_graph, _compiled)`` pair;
+    the shard layer adds the component decomposition and per-shard
+    warm-start assignments on top, and a partial invalidation (clearing
+    some fields but not others) would let the allocator score against a
+    graph that no longer matches its shards. Binding them in one holder
+    makes :meth:`Acorn.invalidate_graph` atomic by construction — the
+    old holder is replaced wholesale, never edited field by field.
+    """
+
+    graph: Optional[nx.Graph] = None
+    compiled: Optional[CompiledNetwork] = None
+    decomposition: Optional[ComponentDecomposition] = None
+    # Per-shard last-committed assignment: the warm start a shard-scoped
+    # reconfiguration resumes from. Invalidation is per shard id — churn
+    # in one component never cools another component's start.
+    shard_assignments: Dict[int, Dict[str, Channel]] = field(
+        default_factory=dict
+    )
 
 
 @dataclass
@@ -99,21 +124,21 @@ class Acorn:
             min_snr20_db = serviceability_floor_db(self.model.packet_bytes)
         self.min_snr20_db = min_snr20_db
         self._rng = make_rng(seed)
-        self._graph: Optional[nx.Graph] = None
-        self._compiled: Optional[CompiledNetwork] = None
+        self._derived = _DerivedState()
 
     # ------------------------------------------------------------------
     @property
     def graph(self) -> nx.Graph:
         """The current interference graph (rebuilt on demand)."""
         tracer = active_tracer()
-        if self._graph is None:
+        derived = self._derived
+        if derived.graph is None:
             if tracer.enabled:
                 tracer.metrics.counter("controller.graph_builds").inc()
-            self._graph = build_interference_graph(self.network)
+            derived.graph = build_interference_graph(self.network)
         elif tracer.enabled:
             tracer.metrics.counter("controller.graph_cache_hits").inc()
-        return self._graph
+        return derived.graph
 
     @property
     def compiled(self) -> CompiledNetwork:
@@ -125,30 +150,79 @@ class Acorn:
         go stale relative to the graph the allocator scores against.
         """
         tracer = active_tracer()
-        if self._compiled is None:
+        derived = self._derived
+        if derived.compiled is None:
             if tracer.enabled:
                 tracer.metrics.counter("controller.compile_builds").inc()
-            self._compiled = CompiledNetwork.compile(
+            derived.compiled = CompiledNetwork.compile(
                 self.network, self.graph, self.plan
             )
         elif tracer.enabled:
             tracer.metrics.counter("controller.compile_cache_hits").inc()
-        return self._compiled
+        return derived.compiled
+
+    @property
+    def decomposition(self) -> ComponentDecomposition:
+        """Interference components of the current graph, with stable ids.
+
+        Built lazily from the cached graph; across client churn the
+        instance is *updated* (:meth:`ComponentDecomposition.update`)
+        rather than rebuilt, so shard ids survive merges and splits and
+        the per-shard warm-start caches stay addressable. A full
+        :meth:`invalidate_graph` resets the id space along with every
+        other derived cache.
+        """
+        tracer = active_tracer()
+        derived = self._derived
+        if derived.decomposition is None:
+            if tracer.enabled:
+                tracer.metrics.counter("controller.shard_builds").inc()
+            derived.decomposition = ComponentDecomposition.from_graph(
+                self.graph, ap_ids=self.network.ap_ids
+            )
+        elif tracer.enabled:
+            tracer.metrics.counter("controller.shard_cache_hits").inc()
+        return derived.decomposition
+
+    def shard_of(self, ap_id: str) -> int:
+        """The shard id of one AP (see :attr:`decomposition`)."""
+        return self.decomposition.shard_of(ap_id)
+
+    def shard_view(self, sid: int) -> ShardView:
+        """A compiled per-shard view (cached on the compiled snapshot)."""
+        return self.compiled.shard_view(sid, decomposition=self.decomposition)
+
+    def shard_assignment(self, sid: int) -> Optional[Dict[str, Channel]]:
+        """The warm-start assignment cached for one shard, if still valid."""
+        cached = self._derived.shard_assignments.get(sid)
+        return dict(cached) if cached is not None else None
 
     def invalidate_graph(self) -> None:
-        """Force an interference-graph rebuild (topology/assoc changed)."""
-        if self._graph is not None or self._compiled is not None:
+        """Force an interference-graph rebuild (topology/assoc changed).
+
+        Atomic over *every* derived cache: the graph, the compiled
+        snapshot, the component decomposition and the per-shard
+        warm-start assignments are replaced as one holder, so no code
+        path can observe a fresh graph next to stale shards (pinned by
+        ``tests/test_core_controller.py``).
+        """
+        derived = self._derived
+        if (
+            derived.graph is not None
+            or derived.compiled is not None
+            or derived.decomposition is not None
+            or derived.shard_assignments
+        ):
             tracer = active_tracer()
             if tracer.enabled:
                 tracer.metrics.counter("controller.cache_invalidations").inc()
-        self._graph = None
-        self._compiled = None
+        self._derived = _DerivedState()
 
     def apply_churn(
         self,
         added_clients: Sequence[str] = (),
         removed_clients: Sequence[str] = (),
-    ) -> None:
+    ) -> Optional[ShardDelta]:
         """Patch cached state after client churn instead of dropping it.
 
         The incremental counterpart of :meth:`invalidate_graph`: when a
@@ -159,18 +233,39 @@ class Acorn:
         ``compiled_ms`` instead of ``compile_ms``. Without a live
         snapshot there is nothing to patch, so this degrades to plain
         invalidation.
+
+        When a decomposition is live it is merged/split against the new
+        graph and the returned :class:`~repro.graph.components.ShardDelta`
+        says which shards changed; their warm-start assignments are
+        dropped (per-shard invalidation — untouched components keep
+        theirs). Returns ``None`` when no decomposition was live.
         """
-        if self._compiled is None:
+        derived = self._derived
+        if derived.compiled is None:
             self.invalidate_graph()
-            return
+            return None
         tracer = active_tracer()
         if tracer.enabled:
             tracer.metrics.counter("controller.churn_patches").inc()
-        self._graph = self._compiled.apply_churn(
+        derived.graph = derived.compiled.apply_churn(
             self.network,
             added_clients=added_clients,
             removed_clients=removed_clients,
         )
+        if derived.decomposition is None:
+            return None
+        delta = derived.decomposition.update(
+            derived.graph, ap_ids=self.network.ap_ids
+        )
+        stale = set(delta.invalidated) | set(delta.retired)
+        if stale:
+            if tracer.enabled:
+                tracer.metrics.counter("controller.shard_invalidations").inc(
+                    len(stale)
+                )
+            for sid in stale:
+                derived.shard_assignments.pop(sid, None)
+        return delta
 
     def engine(
         self,
@@ -221,8 +316,10 @@ class Acorn:
         compiled = None
         if incremental:
             self.apply_churn(added_clients=(client_id,))
-            if self._compiled is not None and supports_compiled(self.model):
-                compiled = self._compiled
+            if self._derived.compiled is not None and supports_compiled(
+                self.model
+            ):
+                compiled = self._derived.compiled
         ap_id, _ = choose_ap(
             self.network,
             self.graph,
@@ -258,23 +355,97 @@ class Acorn:
         return list(order)
 
     def allocate(
-        self, initial: Optional[Mapping[str, Channel]] = None
+        self,
+        initial: Optional[Mapping[str, Channel]] = None,
+        shard: Optional[int] = None,
+        warm_start: bool = False,
+        sharded: bool = False,
+        restarts: int = 1,
     ) -> AllocationResult:
-        """Algorithm 2 over the current associations; applies the result."""
+        """Algorithm 2 over the current associations; applies the result.
+
+        Parameters
+        ----------
+        shard:
+            Reallocate only this interference component (a shard id from
+            :attr:`decomposition`); every AP outside it keeps its
+            committed channel but still contributes to the scored
+            aggregate. The service front-end's per-request path.
+        warm_start:
+            Resume from the previous allocation (the shard's cached
+            assignment when scoped and still valid, else the network's
+            current channels) as the single start — no random draws, no
+            multi-start. Requires ``restarts == 1``.
+        sharded:
+            Run the full allocation shard-major over the decomposition:
+            the same commits as the monolithic scan (assignment and
+            aggregate bit-identical) at a fraction of the evaluations.
+        restarts:
+            Forwarded to :func:`allocate_channels`.
+        """
+        if shard is not None and sharded:
+            raise AllocationError(
+                "shard= reallocates one component; sharded=True scans "
+                "them all — pick one"
+            )
+        scope: Optional[Sequence[str]] = None
+        warm: Optional[Dict[str, Channel]] = None
+        if shard is not None:
+            scope = self.decomposition.members(shard)
+        if warm_start:
+            warm = None if shard is None else self.shard_assignment(shard)
+            if warm is None:
+                warm = dict(self.network.channel_assignment)
+            missing = [
+                ap
+                for ap in (scope if scope is not None else self.network.ap_ids)
+                if ap not in warm
+            ]
+            if missing:
+                raise AllocationError(
+                    f"warm start requires committed channels; APs {missing} "
+                    "have none — allocate cold first"
+                )
         result = allocate_channels(
             self.network,
             self.graph,
             self.plan,
             self.model,
-            initial=initial if initial is not None else self.network.channel_assignment,
+            initial=(
+                initial
+                if initial is not None or warm is not None
+                else self.network.channel_assignment
+            ),
             epsilon=self.epsilon,
             rng=self._rng,
+            restarts=restarts,
             engine_mode=self.engine_mode,
             compiled=self.compiled if supports_compiled(self.model) else None,
+            scope=scope,
+            warm_start=warm,
+            decomposition=self.decomposition if sharded else None,
         )
         for ap_id, channel in result.assignment.items():
             self.network.set_channel(ap_id, channel)
+        self._cache_shard_assignments(result.assignment, shard=shard)
         return result
+
+    def _cache_shard_assignments(
+        self,
+        assignment: Mapping[str, Channel],
+        shard: Optional[int] = None,
+    ) -> None:
+        """Record the committed allocation as per-shard warm starts."""
+        decomposition = self._derived.decomposition
+        if decomposition is None:
+            return
+        sids = (shard,) if shard is not None else decomposition.shard_ids
+        for sid in sids:
+            members = decomposition.members(sid)
+            if all(ap in assignment for ap in members):
+                self._derived.shard_assignments[sid] = {
+                    ap: assignment[ap] for ap in members
+                }
 
     def configure(
         self,

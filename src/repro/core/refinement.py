@@ -18,7 +18,7 @@ from __future__ import annotations
 # the engine contract; only the best improving move is committed per round
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -59,6 +59,7 @@ def refine_associations(
     apply: bool = True,
     engine_mode: str = "auto",
     compiled: Optional[CompiledNetwork] = None,
+    scope: Optional[Sequence[str]] = None,
 ) -> RefinementResult:
     """Hill-climb on single-client moves until no move improves Y.
 
@@ -83,9 +84,20 @@ def refine_associations(
     compiled:
         Pre-built :class:`~repro.net.state.CompiledNetwork` to reuse;
         must reflect the current associations and graph.
+    scope:
+        Restrict refinement to clients currently served by these APs,
+        and to candidate moves that stay within the set (a shard). APs
+        in different interference components never share candidate
+        clients, so per-shard refinement equals the global pass
+        restricted to that shard.
     """
     if max_rounds < 1:
         raise AssociationError(f"max_rounds must be >= 1, got {max_rounds}")
+    scope_set = frozenset(scope) if scope is not None else None
+    if scope_set is not None:
+        unknown = sorted(scope_set - set(network.ap_ids))
+        if unknown:
+            raise AssociationError(f"scope names unknown APs {unknown}")
     if engine_mode not in ("auto", "batched", "compiled", "delta"):
         raise AssociationError(
             f"engine_mode must be 'auto', 'batched', 'compiled' or "
@@ -140,6 +152,8 @@ def refine_associations(
             moves: List[Tuple[str, str]] = []
             sources: List[str] = []
             for client_id, current_ap in engine.associations.items():
+                if scope_set is not None and current_ap not in scope_set:
+                    continue
                 candidates = candidate_cache.get(client_id)
                 if candidates is None:
                     candidates = tuple(
@@ -151,6 +165,8 @@ def refine_associations(
                         continue
                     if target_ap not in assignment:
                         continue  # unconfigured AP cannot serve traffic
+                    if scope_set is not None and target_ap not in scope_set:
+                        continue  # a move may not leave the shard
                     moves.append((client_id, target_ap))
                     sources.append(current_ap)
             if moves:
@@ -166,6 +182,8 @@ def refine_associations(
                         best_move = (gain, client_id, sources[k], target_ap)
         else:
             for client_id, current_ap in engine.associations.items():
+                if scope_set is not None and current_ap not in scope_set:
+                    continue
                 candidates = candidate_cache.get(client_id)
                 if candidates is None:
                     candidates = tuple(
@@ -177,6 +195,8 @@ def refine_associations(
                         continue
                     if target_ap not in assignment:
                         continue  # unconfigured AP cannot serve traffic
+                    if scope_set is not None and target_ap not in scope_set:
+                        continue  # a move may not leave the shard
                     value = engine.trial_move(client_id, target_ap)
                     result.evaluations += 1
                     gain = value - aggregate

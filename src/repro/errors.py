@@ -15,6 +15,7 @@ __all__ = [
     "UnitsError",
     "LintError",
     "ObsError",
+    "ServiceError",
 ]
 
 
@@ -71,6 +72,16 @@ class LintError(ReproError):
 
     Findings are *not* errors — they are data; this class marks runs
     that could not complete at all (CLI exit code 2).
+    """
+
+
+class ServiceError(ReproError):
+    """A :mod:`repro.service` request could not be served.
+
+    Raised for malformed requests, unknown clients/shards, and service
+    lifecycle misuse (submitting to a stopped service). Domain failures
+    bubbling up from the controller (e.g. an inadmissible client) keep
+    their own types; this class marks the serving layer itself.
     """
 
 

@@ -1,4 +1,4 @@
-"""Graph-colouring theory behind the allocation problem."""
+"""Graph-colouring theory and component structure of the allocation problem."""
 
 from .coloring import (
     conflict_edges,
@@ -7,6 +7,7 @@ from .coloring import (
     is_conflict_free,
     worst_case_ratio,
 )
+from .components import ComponentDecomposition, ShardDelta, connected_members
 
 __all__ = [
     "is_conflict_free",
@@ -14,4 +15,7 @@ __all__ = [
     "worst_case_ratio",
     "has_k_coloring",
     "exact_chromatic_number",
+    "ComponentDecomposition",
+    "ShardDelta",
+    "connected_members",
 ]

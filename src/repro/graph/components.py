@@ -1,0 +1,253 @@
+"""Interference-graph component decomposition with stable shard ids.
+
+Footnote 5's interference graph routinely fragments: campus-scale
+deployments (and the high-density regimes of Barrachina-Muñoz et al.)
+consist of many disconnected components, and APs in different
+components never contend — Algorithms 1 and 2 decompose exactly along
+those boundaries. :class:`ComponentDecomposition` names each component
+with a **stable shard id** that survives churn: client arrivals and
+departures move footnote-5 edges, merging and splitting components,
+and :meth:`ComponentDecomposition.update` re-derives the partition
+while keeping ids attached to the surviving pieces. Stable ids are
+what per-shard caches, warm-start hints and the service front-end key
+on — an id change is an invalidation signal, not a cosmetic renumber.
+
+Identity rules (deterministic, order-free of the churn path taken):
+
+* Every shard remembers its **anchor** — its first member in AP order
+  at creation time.
+* A new component *claims* every old shard whose anchor it contains;
+  it keeps the smallest claimed id (a merge collapses onto the oldest
+  surviving id, the other ids retire).
+* A component claiming no anchor (a split remainder, or brand-new
+  nodes) receives a fresh id from a monotone counter — fresh ids are
+  never recycled, so a retired id can never alias a new shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+
+__all__ = ["ComponentDecomposition", "ShardDelta", "connected_members"]
+
+
+def connected_members(
+    ap_ids: Sequence[str], adjacency: Mapping[str, Iterable[str]]
+) -> List[Tuple[str, ...]]:
+    """Connected components over ``ap_ids``, deterministically ordered.
+
+    Members within a component follow AP order; components are ordered
+    by their first member. An iterative DFS keeps recursion depth off
+    the table for campus-scale chains.
+    """
+    order = {ap_id: index for index, ap_id in enumerate(ap_ids)}
+    seen: set = set()
+    components: List[Tuple[str, ...]] = []
+    for root in ap_ids:
+        if root in seen:
+            continue
+        stack = [root]
+        seen.add(root)
+        members = [root]
+        while stack:
+            node = stack.pop()
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in seen and neighbour in order:
+                    seen.add(neighbour)
+                    members.append(neighbour)
+                    stack.append(neighbour)
+        members.sort(key=order.__getitem__)
+        components.append(tuple(members))
+    return components
+
+
+@dataclass(frozen=True)
+class ShardDelta:
+    """What one :meth:`ComponentDecomposition.update` changed.
+
+    ``created`` are fresh ids, ``retired`` are ids that no longer name
+    a component, ``changed`` kept their id but not their member set,
+    ``unchanged`` kept both. Per-shard caches stay valid exactly for
+    ``unchanged``; everything in :attr:`invalidated` must be dropped.
+    """
+
+    created: Tuple[int, ...] = ()
+    retired: Tuple[int, ...] = ()
+    changed: Tuple[int, ...] = ()
+    unchanged: Tuple[int, ...] = ()
+
+    @property
+    def invalidated(self) -> Tuple[int, ...]:
+        """Shard ids whose derived caches are stale after the update."""
+        return tuple(sorted(self.created + self.changed))
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the partition (ids and members) did not move."""
+        return not (self.created or self.retired or self.changed)
+
+
+class ComponentDecomposition:
+    """A stable-id partition of the APs into interference components."""
+
+    def __init__(
+        self,
+        members: Mapping[int, Sequence[str]],
+        anchors: Mapping[int, str],
+        next_id: int,
+    ) -> None:
+        self._members: Dict[int, Tuple[str, ...]] = {
+            sid: tuple(group) for sid, group in members.items()
+        }
+        self._anchors: Dict[int, str] = dict(anchors)
+        self._next_id = next_id
+        self._shard_of: Dict[str, int] = {}
+        for sid, group in self._members.items():
+            for ap_id in group:
+                self._shard_of[ap_id] = sid
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: nx.Graph, ap_ids: Optional[Sequence[str]] = None
+    ) -> "ComponentDecomposition":
+        """Decompose an interference graph (ids 0..k-1 in AP order)."""
+        if ap_ids is None:
+            ap_ids = tuple(graph.nodes)
+        adjacency = {ap_id: tuple(graph.neighbors(ap_id)) for ap_id in ap_ids
+                     if ap_id in graph}
+        return cls.from_adjacency(ap_ids, adjacency)
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        ap_ids: Sequence[str],
+        adjacency: Mapping[str, Iterable[str]],
+    ) -> "ComponentDecomposition":
+        """Decompose from an explicit adjacency mapping."""
+        groups = connected_members(ap_ids, adjacency)
+        members = {sid: group for sid, group in enumerate(groups)}
+        anchors = {sid: group[0] for sid, group in members.items()}
+        return cls(members, anchors, next_id=len(groups))
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """All live shard ids, ascending."""
+        return tuple(sorted(self._members))
+
+    @property
+    def n_shards(self) -> int:
+        """Number of live shards."""
+        return len(self._members)
+
+    def members(self, sid: int) -> Tuple[str, ...]:
+        """The APs of one shard, in AP order."""
+        try:
+            return self._members[sid]
+        except KeyError:
+            raise TopologyError(f"unknown shard id {sid}") from None
+
+    def shard_of(self, ap_id: str) -> int:
+        """The shard id owning an AP."""
+        try:
+            return self._shard_of[ap_id]
+        except KeyError:
+            raise TopologyError(f"AP {ap_id!r} is in no shard") from None
+
+    def shards(self) -> Iterator[Tuple[int, Tuple[str, ...]]]:
+        """Iterate ``(sid, members)`` in ascending shard-id order."""
+        for sid in self.shard_ids:
+            yield sid, self._members[sid]
+
+    def position_shards(
+        self, ap_ids: Sequence[str]
+    ) -> List[List[int]]:
+        """Partition positions into ``ap_ids`` by shard, id-ascending.
+
+        The allocator-facing view: each inner list holds indices into
+        ``ap_ids`` belonging to one shard, lists ordered by shard id,
+        positions ascending within each list. Every AP must be covered.
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for position, ap_id in enumerate(ap_ids):
+            by_shard.setdefault(self.shard_of(ap_id), []).append(position)
+        return [by_shard[sid] for sid in sorted(by_shard)]
+
+    # ------------------------------------------------------------------
+    def update(
+        self, graph: nx.Graph, ap_ids: Optional[Sequence[str]] = None
+    ) -> ShardDelta:
+        """Re-partition after churn, keeping ids stable; returns the delta."""
+        if ap_ids is None:
+            ap_ids = tuple(graph.nodes)
+        adjacency = {ap_id: tuple(graph.neighbors(ap_id)) for ap_id in ap_ids
+                     if ap_id in graph}
+        groups = connected_members(ap_ids, adjacency)
+        anchor_owner = {
+            anchor: sid for sid, anchor in self._anchors.items()
+        }
+        new_members: Dict[int, Tuple[str, ...]] = {}
+        new_anchors: Dict[int, str] = {}
+        created: List[int] = []
+        for group in groups:
+            claimed = sorted(
+                anchor_owner[ap_id] for ap_id in group if ap_id in anchor_owner
+            )
+            if claimed:
+                sid = claimed[0]
+                anchor = self._anchors[sid]
+            else:
+                sid = self._next_id
+                self._next_id += 1
+                anchor = group[0]
+                created.append(sid)
+            new_members[sid] = group
+            new_anchors[sid] = anchor
+        retired = sorted(set(self._members) - set(new_members))
+        changed = sorted(
+            sid
+            for sid, group in new_members.items()
+            if sid not in created and self._members.get(sid) != group
+        )
+        unchanged = sorted(
+            sid
+            for sid, group in new_members.items()
+            if self._members.get(sid) == group
+        )
+        self._members = new_members
+        self._anchors = new_anchors
+        self._shard_of = {
+            ap_id: sid for sid, group in new_members.items() for ap_id in group
+        }
+        return ShardDelta(
+            created=tuple(created),
+            retired=tuple(retired),
+            changed=tuple(changed),
+            unchanged=tuple(unchanged),
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Canonical digest of the partition (ids, members, anchors)."""
+        payload = {
+            "members": {str(sid): list(group) for sid, group in self._members.items()},
+            "anchors": {str(sid): anchor for sid, anchor in self._anchors.items()},
+            "next_id": self._next_id,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {sid: len(group) for sid, group in sorted(self._members.items())}
+        return f"ComponentDecomposition(shards={sizes})"

@@ -108,9 +108,18 @@ class DeterminismRule(LintRule):
         "Monotonic clocks (time.perf_counter/monotonic) are deterministic-"
         "safe only behind the injected-clock seam in repro.obs.clock — "
         "anywhere else they are flagged too, so profiling cannot creep "
-        "into library control flow."
+        "into library control flow. The asyncio event loop's clock "
+        "(loop.time()) is the same hazard wearing a different API: it is "
+        "legal only inside repro.service, whose repro.service.clock seam "
+        "mirrors repro.obs.clock for serving-layer latency stamps."
     )
     exempt_modules = frozenset({"cli.py", "fleet/executor.py", "obs/clock.py"})
+    # Event-loop time is allowed under this path prefix ONLY — unlike
+    # exempt_modules, every other RL001 check still runs there.
+    _LOOP_TIME_ALLOWED_PREFIX = "service/"
+    _LOOP_ACCESSORS = frozenset(
+        {"get_event_loop", "get_running_loop", "new_event_loop"}
+    )
 
     # np.random attributes that construct explicit, plumb-able state.
     _ALLOWED_NP_RANDOM = frozenset(
@@ -138,6 +147,9 @@ class DeterminismRule(LintRule):
         np_random_aliases: Set[str] = set()
         stdlib_random_aliases: Set[str] = set()
         time_aliases: Set[str] = set()
+        asyncio_aliases: Set[str] = set()
+        loop_accessor_names: Set[str] = set()
+        loop_names: Set[str] = set()
 
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
@@ -149,11 +161,19 @@ class DeterminismRule(LintRule):
                         stdlib_random_aliases.add(bound)
                     elif alias.name == "time":
                         time_aliases.add(bound)
+                    elif alias.name == "asyncio":
+                        asyncio_aliases.add(bound)
             elif isinstance(node, ast.ImportFrom):
                 if node.module == "numpy" and node.level == 0:
                     for alias in node.names:
                         if alias.name == "random":
                             np_random_aliases.add(alias.asname or alias.name)
+                elif node.module == "asyncio" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in self._LOOP_ACCESSORS:
+                            loop_accessor_names.add(
+                                alias.asname or alias.name
+                            )
                 elif node.module == "random" and node.level == 0:
                     yield self.finding(
                         module,
@@ -179,6 +199,25 @@ class DeterminismRule(LintRule):
                                 "clock via repro.obs.clock instead",
                             )
 
+        # Names bound to an event loop (loop = asyncio.get_event_loop()).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if self._is_loop_accessor_call(
+                value, asyncio_aliases, loop_accessor_names
+            ):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        loop_names.add(target.id)
+
+        loop_time_allowed = module.module.startswith(
+            self._LOOP_TIME_ALLOWED_PREFIX
+        )
+
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -186,6 +225,26 @@ class DeterminismRule(LintRule):
             if not isinstance(func, ast.Attribute):
                 continue
             base = func.value
+            # loop.time()/time_ns() on the asyncio event loop: either
+            # chained off an accessor call or through a bound name.
+            if (
+                func.attr in self._CLOCK_TIME_ATTRS
+                and not loop_time_allowed
+                and (
+                    self._is_loop_accessor_call(
+                        base, asyncio_aliases, loop_accessor_names
+                    )
+                    or (isinstance(base, ast.Name) and base.id in loop_names)
+                )
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"loop.{func.attr}() reads the asyncio event-loop "
+                    "clock; only repro.service may (through the "
+                    "repro.service.clock seam)",
+                )
+                continue
             # random.<anything>(...) via the stdlib module.
             if isinstance(base, ast.Name) and base.id in stdlib_random_aliases:
                 yield self.finding(
@@ -239,6 +298,25 @@ class DeterminismRule(LintRule):
                     f"{_tail_name(base)}.{func.attr}() reads the wall "
                     "clock; library results must not depend on it",
                 )
+
+    def _is_loop_accessor_call(
+        self,
+        node: ast.AST,
+        asyncio_aliases: Set[str],
+        loop_accessor_names: Set[str],
+    ) -> bool:
+        """True for ``asyncio.get_event_loop()``-shaped calls."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in loop_accessor_names
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._LOOP_ACCESSORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in asyncio_aliases
+        )
 
     def _is_np_random(
         self,

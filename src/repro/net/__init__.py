@@ -13,6 +13,7 @@ from .state import (
     CompiledEvaluator,
     CompiledNetwork,
     RateTables,
+    ShardView,
     network_fingerprint,
     supports_compiled,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "BatchTables",
     "accumulate_totals",
     "RateTables",
+    "ShardView",
     "network_fingerprint",
     "supports_compiled",
     "UplinkThroughputModel",

@@ -194,12 +194,20 @@ class BatchedEvaluator:
     Pass a shared :class:`BatchTables` to let multi-start replicas
     (identical associations, hence identical cell values) reuse one
     cell grid.
+
+    ``scope`` restricts which APs may *move* through this evaluator: a
+    shard-scoped allocation or refinement hands the batch the compiled
+    indices of one interference component, and any proposed switch or
+    association move touching an AP outside it raises — a guard against
+    shard-routing bugs, not a numeric change (scored values are
+    identical with or without a scope).
     """
 
     def __init__(
         self,
         engine: CompiledEvaluator,
         tables: Optional[BatchTables] = None,
+        scope: Optional[Sequence[int]] = None,
     ) -> None:
         """Wrap ``engine``; mirrors build lazily on first use."""
         if not isinstance(engine, CompiledEvaluator):
@@ -209,6 +217,16 @@ class BatchedEvaluator:
             )
         self.engine = engine
         self.tables = tables if tables is not None else BatchTables()
+        self.scope: Optional[frozenset] = (
+            frozenset(int(ap) for ap in scope) if scope is not None else None
+        )
+        if self.scope is not None:
+            n = len(engine.compiled.ap_ids)
+            bad = [ap for ap in sorted(self.scope) if ap < 0 or ap >= n]
+            if bad:
+                raise AllocationError(
+                    f"scope indices {bad} are outside the compiled AP range"
+                )
         compiled = engine.compiled
         self._n_aps = len(compiled.ap_ids)
         indptr = np.asarray(compiled.adj_indptr, dtype=np.int64)
@@ -237,6 +255,14 @@ class BatchedEvaluator:
         self._chan_arr: Optional[np.ndarray] = None
         self._loads_all: Optional[np.ndarray] = None
         self._edge_active: Optional[np.ndarray] = None
+
+    def _check_scope(self, ap: int, what: str) -> None:
+        """Reject a mover outside the configured shard scope."""
+        if self.scope is not None and ap not in self.scope:
+            raise AllocationError(
+                f"{what} moves AP {self.engine._ap_ids[ap]!r} outside the "
+                "configured shard scope"
+            )
 
     # ------------------------------------------------------------------
     # Mirrors of the engine's interning state
@@ -371,6 +397,9 @@ class BatchedEvaluator:
                 f"AP {engine._ap_ids[int(outside[0])]!r} is not in the "
                 "interference graph"
             )
+        if self.scope is not None:
+            for ap in moving.tolist():
+                self._check_scope(int(ap), "step_block")
         chan = np.fromiter(engine._chan, dtype=np.int64, count=n)
         pal_key = tuple(palette_indices)
         if pal_key != self._pal_key:
@@ -525,6 +554,17 @@ class BatchedEvaluator:
         engine = self.engine
         n = self._n_aps
         k_total = len(moves)
+        if self.scope is not None:
+            for client_id, target_ap in moves:
+                target = engine._ap_index.get(target_ap)
+                if target is not None:
+                    self._check_scope(target, "move_totals")
+                client = engine._client_index.get(client_id)
+                source = (
+                    engine._assoc.get(client) if client is not None else None
+                )
+                if source is not None:
+                    self._check_scope(source, "move_totals")
         matrix = np.broadcast_to(
             np.fromiter(engine._x, dtype=np.float64, count=n)[:, None],
             (n, k_total),

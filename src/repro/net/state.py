@@ -44,6 +44,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..errors import AllocationError, TopologyError
+from ..graph.components import ComponentDecomposition
 from ..mac.airtime import client_delay_s
 from ..phy.ofdm import OFDM_20MHZ, OFDM_40MHZ
 from .channels import Channel, ChannelPlan
@@ -63,6 +64,7 @@ __all__ = [
     "CompiledEvaluator",
     "CompiledNetwork",
     "RateTables",
+    "ShardView",
     "network_fingerprint",
     "supports_compiled",
 ]
@@ -324,6 +326,10 @@ class CompiledNetwork:
         # Lazily-built carrier-sense cache for incremental graph rebuilds
         # on geometric networks (see apply_churn); process-local.
         self._hearing_cache: Optional[dict] = None
+        # Per-shard slices keyed by (sid, member tuple); process-local,
+        # dropped whenever churn rebinds the underlying arrays.
+        self._shard_views: Dict[tuple, "ShardView"] = {}
+        self._decomposition: Optional[ComponentDecomposition] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -411,11 +417,58 @@ class CompiledNetwork:
         self._rate_tables[key] = (weakref.ref(model), tables)
         return tables
 
+    def decomposition(self) -> ComponentDecomposition:
+        """Components of the compiled interference graph (cached).
+
+        Ids are fresh ``0..k-1`` for *this* snapshot. A controller that
+        needs ids stable across churn keeps its own
+        :class:`~repro.graph.components.ComponentDecomposition` and
+        calls :meth:`~repro.graph.components.ComponentDecomposition.update`
+        — this accessor is the anonymous, snapshot-local view.
+        """
+        if self._decomposition is None:
+            adjacency: Dict[str, Tuple[str, ...]] = {}
+            for ap, ap_id in enumerate(self.ap_ids):
+                neighbours = self.neighbor_lists[ap]
+                if neighbours is None:
+                    raise TopologyError(
+                        f"AP {ap_id!r} is outside the compiled interference "
+                        "graph; compile with the full graph to decompose"
+                    )
+                adjacency[ap_id] = tuple(self.ap_ids[j] for j in neighbours)
+            self._decomposition = ComponentDecomposition.from_adjacency(
+                self.ap_ids, adjacency
+            )
+        return self._decomposition
+
+    def shard_view(
+        self,
+        sid: int,
+        decomposition: Optional[ComponentDecomposition] = None,
+    ) -> "ShardView":
+        """A :class:`ShardView` slicing this snapshot to one shard.
+
+        ``decomposition`` supplies the id→members mapping (defaults to
+        the snapshot-local :meth:`decomposition`); views are cached by
+        ``(sid, members)`` so churn-stable ids from a controller-owned
+        decomposition and snapshot-local ids can coexist.
+        """
+        source = decomposition if decomposition is not None else self.decomposition()
+        members = source.members(sid)
+        key = (sid, members)
+        view = self._shard_views.get(key)
+        if view is None:
+            view = ShardView(self, sid, members)
+            self._shard_views[key] = view
+        return view
+
     def __getstate__(self) -> dict:
         """Pickle without the process-local per-model table cache."""
         state = dict(self.__dict__)
         state["_rate_tables"] = {}
         state["_hearing_cache"] = None
+        state["_shard_views"] = {}
+        state["_decomposition"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -556,6 +609,10 @@ class CompiledNetwork:
         )
         if not identity:
             self._patch_rate_tables(col_src, fresh_cols)
+        # Shard structure may have merged/split (footnote-5 edges moved)
+        # and the views hold references to the pre-churn arrays.
+        self._shard_views = {}
+        self._decomposition = None
         return graph
 
     def _churn_graph(
@@ -664,6 +721,202 @@ class CompiledNetwork:
                 patched.factor.append(factor_rows)
             patched_cache[key] = (ref, patched)
         self._rate_tables = patched_cache
+
+
+class ShardView:
+    """A read-only per-shard slice of a :class:`CompiledNetwork`.
+
+    The local AP axis holds one interference component's members in
+    global AP order; the local client axis holds every client with a
+    link to a member AP, in global client order. SNR/link matrices are
+    fancy-index *copies* (the parent rebinds its arrays under churn —
+    a view must not alias a snapshot that moves underneath it), the
+    CSR adjacency is re-indexed into the local id space, and the id
+    maps translate both directions. Components are closed under
+    interference adjacency, so the slice loses no edges — construction
+    verifies that.
+
+    The service front-end routes requests, batches beacon updates and
+    reports stats through these views; the allocation hot path stays on
+    the *global* engine with a shard scope, which is what makes the
+    sharded results bit-identical to the unsharded ones.
+    """
+
+    def __init__(
+        self,
+        parent: CompiledNetwork,
+        sid: int,
+        members: "Tuple[str, ...] | List[str]",
+    ) -> None:
+        self.parent = parent
+        self.sid = sid
+        self.ap_ids: Tuple[str, ...] = tuple(members)
+        if not self.ap_ids:
+            raise TopologyError(f"shard {sid} has no members")
+        missing = [a for a in self.ap_ids if a not in parent.ap_index]
+        if missing:
+            raise TopologyError(
+                f"shard {sid} members {missing} are not in the snapshot"
+            )
+        self.ap_rows = np.asarray(
+            [parent.ap_index[ap_id] for ap_id in self.ap_ids], dtype=np.int64
+        )
+        self.ap_index: Dict[str, int] = {
+            ap_id: index for index, ap_id in enumerate(self.ap_ids)
+        }
+        member_set = frozenset(self.ap_ids)
+        if parent.n_clients:
+            mask = parent.has_link[self.ap_rows, :].any(axis=0)
+            for client_id, ap_id in parent.associations:
+                if ap_id in member_set:
+                    mask[parent.client_index[client_id]] = True
+            self.client_cols = np.nonzero(mask)[0]
+        else:
+            self.client_cols = np.zeros(0, dtype=np.int64)
+        self.client_ids: Tuple[str, ...] = tuple(
+            parent.client_ids[int(col)] for col in self.client_cols
+        )
+        self.client_index: Dict[str, int] = {
+            client_id: index for index, client_id in enumerate(self.client_ids)
+        }
+        grid = np.ix_(self.ap_rows, self.client_cols)
+        self.has_link = parent.has_link[grid]
+        self.snr20_db = parent.snr20_db[grid]
+        self.snr40_db = parent.snr40_db[grid]
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        for ap_id, row in zip(self.ap_ids, self.ap_rows):
+            neighbours = parent.neighbor_lists[int(row)]
+            if neighbours is None:
+                raise TopologyError(
+                    f"AP {ap_id!r} is outside the compiled interference graph"
+                )
+            for global_index in neighbours:
+                neighbour_id = parent.ap_ids[global_index]
+                local = self.ap_index.get(neighbour_id)
+                if local is None:
+                    raise TopologyError(
+                        f"shard {sid} is not closed under interference "
+                        f"adjacency: {ap_id!r} hears {neighbour_id!r}"
+                    )
+                indices.append(local)
+            indptr.append(len(indices))
+        self.adj_indptr = np.asarray(indptr, dtype=np.int64)
+        self.adj_indices = np.asarray(indices, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_aps(self) -> int:
+        """Member APs (local integer ids are ``range(n_aps)``)."""
+        return len(self.ap_ids)
+
+    @property
+    def n_clients(self) -> int:
+        """Clients linked into the shard."""
+        return len(self.client_ids)
+
+    def to_global_ap(self, local: int) -> int:
+        """Local AP index → parent AP index."""
+        return int(self.ap_rows[local])
+
+    def to_local_ap(self, ap_id: str) -> int:
+        """AP name → local index (members only)."""
+        try:
+            return self.ap_index[ap_id]
+        except KeyError:
+            raise TopologyError(
+                f"AP {ap_id!r} is not a member of shard {self.sid}"
+            ) from None
+
+    def to_global_client(self, local: int) -> int:
+        """Local client index → parent client index."""
+        return int(self.client_cols[local])
+
+    def to_local_client(self, client_id: str) -> int:
+        """Client name → local index (linked clients only)."""
+        try:
+            return self.client_index[client_id]
+        except KeyError:
+            raise TopologyError(
+                f"client {client_id!r} is not linked into shard {self.sid}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    @property
+    def channel_assignment(self) -> Dict[str, Channel]:
+        """The members' slice of the snapshot's channel assignment."""
+        members = frozenset(self.ap_ids)
+        return {
+            ap_id: channel
+            for ap_id, channel in self.parent.channel_assignment
+            if ap_id in members
+        }
+
+    @property
+    def associations(self) -> Dict[str, str]:
+        """Client→AP pairs served inside this shard."""
+        members = frozenset(self.ap_ids)
+        return {
+            client_id: ap_id
+            for client_id, ap_id in self.parent.associations
+            if ap_id in members
+        }
+
+    def candidate_aps(
+        self, client_id: str, min_snr20_db: float = -5.0
+    ) -> Tuple[str, ...]:
+        """The serving set A_u restricted to this shard's members.
+
+        Same floats, same AP order as the parent's
+        :meth:`CompiledNetwork.candidate_aps`, filtered to members.
+        """
+        local = self.to_local_client(client_id)
+        mask = self.has_link[:, local] & (
+            self.snr20_db[:, local] >= min_snr20_db
+        )
+        return tuple(self.ap_ids[int(ap)] for ap in np.nonzero(mask)[0])
+
+    def rate_tables(self, model: ThroughputModel) -> RateTables:
+        """The members×linked-clients slice of the parent's rate tables.
+
+        Entries are the parent's exact floats (gathered, not
+        recomputed), indexed by local ids.
+        """
+        tables = self.parent.rate_tables(model)
+        rows = [int(row) for row in self.ap_rows]
+        cols = [int(col) for col in self.client_cols]
+        sliced = RateTables.__new__(RateTables)
+        sliced.delay = [
+            [[tables.delay[width][ap][client] for client in cols] for ap in rows]
+            for width in range(len(_WIDTH_PARAMS))
+        ]
+        sliced.factor = [
+            [[tables.factor[width][ap][client] for client in cols] for ap in rows]
+            for width in range(len(_WIDTH_PARAMS))
+        ]
+        return sliced
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the slice (ids, links, SNRs, adjacency)."""
+        payload = {
+            "version": _FINGERPRINT_VERSION,
+            "sid": self.sid,
+            "ap_ids": list(self.ap_ids),
+            "client_ids": list(self.client_ids),
+            "has_link": self.has_link.astype(int).ravel().tolist(),
+            "snr20": [_hex(v) for v in self.snr20_db.ravel().tolist()],
+            "snr40": [_hex(v) for v in self.snr40_db.ravel().tolist()],
+            "indptr": self.adj_indptr.tolist(),
+            "indices": self.adj_indices.tolist(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardView(sid={self.sid}, n_aps={self.n_aps}, "
+            f"n_clients={self.n_clients})"
+        )
 
 
 class CompiledEvaluator:

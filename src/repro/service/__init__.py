@@ -1,0 +1,20 @@
+"""Serving layer: a shard-routed asyncio front-end for the controller.
+
+See :mod:`repro.service.frontend` for the request model and the
+determinism contract, :mod:`repro.service.server` for the JSON-lines
+TCP wrapper and the self-test harness, and
+:mod:`repro.service.clock` for the event-loop time seam (the only
+module allowed to read ``loop.time()`` under reprolint RL001).
+"""
+
+from .clock import loop_clock
+from .frontend import AcornService, response_fingerprint
+from .server import run_self_test, serve_tcp
+
+__all__ = [
+    "AcornService",
+    "response_fingerprint",
+    "loop_clock",
+    "serve_tcp",
+    "run_self_test",
+]

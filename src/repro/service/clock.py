@@ -1,0 +1,36 @@
+"""The event-loop time seam for :mod:`repro.service`.
+
+Latency accounting inside the asyncio front-end reads the event loop's
+monotonic clock (``loop.time()``) — the only clock that is coherent
+with the loop's own scheduling (``call_later``, timeouts). Like
+:mod:`repro.obs.clock` for wall timing, this module is the *single*
+place allowed to touch it: reprolint RL001 flags loop-time reads
+anywhere outside ``repro.service`` so simulation results can never
+depend on serving-time measurements.
+
+Everything a request handler stamps with this clock is observability
+payload only — latencies are excluded from response fingerprints, which
+is what keeps two runs of the same request script bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+__all__ = ["loop_clock"]
+
+
+def loop_clock(
+    loop: "Optional[asyncio.AbstractEventLoop]" = None,
+) -> Callable[[], float]:
+    """A zero-argument monotonic-seconds callable bound to ``loop``.
+
+    Defaults to the running loop, so handlers call
+    ``clock = loop_clock()`` once and then ``clock()`` per measurement.
+    Tests inject a fake by passing any object with a ``time`` attribute
+    — the indirection, not the loop, is the seam.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    return loop.time

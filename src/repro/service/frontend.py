@@ -1,0 +1,432 @@
+"""Asyncio serving front-end over the :class:`~repro.core.controller.Acorn`.
+
+The paper's controller is an offline optimiser; a campus deployment
+runs it as a long-lived service that admits arriving clients, absorbs
+churn, and reconfigures channels while earlier requests are still in
+flight. This module supplies that layer:
+
+* every request routes to the interference **shard** it touches
+  (:attr:`Acorn.decomposition`), and independent shards are served
+  concurrently under per-shard locks;
+* topology mutations (admit/depart) take a global lock — client churn
+  can merge or split shards, so it must not race a shard-scoped pass;
+* beacon re-association checks are **batched per shard**: requests
+  arriving in the same scheduling tick drain together under one lock
+  acquisition and one obs span;
+* shard reconfigurations **warm-start** from the shard's cached
+  assignment, so steady-state churn costs a fraction of a cold
+  multi-start (gated by ``benchmarks/bench_service.py``).
+
+Every response is deterministic given the request script and the seed:
+latency stamps (the only wall-dependent fields, read through the
+:func:`repro.service.clock.loop_clock` seam) are segregated under the
+``latency_s`` key and stripped by :func:`response_fingerprint`.
+
+Obs spans wrap only *synchronous* compute sections. Tracer spans are a
+stack; holding one across an ``await`` would interleave with other
+requests' spans and corrupt the trace, so the rule here is: lock,
+span, compute, close, then await.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.controller import Acorn
+from ..errors import AssociationError, ReproError, ServiceError
+from ..net.channels import ChannelPlan
+from ..net.throughput import ThroughputModel
+from ..net.topology import Network
+from ..obs.tracer import active_tracer
+from .clock import loop_clock
+
+__all__ = ["AcornService", "response_fingerprint"]
+
+# Beacon-batch size histogram buckets (requests per drain).
+_BATCH_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def _strip_latency(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in payload.items() if k != "latency_s"}
+
+
+def response_fingerprint(responses: Sequence[Dict[str, Any]]) -> str:
+    """SHA-256 over the deterministic content of a response sequence.
+
+    Latency stamps are measurement noise and are excluded; everything
+    else — order included — must replay bit-identically for the same
+    request script and seed, which the ``service-smoke`` CI job checks
+    by diffing two runs' digests.
+    """
+    canonical = json.dumps(
+        [_strip_latency(r) for r in responses],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+class AcornService:
+    """Shard-routed asyncio front-end for one campus WLAN.
+
+    Parameters mirror :class:`~repro.core.controller.Acorn`; the service
+    owns the controller it builds. Call :meth:`start` from a running
+    event loop before submitting requests.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        plan: ChannelPlan,
+        model: Optional[ThroughputModel] = None,
+        seed: "int | None" = 2010,
+        engine_mode: str = "auto",
+        min_snr20_db: "float | None" = None,
+    ) -> None:
+        self.acorn = Acorn(
+            network,
+            plan,
+            model,
+            seed=seed,
+            engine_mode=engine_mode,
+            min_snr20_db=min_snr20_db,
+        )
+        self.network = network
+        self._started = False
+        self._global_lock: Optional[asyncio.Lock] = None
+        self._shard_locks: Dict[int, asyncio.Lock] = {}
+        self._beacon_pending: Dict[int, List[Tuple[str, asyncio.Future]]] = {}
+        self._beacon_drains: Dict[int, asyncio.Task] = {}
+        self._clock = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, configure: bool = True) -> Dict[str, Any]:
+        """Boot the service: initial configuration + shard discovery."""
+        if self._started:
+            raise ServiceError("service already started")
+        self._global_lock = asyncio.Lock()
+        self._clock = loop_clock()
+        began = self._clock()
+        async with self._global_lock:
+            tracer = active_tracer()
+            if configure:
+                with tracer.span("service.start"):
+                    self.acorn.configure()
+            decomposition = self.acorn.decomposition
+        self._started = True
+        return {
+            "op": "start",
+            "ok": True,
+            "n_shards": decomposition.n_shards,
+            "shards": {
+                str(sid): list(decomposition.members(sid))
+                for sid in decomposition.shard_ids
+            },
+            "latency_s": self._clock() - began,
+        }
+
+    async def stop(self) -> None:
+        """Drain pending beacon batches and refuse further requests."""
+        self._require_started()
+        drains = list(self._beacon_drains.values())
+        for task in drains:
+            await task
+        self._started = False
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ServiceError("service is not running; call start() first")
+
+    def _shard_lock(self, sid: int) -> asyncio.Lock:
+        lock = self._shard_locks.get(sid)
+        if lock is None:
+            lock = asyncio.Lock()
+            self._shard_locks[sid] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def admit(
+        self,
+        client_id: str,
+        position: "Optional[Tuple[float, float]] | None" = None,
+    ) -> Dict[str, Any]:
+        """Admit one arriving client (Algorithm 1, incremental path).
+
+        Unknown clients are first registered at ``position``. Rejection
+        (no candidate AP) rolls the topology back and reports
+        ``ok: False`` — the service stays consistent either way.
+        """
+        self._require_started()
+        began = self._clock()
+        async with self._global_lock:
+            if client_id in self.network.client_ids:
+                # Idempotent re-admit of a served client; re-admitting a
+                # registered-but-unassociated client would double-patch
+                # the compiled snapshot, so it is refused instead.
+                current = self.network.associations.get(client_id)
+                if current is not None:
+                    return self._done({
+                        "op": "admit",
+                        "client": client_id,
+                        "ok": True,
+                        "ap": current,
+                        "shard": self.acorn.shard_of(current),
+                        "already": True,
+                    }, began)
+                return self._done({
+                    "op": "admit",
+                    "client": client_id,
+                    "ok": False,
+                    "reason": "client is registered but unassociated; "
+                    "depart it first",
+                }, began)
+            if position is None:
+                return self._done({
+                    "op": "admit",
+                    "client": client_id,
+                    "ok": False,
+                    "reason": "unknown client and no position given",
+                }, began)
+            self.network.add_client(
+                client_id, (float(position[0]), float(position[1]))
+            )
+            tracer = active_tracer()
+            try:
+                with tracer.span("service.admit"):
+                    ap_id = self.acorn.admit_client(
+                        client_id, incremental=True
+                    )
+            except AssociationError as exc:
+                self.network.remove_client(client_id)
+                self.acorn.apply_churn(removed_clients=(client_id,))
+                return self._done({
+                    "op": "admit",
+                    "client": client_id,
+                    "ok": False,
+                    "reason": str(exc),
+                }, began)
+            sid = self.acorn.shard_of(ap_id)
+        return self._done({
+            "op": "admit",
+            "client": client_id,
+            "ok": True,
+            "ap": ap_id,
+            "shard": sid,
+        }, began)
+
+    async def depart(self, client_id: str) -> Dict[str, Any]:
+        """Remove a departing client and patch the derived caches."""
+        self._require_started()
+        began = self._clock()
+        async with self._global_lock:
+            if client_id not in self.network.client_ids:
+                return self._done({
+                    "op": "depart",
+                    "client": client_id,
+                    "ok": False,
+                    "reason": "unknown client",
+                }, began)
+            tracer = active_tracer()
+            with tracer.span("service.depart"):
+                self.network.remove_client(client_id)
+                delta = self.acorn.apply_churn(removed_clients=(client_id,))
+        return self._done({
+            "op": "depart",
+            "client": client_id,
+            "ok": True,
+            "invalidated_shards": (
+                list(delta.invalidated) if delta is not None else []
+            ),
+        }, began)
+
+    async def reconfigure(
+        self,
+        shard: Optional[int] = None,
+        warm: bool = True,
+    ) -> Dict[str, Any]:
+        """Reallocate channels — one shard, or all shards concurrently.
+
+        With ``warm=True`` (the default) each shard resumes from its
+        cached assignment when one survives churn, falling back to the
+        network's committed channels; a cold pass multi-starts from
+        scratch. Shards run under their own locks, so reconfigurations
+        of independent components interleave freely with each other and
+        with beacon batches.
+        """
+        self._require_started()
+        began = self._clock()
+        if shard is not None:
+            payload = await self._reconfigure_shard(shard, warm)
+            return self._done(payload, began)
+        async with self._global_lock:
+            sids = list(self.acorn.decomposition.shard_ids)
+        results = await asyncio.gather(
+            *(self._reconfigure_shard(sid, warm) for sid in sids)
+        )
+        total = sum(r["aggregate_mbps"] for r in results)
+        evaluations = sum(r["evaluations"] for r in results)
+        return self._done({
+            "op": "reconfigure",
+            "ok": True,
+            "shards": results,
+            "aggregate_mbps": total,
+            "evaluations": evaluations,
+        }, began)
+
+    async def _reconfigure_shard(self, sid: int, warm: bool) -> Dict[str, Any]:
+        decomposition = self.acorn.decomposition
+        if sid not in decomposition.shard_ids:
+            raise ServiceError(f"unknown shard {sid}")
+        async with self._shard_lock(sid):
+            tracer = active_tracer()
+            warmable = warm and self._shard_is_warmable(sid)
+            with tracer.span("service.reconfigure"):
+                result = self.acorn.allocate(
+                    shard=sid,
+                    warm_start=warmable,
+                    restarts=1 if warmable else 2,
+                )
+            members = decomposition.members(sid)
+            return {
+                "op": "reconfigure",
+                "ok": True,
+                "shard": sid,
+                "warm": warmable,
+                "assignment": {
+                    ap: str(result.assignment[ap]) for ap in members
+                },
+                "aggregate_mbps": result.aggregate_mbps,
+                "evaluations": result.total_evaluations,
+                "rounds": result.rounds,
+            }
+
+    def _shard_is_warmable(self, sid: int) -> bool:
+        if self.acorn.shard_assignment(sid) is not None:
+            return True
+        assignment = self.network.channel_assignment
+        return all(
+            ap in assignment for ap in self.acorn.decomposition.members(sid)
+        )
+
+    async def beacon(self, client_id: str) -> Dict[str, Any]:
+        """Queue a re-association check; drained in per-shard batches.
+
+        All beacons landing in the same scheduling tick for the same
+        shard are served by one drain: one lock acquisition, one obs
+        span, one ``service.beacon_batches`` increment. The response
+        says whether the client moved APs.
+        """
+        self._require_started()
+        began = self._clock()
+        ap_id = self.network.associations.get(client_id)
+        if ap_id is None:
+            return self._done({
+                "op": "beacon",
+                "client": client_id,
+                "ok": False,
+                "reason": "client is not associated",
+            }, began)
+        sid = self.acorn.shard_of(ap_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._beacon_pending.setdefault(sid, []).append((client_id, future))
+        if sid not in self._beacon_drains:
+            self._beacon_drains[sid] = asyncio.ensure_future(
+                self._drain_beacons(sid)
+            )
+        payload = await future
+        return self._done(payload, began)
+
+    async def _drain_beacons(self, sid: int) -> None:
+        # One tick's grace so every beacon submitted in this scheduling
+        # round joins the batch before the lock is taken.
+        await asyncio.sleep(0)
+        async with self._shard_lock(sid):
+            batch = self._beacon_pending.pop(sid, [])
+            self._beacon_drains.pop(sid, None)
+            if not batch:
+                return
+            tracer = active_tracer()
+            if tracer.enabled:
+                tracer.metrics.counter("service.beacon_batches").inc()
+                tracer.metrics.histogram(
+                    "service.beacon_batch_size", _BATCH_BOUNDS
+                ).observe(float(len(batch)))
+            with tracer.span("service.beacon_batch"):
+                for client_id, future in batch:
+                    payload = self._recheck_association(client_id, sid)
+                    if not future.done():
+                        future.set_result(payload)
+
+    def _recheck_association(self, client_id: str, sid: int) -> Dict[str, Any]:
+        from ..core.association import choose_ap
+
+        current = self.network.associations.get(client_id)
+        try:
+            best_ap, _ = choose_ap(
+                self.network,
+                self.acorn.graph,
+                self.acorn.model,
+                client_id,
+                min_snr20_db=self.acorn.min_snr20_db,
+            )
+        except ReproError as exc:
+            return {
+                "op": "beacon",
+                "client": client_id,
+                "ok": False,
+                "reason": str(exc),
+            }
+        moved = best_ap != current
+        if moved:
+            self.network.associate(client_id, best_ap)
+            self.acorn.apply_churn()
+        return {
+            "op": "beacon",
+            "client": client_id,
+            "ok": True,
+            "ap": best_ap,
+            "moved": moved,
+            "shard": sid,
+        }
+
+    async def status(self) -> Dict[str, Any]:
+        """Shard map, client count and committed aggregate throughput."""
+        self._require_started()
+        began = self._clock()
+        async with self._global_lock:
+            decomposition = self.acorn.decomposition
+            tracer = active_tracer()
+            with tracer.span("service.status"):
+                report = self.acorn.model.evaluate(
+                    self.network, self.acorn.graph
+                )
+            payload = {
+                "op": "status",
+                "ok": True,
+                "n_shards": decomposition.n_shards,
+                "shard_sizes": {
+                    str(sid): len(decomposition.members(sid))
+                    for sid in decomposition.shard_ids
+                },
+                "n_clients": len(self.network.client_ids),
+                "n_associated": len(self.network.associations),
+                "total_mbps": report.total_mbps,
+            }
+        return self._done(payload, began)
+
+    # ------------------------------------------------------------------
+    def _done(self, payload: Dict[str, Any], began: float) -> Dict[str, Any]:
+        payload["latency_s"] = self._clock() - began
+        self.requests_served += 1
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("service.requests").inc()
+        return payload

@@ -1,0 +1,179 @@
+"""JSON-lines TCP wrapper and the deterministic self-test harness.
+
+The wire protocol is one JSON object per line, with an ``op`` field
+naming the request (``admit``, ``depart``, ``beacon``, ``reconfigure``,
+``status``) and the remaining fields passed as arguments; the response
+is the handler's payload on one line. Malformed requests get an
+``ok: False`` response instead of killing the connection.
+
+:func:`run_self_test` is the CI smoke entry point (``repro serve
+--self-test``): it boots a campus scenario, fires a scripted mix of
+concurrent admissions, beacons, departures and reconfigurations, and
+returns the responses plus their fingerprint — two runs of the same
+script must print the same digest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError, ServiceError
+from ..net.channels import ChannelPlan
+from ..net.throughput import WeightedThroughputModel
+from ..net.topology import Network
+from .frontend import AcornService, response_fingerprint
+
+__all__ = ["serve_tcp", "run_self_test", "self_test_network"]
+
+_OPS = ("admit", "depart", "beacon", "reconfigure", "status")
+
+
+async def _dispatch(
+    service: AcornService, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    op = request.get("op")
+    if op == "admit":
+        position = request.get("position")
+        return await service.admit(
+            str(request.get("client")),
+            position=tuple(position) if position is not None else None,
+        )
+    if op == "depart":
+        return await service.depart(str(request.get("client")))
+    if op == "beacon":
+        return await service.beacon(str(request.get("client")))
+    if op == "reconfigure":
+        shard = request.get("shard")
+        return await service.reconfigure(
+            shard=int(shard) if shard is not None else None,
+            warm=bool(request.get("warm", True)),
+        )
+    if op == "status":
+        return await service.status()
+    raise ServiceError(f"unknown op {op!r}; expected one of {_OPS}")
+
+
+async def _handle_connection(
+    service: AcornService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except asyncio.CancelledError:
+                break  # server shutting down mid-read
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ServiceError("request must be a JSON object")
+                response = await _dispatch(service, request)
+            except (json.JSONDecodeError, ReproError) as exc:
+                response = {"ok": False, "error": str(exc)}
+            writer.write(
+                json.dumps(response, sort_keys=True).encode("ascii") + b"\n"
+            )
+            await writer.drain()
+    finally:
+        writer.close()
+
+
+async def serve_tcp(
+    service: AcornService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start serving ``service`` over JSON-lines TCP; returns the server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.sockets[0].getsockname()``. The caller owns the server's
+    lifetime (``async with server: await server.serve_forever()``).
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host=host, port=port
+    )
+
+
+def self_test_network(
+    n_aps: int = 24, n_clients: int = 60, seed: int = 3
+) -> Tuple[Network, List[str]]:
+    """The (24, 60) smoke scenario: a fragmented campus plus clients.
+
+    90 m spacing leaves the AP graph split into many interference
+    components (the footnote-5 fragmentation regime), so the request
+    script genuinely exercises shard routing, merging and per-shard
+    locking rather than collapsing to one global lock.
+    """
+    from ..sim.timeline import campus_network
+
+    network = campus_network(n_aps, spacing_m=90.0, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    aps = [network.ap(ap_id) for ap_id in network.ap_ids]
+    xs = [float(ap.position[0]) for ap in aps]
+    ys = [float(ap.position[1]) for ap in aps]
+    span_x, span_y = max(xs) + 30.0, max(ys) + 30.0
+    clients: List[str] = []
+    positions = rng.uniform((0.0, 0.0), (span_x, span_y), size=(n_clients, 2))
+    for index in range(n_clients):
+        clients.append(f"sc{index}")
+    return network, [
+        json.dumps(
+            {
+                "client": clients[i],
+                "position": [float(positions[i][0]), float(positions[i][1])],
+            }
+        )
+        for i in range(n_clients)
+    ]
+
+
+async def _self_test_script(
+    service: AcornService, arrivals: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    responses: List[Dict[str, Any]] = [await service.start(configure=True)]
+    # Wave 1: concurrent admissions.
+    responses += await asyncio.gather(
+        *(
+            service.admit(a["client"], position=tuple(a["position"]))
+            for a in arrivals
+        )
+    )
+    admitted = [
+        r["client"] for r in responses if r.get("op") == "admit" and r["ok"]
+    ]
+    # Wave 2: concurrent beacon re-checks (drained in per-shard batches).
+    responses += await asyncio.gather(
+        *(service.beacon(client) for client in admitted[: len(admitted) // 2])
+    )
+    # Wave 3: a warm reconfiguration of every shard, concurrently.
+    responses.append(await service.reconfigure(warm=True))
+    # Wave 4: churn — every third client departs, then reconfigure again.
+    responses += await asyncio.gather(
+        *(service.depart(client) for client in admitted[::3])
+    )
+    responses.append(await service.reconfigure(warm=True))
+    responses.append(await service.status())
+    await service.stop()
+    return responses
+
+
+def run_self_test(
+    n_aps: int = 24,
+    n_clients: int = 60,
+    seed: int = 3,
+) -> Tuple[List[Dict[str, Any]], str]:
+    """Run the scripted smoke mix; returns (responses, fingerprint)."""
+    network, arrival_lines = self_test_network(n_aps, n_clients, seed)
+    arrivals = [json.loads(line) for line in arrival_lines]
+    service = AcornService(
+        network, ChannelPlan(), WeightedThroughputModel(), seed=seed
+    )
+    responses = asyncio.run(_self_test_script(service, arrivals))
+    return responses, response_fingerprint(responses)

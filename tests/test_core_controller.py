@@ -107,3 +107,63 @@ class TestOpportunisticWidth:
         network, acorn = self.prepared(model)
         with pytest.raises(AssociationError):
             acorn.opportunistic_width("ap1")
+
+
+class TestAtomicInvalidation:
+    """Regression: stale compiled state cannot survive a topology edit.
+
+    ``invalidate_graph`` replaces the graph, the compiled snapshot, the
+    component decomposition and the per-shard warm-start assignments as
+    ONE holder — no interleaving can observe a fresh graph next to a
+    stale shard map (see ``Acorn.invalidate_graph``).
+    """
+
+    def primed(self, model):
+        network = fresh_two_cell()
+        acorn = Acorn(network, ChannelPlan(), model, seed=3)
+        acorn.configure()
+        # Populate every derived cache.
+        acorn.graph
+        acorn.compiled
+        sid = acorn.decomposition.shard_ids[0]
+        acorn.allocate(shard=sid, warm_start=True)
+        assert acorn.shard_assignment(sid) is not None
+        return network, acorn, sid
+
+    def test_invalidate_drops_all_derived_caches_atomically(self, model):
+        network, acorn, sid = self.primed(model)
+        old_graph = acorn.graph
+        old_compiled = acorn.compiled
+        old_decomposition = acorn.decomposition
+        acorn.invalidate_graph()
+        assert acorn.shard_assignment(sid) is None
+        assert acorn.graph is not old_graph
+        assert acorn.compiled is not old_compiled
+        assert acorn.decomposition is not old_decomposition
+
+    def test_topology_edit_is_reflected_after_invalidation(self, model):
+        network, acorn, sid = self.primed(model)
+        network.add_ap("ap3")
+        network.set_explicit_conflicts([("ap1", "ap2"), ("ap2", "ap3")])
+        acorn.invalidate_graph()
+        assert "ap3" in acorn.graph
+        assert "ap3" in acorn.compiled.ap_index
+        covered = [
+            ap
+            for _, members in acorn.decomposition.shards()
+            for ap in members
+        ]
+        assert sorted(covered) == sorted(network.ap_ids)
+
+    def test_stale_shard_ids_do_not_alias_after_invalidation(self, model):
+        network, acorn, sid = self.primed(model)
+        members_before = acorn.decomposition.members(sid)
+        network.add_ap("ap3")
+        network.set_explicit_conflicts([("ap1", "ap2"), ("ap2", "ap3")])
+        acorn.invalidate_graph()
+        # The id space restarts; whatever shard now holds ap1 must be a
+        # fresh partition of the NEW topology, never the cached members.
+        new_sid = acorn.shard_of("ap1")
+        assert set(acorn.decomposition.members(new_sid)) != set(
+            members_before
+        ) or "ap3" in acorn.decomposition.members(new_sid)

