@@ -166,6 +166,21 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--channels", type=int, default=4)
     timeline.add_argument("--seed", type=int, default=0)
     timeline.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default=None,
+        help=(
+            "replay churn over a registered scenario instead of the "
+            "synthetic campus grid (runs the scenario's invariant checks)"
+        ),
+    )
+    timeline.add_argument(
+        "--enforce-checks",
+        action="store_true",
+        dest="enforce_checks",
+        help="exit 1 when any scenario invariant check is violated",
+    )
+    timeline.add_argument(
         "--profile",
         action="store_true",
         help="trace the replay and print the repro.obs report",
@@ -245,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress per-job progress lines",
+    )
+    sweep.add_argument(
+        "--enforce-checks",
+        action="store_true",
+        dest="enforce_checks",
+        help="exit 1 when any scenario invariant check is violated",
     )
     sweep.add_argument(
         "--profile",
@@ -561,11 +582,58 @@ def _run_longrun(args: argparse.Namespace) -> int:
     return 0
 
 
+def _timeline_scenario_case(args: argparse.Namespace):
+    """Resolve ``timeline --scenario``: (network, plan, factory, checks)."""
+    from .sim.scenario import make_scenario, scenario_accepts
+    from .sim.timeline import place_client_random_links, place_client_uniform
+
+    kwargs = (
+        {"seed": args.seed} if scenario_accepts(args.scenario, "seed") else {}
+    )
+    built = make_scenario(args.scenario, **kwargs)
+    network = built.network
+    geometric = all(
+        network.ap(ap_id).position is not None for ap_id in network.ap_ids
+    )
+    factory = place_client_uniform if geometric else place_client_random_links
+    return built, network, built.plan, factory
+
+
+def _timeline_result_checks(built, network, result):
+    """Run the scenario's result checks on end-of-horizon metrics."""
+    from .analysis.fairness import throughput_fairness_report
+    from .net import WeightedThroughputModel, build_interference_graph
+    from .sim.checks import evaluate_result_checks
+
+    model = WeightedThroughputModel()
+    report = model.evaluate(network, build_interference_graph(network))
+    fairness = throughput_fairness_report(report.per_ap_mbps.values())
+    metrics = {
+        "total_mbps": float(fairness["total"]),
+        "jain": float(fairness["jain"]),
+        "pf_utility": float(fairness["pf_utility"]),
+        "min_ap_mbps": float(fairness["min"]),
+        "max_ap_mbps": float(fairness["max"]),
+        "mean_mbps": float(result.mean_throughput_mbps),
+    }
+    return evaluate_result_checks(getattr(built, "checks", ()), metrics)
+
+
 def _run_timeline(args: argparse.Namespace) -> int:
     from .net import ChannelPlan
     from .sim.timeline import TimelineConfig, campus_network, run_timeline
 
-    network = campus_network(n_aps=args.aps, seed=args.seed)
+    check_rows = []
+    if args.scenario is not None:
+        from .sim.checks import evaluate_network_checks
+
+        built, network, plan, client_factory = _timeline_scenario_case(args)
+        check_rows.extend(evaluate_network_checks(built))
+    else:
+        built = None
+        network = campus_network(n_aps=args.aps, seed=args.seed)
+        plan = ChannelPlan().subset(args.channels)
+        client_factory = None
     config = TimelineConfig(
         horizon_s=args.hours * 3600.0,
         arrival_rate_per_s=args.rate_per_min / 60.0,
@@ -573,24 +641,28 @@ def _run_timeline(args: argparse.Namespace) -> int:
         allocate_every_arrivals=args.every_arrivals,
         seed=args.seed,
     )
-    plan = ChannelPlan().subset(args.channels)
+    timeline_kwargs = (
+        {"client_factory": client_factory} if client_factory is not None else {}
+    )
     if args.profile:
         from .obs import Tracer, activate, render_trace_text
 
         tracer = Tracer()
         with activate(tracer):
-            result = run_timeline(network, plan, config)
+            result = run_timeline(network, plan, config, **timeline_kwargs)
         trace_text = render_trace_text(
             tracer.to_payload(), title="Timeline profile"
         )
     else:
-        result = run_timeline(network, plan, config)
+        result = run_timeline(network, plan, config, **timeline_kwargs)
         trace_text = None
+    if built is not None:
+        check_rows.extend(_timeline_result_checks(built, network, result))
     print(
         render_table(
             ["metric", "value"],
             [
-                ["APs", args.aps],
+                ["APs", len(network.ap_ids)],
                 ["horizon (h)", args.hours],
                 ["re-allocation period (min)", args.period_min],
                 ["events processed", result.n_events],
@@ -608,6 +680,24 @@ def _run_timeline(args: argparse.Namespace) -> int:
     if trace_text is not None:
         print()
         print(trace_text)
+    violated = [row for row in check_rows if not row.passed]
+    if check_rows:
+        print()
+        print(
+            render_table(
+                ["check", "verdict", "detail"],
+                [
+                    [row.name, "pass" if row.passed else "FAIL", row.detail]
+                    for row in check_rows
+                ],
+                title=f"Invariant checks ({args.scenario})",
+            )
+        )
+        print(
+            f"checks: {len(check_rows) - len(violated)}/{len(check_rows)} passed"
+        )
+    if violated and args.enforce_checks:
+        return 1
     return 0
 
 
@@ -725,10 +815,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"{len(store.failed)} failed)"
     )
     print(store.summary_table())
+    violations = store.check_violations()
+    if violations:
+        print()
+        print(
+            render_table(
+                ["job", "scenario", "check", "detail"],
+                [
+                    [v["job_id"], v["scenario"], v["check"], v["detail"]]
+                    for v in violations
+                ],
+                title="Invariant-check violations",
+            )
+        )
+    print(f"checks: {len(violations)} invariant-check violation(s)")
     if trace_text is not None:
         print()
         print(trace_text)
-    return 1 if store.failed or len(store) < n_jobs else 0
+    gate_failed = store.failed or len(store) < n_jobs
+    if args.enforce_checks and violations:
+        gate_failed = True
+    return 1 if gate_failed else 0
 
 
 def _git_changed_files(ref: str) -> "List[str]":

@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "ScenarioError",
     "ChannelError",
     "TopologyError",
     "SerializationError",
@@ -25,6 +26,17 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """An invalid simulation or algorithm configuration was supplied."""
+
+
+class ScenarioError(ConfigurationError):
+    """A contradictory or invalid scenario-builder step chain.
+
+    Raised *eagerly* by :mod:`repro.sim.builder` at the offending fluent
+    step (clients before any APs, overlapping AP grids, negative
+    counts), never deferred to ``build()`` or a sweep worker. Also a
+    :class:`ConfigurationError` so existing callers that guard scenario
+    construction keep working.
+    """
 
 
 class ChannelError(ReproError):

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..analysis.fairness import throughput_fairness_report
 from ..errors import FleetError, JobTimeout, ReproError
 from ..obs.tracer import Tracer, activate, active_tracer
+from ..sim.checks import evaluate_network_checks, evaluate_result_checks
 from .jobs import CompiledScenario, Job, SweepSpec, payload_key
 from .journal import JobJournal
 from .results import JobResult, ResultStore
@@ -288,6 +289,10 @@ def execute_job(
                 if payload is not None
                 else job.build_scenario()
             )
+            # Structural invariants run against the pristine build,
+            # before the algorithm touches the network. Violations are
+            # recorded on the result, never raised.
+            check_verdicts = evaluate_network_checks(scenario)
             if profile:
                 tracer = Tracer()
                 with activate(tracer):
@@ -330,10 +335,14 @@ def execute_job(
         "n_associated": float(len(report.associations)),
     }
     metrics.update({key: float(value) for key, value in extra.items()})
+    check_verdicts = check_verdicts + evaluate_result_checks(
+        getattr(scenario, "checks", ()), metrics
+    )
     return JobResult(
         status="ok",
         metrics=metrics,
         per_ap_mbps=per_ap,
+        checks=[verdict.to_dict() for verdict in check_verdicts],
         elapsed_s=time.perf_counter() - start,
         trace=tracer.to_payload() if tracer is not None else None,
         **base,

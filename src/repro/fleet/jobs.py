@@ -165,6 +165,11 @@ class CompiledScenario:
     key:
         The :func:`payload_key` of the cell this payload was compiled
         for; :meth:`matches` guards against cross-cell reuse.
+    checks:
+        The scenario's invariant checks (frozen
+        :class:`~repro.sim.checks.InvariantCheck` instances — picklable
+        by class reference), re-attached on thaw so workers evaluate
+        them exactly as a factory build would.
     """
 
     name: str
@@ -174,6 +179,7 @@ class CompiledScenario:
     bonded_pairs: Tuple[Tuple[int, int], ...]
     client_order: Tuple[str, ...]
     key: str
+    checks: Tuple[Any, ...] = ()
 
     @classmethod
     def from_scenario(cls, scenario, key: str = "") -> "CompiledScenario":
@@ -187,6 +193,7 @@ class CompiledScenario:
             bonded_pairs=tuple(plan.bonded_pairs),
             client_order=tuple(scenario.client_order),
             key=key,
+            checks=tuple(getattr(scenario, "checks", ())),
         )
 
     @classmethod
@@ -209,6 +216,7 @@ class CompiledScenario:
             plan=ChannelPlan(self.channel_numbers, self.bonded_pairs),
             client_order=list(self.client_order),
             description=self.description,
+            checks=tuple(self.checks),
         )
         scenario._factory = self.to_scenario
         return scenario

@@ -54,6 +54,7 @@ class JobResult:
     status: str = "ok"
     metrics: Dict[str, float] = field(default_factory=dict)
     per_ap_mbps: Dict[str, float] = field(default_factory=dict)
+    checks: List[Dict[str, Any]] = field(default_factory=list)
     error: Optional[str] = None
     attempts: int = 1
     elapsed_s: float = 0.0
@@ -63,6 +64,16 @@ class JobResult:
     def ok(self) -> bool:
         """True when the job ran to completion."""
         return self.status == "ok"
+
+    @property
+    def check_failures(self) -> List[Dict[str, Any]]:
+        """Violated invariant-check verdicts (empty when all passed).
+
+        A violation is data, not an error: the job's ``status`` stays
+        ``"ok"`` and its metrics are valid — the scenario simply did
+        not uphold an invariant it declared.
+        """
+        return [v for v in self.checks if not v.get("passed", True)]
 
     def deterministic_dict(self) -> Dict[str, Any]:
         """The payload that must be identical across reruns and resumes."""
@@ -75,6 +86,7 @@ class JobResult:
             "status": self.status,
             "metrics": dict(self.metrics),
             "per_ap_mbps": dict(self.per_ap_mbps),
+            "checks": [dict(v) for v in self.checks],
             "error": self.error,
         }
 
@@ -101,6 +113,7 @@ class JobResult:
             per_ap_mbps={
                 k: float(v) for k, v in data.get("per_ap_mbps", {}).items()
             },
+            checks=[dict(v) for v in data.get("checks", [])],
             error=data.get("error"),
             attempts=int(data.get("attempts", 1)),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
@@ -158,6 +171,26 @@ class ResultStore:
     def failed(self) -> List[JobResult]:
         """Results that ended failed / timed out / crashed."""
         return [r for r in self.results() if not r.ok]
+
+    def check_violations(self) -> List[Dict[str, Any]]:
+        """Invariant-check violations across the sweep, in job-id order.
+
+        Each entry is ``{"job_id", "scenario", "check", "detail"}`` —
+        the rows ``repro sweep`` prints under its summary and the
+        ``--enforce-checks`` gate counts.
+        """
+        violations: List[Dict[str, Any]] = []
+        for result in self.results():
+            for verdict in result.check_failures:
+                violations.append(
+                    {
+                        "job_id": result.job_id,
+                        "scenario": result.scenario,
+                        "check": verdict.get("name", "?"),
+                        "detail": verdict.get("detail", ""),
+                    }
+                )
+        return violations
 
     # -- analysis ------------------------------------------------------
     def metric_values(

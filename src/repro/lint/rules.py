@@ -18,7 +18,7 @@ consistency (RL006).
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
 from ..errors import LintError
 from .context import ModuleContext
@@ -511,7 +511,9 @@ class RegistryPicklabilityRule(LintRule):
         "module-qualified name, so lambdas and nested defs break the moment "
         "a spawn-context pool (or a journal replay) needs them. "
         "Registration must also execute at import time, or re-importing "
-        "workers will not see the entry."
+        "workers will not see the entry. Instances of module-level classes "
+        "(builder-compiled factories such as CompiledChain) pickle by class "
+        "reference, so registering one from a method is safe and exempt."
     )
 
     _REGISTRARS = frozenset(
@@ -529,13 +531,27 @@ class RegistryPicklabilityRule(LintRule):
             for target in stmt.targets
             if isinstance(target, ast.Name)
         }
+        module_classes = {
+            stmt.name
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        method_returns = self._class_method_returns(
+            module.tree, module_classes
+        )
 
-        for scope, node in self._walk_with_scope(module.tree):
+        for scope_node, scope, node in self._walk_with_scope(module.tree):
             if isinstance(node, ast.Call):
                 name = _tail_name(node.func)
                 if name not in self._REGISTRARS:
                     continue
-                if scope is not None:
+                if scope is not None and not any(
+                    self._is_instance_expr(
+                        arg, scope_node, module_classes, method_returns
+                    )
+                    for arg in list(node.args)
+                    + [kw.value for kw in node.keywords]
+                ):
                     yield self.finding(
                         module,
                         node,
@@ -593,17 +609,95 @@ class RegistryPicklabilityRule(LintRule):
         return nested
 
     @staticmethod
+    def _annotation_class(node) -> Optional[str]:
+        """Class name from a return annotation (Name or string form)."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.strip("'\"")
+        return None
+
+    @classmethod
+    def _class_method_returns(
+        cls, tree: ast.Module, module_classes: Set[str]
+    ) -> Dict[str, str]:
+        """Method name -> module-level class named by its return annotation.
+
+        ``freeze(self) -> "CompiledChain"`` maps ``freeze`` to
+        ``CompiledChain``; calls to such methods produce instances that
+        pickle by class reference, so registering them is safe.
+        """
+        returns: Dict[str, str] = {}
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            for item in stmt.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                target = cls._annotation_class(item.returns)
+                if target in module_classes:
+                    returns[item.name] = target
+        return returns
+
+    @classmethod
+    def _is_instance_expr(
+        cls,
+        expr,
+        scope_node,
+        module_classes: Set[str],
+        method_returns: Dict[str, str],
+        depth: int = 0,
+    ) -> bool:
+        """True when ``expr`` evaluates to a module-level class instance.
+
+        Recognizes a direct constructor call, a ``self.<method>()`` call
+        whose return annotation names a module-level class, and a local
+        name assigned from either (one level of indirection).
+        """
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in module_classes:
+                return True
+            return (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in method_returns
+            )
+        if isinstance(expr, ast.Name) and scope_node is not None and depth == 0:
+            for stmt in ast.walk(scope_node):
+                value = None
+                if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == expr.id
+                    for t in stmt.targets
+                ):
+                    value = stmt.value
+                elif (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == expr.id
+                ):
+                    value = stmt.value
+                if value is not None and cls._is_instance_expr(
+                    value, scope_node, module_classes, method_returns, depth + 1
+                ):
+                    return True
+        return False
+
+    @staticmethod
     def _walk_with_scope(tree: ast.Module):
-        """Yield (enclosing function name or None, node) pairs."""
-        stack: List = [(None, tree)]
+        """Yield (enclosing function node, its name, node) triples."""
+        stack: List = [(None, None, tree)]
         while stack:
-            scope, node = stack.pop()
-            yield scope, node
-            child_scope = scope
+            scope_node, scope, node = stack.pop()
+            yield scope_node, scope, node
+            child_scope_node, child_scope = scope_node, scope
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                child_scope = node.name
+                child_scope_node, child_scope = node, node.name
             for child in ast.iter_child_nodes(node):
-                stack.append((child_scope, child))
+                stack.append((child_scope_node, child_scope, child))
 
 
 # ----------------------------------------------------------------------

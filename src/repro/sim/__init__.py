@@ -1,4 +1,4 @@
-"""Experiment substrate: traffic models, paper scenarios, mobility."""
+"""Experiment substrate: traffic, scenarios, builder chains, mobility."""
 
 from .traffic import TcpTraffic, UdpTraffic
 from .scenario import (
@@ -14,6 +14,15 @@ from .scenario import (
     topology1,
     topology2,
 )
+from .checks import (
+    CHECKS,
+    CheckResult,
+    InvariantCheck,
+    evaluate_network_checks,
+    evaluate_result_checks,
+    register_check,
+)
+from .builder import CompiledChain, ScenarioBuilder, scenario
 from .mobility import LinearWalk, MobilityTrace, run_mobility_experiment
 from .longrun import ChurnConfig, LongRunResult, run_long_run
 from .timeline import (
@@ -26,8 +35,19 @@ from .timeline import (
     run_timeline,
 )
 from .buildings import FloorPlan, office_floor
+from .adversarial import ADVERSARIAL_SCENARIOS
 
 __all__ = [
+    "ADVERSARIAL_SCENARIOS",
+    "CHECKS",
+    "CheckResult",
+    "CompiledChain",
+    "InvariantCheck",
+    "ScenarioBuilder",
+    "evaluate_network_checks",
+    "evaluate_result_checks",
+    "register_check",
+    "scenario",
     "UdpTraffic",
     "TcpTraffic",
     "Scenario",

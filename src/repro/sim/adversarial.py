@@ -1,0 +1,236 @@
+"""The adversarial scenario library: hard cases with embedded checks.
+
+Nine scenarios built with :mod:`repro.sim.builder`, each engineered to
+sit in a regime where allocation policies diverge and each carrying at
+least one invariant check (:mod:`repro.sim.checks`) that executes inside
+``repro sweep`` workers and ``repro timeline`` replays:
+
+* **Hidden-terminal structures** — chains, stars, and odd rings whose
+  conflict graphs contain open triples: APs mutually invisible to
+  carrier sense that still collide at a middle cell.
+* **Worst-case interference graphs** — cliques and scarce channel
+  plans near the O(1/(Δ+1)) approximation bound (paper Sec 4).
+* **Spatial stress** — atrium hotspots, a single-hotspot flash crowd,
+  a vehicular drive-by (mobility snapshot), and a shadowed dense
+  campus, in the spirit of the high-density deployments of
+  Barrachina-Muñoz et al.
+* **Legacy coexistence** — 802.11a-grade 2 dB links sharing cells with
+  excellent 802.11n links (paper Sec 6.4), where a greedy 40 MHz
+  choice collapses the cell.
+
+Everything here registers into ``SCENARIOS`` at import time (the
+chains are value-idempotent, so re-imports are no-ops) and sweeps like
+any hand-written scenario: ``repro sweep --scenario atrium ...``.
+"""
+
+from __future__ import annotations
+
+from .builder import scenario
+from .checks import (
+    all_clients_admissible,
+    channels_scarce,
+    has_hidden_terminals,
+    min_fairness,
+    min_interference_degree,
+    min_snr_spread,
+    min_total_mbps,
+)
+from .mobility import LinearWalk
+
+__all__ = ["ADVERSARIAL_SCENARIOS"]
+
+# A linear chain of six cells: every interior AP sits between two
+# neighbours that cannot hear each other — maximal hidden-terminal
+# exposure per edge — and only two basic channels serve a Δ=2 graph.
+HIDDEN_CHAIN = (
+    scenario("hidden_chain")
+    .describe("6-AP chain, 2 channels: hidden terminals at every hop")
+    .ap("AP1").ap("AP2").ap("AP3").ap("AP4").ap("AP5").ap("AP6")
+    .client("c0").link("AP1", "c0", 25.0)
+    .client("c1").link("AP2", "c1", 8.0)
+    .client("c2").link("AP3", "c2", 25.0)
+    .client("c3").link("AP4", "c3", 4.0)
+    .client("c4").link("AP5", "c4", 25.0)
+    .client("c5").link("AP6", "c5", 14.0)
+    .conflicts(
+        ("AP1", "AP2"), ("AP2", "AP3"), ("AP3", "AP4"),
+        ("AP4", "AP5"), ("AP5", "AP6"),
+    )
+    .channels(2)
+    .check(has_hidden_terminals())
+    .check(min_interference_degree(2))
+    .check(channels_scarce())
+    .register()
+)
+
+# A 3x3 atrium grid spaced so only near neighbours carrier-sense each
+# other (60 m spacing vs the ~88 m hearing radius of the default
+# model): the conflict graph is a king-graph fragment full of open
+# triples, and three client hotspots load it unevenly.
+ATRIUM = (
+    scenario("atrium")
+    .describe("3x3 atrium grid with 3 client hotspots")
+    .grid_aps(3, 3, spacing_m=60.0)
+    .clients(18, clusters=3, spread_m=10.0)
+    .check(has_hidden_terminals())
+    .check(all_clients_admissible())
+    .check(min_fairness(0.2))
+    .register()
+)
+
+# Every client in one spot: a flash crowd at the corner of a 2x2
+# deployment. The nearest AP saturates while the rest idle — total
+# throughput must still clear a floor and nobody may be stranded.
+FLASH_CROWD = (
+    scenario("flash_crowd")
+    .describe("2x2 grid, 20 clients in a single hotspot")
+    .grid_aps(2, 2, spacing_m=40.0)
+    .clients(20, clusters=1, spread_m=5.0)
+    .check(all_clients_admissible())
+    .check(min_total_mbps(1.0))
+    .register()
+)
+
+# A vehicle passing three roadside APs: twelve snapshot positions of
+# one drive-by (adamiaonr/wifi-vehicles idea). Link quality swings
+# from excellent (abeam an AP) to marginal (between/far), and the two
+# outer APs are hidden from each other behind the middle one.
+DRIVE_BY = (
+    scenario("drive_by")
+    .describe("vehicular drive-by past 3 roadside APs")
+    .ap("AP1", position=(40.0, 30.0))
+    .ap("AP2", position=(120.0, 30.0))
+    .ap("AP3", position=(200.0, 30.0))
+    .mobility(LinearWalk(start_m=0.0, end_m=240.0, duration_s=24.0), 12)
+    .check(has_hidden_terminals())
+    .check(min_snr_spread(15.0))
+    .register()
+)
+
+# Sec 6.4 coexistence: every cell serves one excellent 802.11n client
+# next to one legacy-802.11a-grade client (~2 dB), under a mutual
+# triangle with a scarce plan — greedy bonding collapses these cells.
+LEGACY_COEX = (
+    scenario("legacy_coex")
+    .describe("802.11a-grade clients sharing cells with 802.11n ones")
+    .ap("AP1").ap("AP2").ap("AP3")
+    .client("n1").link("AP1", "n1", 30.0)
+    .client("a1").link("AP1", "a1", 2.0)
+    .client("n2").link("AP2", "n2", 29.0)
+    .client("a2").link("AP2", "a2", 2.5)
+    .client("n3").link("AP3", "n3", 31.0)
+    .client("a3").link("AP3", "a3", 1.5)
+    .conflicts(("AP1", "AP2"), ("AP1", "AP3"), ("AP2", "AP3"))
+    .channels(2)
+    .check(min_snr_spread(20.0))
+    .check(min_interference_degree(2))
+    .check(channels_scarce())
+    .register()
+)
+
+# K5: the densest 5-AP graph, with four basic channels — inside the
+# O(1/(Δ+1)) worst-case regime where some cell must share no matter
+# what the allocator does.
+WORST_CASE_CLIQUE = (
+    scenario("worst_case_clique")
+    .describe("5-AP clique, 4 channels: the O(1/(Δ+1)) regime")
+    .ap("AP1").ap("AP2").ap("AP3").ap("AP4").ap("AP5")
+    .client("c0").link("AP1", "c0", 26.0)
+    .client("c1").link("AP2", "c1", 20.0)
+    .client("c2").link("AP3", "c2", 14.0)
+    .client("c3").link("AP4", "c3", 8.0)
+    .client("c4").link("AP5", "c4", 4.0)
+    .conflicts(
+        ("AP1", "AP2"), ("AP1", "AP3"), ("AP1", "AP4"), ("AP1", "AP5"),
+        ("AP2", "AP3"), ("AP2", "AP4"), ("AP2", "AP5"),
+        ("AP3", "AP4"), ("AP3", "AP5"), ("AP4", "AP5"),
+    )
+    .channels(4)
+    .check(min_interference_degree(4))
+    .check(channels_scarce())
+    .register()
+)
+
+# A star: six leaves all contend with one hub but never with each
+# other — every leaf pair is hidden behind the hub, and the hub's
+# Δ=6 neighbourhood dwarfs the 2-channel plan.
+INTERFERENCE_STAR = (
+    scenario("interference_star")
+    .describe("hub + 6 leaves: every leaf pair hidden behind the hub")
+    .ap("HUB")
+    .ap("L1").ap("L2").ap("L3").ap("L4").ap("L5").ap("L6")
+    .client("h0").link("HUB", "h0", 25.0)
+    .client("c1").link("L1", "c1", 20.0)
+    .client("c2").link("L2", "c2", 20.0)
+    .client("c3").link("L3", "c3", 8.0)
+    .client("c4").link("L4", "c4", 8.0)
+    .client("c5").link("L5", "c5", 2.0)
+    .client("c6").link("L6", "c6", 2.0)
+    .conflicts(
+        ("HUB", "L1"), ("HUB", "L2"), ("HUB", "L3"),
+        ("HUB", "L4"), ("HUB", "L5"), ("HUB", "L6"),
+    )
+    .channels(2)
+    .check(has_hidden_terminals())
+    .check(min_interference_degree(6))
+    .check(channels_scarce())
+    .register()
+)
+
+# C5: the smallest odd cycle. Two channels 2-colour every even cycle
+# but never an odd one, so some edge must share a channel; every
+# vertex also has two mutually hidden neighbours.
+ODD_RING = (
+    scenario("odd_ring")
+    .describe("5-AP odd cycle, 2 channels: not 2-colourable")
+    .ap("AP1").ap("AP2").ap("AP3").ap("AP4").ap("AP5")
+    .client("c0").link("AP1", "c0", 25.0)
+    .client("c1").link("AP2", "c1", 20.0)
+    .client("c2").link("AP3", "c2", 14.0)
+    .client("c3").link("AP4", "c3", 8.0)
+    .client("c4").link("AP5", "c4", 25.0)
+    .conflicts(
+        ("AP1", "AP2"), ("AP2", "AP3"), ("AP3", "AP4"),
+        ("AP4", "AP5"), ("AP5", "AP1"),
+    )
+    .channels(2)
+    .check(has_hidden_terminals())
+    .check(min_interference_degree(2))
+    .check(channels_scarce())
+    .register()
+)
+
+# A shadowed dense campus: jittered AP grid, heavy path loss, 4 dB
+# per-link shadowing — the high-density spatially-distributed regime.
+# Seed-dependent by design; the checks assert the structure that must
+# survive any seed.
+DENSE_CAMPUS = (
+    scenario("dense_campus")
+    .describe("8 shadowed campus APs, 20 uniform clients")
+    .path_loss(exponent=3.5)
+    .enterprise_aps(8, area_m=(120.0, 90.0))
+    .uniform_clients(20)
+    .carrier_sense_conflicts()
+    .channels(6)
+    .check(min_interference_degree(1))
+    .check(min_snr_spread(10.0))
+    .check(min_total_mbps(1.0))
+    .register()
+)
+
+# Name → compiled chain, in definition order (the CI smoke job and the
+# EXPERIMENTS.md table iterate this).
+ADVERSARIAL_SCENARIOS = {
+    chain.name: chain
+    for chain in (
+        HIDDEN_CHAIN,
+        ATRIUM,
+        FLASH_CROWD,
+        DRIVE_BY,
+        LEGACY_COEX,
+        WORST_CASE_CLIQUE,
+        INTERFERENCE_STAR,
+        ODD_RING,
+        DENSE_CAMPUS,
+    )
+}

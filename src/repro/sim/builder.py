@@ -1,0 +1,901 @@
+"""Declarative scenario builder: fluent chains that compile to scenarios.
+
+``scenario("atrium").grid_aps(6, 6).clients(200, clusters=5)...`` builds
+the same :class:`~repro.sim.scenario.Scenario` contract the registry,
+fleet, timeline, and CLI already consume, with three guarantees:
+
+* **Eager validation.** Every fluent step checks its arguments and the
+  chain state *at the call site* and raises a typed
+  :class:`~repro.errors.ScenarioError` on contradictions (clients
+  before any AP, overlapping AP ids, a negative count) — never at
+  ``build()`` time and never inside a sweep worker.
+* **Seed reproducibility.** :meth:`ScenarioBuilder.freeze` compiles the
+  chain into a :class:`CompiledChain` — a frozen, picklable value
+  object. Calling it with a seed replays the steps against one
+  ``make_rng(seed)`` stream in chain order, so the same chain + seed is
+  always the same network, and RNG-free chains are seed-invariant.
+* **Registry parity.** Generative steps call the *same* population
+  helpers as the hand-written factories (:mod:`repro.sim.scenario`,
+  :mod:`repro.sim.buildings`), consuming the RNG stream identically —
+  a chain re-expressing a legacy factory produces a bit-identical
+  ``network_fingerprint``.
+
+Invariant checks from :mod:`repro.sim.checks` attach via ``.check(...)``
+and ride on the built scenario into fleet workers and timeline replays.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import PathLossModel, SimulationConfig, make_rng
+from ..net.channels import ChannelPlan
+from ..net.topology import Network
+from ..errors import ScenarioError
+from .buildings import FloorPlan, populate_office_floor
+from .checks import InvariantCheck
+from .mobility import LinearWalk
+from .scenario import (
+    SCENARIOS,
+    Scenario,
+    carrier_sense_conflict_pairs,
+    populate_enterprise_aps,
+    populate_quality_choice_clients,
+    populate_uniform_clients,
+    register_scenario,
+)
+
+__all__ = ["CompiledChain", "ScenarioBuilder", "Step", "scenario"]
+
+_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One recorded builder step: an operation name plus frozen kwargs."""
+
+    op: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as a keyword dict (for the step compiler)."""
+        return dict(self.params)
+
+
+# ----------------------------------------------------------------------
+# Step compilers: replay one recorded step against the compile state.
+# Validation already happened in the builder, so these only *construct*.
+
+
+@dataclass
+class _CompileState:
+    """Mutable state threaded through one chain replay."""
+
+    network: Network
+    rng: Any
+    client_order: List[str] = field(default_factory=list)
+    conflicts: Optional[List[Tuple[str, str]]] = None
+    area_m: Optional[Position] = None
+
+
+def _compile_ap(state, ap_id, position, tx_power_dbm):
+    if tx_power_dbm is None:
+        state.network.add_ap(ap_id, position=position)
+    else:
+        state.network.add_ap(
+            ap_id, position=position, tx_power_dbm=tx_power_dbm
+        )
+
+
+def _compile_client(state, client_id, position):
+    state.network.add_client(client_id, position=position)
+    state.client_order.append(client_id)
+
+
+def _compile_link(state, ap_id, client_id, snr_db):
+    state.network.set_link_snr(ap_id, client_id, snr_db)
+
+
+def _compile_conflicts(state, pairs):
+    if state.conflicts is None:
+        state.conflicts = []
+    state.conflicts.extend(tuple(pair) for pair in pairs)
+
+
+def _compile_no_conflicts(state):
+    state.conflicts = []
+
+
+def _compile_carrier_sense(state, threshold_dbm):
+    if state.conflicts is None:
+        state.conflicts = []
+    state.conflicts.extend(
+        carrier_sense_conflict_pairs(state.network, threshold_dbm)
+    )
+
+
+def _compile_grid_aps(state, rows, columns, spacing_m, prefix, start):
+    index = start
+    for row in range(rows):
+        for column in range(columns):
+            position = (
+                (column + 0.5) * spacing_m,
+                (row + 0.5) * spacing_m,
+            )
+            state.network.add_ap(f"{prefix}{index}", position=position)
+            index += 1
+
+
+def _compile_enterprise_aps(state, n_aps, area_m, jitter_sigma_m, prefix):
+    populate_enterprise_aps(
+        state.network,
+        state.rng,
+        n_aps,
+        area_m,
+        jitter_sigma_m=jitter_sigma_m,
+        prefix=prefix,
+    )
+    state.area_m = area_m
+
+
+def _compile_uniform_clients(
+    state, n, area_m, shadowing_sigma_db, min_snr20_db, prefix, start
+):
+    state.client_order.extend(
+        populate_uniform_clients(
+            state.network,
+            state.rng,
+            n,
+            area_m if area_m is not None else state.area_m,
+            shadowing_sigma_db=shadowing_sigma_db,
+            min_snr20_db=min_snr20_db,
+            prefix=prefix,
+            start=start,
+        )
+    )
+
+
+def _compile_quality_choice_clients(
+    state, per_ap, choices, sigma_db, prefix, start
+):
+    state.client_order.extend(
+        populate_quality_choice_clients(
+            state.network,
+            state.rng,
+            per_ap=per_ap,
+            choices=choices,
+            sigma_db=sigma_db,
+            prefix=prefix,
+            start=start,
+        )
+    )
+
+
+def _ap_bounding_box(network: Network) -> Tuple[float, float, float, float]:
+    xs = [network.ap(ap_id).position[0] for ap_id in network.ap_ids]
+    ys = [network.ap(ap_id).position[1] for ap_id in network.ap_ids]
+    return min(xs), max(xs), min(ys), max(ys)
+
+
+def _compile_clients(state, n, clusters, spread_m, prefix, start):
+    rng = state.rng
+    min_x, max_x, min_y, max_y = _ap_bounding_box(state.network)
+    centers: Optional[List[Position]] = None
+    if clusters is not None:
+        centers = [
+            (
+                float(rng.uniform(min_x, max_x)),
+                float(rng.uniform(min_y, max_y)),
+            )
+            for _ in range(clusters)
+        ]
+    for index in range(n):
+        if centers is None:
+            position = (
+                float(rng.uniform(min_x, max_x)),
+                float(rng.uniform(min_y, max_y)),
+            )
+        else:
+            center = centers[int(rng.integers(0, len(centers)))]
+            position = (
+                center[0] + float(rng.normal(0.0, spread_m)),
+                center[1] + float(rng.normal(0.0, spread_m)),
+            )
+        client_id = f"{prefix}{start + index}"
+        state.network.add_client(client_id, position=position)
+        state.client_order.append(client_id)
+
+
+def _compile_mobility(state, walk, n_clients, road_y, prefix, start):
+    for index in range(n_clients):
+        if n_clients == 1:
+            time_s = 0.0
+        else:
+            time_s = walk.duration_s * index / (n_clients - 1)
+        position = (walk.distance_at(time_s), road_y)
+        client_id = f"{prefix}{start + index}"
+        state.network.add_client(client_id, position=position)
+        state.client_order.append(client_id)
+
+
+def _compile_impairment(state, snr_offset_db, clients):
+    network = state.network
+    targets = clients if clients is not None else tuple(network.client_ids)
+    for client_id in targets:
+        for ap_id in network.ap_ids:
+            if network.has_link(ap_id, client_id):
+                snr = network.link_budget(ap_id, client_id).snr20_db
+                network.set_link_snr(ap_id, client_id, snr + snr_offset_db)
+
+
+def _compile_office(state, rooms_x, rooms_y, clients_per_room, n_aps, floor):
+    plan = FloorPlan(
+        rooms_x, rooms_y, floor.room_size_m, floor.wall_loss_db
+    )
+    state.client_order.extend(
+        populate_office_floor(
+            state.network,
+            state.rng,
+            plan,
+            state.network.config.path_loss,
+            n_aps,
+            clients_per_room,
+        )
+    )
+    state.area_m = (plan.width_m, plan.height_m)
+
+
+_STEP_COMPILERS = {
+    "ap": _compile_ap,
+    "client": _compile_client,
+    "link": _compile_link,
+    "conflicts": _compile_conflicts,
+    "no_conflicts": _compile_no_conflicts,
+    "carrier_sense_conflicts": _compile_carrier_sense,
+    "grid_aps": _compile_grid_aps,
+    "enterprise_aps": _compile_enterprise_aps,
+    "uniform_clients": _compile_uniform_clients,
+    "quality_choice_clients": _compile_quality_choice_clients,
+    "clients": _compile_clients,
+    "mobility": _compile_mobility,
+    "impairment": _compile_impairment,
+    "office": _compile_office,
+}
+
+
+@dataclass(frozen=True)
+class CompiledChain:
+    """A frozen builder chain: the registrable, picklable factory.
+
+    Calling the chain replays its steps against a fresh network and one
+    ``make_rng(seed)`` stream, in chain order. Instances compare by
+    value, so re-registering an identical chain under the same name is
+    a no-op, while rebinding the name to a different chain fails like
+    any other registry collision. Pickles by its dataclass fields
+    (plain values, frozen checks) — the contract RL005 enforces.
+    """
+
+    name: str
+    description: str = ""
+    steps: Tuple[Step, ...] = ()
+    checks: Tuple[InvariantCheck, ...] = ()
+    n_channels: Optional[int] = None
+    order: Optional[Tuple[str, ...]] = None
+    path_loss: Optional[Tuple[Tuple[str, float], ...]] = None
+    uses_rng: bool = False
+
+    def __call__(self, seed: int = 0) -> Scenario:
+        """Build the scenario for ``seed`` (deterministic replay)."""
+        rng = make_rng(seed)
+        if self.path_loss is not None:
+            config = SimulationConfig(
+                seed=int(seed),
+                path_loss=PathLossModel(**dict(self.path_loss)),
+            )
+            network = Network(config)
+        else:
+            network = Network()
+        state = _CompileState(network=network, rng=rng)
+        for step in self.steps:
+            _STEP_COMPILERS[step.op](state, **step.kwargs())
+        if state.conflicts is not None:
+            network.set_explicit_conflicts(state.conflicts)
+        plan = ChannelPlan()
+        if self.n_channels is not None:
+            plan = plan.subset(self.n_channels)
+        instance_name = (
+            f"{self.name}_{seed}" if self.uses_rng else self.name
+        )
+        built = Scenario(
+            name=instance_name,
+            network=network,
+            plan=plan,
+            client_order=(
+                list(self.order)
+                if self.order is not None
+                else list(state.client_order)
+            ),
+            description=self.description,
+            checks=self.checks,
+        )
+        built._factory = functools.partial(self, int(seed))
+        return built
+
+
+class ScenarioBuilder:
+    """Fluent, eagerly validated scenario construction.
+
+    Every step method validates its arguments against the chain so far,
+    records the step, and returns ``self`` for chaining. Terminal
+    methods: :meth:`freeze` (the compiled value object),
+    :meth:`build` (one scenario instance), :meth:`register` (into
+    ``SCENARIOS``).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ScenarioError(
+                f"scenario name must match {_NAME_RE.pattern}, got {name!r}"
+            )
+        self._name = name
+        self._steps: List[Step] = []
+        self._checks: List[InvariantCheck] = []
+        self._description = ""
+        self._n_channels: Optional[int] = None
+        self._order: Optional[Tuple[str, ...]] = None
+        self._path_loss: Optional[Tuple[Tuple[str, float], ...]] = None
+        self._uses_rng = False
+        self._aps: Dict[str, bool] = {}  # id → has a position
+        self._clients: Dict[str, bool] = {}
+        self._links: set = set()
+        self._conflict_mode: Optional[str] = None
+        self._has_area = False
+        self._has_office = False
+
+    # -- internal helpers -------------------------------------------------
+
+    def _record(self, op: str, **params: Any) -> "ScenarioBuilder":
+        self._steps.append(Step(op=op, params=tuple(params.items())))
+        return self
+
+    def _fail(self, message: str) -> None:
+        raise ScenarioError(f"scenario {self._name!r}: {message}")
+
+    def _require_no_office(self, step: str) -> None:
+        if self._has_office:
+            self._fail(
+                f"{step} cannot follow office(); the office step owns "
+                "the whole floor"
+            )
+
+    def _require_aps(self, step: str) -> None:
+        if not self._aps:
+            self._fail(f"{step} needs at least one AP declared first")
+
+    def _require_positioned_aps(self, step: str) -> None:
+        self._require_aps(step)
+        unplaced = [a for a, placed in self._aps.items() if not placed]
+        if unplaced:
+            self._fail(
+                f"{step} needs every AP positioned; missing positions: "
+                f"{', '.join(sorted(unplaced))}"
+            )
+
+    def _add_ap_id(self, ap_id: str, placed: bool, step: str) -> None:
+        if not isinstance(ap_id, str) or not ap_id:
+            self._fail(f"{step}: AP id must be a non-empty string")
+        if ap_id in self._aps:
+            self._fail(
+                f"{step}: AP id {ap_id!r} already declared "
+                "(overlapping AP steps)"
+            )
+        if ap_id in self._clients:
+            self._fail(f"{step}: id {ap_id!r} is already a client")
+        self._aps[ap_id] = placed
+
+    def _add_client_id(self, client_id: str, step: str) -> None:
+        if not isinstance(client_id, str) or not client_id:
+            self._fail(f"{step}: client id must be a non-empty string")
+        if client_id in self._clients:
+            self._fail(
+                f"{step}: client id {client_id!r} already declared "
+                "(overlapping client steps)"
+            )
+        if client_id in self._aps:
+            self._fail(f"{step}: id {client_id!r} is already an AP")
+        self._clients[client_id] = True
+
+    def _positive_int(self, value: Any, what: str, step: str) -> int:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            self._fail(f"{step}: {what} must be a positive int, got {value!r}")
+        return value
+
+    # -- configuration steps ----------------------------------------------
+
+    def path_loss(
+        self,
+        exponent: float = 3.0,
+        pl0_db: float = 46.7,
+        reference_m: float = 1.0,
+    ) -> "ScenarioBuilder":
+        """Configure the log-distance path-loss model (geometry chains).
+
+        Must precede any AP/client step — the model is part of the
+        network's construction, not a patch over it.
+        """
+        self._require_no_office("path_loss()")
+        if self._path_loss is not None:
+            self._fail("path_loss() declared twice")
+        if self._aps or self._clients:
+            self._fail("path_loss() must precede AP/client steps")
+        if exponent <= 0 or reference_m <= 0:
+            self._fail(
+                "path_loss(): exponent and reference_m must be positive"
+            )
+        self._path_loss = (
+            ("pl0_db", float(pl0_db)),
+            ("exponent", float(exponent)),
+            ("reference_m", float(reference_m)),
+        )
+        return self
+
+    def describe(self, text: str) -> "ScenarioBuilder":
+        """Set the scenario description (shown in CLI listings)."""
+        self._description = str(text)
+        return self
+
+    def channels(self, n_basic: int) -> "ScenarioBuilder":
+        """Restrict the channel plan to the first ``n_basic`` channels."""
+        if self._n_channels is not None:
+            self._fail("channels() declared twice")
+        if not isinstance(n_basic, int) or not 1 <= n_basic <= 12:
+            self._fail(
+                f"channels(): n_basic must be an int in [1, 12], "
+                f"got {n_basic!r}"
+            )
+        self._n_channels = n_basic
+        return self
+
+    def check(self, invariant: InvariantCheck) -> "ScenarioBuilder":
+        """Attach an invariant check (see :mod:`repro.sim.checks`)."""
+        if not isinstance(invariant, InvariantCheck):
+            self._fail(
+                f"check() takes an InvariantCheck, got "
+                f"{type(invariant).__name__}"
+            )
+        self._checks.append(invariant)
+        return self
+
+    def order(self, *client_ids: str) -> "ScenarioBuilder":
+        """Fix the client arrival order (defaults to insertion order)."""
+        if self._order is not None:
+            self._fail("order() declared twice")
+        if not client_ids:
+            self._fail("order() needs at least one client id")
+        if len(set(client_ids)) != len(client_ids):
+            self._fail("order() ids must be unique")
+        unknown = [c for c in client_ids if c not in self._clients]
+        if unknown:
+            self._fail(
+                f"order() references unknown clients: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        self._order = tuple(client_ids)
+        return self
+
+    # -- explicit construction steps --------------------------------------
+
+    def ap(
+        self,
+        ap_id: str,
+        position: Optional[Position] = None,
+        tx_power_dbm: Optional[float] = None,
+    ) -> "ScenarioBuilder":
+        """Add one AP, optionally positioned."""
+        self._require_no_office("ap()")
+        self._add_ap_id(ap_id, position is not None, "ap()")
+        return self._record(
+            "ap",
+            ap_id=ap_id,
+            position=tuple(position) if position is not None else None,
+            tx_power_dbm=(
+                float(tx_power_dbm) if tx_power_dbm is not None else None
+            ),
+        )
+
+    def client(
+        self, client_id: str, position: Optional[Position] = None
+    ) -> "ScenarioBuilder":
+        """Add one client, optionally positioned."""
+        self._require_no_office("client()")
+        self._require_aps("client()")
+        self._add_client_id(client_id, "client()")
+        return self._record(
+            "client",
+            client_id=client_id,
+            position=tuple(position) if position is not None else None,
+        )
+
+    def link(
+        self, ap_id: str, client_id: str, snr_db: float
+    ) -> "ScenarioBuilder":
+        """Pin one AP↔client link SNR (20 MHz per-subcarrier, dB)."""
+        self._require_no_office("link()")
+        if ap_id not in self._aps:
+            self._fail(f"link(): unknown AP {ap_id!r}")
+        if client_id not in self._clients:
+            self._fail(f"link(): unknown client {client_id!r}")
+        if (ap_id, client_id) in self._links:
+            self._fail(f"link(): ({ap_id!r}, {client_id!r}) pinned twice")
+        self._links.add((ap_id, client_id))
+        return self._record(
+            "link", ap_id=ap_id, client_id=client_id, snr_db=float(snr_db)
+        )
+
+    def conflicts(self, *pairs: Tuple[str, str]) -> "ScenarioBuilder":
+        """Declare explicit AP interference edges."""
+        self._require_no_office("conflicts()")
+        if self._conflict_mode == "carrier":
+            self._fail(
+                "conflicts() contradicts carrier_sense_conflicts(); "
+                "pick one interference source"
+            )
+        if not pairs:
+            self._fail("conflicts() needs at least one pair")
+        for pair in pairs:
+            if len(pair) != 2:
+                self._fail(f"conflicts(): {pair!r} is not a pair")
+            ap_a, ap_b = pair
+            if ap_a == ap_b:
+                self._fail(f"conflicts(): {ap_a!r} cannot conflict itself")
+            for ap_id in (ap_a, ap_b):
+                if ap_id not in self._aps:
+                    self._fail(f"conflicts(): unknown AP {ap_id!r}")
+        self._conflict_mode = "explicit"
+        return self._record(
+            "conflicts", pairs=tuple(tuple(pair) for pair in pairs)
+        )
+
+    def no_conflicts(self) -> "ScenarioBuilder":
+        """Declare the interference graph empty (no contention)."""
+        self._require_no_office("no_conflicts()")
+        if self._conflict_mode is not None:
+            self._fail("no_conflicts() contradicts earlier conflict steps")
+        self._conflict_mode = "explicit"
+        return self._record("no_conflicts")
+
+    def carrier_sense_conflicts(
+        self, threshold_dbm: float = -82.0
+    ) -> "ScenarioBuilder":
+        """Derive AP conflicts by carrier sense over the geometry.
+
+        Snapshot semantics: edges are computed at this point in the
+        chain, over the APs declared so far.
+        """
+        self._require_no_office("carrier_sense_conflicts()")
+        if self._conflict_mode == "explicit":
+            self._fail(
+                "carrier_sense_conflicts() contradicts explicit "
+                "conflict steps; pick one interference source"
+            )
+        self._require_positioned_aps("carrier_sense_conflicts()")
+        self._conflict_mode = "carrier"
+        return self._record(
+            "carrier_sense_conflicts", threshold_dbm=float(threshold_dbm)
+        )
+
+    # -- generative steps --------------------------------------------------
+
+    def grid_aps(
+        self,
+        rows: int,
+        columns: int,
+        spacing_m: float = 20.0,
+        prefix: str = "AP",
+        start: int = 1,
+    ) -> "ScenarioBuilder":
+        """Place ``rows × columns`` APs on a regular grid (row-major)."""
+        self._require_no_office("grid_aps()")
+        rows = self._positive_int(rows, "rows", "grid_aps()")
+        columns = self._positive_int(columns, "columns", "grid_aps()")
+        if spacing_m <= 0:
+            self._fail("grid_aps(): spacing_m must be positive")
+        for index in range(rows * columns):
+            self._add_ap_id(f"{prefix}{start + index}", True, "grid_aps()")
+        return self._record(
+            "grid_aps",
+            rows=rows,
+            columns=columns,
+            spacing_m=float(spacing_m),
+            prefix=prefix,
+            start=start,
+        )
+
+    def enterprise_aps(
+        self,
+        n_aps: int,
+        area_m: Position = (80.0, 60.0),
+        jitter_sigma_m: float = 3.0,
+        prefix: str = "AP",
+    ) -> "ScenarioBuilder":
+        """Place APs on a jittered grid over ``area_m`` (uses the RNG)."""
+        self._require_no_office("enterprise_aps()")
+        n_aps = self._positive_int(n_aps, "n_aps", "enterprise_aps()")
+        if area_m[0] <= 0 or area_m[1] <= 0:
+            self._fail("enterprise_aps(): area_m sides must be positive")
+        for index in range(n_aps):
+            self._add_ap_id(
+                f"{prefix}{index + 1}", True, "enterprise_aps()"
+            )
+        self._uses_rng = True
+        self._has_area = True
+        return self._record(
+            "enterprise_aps",
+            n_aps=n_aps,
+            area_m=(float(area_m[0]), float(area_m[1])),
+            jitter_sigma_m=float(jitter_sigma_m),
+            prefix=prefix,
+        )
+
+    def uniform_clients(
+        self,
+        n: int,
+        shadowing_sigma_db: float = 4.0,
+        min_snr20_db: float = -8.0,
+        prefix: str = "c",
+        start: int = 1,
+        area_m: Optional[Position] = None,
+    ) -> "ScenarioBuilder":
+        """Drop clients uniformly over the area, pin shadowed links."""
+        self._require_no_office("uniform_clients()")
+        self._require_positioned_aps("uniform_clients()")
+        n = self._positive_int(n, "n", "uniform_clients()")
+        if area_m is None and not self._has_area:
+            self._fail(
+                "uniform_clients() needs an area: pass area_m or place "
+                "APs with enterprise_aps() first"
+            )
+        for index in range(n):
+            self._add_client_id(f"{prefix}{index + start}", "uniform_clients()")
+        self._uses_rng = True
+        return self._record(
+            "uniform_clients",
+            n=n,
+            area_m=(
+                (float(area_m[0]), float(area_m[1]))
+                if area_m is not None
+                else None
+            ),
+            shadowing_sigma_db=float(shadowing_sigma_db),
+            min_snr20_db=float(min_snr20_db),
+            prefix=prefix,
+            start=start,
+        )
+
+    def quality_choice_clients(
+        self,
+        per_ap: int = 2,
+        choices: Tuple[float, ...] = (1.0, 4.0, 8.0, 14.0, 20.0, 26.0),
+        sigma_db: float = 1.0,
+        prefix: str = "c",
+        start: int = 0,
+    ) -> "ScenarioBuilder":
+        """Attach palette-quality clients per AP (Fig 14 construction)."""
+        self._require_no_office("quality_choice_clients()")
+        self._require_aps("quality_choice_clients()")
+        per_ap = self._positive_int(per_ap, "per_ap", "quality_choice_clients()")
+        if not choices:
+            self._fail("quality_choice_clients(): choices must be non-empty")
+        counter = start
+        for _ in self._aps:
+            for _ in range(per_ap):
+                self._add_client_id(
+                    f"{prefix}{counter}", "quality_choice_clients()"
+                )
+                counter += 1
+        self._uses_rng = True
+        return self._record(
+            "quality_choice_clients",
+            per_ap=per_ap,
+            choices=tuple(float(c) for c in choices),
+            sigma_db=float(sigma_db),
+            prefix=prefix,
+            start=start,
+        )
+
+    def clients(
+        self,
+        n: int,
+        clusters: Optional[int] = None,
+        spread_m: float = 8.0,
+        prefix: str = "c",
+        start: int = 0,
+    ) -> "ScenarioBuilder":
+        """Drop clients over the AP bounding box, optionally clustered.
+
+        ``clusters=k`` draws k hotspot centres first, then spreads the
+        clients around them with ``spread_m`` of Gaussian scatter — the
+        flash-crowd shape. Links form geometrically (no pinning).
+        """
+        self._require_no_office("clients()")
+        self._require_positioned_aps("clients()")
+        n = self._positive_int(n, "n", "clients()")
+        if clusters is not None:
+            clusters = self._positive_int(clusters, "clusters", "clients()")
+            if clusters > n:
+                self._fail(
+                    f"clients(): {clusters} clusters for {n} clients"
+                )
+        if spread_m <= 0:
+            self._fail("clients(): spread_m must be positive")
+        for index in range(n):
+            self._add_client_id(f"{prefix}{start + index}", "clients()")
+        self._uses_rng = True
+        return self._record(
+            "clients",
+            n=n,
+            clusters=clusters,
+            spread_m=float(spread_m),
+            prefix=prefix,
+            start=start,
+        )
+
+    def mobility(
+        self,
+        walk: LinearWalk,
+        n_clients: int,
+        road_y: float = 0.0,
+        prefix: str = "veh",
+        start: int = 0,
+    ) -> "ScenarioBuilder":
+        """Drop clients along a walk's trajectory (vehicular drive-by).
+
+        Client *i* sits where the walk is at time ``i/(n-1)`` of its
+        duration — a deterministic snapshot of a vehicle passing the
+        deployment on the ``road_y`` line.
+        """
+        self._require_no_office("mobility()")
+        self._require_positioned_aps("mobility()")
+        if not isinstance(walk, LinearWalk):
+            self._fail(
+                f"mobility() takes a LinearWalk, got {type(walk).__name__}"
+            )
+        n_clients = self._positive_int(n_clients, "n_clients", "mobility()")
+        for index in range(n_clients):
+            self._add_client_id(f"{prefix}{start + index}", "mobility()")
+        return self._record(
+            "mobility",
+            walk=walk,
+            n_clients=n_clients,
+            road_y=float(road_y),
+            prefix=prefix,
+            start=start,
+        )
+
+    def impairment(
+        self,
+        snr_offset_db: float,
+        clients: Optional[Tuple[str, ...]] = None,
+    ) -> "ScenarioBuilder":
+        """Degrade (or boost) every defined link of the targeted clients.
+
+        Pins ``current budget + snr_offset_db`` on each existing link —
+        legacy-802.11a-grade hardware, interference hot zones.
+        """
+        self._require_no_office("impairment()")
+        if clients is not None:
+            if not clients:
+                self._fail("impairment(): empty client list")
+            unknown = [c for c in clients if c not in self._clients]
+            if unknown:
+                self._fail(
+                    f"impairment(): unknown clients: "
+                    f"{', '.join(sorted(unknown))}"
+                )
+        elif not self._clients:
+            self._fail("impairment() needs clients declared first")
+        return self._record(
+            "impairment",
+            snr_offset_db=float(snr_offset_db),
+            clients=tuple(clients) if clients is not None else None,
+        )
+
+    def office(
+        self,
+        rooms_x: int = 4,
+        rooms_y: int = 3,
+        clients_per_room: int = 1,
+        n_aps: int = 3,
+        floor: FloorPlan = FloorPlan(),
+    ) -> "ScenarioBuilder":
+        """Build a whole office floor (corridor APs, per-room clients).
+
+        A composite step: it owns the path-loss model (indoor exponent
+        2.8), the geometry, the links, and the wall-aware conflicts, so
+        it must be the chain's only construction step.
+        """
+        if self._has_office:
+            self._fail("office() declared twice")
+        if self._aps or self._clients:
+            self._fail("office() must be the first construction step")
+        if self._path_loss is not None:
+            self._fail("office() owns the path-loss model; drop path_loss()")
+        if self._conflict_mode is not None:
+            self._fail("office() owns the conflict graph")
+        rooms_x = self._positive_int(rooms_x, "rooms_x", "office()")
+        rooms_y = self._positive_int(rooms_y, "rooms_y", "office()")
+        n_aps = self._positive_int(n_aps, "n_aps", "office()")
+        if not isinstance(clients_per_room, int) or clients_per_room < 0:
+            self._fail("office(): clients_per_room must be a non-negative int")
+        counter = 0
+        for index in range(n_aps):
+            self._add_ap_id(f"AP{index + 1}", True, "office()")
+        for _ in range(rooms_x * rooms_y * clients_per_room):
+            self._add_client_id(f"c{counter}", "office()")
+            counter += 1
+        self._has_office = True
+        self._has_area = True
+        self._uses_rng = True
+        self._conflict_mode = "office"
+        self._path_loss = (("exponent", 2.8),)
+        return self._record(
+            "office",
+            rooms_x=rooms_x,
+            rooms_y=rooms_y,
+            clients_per_room=clients_per_room,
+            n_aps=n_aps,
+            floor=floor,
+        )
+
+    # -- terminals ---------------------------------------------------------
+
+    def freeze(self) -> "CompiledChain":
+        """Compile the chain into its frozen, picklable factory."""
+        if not self._aps:
+            self._fail("chain declares no APs")
+        if not self._clients:
+            self._fail("chain declares no clients")
+        if self._order is not None and set(self._order) != set(self._clients):
+            missing = sorted(set(self._clients) - set(self._order))
+            self._fail(
+                f"order() must cover every client; missing: "
+                f"{', '.join(missing)}"
+            )
+        return CompiledChain(
+            name=self._name,
+            description=self._description,
+            steps=tuple(self._steps),
+            checks=tuple(self._checks),
+            n_channels=self._n_channels,
+            order=self._order,
+            path_loss=self._path_loss,
+            uses_rng=self._uses_rng,
+        )
+
+    def build(self, seed: int = 0) -> Scenario:
+        """Compile and build one scenario instance for ``seed``."""
+        return self.freeze()(seed)
+
+    def register(self) -> CompiledChain:
+        """Compile the chain and register it into ``SCENARIOS``.
+
+        Re-registering a value-identical chain under the same name is a
+        no-op (returns the already registered chain), so modules that
+        define scenario libraries are import-idempotent.
+        """
+        chain = self.freeze()
+        existing = SCENARIOS.get(chain.name)
+        if isinstance(existing, CompiledChain) and existing == chain:
+            return existing
+        register_scenario(chain.name, chain)
+        return chain
+
+
+def scenario(name: str) -> ScenarioBuilder:
+    """Start a fluent scenario chain: ``scenario("atrium").grid_aps(...)``."""
+    return ScenarioBuilder(name)

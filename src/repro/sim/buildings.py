@@ -20,7 +20,7 @@ from ..net.channels import ChannelPlan
 from ..net.topology import Network
 from .scenario import Scenario, _finish, register_scenario
 
-__all__ = ["FloorPlan", "office_floor"]
+__all__ = ["FloorPlan", "office_floor", "populate_office_floor"]
 
 Position = Tuple[float, float]
 
@@ -101,30 +101,24 @@ class FloorPlan:
         return model.loss_db(distance) + self.wall_loss_db * self.walls_between(a, b)
 
 
-def office_floor(
-    rooms_x: int = 4,
-    rooms_y: int = 3,
-    clients_per_room: int = 1,
-    n_aps: int = 3,
-    seed: int = 0,
-    plan: FloorPlan = FloorPlan(),
-) -> Scenario:
-    """An office floor: APs in corridor positions, clients per room.
+def populate_office_floor(
+    network: Network,
+    rng,
+    floor: FloorPlan,
+    model: PathLossModel,
+    n_aps: int,
+    clients_per_room: int,
+) -> List[str]:
+    """Fill ``network`` with corridor APs and per-room clients.
 
-    Wall losses naturally create the quality mix ACORN cares about —
-    clients rooms away end up in the poor regime where bonding hurts.
+    APs spread along the floor's central corridor; every room gets
+    ``clients_per_room`` clients jittered around its centre (two uniform
+    draws each). Links are pinned through the multi-wall model and
+    AP-AP carrier sense runs through the same walls. Returns client ids
+    in insertion order. Shared by :func:`office_floor` and the builder's
+    ``office`` step so both consume the RNG stream identically.
     """
-    if clients_per_room < 0:
-        raise ConfigurationError("clients_per_room must be non-negative")
-    if n_aps < 1:
-        raise ConfigurationError("need at least one AP")
-    rng = make_rng(seed)
-    floor = FloorPlan(rooms_x, rooms_y, plan.room_size_m, plan.wall_loss_db)
-    model = PathLossModel(exponent=2.8)  # indoor LOS-ish before walls
-    config = SimulationConfig(seed=seed, path_loss=model)
-    network = Network(config)
-
-    # APs spread along the floor's central corridor.
+    config = network.config
     ap_positions: List[Position] = []
     for index in range(n_aps):
         x = (index + 0.5) / n_aps * floor.width_m
@@ -134,8 +128,8 @@ def office_floor(
 
     client_order: List[str] = []
     counter = 0
-    for room_x in range(rooms_x):
-        for room_y in range(rooms_y):
+    for room_x in range(floor.rooms_x):
+        for room_y in range(floor.rooms_y):
             for _ in range(clients_per_room):
                 client_id = f"c{counter}"
                 counter += 1
@@ -168,6 +162,34 @@ def office_floor(
             if config.max_tx_power_dbm - loss >= -82.0:
                 conflicts.append((ap_a, ap_b))
     network.set_explicit_conflicts(conflicts)
+    return client_order
+
+
+def office_floor(
+    rooms_x: int = 4,
+    rooms_y: int = 3,
+    clients_per_room: int = 1,
+    n_aps: int = 3,
+    seed: int = 0,
+    plan: FloorPlan = FloorPlan(),
+) -> Scenario:
+    """An office floor: APs in corridor positions, clients per room.
+
+    Wall losses naturally create the quality mix ACORN cares about —
+    clients rooms away end up in the poor regime where bonding hurts.
+    """
+    if clients_per_room < 0:
+        raise ConfigurationError("clients_per_room must be non-negative")
+    if n_aps < 1:
+        raise ConfigurationError("need at least one AP")
+    rng = make_rng(seed)
+    floor = FloorPlan(rooms_x, rooms_y, plan.room_size_m, plan.wall_loss_db)
+    model = PathLossModel(exponent=2.8)  # indoor LOS-ish before walls
+    config = SimulationConfig(seed=seed, path_loss=model)
+    network = Network(config)
+    client_order = populate_office_floor(
+        network, rng, floor, model, n_aps, clients_per_room
+    )
 
     return _finish(
         Scenario(

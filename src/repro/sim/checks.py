@@ -1,0 +1,480 @@
+"""First-class invariant checks over scenarios and sweep results.
+
+A check is a small frozen dataclass — picklable by construction, so it
+rides inside :class:`~repro.fleet.jobs.CompiledScenario` payloads into
+worker processes — that asserts either a *structural* property of a
+built scenario (hidden terminals present, every client admissible, the
+channel supply genuinely scarce) or a *result* property of one sweep
+cell's deterministic metrics (a Jain fairness floor, a throughput
+floor).
+
+Checks make a scenario an executable test specification: the fleet
+executor evaluates every check attached to a scenario inside the worker
+and records the verdicts on the :class:`~repro.fleet.results.JobResult`
+(``status`` stays ``"ok"`` — a violated invariant is data, not a
+crash), the journal persists them, and ``repro sweep`` summaries
+surface the violations.
+
+The :data:`CHECKS` registry maps names to the public factories so
+serialized experiment specs and docs can reference checks by string,
+mirroring ``SCENARIOS`` and ``ALGORITHMS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ScenarioError
+
+__all__ = [
+    "CHECKS",
+    "AllClientsAdmissible",
+    "ChannelsScarce",
+    "CheckResult",
+    "HasHiddenTerminals",
+    "InvariantCheck",
+    "MaxInterferenceDegree",
+    "MinFairness",
+    "MinInterferenceDegree",
+    "MinSnrSpread",
+    "MinTotalThroughput",
+    "all_clients_admissible",
+    "channels_scarce",
+    "evaluate_network_checks",
+    "evaluate_result_checks",
+    "has_hidden_terminals",
+    "max_interference_degree",
+    "min_fairness",
+    "min_interference_degree",
+    "min_snr_spread",
+    "min_total_mbps",
+    "register_check",
+]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict of one check over one scenario or one job's metrics."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form (journalled with the job result)."""
+        return {"name": self.name, "passed": self.passed, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """Base class for scenario invariants.
+
+    Subclasses set ``scope`` to ``"network"`` (evaluated against the
+    built scenario before the algorithm runs) or ``"result"``
+    (evaluated against the job's deterministic metrics afterwards) and
+    implement the matching ``evaluate`` method. Instances are frozen
+    dataclasses of plain numbers, so they pickle by reference to their
+    module-level class — the same contract RL005 enforces for registry
+    factories.
+    """
+
+    scope = "network"
+
+    @property
+    def name(self) -> str:
+        """Deterministic display name (class plus parameters)."""
+        return type(self).__name__
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Verdict over a built scenario (``scope == "network"``)."""
+        raise NotImplementedError
+
+    def evaluate_result(self, metrics: Mapping[str, float]) -> CheckResult:
+        """Verdict over job metrics (``scope == "result"``)."""
+        raise NotImplementedError
+
+    def _verdict(self, passed: bool, detail: str) -> CheckResult:
+        return CheckResult(name=self.name, passed=bool(passed), detail=detail)
+
+
+# ----------------------------------------------------------------------
+# Result-scope checks (per-job deterministic metrics).
+
+
+@dataclass(frozen=True)
+class MinFairness(InvariantCheck):
+    """Jain fairness index of the per-AP throughputs must reach a floor."""
+
+    threshold: float = 0.5
+    scope = "result"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ScenarioError(
+                f"min_fairness threshold must be in [0, 1], "
+                f"got {self.threshold}"
+            )
+
+    @property
+    def name(self) -> str:
+        """E.g. ``min_fairness(0.7)``."""
+        return f"min_fairness({self.threshold:g})"
+
+    def evaluate_result(self, metrics: Mapping[str, float]) -> CheckResult:
+        """Pass when ``jain >= threshold``."""
+        jain = float(metrics.get("jain", 0.0))
+        return self._verdict(
+            jain >= self.threshold,
+            f"jain={jain:.4f} vs floor {self.threshold:g}",
+        )
+
+
+@dataclass(frozen=True)
+class MinTotalThroughput(InvariantCheck):
+    """Aggregate network throughput must reach a floor (Mbps)."""
+
+    threshold_mbps: float = 1.0
+    scope = "result"
+
+    def __post_init__(self) -> None:
+        if self.threshold_mbps < 0.0:
+            raise ScenarioError(
+                f"min_total_mbps floor must be non-negative, "
+                f"got {self.threshold_mbps}"
+            )
+
+    @property
+    def name(self) -> str:
+        """E.g. ``min_total_mbps(5)``."""
+        return f"min_total_mbps({self.threshold_mbps:g})"
+
+    def evaluate_result(self, metrics: Mapping[str, float]) -> CheckResult:
+        """Pass when ``total_mbps >= threshold_mbps``."""
+        total = float(metrics.get("total_mbps", 0.0))
+        return self._verdict(
+            total >= self.threshold_mbps,
+            f"total={total:.2f} Mbps vs floor {self.threshold_mbps:g}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Network-scope checks (structure of the built scenario).
+
+
+def _interference_graph(scenario):
+    from ..net.interference import build_interference_graph
+
+    return build_interference_graph(scenario.network)
+
+
+@dataclass(frozen=True)
+class HasHiddenTerminals(InvariantCheck):
+    """The AP conflict graph must contain an open triple.
+
+    Two APs that both contend with a middle AP but not with each other
+    are mutually hidden: neither defers to the other's transmissions,
+    so the middle cell sees collisions carrier sense cannot prevent —
+    the regime where allocation quality matters most.
+    """
+
+    @property
+    def name(self) -> str:
+        """``has_hidden_terminals()``."""
+        return "has_hidden_terminals()"
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Pass when some AP pair shares a neighbour without an edge."""
+        graph = _interference_graph(scenario)
+        for middle in graph.nodes:
+            neighbours = sorted(graph.neighbors(middle))
+            for i, left in enumerate(neighbours):
+                for right in neighbours[i + 1 :]:
+                    if not graph.has_edge(left, right):
+                        return self._verdict(
+                            True,
+                            f"{left} and {right} are hidden from each "
+                            f"other behind {middle}",
+                        )
+        return self._verdict(False, "no open triple in the conflict graph")
+
+
+@dataclass(frozen=True)
+class MinInterferenceDegree(InvariantCheck):
+    """The conflict graph's maximum degree Δ must reach a floor.
+
+    The allocator's approximation guarantee degrades as O(1/(Δ+1)), so
+    adversarial scenarios pin a minimum Δ to stay in the hard regime.
+    """
+
+    degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.degree < 0:
+            raise ScenarioError(
+                f"min_interference_degree must be non-negative, "
+                f"got {self.degree}"
+            )
+
+    @property
+    def name(self) -> str:
+        """E.g. ``min_interference_degree(3)``."""
+        return f"min_interference_degree({self.degree})"
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Pass when ``max_degree(graph) >= degree``."""
+        from ..net.interference import max_degree
+
+        delta = max_degree(_interference_graph(scenario))
+        return self._verdict(
+            delta >= self.degree,
+            f"max degree {delta} vs floor {self.degree}",
+        )
+
+
+@dataclass(frozen=True)
+class MaxInterferenceDegree(InvariantCheck):
+    """The conflict graph's maximum degree Δ must stay under a ceiling."""
+
+    degree: int = 4
+
+    def __post_init__(self) -> None:
+        if self.degree < 0:
+            raise ScenarioError(
+                f"max_interference_degree must be non-negative, "
+                f"got {self.degree}"
+            )
+
+    @property
+    def name(self) -> str:
+        """E.g. ``max_interference_degree(4)``."""
+        return f"max_interference_degree({self.degree})"
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Pass when ``max_degree(graph) <= degree``."""
+        from ..net.interference import max_degree
+
+        delta = max_degree(_interference_graph(scenario))
+        return self._verdict(
+            delta <= self.degree,
+            f"max degree {delta} vs ceiling {self.degree}",
+        )
+
+
+@dataclass(frozen=True)
+class ChannelsScarce(InvariantCheck):
+    """The 20 MHz channel supply must not trivially colour the graph.
+
+    With ``n_basic > Δ`` every AP can take a private channel and the
+    allocation problem collapses; a scarce plan (``n_basic <= Δ``)
+    forces genuine contention — the Fig 11/14 regime.
+    """
+
+    @property
+    def name(self) -> str:
+        """``channels_scarce()``."""
+        return "channels_scarce()"
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Pass when ``plan.n_basic <= max_degree(graph)``."""
+        from ..net.interference import max_degree
+
+        delta = max_degree(_interference_graph(scenario))
+        n_basic = scenario.plan.n_basic
+        return self._verdict(
+            n_basic <= delta,
+            f"{n_basic} basic channels vs max degree {delta}",
+        )
+
+
+@dataclass(frozen=True)
+class AllClientsAdmissible(InvariantCheck):
+    """Every client must have at least one AP above the MCS-0 floor."""
+
+    min_snr20_db: float = -5.0
+
+    @property
+    def name(self) -> str:
+        """E.g. ``all_clients_admissible(-5)``."""
+        return f"all_clients_admissible({self.min_snr20_db:g})"
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Pass when no client has an empty serving set."""
+        network = scenario.network
+        stranded = [
+            client_id
+            for client_id in network.client_ids
+            if not network.candidate_aps(client_id, self.min_snr20_db)
+        ]
+        if stranded:
+            return self._verdict(
+                False, f"stranded clients: {', '.join(stranded)}"
+            )
+        return self._verdict(
+            True, f"all {len(network.client_ids)} clients admissible"
+        )
+
+
+@dataclass(frozen=True)
+class MinSnrSpread(InvariantCheck):
+    """The best and worst defined links must differ by at least ``spread_db``.
+
+    A wide quality mix — excellent 802.11n links next to legacy-grade
+    ones (paper Sec 6.4) — is what makes per-cell width choices and
+    quality grouping non-trivial.
+    """
+
+    spread_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.spread_db < 0.0:
+            raise ScenarioError(
+                f"min_snr_spread must be non-negative, got {self.spread_db}"
+            )
+
+    @property
+    def name(self) -> str:
+        """E.g. ``min_snr_spread(15)``."""
+        return f"min_snr_spread({self.spread_db:g})"
+
+    def evaluate(self, scenario) -> CheckResult:
+        """Pass when max−min link SNR over defined links ≥ the spread."""
+        network = scenario.network
+        snrs: List[float] = []
+        for client_id in network.client_ids:
+            for ap_id in network.ap_ids:
+                if network.has_link(ap_id, client_id):
+                    snrs.append(
+                        float(network.link_budget(ap_id, client_id).snr20_db)
+                    )
+        if not snrs:
+            return self._verdict(False, "no defined links")
+        spread = max(snrs) - min(snrs)
+        return self._verdict(
+            spread >= self.spread_db,
+            f"spread {spread:.1f} dB vs floor {self.spread_db:g}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Public factories (what builder chains and the registry expose).
+
+
+def min_fairness(threshold: float) -> MinFairness:
+    """A result check: Jain fairness over per-AP throughputs ≥ floor."""
+    return MinFairness(threshold=float(threshold))
+
+
+def min_total_mbps(threshold_mbps: float) -> MinTotalThroughput:
+    """A result check: aggregate throughput ≥ floor (Mbps)."""
+    return MinTotalThroughput(threshold_mbps=float(threshold_mbps))
+
+
+def has_hidden_terminals() -> HasHiddenTerminals:
+    """A network check: the conflict graph contains an open triple."""
+    return HasHiddenTerminals()
+
+
+def min_interference_degree(degree: int) -> MinInterferenceDegree:
+    """A network check: conflict-graph Δ at least ``degree``."""
+    return MinInterferenceDegree(degree=int(degree))
+
+
+def max_interference_degree(degree: int) -> MaxInterferenceDegree:
+    """A network check: conflict-graph Δ at most ``degree``."""
+    return MaxInterferenceDegree(degree=int(degree))
+
+
+def channels_scarce() -> ChannelsScarce:
+    """A network check: fewer basic channels than Δ+1 (real contention)."""
+    return ChannelsScarce()
+
+
+def all_clients_admissible(min_snr20_db: float = -5.0) -> AllClientsAdmissible:
+    """A network check: every client has a non-empty serving set."""
+    return AllClientsAdmissible(min_snr20_db=float(min_snr20_db))
+
+
+def min_snr_spread(spread_db: float) -> MinSnrSpread:
+    """A network check: link qualities span at least ``spread_db`` dB."""
+    return MinSnrSpread(spread_db=float(spread_db))
+
+
+# Name → factory, mirroring SCENARIOS/ALGORITHMS. Keys are the names
+# docs and serialized specs use; values are the module-level factories
+# above (picklable, RL005-clean).
+CHECKS: Dict[str, Callable[..., InvariantCheck]] = {
+    "min_fairness": min_fairness,
+    "min_total_mbps": min_total_mbps,
+    "has_hidden_terminals": has_hidden_terminals,
+    "min_interference_degree": min_interference_degree,
+    "max_interference_degree": max_interference_degree,
+    "channels_scarce": channels_scarce,
+    "all_clients_admissible": all_clients_admissible,
+    "min_snr_spread": min_snr_spread,
+}
+
+
+def register_check(name: str, factory: Callable[..., InvariantCheck]) -> None:
+    """Register a check ``factory`` under ``name``.
+
+    Same contract as :func:`~repro.sim.scenario.register_scenario`:
+    re-registering the identical factory is a no-op, rebinding a name
+    raises :class:`ScenarioError`.
+    """
+    existing = CHECKS.get(name)
+    if existing is not None and existing is not factory:
+        raise ScenarioError(
+            f"check name {name!r} is already registered to "
+            f"{existing.__module__}.{existing.__qualname__}"
+        )
+    CHECKS[name] = factory
+
+
+def evaluate_network_checks(scenario) -> List[CheckResult]:
+    """Run a scenario's network-scope checks against its built state.
+
+    Evaluation failures (a geometric check on a geometry-free network,
+    say) become failed verdicts, never exceptions — a bad check must
+    mark the job, not crash the worker.
+    """
+    from ..errors import ReproError
+
+    verdicts: List[CheckResult] = []
+    for check in getattr(scenario, "checks", ()):
+        if check.scope != "network":
+            continue
+        try:
+            verdicts.append(check.evaluate(scenario))
+        except ReproError as exc:
+            verdicts.append(
+                CheckResult(
+                    name=check.name,
+                    passed=False,
+                    detail=f"check error: {exc}",
+                )
+            )
+    return verdicts
+
+
+def evaluate_result_checks(
+    checks: Sequence[InvariantCheck], metrics: Mapping[str, float]
+) -> List[CheckResult]:
+    """Run result-scope checks against one job's deterministic metrics."""
+    from ..errors import ReproError
+
+    verdicts: List[CheckResult] = []
+    for check in checks:
+        if check.scope != "result":
+            continue
+        try:
+            verdicts.append(check.evaluate_result(metrics))
+        except ReproError as exc:
+            verdicts.append(
+                CheckResult(
+                    name=check.name,
+                    passed=False,
+                    detail=f"check error: {exc}",
+                )
+            )
+    return verdicts

@@ -17,7 +17,7 @@ from __future__ import annotations
 import inspect
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..config import PathLossModel, SimulationConfig, make_rng
 from ..errors import ConfigurationError
 from ..net.channels import ChannelPlan
 from ..net.topology import Network
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from .checks import InvariantCheck
 
 __all__ = [
     "Scenario",
@@ -38,6 +41,10 @@ __all__ = [
     "make_scenario",
     "scenario_names",
     "scenario_accepts",
+    "carrier_sense_conflict_pairs",
+    "populate_enterprise_aps",
+    "populate_quality_choice_clients",
+    "populate_uniform_clients",
 ]
 
 # Representative link qualities (20 MHz per-subcarrier SNR, dB).
@@ -49,13 +56,21 @@ EXCELLENT_SNR_DB = 30.0
 
 @dataclass
 class Scenario:
-    """A ready-to-configure experiment setup."""
+    """A ready-to-configure experiment setup.
+
+    ``checks`` carries the scenario's invariant checks (see
+    :mod:`repro.sim.checks`): picklable predicates the fleet executor
+    evaluates inside each worker and ``repro timeline`` evaluates per
+    replay. Hand-written factories leave it empty; builder chains
+    attach whatever ``.check(...)`` declared.
+    """
 
     name: str
     network: Network
     plan: ChannelPlan
     client_order: List[str] = field(default_factory=list)
     description: str = ""
+    checks: "Tuple[InvariantCheck, ...]" = ()
 
     def fresh_network(self) -> Network:
         """A pristine copy of the network (no associations/channels).
@@ -196,6 +211,137 @@ def dense_triangle() -> Scenario:
     )
 
 
+def populate_quality_choice_clients(
+    network: Network,
+    rng: np.random.Generator,
+    per_ap: int = 2,
+    choices: Tuple[float, ...] = (1.0, 4.0, 8.0, 14.0, 20.0, 26.0),
+    sigma_db: float = 1.0,
+    prefix: str = "c",
+    start: int = 0,
+) -> List[str]:
+    """Attach ``per_ap`` palette-quality clients to every AP.
+
+    For each AP (insertion order) and each of its clients, one SNR is
+    drawn from the discrete ``choices`` palette plus ``sigma_db`` of
+    Gaussian jitter and pinned on that AP's link only — the Fig 14
+    construction. Returns the created client ids in insertion order.
+    Shared by :func:`ap_triple` and the builder's
+    ``quality_choice_clients`` step, so both consume the RNG stream
+    identically (bit-identical fingerprints).
+    """
+    snr_choices = np.asarray(choices, dtype=float)
+    counter = start
+    order: List[str] = []
+    for ap_id in network.ap_ids:
+        for _ in range(per_ap):
+            client_id = f"{prefix}{counter}"
+            counter += 1
+            network.add_client(client_id)
+            snr = float(rng.choice(snr_choices)) + float(
+                rng.normal(0.0, sigma_db)
+            )
+            network.set_link_snr(ap_id, client_id, snr)
+            order.append(client_id)
+    return order
+
+
+def populate_enterprise_aps(
+    network: Network,
+    rng: np.random.Generator,
+    n_aps: int,
+    area_m: Tuple[float, float],
+    jitter_sigma_m: float = 3.0,
+    prefix: str = "AP",
+) -> List[Tuple[float, float]]:
+    """Place ``n_aps`` APs on a jittered grid over ``area_m``.
+
+    The grid is ``ceil(sqrt(n))`` columns wide; every AP draws two
+    Gaussian jitters (x then y). Returns the positions in insertion
+    order. Shared by :func:`random_enterprise` and the builder's
+    ``enterprise_aps`` step.
+    """
+    width, height = area_m
+    columns = max(1, int(math.ceil(math.sqrt(n_aps))))
+    rows = int(math.ceil(n_aps / columns))
+    positions: List[Tuple[float, float]] = []
+    for index in range(n_aps):
+        column = index % columns
+        row = index // columns
+        x = (column + 0.5) / columns * width + float(
+            rng.normal(0.0, jitter_sigma_m)
+        )
+        y = (row + 0.5) / rows * height + float(
+            rng.normal(0.0, jitter_sigma_m)
+        )
+        positions.append((x, y))
+        network.add_ap(f"{prefix}{index + 1}", position=(x, y))
+    return positions
+
+
+def populate_uniform_clients(
+    network: Network,
+    rng: np.random.Generator,
+    n_clients: int,
+    area_m: Tuple[float, float],
+    shadowing_sigma_db: float = 4.0,
+    min_snr20_db: float = -8.0,
+    prefix: str = "c",
+    start: int = 1,
+) -> List[str]:
+    """Drop clients uniformly over ``area_m`` and pin shadowed links.
+
+    Each client draws its position (x then y), then one shadowing
+    sample per AP in insertion order; links whose budget SNR clears
+    ``min_snr20_db`` are pinned, the rest are dropped. Returns the
+    client ids in insertion order. Shared by :func:`random_enterprise`
+    and the builder's ``uniform_clients`` step.
+    """
+    model = network.config.path_loss
+    width, height = area_m
+    client_order: List[str] = []
+    for index in range(n_clients):
+        client_id = f"{prefix}{index + start}"
+        client_order.append(client_id)
+        position = (
+            float(rng.uniform(0.0, width)),
+            float(rng.uniform(0.0, height)),
+        )
+        network.add_client(client_id, position=position)
+        # Pin link SNRs with one-time shadowing for determinism.
+        for ap_id in network.ap_ids:
+            distance = network.distance(
+                network.ap(ap_id).position, position
+            )
+            loss = model.loss_db(distance) + float(
+                rng.normal(0.0, shadowing_sigma_db)
+            )
+            budget_snr = _snr20_from_loss(loss, network.config)
+            if budget_snr >= min_snr20_db:
+                network.set_link_snr(ap_id, client_id, budget_snr)
+    return client_order
+
+
+def carrier_sense_conflict_pairs(
+    network: Network, threshold_dbm: float = -82.0
+) -> List[Tuple[str, str]]:
+    """AP pairs that hear each other above the carrier-sense threshold.
+
+    Deterministic (no shadowing): loss follows the configured path-loss
+    model over AP-AP distance. Shared by :func:`random_enterprise` and
+    the builder's ``carrier_sense_conflicts`` step.
+    """
+    model = network.config.path_loss
+    conflicts: List[Tuple[str, str]] = []
+    ap_ids = network.ap_ids
+    for i, ap_a in enumerate(ap_ids):
+        for ap_b in ap_ids[i + 1 :]:
+            loss = model.loss_db(network.ap_distance_m(ap_a, ap_b))
+            if network.ap(ap_a).tx_power_dbm - loss >= threshold_dbm:
+                conflicts.append((ap_a, ap_b))
+    return conflicts
+
+
 def ap_triple(seed: int = 0) -> Scenario:
     """One Fig 14 instance: 3 mutually contending APs (Δ = 2).
 
@@ -207,19 +353,10 @@ def ap_triple(seed: int = 0) -> Scenario:
     network = Network()
     for index in range(1, 4):
         network.add_ap(f"AP{index}")
-    snr_choices = np.array([1.0, 4.0, 8.0, 14.0, 20.0, 26.0])
-    counter = 0
-    for index in range(1, 4):
-        for _ in range(2):
-            client_id = f"c{counter}"
-            counter += 1
-            network.add_client(client_id)
-            snr = float(rng.choice(snr_choices)) + float(rng.normal(0.0, 1.0))
-            network.set_link_snr(f"AP{index}", client_id, snr)
+    order = populate_quality_choice_clients(network, rng)
     network.set_explicit_conflicts(
         [("AP1", "AP2"), ("AP1", "AP3"), ("AP2", "AP3")]
     )
-    order = [f"c{i}" for i in range(counter)]
     return _finish(
         Scenario(
             name=f"ap_triple_{seed}",
@@ -255,46 +392,16 @@ def random_enterprise(
     network = Network(config)
     width, height = area_m
 
-    # Jittered grid of APs.
-    columns = max(1, int(math.ceil(math.sqrt(n_aps))))
-    rows = int(math.ceil(n_aps / columns))
-    positions: List[Tuple[float, float]] = []
-    for index in range(n_aps):
-        column = index % columns
-        row = index // columns
-        x = (column + 0.5) / columns * width + float(rng.normal(0.0, 3.0))
-        y = (row + 0.5) / rows * height + float(rng.normal(0.0, 3.0))
-        positions.append((x, y))
-        network.add_ap(f"AP{index + 1}", position=(x, y))
-
-    client_order: List[str] = []
-    for index in range(n_clients):
-        client_id = f"c{index + 1}"
-        client_order.append(client_id)
-        position = (
-            float(rng.uniform(0.0, width)),
-            float(rng.uniform(0.0, height)),
-        )
-        network.add_client(client_id, position=position)
-        # Pin link SNRs with one-time shadowing for determinism.
-        for ap_index, ap_id in enumerate(network.ap_ids):
-            distance = network.distance(positions[ap_index], position)
-            loss = model.loss_db(distance) + float(
-                rng.normal(0.0, shadowing_sigma_db)
-            )
-            budget_snr = _snr20_from_loss(loss, config)
-            if budget_snr >= -8.0:
-                network.set_link_snr(ap_id, client_id, budget_snr)
-
+    populate_enterprise_aps(network, rng, n_aps, area_m)
+    client_order = populate_uniform_clients(
+        network,
+        rng,
+        n_clients,
+        area_m,
+        shadowing_sigma_db=shadowing_sigma_db,
+    )
     # Carrier-sense edges between APs (deterministic, no shadowing).
-    conflicts = []
-    ap_ids = network.ap_ids
-    for i, ap_a in enumerate(ap_ids):
-        for ap_b in ap_ids[i + 1 :]:
-            loss = model.loss_db(network.ap_distance_m(ap_a, ap_b))
-            if network.ap(ap_a).tx_power_dbm - loss >= -82.0:
-                conflicts.append((ap_a, ap_b))
-    network.set_explicit_conflicts(conflicts)
+    network.set_explicit_conflicts(carrier_sense_conflict_pairs(network))
 
     return _finish(
         Scenario(
@@ -337,6 +444,7 @@ def register_scenario(name: str, factory: Callable[..., Scenario]) -> None:
 
 def _ensure_registry() -> None:
     """Pull in modules that register scenarios at import time."""
+    from . import adversarial  # noqa: F401 — the adversarial library
     from . import buildings  # noqa: F401 — registers "office"
 
 

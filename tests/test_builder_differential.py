@@ -1,0 +1,200 @@
+"""Differential tests: builder chains vs the legacy scenario factories.
+
+Every legacy ``SCENARIOS`` entry is re-expressed through the fluent
+builder and the two constructions are compared **bit-identically**:
+same :func:`repro.net.network_fingerprint`, same channel plan, same
+client arrival order — across 8 seeds for the generative factories.
+This is the contract that lets the adversarial library and any future
+builder chains ride the same sweep/timeline/fleet machinery without a
+parallel code path: the builder is not "close to" the factories, it IS
+the factories.
+
+Run as a dedicated CI step (see ``.github/workflows/ci.yml``).
+"""
+
+import pytest
+
+from repro.net import network_fingerprint
+from repro.sim.builder import scenario
+from repro.sim.checks import has_hidden_terminals
+from repro.sim.scenario import (
+    GOOD_SNR_DB,
+    MARGINAL_SNR_DB,
+    POOR_SNR_DB,
+    make_scenario,
+)
+
+SEEDS = list(range(8))
+
+
+def _builder_topology1():
+    return (
+        scenario("diff_topology1")
+        .ap("AP1")
+        .ap("AP2")
+        .client("u1")
+        .link("AP1", "u1", POOR_SNR_DB)
+        .client("u2")
+        .link("AP1", "u2", POOR_SNR_DB + 1.0)
+        .client("u3")
+        .link("AP2", "u3", GOOD_SNR_DB)
+        .client("u4")
+        .link("AP2", "u4", GOOD_SNR_DB + 2.0)
+        .no_conflicts()
+        .order("u1", "u2", "u3", "u4")
+    )
+
+
+def _builder_topology2():
+    chain = scenario("diff_topology2")
+    for index in range(1, 6):
+        chain = chain.ap(f"AP{index}")
+    shared = {
+        "s1": (GOOD_SNR_DB, GOOD_SNR_DB - 6.0),
+        "s2": (GOOD_SNR_DB + 1.0, GOOD_SNR_DB - 7.0),
+        "s3": (GOOD_SNR_DB - 1.0, GOOD_SNR_DB - 5.0),
+        "s4": (GOOD_SNR_DB - 8.0, GOOD_SNR_DB + 3.0),
+        "s5": (GOOD_SNR_DB - 9.0, GOOD_SNR_DB + 2.0),
+    }
+    for client_id, (snr_ap1, snr_ap3) in shared.items():
+        chain = (
+            chain.client(client_id)
+            .link("AP1", client_id, snr_ap1)
+            .link("AP3", client_id, snr_ap3)
+        )
+    for client_id, snr in (("g1", GOOD_SNR_DB), ("g2", GOOD_SNR_DB + 3.0)):
+        chain = chain.client(client_id).link("AP2", client_id, snr)
+    for client_id, snr in (("p1", POOR_SNR_DB), ("p2", POOR_SNR_DB + 0.5)):
+        chain = chain.client(client_id).link("AP4", client_id, snr)
+    for client_id, snr in (
+        ("q1", POOR_SNR_DB + 2.0),
+        ("q2", MARGINAL_SNR_DB),
+    ):
+        chain = chain.client(client_id).link("AP5", client_id, snr)
+    return chain.no_conflicts().order(
+        "s1", "g1", "p1", "s2", "q1", "s3", "g2", "p2", "s4", "q2", "s5"
+    )
+
+
+def _builder_dense():
+    return (
+        scenario("diff_dense")
+        .ap("AP1")
+        .ap("AP2")
+        .ap("AP3")
+        .client("good")
+        .link("AP1", "good", GOOD_SNR_DB)
+        .client("poorA")
+        .link("AP2", "poorA", POOR_SNR_DB + 1.0)
+        .client("poorB")
+        .link("AP3", "poorB", POOR_SNR_DB)
+        .conflicts(("AP1", "AP2"), ("AP1", "AP3"), ("AP2", "AP3"))
+        .channels(4)
+    )
+
+
+def _builder_triple():
+    return (
+        scenario("diff_triple")
+        .ap("AP1")
+        .ap("AP2")
+        .ap("AP3")
+        .quality_choice_clients()
+        .conflicts(("AP1", "AP2"), ("AP1", "AP3"), ("AP2", "AP3"))
+        .channels(6)
+    )
+
+
+def _builder_random():
+    return (
+        scenario("diff_random")
+        .path_loss(exponent=4.0)
+        .enterprise_aps(5, area_m=(80.0, 60.0))
+        .uniform_clients(12)
+        .carrier_sense_conflicts()
+    )
+
+
+def _builder_office():
+    return scenario("diff_office").office()
+
+
+# (legacy registry name, builder chain factory, legacy factory kwargs,
+#  does the legacy factory consume a seed)
+CASES = {
+    "topology1": (_builder_topology1, {}, False),
+    "topology2": (_builder_topology2, {}, False),
+    "dense": (_builder_dense, {}, False),
+    "triple": (_builder_triple, {}, True),
+    "random": (_builder_random, {}, True),
+    "office": (_builder_office, {}, True),
+}
+
+
+def _assert_equivalent(legacy, built):
+    assert network_fingerprint(built.network) == network_fingerprint(
+        legacy.network
+    )
+    assert built.plan.channel_numbers == legacy.plan.channel_numbers
+    assert built.client_order == legacy.client_order
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_builder_matches_legacy_factory(name):
+    """Builder chain ≡ legacy factory, bit-identical, across seeds."""
+    make_chain, kwargs, seeded = CASES[name]
+    chain = make_chain().freeze()
+    seeds = SEEDS if seeded else [0]
+    for seed in seeds:
+        legacy = (
+            make_scenario(name, seed=seed, **kwargs)
+            if seeded
+            else make_scenario(name, **kwargs)
+        )
+        _assert_equivalent(legacy, chain(seed))
+
+
+@pytest.mark.parametrize("name", ["topology1", "topology2", "dense"])
+def test_deterministic_chains_are_seed_invariant(name):
+    """Chains without RNG steps build the same network at every seed."""
+    chain = CASES[name][0]().freeze()
+    assert not chain.uses_rng
+    reference = network_fingerprint(chain(0).network)
+    for seed in SEEDS[1:]:
+        assert network_fingerprint(chain(seed).network) == reference
+
+
+@pytest.mark.parametrize("name", ["triple", "random", "office"])
+def test_generative_chains_vary_with_seed(name):
+    """RNG-consuming chains produce distinct instances per seed."""
+    chain = CASES[name][0]().freeze()
+    assert chain.uses_rng
+    prints = {network_fingerprint(chain(seed).network) for seed in SEEDS}
+    assert len(prints) == len(SEEDS)
+
+
+def test_chain_instances_carry_seeded_names():
+    """Generative instances are named ``<chain>_<seed>`` for job ids."""
+    chain = _builder_triple().freeze()
+    assert chain(3).name == "diff_triple_3"
+    deterministic = _builder_dense().freeze()
+    assert deterministic(3).name == "diff_dense"
+
+
+def test_chain_checks_ride_into_the_scenario():
+    """``.check(...)`` lands on the built Scenario for the executor."""
+    chain = (
+        _builder_dense()
+        .check(has_hidden_terminals())
+        .freeze()
+    )
+    built = chain(0)
+    assert [c.name for c in built.checks] == ["has_hidden_terminals()"]
+
+
+def test_fresh_network_rebuilds_identically():
+    """The stored factory contract (Scenario.fresh_network) holds."""
+    built = _builder_random().freeze()(5)
+    assert network_fingerprint(built.fresh_network()) == network_fingerprint(
+        built.network
+    )

@@ -1,0 +1,162 @@
+"""Property-based tests for the scenario builder (Hypothesis).
+
+Two contracts under randomized pressure:
+
+* every *valid* step chain compiles, builds deterministically, and
+  keeps a consistent id map (declared APs/clients == built network);
+* every *invalid* chain — clients before APs, overlapping grids,
+  duplicate ids, non-positive counts — raises
+  :class:`repro.errors.ScenarioError` **eagerly at the offending
+  step**, never later at sweep time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScenarioError
+from repro.net import network_fingerprint
+from repro.sim.builder import scenario
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@st.composite
+def explicit_chains(draw):
+    """A valid SNR-pinned chain: ap/client/link/conflicts steps."""
+    chain = scenario("prop_explicit")
+    n_aps = draw(st.integers(min_value=1, max_value=4))
+    for index in range(n_aps):
+        chain = chain.ap(f"AP{index + 1}")
+    n_clients = draw(st.integers(min_value=1, max_value=6))
+    for index in range(n_clients):
+        client_id = f"c{index}"
+        chain = chain.client(client_id)
+        ap_index = draw(st.integers(min_value=1, max_value=n_aps))
+        snr = draw(
+            st.floats(min_value=-5.0, max_value=35.0, allow_nan=False)
+        )
+        chain = chain.link(f"AP{ap_index}", client_id, snr)
+    if n_aps >= 2 and draw(st.booleans()):
+        chain = chain.conflicts(("AP1", "AP2"))
+    elif draw(st.booleans()):
+        chain = chain.no_conflicts()
+    if draw(st.booleans()):
+        chain = chain.channels(draw(st.integers(min_value=1, max_value=12)))
+    return chain, n_aps, n_clients
+
+
+@st.composite
+def geometric_chains(draw):
+    """A valid generative chain: grid APs plus clustered clients."""
+    chain = scenario("prop_geometric")
+    rows = draw(st.integers(min_value=1, max_value=3))
+    columns = draw(st.integers(min_value=1, max_value=3))
+    spacing = draw(
+        st.floats(min_value=5.0, max_value=60.0, allow_nan=False)
+    )
+    chain = chain.grid_aps(rows, columns, spacing_m=spacing)
+    n_clients = draw(st.integers(min_value=1, max_value=6))
+    clusters = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=n_clients))
+    )
+    chain = chain.clients(n_clients, clusters=clusters)
+    return chain, rows * columns, n_clients
+
+
+@settings(**SETTINGS)
+@given(case=st.one_of(explicit_chains(), geometric_chains()))
+def test_valid_chains_compile_with_consistent_id_maps(case):
+    """Any valid chain freezes, builds, and maps ids consistently."""
+    chain, n_aps, n_clients = case
+    compiled = chain.freeze()
+    built = compiled(0)
+    assert len(built.network.ap_ids) == n_aps
+    assert len(built.network.client_ids) == n_clients
+    # The arrival order is exactly the declared client population.
+    assert sorted(built.client_order) == sorted(built.network.client_ids)
+    assert len(set(built.client_order)) == len(built.client_order)
+
+
+@settings(**SETTINGS)
+@given(case=st.one_of(explicit_chains(), geometric_chains()))
+def test_valid_chains_rebuild_bit_identically(case):
+    """Same chain + same seed → bit-identical network, any time."""
+    compiled = case[0].freeze()
+    assert network_fingerprint(compiled(3).network) == network_fingerprint(
+        compiled(3).network
+    )
+
+
+@settings(**SETTINGS)
+@given(n=st.integers(min_value=1, max_value=5))
+def test_clients_before_aps_raise_eagerly(n):
+    """Population steps demand APs first — at the step, not at build."""
+    with pytest.raises(ScenarioError):
+        scenario("bad").client("c0")
+    with pytest.raises(ScenarioError):
+        scenario("bad").clients(n)
+    with pytest.raises(ScenarioError):
+        scenario("bad").quality_choice_clients(per_ap=n)
+
+
+@settings(**SETTINGS)
+@given(
+    rows=st.integers(min_value=1, max_value=3),
+    columns=st.integers(min_value=1, max_value=3),
+)
+def test_overlapping_grids_raise_eagerly(rows, columns):
+    """A second grid reusing AP ids is a contradiction, not a warning."""
+    chain = scenario("bad").grid_aps(rows, columns)
+    with pytest.raises(ScenarioError, match="overlapping AP"):
+        chain.grid_aps(rows, columns)
+
+
+@settings(**SETTINGS)
+@given(bad=st.integers(max_value=0))
+def test_non_positive_counts_raise_eagerly(bad):
+    """Zero/negative counts die at the step that received them."""
+    with pytest.raises(ScenarioError):
+        scenario("bad").grid_aps(bad, 2)
+    with pytest.raises(ScenarioError):
+        scenario("bad").grid_aps(2, 2).clients(bad)
+    with pytest.raises(ScenarioError):
+        scenario("bad").enterprise_aps(bad)
+
+
+@settings(**SETTINGS)
+@given(bad=st.one_of(st.floats(), st.text(max_size=3), st.booleans()))
+def test_non_integer_counts_raise_eagerly(bad):
+    """Counts must be genuine ints (bool is not a count)."""
+    with pytest.raises(ScenarioError):
+        scenario("bad").grid_aps(bad, 2)
+
+
+@settings(**SETTINGS)
+@given(case=st.one_of(explicit_chains(), geometric_chains()))
+def test_duplicate_client_ids_raise_eagerly(case):
+    """Re-adding any existing client id fails on the spot."""
+    chain, _, _ = case
+    existing = sorted(chain._clients)[0]
+    with pytest.raises(ScenarioError, match="overlapping client"):
+        chain.client(existing)
+
+
+def test_contradictory_conflict_sources_raise():
+    """Explicit edges and carrier sense cannot both own the graph."""
+    chain = (
+        scenario("bad")
+        .ap("AP1", position=(0.0, 0.0))
+        .ap("AP2", position=(10.0, 0.0))
+        .conflicts(("AP1", "AP2"))
+    )
+    with pytest.raises(ScenarioError, match="contradicts"):
+        chain.carrier_sense_conflicts()
+
+
+def test_empty_chain_cannot_freeze():
+    """A chain with no construction steps has nothing to compile."""
+    with pytest.raises(ScenarioError, match="no APs"):
+        scenario("empty").freeze()
+    with pytest.raises(ScenarioError, match="no clients"):
+        scenario("empty").ap("AP1").freeze()

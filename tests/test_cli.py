@@ -182,6 +182,82 @@ class TestCommands:
         assert "QPSK" in completed.stdout
 
 
+class TestInvariantCheckFlags:
+    """--enforce-checks on sweep and timeline, and --scenario replays."""
+
+    @pytest.fixture()
+    def failing_scenario(self):
+        from repro.sim.builder import scenario
+        from repro.sim.checks import min_interference_degree
+        from repro.sim.scenario import SCENARIOS
+
+        chain = (
+            scenario("cli_chk_fail")
+            .ap("AP1")
+            .client("c0")
+            .link("AP1", "c0", 25.0)
+            .no_conflicts()
+            .check(min_interference_degree(5))
+            .register()
+        )
+        yield chain.name
+        SCENARIOS.pop(chain.name, None)
+
+    def test_sweep_reports_violations_but_passes_by_default(
+        self, failing_scenario, capsys
+    ):
+        base = ["sweep", "--scenario", failing_scenario, "--n-seeds", "1",
+                "--algorithms", "acorn", "--quiet"]
+        assert main(base) == 0
+        output = capsys.readouterr().out
+        assert "Invariant-check violations" in output
+        assert "min_interference_degree(5)" in output
+        assert "1 invariant-check violation(s)" in output
+
+    def test_sweep_enforce_checks_exits_1_on_violation(
+        self, failing_scenario, capsys
+    ):
+        base = ["sweep", "--scenario", failing_scenario, "--n-seeds", "1",
+                "--algorithms", "acorn", "--quiet", "--enforce-checks"]
+        assert main(base) == 1
+
+    def test_sweep_enforce_checks_passes_clean_scenarios(self, capsys):
+        base = ["sweep", "--scenario", "hidden_chain", "--n-seeds", "1",
+                "--algorithms", "acorn", "--quiet", "--enforce-checks"]
+        assert main(base) == 0
+        assert "0 invariant-check violation(s)" in capsys.readouterr().out
+
+    def test_timeline_scenario_prints_check_verdicts(self, capsys):
+        code = main(
+            ["timeline", "--scenario", "atrium", "--hours", "0.2",
+             "--enforce-checks"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Invariant checks (atrium)" in output
+        assert "has_hidden_terminals()" in output
+        assert "3/3 passed" in output
+
+    def test_timeline_enforce_checks_exits_1_on_violation(
+        self, failing_scenario, capsys
+    ):
+        code = main(
+            ["timeline", "--scenario", failing_scenario, "--hours", "0.1",
+             "--enforce-checks"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_timeline_violation_without_enforce_still_passes(
+        self, failing_scenario, capsys
+    ):
+        code = main(
+            ["timeline", "--scenario", failing_scenario, "--hours", "0.1"]
+        )
+        assert code == 0
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestProfiling:
     """The --profile flags and the journal-mode trace subcommand."""
 

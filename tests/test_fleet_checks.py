@@ -1,0 +1,166 @@
+"""Invariant-check evaluation inside the fleet executor.
+
+The contract under test: a failing ``check(...)`` marks the job's
+*result* (violations are data — ``status`` stays ``"ok"``), the
+verdicts are part of the deterministic payload (so they survive
+``--resume`` from a torn journal and merge bit-identically at any
+worker count), and ``ResultStore.check_violations()`` surfaces them
+for the CLI gate.
+"""
+
+import pytest
+
+from repro.fleet import SweepSpec, run_sweep
+from repro.fleet.executor import execute_job
+from repro.sim.builder import scenario
+from repro.sim.checks import (
+    all_clients_admissible,
+    min_interference_degree,
+    min_total_mbps,
+)
+from repro.sim.scenario import SCENARIOS
+
+
+def _register(chain):
+    compiled = chain.register()
+    return compiled.name
+
+
+@pytest.fixture()
+def violating_scenario():
+    """One isolated AP declaring an impossible degree floor."""
+    name = _register(
+        scenario("chk_degree_fail")
+        .ap("AP1")
+        .client("c0")
+        .link("AP1", "c0", 25.0)
+        .no_conflicts()
+        .check(min_interference_degree(5))
+    )
+    yield name
+    SCENARIOS.pop(name, None)
+
+
+@pytest.fixture()
+def result_violating_scenario():
+    """A healthy cell declaring an unreachable throughput floor."""
+    name = _register(
+        scenario("chk_total_fail")
+        .ap("AP1")
+        .client("c0")
+        .link("AP1", "c0", 25.0)
+        .no_conflicts()
+        .check(min_total_mbps(1e9))
+    )
+    yield name
+    SCENARIOS.pop(name, None)
+
+
+@pytest.fixture()
+def passing_scenario():
+    """Checks that hold — verdicts recorded, nothing violated."""
+    name = _register(
+        scenario("chk_pass")
+        .ap("AP1")
+        .client("c0")
+        .link("AP1", "c0", 25.0)
+        .no_conflicts()
+        .check(all_clients_admissible())
+        .check(min_total_mbps(0.001))
+    )
+    yield name
+    SCENARIOS.pop(name, None)
+
+
+class TestCheckEvaluationInWorkers:
+    def test_network_check_violation_marks_result_not_crash(
+        self, violating_scenario
+    ):
+        spec = SweepSpec(scenarios=(violating_scenario,), seeds=(0,))
+        result = execute_job(spec.expand()[0])
+        assert result.ok
+        assert result.metrics["total_mbps"] > 0
+        failures = result.check_failures
+        assert [f["name"] for f in failures] == ["min_interference_degree(5)"]
+        assert "vs floor 5" in failures[0]["detail"]
+
+    def test_result_check_violation_marks_result_not_crash(
+        self, result_violating_scenario
+    ):
+        spec = SweepSpec(scenarios=(result_violating_scenario,), seeds=(0,))
+        result = execute_job(spec.expand()[0])
+        assert result.ok
+        assert [f["name"] for f in result.check_failures] == [
+            "min_total_mbps(1e+09)"
+        ]
+
+    def test_passing_checks_are_recorded_verdicts(self, passing_scenario):
+        spec = SweepSpec(scenarios=(passing_scenario,), seeds=(0,))
+        result = execute_job(spec.expand()[0])
+        assert result.ok
+        assert len(result.checks) == 2
+        assert all(v["passed"] for v in result.checks)
+        assert result.check_failures == []
+
+    def test_store_surfaces_violations_in_job_id_order(
+        self, violating_scenario, passing_scenario
+    ):
+        spec = SweepSpec(
+            scenarios=(violating_scenario, passing_scenario), seeds=(0, 1)
+        )
+        store = run_sweep(spec, workers=1)
+        violations = store.check_violations()
+        assert len(violations) == 2  # only the violating scenario's seeds
+        assert all(v["scenario"] == violating_scenario for v in violations)
+        assert all(v["check"] == "min_interference_degree(5)" for v in violations)
+        job_ids = [v["job_id"] for v in violations]
+        assert job_ids == sorted(job_ids)
+
+
+class TestCheckDeterminism:
+    def test_checks_merge_identically_at_any_worker_count(
+        self, violating_scenario, passing_scenario
+    ):
+        spec = SweepSpec(
+            scenarios=(violating_scenario, passing_scenario), seeds=(0, 1)
+        )
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert (
+            serial.check_violations() == parallel.check_violations()
+        )
+
+    def test_checks_survive_resume_from_torn_journal(
+        self, violating_scenario, tmp_path
+    ):
+        path = tmp_path / "sweep.jsonl"
+        spec = SweepSpec(scenarios=(violating_scenario,), seeds=(0, 1, 2))
+        reference = run_sweep(spec, workers=1, journal_path=str(path))
+        assert len(reference.check_violations()) == 3
+        # Keep the header + one record, tear the second mid-line
+        # (a SIGKILL mid-checkpoint), then resume.
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]) + lines[2][:25])
+        resumed = run_sweep(
+            spec,
+            workers=1,
+            journal_path=str(path),
+            resume=True,
+        )
+        assert resumed.reloaded == 1
+        assert resumed.fingerprint() == reference.fingerprint()
+        assert resumed.check_violations() == reference.check_violations()
+        # The reloaded record carried its verdicts through the journal.
+        reloaded = resumed.results()[0]
+        assert reloaded.check_failures
+
+    def test_verdicts_are_part_of_the_deterministic_payload(
+        self, violating_scenario
+    ):
+        spec = SweepSpec(scenarios=(violating_scenario,), seeds=(0,))
+        result = execute_job(spec.expand()[0])
+        payload = result.deterministic_dict()
+        assert payload["checks"] == result.checks
+        roundtrip = type(result).from_dict(result.to_dict())
+        assert roundtrip.deterministic_dict() == payload

@@ -418,6 +418,75 @@ class TestRegistryPicklabilityRL005:
         """
         assert findings_for(source, "RL005") == []
 
+    def test_builder_class_instance_in_method_passes(self):
+        # The scenario-builder pattern: registering an instance of a
+        # module-level class from a method is picklable-by-class-reference.
+        source = """
+        class CompiledChain:
+            def __call__(self, seed=0):
+                return None
+
+        class ScenarioBuilder:
+            def freeze(self) -> "CompiledChain":
+                return CompiledChain()
+
+            def register(self):
+                chain = self.freeze()
+                register_scenario("built", chain)
+                return chain
+        """
+        assert findings_for(source, "RL005") == []
+
+    def test_direct_constructor_call_in_method_passes(self):
+        source = """
+        class CompiledChain:
+            def __call__(self, seed=0):
+                return None
+
+        class ScenarioBuilder:
+            def register(self):
+                register_scenario("built", CompiledChain())
+        """
+        assert findings_for(source, "RL005") == []
+
+    def test_unannotated_method_result_still_flagged(self):
+        # Near miss: without the return annotation the rule cannot prove
+        # the registered value is a class instance, so it stays flagged.
+        source = """
+        class CompiledChain:
+            def __call__(self, seed=0):
+                return None
+
+        class ScenarioBuilder:
+            def freeze(self):
+                return CompiledChain()
+
+            def register(self):
+                chain = self.freeze()
+                register_scenario("built", chain)
+        """
+        found = findings_for(source, "RL005")
+        assert len(found) == 1
+        assert "import time" in found[0].message
+
+    def test_module_def_arg_inside_function_still_flagged(self):
+        # Near miss: a plain function factory registered from inside a
+        # function is still a deferred registration, class or no class.
+        source = """
+        class CompiledChain:
+            def __call__(self, seed=0):
+                return None
+
+        def factory(seed=0):
+            return None
+
+        def setup():
+            register_scenario("late", factory)
+        """
+        found = findings_for(source, "RL005")
+        assert len(found) == 1
+        assert "import time" in found[0].message
+
 
 class TestPublicApiRL006:
     COMPLETE = '''

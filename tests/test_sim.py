@@ -166,3 +166,39 @@ class TestMobilityExperiment:
         )
         assert trace.switch_time_s is None
         assert trace.post_switch_gain() == 1.0
+
+
+class TestAdversarialLibrary:
+    """The adversarial scenario library (EXPERIMENTS.md table)."""
+
+    def test_library_has_at_least_eight_entries(self):
+        from repro.sim.adversarial import ADVERSARIAL_SCENARIOS
+
+        assert len(ADVERSARIAL_SCENARIOS) >= 8
+
+    def test_every_entry_is_registered_with_checks(self):
+        from repro.sim.adversarial import ADVERSARIAL_SCENARIOS
+        from repro.sim.scenario import SCENARIOS
+
+        for name, chain in ADVERSARIAL_SCENARIOS.items():
+            assert SCENARIOS[name] is chain
+            assert len(chain.checks) >= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_network_checks_hold_across_seeds(self, seed):
+        from repro.sim.adversarial import ADVERSARIAL_SCENARIOS
+        from repro.sim.checks import evaluate_network_checks
+
+        for name, chain in sorted(ADVERSARIAL_SCENARIOS.items()):
+            built = chain(seed)
+            failed = [v for v in evaluate_network_checks(built) if not v.passed]
+            assert not failed, f"{name} seed {seed}: {failed}"
+
+    def test_entries_build_deterministically(self):
+        from repro.net import network_fingerprint
+        from repro.sim.adversarial import ADVERSARIAL_SCENARIOS
+
+        for chain in ADVERSARIAL_SCENARIOS.values():
+            assert network_fingerprint(chain(3).network) == network_fingerprint(
+                chain(3).network
+            )
